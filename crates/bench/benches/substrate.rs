@@ -1,0 +1,138 @@
+//! Criterion micro-benchmarks of the simulation substrate: linear and
+//! nonlinear transient engines, LU kernels and the Liberty parser.
+//!
+//! Run with `cargo bench -p nsta-bench --bench substrate`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nsta_circuit::{Circuit, CoupledLines, RcLineSpec, TransientOptions};
+use nsta_numeric::{DenseMatrix, LuFactors};
+use nsta_spice::{cells, Netlist, Process, SimOptions};
+use nsta_waveform::Waveform;
+
+fn bench_lu(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lu");
+    for n in [8usize, 32, 64] {
+        let mut a = DenseMatrix::zeros(n, n);
+        let mut seed = 0x12345678u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            (seed >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for r in 0..n {
+            for cc in 0..n {
+                a.set(r, cc, next());
+            }
+            a.add(r, r, n as f64);
+        }
+        let b: Vec<f64> = (0..n).map(|_| next()).collect();
+        group.bench_function(format!("factor_solve_{n}"), |bencher| {
+            bencher.iter(|| {
+                let lu = LuFactors::factor(&a).expect("well conditioned");
+                std::hint::black_box(lu.solve(&b).expect("solve"))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_linear_transient(c: &mut Criterion) {
+    c.bench_function("linear_coupled_lines_2ns", |b| {
+        b.iter(|| {
+            let mut ckt = Circuit::new();
+            let a_in = ckt.node("a");
+            let v_in = ckt.node("v");
+            let edge =
+                Waveform::new(vec![0.0, 0.5e-9, 0.7e-9, 2e-9], vec![0.0, 0.0, 1.2, 1.2])
+                    .expect("edge");
+            ckt.thevenin_driver(a_in, edge, 200.0).expect("driver");
+            ckt.thevenin_driver(v_in, Waveform::constant(0.0, 0.0, 2e-9).expect("flat"), 200.0)
+                .expect("driver");
+            let bundle = CoupledLines::new(RcLineSpec::figure1(), 2, 100e-15).expect("bundle");
+            let far = bundle.build(&mut ckt, &[a_in, v_in], "w").expect("build");
+            let res = ckt
+                .run_transient(TransientOptions::new(0.0, 2e-9, 2e-12).expect("opts"))
+                .expect("run");
+            std::hint::black_box(res.voltage(far[1]).expect("trace"))
+        })
+    });
+}
+
+fn bench_spice_inverter(c: &mut Criterion) {
+    c.bench_function("spice_inverter_2ns", |b| {
+        b.iter(|| {
+            let proc = Process::c013();
+            let mut net = Netlist::new(proc.vdd);
+            let inp = net.node("in");
+            let out = net.node("out");
+            cells::add_inverter(&mut net, &proc, 4.0, inp, out, "u1").expect("cell");
+            cells::add_load_cap(&mut net, out, 20e-15).expect("load");
+            let ramp = Waveform::new(
+                vec![0.0, 0.5e-9, 0.65e-9, 2e-9],
+                vec![0.0, 0.0, 1.2, 1.2],
+            )
+            .expect("ramp");
+            net.vsource(inp, ramp).expect("source");
+            let res =
+                net.run_transient(SimOptions::new(0.0, 2e-9, 2e-12).expect("opts")).expect("run");
+            std::hint::black_box(res.voltage(out).expect("trace"))
+        })
+    });
+}
+
+fn bench_liberty_parse(c: &mut Criterion) {
+    // A realistic library text produced by the serializer (constructed
+    // once, outside the timed loop).
+    use nsta_liberty::{Cell, Direction, Library, NldmTable, Pin, TimingArc, TimingSense};
+    let table = NldmTable::new(
+        vec![30e-12, 60e-12, 120e-12, 240e-12, 480e-12],
+        vec![2e-15, 5e-15, 10e-15, 20e-15, 40e-15],
+        (0..25).map(|i| 20e-12 + i as f64 * 3e-12).collect(),
+    )
+    .expect("table");
+    let arc = TimingArc {
+        related_pin: "A".into(),
+        sense: TimingSense::NegativeUnate,
+        cell_rise: table.clone(),
+        rise_transition: table.clone(),
+        cell_fall: table.clone(),
+        fall_transition: table,
+    };
+    let mut lib = Library::new("bench", 1.2);
+    for i in 0..20 {
+        lib.push_cell(Cell {
+            name: format!("INVX{i}"),
+            area: 1.0,
+            pins: vec![
+                Pin {
+                    name: "A".into(),
+                    direction: Direction::Input,
+                    capacitance: 5e-15,
+                    function: None,
+                    timing: vec![],
+                },
+                Pin {
+                    name: "Y".into(),
+                    direction: Direction::Output,
+                    capacitance: 0.0,
+                    function: Some("!A".into()),
+                    timing: vec![arc.clone()],
+                },
+            ],
+        });
+    }
+    let text = lib.to_liberty();
+    c.bench_function("liberty_parse_20_cells", |b| {
+        b.iter(|| std::hint::black_box(nsta_liberty::parse_library(&text).expect("parse")))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_lu,
+    bench_linear_transient,
+    bench_spice_inverter,
+    bench_liberty_parse
+);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion micro-benchmarks of the equivalent-waveform techniques
+//! (Section 4.2's measurement, statistically sampled).
+//!
+//! Run with `cargo bench -p nsta-bench --bench techniques`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nsta_waveform::{SaturatedRamp, Thresholds};
+use sgdp::gate::{AnalyticInverterGate, GateModel};
+use sgdp::{MethodKind, PropagationContext};
+
+/// A representative noisy context built once (analytic gate keeps the
+/// setup deterministic; the timed region is exactly the reduction step).
+fn make_context() -> PropagationContext {
+    let th = Thresholds::cmos(1.2);
+    let gate = AnalyticInverterGate::fast(th);
+    let clean = SaturatedRamp::with_slew(1.0e-9, 150e-12, th, true).expect("ramp");
+    let clean_wave = clean.to_waveform(0.0, 3.0e-9, 1e-12).expect("waveform");
+    let noisy = clean_wave
+        .with_triangular_pulse(1.05e-9, 150e-12, -0.45)
+        .expect("glitch")
+        .with_triangular_pulse(1.35e-9, 120e-12, -0.25)
+        .expect("second glitch");
+    let out = gate.response(&clean_wave).expect("noiseless output");
+    PropagationContext::new(clean_wave, noisy, Some(out), th).expect("context")
+}
+
+fn bench_methods(c: &mut Criterion) {
+    let ctx = make_context();
+    let mut group = c.benchmark_group("techniques");
+    for method in MethodKind::all() {
+        // Validate once so failures surface as panics, not timing noise.
+        method.equivalent(&ctx).expect("technique succeeds on the benchmark case");
+        group.bench_function(method.name(), |b| {
+            b.iter(|| std::hint::black_box(method.equivalent(&ctx).expect("ok")))
+        });
+    }
+    group.finish();
+}
+
+fn bench_sgdp_sampling(c: &mut Criterion) {
+    let base = make_context();
+    let mut group = c.benchmark_group("sgdp_sampling");
+    for p in [9usize, 17, 35, 70, 140] {
+        let ctx = base.clone().with_samples(p).expect("valid P");
+        group.bench_with_input(BenchmarkId::from_parameter(p), &ctx, |b, ctx| {
+            b.iter(|| std::hint::black_box(MethodKind::Sgdp.equivalent(ctx).expect("ok")))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_methods, bench_sgdp_sampling);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Regenerates **Figure 1** (the experimental setup) as a netlist audit:
+//! the constructed topology, its element values and counts, for both
+//! configurations. Unit tests in `nsta-spice` assert the figure's element
+//! values (R = 8.5 Ω, C = 4.8 fF per segment, ΣCm = 100 fF); this binary
+//! prints the same facts for human inspection.
+
+use nsta_bench::report::render_table;
+use nsta_spice::fig1::{build, Fig1Config};
+
+fn describe(name: &str, cfg: &Fig1Config) {
+    let skews = vec![Some(0.0); cfg.aggressors];
+    let (net, nodes) = build(cfg, &skews).expect("testbench builds");
+    let (r, c, v, i, m) = net.element_counts();
+    let spec = cfg.line_spec().expect("line spec");
+    println!("\nFigure 1 — Configuration {name}");
+    let rows = vec![
+        vec!["aggressors".into(), cfg.aggressors.to_string()],
+        vec!["line length (um)".into(), format!("{}", cfg.line_length_um)],
+        vec!["segments / line".into(), spec.segments.to_string()],
+        vec!["R per segment (ohm)".into(), format!("{:.2}", spec.r_segment())],
+        vec![
+            "C per segment (fF)".into(),
+            format!("{:.2} (2 x {:.2})", spec.c_segment() * 1e15, spec.c_segment() * 1e15 / 2.0),
+        ],
+        vec!["total Cm per pair (fF)".into(), format!("{:.1}", cfg.cm_total * 1e15)],
+        vec!["input slew 10-90 (ps)".into(), format!("{:.0}", cfg.input_slew * 1e12)],
+        vec!["vdd (V)".into(), format!("{}", cfg.proc.vdd)],
+        vec!["nodes".into(), net.node_count().to_string()],
+        vec!["resistors".into(), r.to_string()],
+        vec!["capacitors".into(), c.to_string()],
+        vec!["voltage sources".into(), v.to_string()],
+        vec!["current sources".into(), i.to_string()],
+        vec!["mosfets".into(), m.to_string()],
+        vec![
+            "victim receiver".into(),
+            format!(
+                "in_u = {}, out_u = {}",
+                net.node_name(nodes.in_u).expect("named"),
+                net.node_name(nodes.out_u).expect("named")
+            ),
+        ],
+    ];
+    print!("{}", render_table(&["Property", "Value"], &rows));
+}
+
+fn main() {
+    describe("I", &Fig1Config::config_i());
+    describe("II", &Fig1Config::config_ii());
+}

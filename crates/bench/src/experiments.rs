@@ -1,0 +1,129 @@
+//! Accuracy-experiment driver: the machinery behind Table 1.
+
+use crate::workload::SkewCase;
+use nsta_numeric::stats::Summary;
+use nsta_spice::fig1::{self, Fig1Config};
+use nsta_waveform::Thresholds;
+use sgdp::eval::evaluate_case;
+use sgdp::gate::SpiceReceiverGate;
+use sgdp::{MethodKind, PropagationContext, SgdpError};
+
+/// Accuracy aggregate for one technique over a workload.
+#[derive(Debug, Clone)]
+pub struct AccuracyRow {
+    /// The technique.
+    pub method: MethodKind,
+    /// Maximum absolute arrival error (s).
+    pub max_error: f64,
+    /// Average absolute arrival error (s).
+    pub avg_error: f64,
+    /// Root-mean-square error (s) — not in the paper's table, useful for
+    /// distribution checks.
+    pub rms_error: f64,
+    /// Number of cases on which the technique failed (e.g. WLS5 on
+    /// non-overlapping transitions).
+    pub failures: usize,
+}
+
+/// The full accuracy table for one configuration.
+#[derive(Debug, Clone)]
+pub struct AccuracyTable {
+    /// Per-technique aggregates, in the paper's method order.
+    pub rows: Vec<AccuracyRow>,
+    /// Number of noise-injection cases contributing to the statistics.
+    pub cases: usize,
+    /// Cases excluded because the glitch *propagated*: the golden receiver
+    /// output re-switched (more than one mid-rail crossing). Those are
+    /// functional-noise violations — a noise checker's job, not a gate
+    /// delay model's — mirroring the delay-noise/functional-noise split of
+    /// production SI flows.
+    pub excluded_functional: usize,
+    /// Golden (noisy) gate delay range across the workload (s).
+    pub golden_delay_min: f64,
+    /// See `golden_delay_min`.
+    pub golden_delay_max: f64,
+}
+
+impl AccuracyTable {
+    /// The row of a particular technique.
+    pub fn row(&self, method: MethodKind) -> Option<&AccuracyRow> {
+        self.rows.iter().find(|r| r.method == method)
+    }
+}
+
+/// Runs the accuracy experiment: for every noise-injection case, simulate
+/// the golden noisy waveforms, reduce them with every technique, push each
+/// `Γeff` back through the (simulated) receiver and record the arrival
+/// error against the golden output.
+///
+/// `on_case` is invoked after each case with `(index, total)` — hook for
+/// progress reporting in the binaries.
+///
+/// # Errors
+///
+/// Fails on simulator errors for the golden runs; per-technique failures
+/// are tallied in [`AccuracyRow::failures`] instead of aborting.
+pub fn run_accuracy(
+    cfg: &Fig1Config,
+    cases: &[SkewCase],
+    methods: &[MethodKind],
+    mut on_case: impl FnMut(usize, usize),
+) -> Result<AccuracyTable, SgdpError> {
+    let th = Thresholds::cmos(cfg.proc.vdd);
+    let gate = SpiceReceiverGate::new(*cfg);
+
+    // The noiseless reference is skew-independent: compute once.
+    let quiet = fig1::run_noiseless(cfg)?;
+
+    let mut summaries: Vec<(MethodKind, Summary, usize)> =
+        methods.iter().map(|&m| (m, Summary::new(), 0usize)).collect();
+    let mut golden_delays = Summary::new();
+    let mut excluded_functional = 0usize;
+
+    for (i, case) in cases.iter().enumerate() {
+        let noisy = fig1::run_case(cfg, &case.skews)?;
+        // Delay-noise vs functional-noise split: if the glitch propagated
+        // and the golden output re-switched, no single equivalent ramp can
+        // (or should) model it — a noise checker flags it instead.
+        if noisy.out_u.crossings(th.mid()).len() > 1 {
+            excluded_functional += 1;
+            on_case(i + 1, cases.len());
+            continue;
+        }
+        let ctx = PropagationContext::new(
+            quiet.in_u.clone(),
+            noisy.in_u.clone(),
+            Some(quiet.out_u.clone()),
+            th,
+        )?;
+        let report = evaluate_case(&ctx, &gate, &noisy.out_u, methods)?;
+        golden_delays.push(report.golden_delay.value());
+        for ((_, summary, failures), (_, outcome)) in
+            summaries.iter_mut().zip(&report.outcomes)
+        {
+            match outcome {
+                Ok(out) => summary.push(out.arrival_error),
+                Err(_) => *failures += 1,
+            }
+        }
+        on_case(i + 1, cases.len());
+    }
+
+    let rows = summaries
+        .into_iter()
+        .map(|(method, s, failures)| AccuracyRow {
+            method,
+            max_error: if s.count() > 0 { s.max() } else { f64::NAN },
+            avg_error: s.mean(),
+            rms_error: s.rms(),
+            failures,
+        })
+        .collect();
+    Ok(AccuracyTable {
+        rows,
+        cases: cases.len() - excluded_functional,
+        excluded_functional,
+        golden_delay_min: golden_delays.min(),
+        golden_delay_max: golden_delays.max(),
+    })
+}

@@ -1,0 +1,13 @@
+//! Experiment harness for the DATE'05 noisy-waveform reproduction.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the paper
+//! (see `DESIGN.md`'s experiment index); this library holds the shared
+//! machinery: noise-injection workloads, per-case evaluation, accuracy
+//! aggregation and plain-text/CSV reporting.
+
+pub mod experiments;
+pub mod report;
+pub mod workload;
+
+pub use experiments::{run_accuracy, AccuracyRow, AccuracyTable};
+pub use workload::{random_pairs, skew_sweep, SkewCase};

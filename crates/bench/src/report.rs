@@ -1,0 +1,90 @@
+//! Plain-text table and CSV rendering for the experiment binaries.
+
+use std::fmt::Write as _;
+
+/// Renders a fixed-width text table with a header row.
+///
+/// All rows must have `headers.len()` cells; extra/missing cells panic in
+/// debug (harness-internal misuse).
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        debug_assert_eq!(row.len(), cols);
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let sep = |out: &mut String| {
+        for w in &widths {
+            let _ = write!(out, "+{}", "-".repeat(w + 2));
+        }
+        out.push_str("+\n");
+    };
+    sep(&mut out);
+    for (h, w) in headers.iter().zip(&widths) {
+        let _ = write!(out, "| {h:<w$} ");
+    }
+    out.push_str("|\n");
+    sep(&mut out);
+    for row in rows {
+        for (cell, w) in row.iter().zip(&widths) {
+            let _ = write!(out, "| {cell:<w$} ");
+        }
+        out.push_str("|\n");
+    }
+    sep(&mut out);
+    out
+}
+
+/// Writes rows as a CSV string (no quoting needed for our numeric output;
+/// cells containing commas are rejected by debug assertion).
+pub fn render_csv(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    out.push_str(&headers.join(","));
+    out.push('\n');
+    for row in rows {
+        debug_assert!(row.iter().all(|c| !c.contains(',')), "csv cells must not contain commas");
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats seconds as picoseconds with one decimal.
+pub fn ps(seconds: f64) -> String {
+    format!("{:.1}", seconds * 1e12)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_aligned() {
+        let t = render_table(
+            &["Method", "Max", "Avg"],
+            &[
+                vec!["P1".into(), "81.3".into(), "29.3".into()],
+                vec!["SGDP".into(), "38.3".into(), "9.2".into()],
+            ],
+        );
+        assert!(t.contains("| Method |"));
+        assert!(t.contains("| SGDP   |"));
+        let first = t.lines().next().unwrap().len();
+        assert!(t.lines().all(|l| l.len() == first), "all lines same width");
+    }
+
+    #[test]
+    fn csv_round_trip_shape() {
+        let c = render_csv(&["a", "b"], &[vec!["1".into(), "2".into()]]);
+        assert_eq!(c, "a,b\n1,2\n");
+    }
+
+    #[test]
+    fn ps_formats() {
+        assert_eq!(ps(81.3e-12), "81.3");
+        assert_eq!(ps(0.0), "0.0");
+    }
+}

@@ -1,0 +1,90 @@
+//! Noise-injection workloads: aggressor alignment cases.
+//!
+//! The paper analyzes "200 noise injection timing cases in a range of 1 ns"
+//! per configuration: the aggressor transition is swept across a window
+//! centered on the victim transition. [`skew_sweep`] reproduces that
+//! deterministic sweep; [`random_pairs`] adds an independent-aggressor
+//! variant for the two-aggressor configuration.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One noise-injection case: the skew of each aggressor's transition
+/// relative to the victim's (seconds).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SkewCase {
+    /// Per-aggressor skew values.
+    pub skews: Vec<f64>,
+}
+
+/// A uniform sweep of `cases` alignments over `[-half_range, +half_range]`,
+/// with all aggressors switching together (the paper's single sweep knob).
+///
+/// # Panics
+///
+/// Panics if `cases < 2` or `aggressors == 0` — workload construction is
+/// programmer-controlled.
+pub fn skew_sweep(aggressors: usize, cases: usize, half_range: f64) -> Vec<SkewCase> {
+    assert!(cases >= 2, "need at least two cases");
+    assert!(aggressors >= 1, "need at least one aggressor");
+    (0..cases)
+        .map(|k| {
+            let s = -half_range + 2.0 * half_range * k as f64 / (cases - 1) as f64;
+            SkewCase { skews: vec![s; aggressors] }
+        })
+        .collect()
+}
+
+/// Independent per-aggressor skews drawn uniformly from
+/// `[-half_range, +half_range]` with a fixed seed (reproducible).
+///
+/// # Panics
+///
+/// Panics if `cases == 0` or `aggressors == 0`.
+pub fn random_pairs(aggressors: usize, cases: usize, half_range: f64, seed: u64) -> Vec<SkewCase> {
+    assert!(cases >= 1, "need at least one case");
+    assert!(aggressors >= 1, "need at least one aggressor");
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..cases)
+        .map(|_| SkewCase {
+            skews: (0..aggressors).map(|_| rng.gen_range(-half_range..=half_range)).collect(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_covers_range_symmetrically() {
+        let cases = skew_sweep(1, 5, 0.5e-9);
+        assert_eq!(cases.len(), 5);
+        assert!((cases[0].skews[0] + 0.5e-9).abs() < 1e-18);
+        assert!((cases[4].skews[0] - 0.5e-9).abs() < 1e-18);
+        assert!((cases[2].skews[0]).abs() < 1e-18);
+    }
+
+    #[test]
+    fn sweep_moves_all_aggressors_together() {
+        let cases = skew_sweep(2, 3, 0.5e-9);
+        for c in &cases {
+            assert_eq!(c.skews.len(), 2);
+            assert_eq!(c.skews[0], c.skews[1]);
+        }
+    }
+
+    #[test]
+    fn random_pairs_are_reproducible_and_bounded() {
+        let a = random_pairs(2, 10, 0.5e-9, 42);
+        let b = random_pairs(2, 10, 0.5e-9, 42);
+        assert_eq!(a, b);
+        let c = random_pairs(2, 10, 0.5e-9, 43);
+        assert_ne!(a, c);
+        for case in &a {
+            for &s in &case.skews {
+                assert!(s.abs() <= 0.5e-9);
+            }
+        }
+    }
+}

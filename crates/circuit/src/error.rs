@@ -1,0 +1,69 @@
+use nsta_waveform::WaveformError;
+use std::fmt;
+
+/// Error type for circuit construction and simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CircuitError {
+    /// A node id did not belong to this circuit.
+    UnknownNode {
+        /// The offending node index.
+        index: usize,
+    },
+    /// An element value was outside its physical domain (e.g. negative
+    /// resistance).
+    InvalidElement(&'static str),
+    /// A node already carries an ideal voltage source.
+    AlreadyDriven {
+        /// Name of the node.
+        name: String,
+    },
+    /// Both terminals of a two-terminal element were the same node.
+    DegenerateElement(&'static str),
+    /// Simulation options were invalid (empty span, non-positive step…).
+    InvalidOptions(&'static str),
+    /// The MNA system could not be solved.
+    Numeric(nsta_numeric::NumericError),
+    /// A waveform operation failed while preparing sources or results.
+    Waveform(WaveformError),
+    /// A result was requested for a quantity the run did not record.
+    NotRecorded(&'static str),
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::UnknownNode { index } => write!(f, "unknown node index {index}"),
+            CircuitError::InvalidElement(what) => write!(f, "invalid element: {what}"),
+            CircuitError::AlreadyDriven { name } => {
+                write!(f, "node {name} already has a voltage source")
+            }
+            CircuitError::DegenerateElement(what) => write!(f, "degenerate element: {what}"),
+            CircuitError::InvalidOptions(what) => write!(f, "invalid options: {what}"),
+            CircuitError::Numeric(e) => write!(f, "numeric failure: {e}"),
+            CircuitError::Waveform(e) => write!(f, "waveform failure: {e}"),
+            CircuitError::NotRecorded(what) => write!(f, "not recorded: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CircuitError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CircuitError::Numeric(e) => Some(e),
+            CircuitError::Waveform(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<nsta_numeric::NumericError> for CircuitError {
+    fn from(e: nsta_numeric::NumericError) -> Self {
+        CircuitError::Numeric(e)
+    }
+}
+
+impl From<WaveformError> for CircuitError {
+    fn from(e: WaveformError) -> Self {
+        CircuitError::Waveform(e)
+    }
+}

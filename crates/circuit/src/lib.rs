@@ -1,0 +1,45 @@
+//! Linear circuit engine for interconnect analysis.
+//!
+//! This crate provides the *linear* half of the simulation substrate: RC
+//! networks (including coupled lines), ideal and Thevenin drivers, and a
+//! trapezoidal transient solver built on modified nodal analysis. It is used
+//! for
+//!
+//! * constructing the coupled-interconnect topologies of the paper's Figure 1,
+//! * STA-side crosstalk noise estimation (superposition of a victim
+//!   transition and aggressor-induced noise), and
+//! * as the linear-element backbone reused by the nonlinear simulator in
+//!   `nsta-spice`.
+//!
+//! Node voltages are solved with the trapezoidal rule, which integrates the
+//! piecewise-linear sources used throughout this workspace exactly in their
+//! linear segments and is A-stable for stiff RC meshes.
+//!
+//! ```
+//! use nsta_circuit::{Circuit, TransientOptions};
+//! use nsta_waveform::Waveform;
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut ckt = Circuit::new();
+//! let inp = ckt.node("in");
+//! let out = ckt.node("out");
+//! ckt.resistor(inp, out, 1_000.0)?;            // 1 kΩ
+//! ckt.capacitor(out, Circuit::GROUND, 1e-12)?; // 1 pF
+//! let step = Waveform::new(vec![0.0, 1e-12, 10e-9], vec![0.0, 1.0, 1.0])?;
+//! ckt.vsource(inp, step)?;
+//! let result = ckt.run_transient(TransientOptions::new(0.0, 10e-9, 10e-12)?)?;
+//! let v_out = result.voltage(out)?;
+//! // RC = 1 ns: ~63% at t = 1 ns.
+//! assert!((v_out.value_at(1e-9) - 0.632).abs() < 0.01);
+//! # Ok(())
+//! # }
+//! ```
+
+mod builder;
+mod error;
+mod rcline;
+mod transient;
+
+pub use builder::{Circuit, NodeId};
+pub use error::CircuitError;
+pub use rcline::{CoupledLines, RcLineSpec};
+pub use transient::{TransientOptions, TransientResult};

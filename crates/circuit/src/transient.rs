@@ -1,0 +1,435 @@
+use crate::builder::{Circuit, NodeId};
+use crate::CircuitError;
+use nsta_numeric::{DenseMatrix, LuFactors};
+use nsta_waveform::Waveform;
+
+/// Options for a transient run: `[t_start, t_stop]` with fixed step `dt`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransientOptions {
+    t_start: f64,
+    t_stop: f64,
+    dt: f64,
+    gmin: f64,
+    zero_initial_state: bool,
+}
+
+impl TransientOptions {
+    /// Creates options for a run over `[t_start, t_stop]` with step `dt`.
+    ///
+    /// # Errors
+    ///
+    /// [`CircuitError::InvalidOptions`] unless
+    /// `t_stop > t_start`, `dt > 0`, and `dt < (t_stop − t_start)`.
+    pub fn new(t_start: f64, t_stop: f64, dt: f64) -> Result<Self, CircuitError> {
+        if !(t_stop.is_finite() && t_start.is_finite() && dt.is_finite()) {
+            return Err(CircuitError::InvalidOptions("times must be finite"));
+        }
+        if !(t_stop > t_start) {
+            return Err(CircuitError::InvalidOptions("t_stop must exceed t_start"));
+        }
+        if !(dt > 0.0) || dt >= t_stop - t_start {
+            return Err(CircuitError::InvalidOptions("dt must be positive and smaller than span"));
+        }
+        Ok(TransientOptions { t_start, t_stop, dt, gmin: 1e-12, zero_initial_state: false })
+    }
+
+    /// Starts the run from all-zero node voltages instead of the DC
+    /// operating point at `t_start`.
+    ///
+    /// Use this for charge-injection scenarios (pure current sources into
+    /// capacitive meshes) where a resistive DC solution does not exist.
+    #[must_use]
+    pub fn with_zero_initial_state(mut self) -> Self {
+        self.zero_initial_state = true;
+        self
+    }
+
+    /// Overrides the leakage conductance added from every node to ground.
+    ///
+    /// The default of 1 pS regularizes meshes with capacitor-only nodes
+    /// without measurably loading realistic RC interconnect.
+    #[must_use]
+    pub fn with_gmin(mut self, gmin: f64) -> Self {
+        self.gmin = gmin;
+        self
+    }
+
+    /// Start of the simulation window (seconds).
+    pub fn t_start(&self) -> f64 {
+        self.t_start
+    }
+
+    /// End of the simulation window (seconds).
+    pub fn t_stop(&self) -> f64 {
+        self.t_stop
+    }
+
+    /// Fixed timestep (seconds).
+    pub fn dt(&self) -> f64 {
+        self.dt
+    }
+}
+
+/// Voltages recorded by a transient run, queryable per node.
+#[derive(Debug, Clone)]
+pub struct TransientResult {
+    times: Vec<f64>,
+    /// Per non-ground node (original circuit indexing), the voltage trace.
+    voltages: Vec<Vec<f64>>,
+}
+
+impl TransientResult {
+    /// The simulation time points.
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// The voltage trace of `node` as a [`Waveform`].
+    ///
+    /// # Errors
+    ///
+    /// * [`CircuitError::NotRecorded`] for the ground node.
+    /// * [`CircuitError::UnknownNode`] for foreign ids.
+    pub fn voltage(&self, node: NodeId) -> Result<Waveform, CircuitError> {
+        if node.is_ground() {
+            return Err(CircuitError::NotRecorded("ground voltage is identically zero"));
+        }
+        let trace = self
+            .voltages
+            .get(node.0)
+            .ok_or(CircuitError::UnknownNode { index: node.0 })?;
+        Ok(Waveform::new(self.times.clone(), trace.clone())?)
+    }
+}
+
+impl Circuit {
+    /// Runs a trapezoidal-rule transient analysis.
+    ///
+    /// Driven (voltage-source) nodes are eliminated from the unknowns; the
+    /// remaining system `C·x' + G·x = b(t)` is integrated with the
+    /// trapezoidal rule, which is exact for the piecewise-linear sources
+    /// used across this workspace within each linear segment. The initial
+    /// state is the DC solution at `t_start` (capacitors open).
+    ///
+    /// # Errors
+    ///
+    /// * [`CircuitError::Numeric`] if the mesh is singular even with gmin
+    ///   regularization.
+    /// * Propagated construction errors for malformed options.
+    pub fn run_transient(&self, opts: TransientOptions) -> Result<TransientResult, CircuitError> {
+        let n = self.node_count();
+        // Partition nodes: driven nodes take known voltages, the rest are
+        // unknowns. `position[i]` maps node -> unknown slot.
+        let mut is_driven = vec![false; n];
+        for s in &self.vsources {
+            is_driven[s.node] = true;
+        }
+        let mut position = vec![usize::MAX; n];
+        let mut free_nodes = Vec::new();
+        for i in 0..n {
+            if !is_driven[i] {
+                position[i] = free_nodes.len();
+                free_nodes.push(i);
+            }
+        }
+        let nf = free_nodes.len();
+
+        // Full-system stamps split into UU (free-free) and UK (free-driven).
+        let mut g_uu = DenseMatrix::zeros(nf, nf);
+        let mut c_uu = DenseMatrix::zeros(nf, nf);
+        // Dense free×driven couplers; the driven count is tiny.
+        let nd = self.vsources.len();
+        let mut driven_slot = vec![usize::MAX; n];
+        for (k, s) in self.vsources.iter().enumerate() {
+            driven_slot[s.node] = k;
+        }
+        let mut g_uk = DenseMatrix::zeros(nf, nd.max(1));
+        let mut c_uk = DenseMatrix::zeros(nf, nd.max(1));
+
+        let stamp2 = |m_uu: &mut DenseMatrix,
+                          m_uk: &mut DenseMatrix,
+                          a: usize,
+                          b: usize,
+                          v: f64| {
+            let terminals = [(a, 1.0), (b, 1.0)];
+            for (row_node, _) in terminals {
+                if row_node == NodeId::GROUND_SENTINEL || is_driven[row_node] {
+                    continue;
+                }
+                let r = position[row_node];
+                // Diagonal (self) term.
+                m_uu.add(r, r, v);
+                // Off-diagonal to the other terminal.
+                let other = if row_node == a { b } else { a };
+                if other == NodeId::GROUND_SENTINEL {
+                    continue;
+                }
+                if is_driven[other] {
+                    m_uk.add(r, driven_slot[other], -v);
+                } else {
+                    m_uu.add(r, position[other], -v);
+                }
+            }
+        };
+
+        for r in &self.resistors {
+            stamp2(&mut g_uu, &mut g_uk, r.a, r.b, r.conductance);
+        }
+        for c in &self.capacitors {
+            stamp2(&mut c_uu, &mut c_uk, c.a, c.b, c.farads);
+        }
+        for r in 0..nf {
+            g_uu.add(r, r, opts.gmin);
+        }
+
+        let h = opts.dt;
+        let steps = ((opts.t_stop - opts.t_start) / h).round() as usize;
+        let times: Vec<f64> = (0..=steps).map(|k| opts.t_start + k as f64 * h).collect();
+
+        // Known node voltages at every time point.
+        let mut vk = vec![vec![0.0; nd]; times.len()];
+        for (k, s) in self.vsources.iter().enumerate() {
+            for (ti, &t) in times.iter().enumerate() {
+                vk[ti][k] = s.waveform.value_at(t);
+            }
+        }
+        // Injected currents at every time point.
+        let mut inj = vec![vec![0.0; nf]; times.len()];
+        for s in &self.isources {
+            if is_driven[s.node] {
+                continue; // current into an ideally driven node is absorbed
+            }
+            let r = position[s.node];
+            for (ti, &t) in times.iter().enumerate() {
+                inj[ti][r] += s.waveform.value_at(t);
+            }
+        }
+
+        // DC initial condition: G_UU x = inj(t0) − G_UK·vK(t0).
+        let mut x = if opts.zero_initial_state {
+            vec![0.0; nf]
+        } else {
+            let lu = LuFactors::factor(&g_uu)?;
+            let mut rhs = inj[0].clone();
+            for r in 0..nf {
+                for k in 0..nd {
+                    rhs[r] -= g_uk.get(r, k) * vk[0][k];
+                }
+            }
+            lu.solve(&rhs)?
+        };
+
+        // Trapezoidal system: (C/h + G/2) x_{n+1} =
+        //   (C/h − G/2) x_n − C_UK Δvk/h − G_UK v̄k + (inj_n + inj_{n+1})/2.
+        let lhs = c_uu.add_scaled(&g_uu, h / 2.0)?; // scaled by h: C + hG/2
+        let lu = LuFactors::factor(&lhs)?;
+
+        let mut voltages: Vec<Vec<f64>> = vec![Vec::with_capacity(times.len()); n];
+        let record =
+            |voltages: &mut Vec<Vec<f64>>, x: &[f64], vk_now: &[f64]| {
+                for i in 0..n {
+                    let v = if is_driven[i] { vk_now[driven_slot[i]] } else { x[position[i]] };
+                    voltages[i].push(v);
+                }
+            };
+        record(&mut voltages, &x, &vk[0]);
+
+        let mut rhs = vec![0.0; nf];
+        for ti in 1..times.len() {
+            // rhs = (C − hG/2)·x_n
+            for r in 0..nf {
+                let mut acc = 0.0;
+                for c in 0..nf {
+                    acc += (c_uu.get(r, c) - h / 2.0 * g_uu.get(r, c)) * x[c];
+                }
+                rhs[r] = acc;
+            }
+            // Source contributions.
+            for r in 0..nf {
+                let mut acc = 0.0;
+                for k in 0..nd {
+                    let dv = vk[ti][k] - vk[ti - 1][k];
+                    let vbar = 0.5 * (vk[ti][k] + vk[ti - 1][k]);
+                    acc -= c_uk.get(r, k) * dv + h * g_uk.get(r, k) * vbar;
+                }
+                acc += h * 0.5 * (inj[ti][r] + inj[ti - 1][r]);
+                rhs[r] += acc;
+            }
+            lu.solve_in_place(&mut rhs)?;
+            x.copy_from_slice(&rhs);
+            record(&mut voltages, &x, &vk[ti]);
+        }
+
+        Ok(TransientResult { times, voltages })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step_at(t0: f64, rise: f64, v: f64, t_end: f64) -> Waveform {
+        // Boundary values are held outside the record, so starting the
+        // record at t0 still models "low until t0".
+        Waveform::new(vec![t0, t0 + rise, t_end], vec![0.0, v, v]).unwrap()
+    }
+
+    #[test]
+    fn options_validate() {
+        assert!(TransientOptions::new(0.0, 1.0, 0.01).is_ok());
+        assert!(TransientOptions::new(1.0, 1.0, 0.01).is_err());
+        assert!(TransientOptions::new(0.0, 1.0, 0.0).is_err());
+        assert!(TransientOptions::new(0.0, 1.0, 2.0).is_err());
+        assert!(TransientOptions::new(0.0, f64::NAN, 0.1).is_err());
+    }
+
+    #[test]
+    fn rc_step_response_matches_analytic() {
+        let (r, c) = (1_000.0, 1e-12); // τ = 1 ns
+        let mut ckt = Circuit::new();
+        let inp = ckt.node("in");
+        let out = ckt.node("out");
+        ckt.resistor(inp, out, r).unwrap();
+        ckt.capacitor(out, Circuit::GROUND, c).unwrap();
+        ckt.vsource(inp, step_at(0.0, 1e-15, 1.0, 10e-9)).unwrap();
+        let res = ckt
+            .run_transient(TransientOptions::new(0.0, 8e-9, 2e-12).unwrap())
+            .unwrap();
+        let v = res.voltage(out).unwrap();
+        let tau = r * c;
+        for t in [0.5e-9, 1e-9, 2e-9, 5e-9] {
+            let expect = 1.0 - (-t / tau).exp();
+            assert!(
+                (v.value_at(t) - expect).abs() < 2e-3,
+                "t={t:e}: got {} want {expect}",
+                v.value_at(t)
+            );
+        }
+    }
+
+    #[test]
+    fn trapezoidal_is_second_order() {
+        // Halving dt should cut the error by ~4× for smooth drives.
+        let (r, c) = (1_000.0, 1e-12);
+        let drive = Waveform::from_fn(0.0, 10e-9, 5e-12, |t| {
+            0.5 * (1.0 - (std::f64::consts::PI * t / 5e-9).cos())
+        })
+        .unwrap();
+        let run = |dt: f64| {
+            let mut ckt = Circuit::new();
+            let inp = ckt.node("in");
+            let out = ckt.node("out");
+            ckt.resistor(inp, out, r).unwrap();
+            ckt.capacitor(out, Circuit::GROUND, c).unwrap();
+            ckt.vsource(inp, drive.clone()).unwrap();
+            let res = ckt.run_transient(TransientOptions::new(0.0, 5e-9, dt).unwrap()).unwrap();
+            res.voltage(out).unwrap().value_at(2.5e-9)
+        };
+        let fine = run(2.5e-12);
+        let coarse = run(40e-12);
+        let mid = run(20e-12);
+        let err_coarse = (coarse - fine).abs();
+        let err_mid = (mid - fine).abs();
+        assert!(err_mid < err_coarse / 2.5, "expected ~4x reduction: {err_coarse} vs {err_mid}");
+    }
+
+    #[test]
+    fn dc_init_starts_settled() {
+        // Source already at 1 V before t=0: no spurious transient.
+        let mut ckt = Circuit::new();
+        let inp = ckt.node("in");
+        let out = ckt.node("out");
+        ckt.resistor(inp, out, 500.0).unwrap();
+        ckt.capacitor(out, Circuit::GROUND, 2e-12).unwrap();
+        ckt.vsource(inp, Waveform::constant(1.0, 0.0, 1e-9).unwrap()).unwrap();
+        let res = ckt.run_transient(TransientOptions::new(0.0, 1e-9, 1e-12).unwrap()).unwrap();
+        let v = res.voltage(out).unwrap();
+        assert!((v.value_at(0.0) - 1.0).abs() < 1e-9);
+        assert!((v.value_at(0.9e-9) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn coupling_cap_injects_noise_into_quiet_line() {
+        // Victim held by a resistive driver at 0; aggressor steps. The
+        // coupling cap must kick the victim, which then decays back.
+        let mut ckt = Circuit::new();
+        let agg_src = ckt.node("agg_src");
+        let agg = ckt.node("agg");
+        let vic = ckt.node("vic");
+        ckt.vsource(agg_src, step_at(1e-9, 50e-12, 1.0, 10e-9)).unwrap();
+        ckt.resistor(agg_src, agg, 100.0).unwrap();
+        ckt.capacitor(agg, Circuit::GROUND, 5e-15).unwrap();
+        // Victim driver: Thevenin holding low.
+        ckt.thevenin_driver(vic, Waveform::constant(0.0, 0.0, 10e-9).unwrap(), 200.0).unwrap();
+        ckt.capacitor(vic, Circuit::GROUND, 5e-15).unwrap();
+        ckt.capacitor(agg, vic, 20e-15).unwrap();
+        let res = ckt.run_transient(TransientOptions::new(0.0, 6e-9, 1e-12).unwrap()).unwrap();
+        let v = res.voltage(vic).unwrap();
+        let peak = v.v_max();
+        assert!(peak > 0.05, "expected visible coupling noise, peak={peak}");
+        assert!(peak < 1.0, "noise cannot exceed the aggressor swing");
+        // Noise decays away by the end of the window.
+        assert!(v.value_at(5.9e-9).abs() < 0.01);
+        // Quiet before the aggressor moves.
+        assert!(v.value_at(0.9e-9).abs() < 1e-6);
+    }
+
+    #[test]
+    fn isource_charges_capacitor_linearly() {
+        // 1 µA into 1 pF: dv/dt = 1 V/µs → 1 mV/ns.
+        let mut ckt = Circuit::new();
+        let n1 = ckt.node("n1");
+        ckt.capacitor(n1, Circuit::GROUND, 1e-12).unwrap();
+        ckt.isource(n1, Waveform::constant(1e-6, 0.0, 10e-9).unwrap()).unwrap();
+        let res = ckt
+            .run_transient(
+                TransientOptions::new(0.0, 10e-9, 10e-12)
+                    .unwrap()
+                    .with_gmin(1e-15)
+                    .with_zero_initial_state(),
+            )
+            .unwrap();
+        let v = res.voltage(n1).unwrap();
+        assert!((v.value_at(10e-9) - 0.01).abs() < 1e-4);
+    }
+
+    #[test]
+    fn ladder_elmore_delay_is_sane() {
+        // 5-stage RC ladder; Elmore ≈ Σ R_i C_downstream. 50% point of the
+        // step response should land within ~[0.5, 1.4]× Elmore (log 2 ≈ 0.69
+        // for 1 pole; distributed lines sit near 0.7–0.9).
+        let mut ckt = Circuit::new();
+        let mut prev = ckt.node("in");
+        ckt.vsource(prev, step_at(0.0, 1e-15, 1.0, 50e-9)).unwrap();
+        let (r, c) = (200.0, 50e-15);
+        let mut nodes = Vec::new();
+        for i in 0..5 {
+            let n = ckt.node(&format!("n{i}"));
+            ckt.resistor(prev, n, r).unwrap();
+            ckt.capacitor(n, Circuit::GROUND, c).unwrap();
+            nodes.push(n);
+            prev = n;
+        }
+        let elmore: f64 = (1..=5).map(|i| r * c * (5 - i + 1) as f64).sum();
+        let res = ckt.run_transient(TransientOptions::new(0.0, 10e-9, 1e-12).unwrap()).unwrap();
+        let far = res.voltage(*nodes.last().unwrap()).unwrap();
+        let t50 = far.first_crossing(0.5).unwrap();
+        assert!(t50 > 0.4 * elmore && t50 < 1.4 * elmore, "t50={t50:e}, elmore={elmore:e}");
+    }
+
+    #[test]
+    fn ground_voltage_not_recorded() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.vsource(a, step_at(0.0, 1e-12, 1.0, 1e-9)).unwrap();
+        ckt.resistor(a, b, 100.0).unwrap();
+        ckt.capacitor(b, Circuit::GROUND, 1e-15).unwrap();
+        let res = ckt.run_transient(TransientOptions::new(0.0, 1e-9, 1e-12).unwrap()).unwrap();
+        assert!(matches!(res.voltage(Circuit::GROUND), Err(CircuitError::NotRecorded(_))));
+        assert!(res.voltage(NodeId(42)).is_err());
+        // Driven node is recorded and equals its source.
+        let va = res.voltage(a).unwrap();
+        assert!((va.value_at(0.5e-9) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,76 @@
+use std::fmt;
+
+/// Error type for equivalent-waveform computation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SgdpError {
+    /// The noisy/noiseless waveform pair was unusable (no transition, no
+    /// threshold crossing…).
+    Waveform(nsta_waveform::WaveformError),
+    /// A numeric kernel failed (degenerate fit, no convergence…).
+    Numeric(nsta_numeric::NumericError),
+    /// The golden simulator failed while producing a gate response.
+    Spice(nsta_spice::SpiceError),
+    /// The noiseless input and output transitions do not overlap, so the
+    /// output-to-input sensitivity is undefined. WLS5 cannot proceed
+    /// (the paper's stated limitation); SGDP recovers via its pre/post
+    /// time-shift step.
+    NonOverlapping {
+        /// Gap between the output and input mid-crossings (s).
+        gap: f64,
+    },
+    /// A technique required the noiseless output waveform but the context
+    /// carries none.
+    MissingNoiselessOutput,
+    /// A parameter was outside its documented domain.
+    InvalidParameter(&'static str),
+    /// The fit produced a slope inconsistent with the transition (zero or
+    /// wrong sign) — the input carried no usable transition energy.
+    DegenerateFit(&'static str),
+}
+
+impl fmt::Display for SgdpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SgdpError::Waveform(e) => write!(f, "waveform failure: {e}"),
+            SgdpError::Numeric(e) => write!(f, "numeric failure: {e}"),
+            SgdpError::Spice(e) => write!(f, "simulator failure: {e}"),
+            SgdpError::NonOverlapping { gap } => {
+                write!(f, "input and output transitions do not overlap (gap {gap:.3e}s)")
+            }
+            SgdpError::MissingNoiselessOutput => {
+                write!(f, "technique requires the noiseless output waveform")
+            }
+            SgdpError::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
+            SgdpError::DegenerateFit(what) => write!(f, "degenerate fit: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SgdpError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SgdpError::Waveform(e) => Some(e),
+            SgdpError::Numeric(e) => Some(e),
+            SgdpError::Spice(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<nsta_waveform::WaveformError> for SgdpError {
+    fn from(e: nsta_waveform::WaveformError) -> Self {
+        SgdpError::Waveform(e)
+    }
+}
+
+impl From<nsta_numeric::NumericError> for SgdpError {
+    fn from(e: nsta_numeric::NumericError) -> Self {
+        SgdpError::Numeric(e)
+    }
+}
+
+impl From<nsta_spice::SpiceError> for SgdpError {
+    fn from(e: nsta_spice::SpiceError) -> Self {
+        SgdpError::Spice(e)
+    }
+}

@@ -1,0 +1,152 @@
+//! Case evaluation: run techniques against a golden output and quantify the
+//! resulting arrival/delay errors — the machinery behind Table 1.
+
+use crate::context::PropagationContext;
+use crate::delay::{gate_delay, GateDelay};
+use crate::gate::GateModel;
+use crate::techniques::MethodKind;
+use crate::SgdpError;
+use nsta_waveform::{SaturatedRamp, Waveform};
+
+/// Outcome of one technique on one noise-injection case.
+#[derive(Debug, Clone)]
+pub struct MethodOutcome {
+    /// Which technique produced this outcome.
+    pub method: MethodKind,
+    /// The equivalent ramp it computed.
+    pub gamma: SaturatedRamp,
+    /// The gate output predicted by driving the gate with `gamma`.
+    pub predicted_output: Waveform,
+    /// Delay measured from `gamma` to the predicted output (the technique's
+    /// gate-delay estimate, as an STA engine would consume it).
+    pub predicted_delay: GateDelay,
+    /// Absolute error of the predicted output arrival vs the golden output
+    /// arrival (s). This is the Table-1 "delay error": both delays are
+    /// referenced to the same physical input event, so arrival error and
+    /// delay error coincide.
+    pub arrival_error: f64,
+}
+
+/// Golden measurements plus per-technique outcomes for one case.
+#[derive(Debug, Clone)]
+pub struct CaseReport {
+    /// Golden (simulated, noisy) gate delay.
+    pub golden_delay: GateDelay,
+    /// Per-technique results, in the order requested.
+    pub outcomes: Vec<(MethodKind, Result<MethodOutcome, SgdpError>)>,
+}
+
+/// Evaluates `methods` on one case.
+///
+/// `golden_output` must be the gate's *actual* response to the noisy input
+/// (from the full nonlinear simulation); each technique's ramp is pushed
+/// through `gate` and its output arrival compared against the golden one.
+///
+/// # Errors
+///
+/// Fails only if the golden waveforms themselves are unusable; individual
+/// technique failures are captured per-outcome.
+pub fn evaluate_case(
+    ctx: &PropagationContext,
+    gate: &dyn GateModel,
+    golden_output: &Waveform,
+    methods: &[MethodKind],
+) -> Result<CaseReport, SgdpError> {
+    let th = ctx.thresholds();
+    let golden_delay = gate_delay(ctx.noisy_input(), golden_output, th)?;
+    let t0 = ctx.noisy_input().t_start();
+    let t1 = ctx.noisy_input().t_end();
+
+    let mut outcomes = Vec::with_capacity(methods.len());
+    for &method in methods {
+        let outcome = method.equivalent(ctx).and_then(|gamma| {
+            let dt = (gamma.slew(th) / 50.0).max(1e-13);
+            // A very slow Γeff may depart before the noisy record starts or
+            // settle after it ends; widen the window to the full ramp.
+            let slack = 0.1 * gamma.slew(th);
+            let t0 = t0.min(gamma.t_rail_departure() - slack);
+            let t1 = t1.max(gamma.t_rail_arrival() + slack);
+            let ramp_wave = gamma.to_waveform(t0, t1, dt)?;
+            let predicted_output = gate.response(&ramp_wave)?;
+            let predicted_delay = gate_delay(&ramp_wave, &predicted_output, th)?;
+            let arrival_error =
+                (predicted_delay.t_out_mid - golden_delay.t_out_mid).abs();
+            Ok(MethodOutcome { method, gamma, predicted_output, predicted_delay, arrival_error })
+        });
+        outcomes.push((method, outcome));
+    }
+    Ok(CaseReport { golden_delay, outcomes })
+}
+
+impl CaseReport {
+    /// The arrival error of a technique, if it succeeded.
+    pub fn error_of(&self, method: MethodKind) -> Option<f64> {
+        self.outcomes.iter().find_map(|(m, o)| {
+            if *m == method {
+                o.as_ref().ok().map(|out| out.arrival_error)
+            } else {
+                None
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::AnalyticInverterGate;
+    use nsta_waveform::{SaturatedRamp, Thresholds};
+
+    #[test]
+    fn evaluation_orders_methods_and_measures_errors() {
+        let th = Thresholds::cmos(1.2);
+        let gate = AnalyticInverterGate::fast(th);
+        let clean = SaturatedRamp::with_slew(1.0e-9, 150e-12, th, true)
+            .unwrap()
+            .to_waveform(0.0, 3.5e-9, 1e-12)
+            .unwrap();
+        // Glitch partially outside the noiseless region.
+        let noisy = clean.with_triangular_pulse(1.15e-9, 220e-12, -0.7).unwrap();
+        let out_noiseless = gate.response(&clean).unwrap();
+        let golden = gate.response(&noisy).unwrap();
+        let ctx =
+            PropagationContext::new(clean, noisy, Some(out_noiseless), th).unwrap();
+        let report = evaluate_case(&ctx, &gate, &golden, &MethodKind::all()).unwrap();
+        assert_eq!(report.outcomes.len(), 6);
+        // Everything succeeds on this benign case.
+        for (m, o) in &report.outcomes {
+            assert!(o.is_ok(), "{m} failed: {o:?}");
+        }
+        // Errors are finite and bounded by the simulation window.
+        for m in MethodKind::all() {
+            let e = report.error_of(m).unwrap();
+            assert!(e.is_finite() && e < 1e-9, "{m}: error {e}");
+        }
+        // The golden delay is positive.
+        assert!(report.golden_delay.value() > 0.0);
+    }
+
+    #[test]
+    fn failures_are_captured_per_method() {
+        let th = Thresholds::cmos(1.2);
+        // Slow gate: WLS5 must fail with NonOverlapping, others succeed.
+        let gate = AnalyticInverterGate::slow(th);
+        let clean = SaturatedRamp::with_slew(1.0e-9, 150e-12, th, true)
+            .unwrap()
+            .to_waveform(0.0, 4e-9, 1e-12)
+            .unwrap();
+        let out_noiseless = gate.response(&clean).unwrap();
+        let golden = gate.response(&clean).unwrap();
+        let ctx = PropagationContext::new(clean.clone(), clean, Some(out_noiseless), th).unwrap();
+        let report = evaluate_case(&ctx, &gate, &golden, &MethodKind::all()).unwrap();
+        let wls = report
+            .outcomes
+            .iter()
+            .find(|(m, _)| *m == MethodKind::Wls5)
+            .map(|(_, o)| o)
+            .unwrap();
+        assert!(matches!(wls, Err(SgdpError::NonOverlapping { .. })));
+        assert!(report.error_of(MethodKind::Wls5).is_none());
+        assert!(report.error_of(MethodKind::Sgdp).is_some());
+    }
+}

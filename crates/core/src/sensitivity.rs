@@ -1,0 +1,383 @@
+//! Output-to-input sensitivity curves (the paper's `ρ`).
+//!
+//! Equation 1 of the paper defines the *noiseless sensitivity*
+//! `ρ(t) = ∂v_out/∂v_in = (dv_out/dt)/(dv_in/dt)`, nonzero only inside the
+//! noiseless critical region. SGDP's step 2 re-indexes this curve by
+//! *voltage* so it can be transferred onto the (possibly non-monotone) noisy
+//! waveform: `ρeff(tᵢ) = ρ(tⱼ)` where the noiseless input at `tⱼ` matches
+//! the noisy voltage at `tᵢ`.
+
+use crate::context::PropagationContext;
+use crate::gate::{transition_gap, transitions_overlap};
+use crate::SgdpError;
+use nsta_numeric::interp;
+use nsta_waveform::{Polarity, Waveform};
+
+/// Internal sampling resolution for sensitivity extraction.
+const CURVE_POINTS: usize = 400;
+/// Sensitivities above this are clamped (they arise from near-flat input
+/// segments and would otherwise dominate every fit).
+const RHO_CLAMP: f64 = 100.0;
+
+/// The noiseless sensitivity `ρ` sampled over the noiseless critical
+/// region, with a voltage-indexed view for SGDP's step 2.
+#[derive(Debug, Clone)]
+pub struct SensitivityCurve {
+    /// Sample times (ascending, spanning the noiseless critical region).
+    times: Vec<f64>,
+    /// `ρ(t)` at those times.
+    rho: Vec<f64>,
+    /// Voltage-indexed map: ascending voltages...
+    map_volts: Vec<f64>,
+    /// ...and the corresponding `ρ` values.
+    map_rho: Vec<f64>,
+    region: (f64, f64),
+}
+
+impl SensitivityCurve {
+    /// Extracts `ρ` from a noiseless input/output waveform pair (Eq. 1).
+    ///
+    /// `polarity` is the *input* transition direction. The magnitude of the
+    /// derivative ratio is used, so the output may transition either way.
+    ///
+    /// # Errors
+    ///
+    /// * [`SgdpError::Waveform`] if the input has no critical region.
+    /// * [`SgdpError::DegenerateFit`] if the input is flat across its
+    ///   entire critical region.
+    pub fn from_noiseless(
+        v_in: &Waveform,
+        v_out: &Waveform,
+        thresholds: nsta_waveform::Thresholds,
+        polarity: Polarity,
+    ) -> Result<Self, SgdpError> {
+        let region = v_in.critical_region(thresholds, polarity)?;
+        let (t0, t1) = region;
+        let n = CURVE_POINTS;
+        let h = (t1 - t0) / (n as f64) / 2.0;
+        let mut times = Vec::with_capacity(n);
+        let mut rho = Vec::with_capacity(n);
+        let mut volts = Vec::with_capacity(n);
+        // Slope floor: 0.1% of the mean transition slope. Below it the
+        // sensitivity is treated as zero (flat input cannot transmit noise).
+        let mean_slope =
+            (v_in.value_at(t1) - v_in.value_at(t0)).abs() / (t1 - t0);
+        if mean_slope <= 0.0 {
+            return Err(SgdpError::DegenerateFit("noiseless input flat across critical region"));
+        }
+        let slope_floor = 1e-3 * mean_slope;
+        for k in 0..n {
+            let t = t0 + (t1 - t0) * k as f64 / (n - 1) as f64;
+            let din = (v_in.value_at(t + h) - v_in.value_at(t - h)) / (2.0 * h);
+            let dout = (v_out.value_at(t + h) - v_out.value_at(t - h)) / (2.0 * h);
+            let r = if din.abs() < slope_floor {
+                0.0
+            } else {
+                (dout / din).abs().min(RHO_CLAMP)
+            };
+            times.push(t);
+            rho.push(r);
+            volts.push(v_in.value_at(t));
+        }
+        // Voltage-indexed view: keep a strictly monotone voltage envelope
+        // (noiseless inputs are monotone up to numerical wiggle).
+        let mut map: Vec<(f64, f64)> = Vec::with_capacity(n);
+        match polarity {
+            Polarity::Rise => {
+                for (&v, &r) in volts.iter().zip(&rho) {
+                    if map.last().map_or(true, |&(lv, _)| v > lv + 1e-12) {
+                        map.push((v, r));
+                    }
+                }
+            }
+            Polarity::Fall => {
+                for (&v, &r) in volts.iter().zip(&rho) {
+                    if map.last().map_or(true, |&(lv, _)| v < lv - 1e-12) {
+                        map.push((v, r));
+                    }
+                }
+                map.reverse();
+            }
+        }
+        if map.len() < 2 {
+            return Err(SgdpError::DegenerateFit("noiseless input has no voltage span"));
+        }
+        let (map_volts, map_rho): (Vec<f64>, Vec<f64>) = map.into_iter().unzip();
+        Ok(SensitivityCurve { times, rho, map_volts, map_rho, region })
+    }
+
+    /// The noiseless critical region this curve spans.
+    pub fn region(&self) -> (f64, f64) {
+        self.region
+    }
+
+    /// `ρ(t)`: linear interpolation inside the region, zero outside (the
+    /// paper's weight-filter behaviour).
+    pub fn rho_at_time(&self, t: f64) -> f64 {
+        if t < self.region.0 || t > self.region.1 {
+            return 0.0;
+        }
+        interp::interp1_clamped(&self.times, &self.rho, t)
+    }
+
+    /// `ρ` looked up by input *voltage* — SGDP's step-2 transfer.
+    ///
+    /// Voltages outside the noiseless critical region's span have no
+    /// matching `tⱼ` (paper step 2.a), and `ρ` is zero outside the region:
+    /// such lookups return 0. A noisy sample sitting on a settled rail
+    /// therefore carries no weight, exactly as in the paper.
+    pub fn rho_at_voltage(&self, v: f64) -> f64 {
+        let lo = self.map_volts[0];
+        let hi = *self.map_volts.last().expect("non-empty map");
+        if v < lo || v > hi {
+            return 0.0;
+        }
+        interp::interp1_clamped(&self.map_volts, &self.map_rho, v)
+    }
+
+    /// `∂ρ/∂v_in` by central differencing of the voltage-indexed view;
+    /// zero outside the characterized span (where `ρ` is identically zero).
+    pub fn drho_dv(&self, v: f64) -> f64 {
+        let lo = self.map_volts[0];
+        let hi = *self.map_volts.last().expect("non-empty map");
+        if v < lo || v > hi {
+            return 0.0;
+        }
+        let h = (hi - lo) / 200.0;
+        if h <= 0.0 {
+            return 0.0;
+        }
+        let va = (v - h).max(lo);
+        let vb = (v + h).min(hi);
+        let a = interp::interp1_clamped(&self.map_volts, &self.map_rho, va);
+        let b = interp::interp1_clamped(&self.map_volts, &self.map_rho, vb);
+        (b - a) / (vb - va).max(h)
+    }
+
+    /// Largest sensitivity over the region.
+    pub fn max_rho(&self) -> f64 {
+        self.rho.iter().fold(0.0, |m, &r| m.max(r))
+    }
+}
+
+/// How SGDP references `Γeff` when the non-overlap pre-shift was applied.
+///
+/// The paper's prose says to shift the equivalent line *forward* by the
+/// pre-shift amount `δ`; doing so re-expresses the line in the output time
+/// frame and double-counts the intrinsic delay when the line is used as a
+/// gate *input* (it breaks the identity `Γeff == input` for a noiseless
+/// ramp). The default keeps `Γeff` input-referred; the literal behaviour is
+/// provided for fidelity experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShiftPolicy {
+    /// Keep `Γeff` in the input time frame (recommended; preserves the
+    /// noiseless-identity invariant).
+    #[default]
+    InputReferred,
+    /// Follow the paper text literally: shift `Γeff` forward by `δ`.
+    PaperLiteral,
+}
+
+/// Result of the sensitivity extraction including non-overlap handling:
+/// the curve plus the pre-shift `δ` that was applied to the output
+/// (zero when transitions overlap).
+#[derive(Debug, Clone)]
+pub struct ShiftedSensitivity {
+    /// The sensitivity curve (extracted from the δ-aligned output).
+    pub curve: SensitivityCurve,
+    /// The pre-shift applied to the output before extraction (s).
+    pub delta: f64,
+}
+
+/// Extracts the noiseless sensitivity from the context, applying SGDP's
+/// additional pre-shift step when the input and output transitions do not
+/// overlap. Cached on the context — see
+/// [`PropagationContext::sensitivity`].
+///
+/// # Errors
+///
+/// * [`SgdpError::MissingNoiselessOutput`] if the context has no output.
+/// * Propagated waveform/fit failures.
+pub fn noiseless_sensitivity(ctx: &PropagationContext) -> Result<ShiftedSensitivity, SgdpError> {
+    ctx.sensitivity().cloned()
+}
+
+/// Uncached extraction (the cache's initializer).
+pub(crate) fn compute_noiseless_sensitivity(
+    ctx: &PropagationContext,
+) -> Result<ShiftedSensitivity, SgdpError> {
+    let v_in = ctx.noiseless_input();
+    let v_out = ctx.noiseless_output_or_err()?;
+    let th = ctx.thresholds();
+    if transitions_overlap(v_in, v_out, th)? {
+        let curve = SensitivityCurve::from_noiseless(v_in, v_out, th, ctx.polarity())?;
+        Ok(ShiftedSensitivity { curve, delta: 0.0 })
+    } else {
+        let delta = transition_gap(v_in, v_out, th)?;
+        let aligned = v_out.shifted(-delta);
+        let curve = SensitivityCurve::from_noiseless(v_in, &aligned, th, ctx.polarity())?;
+        Ok(ShiftedSensitivity { curve, delta })
+    }
+}
+
+/// SGDP step 2: `ρeff` and `∂ρ/∂v` sampled at `P` points across the *noisy*
+/// critical region, transferred from the noiseless curve through voltage
+/// matching.
+#[derive(Debug, Clone)]
+pub struct EffectiveSensitivity {
+    /// The `P` sample times across the noisy critical region.
+    pub times: Vec<f64>,
+    /// Noisy input voltage at each sample.
+    pub voltages: Vec<f64>,
+    /// `ρeff` at each sample.
+    pub rho: Vec<f64>,
+    /// `∂ρ/∂v_in` at each sample (for Eq. 3's second-order term).
+    pub drho_dv: Vec<f64>,
+}
+
+/// Computes [`EffectiveSensitivity`] for the context's noisy waveform.
+///
+/// # Errors
+///
+/// Propagates region-extraction failures.
+pub fn effective_sensitivity(
+    curve: &SensitivityCurve,
+    ctx: &PropagationContext,
+) -> Result<EffectiveSensitivity, SgdpError> {
+    let (t0, t1) = ctx.noisy_critical_region()?;
+    let times = ctx.sample_times(t0, t1);
+    let noisy = ctx.noisy_input();
+    let mut voltages = Vec::with_capacity(times.len());
+    let mut rho = Vec::with_capacity(times.len());
+    let mut drho = Vec::with_capacity(times.len());
+    for &t in &times {
+        let v = noisy.value_at(t);
+        voltages.push(v);
+        rho.push(curve.rho_at_voltage(v));
+        drho.push(curve.drho_dv(v));
+    }
+    Ok(EffectiveSensitivity { times, voltages, rho, drho_dv: drho })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::PropagationContext;
+    use nsta_waveform::{SaturatedRamp, Thresholds};
+
+    fn th() -> Thresholds {
+        Thresholds::cmos(1.2)
+    }
+
+    fn ramp_wave(t50: f64, slew: f64, rising: bool) -> Waveform {
+        SaturatedRamp::with_slew(t50, slew, th(), rising)
+            .unwrap()
+            .to_waveform(0.0, 4e-9, 1e-12)
+            .unwrap()
+    }
+
+    #[test]
+    fn slew_ratio_is_recovered() {
+        // Input slew 200 ps, output slew 100 ps, overlapping mid-crossings:
+        // ρ ≈ 2 wherever both ramps are active.
+        let v_in = ramp_wave(1.0e-9, 200e-12, true);
+        let v_out = ramp_wave(1.02e-9, 100e-12, false);
+        let c = SensitivityCurve::from_noiseless(&v_in, &v_out, th(), Polarity::Rise).unwrap();
+        // At mid-region both are in transition.
+        let mid = 1.0e-9;
+        let got = c.rho_at_time(mid);
+        assert!((got - 2.0).abs() < 0.1, "rho at mid = {got}");
+        assert_eq!(c.rho_at_time(0.0), 0.0, "zero outside the region");
+        assert_eq!(c.rho_at_time(3.9e-9), 0.0);
+        assert!(c.max_rho() >= got);
+    }
+
+    #[test]
+    fn voltage_and_time_views_agree_for_monotone_input() {
+        let v_in = ramp_wave(1.0e-9, 200e-12, true);
+        let v_out = ramp_wave(1.0e-9, 120e-12, false);
+        let c = SensitivityCurve::from_noiseless(&v_in, &v_out, th(), Polarity::Rise).unwrap();
+        let (t0, t1) = c.region();
+        for frac in [0.2, 0.4, 0.6, 0.8] {
+            let t = t0 + (t1 - t0) * frac;
+            let v = v_in.value_at(t);
+            let by_t = c.rho_at_time(t);
+            let by_v = c.rho_at_voltage(v);
+            assert!((by_t - by_v).abs() < 0.05, "t={t:e}: {by_t} vs {by_v}");
+        }
+    }
+
+    #[test]
+    fn falling_input_builds_ascending_voltage_map() {
+        let v_in = ramp_wave(1.0e-9, 200e-12, false);
+        let v_out = ramp_wave(1.02e-9, 100e-12, true);
+        let c = SensitivityCurve::from_noiseless(&v_in, &v_out, th(), Polarity::Fall).unwrap();
+        // Lookup works across the swing.
+        for v in [0.2, 0.6, 1.0] {
+            assert!(c.rho_at_voltage(v) >= 0.0);
+        }
+        assert!((c.rho_at_voltage(0.6) - 2.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn drho_of_constant_ratio_is_small() {
+        let v_in = ramp_wave(1.0e-9, 200e-12, true);
+        let v_out = ramp_wave(1.0e-9, 100e-12, false);
+        let c = SensitivityCurve::from_noiseless(&v_in, &v_out, th(), Polarity::Rise).unwrap();
+        // Within the interior the ratio is constant ⇒ derivative ≈ 0.
+        let d = c.drho_dv(0.6);
+        assert!(d.abs() < 2.0, "drho/dv = {d}");
+    }
+
+    #[test]
+    fn non_overlap_triggers_shift() {
+        let v_in = ramp_wave(1.0e-9, 150e-12, true);
+        // Output a full nanosecond later: no overlap.
+        let v_out = ramp_wave(2.0e-9, 150e-12, false);
+        let ctx =
+            PropagationContext::new(v_in.clone(), v_in.clone(), Some(v_out), th()).unwrap();
+        let s = noiseless_sensitivity(&ctx).unwrap();
+        assert!((s.delta - 1.0e-9).abs() < 5e-12, "delta = {:e}", s.delta);
+        // After alignment the sensitivity is meaningful.
+        assert!(s.curve.max_rho() > 0.5);
+    }
+
+    #[test]
+    fn overlap_keeps_delta_zero() {
+        let v_in = ramp_wave(1.0e-9, 150e-12, true);
+        let v_out = ramp_wave(1.05e-9, 100e-12, false);
+        let ctx =
+            PropagationContext::new(v_in.clone(), v_in.clone(), Some(v_out), th()).unwrap();
+        let s = noiseless_sensitivity(&ctx).unwrap();
+        assert_eq!(s.delta, 0.0);
+    }
+
+    #[test]
+    fn effective_sensitivity_matches_noiseless_on_clean_input() {
+        let v_in = ramp_wave(1.0e-9, 150e-12, true);
+        let v_out = ramp_wave(1.04e-9, 90e-12, false);
+        let ctx =
+            PropagationContext::new(v_in.clone(), v_in.clone(), Some(v_out), th()).unwrap();
+        let s = noiseless_sensitivity(&ctx).unwrap();
+        let eff = effective_sensitivity(&s.curve, &ctx).unwrap();
+        assert_eq!(eff.times.len(), ctx.samples());
+        for (k, &t) in eff.times.iter().enumerate() {
+            let direct = s.curve.rho_at_time(t);
+            assert!(
+                (eff.rho[k] - direct).abs() < 0.25,
+                "k={k}: mapped {} vs direct {direct}",
+                eff.rho[k]
+            );
+        }
+    }
+
+    #[test]
+    fn missing_output_is_reported() {
+        let v_in = ramp_wave(1.0e-9, 150e-12, true);
+        let ctx = PropagationContext::new(v_in.clone(), v_in, None, th()).unwrap();
+        assert!(matches!(
+            noiseless_sensitivity(&ctx),
+            Err(SgdpError::MissingNoiselessOutput)
+        ));
+    }
+}

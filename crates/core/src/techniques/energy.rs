@@ -1,0 +1,115 @@
+//! E4: Elmore-inspired area matching (Section 2.3 of the paper).
+//!
+//! `Γeff` passes through the **latest** `0.5·Vdd` crossing of the noisy
+//! waveform; the slope is chosen so that the area enclosed between the line
+//! and the levels `v₁ = 0.5·Vdd`, `v₂ = Vdd` (for a rise) equals the area
+//! enclosed by the noisy waveform and the same levels.
+//!
+//! For a line of slope `a` through `(t₅₀, 0.5·Vdd)` the enclosed area is the
+//! triangle `(0.5·Vdd)² / (2a)`, so matching areas gives
+//! `a = (0.5·Vdd)² / (2·A_noisy)`.
+
+use crate::context::PropagationContext;
+use crate::techniques::EquivalentWaveform;
+use crate::SgdpError;
+use nsta_waveform::{metrics, Polarity, SaturatedRamp};
+
+/// Energy/area-matching technique.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct E4;
+
+impl EquivalentWaveform for E4 {
+    fn name(&self) -> &'static str {
+        "E4"
+    }
+
+    fn equivalent(&self, ctx: &PropagationContext) -> Result<SaturatedRamp, SgdpError> {
+        let th = ctx.thresholds();
+        let noisy = ctx.noisy_input();
+        let t50 = noisy.last_crossing_or_err(th.mid())?;
+        let t_end = noisy.t_end();
+        if t_end <= t50 {
+            return Err(SgdpError::DegenerateFit("no record after the mid crossing"));
+        }
+        let half = 0.5 * th.vdd();
+        // Area between the waveform and its destination rail, within the
+        // band above (rise) or below (fall) mid-rail.
+        let area = match ctx.polarity() {
+            Polarity::Rise => {
+                // ∫ (Vdd − clamp(v, mid, Vdd)) dt  =  band_height·T − band_area.
+                let covered = metrics::band_area(noisy, t50, t_end, half, th.vdd())?;
+                half * (t_end - t50) - covered
+            }
+            Polarity::Fall => metrics::band_area(noisy, t50, t_end, 0.0, half)?,
+        };
+        if !(area > 0.0) {
+            return Err(SgdpError::DegenerateFit("area match degenerate (instant settle)"));
+        }
+        let magnitude = half * half / (2.0 * area);
+        let a = if ctx.polarity().is_rise() { magnitude } else { -magnitude };
+        let b = half - a * t50;
+        Ok(SaturatedRamp::from_coefficients(a, b, th.vdd())?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nsta_waveform::{Thresholds, Waveform};
+
+    fn th() -> Thresholds {
+        Thresholds::cmos(1.2)
+    }
+
+    fn clean(slew: f64, rising: bool) -> Waveform {
+        SaturatedRamp::with_slew(1.0e-9, slew, th(), rising)
+            .unwrap()
+            .to_waveform(0.0, 3e-9, 0.5e-12)
+            .unwrap()
+    }
+
+    fn ctx_for(noiseless: Waveform, noisy: Waveform) -> PropagationContext {
+        PropagationContext::new(noiseless, noisy, None, th()).unwrap()
+    }
+
+    #[test]
+    fn clean_ramp_is_a_fixed_point() {
+        // For an exact saturated ramp the enclosed area equals the line's
+        // triangle, so E4 returns the ramp itself.
+        let ctx = ctx_for(clean(150e-12, true), clean(150e-12, true));
+        let g = E4.equivalent(&ctx).unwrap();
+        assert!((g.arrival_mid() - 1.0e-9).abs() < 1e-12, "{:e}", g.arrival_mid());
+        assert!((g.slew(th()) - 150e-12).abs() < 2e-12, "{:e}", g.slew(th()));
+    }
+
+    #[test]
+    fn clean_falling_ramp_is_a_fixed_point() {
+        let ctx = ctx_for(clean(200e-12, false), clean(200e-12, false));
+        let g = E4.equivalent(&ctx).unwrap();
+        assert!((g.arrival_mid() - 1.0e-9).abs() < 1e-12);
+        assert!((g.slew(th()) - 200e-12).abs() < 2e-12);
+        assert!(g.slope() < 0.0);
+    }
+
+    #[test]
+    fn anchored_at_latest_mid_crossing() {
+        let noisy = clean(150e-12, true).with_triangular_pulse(1.3e-9, 200e-12, -0.8).unwrap();
+        let latest = noisy.last_crossing(th().mid()).unwrap();
+        let ctx = ctx_for(clean(150e-12, true), noisy);
+        let g = E4.equivalent(&ctx).unwrap();
+        assert!((g.arrival_mid() - latest).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slow_settling_tail_flattens_the_slope() {
+        // A bump that keeps the waveform away from the rail after t50
+        // increases the enclosed area ⇒ smaller slope ⇒ larger slew.
+        let base = clean(150e-12, true);
+        let noisy = base.with_triangular_pulse(1.35e-9, 400e-12, -0.45).unwrap();
+        let ctx = ctx_for(base.clone(), noisy);
+        let g = E4.equivalent(&ctx).unwrap();
+        let ctx_clean = ctx_for(base.clone(), base);
+        let g_clean = E4.equivalent(&ctx_clean).unwrap();
+        assert!(g.slew(th()) > 1.5 * g_clean.slew(th()));
+    }
+}

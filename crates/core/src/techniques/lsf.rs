@@ -1,0 +1,87 @@
+//! LSF3: plain least-squares line fit (Section 2.2 of the paper).
+//!
+//! `Γeff` minimizes the sum of squared differences between the line and the
+//! noisy waveform, sampled at `P` points across the noisy critical region —
+//! "simply a mathematical approach to match a waveform without any
+//! consideration of the logic gate behavior".
+
+use crate::context::PropagationContext;
+use crate::techniques::{ramp_from_fit, EquivalentWaveform};
+use crate::SgdpError;
+use nsta_numeric::LineFit;
+use nsta_waveform::SaturatedRamp;
+
+/// Plain least-squares technique.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Lsf3;
+
+impl EquivalentWaveform for Lsf3 {
+    fn name(&self) -> &'static str {
+        "LSF3"
+    }
+
+    fn equivalent(&self, ctx: &PropagationContext) -> Result<SaturatedRamp, SgdpError> {
+        let (t0, t1) = ctx.noisy_critical_region()?;
+        let times = ctx.sample_times(t0, t1);
+        let values: Vec<f64> = times.iter().map(|&t| ctx.noisy_input().value_at(t)).collect();
+        let fit = LineFit::least_squares(&times, &values)?;
+        ramp_from_fit(fit.a, fit.b, ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nsta_waveform::{Thresholds, Waveform};
+
+    fn th() -> Thresholds {
+        Thresholds::cmos(1.2)
+    }
+
+    fn clean() -> Waveform {
+        SaturatedRamp::with_slew(1.0e-9, 150e-12, th(), true)
+            .unwrap()
+            .to_waveform(0.0, 3e-9, 1e-12)
+            .unwrap()
+    }
+
+    #[test]
+    fn clean_ramp_is_a_fixed_point() {
+        let ctx = PropagationContext::new(clean(), clean(), None, th()).unwrap();
+        let g = Lsf3.equivalent(&ctx).unwrap();
+        assert!((g.arrival_mid() - 1.0e-9).abs() < 2e-12);
+        assert!((g.slew(th()) - 150e-12).abs() < 4e-12);
+    }
+
+    #[test]
+    fn symmetric_mid_glitch_leaves_arrival_near_ramp() {
+        // A symmetric dip centered on the ramp midpoint biases the fit's
+        // intercept but barely moves its mid-crossing.
+        let noisy = clean().with_triangular_pulse(1.0e-9, 80e-12, -0.15).unwrap();
+        let ctx = PropagationContext::new(clean(), noisy, None, th()).unwrap();
+        let g = Lsf3.equivalent(&ctx).unwrap();
+        assert!((g.arrival_mid() - 1.0e-9).abs() < 25e-12);
+    }
+
+    #[test]
+    fn fit_tracks_a_shifted_transition() {
+        // The noisy waveform is simply the clean ramp arriving 120 ps late:
+        // LSF3 must recover both slope and shift.
+        let noisy = clean().shifted(120e-12);
+        let ctx = PropagationContext::new(clean(), noisy, None, th()).unwrap();
+        let g = Lsf3.equivalent(&ctx).unwrap();
+        assert!((g.arrival_mid() - 1.12e-9).abs() < 3e-12);
+        assert!((g.slew(th()) - 150e-12).abs() < 4e-12);
+    }
+
+    #[test]
+    fn falling_input_gives_negative_slope() {
+        let clean_fall = SaturatedRamp::with_slew(1.0e-9, 200e-12, th(), false)
+            .unwrap()
+            .to_waveform(0.0, 3e-9, 1e-12)
+            .unwrap();
+        let ctx = PropagationContext::new(clean_fall.clone(), clean_fall, None, th()).unwrap();
+        let g = Lsf3.equivalent(&ctx).unwrap();
+        assert!(g.slope() < 0.0);
+    }
+}

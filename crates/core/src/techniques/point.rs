@@ -1,0 +1,119 @@
+//! The point-based techniques P1 and P2 (Section 2.1 of the paper).
+//!
+//! Both anchor `Γeff`'s mid-rail point at the **latest** `0.5·Vdd` crossing
+//! of the noisy waveform; they differ in the slew:
+//!
+//! * **P1** pretends the waveform was never distorted and reuses the
+//!   *noiseless* 10–90 slew.
+//! * **P2** spans the full noisy critical region: earliest `0.1·Vdd`
+//!   crossing to latest `0.9·Vdd` crossing (for a rise).
+
+use crate::context::PropagationContext;
+use crate::techniques::EquivalentWaveform;
+use crate::SgdpError;
+use nsta_waveform::SaturatedRamp;
+
+/// Point-based technique with the noiseless slew.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct P1;
+
+impl EquivalentWaveform for P1 {
+    fn name(&self) -> &'static str {
+        "P1"
+    }
+
+    fn equivalent(&self, ctx: &PropagationContext) -> Result<SaturatedRamp, SgdpError> {
+        let th = ctx.thresholds();
+        let pol = ctx.polarity();
+        let slew = ctx.noiseless_input().slew_first_to_first(th, pol)?;
+        let anchor = ctx.noisy_input().last_crossing_or_err(th.mid())?;
+        Ok(SaturatedRamp::with_slew(anchor, slew, th, pol.is_rise())?)
+    }
+}
+
+/// Point-based technique with the earliest-to-latest noisy slew.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct P2;
+
+impl EquivalentWaveform for P2 {
+    fn name(&self) -> &'static str {
+        "P2"
+    }
+
+    fn equivalent(&self, ctx: &PropagationContext) -> Result<SaturatedRamp, SgdpError> {
+        let th = ctx.thresholds();
+        let pol = ctx.polarity();
+        let slew = ctx.noisy_input().slew_first_to_last(th, pol)?;
+        let anchor = ctx.noisy_input().last_crossing_or_err(th.mid())?;
+        Ok(SaturatedRamp::with_slew(anchor, slew, th, pol.is_rise())?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nsta_waveform::{Thresholds, Waveform};
+
+    fn th() -> Thresholds {
+        Thresholds::cmos(1.2)
+    }
+
+    fn clean() -> Waveform {
+        SaturatedRamp::with_slew(1.0e-9, 150e-12, th(), true)
+            .unwrap()
+            .to_waveform(0.0, 3e-9, 1e-12)
+            .unwrap()
+    }
+
+    fn ctx_for(noisy: Waveform) -> PropagationContext {
+        PropagationContext::new(clean(), noisy, None, th()).unwrap()
+    }
+
+    #[test]
+    fn on_clean_input_both_reproduce_the_ramp() {
+        let ctx = ctx_for(clean());
+        for (name, g) in [("p1", P1.equivalent(&ctx).unwrap()), ("p2", P2.equivalent(&ctx).unwrap())]
+        {
+            assert!((g.arrival_mid() - 1.0e-9).abs() < 2e-12, "{name}: {:e}", g.arrival_mid());
+            assert!((g.slew(th()) - 150e-12).abs() < 3e-12, "{name}: {:e}", g.slew(th()));
+        }
+    }
+
+    #[test]
+    fn glitch_moves_anchor_to_latest_mid_crossing() {
+        // A dip below mid-rail after the main transition forces a later
+        // final 0.5·Vdd crossing; both methods must anchor there.
+        let noisy = clean().with_triangular_pulse(1.25e-9, 200e-12, -0.8).unwrap();
+        let latest = noisy.last_crossing(th().mid()).unwrap();
+        assert!(latest > 1.2e-9, "glitch must recross mid-rail");
+        let ctx = ctx_for(noisy);
+        let g1 = P1.equivalent(&ctx).unwrap();
+        let g2 = P2.equivalent(&ctx).unwrap();
+        assert!((g1.arrival_mid() - latest).abs() < 2e-12);
+        assert!((g2.arrival_mid() - latest).abs() < 2e-12);
+    }
+
+    #[test]
+    fn p1_keeps_noiseless_slew_p2_stretches() {
+        let noisy = clean().with_triangular_pulse(1.25e-9, 200e-12, -0.8).unwrap();
+        let ctx = ctx_for(noisy);
+        let g1 = P1.equivalent(&ctx).unwrap();
+        let g2 = P2.equivalent(&ctx).unwrap();
+        assert!((g1.slew(th()) - 150e-12).abs() < 3e-12, "p1 ignores the distortion");
+        assert!(g2.slew(th()) > 2.0 * g1.slew(th()), "p2 spans the whole critical region");
+    }
+
+    #[test]
+    fn falling_transitions_handled() {
+        let clean_fall = SaturatedRamp::with_slew(1.0e-9, 150e-12, th(), false)
+            .unwrap()
+            .to_waveform(0.0, 3e-9, 1e-12)
+            .unwrap();
+        let noisy = clean_fall.with_triangular_pulse(1.2e-9, 150e-12, 0.7).unwrap();
+        let ctx = PropagationContext::new(clean_fall, noisy, None, th()).unwrap();
+        let g1 = P1.equivalent(&ctx).unwrap();
+        let g2 = P2.equivalent(&ctx).unwrap();
+        assert!(!g1.polarity().is_rise());
+        assert!(g2.slew(th()) >= g1.slew(th()));
+    }
+}

@@ -1,0 +1,147 @@
+//! Generic Liberty AST: nested groups of attributes.
+//!
+//! Liberty is a uniform syntax — `group_name(args) { attributes... }` — so
+//! the AST layer is format-complete for the subset we support and the
+//! semantic layer ([`crate::Library`]) is built on top of it.
+
+/// A Liberty attribute value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Numeric literal.
+    Number(f64),
+    /// Quoted string (quotes not included).
+    Str(String),
+    /// Bare identifier (including unit literals like `1ns`).
+    Ident(String),
+}
+
+impl Value {
+    /// The value as a number, if numeric.
+    pub fn as_number(&self) -> Option<f64> {
+        match self {
+            Value::Number(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as text (strings and identifiers).
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) | Value::Ident(s) => Some(s),
+            Value::Number(_) => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Value::Number(v) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "\"{s}\""),
+            Value::Ident(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// A simple attribute: `name : value ;`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Attribute {
+    /// Attribute name.
+    pub name: String,
+    /// Attribute value.
+    pub value: Value,
+}
+
+/// A complex attribute: `name(v1, v2, ...);`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComplexAttribute {
+    /// Attribute name.
+    pub name: String,
+    /// Argument list.
+    pub values: Vec<Value>,
+}
+
+/// A Liberty group: `name(args) { simple/complex attributes and subgroups }`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Group {
+    /// Group type name (`library`, `cell`, `pin`, `timing`…).
+    pub name: String,
+    /// Group arguments (usually zero or one identifier).
+    pub args: Vec<Value>,
+    /// Simple attributes in source order.
+    pub simple: Vec<Attribute>,
+    /// Complex attributes in source order.
+    pub complex: Vec<ComplexAttribute>,
+    /// Nested groups in source order.
+    pub groups: Vec<Group>,
+}
+
+impl Group {
+    /// Creates an empty group of the given type with one identifier arg.
+    pub fn named(kind: &str, arg: &str) -> Self {
+        Group { name: kind.into(), args: vec![Value::Ident(arg.into())], ..Group::default() }
+    }
+
+    /// First group argument as text, if present.
+    pub fn arg_text(&self) -> Option<&str> {
+        self.args.first().and_then(Value::as_text)
+    }
+
+    /// Looks up a simple attribute by name.
+    pub fn simple_attr(&self, name: &str) -> Option<&Value> {
+        self.simple.iter().find(|a| a.name == name).map(|a| &a.value)
+    }
+
+    /// Looks up a complex attribute by name.
+    pub fn complex_attr(&self, name: &str) -> Option<&ComplexAttribute> {
+        self.complex.iter().find(|a| a.name == name)
+    }
+
+    /// All nested groups of a given type.
+    pub fn groups_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Group> + 'a {
+        self.groups.iter().filter(move |g| g.name == name)
+    }
+
+    /// Adds a simple attribute (builder style).
+    pub fn set(&mut self, name: &str, value: Value) -> &mut Self {
+        self.simple.push(Attribute { name: name.into(), value });
+        self
+    }
+
+    /// Adds a complex attribute (builder style).
+    pub fn set_complex(&mut self, name: &str, values: Vec<Value>) -> &mut Self {
+        self.complex.push(ComplexAttribute { name: name.into(), values });
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_accessors() {
+        assert_eq!(Value::Number(2.5).as_number(), Some(2.5));
+        assert_eq!(Value::Number(2.5).as_text(), None);
+        assert_eq!(Value::Str("x".into()).as_text(), Some("x"));
+        assert_eq!(Value::Ident("y".into()).as_text(), Some("y"));
+        assert_eq!(Value::Str("x".into()).to_string(), "\"x\"");
+    }
+
+    #[test]
+    fn group_lookup_helpers() {
+        let mut g = Group::named("cell", "INVX1");
+        g.set("area", Value::Number(1.0));
+        g.set_complex("index_1", vec![Value::Str("1, 2".into())]);
+        let mut pin = Group::named("pin", "A");
+        pin.set("direction", Value::Ident("input".into()));
+        g.groups.push(pin);
+
+        assert_eq!(g.arg_text(), Some("INVX1"));
+        assert_eq!(g.simple_attr("area").and_then(Value::as_number), Some(1.0));
+        assert!(g.simple_attr("missing").is_none());
+        assert_eq!(g.complex_attr("index_1").unwrap().values.len(), 1);
+        assert_eq!(g.groups_named("pin").count(), 1);
+        assert_eq!(g.groups_named("bus").count(), 0);
+    }
+}

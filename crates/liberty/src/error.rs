@@ -1,0 +1,78 @@
+use std::fmt;
+
+/// Error type for Liberty parsing, construction and characterization.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LibertyError {
+    /// Lexical error with 1-based line/column position.
+    Lex {
+        /// Line of the offending character.
+        line: usize,
+        /// Column of the offending character.
+        column: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// Parse error with 1-based line/column position.
+    Parse {
+        /// Line of the offending token.
+        line: usize,
+        /// Column of the offending token.
+        column: usize,
+        /// What the parser expected/found.
+        message: String,
+    },
+    /// The AST was syntactically valid Liberty but semantically unusable.
+    Semantic(String),
+    /// A table lookup or construction failed.
+    Table(nsta_numeric::NumericError),
+    /// Characterization simulation failed.
+    Spice(nsta_spice::SpiceError),
+    /// Waveform measurement failed during characterization.
+    Waveform(nsta_waveform::WaveformError),
+}
+
+impl fmt::Display for LibertyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LibertyError::Lex { line, column, message } => {
+                write!(f, "lex error at {line}:{column}: {message}")
+            }
+            LibertyError::Parse { line, column, message } => {
+                write!(f, "parse error at {line}:{column}: {message}")
+            }
+            LibertyError::Semantic(m) => write!(f, "semantic error: {m}"),
+            LibertyError::Table(e) => write!(f, "table error: {e}"),
+            LibertyError::Spice(e) => write!(f, "characterization failure: {e}"),
+            LibertyError::Waveform(e) => write!(f, "measurement failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LibertyError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LibertyError::Table(e) => Some(e),
+            LibertyError::Spice(e) => Some(e),
+            LibertyError::Waveform(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<nsta_numeric::NumericError> for LibertyError {
+    fn from(e: nsta_numeric::NumericError) -> Self {
+        LibertyError::Table(e)
+    }
+}
+
+impl From<nsta_spice::SpiceError> for LibertyError {
+    fn from(e: nsta_spice::SpiceError) -> Self {
+        LibertyError::Spice(e)
+    }
+}
+
+impl From<nsta_waveform::WaveformError> for LibertyError {
+    fn from(e: nsta_waveform::WaveformError) -> Self {
+        LibertyError::Waveform(e)
+    }
+}

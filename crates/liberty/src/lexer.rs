@@ -1,0 +1,236 @@
+//! Tokenizer for the Liberty subset.
+
+use crate::LibertyError;
+
+/// A lexical token with its source position (1-based).
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Token {
+    pub kind: TokenKind,
+    pub line: usize,
+    pub column: usize,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum TokenKind {
+    /// Bare identifier (may contain letters, digits, `_`, `.`, `!`, `*`).
+    Ident(String),
+    /// Double-quoted string (quotes stripped, no escape processing —
+    /// Liberty strings carry expressions and number lists verbatim).
+    Str(String),
+    /// Numeric literal.
+    Number(f64),
+    LBrace,
+    RBrace,
+    LParen,
+    RParen,
+    Colon,
+    Semi,
+    Comma,
+    Eof,
+}
+
+pub(crate) fn lex(input: &str) -> Result<Vec<Token>, LibertyError> {
+    let mut tokens = Vec::new();
+    let bytes: Vec<char> = input.chars().collect();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    let mut col = 1usize;
+
+    let n = bytes.len();
+    while i < n {
+        let c = bytes[i];
+        let (tline, tcol) = (line, col);
+        let advance = |i: &mut usize, line: &mut usize, col: &mut usize| {
+            if bytes[*i] == '\n' {
+                *line += 1;
+                *col = 1;
+            } else {
+                *col += 1;
+            }
+            *i += 1;
+        };
+        match c {
+            ' ' | '\t' | '\r' | '\n' => advance(&mut i, &mut line, &mut col),
+            '\\' => {
+                // Line continuation: skip the backslash (and the newline on
+                // the next loop iteration).
+                advance(&mut i, &mut line, &mut col);
+            }
+            '/' if i + 1 < n && bytes[i + 1] == '*' => {
+                advance(&mut i, &mut line, &mut col);
+                advance(&mut i, &mut line, &mut col);
+                let mut closed = false;
+                while i < n {
+                    if bytes[i] == '*' && i + 1 < n && bytes[i + 1] == '/' {
+                        advance(&mut i, &mut line, &mut col);
+                        advance(&mut i, &mut line, &mut col);
+                        closed = true;
+                        break;
+                    }
+                    advance(&mut i, &mut line, &mut col);
+                }
+                if !closed {
+                    return Err(LibertyError::Lex {
+                        line: tline,
+                        column: tcol,
+                        message: "unterminated block comment".into(),
+                    });
+                }
+            }
+            '/' if i + 1 < n && bytes[i + 1] == '/' => {
+                while i < n && bytes[i] != '\n' {
+                    advance(&mut i, &mut line, &mut col);
+                }
+            }
+            '"' => {
+                advance(&mut i, &mut line, &mut col);
+                let mut s = String::new();
+                let mut closed = false;
+                while i < n {
+                    if bytes[i] == '"' {
+                        advance(&mut i, &mut line, &mut col);
+                        closed = true;
+                        break;
+                    }
+                    // Liberty wraps long strings with backslash-newline.
+                    if bytes[i] == '\\' && i + 1 < n && bytes[i + 1] == '\n' {
+                        advance(&mut i, &mut line, &mut col);
+                        advance(&mut i, &mut line, &mut col);
+                        continue;
+                    }
+                    s.push(bytes[i]);
+                    advance(&mut i, &mut line, &mut col);
+                }
+                if !closed {
+                    return Err(LibertyError::Lex {
+                        line: tline,
+                        column: tcol,
+                        message: "unterminated string".into(),
+                    });
+                }
+                tokens.push(Token { kind: TokenKind::Str(s), line: tline, column: tcol });
+            }
+            '{' | '}' | '(' | ')' | ':' | ';' | ',' => {
+                let kind = match c {
+                    '{' => TokenKind::LBrace,
+                    '}' => TokenKind::RBrace,
+                    '(' => TokenKind::LParen,
+                    ')' => TokenKind::RParen,
+                    ':' => TokenKind::Colon,
+                    ';' => TokenKind::Semi,
+                    _ => TokenKind::Comma,
+                };
+                advance(&mut i, &mut line, &mut col);
+                tokens.push(Token { kind, line: tline, column: tcol });
+            }
+            c if c.is_ascii_digit() || c == '-' || c == '+' || c == '.' => {
+                let start = i;
+                while i < n
+                    && (bytes[i].is_ascii_alphanumeric()
+                        || matches!(bytes[i], '.' | '+' | '-' | '_'))
+                {
+                    // Stop '+'/'-' unless they follow an exponent marker.
+                    if matches!(bytes[i], '+' | '-') && i > start {
+                        let prev = bytes[i - 1];
+                        if prev != 'e' && prev != 'E' {
+                            break;
+                        }
+                    }
+                    advance(&mut i, &mut line, &mut col);
+                }
+                let text: String = bytes[start..i].iter().collect();
+                match text.parse::<f64>() {
+                    Ok(v) => {
+                        tokens.push(Token { kind: TokenKind::Number(v), line: tline, column: tcol })
+                    }
+                    Err(_) => {
+                        // Things like `1ns` are identifiers in our subset.
+                        tokens.push(Token {
+                            kind: TokenKind::Ident(text),
+                            line: tline,
+                            column: tcol,
+                        })
+                    }
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' || c == '!' => {
+                let start = i;
+                while i < n
+                    && (bytes[i].is_ascii_alphanumeric()
+                        || matches!(bytes[i], '_' | '.' | '!' | '*' | '[' | ']'))
+                {
+                    advance(&mut i, &mut line, &mut col);
+                }
+                let text: String = bytes[start..i].iter().collect();
+                tokens.push(Token { kind: TokenKind::Ident(text), line: tline, column: tcol });
+            }
+            other => {
+                return Err(LibertyError::Lex {
+                    line: tline,
+                    column: tcol,
+                    message: format!("unexpected character {other:?}"),
+                });
+            }
+        }
+    }
+    tokens.push(Token { kind: TokenKind::Eof, line, column: col });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn punctuation_and_idents() {
+        let k = kinds("library(foo) { }");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Ident("library".into()),
+                TokenKind::LParen,
+                TokenKind::Ident("foo".into()),
+                TokenKind::RParen,
+                TokenKind::LBrace,
+                TokenKind::RBrace,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_and_units() {
+        let k = kinds("capacitance : 0.0021 ; time : -1.5e-3 ; unit : 1ns ;");
+        assert!(k.contains(&TokenKind::Number(0.0021)));
+        assert!(k.contains(&TokenKind::Number(-1.5e-3)));
+        assert!(k.contains(&TokenKind::Ident("1ns".into())));
+    }
+
+    #[test]
+    fn strings_and_comments() {
+        let k = kinds("/* block */ values(\"1, 2\"); // tail\nname : \"a b\";");
+        assert!(k.contains(&TokenKind::Str("1, 2".into())));
+        assert!(k.contains(&TokenKind::Str("a b".into())));
+    }
+
+    #[test]
+    fn positions_are_tracked() {
+        let toks = lex("a\n  b").unwrap();
+        assert_eq!((toks[0].line, toks[0].column), (1, 1));
+        assert_eq!((toks[1].line, toks[1].column), (2, 3));
+    }
+
+    #[test]
+    fn errors_have_positions() {
+        match lex("ok $bad") {
+            Err(LibertyError::Lex { line: 1, column: 4, .. }) => {}
+            other => panic!("expected lex error at 1:4, got {other:?}"),
+        }
+        assert!(lex("\"unterminated").is_err());
+        assert!(lex("/* unterminated").is_err());
+    }
+}

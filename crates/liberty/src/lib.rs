@@ -1,0 +1,45 @@
+//! Liberty-subset cell-library system.
+//!
+//! The paper stresses that SGDP "is compatible with the current level of
+//! gate characterization in conventional ASIC cell libraries". This crate
+//! provides that characterization level, built from scratch:
+//!
+//! * a **lexer/parser/writer** for the Liberty format subset used by
+//!   delay-calculation flows ([`parse_library`], [`Library::to_liberty`]),
+//! * a **semantic model** — [`Library`], [`Cell`], [`Pin`], [`TimingArc`],
+//!   [`NldmTable`] — with bilinear NLDM interpolation,
+//! * a **characterization flow** ([`characterize`]) that fills NLDM tables
+//!   by running the `nsta-spice` transistor-level simulator over a
+//!   slew × load grid, exactly how commercial libraries are produced.
+//!
+//! ```no_run
+//! use nsta_liberty::{characterize, parse_library};
+//! use nsta_spice::Process;
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let opts = characterize::Options::fast_test();
+//! let lib = characterize::inverter_family(
+//!     &Process::c013(),
+//!     &[("INVX1", 1.0)],
+//!     &opts,
+//! )?;
+//! let text = lib.to_liberty();
+//! let parsed = parse_library(&text)?;
+//! assert_eq!(parsed.cells().len(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+mod ast;
+pub mod characterize;
+mod error;
+mod lexer;
+mod library;
+mod parser;
+mod writer;
+
+pub use ast::{Attribute, ComplexAttribute, Group, Value};
+pub use error::LibertyError;
+pub use library::{
+    parse_library, Cell, Direction, Library, NldmTable, Pin, TimingArc, TimingSense,
+};
+pub use parser::parse_group;

@@ -1,0 +1,242 @@
+//! Recursive-descent parser from tokens to the generic [`Group`] AST.
+
+use crate::ast::{Attribute, ComplexAttribute, Group, Value};
+use crate::lexer::{lex, Token, TokenKind};
+use crate::LibertyError;
+
+/// Parses a complete Liberty source into its top-level group (usually
+/// `library(...) { ... }`).
+///
+/// # Errors
+///
+/// [`LibertyError::Lex`]/[`LibertyError::Parse`] with 1-based positions.
+pub fn parse_group(source: &str) -> Result<Group, LibertyError> {
+    let tokens = lex(source)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let group = p.group()?;
+    p.expect_eof()?;
+    Ok(group)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].clone();
+        self.pos += 1;
+        t
+    }
+
+    fn error<T>(&self, message: impl Into<String>) -> Result<T, LibertyError> {
+        let t = self.peek();
+        Err(LibertyError::Parse { line: t.line, column: t.column, message: message.into() })
+    }
+
+    fn expect(&mut self, kind: &TokenKind, what: &str) -> Result<(), LibertyError> {
+        if std::mem::discriminant(&self.peek().kind) == std::mem::discriminant(kind) {
+            self.bump();
+            Ok(())
+        } else {
+            self.error(format!("expected {what}, found {:?}", self.peek().kind))
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<(), LibertyError> {
+        match self.peek().kind {
+            TokenKind::Eof => Ok(()),
+            _ => self.error("expected end of input"),
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, LibertyError> {
+        match self.peek().kind.clone() {
+            TokenKind::Number(v) => {
+                self.bump();
+                Ok(Value::Number(v))
+            }
+            TokenKind::Str(s) => {
+                self.bump();
+                Ok(Value::Str(s))
+            }
+            TokenKind::Ident(s) => {
+                self.bump();
+                Ok(Value::Ident(s))
+            }
+            _ => self.error("expected a value"),
+        }
+    }
+
+    /// Parses `name ( args ) { body }`.
+    fn group(&mut self) -> Result<Group, LibertyError> {
+        let name = match self.peek().kind.clone() {
+            TokenKind::Ident(s) => {
+                self.bump();
+                s
+            }
+            _ => return self.error("expected group name"),
+        };
+        self.expect(&TokenKind::LParen, "'('")?;
+        let mut args = Vec::new();
+        while !matches!(self.peek().kind, TokenKind::RParen) {
+            args.push(self.value()?);
+            if matches!(self.peek().kind, TokenKind::Comma) {
+                self.bump();
+            }
+        }
+        self.expect(&TokenKind::RParen, "')'")?;
+        self.expect(&TokenKind::LBrace, "'{'")?;
+        let mut group = Group { name, args, ..Group::default() };
+        loop {
+            match self.peek().kind.clone() {
+                TokenKind::RBrace => {
+                    self.bump();
+                    break;
+                }
+                TokenKind::Eof => return self.error("unexpected end of input inside group"),
+                TokenKind::Ident(name) => {
+                    // Lookahead decides: `:` simple attr, `(` complex attr
+                    // or subgroup (distinguished by a `{` after the `)`).
+                    let next = &self.tokens[(self.pos + 1).min(self.tokens.len() - 1)].kind;
+                    match next {
+                        TokenKind::Colon => {
+                            self.bump(); // name
+                            self.bump(); // ':'
+                            let value = self.value()?;
+                            // Trailing semicolon is conventional but optional.
+                            if matches!(self.peek().kind, TokenKind::Semi) {
+                                self.bump();
+                            }
+                            group.simple.push(Attribute { name, value });
+                        }
+                        TokenKind::LParen => {
+                            // Find the matching ')' to inspect what follows.
+                            let mut depth = 0usize;
+                            let mut j = self.pos + 1;
+                            loop {
+                                match &self.tokens[j.min(self.tokens.len() - 1)].kind {
+                                    TokenKind::LParen => depth += 1,
+                                    TokenKind::RParen => {
+                                        depth -= 1;
+                                        if depth == 0 {
+                                            break;
+                                        }
+                                    }
+                                    TokenKind::Eof => {
+                                        return self.error("unterminated '(' in group body")
+                                    }
+                                    _ => {}
+                                }
+                                j += 1;
+                            }
+                            let after = &self.tokens[(j + 1).min(self.tokens.len() - 1)].kind;
+                            if matches!(after, TokenKind::LBrace) {
+                                group.groups.push(self.group()?);
+                            } else {
+                                self.bump(); // name
+                                self.bump(); // '('
+                                let mut values = Vec::new();
+                                while !matches!(self.peek().kind, TokenKind::RParen) {
+                                    values.push(self.value()?);
+                                    if matches!(self.peek().kind, TokenKind::Comma) {
+                                        self.bump();
+                                    }
+                                }
+                                self.bump(); // ')'
+                                if matches!(self.peek().kind, TokenKind::Semi) {
+                                    self.bump();
+                                }
+                                group.complex.push(ComplexAttribute { name, values });
+                            }
+                        }
+                        _ => return self.error("expected ':' or '(' after identifier"),
+                    }
+                }
+                other => return self.error(format!("unexpected token {other:?} in group body")),
+            }
+        }
+        Ok(group)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+        library(demo) {
+            time_unit : "1ns";
+            voltage_unit : "1V";
+            nom_voltage : 1.2;
+            lu_table_template(delay_7x7) {
+                variable_1 : input_net_transition;
+                variable_2 : total_output_net_capacitance;
+                index_1("0.01, 0.05, 0.1");
+                index_2("0.001, 0.01, 0.1");
+            }
+            cell(INVX1) {
+                area : 1.6;
+                pin(A) {
+                    direction : input;
+                    capacitance : 0.0054;
+                }
+                pin(Y) {
+                    direction : output;
+                    function : "!A";
+                    timing() {
+                        related_pin : "A";
+                        timing_sense : negative_unate;
+                        cell_rise(delay_7x7) {
+                            index_1("0.01, 0.05");
+                            index_2("0.001, 0.01");
+                            values("0.02, 0.03", "0.04, 0.05");
+                        }
+                    }
+                }
+            }
+        }
+    "#;
+
+    #[test]
+    fn parses_nested_structure() {
+        let g = parse_group(SAMPLE).unwrap();
+        assert_eq!(g.name, "library");
+        assert_eq!(g.arg_text(), Some("demo"));
+        assert_eq!(g.simple_attr("nom_voltage").unwrap().as_number(), Some(1.2));
+        assert_eq!(g.simple_attr("time_unit").unwrap().as_text(), Some("1ns"));
+        let cell = g.groups_named("cell").next().unwrap();
+        assert_eq!(cell.arg_text(), Some("INVX1"));
+        assert_eq!(cell.groups_named("pin").count(), 2);
+        let y = cell.groups_named("pin").nth(1).unwrap();
+        let timing = y.groups_named("timing").next().unwrap();
+        assert_eq!(timing.simple_attr("timing_sense").unwrap().as_text(), Some("negative_unate"));
+        let rise = timing.groups_named("cell_rise").next().unwrap();
+        assert_eq!(rise.complex_attr("values").unwrap().values.len(), 2);
+        // Template group parsed as a subgroup, not a complex attribute.
+        assert_eq!(g.groups_named("lu_table_template").count(), 1);
+    }
+
+    #[test]
+    fn empty_args_group() {
+        let g = parse_group("timing() { related_pin : \"A\"; }").unwrap();
+        assert_eq!(g.name, "timing");
+        assert!(g.args.is_empty());
+    }
+
+    #[test]
+    fn reports_positions_on_errors() {
+        match parse_group("library(x) { 42 }") {
+            Err(LibertyError::Parse { line: 1, .. }) => {}
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        assert!(parse_group("library(x) {").is_err());
+        assert!(parse_group("library(x) { a : ; }").is_err());
+        assert!(parse_group("library(x) { } trailing(y) { }").is_err());
+    }
+}

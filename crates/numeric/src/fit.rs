@@ -1,0 +1,350 @@
+//! Line fitting and a small damped Gauss–Newton loop.
+//!
+//! Every equivalent-waveform technique in the paper reduces to choosing the
+//! two coefficients `(a, b)` of a line `v(t) = a·t + b`. LSF3 and WLS5 have
+//! closed forms captured by [`LineFit`]; SGDP's Eq. 3 is a genuinely
+//! nonlinear 2-parameter least-squares problem solved by [`GaussNewton`].
+
+use crate::NumericError;
+
+/// Result of fitting the line `y = a·x + b`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LineFit {
+    /// Slope of the fitted line.
+    pub a: f64,
+    /// Intercept of the fitted line.
+    pub b: f64,
+}
+
+impl LineFit {
+    /// Ordinary least squares over `(xs, ys)`.
+    ///
+    /// # Errors
+    ///
+    /// * [`NumericError::ShapeMismatch`] if the slices differ in length.
+    /// * [`NumericError::InsufficientData`] with fewer than 2 points.
+    /// * [`NumericError::SingularMatrix`] if all `xs` coincide.
+    pub fn least_squares(xs: &[f64], ys: &[f64]) -> Result<Self, NumericError> {
+        let w = vec![1.0; xs.len()];
+        Self::weighted_least_squares(xs, ys, &w)
+    }
+
+    /// Weighted least squares minimizing `Σ w_k (y_k − (a·x_k + b))²`.
+    ///
+    /// Weights must be non-negative; zero-weight samples are ignored. This is
+    /// exactly the WLS5 normal-equation solve when `w_k = ρ_noiseless(t_k)²`.
+    ///
+    /// # Errors
+    ///
+    /// * [`NumericError::ShapeMismatch`] if slice lengths differ.
+    /// * [`NumericError::InsufficientData`] if fewer than 2 samples carry
+    ///   positive weight.
+    /// * [`NumericError::SingularMatrix`] if the weighted abscissae are
+    ///   degenerate (all effective `xs` equal).
+    /// * [`NumericError::NonFinite`] on NaN/inf inputs.
+    pub fn weighted_least_squares(xs: &[f64], ys: &[f64], ws: &[f64]) -> Result<Self, NumericError> {
+        if xs.len() != ys.len() {
+            return Err(NumericError::ShapeMismatch { got: ys.len(), expected: xs.len() });
+        }
+        if xs.len() != ws.len() {
+            return Err(NumericError::ShapeMismatch { got: ws.len(), expected: xs.len() });
+        }
+        let mut effective = 0usize;
+        // Shift the abscissa origin to the weighted mean for conditioning:
+        // raw times are ~1e-9 s, so x² sums would otherwise lose precision.
+        let (mut sw, mut swx, mut swy) = (0.0, 0.0, 0.0);
+        for ((&x, &y), &w) in xs.iter().zip(ys).zip(ws) {
+            if !(x.is_finite() && y.is_finite() && w.is_finite()) {
+                return Err(NumericError::NonFinite("fit samples"));
+            }
+            if w > 0.0 {
+                effective += 1;
+                sw += w;
+                swx += w * x;
+                swy += w * y;
+            }
+        }
+        if effective < 2 {
+            return Err(NumericError::InsufficientData { got: effective, required: 2 });
+        }
+        let xbar = swx / sw;
+        let ybar = swy / sw;
+        let (mut sxx, mut sxy) = (0.0, 0.0);
+        for ((&x, &y), &w) in xs.iter().zip(ys).zip(ws) {
+            if w > 0.0 {
+                let dx = x - xbar;
+                sxx += w * dx * dx;
+                sxy += w * dx * (y - ybar);
+            }
+        }
+        if sxx <= 0.0 {
+            return Err(NumericError::SingularMatrix { column: 0, pivot: sxx });
+        }
+        let a = sxy / sxx;
+        let b = ybar - a * xbar;
+        Ok(LineFit { a, b })
+    }
+
+    /// Evaluates the fitted line at `x`.
+    pub fn eval(&self, x: f64) -> f64 {
+        self.a * x + self.b
+    }
+}
+
+/// Convergence report for [`GaussNewton::minimize`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GaussNewtonReport {
+    /// Final parameter vector `(a, b)`.
+    pub params: [f64; 2],
+    /// Sum of squared residuals at the final iterate.
+    pub cost: f64,
+    /// Iterations consumed.
+    pub iterations: usize,
+    /// Whether the step-size tolerance was met within the budget.
+    pub converged: bool,
+}
+
+/// Damped Gauss–Newton minimizer for 2-parameter nonlinear least squares.
+///
+/// The caller supplies a closure that fills residuals `f_k(a, b)` and the
+/// Jacobian rows `(∂f_k/∂a, ∂f_k/∂b)`. The solver performs Levenberg-style
+/// damping: if a step increases the cost, the damping factor grows and the
+/// step is retried.
+#[derive(Debug, Clone, Copy)]
+pub struct GaussNewton {
+    /// Maximum outer iterations.
+    pub max_iterations: usize,
+    /// Relative step-size tolerance for declaring convergence.
+    pub step_tolerance: f64,
+    /// Initial Levenberg damping added to the normal-equation diagonal.
+    pub initial_damping: f64,
+}
+
+impl Default for GaussNewton {
+    fn default() -> Self {
+        GaussNewton { max_iterations: 40, step_tolerance: 1e-10, initial_damping: 1e-12 }
+    }
+}
+
+impl GaussNewton {
+    /// Minimizes `Σ f_k²` starting from `start`.
+    ///
+    /// `model` writes residuals into its `&mut Vec<f64>` argument and
+    /// Jacobian rows `[∂f/∂a, ∂f/∂b]` into the second; both are cleared by
+    /// the solver before each call.
+    ///
+    /// # Errors
+    ///
+    /// * [`NumericError::InsufficientData`] if the model produces fewer than
+    ///   two residuals.
+    /// * [`NumericError::NonFinite`] if residuals or Jacobian go NaN/inf.
+    /// * [`NumericError::NoConvergence`] if damping cannot find a decreasing
+    ///   step (the last iterate is still returned inside the error-free path
+    ///   whenever any progress was made; this error means no step ever
+    ///   succeeded).
+    pub fn minimize<F>(&self, start: [f64; 2], mut model: F) -> Result<GaussNewtonReport, NumericError>
+    where
+        F: FnMut([f64; 2], &mut Vec<f64>, &mut Vec<[f64; 2]>),
+    {
+        let mut params = start;
+        let mut residuals = Vec::new();
+        let mut jacobian = Vec::new();
+
+        let eval_cost = |r: &[f64]| -> f64 { r.iter().map(|v| v * v).sum() };
+
+        model(params, &mut residuals, &mut jacobian);
+        if residuals.len() < 2 {
+            return Err(NumericError::InsufficientData { got: residuals.len(), required: 2 });
+        }
+        if residuals.iter().any(|v| !v.is_finite()) {
+            return Err(NumericError::NonFinite("residuals"));
+        }
+        let mut cost = eval_cost(&residuals);
+        let mut damping = self.initial_damping;
+        let mut converged = false;
+        let mut iterations = 0;
+
+        while iterations < self.max_iterations {
+            iterations += 1;
+            // Normal equations J^T J Δ = -J^T f  (2×2, solved in closed form).
+            let (mut jtj00, mut jtj01, mut jtj11) = (0.0, 0.0, 0.0);
+            let (mut jtf0, mut jtf1) = (0.0, 0.0);
+            for (f, j) in residuals.iter().zip(&jacobian) {
+                jtj00 += j[0] * j[0];
+                jtj01 += j[0] * j[1];
+                jtj11 += j[1] * j[1];
+                jtf0 += j[0] * f;
+                jtf1 += j[1] * f;
+            }
+            if ![jtj00, jtj01, jtj11, jtf0, jtf1].iter().all(|v| v.is_finite()) {
+                return Err(NumericError::NonFinite("jacobian"));
+            }
+
+            // Scale-aware damping and step attempt loop.
+            let diag_scale = (jtj00.max(jtj11)).max(1e-300);
+            let mut stepped = false;
+            for _ in 0..12 {
+                let d00 = jtj00 + damping * diag_scale;
+                let d11 = jtj11 + damping * diag_scale;
+                let det = d00 * d11 - jtj01 * jtj01;
+                if det.abs() < 1e-300 {
+                    damping = (damping * 10.0).max(1e-9);
+                    continue;
+                }
+                let da = (-jtf0 * d11 + jtf1 * jtj01) / det;
+                let db = (-jtf1 * d00 + jtf0 * jtj01) / det;
+                let trial = [params[0] + da, params[1] + db];
+                model(trial, &mut residuals, &mut jacobian);
+                if residuals.iter().any(|v| !v.is_finite()) {
+                    damping = (damping * 10.0).max(1e-9);
+                    continue;
+                }
+                let trial_cost = eval_cost(&residuals);
+                if trial_cost <= cost * (1.0 + 1e-15) {
+                    // Accept; relax damping for the next iteration.
+                    let rel_step = (da.abs() / params[0].abs().max(1e-30))
+                        .max(db.abs() / params[1].abs().max(1e-30));
+                    params = trial;
+                    cost = trial_cost;
+                    damping = (damping * 0.25).max(self.initial_damping);
+                    stepped = true;
+                    if rel_step < self.step_tolerance {
+                        converged = true;
+                    }
+                    break;
+                }
+                damping = (damping * 10.0).max(1e-9);
+            }
+            if !stepped {
+                // Cost cannot be decreased further: treat the current point
+                // as the (local) minimum.
+                converged = true;
+            }
+            if converged {
+                break;
+            }
+        }
+        // Refresh residuals at the accepted parameters for the cost report.
+        model(params, &mut residuals, &mut jacobian);
+        Ok(GaussNewtonReport { params, cost: eval_cost(&residuals), iterations, converged })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_fit_recovers_exact_line() {
+        let xs: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 2.5 * x - 1.0).collect();
+        let fit = LineFit::least_squares(&xs, &ys).unwrap();
+        assert!((fit.a - 2.5).abs() < 1e-12);
+        assert!((fit.b + 1.0).abs() < 1e-12);
+        assert!((fit.eval(4.0) - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_fit_ignores_zero_weight_outliers() {
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let ys = [0.0, 1.0, 2.0, 100.0];
+        let ws = [1.0, 1.0, 1.0, 0.0];
+        let fit = LineFit::weighted_least_squares(&xs, &ys, &ws).unwrap();
+        assert!((fit.a - 1.0).abs() < 1e-12);
+        assert!(fit.b.abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_fit_matches_duplication_semantics() {
+        // A weight of 2 must act like duplicating the sample.
+        let xs = [0.0, 1.0, 2.0];
+        let ys = [0.1, 0.8, 2.2];
+        let ws = [1.0, 2.0, 1.0];
+        let fit_w = LineFit::weighted_least_squares(&xs, &ys, &ws).unwrap();
+        let xs_dup = [0.0, 1.0, 1.0, 2.0];
+        let ys_dup = [0.1, 0.8, 0.8, 2.2];
+        let fit_d = LineFit::least_squares(&xs_dup, &ys_dup).unwrap();
+        assert!((fit_w.a - fit_d.a).abs() < 1e-12);
+        assert!((fit_w.b - fit_d.b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fit_is_well_conditioned_at_nanosecond_scale() {
+        // Times around 1e-9 with picosecond spreads: naive normal equations
+        // in raw coordinates lose ~18 digits; the centered form must not.
+        let xs: Vec<f64> = (0..35).map(|i| 1.0e-9 + i as f64 * 1.0e-12).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| 8.0e9 * (x - 1.0e-9)).collect();
+        let fit = LineFit::least_squares(&xs, &ys).unwrap();
+        assert!((fit.a - 8.0e9).abs() / 8.0e9 < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_fits_rejected() {
+        assert!(matches!(
+            LineFit::least_squares(&[1.0], &[1.0]),
+            Err(NumericError::InsufficientData { .. })
+        ));
+        assert!(matches!(
+            LineFit::least_squares(&[1.0, 1.0], &[0.0, 2.0]),
+            Err(NumericError::SingularMatrix { .. })
+        ));
+        assert!(LineFit::weighted_least_squares(&[0.0, 1.0], &[0.0, 1.0], &[1.0]).is_err());
+        assert!(LineFit::least_squares(&[0.0, f64::NAN], &[0.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn gauss_newton_solves_linear_problem_in_one_step() {
+        // Linear residuals: f_k = y_k - (a x_k + b). GN == closed form.
+        let xs: Vec<f64> = (0..20).map(|i| i as f64 * 0.1).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| -3.0 * x + 0.7).collect();
+        let gn = GaussNewton::default();
+        let report = gn
+            .minimize([0.0, 0.0], |p, r, j| {
+                r.clear();
+                j.clear();
+                for (&x, &y) in xs.iter().zip(&ys) {
+                    r.push(y - (p[0] * x + p[1]));
+                    j.push([-x, -1.0]);
+                }
+            })
+            .unwrap();
+        assert!(report.converged);
+        assert!((report.params[0] + 3.0).abs() < 1e-8);
+        assert!((report.params[1] - 0.7).abs() < 1e-8);
+        assert!(report.cost < 1e-16);
+    }
+
+    #[test]
+    fn gauss_newton_solves_quadratic_residuals() {
+        // f_k = (y_k - (a x_k + b))² — the same shape as SGDP's Eq. 3
+        // second-order term. Minimum still at the exact line.
+        let xs: Vec<f64> = (0..30).map(|i| i as f64 * 0.05).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 1.5 * x + 0.2).collect();
+        let gn = GaussNewton::default();
+        let report = gn
+            .minimize([1.0, 0.0], |p, r, j| {
+                r.clear();
+                j.clear();
+                for (&x, &y) in xs.iter().zip(&ys) {
+                    let e = y - (p[0] * x + p[1]);
+                    r.push(e * e);
+                    j.push([-2.0 * e * x, -2.0 * e]);
+                }
+            })
+            .unwrap();
+        assert!((report.params[0] - 1.5).abs() < 1e-5, "a = {}", report.params[0]);
+        assert!((report.params[1] - 0.2).abs() < 1e-5, "b = {}", report.params[1]);
+    }
+
+    #[test]
+    fn gauss_newton_rejects_tiny_models() {
+        let gn = GaussNewton::default();
+        let err = gn.minimize([0.0, 0.0], |_p, r, j| {
+            r.clear();
+            j.clear();
+            r.push(1.0);
+            j.push([1.0, 0.0]);
+        });
+        assert!(matches!(err, Err(NumericError::InsufficientData { .. })));
+    }
+}

@@ -1,0 +1,36 @@
+//! Small, dependency-free numeric kernels shared across the `noisy-sta`
+//! workspace.
+//!
+//! EDA workloads in this repository never need large-scale linear algebra —
+//! modified-nodal-analysis systems stay below a few hundred unknowns — so the
+//! kernels here favour robustness and clarity over blocked performance:
+//!
+//! * [`DenseMatrix`] / [`LuFactors`] — row-major dense matrices with LU
+//!   factorization (partial pivoting) used by both the linear and the
+//!   nonlinear circuit engines,
+//! * [`interp`] — monotone-grid linear and bilinear interpolation used by
+//!   waveform sampling and NLDM table lookup,
+//! * [`fit`] — closed-form (weighted) line fits and a damped Gauss–Newton
+//!   loop used by the equivalent-waveform techniques,
+//! * [`stats`] — tiny summary-statistics helpers for the experiment harness.
+//!
+//! ```
+//! use nsta_numeric::{DenseMatrix, LuFactors};
+//! # fn main() -> Result<(), nsta_numeric::NumericError> {
+//! let a = DenseMatrix::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]])?;
+//! let lu = LuFactors::factor(&a)?;
+//! let x = lu.solve(&[1.0, 2.0])?;
+//! assert!((4.0 * x[0] + x[1] - 1.0).abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+mod error;
+pub mod fit;
+pub mod interp;
+mod matrix;
+pub mod stats;
+
+pub use error::NumericError;
+pub use fit::{GaussNewton, GaussNewtonReport, LineFit};
+pub use matrix::{DenseMatrix, LuFactors};

@@ -1,0 +1,148 @@
+//! Summary statistics for experiment reporting.
+//!
+//! The evaluation section of the paper reports maximum and average absolute
+//! errors over hundreds of noise-injection cases; [`Summary`] accumulates
+//! exactly those (plus a few extras useful for debugging distributions).
+
+/// Streaming accumulator for min/max/mean/rms of a sample set.
+///
+/// ```
+/// use nsta_numeric::stats::Summary;
+/// let s: Summary = [1.0, 2.0, 3.0].into_iter().collect();
+/// assert_eq!(s.count(), 3);
+/// assert_eq!(s.max(), 3.0);
+/// assert!((s.mean() - 2.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    count: usize,
+    sum: f64,
+    sum_sq: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for Summary {
+    fn default() -> Self {
+        Summary::new()
+    }
+}
+
+impl Summary {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Summary { count: 0, sum: 0.0, sum_sq: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Adds one sample.
+    pub fn push(&mut self, v: f64) {
+        self.count += 1;
+        self.sum += v;
+        self.sum_sq += v * v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of samples seen.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Arithmetic mean; `0.0` for an empty accumulator.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Root mean square; `0.0` for an empty accumulator.
+    pub fn rms(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            (self.sum_sq / self.count as f64).sqrt()
+        }
+    }
+
+    /// Smallest sample; `+inf` when empty.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest sample; `-inf` when empty.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+impl FromIterator<f64> for Summary {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = Summary::new();
+        for v in iter {
+            s.push(v);
+        }
+        s
+    }
+}
+
+impl Extend<f64> for Summary {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for v in iter {
+            self.push(v);
+        }
+    }
+}
+
+/// Returns the `q`-quantile (0 ≤ q ≤ 1) of `samples` by linear
+/// interpolation between order statistics. Returns `None` when empty.
+///
+/// The input slice is not required to be sorted; a sorted copy is made.
+pub fn quantile(samples: &[f64], q: f64) -> Option<f64> {
+    if samples.is_empty() {
+        return None;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-finite sample"));
+    let q = q.clamp(0.0, 1.0);
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_tracks_extremes_and_moments() {
+        let mut s = Summary::new();
+        s.extend([2.0, -1.0, 4.0, 3.0]);
+        assert_eq!(s.count(), 4);
+        assert_eq!(s.min(), -1.0);
+        assert_eq!(s.max(), 4.0);
+        assert!((s.mean() - 2.0).abs() < 1e-12);
+        assert!((s.rms() - (30.0f64 / 4.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_summary_is_sane() {
+        let s = Summary::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.rms(), 0.0);
+        assert!(s.min().is_infinite());
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let data = [4.0, 1.0, 3.0, 2.0];
+        assert_eq!(quantile(&data, 0.0), Some(1.0));
+        assert_eq!(quantile(&data, 1.0), Some(4.0));
+        assert_eq!(quantile(&data, 0.5), Some(2.5));
+        assert_eq!(quantile(&[], 0.5), None);
+    }
+}

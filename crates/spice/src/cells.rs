@@ -1,0 +1,232 @@
+//! Parameterized CMOS cell generators.
+//!
+//! Each generator instantiates transistors and parasitic capacitances into a
+//! [`Netlist`] and wires them to caller-supplied pin nodes. Sizes are
+//! multipliers of the process's 1× inverter widths — the paper's testbench
+//! uses the 1×/4×/16×/64× chain these produce.
+
+use crate::device::MosType;
+use crate::netlist::{Netlist, NodeId, Process};
+use crate::SpiceError;
+
+/// Adds an inverter of the given size.
+///
+/// Models: PMOS/NMOS pair, lumped gate capacitance on the input pin, lumped
+/// drain-diffusion capacitance on the output pin.
+///
+/// # Errors
+///
+/// Propagates netlist construction failures (invalid size, foreign nodes).
+pub fn add_inverter(
+    net: &mut Netlist,
+    proc: &Process,
+    size: f64,
+    input: NodeId,
+    output: NodeId,
+    _prefix: &str,
+) -> Result<(), SpiceError> {
+    if !(size.is_finite() && size > 0.0) {
+        return Err(SpiceError::InvalidParameter("inverter size must be positive"));
+    }
+    let vdd = net.vdd_node();
+    let wn = proc.wn_1x * size;
+    let wp = proc.wp_1x * size;
+    net.mosfet(MosType::Pmos, wp, proc.pmos, output, input, vdd)?;
+    net.mosfet(MosType::Nmos, wn, proc.nmos, output, input, Netlist::GROUND)?;
+    net.capacitor(input, Netlist::GROUND, (wn + wp) * proc.cg_per_um)?;
+    net.capacitor(output, Netlist::GROUND, (wn + wp) * proc.cd_per_um)?;
+    Ok(())
+}
+
+/// Adds a 2-input NAND of the given size (series NMOS doubled in width to
+/// match the inverter's pull-down strength).
+///
+/// # Errors
+///
+/// Propagates netlist construction failures.
+pub fn add_nand2(
+    net: &mut Netlist,
+    proc: &Process,
+    size: f64,
+    a: NodeId,
+    b: NodeId,
+    y: NodeId,
+    prefix: &str,
+) -> Result<(), SpiceError> {
+    if !(size.is_finite() && size > 0.0) {
+        return Err(SpiceError::InvalidParameter("nand2 size must be positive"));
+    }
+    let vdd = net.vdd_node();
+    let wn = 2.0 * proc.wn_1x * size;
+    let wp = proc.wp_1x * size;
+    let mid = net.node(&format!("{prefix}_mid"));
+    net.mosfet(MosType::Pmos, wp, proc.pmos, y, a, vdd)?;
+    net.mosfet(MosType::Pmos, wp, proc.pmos, y, b, vdd)?;
+    net.mosfet(MosType::Nmos, wn, proc.nmos, y, a, mid)?;
+    net.mosfet(MosType::Nmos, wn, proc.nmos, mid, b, Netlist::GROUND)?;
+    for pin in [a, b] {
+        net.capacitor(pin, Netlist::GROUND, (wn + wp) * proc.cg_per_um)?;
+    }
+    net.capacitor(y, Netlist::GROUND, (wn + 2.0 * wp) * proc.cd_per_um)?;
+    net.capacitor(mid, Netlist::GROUND, wn * proc.cd_per_um)?;
+    Ok(())
+}
+
+/// Adds a 2-input NOR of the given size (series PMOS doubled in width).
+///
+/// # Errors
+///
+/// Propagates netlist construction failures.
+pub fn add_nor2(
+    net: &mut Netlist,
+    proc: &Process,
+    size: f64,
+    a: NodeId,
+    b: NodeId,
+    y: NodeId,
+    prefix: &str,
+) -> Result<(), SpiceError> {
+    if !(size.is_finite() && size > 0.0) {
+        return Err(SpiceError::InvalidParameter("nor2 size must be positive"));
+    }
+    let vdd = net.vdd_node();
+    let wn = proc.wn_1x * size;
+    let wp = 2.0 * proc.wp_1x * size;
+    let mid = net.node(&format!("{prefix}_mid"));
+    net.mosfet(MosType::Pmos, wp, proc.pmos, mid, a, vdd)?;
+    net.mosfet(MosType::Pmos, wp, proc.pmos, y, b, mid)?;
+    net.mosfet(MosType::Nmos, wn, proc.nmos, y, a, Netlist::GROUND)?;
+    net.mosfet(MosType::Nmos, wn, proc.nmos, y, b, Netlist::GROUND)?;
+    for pin in [a, b] {
+        net.capacitor(pin, Netlist::GROUND, (wn + wp) * proc.cg_per_um)?;
+    }
+    net.capacitor(y, Netlist::GROUND, (2.0 * wn + wp) * proc.cd_per_um)?;
+    net.capacitor(mid, Netlist::GROUND, wp * proc.cd_per_um)?;
+    Ok(())
+}
+
+/// Adds a two-stage buffer (`size_in`× inverter into `size_out`× inverter)
+/// and returns the internal node.
+///
+/// A buffer is the canonical *multi-stage* cell whose input and output
+/// transitions may not overlap — the case the paper's pre/post-shift step in
+/// SGDP exists for.
+///
+/// # Errors
+///
+/// Propagates netlist construction failures.
+pub fn add_buffer(
+    net: &mut Netlist,
+    proc: &Process,
+    size_in: f64,
+    size_out: f64,
+    input: NodeId,
+    output: NodeId,
+    prefix: &str,
+) -> Result<NodeId, SpiceError> {
+    let mid = net.node(&format!("{prefix}_mid"));
+    add_inverter(net, proc, size_in, input, mid, &format!("{prefix}_i1"))?;
+    add_inverter(net, proc, size_out, mid, output, &format!("{prefix}_i2"))?;
+    Ok(mid)
+}
+
+/// Adds a lumped load capacitor to a node — used to model a fanout gate's
+/// input capacitance without instantiating its transistors.
+///
+/// # Errors
+///
+/// Propagates netlist construction failures.
+pub fn add_load_cap(net: &mut Netlist, node: NodeId, farads: f64) -> Result<(), SpiceError> {
+    net.capacitor(node, Netlist::GROUND, farads)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SimOptions;
+    use nsta_waveform::{Polarity, Thresholds, Waveform};
+
+    fn ramp_up(t0: f64, dur: f64, vdd: f64, t_end: f64) -> Waveform {
+        Waveform::new(vec![t0, t0 + dur, t_end], vec![0.0, vdd, vdd]).unwrap()
+    }
+
+    #[test]
+    fn inverter_size_validation() {
+        let p = Process::c013();
+        let mut net = Netlist::new(p.vdd);
+        let a = net.node("a");
+        let y = net.node("y");
+        assert!(add_inverter(&mut net, &p, 0.0, a, y, "u").is_err());
+        assert!(add_inverter(&mut net, &p, 4.0, a, y, "u").is_ok());
+        let (_, _, _, _, m) = net.element_counts();
+        assert_eq!(m, 2);
+    }
+
+    #[test]
+    fn buffer_output_follows_input() {
+        let p = Process::c013();
+        let mut net = Netlist::new(p.vdd);
+        let inp = net.node("in");
+        let out = net.node("out");
+        let mid = add_buffer(&mut net, &p, 1.0, 4.0, inp, out, "buf").unwrap();
+        add_load_cap(&mut net, out, 20e-15).unwrap();
+        net.vsource(inp, ramp_up(0.5e-9, 0.2e-9, 1.2, 4e-9)).unwrap();
+        let res = net.run_transient(SimOptions::new(0.0, 4e-9, 2e-12).unwrap()).unwrap();
+        let th = Thresholds::cmos(1.2);
+        let v_mid = res.voltage(mid).unwrap();
+        let v_out = res.voltage(out).unwrap();
+        // Non-inverting overall: output rises like the input.
+        assert_eq!(v_out.polarity(th).unwrap(), Polarity::Rise);
+        // Middle node inverts.
+        assert_eq!(v_mid.polarity(th).unwrap(), Polarity::Fall);
+        // Causality: output mid-crossing after input mid-crossing.
+        let t_in = 0.6e-9;
+        let t_out = v_out.last_crossing(th.mid()).unwrap();
+        assert!(t_out > t_in);
+    }
+
+    #[test]
+    fn nor2_truth_table_dc() {
+        let p = Process::c013();
+        let hi = Waveform::constant(1.2, -1.0, 1.0).unwrap();
+        let lo = Waveform::constant(0.0, -1.0, 1.0).unwrap();
+        for (va, vb, expect_high) in [
+            (lo.clone(), lo.clone(), true),
+            (hi.clone(), lo.clone(), false),
+            (lo.clone(), hi.clone(), false),
+            (hi.clone(), hi.clone(), false),
+        ] {
+            let mut net = Netlist::new(p.vdd);
+            let a = net.node("a");
+            let b = net.node("b");
+            let y = net.node("y");
+            add_nor2(&mut net, &p, 1.0, a, b, y, "g").unwrap();
+            net.vsource(a, va.clone()).unwrap();
+            net.vsource(b, vb.clone()).unwrap();
+            let v = net.dc_operating_point(0.0).unwrap();
+            if expect_high {
+                assert!(v[y.0] > 1.1, "expected high, got {}", v[y.0]);
+            } else {
+                assert!(v[y.0] < 0.1, "expected low, got {}", v[y.0]);
+            }
+        }
+    }
+
+    #[test]
+    fn nand2_transient_switches() {
+        let p = Process::c013();
+        let mut net = Netlist::new(p.vdd);
+        let a = net.node("a");
+        let b = net.node("b");
+        let y = net.node("y");
+        add_nand2(&mut net, &p, 2.0, a, b, y, "g").unwrap();
+        add_load_cap(&mut net, y, 10e-15).unwrap();
+        // a held high, b rises ⇒ y falls.
+        net.vsource(a, Waveform::constant(1.2, -1.0, 4e-9).unwrap()).unwrap();
+        net.vsource(b, ramp_up(1e-9, 0.2e-9, 1.2, 4e-9)).unwrap();
+        let res = net.run_transient(SimOptions::new(0.0, 4e-9, 2e-12).unwrap()).unwrap();
+        let v_y = res.voltage(y).unwrap();
+        assert!(v_y.value_at(0.5e-9) > 1.1);
+        assert!(v_y.value_at(3.8e-9) < 0.1);
+    }
+}

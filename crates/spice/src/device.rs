@@ -1,0 +1,305 @@
+use crate::SpiceError;
+
+/// Transistor polarity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MosType {
+    /// N-channel device (source conventionally toward ground).
+    Nmos,
+    /// P-channel device (source conventionally toward VDD).
+    Pmos,
+}
+
+/// Sakurai–Newton *alpha-power-law* MOSFET parameters.
+///
+/// The alpha-power model captures short-channel velocity saturation with
+/// four parameters and is accurate enough to reproduce the waveform-shape
+/// phenomena the paper studies (it was in fact developed for exactly this
+/// class of delay analysis). Currents scale linearly with the drawn width.
+///
+/// The drain current of an NMOS (source grounded) is
+///
+/// ```text
+/// u      = Vgs − Vth                 (overdrive; cut off for u ≤ 0)
+/// Vdsat  = kv · u^(α/2)
+/// Idsat  = kc · W · u^α
+/// Id     = Idsat (1 + λ Vds)                          Vds ≥ Vdsat
+/// Id     = Idsat (2 − r) r (1 + λ Vds), r = Vds/Vdsat   otherwise
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MosParams {
+    /// Threshold voltage magnitude (V), positive for both polarities.
+    pub vth: f64,
+    /// Velocity-saturation index α (≈ 2 long-channel, ≈ 1.2–1.4 at 0.13 µm).
+    pub alpha: f64,
+    /// Transconductance scale kc (A per µm of width per V^α).
+    pub kc: f64,
+    /// Saturation-voltage scale kv (V^(1−α/2)).
+    pub kv: f64,
+    /// Channel-length modulation λ (1/V).
+    pub lambda: f64,
+}
+
+impl MosParams {
+    /// NMOS parameters calibrated to 0.13 µm-class magnitudes
+    /// (Vdd = 1.2 V, Idsat ≈ 0.5 mA/µm at full overdrive).
+    pub fn nmos_013() -> Self {
+        MosParams { vth: 0.30, alpha: 1.3, kc: 0.55e-3, kv: 0.65, lambda: 0.06 }
+    }
+
+    /// PMOS parameters calibrated to 0.13 µm-class magnitudes (about 2.2×
+    /// weaker than NMOS per µm).
+    pub fn pmos_013() -> Self {
+        MosParams { vth: 0.32, alpha: 1.4, kc: 0.25e-3, kv: 0.70, lambda: 0.08 }
+    }
+
+    /// Validates the parameter set.
+    ///
+    /// # Errors
+    ///
+    /// [`SpiceError::InvalidParameter`] if any parameter is non-finite or
+    /// outside its physical range.
+    pub fn validate(&self) -> Result<(), SpiceError> {
+        let ok = self.vth.is_finite()
+            && self.vth > 0.0
+            && self.alpha.is_finite()
+            && self.alpha >= 1.0
+            && self.alpha <= 2.0
+            && self.kc.is_finite()
+            && self.kc > 0.0
+            && self.kv.is_finite()
+            && self.kv > 0.0
+            && self.lambda.is_finite()
+            && self.lambda >= 0.0;
+        if ok {
+            Ok(())
+        } else {
+            Err(SpiceError::InvalidParameter("mos parameters out of physical range"))
+        }
+    }
+
+    /// Forward current `f(vgs, vds)` and partials `(∂f/∂vgs, ∂f/∂vds)` for
+    /// `vds ≥ 0`, for a device of width `w_um` microns.
+    fn forward(&self, w_um: f64, vgs: f64, vds: f64) -> (f64, f64, f64) {
+        let u = vgs - self.vth;
+        if u <= 0.0 {
+            return (0.0, 0.0, 0.0);
+        }
+        let m = self.alpha / 2.0;
+        let vdsat = self.kv * u.powf(m);
+        let isat = self.kc * w_um * u.powf(self.alpha);
+        let disat_du = self.alpha * self.kc * w_um * u.powf(self.alpha - 1.0);
+        let clm = 1.0 + self.lambda * vds;
+        if vds >= vdsat {
+            // Saturation.
+            let i = isat * clm;
+            (i, disat_du * clm, isat * self.lambda)
+        } else {
+            // Triode with the smooth (2−r)r blend.
+            let r = vds / vdsat;
+            let shape = (2.0 - r) * r;
+            let i = isat * shape * clm;
+            // dr/du = −(m/u)·r  ⇒  d(shape)/du = (2−2r)·dr/du.
+            let dshape_du = (2.0 - 2.0 * r) * (-(m / u) * r);
+            let di_du = disat_du * shape * clm + isat * dshape_du * clm;
+            let di_dvds = isat * clm * (2.0 - 2.0 * r) / vdsat + isat * shape * self.lambda;
+            (i, di_du, di_dvds)
+        }
+    }
+}
+
+/// A 3-terminal MOSFET instance bound to netlist nodes.
+///
+/// Terminals are identified by node indices assigned by the owning
+/// [`Netlist`](crate::Netlist); the body terminal is implicit (tied to the
+/// appropriate rail).
+#[derive(Debug, Clone)]
+pub struct Mosfet {
+    /// Device polarity.
+    pub mos_type: MosType,
+    /// Drawn width in microns (drive scales linearly).
+    pub w_um: f64,
+    /// Model parameters.
+    pub params: MosParams,
+    /// Drain node index.
+    pub drain: usize,
+    /// Gate node index.
+    pub gate: usize,
+    /// Source node index.
+    pub source: usize,
+}
+
+/// Current into the drain terminal and its partial derivatives.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceEval {
+    /// Current flowing from the external circuit *into* the drain (A).
+    pub i_drain: f64,
+    /// ∂i/∂V_gate.
+    pub di_dvg: f64,
+    /// ∂i/∂V_drain.
+    pub di_dvd: f64,
+    /// ∂i/∂V_source.
+    pub di_dvs: f64,
+}
+
+impl Mosfet {
+    /// Evaluates the drain current given terminal voltages.
+    ///
+    /// The model is symmetric: when the nominal drain falls below the
+    /// nominal source (NMOS; mirrored for PMOS) the terminals swap roles so
+    /// the current is continuous through zero bias.
+    pub fn eval(&self, vg: f64, vd: f64, vs: f64) -> DeviceEval {
+        match self.mos_type {
+            MosType::Nmos => {
+                if vd >= vs {
+                    let (i, dg, dd) = self.params.forward(self.w_um, vg - vs, vd - vs);
+                    DeviceEval { i_drain: i, di_dvg: dg, di_dvd: dd, di_dvs: -dg - dd }
+                } else {
+                    // Swapped: physical source is the nominal drain.
+                    let (i, dg, dd) = self.params.forward(self.w_um, vg - vd, vs - vd);
+                    DeviceEval { i_drain: -i, di_dvg: -dg, di_dvd: dg + dd, di_dvs: -dd }
+                }
+            }
+            MosType::Pmos => {
+                if vd <= vs {
+                    // Normal PMOS conduction: source high, current out of
+                    // the drain into the circuit ⇒ negative into-drain.
+                    let (i, dg, dd) = self.params.forward(self.w_um, vs - vg, vs - vd);
+                    DeviceEval { i_drain: -i, di_dvg: dg, di_dvd: dd, di_dvs: -dg - dd }
+                } else {
+                    let (i, dg, dd) = self.params.forward(self.w_um, vd - vg, vd - vs);
+                    DeviceEval { i_drain: i, di_dvg: -dg, di_dvd: dg + dd, di_dvs: -dd }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nmos(w: f64) -> Mosfet {
+        Mosfet {
+            mos_type: MosType::Nmos,
+            w_um: w,
+            params: MosParams::nmos_013(),
+            drain: 0,
+            gate: 1,
+            source: 2,
+        }
+    }
+
+    fn pmos(w: f64) -> Mosfet {
+        Mosfet {
+            mos_type: MosType::Pmos,
+            w_um: w,
+            params: MosParams::pmos_013(),
+            drain: 0,
+            gate: 1,
+            source: 2,
+        }
+    }
+
+    #[test]
+    fn params_validate() {
+        assert!(MosParams::nmos_013().validate().is_ok());
+        assert!(MosParams::pmos_013().validate().is_ok());
+        let mut p = MosParams::nmos_013();
+        p.alpha = 3.0;
+        assert!(p.validate().is_err());
+        p = MosParams::nmos_013();
+        p.kc = -1.0;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn nmos_cutoff_below_threshold() {
+        let d = nmos(1.0);
+        let e = d.eval(0.2, 1.2, 0.0);
+        assert_eq!(e.i_drain, 0.0);
+        assert_eq!(e.di_dvg, 0.0);
+    }
+
+    #[test]
+    fn nmos_current_increases_with_vgs_and_width() {
+        let d1 = nmos(1.0);
+        let d2 = nmos(4.0);
+        let i_low = d1.eval(0.8, 1.2, 0.0).i_drain;
+        let i_high = d1.eval(1.2, 1.2, 0.0).i_drain;
+        assert!(i_high > i_low && i_low > 0.0);
+        let i_wide = d2.eval(1.2, 1.2, 0.0).i_drain;
+        assert!((i_wide / i_high - 4.0).abs() < 1e-9, "width scaling must be linear");
+        // 0.13 µm-class magnitude: a 1 µm NMOS at full bias carries
+        // a few hundred µA.
+        assert!(i_high > 1e-4 && i_high < 2e-3, "i_on = {i_high}");
+    }
+
+    #[test]
+    fn nmos_triode_to_saturation_is_continuous() {
+        let d = nmos(1.0);
+        let u: f64 = 1.2 - d.params.vth;
+        let vdsat = d.params.kv * u.powf(d.params.alpha / 2.0);
+        let below = d.eval(1.2, vdsat - 1e-9, 0.0).i_drain;
+        let above = d.eval(1.2, vdsat + 1e-9, 0.0).i_drain;
+        assert!((below - above).abs() / above < 1e-6);
+    }
+
+    #[test]
+    fn nmos_symmetric_through_zero_vds() {
+        let d = nmos(1.0);
+        let fwd = d.eval(1.2, 0.01, 0.0).i_drain;
+        let rev = d.eval(1.2, -0.01, 0.0).i_drain;
+        assert!(fwd > 0.0);
+        assert!(rev < 0.0);
+        assert!((fwd + rev).abs() < fwd * 0.1, "near-antisymmetric around vds=0");
+        let zero = d.eval(1.2, 0.0, 0.0).i_drain;
+        assert_eq!(zero, 0.0);
+    }
+
+    #[test]
+    fn pmos_mirrors_nmos_behaviour() {
+        let d = pmos(1.0);
+        // Source at 1.2 (rail), gate low, drain low: strong conduction,
+        // current flows out of drain ⇒ negative into-drain.
+        let e = d.eval(0.0, 0.0, 1.2);
+        assert!(e.i_drain < -1e-5);
+        // Gate high: off.
+        let off = d.eval(1.2, 0.0, 1.2);
+        assert_eq!(off.i_drain, 0.0);
+    }
+
+    #[test]
+    fn analytic_derivatives_match_finite_differences() {
+        let cases = [
+            (nmos(2.0), 0.9, 0.7, 0.0),
+            (nmos(2.0), 1.2, 0.2, 0.0),  // triode
+            (nmos(2.0), 1.1, -0.3, 0.0), // swapped
+            (pmos(3.0), 0.1, 0.6, 1.2),
+            (pmos(3.0), 0.0, 1.1, 1.2),  // triode (vsd small)
+            (pmos(3.0), 0.2, 1.3, 1.2),  // swapped
+        ];
+        let h = 1e-7;
+        for (dev, vg, vd, vs) in cases {
+            let e = dev.eval(vg, vd, vs);
+            let dg = (dev.eval(vg + h, vd, vs).i_drain - dev.eval(vg - h, vd, vs).i_drain) / (2.0 * h);
+            let dd = (dev.eval(vg, vd + h, vs).i_drain - dev.eval(vg, vd - h, vs).i_drain) / (2.0 * h);
+            let ds = (dev.eval(vg, vd, vs + h).i_drain - dev.eval(vg, vd, vs - h).i_drain) / (2.0 * h);
+            let scale = e.i_drain.abs().max(1e-6);
+            assert!((e.di_dvg - dg).abs() / scale < 2e-3, "dvg: {} vs {dg}", e.di_dvg);
+            assert!((e.di_dvd - dd).abs() / scale < 2e-3, "dvd: {} vs {dd}", e.di_dvd);
+            assert!((e.di_dvs - ds).abs() / scale < 2e-3, "dvs: {} vs {ds}", e.di_dvs);
+        }
+    }
+
+    #[test]
+    fn derivative_sum_is_zero() {
+        // Shifting all terminals by the same ΔV must not change the current:
+        // ∂i/∂vg + ∂i/∂vd + ∂i/∂vs = 0.
+        for (dev, vg, vd, vs) in
+            [(nmos(1.0), 1.0, 0.5, 0.0), (pmos(2.0), 0.3, 0.4, 1.2), (nmos(1.0), 1.0, -0.2, 0.0)]
+        {
+            let e = dev.eval(vg, vd, vs);
+            assert!((e.di_dvg + e.di_dvd + e.di_dvs).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,89 @@
+use std::fmt;
+
+/// Error type for netlist construction and nonlinear simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpiceError {
+    /// A node id did not belong to this netlist.
+    UnknownNode {
+        /// The offending node index.
+        index: usize,
+    },
+    /// An element or device parameter was outside its physical domain.
+    InvalidParameter(&'static str),
+    /// A node already carries an ideal voltage source.
+    AlreadyDriven {
+        /// Name of the node.
+        name: String,
+    },
+    /// Newton–Raphson failed to converge.
+    NewtonDiverged {
+        /// Simulation time at which convergence failed (seconds); NaN for
+        /// the DC solve.
+        at_time: f64,
+        /// Iterations attempted.
+        iterations: usize,
+        /// Largest voltage update at the final iteration.
+        max_update: f64,
+    },
+    /// Simulation options were invalid.
+    InvalidOptions(&'static str),
+    /// An underlying numeric kernel failed (singular Jacobian etc.).
+    Numeric(nsta_numeric::NumericError),
+    /// A waveform operation failed.
+    Waveform(nsta_waveform::WaveformError),
+    /// A result was requested for a quantity the run did not record.
+    NotRecorded(&'static str),
+}
+
+impl fmt::Display for SpiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpiceError::UnknownNode { index } => write!(f, "unknown node index {index}"),
+            SpiceError::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
+            SpiceError::AlreadyDriven { name } => {
+                write!(f, "node {name} already has a voltage source")
+            }
+            SpiceError::NewtonDiverged { at_time, iterations, max_update } => {
+                if at_time.is_nan() {
+                    write!(
+                        f,
+                        "newton failed to converge in dc solve after {iterations} iterations \
+                         (last update {max_update:.3e} V)"
+                    )
+                } else {
+                    write!(
+                        f,
+                        "newton failed to converge at t={at_time:.4e}s after {iterations} \
+                         iterations (last update {max_update:.3e} V)"
+                    )
+                }
+            }
+            SpiceError::InvalidOptions(what) => write!(f, "invalid options: {what}"),
+            SpiceError::Numeric(e) => write!(f, "numeric failure: {e}"),
+            SpiceError::Waveform(e) => write!(f, "waveform failure: {e}"),
+            SpiceError::NotRecorded(what) => write!(f, "not recorded: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SpiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SpiceError::Numeric(e) => Some(e),
+            SpiceError::Waveform(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<nsta_numeric::NumericError> for SpiceError {
+    fn from(e: nsta_numeric::NumericError) -> Self {
+        SpiceError::Numeric(e)
+    }
+}
+
+impl From<nsta_waveform::WaveformError> for SpiceError {
+    fn from(e: nsta_waveform::WaveformError) -> Self {
+        SpiceError::Waveform(e)
+    }
+}

@@ -1,0 +1,499 @@
+//! The paper's Figure-1 experimental setup, as a reusable testbench.
+//!
+//! Two (or three) identical inverter chains — 1×, 4×, 16× drivers with a
+//! 64× load — connected by distributed RC lines, with the line between the
+//! 1× and 4× inverters capacitively coupled to the neighbouring chain(s):
+//!
+//! ```text
+//! in_x ─▷1x─[ RC line ═ coupled ═ ]─▷4x─[ RC line ]─▷16x─[ RC line ]─◁64x load
+//! in_y ─▷1x─[ RC line ═ coupled ═ ]─▷4x─[ RC line ]─▷16x─[ RC line ]─◁64x load
+//!                  (Cm at segment boundaries, Σ = 100 fF)
+//! ```
+//!
+//! The *victim* receiver input (`in_u`, far end of the coupled line) and its
+//! output (`out_u`) are the waveforms every technique in the paper consumes
+//! and predicts. [`Fig1Config::config_i`] and [`Fig1Config::config_ii`]
+//! reproduce the two experimental configurations of Table 1;
+//! [`run_receiver`] drives the receiver stage alone with an arbitrary
+//! waveform (used to evaluate equivalent ramps `Γeff`).
+
+use crate::cells;
+use crate::netlist::{Netlist, NodeId, Process};
+use crate::sim::SimOptions;
+use crate::SpiceError;
+use nsta_circuit::RcLineSpec;
+use nsta_waveform::Waveform;
+
+/// Builds an RC line (π-segments) into a [`Netlist`], returning the far end.
+///
+/// # Errors
+///
+/// Propagates element-construction failures.
+pub fn build_line(
+    net: &mut Netlist,
+    spec: &RcLineSpec,
+    input: NodeId,
+    prefix: &str,
+) -> Result<NodeId, SpiceError> {
+    let half_c = spec.c_segment() / 2.0;
+    let mut prev = input;
+    for k in 0..spec.segments {
+        net.capacitor(prev, Netlist::GROUND, half_c)?;
+        let next = net.node(&format!("{prefix}_s{}", k + 1));
+        net.resistor(prev, next, spec.r_segment())?;
+        net.capacitor(next, Netlist::GROUND, half_c)?;
+        prev = next;
+    }
+    Ok(prev)
+}
+
+/// Builds a bundle of parallel RC lines with `cm_total` coupling between
+/// each adjacent pair, placed at matching segment boundaries. Returns the
+/// far end of each line.
+///
+/// # Errors
+///
+/// [`SpiceError::InvalidParameter`] if `inputs.len() < 2`; propagated
+/// element failures otherwise.
+pub fn build_coupled_lines(
+    net: &mut Netlist,
+    spec: &RcLineSpec,
+    inputs: &[NodeId],
+    cm_total: f64,
+    prefix: &str,
+) -> Result<Vec<NodeId>, SpiceError> {
+    if inputs.len() < 2 {
+        return Err(SpiceError::InvalidParameter("coupled bundle needs at least two lines"));
+    }
+    if !(cm_total > 0.0 && cm_total.is_finite()) {
+        return Err(SpiceError::InvalidParameter("coupling capacitance must be positive"));
+    }
+    let half_c = spec.c_segment() / 2.0;
+    let mut far = Vec::with_capacity(inputs.len());
+    let mut boundaries: Vec<Vec<NodeId>> = Vec::with_capacity(inputs.len());
+    for (i, &input) in inputs.iter().enumerate() {
+        let mut nodes = Vec::with_capacity(spec.segments);
+        let mut prev = input;
+        for k in 0..spec.segments {
+            net.capacitor(prev, Netlist::GROUND, half_c)?;
+            let next = net.node(&format!("{prefix}{i}_s{}", k + 1));
+            net.resistor(prev, next, spec.r_segment())?;
+            net.capacitor(next, Netlist::GROUND, half_c)?;
+            nodes.push(next);
+            prev = next;
+        }
+        far.push(prev);
+        boundaries.push(nodes);
+    }
+    let cm_each = cm_total / spec.segments as f64;
+    for pair in boundaries.windows(2) {
+        for (na, nb) in pair[0].iter().zip(&pair[1]) {
+            net.capacitor(*na, *nb, cm_each)?;
+        }
+    }
+    Ok(far)
+}
+
+/// Configuration of the Figure-1 testbench.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig1Config {
+    /// Number of aggressor chains (1 for Configuration I, 2 for II).
+    pub aggressors: usize,
+    /// Length of every wire in microns (1000 for I, 500 for II).
+    pub line_length_um: f64,
+    /// Total coupling capacitance between each adjacent pair (100 fF).
+    pub cm_total: f64,
+    /// 10–90% input slew of the source ramps (150 ps in the paper).
+    pub input_slew: f64,
+    /// Polarity of the *victim receiver input* `in_u` (the wire after the
+    /// inverting 1× driver). `true` = `in_u` rises.
+    pub victim_input_rise: bool,
+    /// `true` (default) makes aggressor wires switch opposite to the victim
+    /// wire — the worst case for delay push-out.
+    pub aggressors_oppose: bool,
+    /// Time at which the victim source ramp crosses mid-rail (s).
+    pub victim_mid_time: f64,
+    /// End of the simulation window (s).
+    pub t_stop: f64,
+    /// Transient step (s).
+    pub dt: f64,
+    /// Process/technology bundle.
+    pub proc: Process,
+}
+
+impl Fig1Config {
+    /// Configuration I of Table 1: one aggressor, 1000 µm lines, 100 fF
+    /// total coupling, 150 ps input slews.
+    pub fn config_i() -> Self {
+        Fig1Config {
+            aggressors: 1,
+            line_length_um: 1000.0,
+            cm_total: 100e-15,
+            input_slew: 150e-12,
+            victim_input_rise: true,
+            aggressors_oppose: true,
+            victim_mid_time: 2.0e-9,
+            t_stop: 4.0e-9,
+            dt: 1e-12,
+            proc: Process::c013(),
+        }
+    }
+
+    /// Configuration II of Table 1: two aggressors (victim in the middle),
+    /// 500 µm lines, 100 fF coupling to each aggressor.
+    pub fn config_ii() -> Self {
+        Fig1Config { aggressors: 2, line_length_um: 500.0, ..Fig1Config::config_i() }
+    }
+
+    /// The RC spec of each wire, derived from Figure 1's per-length values.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RcLineSpec`] validation failures.
+    pub fn line_spec(&self) -> Result<RcLineSpec, SpiceError> {
+        RcLineSpec::per_micron(self.line_length_um)
+            .map_err(|_| SpiceError::InvalidParameter("invalid line length"))
+    }
+
+    /// Builds the source-side ramp for a chain whose *wire* should end up
+    /// with the given polarity (the 1× driver inverts).
+    fn source_ramp(&self, wire_rises: bool, mid_time: f64) -> Result<Waveform, SpiceError> {
+        // Wire rises ⇔ source falls.
+        let source_rises = !wire_rises;
+        input_ramp(self.proc.vdd, mid_time, self.input_slew, source_rises, 0.0, self.t_stop)
+    }
+
+    fn quiet_level(&self, wire_rises: bool) -> f64 {
+        // A quiet aggressor source holds the value it would have *before*
+        // its transition.
+        let source_rises = !wire_rises;
+        if source_rises {
+            0.0
+        } else {
+            self.proc.vdd
+        }
+    }
+}
+
+/// A saturated-linear source ramp: mid-rail at `mid_time`, 10–90% slew
+/// `slew`, spanning `[t_start, t_stop]`.
+///
+/// # Errors
+///
+/// [`SpiceError::InvalidOptions`] if the transition does not fit in the
+/// window.
+pub fn input_ramp(
+    vdd: f64,
+    mid_time: f64,
+    slew: f64,
+    rising: bool,
+    t_start: f64,
+    t_stop: f64,
+) -> Result<Waveform, SpiceError> {
+    let full = slew / 0.8; // 10–90 covers 80% of the swing
+    let begin = mid_time - full / 2.0;
+    let end = mid_time + full / 2.0;
+    if begin <= t_start || end >= t_stop {
+        return Err(SpiceError::InvalidOptions("ramp transition must fit inside the window"));
+    }
+    let (v0, v1) = if rising { (0.0, vdd) } else { (vdd, 0.0) };
+    Ok(Waveform::new(vec![t_start, begin, end, t_stop], vec![v0, v0, v1, v1])?)
+}
+
+/// Node handles of interest in a built testbench.
+#[derive(Debug, Clone)]
+pub struct Fig1Nodes {
+    /// Victim receiver input (far end of the victim's coupled line).
+    pub in_u: NodeId,
+    /// Victim receiver output (4× inverter output).
+    pub out_u: NodeId,
+    /// Victim 1× driver output (near end of the coupled line).
+    pub victim_wire_in: NodeId,
+    /// Far end of each aggressor's coupled line.
+    pub aggressor_far: Vec<NodeId>,
+}
+
+/// Waveforms extracted from a testbench run.
+#[derive(Debug, Clone)]
+pub struct Fig1Waves {
+    /// Voltage at the victim receiver input `in_u`.
+    pub in_u: Waveform,
+    /// Voltage at the victim receiver output `out_u`.
+    pub out_u: Waveform,
+}
+
+/// Builds the full testbench; aggressor source mid-times are
+/// `victim_mid_time + skew[i]`. Pass `None` to keep aggressor `i` quiet.
+///
+/// # Errors
+///
+/// [`SpiceError::InvalidOptions`] on skew/window conflicts; propagated
+/// construction failures.
+pub fn build(
+    cfg: &Fig1Config,
+    skews: &[Option<f64>],
+) -> Result<(Netlist, Fig1Nodes), SpiceError> {
+    if skews.len() != cfg.aggressors {
+        return Err(SpiceError::InvalidOptions("one skew entry required per aggressor"));
+    }
+    if !(cfg.aggressors == 1 || cfg.aggressors == 2) {
+        return Err(SpiceError::InvalidOptions("testbench supports 1 or 2 aggressors"));
+    }
+    let spec = cfg.line_spec()?;
+    let proc = cfg.proc;
+    let mut net = Netlist::new(proc.vdd);
+
+    // Row order: the lines form a bus with coupling between adjacent
+    // neighbours. With two aggressors the victim sits at the edge of the
+    // chain (y–x1–x2): x1 couples to the victim directly with cm_total and
+    // x2 aggresses through x1 — "each with 100 fF total coupling
+    // capacitance" as in the paper's Configuration II.
+    // rows[victim_row] is the victim.
+    let (row_kinds, victim_row): (Vec<bool>, usize) = match cfg.aggressors {
+        1 => (vec![false, true], 1), // [aggressor, victim]
+        _ => (vec![true, false, false], 0),
+    };
+
+    let victim_wire_rises = cfg.victim_input_rise;
+    let aggressor_wire_rises =
+        if cfg.aggressors_oppose { !victim_wire_rises } else { victim_wire_rises };
+
+    // Sources and 1× drivers.
+    let mut drv_out = Vec::new();
+    let mut agg_index = 0usize;
+    for (i, &is_victim) in row_kinds.iter().enumerate() {
+        let src = net.node(&format!("r{i}_src"));
+        let wf = if is_victim {
+            cfg.source_ramp(victim_wire_rises, cfg.victim_mid_time)?
+        } else {
+            let skew = skews[agg_index];
+            agg_index += 1;
+            match skew {
+                Some(s) => cfg.source_ramp(aggressor_wire_rises, cfg.victim_mid_time + s)?,
+                None => {
+                    Waveform::constant(cfg.quiet_level(aggressor_wire_rises), 0.0, cfg.t_stop)?
+                }
+            }
+        };
+        net.vsource(src, wf)?;
+        let drv = net.node(&format!("r{i}_drv"));
+        cells::add_inverter(&mut net, &proc, 1.0, src, drv, &format!("r{i}_inv1"))?;
+        drv_out.push(drv);
+    }
+
+    // Coupled segment between the 1× and 4× stages.
+    let far = build_coupled_lines(&mut net, &spec, &drv_out, cfg.cm_total, "cl")?;
+
+    // Receiver chains: 4× → line → 16× → line → 64× load, on every row
+    // (identical loading for victim and aggressors, as drawn).
+    let mut in_u = None;
+    let mut out_u = None;
+    for (i, &is_victim) in row_kinds.iter().enumerate() {
+        let rec_in = far[i];
+        let rec_out = net.node(&format!("r{i}_out4"));
+        cells::add_inverter(&mut net, &proc, 4.0, rec_in, rec_out, &format!("r{i}_inv4"))?;
+        let l2_far = build_line(&mut net, &spec, rec_out, &format!("r{i}_l2"))?;
+        let out16 = net.node(&format!("r{i}_out16"));
+        cells::add_inverter(&mut net, &proc, 16.0, l2_far, out16, &format!("r{i}_inv16"))?;
+        let l3_far = build_line(&mut net, &spec, out16, &format!("r{i}_l3"))?;
+        cells::add_load_cap(&mut net, l3_far, proc.inverter_input_cap(64.0))?;
+        if is_victim {
+            in_u = Some(rec_in);
+            out_u = Some(rec_out);
+        }
+    }
+
+    let nodes = Fig1Nodes {
+        in_u: in_u.expect("victim row exists"),
+        out_u: out_u.expect("victim row exists"),
+        victim_wire_in: drv_out[victim_row],
+        aggressor_far: far
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != victim_row)
+            .map(|(_, &n)| n)
+            .collect(),
+    };
+    Ok((net, nodes))
+}
+
+/// Runs one noise-injection case: every aggressor switches with the given
+/// skew relative to the victim.
+///
+/// # Errors
+///
+/// Propagates build and simulation failures.
+pub fn run_case(cfg: &Fig1Config, skews: &[f64]) -> Result<Fig1Waves, SpiceError> {
+    let opt: Vec<Option<f64>> = skews.iter().map(|&s| Some(s)).collect();
+    run_with(cfg, &opt)
+}
+
+/// Runs the noiseless reference: all aggressors held quiet.
+///
+/// # Errors
+///
+/// Propagates build and simulation failures.
+pub fn run_noiseless(cfg: &Fig1Config) -> Result<Fig1Waves, SpiceError> {
+    let opt = vec![None; cfg.aggressors];
+    run_with(cfg, &opt)
+}
+
+fn run_with(cfg: &Fig1Config, skews: &[Option<f64>]) -> Result<Fig1Waves, SpiceError> {
+    let (net, nodes) = build(cfg, skews)?;
+    let res = net.run_transient(SimOptions::new(0.0, cfg.t_stop, cfg.dt)?)?;
+    Ok(Fig1Waves { in_u: res.voltage(nodes.in_u)?, out_u: res.voltage(nodes.out_u)? })
+}
+
+/// Drives the receiver stage alone (4× inverter with its full downstream
+/// load network) with an arbitrary input waveform and returns the output
+/// waveform at `out_u`.
+///
+/// This is how a technique's equivalent ramp `Γeff` is turned into a
+/// predicted output: replace the noisy input with `Γeff` and re-run *only*
+/// the receiver.
+///
+/// # Errors
+///
+/// Propagates build and simulation failures.
+pub fn run_receiver(cfg: &Fig1Config, input: &Waveform) -> Result<Waveform, SpiceError> {
+    let spec = cfg.line_spec()?;
+    let proc = cfg.proc;
+    let mut net = Netlist::new(proc.vdd);
+    let inp = net.node("in_u");
+    net.vsource(inp, input.clone())?;
+    let out = net.node("out_u");
+    cells::add_inverter(&mut net, &proc, 4.0, inp, out, "inv4")?;
+    let l2_far = build_line(&mut net, &spec, out, "l2")?;
+    let out16 = net.node("out16");
+    cells::add_inverter(&mut net, &proc, 16.0, l2_far, out16, "inv16")?;
+    let l3_far = build_line(&mut net, &spec, out16, "l3")?;
+    cells::add_load_cap(&mut net, l3_far, proc.inverter_input_cap(64.0))?;
+    // Extend the window when the supplied input transitions later than the
+    // standard testbench window (very slow equivalent ramps do).
+    let t_stop = cfg.t_stop.max(input.t_end());
+    let res = net.run_transient(SimOptions::new(0.0, t_stop, cfg.dt)?)?;
+    Ok(res.voltage(out)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nsta_waveform::{Polarity, Thresholds};
+
+    /// Faster settings for unit tests (coarser step, shorter tail).
+    fn test_cfg() -> Fig1Config {
+        Fig1Config { dt: 2e-12, t_stop: 3.5e-9, ..Fig1Config::config_i() }
+    }
+
+    #[test]
+    fn input_ramp_shapes() {
+        let w = input_ramp(1.2, 2e-9, 150e-12, true, 0.0, 4e-9).unwrap();
+        assert!((w.value_at(2e-9) - 0.6).abs() < 1e-9);
+        assert_eq!(w.value_at(0.0), 0.0);
+        assert_eq!(w.value_at(4e-9), 1.2);
+        let f = input_ramp(1.2, 2e-9, 150e-12, false, 0.0, 4e-9).unwrap();
+        assert_eq!(f.value_at(0.0), 1.2);
+        assert!(input_ramp(1.2, 0.05e-9, 150e-12, true, 0.0, 4e-9).is_err());
+    }
+
+    #[test]
+    fn config_constants_match_paper() {
+        let c1 = Fig1Config::config_i();
+        assert_eq!(c1.aggressors, 1);
+        assert_eq!(c1.line_length_um, 1000.0);
+        assert!((c1.cm_total - 100e-15).abs() < 1e-21);
+        assert!((c1.input_slew - 150e-12).abs() < 1e-18);
+        let c2 = Fig1Config::config_ii();
+        assert_eq!(c2.aggressors, 2);
+        assert_eq!(c2.line_length_um, 500.0);
+        // Figure 1 element values at 1000 µm: R = 8.5 Ω per segment.
+        let spec = c1.line_spec().unwrap();
+        assert!((spec.r_segment() - 8.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn build_audit_element_counts() {
+        let cfg = test_cfg();
+        let (net, nodes) = build(&cfg, &[Some(0.0)]).unwrap();
+        let (_r, _c, v, _i, m) = net.element_counts();
+        // Sources: 2 row sources + vdd rail.
+        assert_eq!(v, 3);
+        // 6 inverters × 2 transistors.
+        assert_eq!(m, 12);
+        assert!(!nodes.in_u.is_ground());
+        assert_eq!(nodes.aggressor_far.len(), 1);
+        // Wrong skew count is rejected.
+        assert!(build(&cfg, &[]).is_err());
+    }
+
+    #[test]
+    fn quiet_run_has_clean_victim_edge() {
+        let cfg = test_cfg();
+        let th = Thresholds::cmos(cfg.proc.vdd);
+        let waves = run_noiseless(&cfg).unwrap();
+        assert_eq!(waves.in_u.polarity(th).unwrap(), Polarity::Rise);
+        assert_eq!(waves.out_u.polarity(th).unwrap(), Polarity::Fall);
+        // Clean edge: single mid-rail crossing each.
+        assert_eq!(waves.in_u.crossings(th.mid()).len(), 1);
+        assert_eq!(waves.out_u.crossings(th.mid()).len(), 1);
+        // Receiver output transitions after its input.
+        let t_in = waves.in_u.last_crossing(th.mid()).unwrap();
+        let t_out = waves.out_u.last_crossing(th.mid()).unwrap();
+        assert!(t_out > t_in);
+    }
+
+    #[test]
+    fn aligned_aggressor_distorts_and_delays() {
+        let cfg = test_cfg();
+        let th = Thresholds::cmos(cfg.proc.vdd);
+        let quiet = run_noiseless(&cfg).unwrap();
+        let noisy = run_case(&cfg, &[0.0]).unwrap();
+        let t_quiet = quiet.out_u.last_crossing(th.mid()).unwrap();
+        let t_noisy = noisy.out_u.last_crossing(th.mid()).unwrap();
+        // Opposite-polarity aggressor aligned with the victim edge pushes
+        // the receiver output later.
+        assert!(
+            t_noisy > t_quiet + 5e-12,
+            "expected delay push-out: quiet {t_quiet:e}, noisy {t_noisy:e}"
+        );
+        // And the input waveform is visibly distorted.
+        let d = nsta_waveform::metrics::max_difference(&noisy.in_u, &quiet.in_u, 800).unwrap();
+        assert!(d > 0.05, "distortion too small: {d}");
+    }
+
+    #[test]
+    fn aggressor_influence_decays_with_skew() {
+        // An aggressor that switched long before the victim still shifts
+        // the delay a little (its driver now holds the wire with the other
+        // device, changing the coupling return impedance), but the effect
+        // must be far smaller than an aligned aggressor's.
+        let cfg = test_cfg();
+        let th = Thresholds::cmos(cfg.proc.vdd);
+        let quiet = run_noiseless(&cfg).unwrap();
+        let t_quiet = quiet.out_u.last_crossing(th.mid()).unwrap();
+        let delta = |skew: f64| {
+            let w = run_case(&cfg, &[skew]).unwrap();
+            w.out_u.last_crossing(th.mid()).unwrap() - t_quiet
+        };
+        let aligned = delta(0.0);
+        let far = delta(-1.2e-9);
+        assert!(aligned > 100e-12, "aligned aggressor must push out strongly: {aligned:e}");
+        assert!(far.abs() < 0.25 * aligned.abs(), "far {far:e} vs aligned {aligned:e}");
+    }
+
+    #[test]
+    fn receiver_bench_reproduces_noiseless_output() {
+        // Driving the receiver with the recorded noiseless in_u must give
+        // (nearly) the recorded noiseless out_u.
+        let cfg = test_cfg();
+        let th = Thresholds::cmos(cfg.proc.vdd);
+        let quiet = run_noiseless(&cfg).unwrap();
+        let replay = run_receiver(&cfg, &quiet.in_u).unwrap();
+        let t_orig = quiet.out_u.last_crossing(th.mid()).unwrap();
+        let t_replay = replay.last_crossing(th.mid()).unwrap();
+        assert!(
+            (t_orig - t_replay).abs() < 2e-12,
+            "replay drifted: {t_orig:e} vs {t_replay:e}"
+        );
+    }
+}

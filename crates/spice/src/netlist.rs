@@ -1,0 +1,322 @@
+use crate::device::{MosParams, MosType, Mosfet};
+use crate::SpiceError;
+use nsta_waveform::Waveform;
+
+/// Handle to a netlist node. [`Netlist::GROUND`] denotes the reference node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeId(pub(crate) usize);
+
+impl NodeId {
+    pub(crate) const GROUND_SENTINEL: usize = usize::MAX;
+
+    /// `true` if this is the ground/reference node.
+    pub fn is_ground(self) -> bool {
+        self.0 == Self::GROUND_SENTINEL
+    }
+}
+
+/// Technology bundle: device models, default widths and parasitics for the
+/// cell generators in [`cells`](crate::cells).
+///
+/// [`Process::c013`] is calibrated to 0.13 µm-class magnitudes (Vdd = 1.2 V,
+/// minimum inverter ≈ 0.4/0.8 µm, gate capacitance ≈ 1.5 fF/µm), standing in
+/// for the TSMC 0.13 µm library used in the paper.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Process {
+    /// Supply voltage (V).
+    pub vdd: f64,
+    /// NMOS model parameters.
+    pub nmos: MosParams,
+    /// PMOS model parameters.
+    pub pmos: MosParams,
+    /// NMOS width of a 1× inverter (µm).
+    pub wn_1x: f64,
+    /// PMOS width of a 1× inverter (µm).
+    pub wp_1x: f64,
+    /// Gate capacitance per µm of gate width (F/µm).
+    pub cg_per_um: f64,
+    /// Drain-diffusion capacitance per µm of width (F/µm).
+    pub cd_per_um: f64,
+}
+
+impl Process {
+    /// 0.13 µm-class process standing in for the paper's TSMC 0.13 µm cells.
+    ///
+    /// The 1× inverter is sized like a standard-cell library INVX1
+    /// (≈ 1.2/2.4 µm), not a minimum-width device: the paper's testbench
+    /// drives 1000 µm of wire with its 1× cell, which only produces the
+    /// reported 100–200 ps-scale delays with library-strength drive.
+    pub fn c013() -> Self {
+        Process {
+            vdd: 1.2,
+            nmos: MosParams::nmos_013(),
+            pmos: MosParams::pmos_013(),
+            wn_1x: 1.2,
+            wp_1x: 2.4,
+            cg_per_um: 1.5e-15,
+            cd_per_um: 1.0e-15,
+        }
+    }
+
+    /// Input capacitance of an inverter of the given size multiplier.
+    pub fn inverter_input_cap(&self, size: f64) -> f64 {
+        (self.wn_1x + self.wp_1x) * size * self.cg_per_um
+    }
+}
+
+/// A transistor-level netlist: MOSFETs plus linear R/C elements, ideal
+/// voltage/current sources and a VDD rail.
+#[derive(Debug, Clone)]
+pub struct Netlist {
+    vdd_value: f64,
+    names: Vec<String>,
+    pub(crate) resistors: Vec<(usize, usize, f64)>, // (a, b, conductance)
+    pub(crate) capacitors: Vec<(usize, usize, f64)>, // (a, b, farads)
+    pub(crate) vsources: Vec<(usize, Waveform)>,
+    pub(crate) isources: Vec<(usize, Waveform)>,
+    pub(crate) mosfets: Vec<Mosfet>,
+    vdd_node: Option<usize>,
+}
+
+impl Netlist {
+    /// The reference node.
+    pub const GROUND: NodeId = NodeId(NodeId::GROUND_SENTINEL);
+
+    /// Creates an empty netlist with the given supply voltage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vdd` is not positive and finite.
+    pub fn new(vdd: f64) -> Self {
+        assert!(vdd.is_finite() && vdd > 0.0, "vdd must be positive and finite");
+        Netlist {
+            vdd_value: vdd,
+            names: Vec::new(),
+            resistors: Vec::new(),
+            capacitors: Vec::new(),
+            vsources: Vec::new(),
+            isources: Vec::new(),
+            mosfets: Vec::new(),
+            vdd_node: None,
+        }
+    }
+
+    /// Supply voltage (V).
+    pub fn vdd(&self) -> f64 {
+        self.vdd_value
+    }
+
+    /// Creates (or looks up) a named node.
+    pub fn node(&mut self, name: &str) -> NodeId {
+        if let Some(pos) = self.names.iter().position(|n| n == name) {
+            return NodeId(pos);
+        }
+        self.names.push(name.to_owned());
+        NodeId(self.names.len() - 1)
+    }
+
+    /// The VDD rail node, pinned to the supply voltage (created on first
+    /// use).
+    pub fn vdd_node(&mut self) -> NodeId {
+        if let Some(idx) = self.vdd_node {
+            return NodeId(idx);
+        }
+        let id = self.node("__vdd");
+        // A very long constant waveform: rails outlive any run window.
+        let w = Waveform::constant(self.vdd_value, -1.0, 1.0).expect("static rail waveform");
+        self.vsources.push((id.0, w));
+        self.vdd_node = Some(id.0);
+        id
+    }
+
+    /// Number of non-ground nodes.
+    pub fn node_count(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Name of a node (`"0"` for ground).
+    ///
+    /// # Errors
+    ///
+    /// [`SpiceError::UnknownNode`] for ids from another netlist.
+    pub fn node_name(&self, id: NodeId) -> Result<&str, SpiceError> {
+        if id.is_ground() {
+            return Ok("0");
+        }
+        self.names.get(id.0).map(String::as_str).ok_or(SpiceError::UnknownNode { index: id.0 })
+    }
+
+    pub(crate) fn check(&self, id: NodeId) -> Result<usize, SpiceError> {
+        if id.is_ground() {
+            return Ok(NodeId::GROUND_SENTINEL);
+        }
+        if id.0 < self.names.len() {
+            Ok(id.0)
+        } else {
+            Err(SpiceError::UnknownNode { index: id.0 })
+        }
+    }
+
+    /// Adds a resistor.
+    ///
+    /// # Errors
+    ///
+    /// [`SpiceError::InvalidParameter`] for non-positive resistance or
+    /// coincident terminals; [`SpiceError::UnknownNode`] for foreign ids.
+    pub fn resistor(&mut self, a: NodeId, b: NodeId, ohms: f64) -> Result<(), SpiceError> {
+        if !(ohms.is_finite() && ohms > 0.0) {
+            return Err(SpiceError::InvalidParameter("resistance must be positive"));
+        }
+        let (ia, ib) = (self.check(a)?, self.check(b)?);
+        if ia == ib {
+            return Err(SpiceError::InvalidParameter("resistor terminals coincide"));
+        }
+        self.resistors.push((ia, ib, 1.0 / ohms));
+        Ok(())
+    }
+
+    /// Adds a capacitor (grounded or coupling).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Netlist::resistor`].
+    pub fn capacitor(&mut self, a: NodeId, b: NodeId, farads: f64) -> Result<(), SpiceError> {
+        if !(farads.is_finite() && farads > 0.0) {
+            return Err(SpiceError::InvalidParameter("capacitance must be positive"));
+        }
+        let (ia, ib) = (self.check(a)?, self.check(b)?);
+        if ia == ib {
+            return Err(SpiceError::InvalidParameter("capacitor terminals coincide"));
+        }
+        self.capacitors.push((ia, ib, farads));
+        Ok(())
+    }
+
+    /// Pins `node` to `waveform` with an ideal voltage source.
+    ///
+    /// # Errors
+    ///
+    /// [`SpiceError::AlreadyDriven`] on double drive;
+    /// [`SpiceError::InvalidParameter`] when driving ground.
+    pub fn vsource(&mut self, node: NodeId, waveform: Waveform) -> Result<(), SpiceError> {
+        let idx = self.check(node)?;
+        if node.is_ground() {
+            return Err(SpiceError::InvalidParameter("cannot drive the ground node"));
+        }
+        if self.vsources.iter().any(|(n, _)| *n == idx) {
+            return Err(SpiceError::AlreadyDriven { name: self.names[idx].clone() });
+        }
+        self.vsources.push((idx, waveform));
+        Ok(())
+    }
+
+    /// Injects `waveform` amperes into `node`.
+    ///
+    /// # Errors
+    ///
+    /// [`SpiceError::InvalidParameter`] when injecting into ground.
+    pub fn isource(&mut self, node: NodeId, waveform: Waveform) -> Result<(), SpiceError> {
+        let idx = self.check(node)?;
+        if node.is_ground() {
+            return Err(SpiceError::InvalidParameter("cannot inject into the ground node"));
+        }
+        self.isources.push((idx, waveform));
+        Ok(())
+    }
+
+    /// Adds a MOSFET with explicit terminals.
+    ///
+    /// # Errors
+    ///
+    /// [`SpiceError::InvalidParameter`] for invalid width or model
+    /// parameters; [`SpiceError::UnknownNode`] for foreign ids.
+    pub fn mosfet(
+        &mut self,
+        mos_type: MosType,
+        w_um: f64,
+        params: MosParams,
+        drain: NodeId,
+        gate: NodeId,
+        source: NodeId,
+    ) -> Result<(), SpiceError> {
+        if !(w_um.is_finite() && w_um > 0.0) {
+            return Err(SpiceError::InvalidParameter("device width must be positive"));
+        }
+        params.validate()?;
+        let d = self.check(drain)?;
+        let g = self.check(gate)?;
+        let s = self.check(source)?;
+        self.mosfets.push(Mosfet { mos_type, w_um, params, drain: d, gate: g, source: s });
+        Ok(())
+    }
+
+    /// Element counts `(R, C, V, I, M)`.
+    pub fn element_counts(&self) -> (usize, usize, usize, usize, usize) {
+        (
+            self.resistors.len(),
+            self.capacitors.len(),
+            self.vsources.len(),
+            self.isources.len(),
+            self.mosfets.len(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nodes_and_rails() {
+        let mut n = Netlist::new(1.2);
+        let a = n.node("a");
+        assert_eq!(n.node("a"), a);
+        let vdd = n.vdd_node();
+        assert_eq!(n.vdd_node(), vdd);
+        assert_eq!(n.node_name(vdd).unwrap(), "__vdd");
+        assert_eq!(n.node_name(Netlist::GROUND).unwrap(), "0");
+        assert_eq!(n.vdd(), 1.2);
+        // vdd_node pins exactly one source even when called twice.
+        assert_eq!(n.element_counts().2, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "vdd must be positive")]
+    fn bad_vdd_panics() {
+        let _ = Netlist::new(-1.0);
+    }
+
+    #[test]
+    fn element_validation() {
+        let mut n = Netlist::new(1.2);
+        let a = n.node("a");
+        let b = n.node("b");
+        assert!(n.resistor(a, b, 10.0).is_ok());
+        assert!(n.resistor(a, b, 0.0).is_err());
+        assert!(n.resistor(a, a, 10.0).is_err());
+        assert!(n.capacitor(a, Netlist::GROUND, 1e-15).is_ok());
+        assert!(n.capacitor(a, Netlist::GROUND, -1e-15).is_err());
+        let w = Waveform::constant(0.0, 0.0, 1.0).unwrap();
+        assert!(n.vsource(a, w.clone()).is_ok());
+        assert!(matches!(n.vsource(a, w.clone()), Err(SpiceError::AlreadyDriven { .. })));
+        assert!(n.vsource(Netlist::GROUND, w.clone()).is_err());
+        assert!(n.isource(Netlist::GROUND, w).is_err());
+        assert!(n
+            .mosfet(MosType::Nmos, 0.4, MosParams::nmos_013(), b, a, Netlist::GROUND)
+            .is_ok());
+        assert!(n
+            .mosfet(MosType::Nmos, -0.4, MosParams::nmos_013(), b, a, Netlist::GROUND)
+            .is_err());
+    }
+
+    #[test]
+    fn process_constants_are_plausible() {
+        let p = Process::c013();
+        assert_eq!(p.vdd, 1.2);
+        // A library-strength 1× inverter input is a few femtofarads.
+        let cin = p.inverter_input_cap(1.0);
+        assert!(cin > 2e-15 && cin < 10e-15);
+        // 4× is exactly 4× the input cap.
+        assert!((p.inverter_input_cap(4.0) / cin - 4.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,476 @@
+//! Arrival / required / slack propagation.
+
+use crate::graph::TimingGraph;
+use crate::netlist::{Design, NetId};
+use crate::report::{NetTiming, PathPoint, PointTiming, TimingReport};
+use crate::StaError;
+use nsta_liberty::{Library, NldmTable, TimingSense};
+use nsta_waveform::Polarity;
+
+/// Analysis constraints: boundary conditions of the timing run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Constraints {
+    /// Arrival time at every primary input (s).
+    pub input_arrival: f64,
+    /// Transition time at every primary input (s).
+    pub input_slew: f64,
+    /// Required time at every primary output (s) — a single-cycle "clock
+    /// period" view adequate for combinational blocks.
+    pub required_at_outputs: f64,
+    /// Extra capacitive load on primary output nets (farads).
+    pub output_load: f64,
+}
+
+impl Default for Constraints {
+    fn default() -> Self {
+        Constraints {
+            input_arrival: 0.0,
+            input_slew: 100e-12,
+            required_at_outputs: 2e-9,
+            output_load: 5e-15,
+        }
+    }
+}
+
+/// Per-edge resolved arc tables.
+#[derive(Debug, Clone)]
+pub(crate) struct EdgeArc {
+    pub sense: TimingSense,
+    pub cell_rise: NldmTable,
+    pub rise_transition: NldmTable,
+    pub cell_fall: NldmTable,
+    pub fall_transition: NldmTable,
+}
+
+/// One computed timing point (arrival + slew) during the sweep.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct Point {
+    pub arrival: f64,
+    pub slew: f64,
+    pub valid: bool,
+    /// `(edge index, source transition)` that set this arrival.
+    pub pred: Option<(usize, Polarity)>,
+}
+
+/// Rise/fall state of a net during the sweep.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct NetState {
+    pub rise: Point,
+    pub fall: Point,
+}
+
+impl NetState {
+    pub(crate) fn get(&self, pol: Polarity) -> &Point {
+        match pol {
+            Polarity::Rise => &self.rise,
+            Polarity::Fall => &self.fall,
+        }
+    }
+
+    pub(crate) fn get_mut(&mut self, pol: Polarity) -> &mut Point {
+        match pol {
+            Polarity::Rise => &mut self.rise,
+            Polarity::Fall => &mut self.fall,
+        }
+    }
+}
+
+/// The static timing analyzer: a design bound to a library.
+#[derive(Debug, Clone)]
+pub struct Sta {
+    design: Design,
+    library: Library,
+    graph: TimingGraph,
+    arcs: Vec<EdgeArc>,
+}
+
+impl Sta {
+    /// Binds a design to a library, building and validating the timing
+    /// graph.
+    ///
+    /// # Errors
+    ///
+    /// Propagates graph-construction failures (unknown cells, multiple
+    /// drivers, combinational cycles).
+    pub fn new(design: Design, library: Library) -> Result<Self, StaError> {
+        let graph = TimingGraph::build(&design, &library)?;
+        let mut arcs = Vec::with_capacity(graph.edges().len());
+        for e in graph.edges() {
+            let inst = &design.instances()[e.instance];
+            let cell = library
+                .cell(&inst.cell)
+                .ok_or_else(|| StaError::Unresolved(format!("cell {}", inst.cell)))?;
+            let pin = cell
+                .pin(&e.output_pin)
+                .ok_or_else(|| StaError::Unresolved(format!("pin {}", e.output_pin)))?;
+            let arc = pin
+                .timing
+                .iter()
+                .find(|a| a.related_pin == e.input_pin)
+                .ok_or_else(|| {
+                    StaError::Library(format!(
+                        "no arc {} -> {} on cell {}",
+                        e.input_pin, e.output_pin, inst.cell
+                    ))
+                })?;
+            arcs.push(EdgeArc {
+                sense: arc.sense,
+                cell_rise: arc.cell_rise.clone(),
+                rise_transition: arc.rise_transition.clone(),
+                cell_fall: arc.cell_fall.clone(),
+                fall_transition: arc.fall_transition.clone(),
+            });
+        }
+        Ok(Sta { design, library, graph, arcs })
+    }
+
+    /// The bound design.
+    pub fn design(&self) -> &Design {
+        &self.design
+    }
+
+    /// The bound library.
+    pub fn library(&self) -> &Library {
+        &self.library
+    }
+
+    /// The validated timing graph.
+    pub fn graph(&self) -> &TimingGraph {
+        &self.graph
+    }
+
+    /// Effective load on a net: fanout pin caps plus the constraint load on
+    /// primary outputs.
+    pub(crate) fn net_load(&self, net: NetId, constraints: &Constraints) -> f64 {
+        let mut load = self.graph.load(net);
+        if self.design.outputs().contains(&net) {
+            load += constraints.output_load;
+        }
+        load
+    }
+
+    /// `(delay, out_slew)` of edge `k` for the given source transition.
+    pub(crate) fn edge_timing(
+        &self,
+        k: usize,
+        from_pol: Polarity,
+        from_slew: f64,
+        load: f64,
+    ) -> Result<(Polarity, f64, f64), StaError> {
+        let arc = &self.arcs[k];
+        let out_pol = match arc.sense {
+            TimingSense::NegativeUnate => from_pol.inverted(),
+            TimingSense::PositiveUnate => from_pol,
+        };
+        let (delay_t, slew_t) = match out_pol {
+            Polarity::Rise => (&arc.cell_rise, &arc.rise_transition),
+            Polarity::Fall => (&arc.cell_fall, &arc.fall_transition),
+        };
+        let delay = delay_t
+            .lookup(from_slew, load)
+            .map_err(|e| StaError::Library(format!("delay lookup: {e}")))?;
+        let slew = slew_t
+            .lookup(from_slew, load)
+            .map_err(|e| StaError::Library(format!("slew lookup: {e}")))?
+            .max(1e-13);
+        Ok((out_pol, delay, slew))
+    }
+
+    /// Forward arrival sweep. `override_net` lets the crosstalk pass
+    /// replace the state of specific nets as they are reached.
+    pub(crate) fn forward_sweep(
+        &self,
+        constraints: &Constraints,
+        mut override_net: impl FnMut(NetId, &mut NetState) -> Result<(), StaError>,
+    ) -> Result<Vec<NetState>, StaError> {
+        let n = self.design.net_count();
+        let mut states = vec![NetState::default(); n];
+        for &input in self.design.inputs() {
+            for pol in [Polarity::Rise, Polarity::Fall] {
+                let p = states[input.0].get_mut(pol);
+                p.arrival = constraints.input_arrival;
+                p.slew = constraints.input_slew;
+                p.valid = true;
+            }
+        }
+        for &net in self.graph.topological_order() {
+            for &k in self.graph.fanin_edges(net) {
+                let edge = &self.graph.edges()[k];
+                let load = self.net_load(net, constraints);
+                for from_pol in [Polarity::Rise, Polarity::Fall] {
+                    let from = *states[edge.from.0].get(from_pol);
+                    if !from.valid {
+                        continue;
+                    }
+                    let (out_pol, delay, slew) =
+                        self.edge_timing(k, from_pol, from.slew, load)?;
+                    let candidate = from.arrival + delay;
+                    let p = states[net.0].get_mut(out_pol);
+                    if !p.valid || candidate > p.arrival {
+                        p.arrival = candidate;
+                        p.slew = slew;
+                        p.valid = true;
+                        p.pred = Some((k, from_pol));
+                    }
+                }
+            }
+            override_net(net, &mut states[net.0])?;
+        }
+        Ok(states)
+    }
+
+    /// Runs the nominal (crosstalk-free) analysis.
+    ///
+    /// # Errors
+    ///
+    /// Propagates table-lookup failures; construction errors were already
+    /// caught in [`Sta::new`].
+    pub fn analyze(&self, constraints: &Constraints) -> Result<TimingReport, StaError> {
+        let states = self.forward_sweep(constraints, |_, _| Ok(()))?;
+        self.finish_report(constraints, states)
+    }
+
+    /// Builds required times, slacks and the critical path from a completed
+    /// forward sweep.
+    pub(crate) fn finish_report(
+        &self,
+        constraints: &Constraints,
+        states: Vec<NetState>,
+    ) -> Result<TimingReport, StaError> {
+        let n = self.design.net_count();
+        let mut required = vec![[f64::INFINITY; 2]; n];
+        let idx = |p: Polarity| match p {
+            Polarity::Rise => 0usize,
+            Polarity::Fall => 1usize,
+        };
+        for &out in self.design.outputs() {
+            required[out.0] = [constraints.required_at_outputs; 2];
+        }
+        // Reverse sweep over the topological order.
+        for &net in self.graph.topological_order().iter().rev() {
+            for &k in self.graph.fanin_edges(net) {
+                let edge = &self.graph.edges()[k];
+                let load = self.net_load(net, constraints);
+                for from_pol in [Polarity::Rise, Polarity::Fall] {
+                    let from = *states[edge.from.0].get(from_pol);
+                    if !from.valid {
+                        continue;
+                    }
+                    let (out_pol, delay, _) = self.edge_timing(k, from_pol, from.slew, load)?;
+                    let req = required[net.0][idx(out_pol)] - delay;
+                    let slot = &mut required[edge.from.0][idx(from_pol)];
+                    if req < *slot {
+                        *slot = req;
+                    }
+                }
+            }
+        }
+
+        let mut nets = Vec::with_capacity(n);
+        let mut worst_arrival = f64::NEG_INFINITY;
+        let mut worst_slack = f64::INFINITY;
+        let mut worst_point: Option<(NetId, Polarity)> = None;
+        for i in 0..n {
+            let id = NetId(i);
+            let mut timing = NetTiming {
+                net: id,
+                name: self.design.net_name(id).to_string(),
+                rise: None,
+                fall: None,
+            };
+            for pol in [Polarity::Rise, Polarity::Fall] {
+                let p = states[i].get(pol);
+                if !p.valid {
+                    continue;
+                }
+                let req = required[i][idx(pol)];
+                let slack = if req.is_finite() { req - p.arrival } else { f64::INFINITY };
+                let pt = PointTiming { arrival: p.arrival, slew: p.slew, required: req, slack };
+                match pol {
+                    Polarity::Rise => timing.rise = Some(pt),
+                    Polarity::Fall => timing.fall = Some(pt),
+                }
+                worst_arrival = worst_arrival.max(p.arrival);
+                // Prefer the latest-arriving point among equal slacks so the
+                // critical path is reported from its endpoint, not from an
+                // intermediate net sharing the same slack.
+                let better = slack < worst_slack - 1e-15
+                    || (slack <= worst_slack + 1e-15
+                        && worst_point
+                            .map(|(wid, wpol)| {
+                                let wp = states[wid.0].get(wpol);
+                                p.arrival > wp.arrival
+                            })
+                            .unwrap_or(true));
+                if better {
+                    worst_slack = worst_slack.min(slack);
+                    worst_point = Some((id, pol));
+                }
+            }
+            nets.push(timing);
+        }
+
+        // Critical path: walk predecessors from the worst-slack endpoint.
+        let mut critical = Vec::new();
+        if let Some((mut net, mut pol)) = worst_point {
+            loop {
+                let p = *states[net.0].get(pol);
+                critical.push(PathPoint {
+                    net,
+                    name: self.design.net_name(net).to_string(),
+                    polarity: pol,
+                    arrival: p.arrival,
+                    slew: p.slew,
+                });
+                match p.pred {
+                    Some((k, from_pol)) => {
+                        net = self.graph.edges()[k].from;
+                        pol = from_pol;
+                    }
+                    None => break,
+                }
+            }
+            critical.reverse();
+        }
+        Ok(TimingReport::new(nets, critical, worst_slack, worst_arrival))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verilog::parse_design;
+    use nsta_liberty::characterize::{inverter_family, Options};
+    use nsta_spice::Process;
+    use std::sync::OnceLock;
+
+    fn lib() -> &'static Library {
+        static LIB: OnceLock<Library> = OnceLock::new();
+        LIB.get_or_init(|| {
+            inverter_family(
+                &Process::c013(),
+                &[("INVX1", 1.0), ("INVX2", 2.0), ("INVX4", 4.0)],
+                &Options::fast_test(),
+            )
+            .unwrap()
+        })
+    }
+
+    fn chain(n: usize) -> Design {
+        let mut src = String::from("module m (a, y); input a; output y;\n");
+        for i in 1..n {
+            src.push_str(&format!("wire w{i};\n"));
+        }
+        for i in 0..n {
+            let from = if i == 0 { "a".to_string() } else { format!("w{i}") };
+            let to = if i == n - 1 { "y".to_string() } else { format!("w{}", i + 1) };
+            src.push_str(&format!("INVX2 u{i} (.A({from}), .Y({to}));\n"));
+        }
+        src.push_str("endmodule");
+        parse_design(&src).unwrap()
+    }
+
+    #[test]
+    fn chain_delay_is_sum_of_stage_delays() {
+        let sta = Sta::new(chain(4), lib().clone()).unwrap();
+        let c = Constraints::default();
+        let report = sta.analyze(&c).unwrap();
+        let y = sta.design().find_net("y").unwrap();
+        let yt = report.net(y).unwrap();
+        // Both transitions analyzed; arrivals positive and distinct.
+        let rise = yt.rise.as_ref().unwrap();
+        let fall = yt.fall.as_ref().unwrap();
+        assert!(rise.arrival > 0.0 && fall.arrival > 0.0);
+        // A 4-stage chain of ~tens of ps per stage lands well under 1 ns.
+        assert!(rise.arrival < 1e-9);
+        // Hand-accumulate the expected worst arrival along the chain and
+        // compare (validates the sweep's bookkeeping end to end).
+        let mut arr = [c.input_arrival; 2]; // [rise, fall]
+        let mut slew = [c.input_slew; 2];
+        let order = ["w1", "w2", "w3", "y"];
+        for (stage, name) in order.iter().enumerate() {
+            let net = sta.design().find_net(name).unwrap();
+            let load = sta.net_load(net, &c);
+            let edge = sta.graph().fanin_edges(net)[0];
+            // Negative unate inverter: out rise from in fall and vice versa.
+            let (_, d_r, s_r) = sta.edge_timing(edge, Polarity::Fall, slew[1], load).unwrap();
+            let (_, d_f, s_f) = sta.edge_timing(edge, Polarity::Rise, slew[0], load).unwrap();
+            let next_rise = arr[1] + d_r;
+            let next_fall = arr[0] + d_f;
+            arr = [next_rise, next_fall];
+            slew = [s_r, s_f];
+            let _ = stage;
+        }
+        assert!((rise.arrival - arr[0]).abs() < 1e-15);
+        assert!((fall.arrival - arr[1]).abs() < 1e-15);
+    }
+
+    #[test]
+    fn longer_chains_are_slower() {
+        let c = Constraints::default();
+        let t3 = Sta::new(chain(3), lib().clone())
+            .unwrap()
+            .analyze(&c)
+            .unwrap()
+            .worst_arrival();
+        let t6 = Sta::new(chain(6), lib().clone())
+            .unwrap()
+            .analyze(&c)
+            .unwrap()
+            .worst_arrival();
+        assert!(t6 > t3 * 1.5);
+    }
+
+    #[test]
+    fn slack_and_critical_path() {
+        let sta = Sta::new(chain(3), lib().clone()).unwrap();
+        let mut c = Constraints::default();
+        c.required_at_outputs = 1e-9;
+        let report = sta.analyze(&c).unwrap();
+        // Slack = required − arrival at the endpoint.
+        assert!(report.worst_slack() < 1e-9);
+        assert!(report.worst_slack() > 0.0, "a 3-stage chain meets 1 ns easily");
+        // Critical path runs input → output through every stage.
+        let path = report.critical_path();
+        assert_eq!(path.len(), 4); // a, w1, w2, y
+        assert_eq!(path.first().unwrap().name, "a");
+        assert_eq!(path.last().unwrap().name, "y");
+        // Arrivals increase along the path.
+        assert!(path.windows(2).all(|w| w[1].arrival >= w[0].arrival));
+        // Negative required time budget produces negative slack.
+        c.required_at_outputs = 0.0;
+        let tight = sta.analyze(&c).unwrap();
+        assert!(tight.worst_slack() < 0.0);
+    }
+
+    #[test]
+    fn fanout_increases_delay() {
+        // One driver, two receivers: the driver's stage delay must exceed
+        // the single-receiver case because its load doubles.
+        let single = parse_design(
+            "module m (a, y); input a; output y; wire w;\
+             INVX1 u1 (.A(a), .Y(w)); INVX4 u2 (.A(w), .Y(y)); endmodule",
+        )
+        .unwrap();
+        let double = parse_design(
+            "module m (a, y, z); input a; output y, z; wire w;\
+             INVX1 u1 (.A(a), .Y(w)); INVX4 u2 (.A(w), .Y(y));\
+             INVX4 u3 (.A(w), .Y(z)); endmodule",
+        )
+        .unwrap();
+        let c = Constraints::default();
+        let w1 = {
+            let sta = Sta::new(single, lib().clone()).unwrap();
+            let r = sta.analyze(&c).unwrap();
+            let w = sta.design().find_net("w").unwrap();
+            r.net(w).unwrap().rise.as_ref().unwrap().arrival
+        };
+        let w2 = {
+            let sta = Sta::new(double, lib().clone()).unwrap();
+            let r = sta.analyze(&c).unwrap();
+            let w = sta.design().find_net("w").unwrap();
+            r.net(w).unwrap().rise.as_ref().unwrap().arrival
+        };
+        assert!(w2 > w1, "double fanout {w2:e} vs single {w1:e}");
+    }
+}

@@ -1,0 +1,230 @@
+//! Levelized timing graph over nets.
+//!
+//! Vertices are nets; each cell arc contributes an edge from its input net
+//! to its output net. The graph is validated (single driver per net, no
+//! combinational cycles) and levelized for the forward arrival sweep.
+
+use crate::netlist::{Design, NetId};
+use crate::StaError;
+use nsta_liberty::{Direction, Library};
+
+/// A timing edge: one cell arc from an input net to an output net.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Edge {
+    /// Source net (cell input).
+    pub from: NetId,
+    /// Destination net (cell output).
+    pub to: NetId,
+    /// Index of the driving instance in the design.
+    pub instance: usize,
+    /// Related input pin name on the cell.
+    pub input_pin: String,
+    /// Output pin name on the cell.
+    pub output_pin: String,
+}
+
+/// Levelized net-level timing graph.
+#[derive(Debug, Clone)]
+pub struct TimingGraph {
+    edges: Vec<Edge>,
+    /// Edge indices grouped by destination net.
+    fanin: Vec<Vec<usize>>,
+    /// Edge indices grouped by source net.
+    fanout: Vec<Vec<usize>>,
+    /// Nets in topological order (inputs first).
+    order: Vec<NetId>,
+    /// Capacitive load on each net: Σ input-pin capacitances of fanout.
+    loads: Vec<f64>,
+}
+
+impl TimingGraph {
+    /// Builds and validates the graph for `design` against `library`.
+    ///
+    /// # Errors
+    ///
+    /// * [`StaError::Unresolved`] for unknown cells or unconnected arcs.
+    /// * [`StaError::Structure`] for nets with multiple drivers.
+    /// * [`StaError::CombinationalCycle`] if levelization fails.
+    pub fn build(design: &Design, library: &Library) -> Result<Self, StaError> {
+        let n = design.net_count();
+        let mut edges = Vec::new();
+        let mut loads = vec![0.0; n];
+        let mut driver_of: Vec<Option<usize>> = vec![None; n];
+
+        for (idx, inst) in design.instances().iter().enumerate() {
+            let cell = library
+                .cell(&inst.cell)
+                .ok_or_else(|| StaError::Unresolved(format!("cell {} not in library", inst.cell)))?;
+            for pin in &cell.pins {
+                let net = inst.net_on(&pin.name).ok_or_else(|| {
+                    StaError::Unresolved(format!(
+                        "instance {}: pin {} unconnected",
+                        inst.name, pin.name
+                    ))
+                })?;
+                match pin.direction {
+                    Direction::Input => loads[net.0] += pin.capacitance,
+                    Direction::Output => {
+                        if let Some(previous) = driver_of[net.0] {
+                            let prev_name = &design.instances()[previous].name;
+                            return Err(StaError::Structure(format!(
+                                "net {} driven by both {} and {}",
+                                design.net_name(net),
+                                prev_name,
+                                inst.name
+                            )));
+                        }
+                        driver_of[net.0] = Some(idx);
+                        for arc in &pin.timing {
+                            let from = inst.net_on(&arc.related_pin).ok_or_else(|| {
+                                StaError::Unresolved(format!(
+                                    "instance {}: arc pin {} unconnected",
+                                    inst.name, arc.related_pin
+                                ))
+                            })?;
+                            edges.push(Edge {
+                                from,
+                                to: net,
+                                instance: idx,
+                                input_pin: arc.related_pin.clone(),
+                                output_pin: pin.name.clone(),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut fanin: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut fanout: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (k, e) in edges.iter().enumerate() {
+            fanin[e.to.0].push(k);
+            fanout[e.from.0].push(k);
+        }
+
+        // Kahn levelization over nets.
+        let mut indegree: Vec<usize> = fanin.iter().map(Vec::len).collect();
+        let mut queue: Vec<NetId> =
+            (0..n).filter(|&i| indegree[i] == 0).map(NetId).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(net) = queue.pop() {
+            order.push(net);
+            for &k in &fanout[net.0] {
+                let to = edges[k].to.0;
+                indegree[to] -= 1;
+                if indegree[to] == 0 {
+                    queue.push(NetId(to));
+                }
+            }
+        }
+        if order.len() != n {
+            let stuck = (0..n).find(|&i| indegree[i] > 0).expect("cycle exists");
+            return Err(StaError::CombinationalCycle {
+                net: design.net_name(NetId(stuck)).to_string(),
+            });
+        }
+        Ok(TimingGraph { edges, fanin, fanout, order, loads })
+    }
+
+    /// All edges.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Nets in topological order.
+    pub fn topological_order(&self) -> &[NetId] {
+        &self.order
+    }
+
+    /// Indices of edges terminating at `net`.
+    pub fn fanin_edges(&self, net: NetId) -> &[usize] {
+        &self.fanin[net.0]
+    }
+
+    /// Indices of edges departing from `net`.
+    pub fn fanout_edges(&self, net: NetId) -> &[usize] {
+        &self.fanout[net.0]
+    }
+
+    /// Capacitive load on `net` (farads).
+    pub fn load(&self, net: NetId) -> f64 {
+        self.loads[net.0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verilog::parse_design;
+    use nsta_liberty::characterize::{inverter_family, Options};
+    use nsta_spice::Process;
+    use std::sync::OnceLock;
+
+    fn lib() -> &'static Library {
+        static LIB: OnceLock<Library> = OnceLock::new();
+        LIB.get_or_init(|| {
+            inverter_family(
+                &Process::c013(),
+                &[("INVX1", 1.0), ("INVX4", 4.0)],
+                &Options::fast_test(),
+            )
+            .unwrap()
+        })
+    }
+
+    #[test]
+    fn chain_graph_levels_and_loads() {
+        let d = parse_design(
+            "module m (a, y); input a; output y; wire w;\
+             INVX1 u1 (.A(a), .Y(w)); INVX4 u2 (.A(w), .Y(y)); endmodule",
+        )
+        .unwrap();
+        let g = TimingGraph::build(&d, lib()).unwrap();
+        assert_eq!(g.edges().len(), 2);
+        let a = d.find_net("a").unwrap();
+        let w = d.find_net("w").unwrap();
+        let y = d.find_net("y").unwrap();
+        // Topological order respects dependencies.
+        let pos = |n: NetId| g.topological_order().iter().position(|&x| x == n).unwrap();
+        assert!(pos(a) < pos(w));
+        assert!(pos(w) < pos(y));
+        // Load on 'w' is the 4x input capacitance.
+        let c4 = lib().cell("INVX4").unwrap().pin("A").unwrap().capacitance;
+        assert!((g.load(w) - c4).abs() < 1e-20);
+        assert_eq!(g.load(y), 0.0);
+        assert_eq!(g.fanin_edges(y).len(), 1);
+        assert_eq!(g.fanout_edges(a).len(), 1);
+    }
+
+    #[test]
+    fn multiple_drivers_rejected() {
+        let d = parse_design(
+            "module m (a, y); input a; output y;\
+             INVX1 u1 (.A(a), .Y(y)); INVX1 u2 (.A(a), .Y(y)); endmodule",
+        )
+        .unwrap();
+        assert!(matches!(TimingGraph::build(&d, lib()), Err(StaError::Structure(_))));
+    }
+
+    #[test]
+    fn unknown_cell_rejected() {
+        let d = parse_design(
+            "module m (a, y); input a; output y; NAND9 u1 (.A(a), .Y(y)); endmodule",
+        )
+        .unwrap();
+        assert!(matches!(TimingGraph::build(&d, lib()), Err(StaError::Unresolved(_))));
+    }
+
+    #[test]
+    fn cycles_detected() {
+        let d = parse_design(
+            "module m (y); output y; wire w1, w2;\
+             INVX1 u1 (.A(w2), .Y(w1)); INVX1 u2 (.A(w1), .Y(w2)); endmodule",
+        )
+        .unwrap();
+        assert!(matches!(
+            TimingGraph::build(&d, lib()),
+            Err(StaError::CombinationalCycle { .. })
+        ));
+    }
+}

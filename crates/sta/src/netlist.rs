@@ -1,0 +1,160 @@
+use crate::StaError;
+
+/// Handle to a net within a [`Design`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NetId(pub(crate) usize);
+
+/// One cell instance with named pin connections.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Instance {
+    /// Instance name (unique within the design).
+    pub name: String,
+    /// Library cell name.
+    pub cell: String,
+    /// `(pin name, net)` pairs.
+    pub connections: Vec<(String, NetId)>,
+}
+
+impl Instance {
+    /// The net connected to `pin`, if any.
+    pub fn net_on(&self, pin: &str) -> Option<NetId> {
+        self.connections.iter().find(|(p, _)| p == pin).map(|&(_, n)| n)
+    }
+}
+
+/// A gate-level netlist: nets, primary inputs/outputs and cell instances.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Design {
+    /// Design (module) name.
+    pub name: String,
+    nets: Vec<String>,
+    inputs: Vec<NetId>,
+    outputs: Vec<NetId>,
+    instances: Vec<Instance>,
+}
+
+impl Design {
+    /// Creates an empty design.
+    pub fn new(name: &str) -> Self {
+        Design { name: name.into(), ..Design::default() }
+    }
+
+    /// Creates (or looks up) a named net.
+    pub fn net(&mut self, name: &str) -> NetId {
+        if let Some(pos) = self.nets.iter().position(|n| n == name) {
+            return NetId(pos);
+        }
+        self.nets.push(name.into());
+        NetId(self.nets.len() - 1)
+    }
+
+    /// Looks up an existing net by name.
+    pub fn find_net(&self, name: &str) -> Option<NetId> {
+        self.nets.iter().position(|n| n == name).map(NetId)
+    }
+
+    /// Name of a net.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is from another design.
+    pub fn net_name(&self, id: NetId) -> &str {
+        &self.nets[id.0]
+    }
+
+    /// Number of nets.
+    pub fn net_count(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// Declares a net as a primary input.
+    pub fn mark_input(&mut self, net: NetId) {
+        if !self.inputs.contains(&net) {
+            self.inputs.push(net);
+        }
+    }
+
+    /// Declares a net as a primary output.
+    pub fn mark_output(&mut self, net: NetId) {
+        if !self.outputs.contains(&net) {
+            self.outputs.push(net);
+        }
+    }
+
+    /// Primary inputs.
+    pub fn inputs(&self) -> &[NetId] {
+        &self.inputs
+    }
+
+    /// Primary outputs.
+    pub fn outputs(&self) -> &[NetId] {
+        &self.outputs
+    }
+
+    /// Adds a cell instance.
+    ///
+    /// # Errors
+    ///
+    /// [`StaError::Structure`] on duplicate instance names.
+    pub fn add_instance(
+        &mut self,
+        name: &str,
+        cell: &str,
+        connections: Vec<(String, NetId)>,
+    ) -> Result<(), StaError> {
+        if self.instances.iter().any(|i| i.name == name) {
+            return Err(StaError::Structure(format!("duplicate instance name {name}")));
+        }
+        self.instances.push(Instance {
+            name: name.into(),
+            cell: cell.into(),
+            connections,
+        });
+        Ok(())
+    }
+
+    /// All instances in declaration order.
+    pub fn instances(&self) -> &[Instance] {
+        &self.instances
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nets_are_interned_by_name() {
+        let mut d = Design::new("top");
+        let a = d.net("a");
+        assert_eq!(d.net("a"), a);
+        assert_eq!(d.find_net("a"), Some(a));
+        assert_eq!(d.find_net("zzz"), None);
+        assert_eq!(d.net_name(a), "a");
+        assert_eq!(d.net_count(), 1);
+    }
+
+    #[test]
+    fn io_marking_is_idempotent() {
+        let mut d = Design::new("top");
+        let a = d.net("a");
+        d.mark_input(a);
+        d.mark_input(a);
+        assert_eq!(d.inputs(), &[a]);
+        let y = d.net("y");
+        d.mark_output(y);
+        assert_eq!(d.outputs(), &[y]);
+    }
+
+    #[test]
+    fn duplicate_instances_rejected() {
+        let mut d = Design::new("top");
+        let a = d.net("a");
+        let y = d.net("y");
+        d.add_instance("u1", "INVX1", vec![("A".into(), a), ("Y".into(), y)]).unwrap();
+        assert!(d.add_instance("u1", "INVX1", vec![]).is_err());
+        assert_eq!(d.instances().len(), 1);
+        assert_eq!(d.instances()[0].net_on("A"), Some(a));
+        assert_eq!(d.instances()[0].net_on("Z"), None);
+    }
+}

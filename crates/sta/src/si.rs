@@ -1,0 +1,353 @@
+//! Crosstalk-aware propagation: the paper's technique inside an STA sweep.
+//!
+//! Nets designated by a [`CouplingSpec`] are treated as distributed RC
+//! lines capacitively coupled to aggressor nets. During the forward sweep
+//! the victim's driver ramp (from its STA arrival/slew) and every
+//! aggressor's ramp are played into the linear circuit substrate; the
+//! resulting *noisy waveform at the victim's far end* is reduced to an
+//! equivalent ramp `Γeff` by the selected technique and replaces the
+//! victim's `(arrival, slew)` before fanout gates consume it.
+//!
+//! This is precisely the integration path the paper proposes for
+//! commercial tools: no extra library characterization, one extra waveform
+//! reduction per coupled stage.
+
+use crate::engine::{Constraints, Sta};
+use crate::netlist::NetId;
+use crate::report::TimingReport;
+use crate::StaError;
+use nsta_circuit::{Circuit, RcLineSpec, TransientOptions};
+use nsta_waveform::{Polarity, SaturatedRamp, Thresholds, Waveform};
+use sgdp::gate::{GateModel, TableGate};
+use sgdp::{MethodKind, PropagationContext};
+
+/// Coupling description of one victim net.
+#[derive(Debug, Clone)]
+pub struct CouplingSpec {
+    /// The victim net (must exist in the design).
+    pub victim: NetId,
+    /// Aggressor nets (their STA arrivals drive the aggressor ramps).
+    pub aggressors: Vec<NetId>,
+    /// Total coupling capacitance between the victim and each aggressor (F).
+    pub cm_total: f64,
+    /// Distributed RC spec of the victim and aggressor wires.
+    pub line: RcLineSpec,
+    /// Thevenin resistance modeling each driver's output stage (Ω).
+    pub driver_resistance: f64,
+    /// Aggressor alignment offset added to each aggressor's STA arrival (s).
+    /// Sweeping this reproduces the paper's noise-injection timing cases.
+    pub aggressor_skew: f64,
+    /// `true` (default) switches aggressors opposite to the victim — the
+    /// worst case for delay push-out.
+    pub aggressors_oppose: bool,
+}
+
+impl CouplingSpec {
+    /// A spec with the workspace's default electrical assumptions.
+    pub fn new(victim: NetId, aggressors: Vec<NetId>, cm_total: f64, line: RcLineSpec) -> Self {
+        CouplingSpec {
+            victim,
+            aggressors,
+            cm_total,
+            line,
+            driver_resistance: 200.0,
+            aggressor_skew: 0.0,
+            aggressors_oppose: true,
+        }
+    }
+}
+
+/// Outcome of the SI reduction on one victim net.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SiAdjustment {
+    /// The victim net.
+    pub net: NetId,
+    /// Victim transition this adjustment applies to.
+    pub polarity: Polarity,
+    /// Arrival before coupling was considered (s).
+    pub base_arrival: f64,
+    /// Arrival of `Γeff` after coupling (s).
+    pub noisy_arrival: f64,
+    /// Slew of `Γeff` (s).
+    pub noisy_slew: f64,
+}
+
+impl Sta {
+    /// Runs the analysis with crosstalk-aware propagation on the nets named
+    /// in `couplings`, reducing noisy waveforms with `method`.
+    ///
+    /// Returns the report plus the per-victim adjustments that were applied
+    /// (useful for method comparisons).
+    ///
+    /// # Errors
+    ///
+    /// * [`StaError::Unresolved`] if a spec names an unknown net or an
+    ///   aggressor without a computed arrival.
+    /// * Propagated circuit/reduction failures.
+    pub fn analyze_with_crosstalk(
+        &self,
+        constraints: &Constraints,
+        couplings: &[CouplingSpec],
+        method: MethodKind,
+    ) -> Result<(TimingReport, Vec<SiAdjustment>), StaError> {
+        // Pass 1: nominal arrivals — aggressor ramps need them.
+        let base = self.forward_sweep(constraints, |_, _| Ok(()))?;
+
+        let mut adjustments = Vec::new();
+        // Pass 2: sweep again, overriding victim nets as they are reached.
+        let states = self.forward_sweep(constraints, |net, state| {
+            let Some(spec) = couplings.iter().find(|s| s.victim == net) else {
+                return Ok(());
+            };
+            for pol in [Polarity::Rise, Polarity::Fall] {
+                let point = *state.get(pol);
+                if !point.valid {
+                    continue;
+                }
+                let (gamma, base_arrival) = self.victim_gamma(
+                    constraints,
+                    spec,
+                    pol,
+                    point.arrival,
+                    point.slew,
+                    &base,
+                    method,
+                )?;
+                let th = Thresholds::cmos(self.library().voltage);
+                let p = state.get_mut(pol);
+                p.arrival = gamma.arrival_mid();
+                p.slew = gamma.slew(th);
+                adjustments.push(SiAdjustment {
+                    net,
+                    polarity: pol,
+                    base_arrival,
+                    noisy_arrival: p.arrival,
+                    noisy_slew: p.slew,
+                });
+            }
+            Ok(())
+        })?;
+        let report = self.finish_report(constraints, states)?;
+        Ok((report, adjustments))
+    }
+
+    /// Computes `Γeff` for one victim transition.
+    #[allow(clippy::too_many_arguments)]
+    fn victim_gamma(
+        &self,
+        constraints: &Constraints,
+        spec: &CouplingSpec,
+        victim_pol: Polarity,
+        victim_arrival: f64,
+        victim_slew: f64,
+        base: &[crate::engine::NetState],
+        method: MethodKind,
+    ) -> Result<(SaturatedRamp, f64), StaError> {
+        let th = Thresholds::cmos(self.library().voltage);
+        let vdd = th.vdd();
+
+        // Simulation window: start at zero, end comfortably after the
+        // latest participant settles.
+        let mut latest = victim_arrival + victim_slew;
+        let agg_pol =
+            if spec.aggressors_oppose { victim_pol.inverted() } else { victim_pol };
+        let mut agg_ramps = Vec::new();
+        for &agg in &spec.aggressors {
+            let p = base
+                .get(agg.0)
+                .map(|s| *s.get(agg_pol))
+                .filter(|p| p.valid)
+                .ok_or_else(|| {
+                    StaError::Unresolved(format!(
+                        "aggressor net #{} has no computed arrival",
+                        agg.0
+                    ))
+                })?;
+            let arr = p.arrival + spec.aggressor_skew;
+            latest = latest.max(arr + p.slew);
+            agg_ramps.push(SaturatedRamp::with_slew(arr, p.slew.max(1e-12), th, agg_pol.is_rise())?);
+        }
+        let t_stop = latest + 2e-9;
+        let dt = (victim_slew / 50.0).clamp(0.5e-12, 5e-12);
+
+        // Build the coupled circuit twice: noisy (aggressors switching) and
+        // noiseless (aggressors held at their pre-transition rail).
+        let far_wave = |aggressors_switch: bool| -> Result<Waveform, StaError> {
+            let mut ckt = Circuit::new();
+            let v_in = ckt.node("victim_in");
+            let victim_ramp =
+                SaturatedRamp::with_slew(victim_arrival, victim_slew.max(1e-12), th, victim_pol.is_rise())?;
+            ckt.thevenin_driver(
+                v_in,
+                victim_ramp.to_waveform(0.0, t_stop, dt)?,
+                spec.driver_resistance,
+            )?;
+            let mut inputs = vec![v_in];
+            for (i, ramp) in agg_ramps.iter().enumerate() {
+                let a_in = ckt.node(&format!("agg{i}_in"));
+                let wf = if aggressors_switch {
+                    ramp.to_waveform(0.0, t_stop, dt)?
+                } else {
+                    let quiet = if agg_pol.is_rise() { 0.0 } else { vdd };
+                    Waveform::constant(quiet, 0.0, t_stop)?
+                };
+                ckt.thevenin_driver(a_in, wf, spec.driver_resistance)?;
+                inputs.push(a_in);
+            }
+            let bundle = nsta_circuit::CoupledLines::new(
+                spec.line,
+                inputs.len(),
+                spec.cm_total,
+            )?;
+            let far = bundle.build(&mut ckt, &inputs, "w")?;
+            // Receiver loading at the victim far end.
+            let load = self.graph().load(spec.victim).max(1e-16);
+            ckt.capacitor(far[0], Circuit::GROUND, load)?;
+            let res = ckt.run_transient(TransientOptions::new(0.0, t_stop, dt)?)?;
+            Ok(res.voltage(far[0])?)
+        };
+
+        let noisy = far_wave(true)?;
+        let noiseless = far_wave(false)?;
+        let base_arrival = noiseless.last_crossing_or_err(th.mid())?;
+
+        // Noiseless receiver response through the library tables (the
+        // characterization level the paper requires — no extra data).
+        let receiver_cell = self
+            .graph()
+            .fanout_edges(spec.victim)
+            .first()
+            .map(|&k| {
+                let inst = &self.design().instances()[self.graph().edges()[k].instance];
+                self.library()
+                    .cell(&inst.cell)
+                    .ok_or_else(|| StaError::Unresolved(format!("cell {}", inst.cell)))
+            })
+            .transpose()?;
+        let noiseless_output = match receiver_cell {
+            Some(cell) => {
+                let load = constraints.output_load.max(1e-15);
+                let gate = TableGate::new(cell, load, th).map_err(StaError::from)?;
+                Some(gate.response(&noiseless).map_err(StaError::from)?)
+            }
+            None => None,
+        };
+
+        let ctx = PropagationContext::new(noiseless, noisy, noiseless_output, th)?;
+        let gamma = method.equivalent(&ctx)?;
+        Ok((gamma, base_arrival))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verilog::parse_design;
+    use crate::Sta;
+    use nsta_liberty::characterize::{inverter_family, Options};
+    use nsta_liberty::Library;
+    use nsta_spice::Process;
+    use std::sync::OnceLock;
+
+    fn lib() -> &'static Library {
+        static LIB: OnceLock<Library> = OnceLock::new();
+        LIB.get_or_init(|| {
+            inverter_family(
+                &Process::c013(),
+                &[("INVX1", 1.0), ("INVX4", 4.0)],
+                &Options::fast_test(),
+            )
+            .unwrap()
+        })
+    }
+
+    /// Two parallel chains; u1's output net `v` is the victim, `g` the
+    /// aggressor.
+    fn coupled_design() -> crate::Design {
+        parse_design(
+            "module m (a, b, y, z); input a, b; output y, z;\
+             wire v, g;\
+             INVX1 u1 (.A(a), .Y(v)); INVX4 u2 (.A(v), .Y(y));\
+             INVX1 u3 (.A(b), .Y(g)); INVX4 u4 (.A(g), .Y(z));\
+             endmodule",
+        )
+        .unwrap()
+    }
+
+    fn spec(sta: &Sta) -> CouplingSpec {
+        let v = sta.design().find_net("v").unwrap();
+        let g = sta.design().find_net("g").unwrap();
+        CouplingSpec::new(
+            v,
+            vec![g],
+            100e-15,
+            RcLineSpec::per_micron(1000.0).unwrap(),
+        )
+    }
+
+    #[test]
+    fn crosstalk_pushes_victim_arrival_out() {
+        let sta = Sta::new(coupled_design(), lib().clone()).unwrap();
+        let c = Constraints::default();
+        let nominal = sta.analyze(&c).unwrap();
+        let (noisy, adj) = sta
+            .analyze_with_crosstalk(&c, &[spec(&sta)], MethodKind::Sgdp)
+            .unwrap();
+        assert_eq!(adj.len(), 2, "rise and fall adjustments recorded");
+        // The coupled line adds wire delay plus noise: the victim's fanout
+        // (net y) must arrive later than in the nominal ideal-wire run.
+        let y = sta.design().find_net("y").unwrap();
+        let nom = nominal.net(y).unwrap().rise.as_ref().unwrap().arrival;
+        let si = noisy.net(y).unwrap().rise.as_ref().unwrap().arrival;
+        assert!(si > nom, "si {si:e} vs nominal {nom:e}");
+        // Adjustments carry the push-out relative to the noiseless line.
+        for a in &adj {
+            assert!(a.noisy_slew > 0.0);
+            assert!(a.noisy_arrival + 1e-12 >= a.base_arrival - 100e-12);
+        }
+    }
+
+    #[test]
+    fn aligned_aggressor_hurts_more_than_far_one() {
+        let sta = Sta::new(coupled_design(), lib().clone()).unwrap();
+        let c = Constraints::default();
+        let mut near = spec(&sta);
+        near.aggressor_skew = 0.0;
+        let mut far = spec(&sta);
+        far.aggressor_skew = -1.0e-9;
+        let arr = |s: &CouplingSpec| {
+            let (report, _) =
+                sta.analyze_with_crosstalk(&c, std::slice::from_ref(s), MethodKind::P2).unwrap();
+            let y = sta.design().find_net("y").unwrap();
+            report.net(y).unwrap().rise.as_ref().unwrap().arrival
+        };
+        assert!(arr(&near) > arr(&far), "aligned aggressor must delay more");
+    }
+
+    #[test]
+    fn methods_disagree_on_noisy_nets() {
+        let sta = Sta::new(coupled_design(), lib().clone()).unwrap();
+        let c = Constraints::default();
+        let mut results = Vec::new();
+        for method in MethodKind::all() {
+            match sta.analyze_with_crosstalk(&c, &[spec(&sta)], method) {
+                Ok((report, _)) => results.push((method, report.worst_arrival())),
+                Err(StaError::Sgdp(_)) => {} // WLS5 may legitimately refuse
+                Err(other) => panic!("unexpected failure for {method}: {other}"),
+            }
+        }
+        assert!(results.len() >= 5);
+        let min = results.iter().map(|&(_, a)| a).fold(f64::INFINITY, f64::min);
+        let max = results.iter().map(|&(_, a)| a).fold(0.0f64, f64::max);
+        assert!(max > min, "techniques must produce distinct timing");
+    }
+
+    #[test]
+    fn unknown_aggressor_is_reported() {
+        let sta = Sta::new(coupled_design(), lib().clone()).unwrap();
+        let c = Constraints::default();
+        let mut s = spec(&sta);
+        s.aggressors = vec![NetId(usize::MAX - 1)];
+        assert!(sta.analyze_with_crosstalk(&c, &[s], MethodKind::P1).is_err());
+    }
+}

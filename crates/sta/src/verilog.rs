@@ -1,0 +1,299 @@
+//! Structural-Verilog subset parser.
+//!
+//! Supports the gate-level netlist dialect synthesis tools emit:
+//!
+//! ```verilog
+//! module top (a, b, y);
+//!   input a, b;
+//!   output y;
+//!   wire w1;
+//!   INVX1 u1 (.A(a), .Y(w1));
+//!   INVX4 u2 (.A(w1), .Y(y));
+//! endmodule
+//! ```
+//!
+//! Behavioural constructs are out of scope — this is the input format of a
+//! timing engine, not a simulator.
+
+use crate::netlist::Design;
+use crate::StaError;
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    LParen,
+    RParen,
+    Comma,
+    Semi,
+    Dot,
+    Eof,
+}
+
+fn lex(src: &str) -> Result<Vec<(Tok, usize)>, StaError> {
+    let mut out = Vec::new();
+    let chars: Vec<char> = src.chars().collect();
+    let mut i = 0;
+    let mut line = 1;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            ' ' | '\t' | '\r' => i += 1,
+            '/' if chars.get(i + 1) == Some(&'/') => {
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '/' if chars.get(i + 1) == Some(&'*') => {
+                i += 2;
+                while i + 1 < chars.len() && !(chars[i] == '*' && chars[i + 1] == '/') {
+                    if chars[i] == '\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+                if i + 1 >= chars.len() {
+                    return Err(StaError::Parse { line, message: "unterminated comment".into() });
+                }
+                i += 2;
+            }
+            '(' => {
+                out.push((Tok::LParen, line));
+                i += 1;
+            }
+            ')' => {
+                out.push((Tok::RParen, line));
+                i += 1;
+            }
+            ',' => {
+                out.push((Tok::Comma, line));
+                i += 1;
+            }
+            ';' => {
+                out.push((Tok::Semi, line));
+                i += 1;
+            }
+            '.' => {
+                out.push((Tok::Dot, line));
+                i += 1;
+            }
+            c if c.is_ascii_alphanumeric() || c == '_' || c == '\\' || c == '[' => {
+                let start = i;
+                while i < chars.len()
+                    && (chars[i].is_ascii_alphanumeric()
+                        || matches!(chars[i], '_' | '[' | ']' | '\\' | '$'))
+                {
+                    i += 1;
+                }
+                out.push((Tok::Ident(chars[start..i].iter().collect()), line));
+            }
+            other => {
+                return Err(StaError::Parse {
+                    line,
+                    message: format!("unexpected character {other:?}"),
+                })
+            }
+        }
+    }
+    out.push((Tok::Eof, line));
+    Ok(out)
+}
+
+struct P {
+    toks: Vec<(Tok, usize)>,
+    pos: usize,
+}
+
+impl P {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos.min(self.toks.len() - 1)].0
+    }
+
+    fn line(&self) -> usize {
+        self.toks[self.pos.min(self.toks.len() - 1)].1
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos.min(self.toks.len() - 1)].0.clone();
+        self.pos += 1;
+        t
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, StaError> {
+        Err(StaError::Parse { line: self.line(), message: message.into() })
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, StaError> {
+        match self.bump() {
+            Tok::Ident(s) => Ok(s),
+            other => {
+                self.pos -= 1;
+                self.err(format!("expected {what}, found {other:?}"))
+            }
+        }
+    }
+
+    fn expect(&mut self, tok: Tok, what: &str) -> Result<(), StaError> {
+        if *self.peek() == tok {
+            self.bump();
+            Ok(())
+        } else {
+            self.err(format!("expected {what}"))
+        }
+    }
+
+    fn ident_list_until_semi(&mut self) -> Result<Vec<String>, StaError> {
+        let mut names = vec![self.ident("a net name")?];
+        loop {
+            match self.bump() {
+                Tok::Comma => names.push(self.ident("a net name")?),
+                Tok::Semi => break,
+                other => {
+                    self.pos -= 1;
+                    return self.err(format!("expected ',' or ';', found {other:?}"));
+                }
+            }
+        }
+        Ok(names)
+    }
+}
+
+/// Parses a single structural module into a [`Design`].
+///
+/// # Errors
+///
+/// [`StaError::Parse`] with the offending line.
+pub fn parse_design(source: &str) -> Result<Design, StaError> {
+    let mut p = P { toks: lex(source)?, pos: 0 };
+    let kw = p.ident("'module'")?;
+    if kw != "module" {
+        return p.err("expected 'module'");
+    }
+    let name = p.ident("module name")?;
+    let mut design = Design::new(&name);
+    // Port list (names only; directions come from declarations).
+    p.expect(Tok::LParen, "'('")?;
+    while *p.peek() != Tok::RParen {
+        let _port = p.ident("port name")?;
+        if *p.peek() == Tok::Comma {
+            p.bump();
+        }
+    }
+    p.bump(); // ')'
+    p.expect(Tok::Semi, "';' after port list")?;
+
+    loop {
+        match p.peek().clone() {
+            Tok::Ident(word) if word == "endmodule" => {
+                p.bump();
+                break;
+            }
+            Tok::Ident(word) if word == "input" => {
+                p.bump();
+                for n in p.ident_list_until_semi()? {
+                    let id = design.net(&n);
+                    design.mark_input(id);
+                }
+            }
+            Tok::Ident(word) if word == "output" => {
+                p.bump();
+                for n in p.ident_list_until_semi()? {
+                    let id = design.net(&n);
+                    design.mark_output(id);
+                }
+            }
+            Tok::Ident(word) if word == "wire" => {
+                p.bump();
+                for n in p.ident_list_until_semi()? {
+                    design.net(&n);
+                }
+            }
+            Tok::Ident(_) => {
+                // Instance: CELL name ( .PIN(net), ... );
+                let cell = p.ident("cell name")?;
+                let inst = p.ident("instance name")?;
+                p.expect(Tok::LParen, "'('")?;
+                let mut connections = Vec::new();
+                while *p.peek() != Tok::RParen {
+                    p.expect(Tok::Dot, "'.' before pin name")?;
+                    let pin = p.ident("pin name")?;
+                    p.expect(Tok::LParen, "'(' after pin name")?;
+                    let net = p.ident("net name")?;
+                    p.expect(Tok::RParen, "')' after net name")?;
+                    connections.push((pin, design.net(&net)));
+                    if *p.peek() == Tok::Comma {
+                        p.bump();
+                    }
+                }
+                p.bump(); // ')'
+                p.expect(Tok::Semi, "';' after instance")?;
+                design.add_instance(&inst, &cell, connections)?;
+            }
+            Tok::Eof => return p.err("missing 'endmodule'"),
+            other => return p.err(format!("unexpected token {other:?}")),
+        }
+    }
+    Ok(design)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = r#"
+        // two-stage buffer chain
+        module chain (a, y);
+          input a;
+          output y;
+          wire w1; /* internal */
+          INVX1 u1 (.A(a), .Y(w1));
+          INVX4 u2 (.A(w1), .Y(y));
+        endmodule
+    "#;
+
+    #[test]
+    fn parses_module_structure() {
+        let d = parse_design(SRC).unwrap();
+        assert_eq!(d.name, "chain");
+        assert_eq!(d.inputs().len(), 1);
+        assert_eq!(d.outputs().len(), 1);
+        assert_eq!(d.instances().len(), 2);
+        assert_eq!(d.net_count(), 3);
+        let u2 = &d.instances()[1];
+        assert_eq!(u2.cell, "INVX4");
+        assert_eq!(u2.net_on("A"), d.find_net("w1"));
+        assert_eq!(u2.net_on("Y"), d.find_net("y"));
+    }
+
+    #[test]
+    fn multi_name_declarations() {
+        let d = parse_design(
+            "module m (a, b, y); input a, b; output y; wire w1, w2;\
+             INVX1 u1 (.A(a), .Y(w1)); endmodule",
+        )
+        .unwrap();
+        assert_eq!(d.inputs().len(), 2);
+        assert_eq!(d.net_count(), 5);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let bad = "module m (a);\ninput a;\n???\nendmodule";
+        match parse_design(bad) {
+            Err(StaError::Parse { line: 3, .. }) => {}
+            other => panic!("expected parse error at line 3, got {other:?}"),
+        }
+        assert!(parse_design("module m (a); input a;").is_err());
+        assert!(parse_design("garbage").is_err());
+    }
+
+    #[test]
+    fn duplicate_instance_is_structural_error() {
+        let bad = "module m (a, y); input a; output y;\
+                   INVX1 u1 (.A(a), .Y(y)); INVX1 u1 (.A(a), .Y(y)); endmodule";
+        assert!(matches!(parse_design(bad), Err(StaError::Structure(_))));
+    }
+}

@@ -1,0 +1,172 @@
+use crate::WaveformError;
+
+/// Direction of a logic transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Polarity {
+    /// Low-to-high transition.
+    Rise,
+    /// High-to-low transition.
+    Fall,
+}
+
+impl Polarity {
+    /// The opposite transition direction (what an inverting gate produces).
+    pub fn inverted(self) -> Polarity {
+        match self {
+            Polarity::Rise => Polarity::Fall,
+            Polarity::Fall => Polarity::Rise,
+        }
+    }
+
+    /// `true` for [`Polarity::Rise`].
+    pub fn is_rise(self) -> bool {
+        matches!(self, Polarity::Rise)
+    }
+}
+
+impl std::fmt::Display for Polarity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Polarity::Rise => write!(f, "rise"),
+            Polarity::Fall => write!(f, "fall"),
+        }
+    }
+}
+
+/// Measurement thresholds tied to a supply voltage.
+///
+/// The paper measures slews between `0.1·Vdd` and `0.9·Vdd` and delays at
+/// `0.5·Vdd`; those fractions are the defaults of [`Thresholds::cmos`] but
+/// remain configurable for libraries characterized at 20/80 or 30/70.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Thresholds {
+    vdd: f64,
+    low_frac: f64,
+    mid_frac: f64,
+    high_frac: f64,
+}
+
+impl Thresholds {
+    /// Standard CMOS thresholds: 10% / 50% / 90% of `vdd`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vdd` is not a positive finite number.
+    pub fn cmos(vdd: f64) -> Self {
+        Thresholds::with_fractions(vdd, 0.1, 0.5, 0.9)
+            .expect("default fractions are always valid for positive vdd")
+    }
+
+    /// Custom threshold fractions with `0 < low < mid < high < 1`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WaveformError::InvalidParameter`] if `vdd ≤ 0`, any
+    /// fraction is non-finite, or the ordering constraint is violated.
+    pub fn with_fractions(
+        vdd: f64,
+        low_frac: f64,
+        mid_frac: f64,
+        high_frac: f64,
+    ) -> Result<Self, WaveformError> {
+        if !(vdd.is_finite() && vdd > 0.0) {
+            return Err(WaveformError::InvalidParameter("vdd must be positive and finite"));
+        }
+        let ok = low_frac.is_finite()
+            && mid_frac.is_finite()
+            && high_frac.is_finite()
+            && 0.0 < low_frac
+            && low_frac < mid_frac
+            && mid_frac < high_frac
+            && high_frac < 1.0;
+        if !ok {
+            return Err(WaveformError::InvalidParameter(
+                "threshold fractions must satisfy 0 < low < mid < high < 1",
+            ));
+        }
+        Ok(Thresholds { vdd, low_frac, mid_frac, high_frac })
+    }
+
+    /// Supply voltage in volts.
+    pub fn vdd(&self) -> f64 {
+        self.vdd
+    }
+
+    /// Lower slew threshold in volts (e.g. `0.1·Vdd`).
+    pub fn low(&self) -> f64 {
+        self.low_frac * self.vdd
+    }
+
+    /// Delay threshold in volts (e.g. `0.5·Vdd`).
+    pub fn mid(&self) -> f64 {
+        self.mid_frac * self.vdd
+    }
+
+    /// Upper slew threshold in volts (e.g. `0.9·Vdd`).
+    pub fn high(&self) -> f64 {
+        self.high_frac * self.vdd
+    }
+
+    /// Lower slew threshold as a fraction of Vdd.
+    pub fn low_frac(&self) -> f64 {
+        self.low_frac
+    }
+
+    /// Delay threshold as a fraction of Vdd.
+    pub fn mid_frac(&self) -> f64 {
+        self.mid_frac
+    }
+
+    /// Upper slew threshold as a fraction of Vdd.
+    pub fn high_frac(&self) -> f64 {
+        self.high_frac
+    }
+
+    /// The `(start, end)` voltage levels of a transition with the given
+    /// polarity: `(low, high)` for a rise, `(high, low)` for a fall.
+    pub fn slew_levels(&self, polarity: Polarity) -> (f64, f64) {
+        match polarity {
+            Polarity::Rise => (self.low(), self.high()),
+            Polarity::Fall => (self.high(), self.low()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cmos_thresholds() {
+        let th = Thresholds::cmos(1.2);
+        assert!((th.low() - 0.12).abs() < 1e-12);
+        assert!((th.mid() - 0.6).abs() < 1e-12);
+        assert!((th.high() - 1.08).abs() < 1e-12);
+        assert_eq!(th.vdd(), 1.2);
+    }
+
+    #[test]
+    fn fraction_validation() {
+        assert!(Thresholds::with_fractions(1.2, 0.2, 0.5, 0.8).is_ok());
+        assert!(Thresholds::with_fractions(-1.0, 0.1, 0.5, 0.9).is_err());
+        assert!(Thresholds::with_fractions(1.0, 0.5, 0.5, 0.9).is_err());
+        assert!(Thresholds::with_fractions(1.0, 0.1, 0.5, 1.0).is_err());
+        assert!(Thresholds::with_fractions(1.0, 0.0, 0.5, 0.9).is_err());
+        assert!(Thresholds::with_fractions(f64::NAN, 0.1, 0.5, 0.9).is_err());
+    }
+
+    #[test]
+    fn polarity_inversion() {
+        assert_eq!(Polarity::Rise.inverted(), Polarity::Fall);
+        assert_eq!(Polarity::Fall.inverted(), Polarity::Rise);
+        assert!(Polarity::Rise.is_rise());
+        assert_eq!(Polarity::Rise.to_string(), "rise");
+    }
+
+    #[test]
+    fn slew_levels_follow_polarity() {
+        let th = Thresholds::cmos(1.0);
+        assert_eq!(th.slew_levels(Polarity::Rise), (0.1, 0.9));
+        assert_eq!(th.slew_levels(Polarity::Fall), (0.9, 0.1));
+    }
+}

@@ -1,0 +1,48 @@
+use std::fmt;
+
+/// Error type for waveform construction and measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WaveformError {
+    /// Time axis was empty, too short, unsorted or not strictly increasing.
+    InvalidTimeAxis(&'static str),
+    /// Sample vectors disagreed in length.
+    LengthMismatch {
+        /// Length of the time vector.
+        times: usize,
+        /// Length of the value vector.
+        values: usize,
+    },
+    /// A non-finite time or voltage was supplied.
+    NonFinite(&'static str),
+    /// A measurement needed a threshold crossing that never occurs.
+    NoCrossing {
+        /// The voltage level requested.
+        level: f64,
+    },
+    /// A parameter was outside its documented domain.
+    InvalidParameter(&'static str),
+    /// The waveform never completes a transition between the requested
+    /// thresholds, so a slew cannot be measured.
+    IncompleteTransition,
+}
+
+impl fmt::Display for WaveformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WaveformError::InvalidTimeAxis(what) => write!(f, "invalid time axis: {what}"),
+            WaveformError::LengthMismatch { times, values } => {
+                write!(f, "length mismatch: {times} times vs {values} values")
+            }
+            WaveformError::NonFinite(what) => write!(f, "non-finite value in {what}"),
+            WaveformError::NoCrossing { level } => {
+                write!(f, "waveform never crosses {level:.4} V")
+            }
+            WaveformError::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
+            WaveformError::IncompleteTransition => {
+                write!(f, "waveform does not complete a transition between thresholds")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WaveformError {}

@@ -1,0 +1,161 @@
+//! Synthetic crosstalk-noise injection.
+//!
+//! The real noisy waveforms in the experiments come from circuit simulation
+//! of coupled interconnect, but unit tests and examples need controlled,
+//! analytic distortions. These helpers superpose canonical noise-pulse
+//! shapes onto a waveform: triangular and trapezoidal glitches (the standard
+//! SI abstractions) and a double-exponential pulse that closely matches the
+//! shape of capacitively coupled noise through an RC line.
+
+use crate::{Waveform, WaveformError};
+
+impl Waveform {
+    /// Superposes a triangular pulse centered at `center` with total base
+    /// `width` and peak `height` volts (negative heights produce dips).
+    ///
+    /// # Errors
+    ///
+    /// [`WaveformError::InvalidParameter`] if `width <= 0` or inputs are
+    /// non-finite.
+    pub fn with_triangular_pulse(
+        &self,
+        center: f64,
+        width: f64,
+        height: f64,
+    ) -> Result<Waveform, WaveformError> {
+        if !(width > 0.0) || !center.is_finite() || !height.is_finite() {
+            return Err(WaveformError::InvalidParameter(
+                "triangular pulse needs finite center/height and width > 0",
+            ));
+        }
+        let half = width / 2.0;
+        let t0 = center - half;
+        let t1 = center + half;
+        let pulse = Waveform::new(
+            vec![t0 - width, t0, center, t1, t1 + width],
+            vec![0.0, 0.0, height, 0.0, 0.0],
+        )?;
+        Ok(self.plus(&pulse))
+    }
+
+    /// Superposes a trapezoidal pulse: linear rise over `ramp`, flat top of
+    /// `top` duration at `height` volts, linear fall over `ramp`, starting
+    /// at `start`.
+    ///
+    /// # Errors
+    ///
+    /// [`WaveformError::InvalidParameter`] if `ramp <= 0`, `top < 0` or
+    /// inputs are non-finite.
+    pub fn with_trapezoidal_pulse(
+        &self,
+        start: f64,
+        ramp: f64,
+        top: f64,
+        height: f64,
+    ) -> Result<Waveform, WaveformError> {
+        if !(ramp > 0.0) || top < 0.0 || !start.is_finite() || !height.is_finite() {
+            return Err(WaveformError::InvalidParameter(
+                "trapezoidal pulse needs ramp > 0 and top >= 0",
+            ));
+        }
+        let mut ts = vec![start - ramp, start, start + ramp];
+        let mut vs = vec![0.0, 0.0, height];
+        if top > 0.0 {
+            ts.push(start + ramp + top);
+            vs.push(height);
+        }
+        ts.push(start + 2.0 * ramp + top);
+        vs.push(0.0);
+        ts.push(start + 3.0 * ramp + top);
+        vs.push(0.0);
+        let pulse = Waveform::new(ts, vs)?;
+        Ok(self.plus(&pulse))
+    }
+
+    /// Superposes a double-exponential pulse
+    /// `h · (e^(−(t−t0)/τf) − e^(−(t−t0)/τr))`, normalized so its peak is
+    /// exactly `height` volts — the canonical shape of capacitive coupling
+    /// noise through a lossy line.
+    ///
+    /// # Errors
+    ///
+    /// [`WaveformError::InvalidParameter`] if `tau_rise >= tau_fall` or any
+    /// time constant is non-positive.
+    pub fn with_coupling_pulse(
+        &self,
+        t0: f64,
+        tau_rise: f64,
+        tau_fall: f64,
+        height: f64,
+    ) -> Result<Waveform, WaveformError> {
+        if !(tau_rise > 0.0 && tau_fall > tau_rise) || !t0.is_finite() || !height.is_finite() {
+            return Err(WaveformError::InvalidParameter(
+                "coupling pulse needs 0 < tau_rise < tau_fall",
+            ));
+        }
+        // Peak of the double exponential occurs at
+        // t_peak = t0 + ln(τf/τr)·τrτf/(τf−τr).
+        let tpk = tau_rise * tau_fall / (tau_fall - tau_rise) * (tau_fall / tau_rise).ln();
+        let peak = (-tpk / tau_fall).exp() - (-tpk / tau_rise).exp();
+        let scale = height / peak;
+        let end = t0 + 8.0 * tau_fall;
+        let dt = tau_rise / 4.0;
+        let pulse = Waveform::from_fn(t0, end, dt, |t| {
+            let x = t - t0;
+            scale * ((-x / tau_fall).exp() - (-x / tau_rise).exp())
+        })?;
+        Ok(self.plus(&pulse))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Thresholds;
+
+    fn flat() -> Waveform {
+        Waveform::constant(0.0, 0.0, 10.0).unwrap()
+    }
+
+    #[test]
+    fn triangular_peak_and_support() {
+        let w = flat().with_triangular_pulse(5.0, 2.0, 0.4).unwrap();
+        assert!((w.value_at(5.0) - 0.4).abs() < 1e-12);
+        assert_eq!(w.value_at(3.9), 0.0);
+        assert_eq!(w.value_at(6.1), 0.0);
+        // Half way up the leading edge.
+        assert!((w.value_at(4.5) - 0.2).abs() < 1e-12);
+        assert!(flat().with_triangular_pulse(5.0, 0.0, 0.4).is_err());
+    }
+
+    #[test]
+    fn negative_glitch_dips() {
+        let th = Thresholds::cmos(1.0);
+        let base = Waveform::new(vec![0.0, 1.0, 10.0], vec![0.0, 1.0, 1.0]).unwrap();
+        let noisy = base.with_triangular_pulse(2.0, 1.0, -0.8).unwrap();
+        assert!(noisy.value_at(2.0) < 0.3);
+        // The glitch forces extra 0.5 crossings → last crossing moves late.
+        assert!(noisy.last_crossing(th.mid()).unwrap() > base.last_crossing(th.mid()).unwrap());
+    }
+
+    #[test]
+    fn trapezoid_flat_top() {
+        let w = flat().with_trapezoidal_pulse(2.0, 0.5, 1.0, 0.3).unwrap();
+        assert!((w.value_at(2.5) - 0.3).abs() < 1e-12);
+        assert!((w.value_at(3.0) - 0.3).abs() < 1e-12);
+        assert!((w.value_at(3.5) - 0.3).abs() < 1e-12);
+        assert_eq!(w.value_at(1.0), 0.0);
+        assert_eq!(w.value_at(5.0), 0.0);
+        assert!(flat().with_trapezoidal_pulse(2.0, -0.5, 1.0, 0.3).is_err());
+    }
+
+    #[test]
+    fn coupling_pulse_peaks_at_requested_height() {
+        let w = flat().with_coupling_pulse(1.0, 0.05, 0.5, 0.25).unwrap();
+        let peak = w.v_max();
+        assert!((peak - 0.25).abs() < 2e-3, "peak = {peak}");
+        // Pulse decays back to (near) zero.
+        assert!(w.value_at(9.9).abs() < 1e-3);
+        assert!(flat().with_coupling_pulse(1.0, 0.5, 0.5, 0.25).is_err());
+    }
+}

@@ -1,0 +1,520 @@
+use crate::{Polarity, Thresholds, WaveformError};
+use nsta_numeric::interp;
+
+/// An immutable, validated, piecewise-linear sampled voltage waveform.
+///
+/// Invariants (enforced at construction):
+/// * at least two samples,
+/// * strictly increasing, finite time axis,
+/// * finite voltages.
+///
+/// Evaluation between samples interpolates linearly; evaluation outside the
+/// recorded span holds the first/last value (signals are assumed settled
+/// outside their recorded window).
+///
+/// ```
+/// use nsta_waveform::Waveform;
+/// # fn main() -> Result<(), nsta_waveform::WaveformError> {
+/// let w = Waveform::new(vec![0.0, 1.0, 2.0], vec![0.0, 1.0, 0.5])?;
+/// assert_eq!(w.value_at(0.5), 0.5);
+/// assert_eq!(w.value_at(-10.0), 0.0); // held
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Waveform {
+    ts: Vec<f64>,
+    vs: Vec<f64>,
+}
+
+impl Waveform {
+    /// Builds a waveform from parallel time and voltage vectors.
+    ///
+    /// # Errors
+    ///
+    /// * [`WaveformError::LengthMismatch`] if the vectors differ in length.
+    /// * [`WaveformError::InvalidTimeAxis`] if fewer than two samples or the
+    ///   time axis is not strictly increasing.
+    /// * [`WaveformError::NonFinite`] on NaN/inf entries.
+    pub fn new(ts: Vec<f64>, vs: Vec<f64>) -> Result<Self, WaveformError> {
+        if ts.len() != vs.len() {
+            return Err(WaveformError::LengthMismatch { times: ts.len(), values: vs.len() });
+        }
+        if ts.len() < 2 {
+            return Err(WaveformError::InvalidTimeAxis("need at least two samples"));
+        }
+        if ts.iter().any(|t| !t.is_finite()) {
+            return Err(WaveformError::NonFinite("time axis"));
+        }
+        if vs.iter().any(|v| !v.is_finite()) {
+            return Err(WaveformError::NonFinite("voltage samples"));
+        }
+        if ts.windows(2).any(|w| w[1] <= w[0]) {
+            return Err(WaveformError::InvalidTimeAxis("times must be strictly increasing"));
+        }
+        Ok(Waveform { ts, vs })
+    }
+
+    /// Samples `f(t)` on a uniform grid over `[t0, t1]` with step `dt`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WaveformError::InvalidParameter`] if `t1 <= t0` or
+    /// `dt <= 0`, and propagates construction errors if `f` returns
+    /// non-finite values.
+    pub fn from_fn(
+        t0: f64,
+        t1: f64,
+        dt: f64,
+        mut f: impl FnMut(f64) -> f64,
+    ) -> Result<Self, WaveformError> {
+        if !(t1 > t0) || !(dt > 0.0) || !t0.is_finite() || !t1.is_finite() || !dt.is_finite() {
+            return Err(WaveformError::InvalidParameter("need t1 > t0 and dt > 0, all finite"));
+        }
+        let n = ((t1 - t0) / dt).ceil() as usize + 1;
+        let mut ts = Vec::with_capacity(n);
+        let mut vs = Vec::with_capacity(n);
+        for i in 0..n {
+            let t = (t0 + i as f64 * dt).min(t1);
+            ts.push(t);
+            vs.push(f(t));
+            if t >= t1 {
+                break;
+            }
+        }
+        if *ts.last().expect("non-empty") < t1 {
+            ts.push(t1);
+            vs.push(f(t1));
+        }
+        Waveform::new(ts, vs)
+    }
+
+    /// A constant waveform at `v` spanning `[t0, t1]`.
+    ///
+    /// # Errors
+    ///
+    /// Same domain requirements as [`Waveform::from_fn`].
+    pub fn constant(v: f64, t0: f64, t1: f64) -> Result<Self, WaveformError> {
+        Waveform::new(vec![t0, t1], vec![v, v])
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.ts.len()
+    }
+
+    /// Always `false`: a valid waveform has at least two samples.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The sampled time axis.
+    pub fn times(&self) -> &[f64] {
+        &self.ts
+    }
+
+    /// The sampled voltages.
+    pub fn values(&self) -> &[f64] {
+        &self.vs
+    }
+
+    /// First recorded time.
+    pub fn t_start(&self) -> f64 {
+        self.ts[0]
+    }
+
+    /// Last recorded time.
+    pub fn t_end(&self) -> f64 {
+        *self.ts.last().expect("non-empty")
+    }
+
+    /// First recorded voltage.
+    pub fn v_start(&self) -> f64 {
+        self.vs[0]
+    }
+
+    /// Last recorded voltage.
+    pub fn v_end(&self) -> f64 {
+        *self.vs.last().expect("non-empty")
+    }
+
+    /// Smallest sampled voltage.
+    pub fn v_min(&self) -> f64 {
+        self.vs.iter().fold(f64::INFINITY, |m, &v| m.min(v))
+    }
+
+    /// Largest sampled voltage.
+    pub fn v_max(&self) -> f64 {
+        self.vs.iter().fold(f64::NEG_INFINITY, |m, &v| m.max(v))
+    }
+
+    /// Linear interpolation at `t`, holding end values outside the span.
+    pub fn value_at(&self, t: f64) -> f64 {
+        if t <= self.t_start() {
+            return self.v_start();
+        }
+        if t >= self.t_end() {
+            return self.v_end();
+        }
+        interp::interp1(&self.ts, &self.vs, t)
+    }
+
+    /// All times at which the waveform crosses `level`, ascending.
+    pub fn crossings(&self, level: f64) -> Vec<f64> {
+        interp::crossings(&self.ts, &self.vs, level)
+    }
+
+    /// Earliest crossing of `level`, if any.
+    pub fn first_crossing(&self, level: f64) -> Option<f64> {
+        self.crossings(level).into_iter().next()
+    }
+
+    /// Latest crossing of `level`, if any.
+    pub fn last_crossing(&self, level: f64) -> Option<f64> {
+        self.crossings(level).into_iter().last()
+    }
+
+    /// Earliest crossing of `level`, as an error if absent.
+    ///
+    /// # Errors
+    ///
+    /// [`WaveformError::NoCrossing`] if the waveform never reaches `level`.
+    pub fn first_crossing_or_err(&self, level: f64) -> Result<f64, WaveformError> {
+        self.first_crossing(level).ok_or(WaveformError::NoCrossing { level })
+    }
+
+    /// Latest crossing of `level`, as an error if absent.
+    ///
+    /// # Errors
+    ///
+    /// [`WaveformError::NoCrossing`] if the waveform never reaches `level`.
+    pub fn last_crossing_or_err(&self, level: f64) -> Result<f64, WaveformError> {
+        self.last_crossing(level).ok_or(WaveformError::NoCrossing { level })
+    }
+
+    /// Transition direction inferred from the settled end values relative to
+    /// the mid threshold: rising if the waveform ends above `mid` and starts
+    /// below it, falling for the converse.
+    ///
+    /// # Errors
+    ///
+    /// [`WaveformError::IncompleteTransition`] if both ends settle on the
+    /// same side of `mid` (no logical transition).
+    pub fn polarity(&self, th: Thresholds) -> Result<Polarity, WaveformError> {
+        let mid = th.mid();
+        let starts_low = self.v_start() < mid;
+        let ends_high = self.v_end() >= mid;
+        match (starts_low, ends_high) {
+            (true, true) => Ok(Polarity::Rise),
+            (false, false) => Ok(Polarity::Fall),
+            _ => Err(WaveformError::IncompleteTransition),
+        }
+    }
+
+    /// The *noisy critical region* of the paper: from the **first** crossing
+    /// of the transition's start level to the **last** crossing of its end
+    /// level (`0.1·Vdd` → `0.9·Vdd` for a rise).
+    ///
+    /// # Errors
+    ///
+    /// [`WaveformError::IncompleteTransition`] if either level is never
+    /// crossed or the region is empty.
+    pub fn critical_region(&self, th: Thresholds, polarity: Polarity) -> Result<(f64, f64), WaveformError> {
+        let (start_level, end_level) = th.slew_levels(polarity);
+        let t_first =
+            self.first_crossing(start_level).ok_or(WaveformError::IncompleteTransition)?;
+        let t_last = self.last_crossing(end_level).ok_or(WaveformError::IncompleteTransition)?;
+        if t_last <= t_first {
+            return Err(WaveformError::IncompleteTransition);
+        }
+        Ok((t_first, t_last))
+    }
+
+    /// Slew measured from the first crossing of the start level to the
+    /// **first** subsequent crossing of the end level (the noiseless
+    /// convention used by P1).
+    ///
+    /// # Errors
+    ///
+    /// [`WaveformError::IncompleteTransition`] if the transition never
+    /// completes.
+    pub fn slew_first_to_first(&self, th: Thresholds, polarity: Polarity) -> Result<f64, WaveformError> {
+        let (start_level, end_level) = th.slew_levels(polarity);
+        let t0 = self.first_crossing(start_level).ok_or(WaveformError::IncompleteTransition)?;
+        let t1 = self
+            .crossings(end_level)
+            .into_iter()
+            .find(|&t| t >= t0)
+            .ok_or(WaveformError::IncompleteTransition)?;
+        Ok(t1 - t0)
+    }
+
+    /// Slew measured from the **earliest** crossing of the start level to
+    /// the **latest** crossing of the end level (the P2 convention for noisy
+    /// waveforms — the full width of the critical region).
+    ///
+    /// # Errors
+    ///
+    /// [`WaveformError::IncompleteTransition`] if the transition never
+    /// completes.
+    pub fn slew_first_to_last(&self, th: Thresholds, polarity: Polarity) -> Result<f64, WaveformError> {
+        let (t0, t1) = self.critical_region(th, polarity)?;
+        Ok(t1 - t0)
+    }
+
+    /// Returns a copy shifted by `dt` in time.
+    pub fn shifted(&self, dt: f64) -> Waveform {
+        let ts = self.ts.iter().map(|t| t + dt).collect();
+        Waveform { ts, vs: self.vs.clone() }
+    }
+
+    /// Returns a copy with voltages transformed by `f`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`WaveformError::NonFinite`] if `f` produces NaN/inf.
+    pub fn map_values(&self, f: impl Fn(f64) -> f64) -> Result<Waveform, WaveformError> {
+        let vs: Vec<f64> = self.vs.iter().map(|&v| f(v)).collect();
+        Waveform::new(self.ts.clone(), vs)
+    }
+
+    /// Resamples onto a uniform grid covering `[t0, t1]` with step `dt`.
+    ///
+    /// # Errors
+    ///
+    /// [`WaveformError::InvalidParameter`] for a degenerate grid request.
+    pub fn resampled(&self, t0: f64, t1: f64, dt: f64) -> Result<Waveform, WaveformError> {
+        Waveform::from_fn(t0, t1, dt, |t| self.value_at(t))
+    }
+
+    /// Restricts to `[t0, t1]`, inserting interpolated boundary samples.
+    ///
+    /// # Errors
+    ///
+    /// [`WaveformError::InvalidParameter`] if the window is empty or lies
+    /// outside the recorded span.
+    pub fn windowed(&self, t0: f64, t1: f64) -> Result<Waveform, WaveformError> {
+        if !(t1 > t0) {
+            return Err(WaveformError::InvalidParameter("window must satisfy t1 > t0"));
+        }
+        let mut ts = vec![t0];
+        let mut vs = vec![self.value_at(t0)];
+        for (&t, &v) in self.ts.iter().zip(&self.vs) {
+            if t > t0 && t < t1 {
+                ts.push(t);
+                vs.push(v);
+            }
+        }
+        ts.push(t1);
+        vs.push(self.value_at(t1));
+        Waveform::new(ts, vs)
+    }
+
+    /// Pointwise sum with `other` over the union of both time grids.
+    ///
+    /// Outside each waveform's span, its boundary value is held — matching
+    /// the superposition of settled signals.
+    pub fn plus(&self, other: &Waveform) -> Waveform {
+        let mut ts: Vec<f64> = Vec::with_capacity(self.ts.len() + other.ts.len());
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.ts.len() || j < other.ts.len() {
+            let t = match (self.ts.get(i), other.ts.get(j)) {
+                (Some(&a), Some(&b)) => {
+                    if a < b {
+                        i += 1;
+                        a
+                    } else if b < a {
+                        j += 1;
+                        b
+                    } else {
+                        i += 1;
+                        j += 1;
+                        a
+                    }
+                }
+                (Some(&a), None) => {
+                    i += 1;
+                    a
+                }
+                (None, Some(&b)) => {
+                    j += 1;
+                    b
+                }
+                (None, None) => break,
+            };
+            if ts.last().map_or(true, |&last| t > last) {
+                ts.push(t);
+            }
+        }
+        let vs: Vec<f64> = ts.iter().map(|&t| self.value_at(t) + other.value_at(t)).collect();
+        Waveform { ts, vs }
+    }
+
+    /// Numerical time-derivative (central differences, one-sided at ends),
+    /// sampled on the same time axis. Units: volts per second.
+    pub fn derivative(&self) -> Waveform {
+        let n = self.ts.len();
+        let mut dv = vec![0.0; n];
+        for k in 0..n {
+            dv[k] = if k == 0 {
+                (self.vs[1] - self.vs[0]) / (self.ts[1] - self.ts[0])
+            } else if k == n - 1 {
+                (self.vs[n - 1] - self.vs[n - 2]) / (self.ts[n - 1] - self.ts[n - 2])
+            } else {
+                (self.vs[k + 1] - self.vs[k - 1]) / (self.ts[k + 1] - self.ts[k - 1])
+            };
+        }
+        Waveform { ts: self.ts.clone(), vs: dv }
+    }
+
+    /// `true` if voltages are non-decreasing (rise) or non-increasing (fall)
+    /// along the whole record, within tolerance `tol` volts.
+    pub fn is_monotonic(&self, polarity: Polarity, tol: f64) -> bool {
+        match polarity {
+            Polarity::Rise => self.vs.windows(2).all(|w| w[1] >= w[0] - tol),
+            Polarity::Fall => self.vs.windows(2).all(|w| w[1] <= w[0] + tol),
+        }
+    }
+
+    /// Trapezoidal integral of `v(t)` over the full record.
+    pub fn integral(&self) -> f64 {
+        let mut acc = 0.0;
+        for k in 0..self.ts.len() - 1 {
+            acc += 0.5 * (self.vs[k] + self.vs[k + 1]) * (self.ts[k + 1] - self.ts[k]);
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp01() -> Waveform {
+        Waveform::new(vec![0.0, 1.0], vec![0.0, 1.0]).unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(Waveform::new(vec![0.0], vec![0.0]).is_err());
+        assert!(Waveform::new(vec![0.0, 0.0], vec![0.0, 1.0]).is_err());
+        assert!(Waveform::new(vec![1.0, 0.0], vec![0.0, 1.0]).is_err());
+        assert!(Waveform::new(vec![0.0, 1.0], vec![0.0]).is_err());
+        assert!(Waveform::new(vec![0.0, 1.0], vec![0.0, f64::NAN]).is_err());
+        assert!(Waveform::new(vec![0.0, f64::INFINITY], vec![0.0, 1.0]).is_err());
+        assert!(ramp01().len() == 2);
+    }
+
+    #[test]
+    fn value_holds_outside_span() {
+        let w = ramp01();
+        assert_eq!(w.value_at(-1.0), 0.0);
+        assert_eq!(w.value_at(2.0), 1.0);
+        assert!((w.value_at(0.25) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_fn_hits_both_endpoints() {
+        let w = Waveform::from_fn(0.0, 1.0, 0.3, |t| t).unwrap();
+        assert_eq!(w.t_start(), 0.0);
+        assert_eq!(w.t_end(), 1.0);
+        assert!(w.times().windows(2).all(|p| p[1] > p[0]));
+    }
+
+    #[test]
+    fn crossings_first_last() {
+        // Rise with a dip: crosses 0.5 three times.
+        let w = Waveform::new(
+            vec![0.0, 1.0, 2.0, 3.0, 4.0],
+            vec![0.0, 0.7, 0.3, 1.0, 1.0],
+        )
+        .unwrap();
+        let c = w.crossings(0.5);
+        assert_eq!(c.len(), 3);
+        assert!((w.first_crossing(0.5).unwrap() - 5.0 / 7.0).abs() < 1e-12);
+        assert!(w.last_crossing(0.5).unwrap() > 2.0);
+        assert!(w.first_crossing(2.0).is_none());
+        assert!(matches!(
+            w.first_crossing_or_err(2.0),
+            Err(WaveformError::NoCrossing { .. })
+        ));
+    }
+
+    #[test]
+    fn polarity_detection() {
+        let th = Thresholds::cmos(1.0);
+        let rise = ramp01();
+        assert_eq!(rise.polarity(th).unwrap(), Polarity::Rise);
+        let fall = Waveform::new(vec![0.0, 1.0], vec![1.0, 0.0]).unwrap();
+        assert_eq!(fall.polarity(th).unwrap(), Polarity::Fall);
+        let flat = Waveform::constant(0.2, 0.0, 1.0).unwrap();
+        assert!(flat.polarity(th).is_err());
+    }
+
+    #[test]
+    fn critical_region_and_slews() {
+        let th = Thresholds::cmos(1.0);
+        // Monotone rise 0→1 over [0,1]: region = [0.1, 0.9].
+        let w = ramp01();
+        let (a, b) = w.critical_region(th, Polarity::Rise).unwrap();
+        assert!((a - 0.1).abs() < 1e-12 && (b - 0.9).abs() < 1e-12);
+        assert!((w.slew_first_to_first(th, Polarity::Rise).unwrap() - 0.8).abs() < 1e-12);
+        assert!((w.slew_first_to_last(th, Polarity::Rise).unwrap() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_slew_conventions_differ() {
+        let th = Thresholds::cmos(1.0);
+        // Rise that overshoots 0.9, dips below it, then settles high:
+        // first-to-first stops early, first-to-last spans the bump.
+        let w = Waveform::new(
+            vec![0.0, 0.2, 0.4, 0.6, 0.8, 1.0],
+            vec![0.0, 0.5, 0.95, 0.7, 0.95, 1.0],
+        )
+        .unwrap();
+        let s_ff = w.slew_first_to_first(th, Polarity::Rise).unwrap();
+        let s_fl = w.slew_first_to_last(th, Polarity::Rise).unwrap();
+        assert!(s_fl > s_ff);
+    }
+
+    #[test]
+    fn shift_map_window() {
+        let th = Thresholds::cmos(1.0);
+        let w = ramp01().shifted(10.0);
+        assert_eq!(w.t_start(), 10.0);
+        assert_eq!(w.polarity(th).unwrap(), Polarity::Rise);
+        let inv = w.map_values(|v| 1.0 - v).unwrap();
+        assert_eq!(inv.polarity(th).unwrap(), Polarity::Fall);
+        let win = w.windowed(10.25, 10.75).unwrap();
+        assert!((win.v_start() - 0.25).abs() < 1e-12);
+        assert!((win.v_end() - 0.75).abs() < 1e-12);
+        assert!(w.windowed(5.0, 5.0).is_err());
+    }
+
+    #[test]
+    fn plus_superposes_on_union_grid() {
+        let a = Waveform::new(vec![0.0, 2.0], vec![0.0, 2.0]).unwrap();
+        let b = Waveform::new(vec![0.5, 1.5], vec![1.0, 1.0]).unwrap();
+        let s = a.plus(&b);
+        assert_eq!(s.value_at(1.0), 2.0); // 1.0 + 1.0
+        assert_eq!(s.value_at(0.0), 1.0); // 0.0 + held 1.0
+        assert!(s.times().windows(2).all(|p| p[1] > p[0]));
+    }
+
+    #[test]
+    fn derivative_of_line_is_constant() {
+        let w = Waveform::from_fn(0.0, 1.0, 0.1, |t| 3.0 * t + 1.0).unwrap();
+        let d = w.derivative();
+        for &v in d.values() {
+            assert!((v - 3.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn monotonicity_and_integral() {
+        let w = ramp01();
+        assert!(w.is_monotonic(Polarity::Rise, 0.0));
+        assert!(!w.is_monotonic(Polarity::Fall, 0.0));
+        assert!((w.integral() - 0.5).abs() < 1e-12);
+    }
+}

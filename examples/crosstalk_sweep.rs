@@ -1,0 +1,59 @@
+//! Aggressor-alignment sweep on the paper's Configuration I testbench:
+//! golden (transistor-level) receiver arrival vs each technique's estimate
+//! as the aggressor edge slides across the victim transition.
+//!
+//! Run with `cargo run --release --example crosstalk_sweep -- [--cases N]`.
+
+use noisy_sta::core::eval::evaluate_case;
+use noisy_sta::core::gate::SpiceReceiverGate;
+use noisy_sta::core::{MethodKind, PropagationContext};
+use noisy_sta::spice::fig1::{self, Fig1Config};
+use noisy_sta::waveform::Thresholds;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut cases = 11usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--cases" {
+            cases = args.next().and_then(|v| v.parse().ok()).unwrap_or(11);
+        }
+    }
+    let cfg = Fig1Config::config_i();
+    let th = Thresholds::cmos(cfg.proc.vdd);
+    let gate = SpiceReceiverGate::new(cfg);
+    eprintln!("simulating noiseless reference...");
+    let quiet = fig1::run_noiseless(&cfg)?;
+
+    println!(
+        "{:>9} {:>12} {:>9} {:>9} {:>9} {:>9}",
+        "skew(ps)", "golden(ps)", "P1", "E4", "WLS5", "SGDP"
+    );
+    let methods = [MethodKind::P1, MethodKind::E4, MethodKind::Wls5, MethodKind::Sgdp];
+    for k in 0..cases {
+        let skew = -0.5e-9 + 1.0e-9 * k as f64 / (cases - 1) as f64;
+        let noisy = fig1::run_case(&cfg, &[skew])?;
+        let ctx = PropagationContext::new(
+            quiet.in_u.clone(),
+            noisy.in_u.clone(),
+            Some(quiet.out_u.clone()),
+            th,
+        )?;
+        let report = evaluate_case(&ctx, &gate, &noisy.out_u, &methods)?;
+        let golden = report.golden_delay.t_out_mid;
+        let fmt = |m: MethodKind| match report.error_of(m) {
+            Some(err) => format!("{:+8.1}", err * 1e12),
+            None => "  failed".to_string(),
+        };
+        println!(
+            "{:>9.0} {:>12.1} {:>9} {:>9} {:>9} {:>9}",
+            skew * 1e12,
+            golden * 1e12,
+            fmt(MethodKind::P1),
+            fmt(MethodKind::E4),
+            fmt(MethodKind::Wls5),
+            fmt(MethodKind::Sgdp),
+        );
+    }
+    println!("\ncolumns P1/E4/WLS5/SGDP show |arrival error| vs the golden simulation");
+    Ok(())
+}

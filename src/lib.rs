@@ -1,0 +1,51 @@
+//! # noisy-sta
+//!
+//! Umbrella crate for the `noisy-sta` workspace: a reproduction of
+//! *"Modeling and Propagation of Noisy Waveforms in Static Timing
+//! Analysis"* (Nazarian, Pedram, Tuncer, Lin, Ajami — DATE 2005).
+//!
+//! The workspace implements, from scratch:
+//!
+//! * a waveform algebra ([`waveform`]),
+//! * a linear RC circuit engine with coupled lines ([`circuit`]),
+//! * a nonlinear transistor-level transient simulator ([`spice`]),
+//! * a Liberty-subset cell-library system with NLDM characterization
+//!   ([`liberty`]),
+//! * the paper's contribution — the **SGDP** equivalent-waveform technique —
+//!   together with the P1/P2/LSF3/E4/WLS5 baselines ([`core`]),
+//! * a crosstalk-aware static timing analyzer ([`sta`]).
+//!
+//! Each sub-crate is usable on its own; this crate merely re-exports them
+//! under stable names so applications can depend on a single entry point.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use noisy_sta::waveform::{SaturatedRamp, Thresholds};
+//! use noisy_sta::core::gate::AnalyticInverterGate;
+//! use noisy_sta::core::{MethodKind, PropagationContext};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let th = Thresholds::cmos(1.2);
+//! let gate = AnalyticInverterGate::fast(th);
+//! // A clean 150 ps (10-90) rising ramp arriving at 1 ns...
+//! let clean = SaturatedRamp::with_slew(1.0e-9, 150e-12, th, true)?;
+//! // ...distorted by a deep crosstalk glitch near the transition.
+//! let noisy = clean
+//!     .to_waveform(0.0, 4.0e-9, 2.0e-12)?
+//!     .with_triangular_pulse(1.15e-9, 200e-12, -0.8)?;
+//! let ctx = PropagationContext::with_gate(clean, noisy, &gate, th)?;
+//! let gamma = MethodKind::Sgdp.equivalent(&ctx)?;
+//! println!("Γeff arrival = {:.1} ps", gamma.arrival_mid() * 1e12);
+//! assert!(gamma.arrival_mid() > 1.0e-9);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use nsta_circuit as circuit;
+pub use nsta_liberty as liberty;
+pub use nsta_numeric as numeric;
+pub use nsta_spice as spice;
+pub use nsta_sta as sta;
+pub use nsta_waveform as waveform;
+pub use sgdp as core;

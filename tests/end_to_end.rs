@@ -1,0 +1,162 @@
+//! Cross-crate integration tests: the full pipeline from transistor-level
+//! simulation through waveform reduction to STA, exercised end to end.
+
+use noisy_sta::core::eval::evaluate_case;
+use noisy_sta::core::gate::SpiceReceiverGate;
+use noisy_sta::core::{MethodKind, PropagationContext};
+use noisy_sta::spice::fig1::{self, Fig1Config};
+use noisy_sta::waveform::Thresholds;
+
+/// Faster settings for CI: coarser step, shorter tail.
+fn test_cfg() -> Fig1Config {
+    Fig1Config { dt: 2e-12, t_stop: 3.5e-9, ..Fig1Config::config_i() }
+}
+
+#[test]
+fn config_i_accuracy_pipeline() {
+    let cfg = test_cfg();
+    let th = Thresholds::cmos(cfg.proc.vdd);
+    let gate = SpiceReceiverGate::new(cfg);
+    let quiet = fig1::run_noiseless(&cfg).expect("noiseless simulation");
+
+    // Three representative alignments: before, at, and after the victim
+    // transition.
+    let mut sgdp_errors = Vec::new();
+    for skew in [-0.3e-9, 0.0, 0.3e-9] {
+        let noisy = fig1::run_case(&cfg, &[skew]).expect("noisy simulation");
+        if noisy.out_u.crossings(th.mid()).len() > 1 {
+            continue; // functional-noise case
+        }
+        let ctx = PropagationContext::new(
+            quiet.in_u.clone(),
+            noisy.in_u.clone(),
+            Some(quiet.out_u.clone()),
+            th,
+        )
+        .expect("context");
+        let report =
+            evaluate_case(&ctx, &gate, &noisy.out_u, &MethodKind::all()).expect("evaluation");
+        // The golden delay is physically sensible.
+        assert!(report.golden_delay.value() > 20e-12);
+        assert!(report.golden_delay.value() < 500e-12);
+        // SGDP succeeds on every delay-noise case.
+        let err = report.error_of(MethodKind::Sgdp).expect("sgdp succeeds");
+        assert!(err < 150e-12, "sgdp error {err:e} out of band at skew {skew:e}");
+        sgdp_errors.push(err);
+    }
+    assert!(!sgdp_errors.is_empty());
+}
+
+#[test]
+fn sgdp_beats_the_field_on_average_at_tight_alignment() {
+    // At alignments that distort the transition itself, the sensitivity
+    // methods must beat the naive fits (LSF3) clearly.
+    let cfg = test_cfg();
+    let th = Thresholds::cmos(cfg.proc.vdd);
+    let gate = SpiceReceiverGate::new(cfg);
+    let quiet = fig1::run_noiseless(&cfg).expect("noiseless");
+    let mut sum = std::collections::HashMap::new();
+    let mut count = 0usize;
+    for skew in [-0.1e-9, 0.0, 0.1e-9] {
+        let noisy = fig1::run_case(&cfg, &[skew]).expect("case");
+        let ctx = PropagationContext::new(
+            quiet.in_u.clone(),
+            noisy.in_u.clone(),
+            Some(quiet.out_u.clone()),
+            th,
+        )
+        .expect("context");
+        let report =
+            evaluate_case(&ctx, &gate, &noisy.out_u, &MethodKind::all()).expect("evaluation");
+        for m in MethodKind::all() {
+            if let Some(e) = report.error_of(m) {
+                *sum.entry(m.name()).or_insert(0.0) += e;
+            }
+        }
+        count += 1;
+    }
+    assert!(count > 0);
+    let avg = |name: &str| sum.get(name).copied().unwrap_or(f64::INFINITY) / count as f64;
+    assert!(
+        avg("SGDP") < avg("LSF3"),
+        "sgdp {:.1}ps must beat lsf3 {:.1}ps",
+        avg("SGDP") * 1e12,
+        avg("LSF3") * 1e12
+    );
+}
+
+#[test]
+fn characterize_write_parse_sta_pipeline() {
+    use noisy_sta::liberty::characterize::{inverter_family, Options};
+    use noisy_sta::liberty::parse_library;
+    use noisy_sta::spice::Process;
+    use noisy_sta::sta::{verilog, Constraints, Sta};
+
+    let lib = inverter_family(
+        &Process::c013(),
+        &[("INVX1", 1.0), ("INVX4", 4.0)],
+        &Options::fast_test(),
+    )
+    .expect("characterization");
+    // Serialize → parse → serialize: the text form must be idempotent
+    // (struct equality can differ by 1 ULP from unit scaling).
+    let text = lib.to_liberty();
+    let parsed = parse_library(&text).expect("parse back");
+    assert_eq!(parsed.to_liberty(), text);
+    assert_eq!(parsed.cells().len(), lib.cells().len());
+
+    let design = verilog::parse_design(
+        "module m (a, y); input a; output y; wire w;\
+         INVX1 u1 (.A(a), .Y(w)); INVX4 u2 (.A(w), .Y(y)); endmodule",
+    )
+    .expect("netlist");
+    let sta = Sta::new(design, parsed).expect("sta");
+    let report = sta.analyze(&Constraints::default()).expect("analysis");
+    // Two inverter stages: tens of picoseconds, positive, bounded.
+    assert!(report.worst_arrival() > 10e-12);
+    assert!(report.worst_arrival() < 1e-9);
+    assert_eq!(report.critical_path().first().expect("path").name, "a");
+    assert_eq!(report.critical_path().last().expect("path").name, "y");
+}
+
+#[test]
+fn sta_crosstalk_uses_equivalent_waveforms() {
+    use noisy_sta::circuit::RcLineSpec;
+    use noisy_sta::liberty::characterize::{inverter_family, Options};
+    use noisy_sta::spice::Process;
+    use noisy_sta::sta::{verilog, Constraints, CouplingSpec, Sta};
+
+    let lib = inverter_family(
+        &Process::c013(),
+        &[("INVX1", 1.0), ("INVX4", 4.0)],
+        &Options::fast_test(),
+    )
+    .expect("characterization");
+    let design = verilog::parse_design(
+        "module m (a, b, y, z); input a, b; output y, z; wire v, g;\
+         INVX1 u1 (.A(a), .Y(v)); INVX4 u2 (.A(v), .Y(y));\
+         INVX1 u3 (.A(b), .Y(g)); INVX4 u4 (.A(g), .Y(z)); endmodule",
+    )
+    .expect("netlist");
+    let sta = Sta::new(design, lib).expect("sta");
+    let c = Constraints::default();
+    let nominal = sta.analyze(&c).expect("nominal");
+
+    let spec = CouplingSpec::new(
+        sta.design().find_net("v").expect("victim"),
+        vec![sta.design().find_net("g").expect("aggressor")],
+        100e-15,
+        RcLineSpec::per_micron(1000.0).expect("line"),
+    );
+    let (with_si, adjustments) = sta
+        .analyze_with_crosstalk(&c, &[spec], MethodKind::Sgdp)
+        .expect("si analysis");
+    assert_eq!(adjustments.len(), 2);
+    // Crosstalk cannot make the worst slack better.
+    assert!(with_si.worst_slack() <= nominal.worst_slack() + 1e-15);
+    // The victim's fanout arrives later than over an ideal wire.
+    let y = sta.design().find_net("y").expect("net y");
+    let nom = nominal.net(y).expect("timing").rise.as_ref().expect("rise").arrival;
+    let si = with_si.net(y).expect("timing").rise.as_ref().expect("rise").arrival;
+    assert!(si > nom);
+}
