@@ -1,16 +1,15 @@
-//! Criterion micro-benchmarks of the simulation substrate: linear and
-//! nonlinear transient engines, LU kernels and the Liberty parser.
+//! Micro-benchmarks of the simulation substrate: linear and nonlinear
+//! transient engines, LU kernels and the Liberty parser.
 //!
 //! Run with `cargo bench -p nsta-bench --bench substrate`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use nsta_bench::microbench::bench;
 use nsta_circuit::{Circuit, CoupledLines, RcLineSpec, TransientOptions};
 use nsta_numeric::{DenseMatrix, LuFactors};
 use nsta_spice::{cells, Netlist, Process, SimOptions};
 use nsta_waveform::Waveform;
 
-fn bench_lu(c: &mut Criterion) {
-    let mut group = c.benchmark_group("lu");
+fn bench_lu() {
     for n in [8usize, 32, 64] {
         let mut a = DenseMatrix::zeros(n, n);
         let mut seed = 0x12345678u64;
@@ -27,61 +26,55 @@ fn bench_lu(c: &mut Criterion) {
             a.add(r, r, n as f64);
         }
         let b: Vec<f64> = (0..n).map(|_| next()).collect();
-        group.bench_function(format!("factor_solve_{n}"), |bencher| {
-            bencher.iter(|| {
-                let lu = LuFactors::factor(&a).expect("well conditioned");
-                std::hint::black_box(lu.solve(&b).expect("solve"))
-            })
+        bench(&format!("lu/factor_solve_{n}"), || {
+            let lu = LuFactors::factor(&a).expect("well conditioned");
+            lu.solve(&b).expect("solve")
         });
     }
-    group.finish();
 }
 
-fn bench_linear_transient(c: &mut Criterion) {
-    c.bench_function("linear_coupled_lines_2ns", |b| {
-        b.iter(|| {
-            let mut ckt = Circuit::new();
-            let a_in = ckt.node("a");
-            let v_in = ckt.node("v");
-            let edge =
-                Waveform::new(vec![0.0, 0.5e-9, 0.7e-9, 2e-9], vec![0.0, 0.0, 1.2, 1.2])
-                    .expect("edge");
-            ckt.thevenin_driver(a_in, edge, 200.0).expect("driver");
-            ckt.thevenin_driver(v_in, Waveform::constant(0.0, 0.0, 2e-9).expect("flat"), 200.0)
-                .expect("driver");
-            let bundle = CoupledLines::new(RcLineSpec::figure1(), 2, 100e-15).expect("bundle");
-            let far = bundle.build(&mut ckt, &[a_in, v_in], "w").expect("build");
-            let res = ckt
-                .run_transient(TransientOptions::new(0.0, 2e-9, 2e-12).expect("opts"))
-                .expect("run");
-            std::hint::black_box(res.voltage(far[1]).expect("trace"))
-        })
+fn bench_linear_transient() {
+    bench("linear_coupled_lines_2ns", || {
+        let mut ckt = Circuit::new();
+        let a_in = ckt.node("a");
+        let v_in = ckt.node("v");
+        let edge =
+            Waveform::new(vec![0.0, 0.5e-9, 0.7e-9, 2e-9], vec![0.0, 0.0, 1.2, 1.2]).expect("edge");
+        ckt.thevenin_driver(a_in, edge, 200.0).expect("driver");
+        ckt.thevenin_driver(
+            v_in,
+            Waveform::constant(0.0, 0.0, 2e-9).expect("flat"),
+            200.0,
+        )
+        .expect("driver");
+        let bundle = CoupledLines::new(RcLineSpec::figure1(), 2, 100e-15).expect("bundle");
+        let far = bundle.build(&mut ckt, &[a_in, v_in], "w").expect("build");
+        let res = ckt
+            .run_transient(TransientOptions::new(0.0, 2e-9, 2e-12).expect("opts"))
+            .expect("run");
+        res.voltage(far[1]).expect("trace")
     });
 }
 
-fn bench_spice_inverter(c: &mut Criterion) {
-    c.bench_function("spice_inverter_2ns", |b| {
-        b.iter(|| {
-            let proc = Process::c013();
-            let mut net = Netlist::new(proc.vdd);
-            let inp = net.node("in");
-            let out = net.node("out");
-            cells::add_inverter(&mut net, &proc, 4.0, inp, out, "u1").expect("cell");
-            cells::add_load_cap(&mut net, out, 20e-15).expect("load");
-            let ramp = Waveform::new(
-                vec![0.0, 0.5e-9, 0.65e-9, 2e-9],
-                vec![0.0, 0.0, 1.2, 1.2],
-            )
+fn bench_spice_inverter() {
+    bench("spice_inverter_2ns", || {
+        let proc = Process::c013();
+        let mut net = Netlist::new(proc.vdd);
+        let inp = net.node("in");
+        let out = net.node("out");
+        cells::add_inverter(&mut net, &proc, 4.0, inp, out, "u1").expect("cell");
+        cells::add_load_cap(&mut net, out, 20e-15).expect("load");
+        let ramp = Waveform::new(vec![0.0, 0.5e-9, 0.65e-9, 2e-9], vec![0.0, 0.0, 1.2, 1.2])
             .expect("ramp");
-            net.vsource(inp, ramp).expect("source");
-            let res =
-                net.run_transient(SimOptions::new(0.0, 2e-9, 2e-12).expect("opts")).expect("run");
-            std::hint::black_box(res.voltage(out).expect("trace"))
-        })
+        net.vsource(inp, ramp).expect("source");
+        let res = net
+            .run_transient(SimOptions::new(0.0, 2e-9, 2e-12).expect("opts"))
+            .expect("run");
+        res.voltage(out).expect("trace")
     });
 }
 
-fn bench_liberty_parse(c: &mut Criterion) {
+fn bench_liberty_parse() {
     // A realistic library text produced by the serializer (constructed
     // once, outside the timed loop).
     use nsta_liberty::{Cell, Direction, Library, NldmTable, Pin, TimingArc, TimingSense};
@@ -123,16 +116,14 @@ fn bench_liberty_parse(c: &mut Criterion) {
         });
     }
     let text = lib.to_liberty();
-    c.bench_function("liberty_parse_20_cells", |b| {
-        b.iter(|| std::hint::black_box(nsta_liberty::parse_library(&text).expect("parse")))
+    bench("liberty_parse_20_cells", || {
+        nsta_liberty::parse_library(&text).expect("parse")
     });
 }
 
-criterion_group!(
-    benches,
-    bench_lu,
-    bench_linear_transient,
-    bench_spice_inverter,
-    bench_liberty_parse
-);
-criterion_main!(benches);
+fn main() {
+    bench_lu();
+    bench_linear_transient();
+    bench_spice_inverter();
+    bench_liberty_parse();
+}

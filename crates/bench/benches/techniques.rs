@@ -1,9 +1,9 @@
-//! Criterion micro-benchmarks of the equivalent-waveform techniques
-//! (Section 4.2's measurement, statistically sampled).
+//! Micro-benchmarks of the equivalent-waveform techniques (Section 4.2's
+//! measurement, statistically sampled).
 //!
 //! Run with `cargo bench -p nsta-bench --bench techniques`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nsta_bench::microbench::bench;
 use nsta_waveform::{SaturatedRamp, Thresholds};
 use sgdp::gate::{AnalyticInverterGate, GateModel};
 use sgdp::{MethodKind, PropagationContext};
@@ -24,30 +24,29 @@ fn make_context() -> PropagationContext {
     PropagationContext::new(clean_wave, noisy, Some(out), th).expect("context")
 }
 
-fn bench_methods(c: &mut Criterion) {
-    let ctx = make_context();
-    let mut group = c.benchmark_group("techniques");
+fn bench_methods(ctx: &PropagationContext) {
     for method in MethodKind::all() {
         // Validate once so failures surface as panics, not timing noise.
-        method.equivalent(&ctx).expect("technique succeeds on the benchmark case");
-        group.bench_function(method.name(), |b| {
-            b.iter(|| std::hint::black_box(method.equivalent(&ctx).expect("ok")))
+        method
+            .equivalent(ctx)
+            .expect("technique succeeds on the benchmark case");
+        bench(&format!("techniques/{}", method.name()), || {
+            method.equivalent(ctx).expect("ok")
         });
     }
-    group.finish();
 }
 
-fn bench_sgdp_sampling(c: &mut Criterion) {
-    let base = make_context();
-    let mut group = c.benchmark_group("sgdp_sampling");
+fn bench_sgdp_sampling(base: &PropagationContext) {
     for p in [9usize, 17, 35, 70, 140] {
         let ctx = base.clone().with_samples(p).expect("valid P");
-        group.bench_with_input(BenchmarkId::from_parameter(p), &ctx, |b, ctx| {
-            b.iter(|| std::hint::black_box(MethodKind::Sgdp.equivalent(ctx).expect("ok")))
+        bench(&format!("sgdp_sampling/{p}"), || {
+            MethodKind::Sgdp.equivalent(&ctx).expect("ok")
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_methods, bench_sgdp_sampling);
-criterion_main!(benches);
+fn main() {
+    let ctx = make_context();
+    bench_methods(&ctx);
+    bench_sgdp_sampling(&ctx);
+}

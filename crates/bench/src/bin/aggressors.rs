@@ -24,7 +24,9 @@ fn late_sweep(aggressors: usize, cases: usize) -> Vec<SkewCase> {
     (0..cases)
         .map(|k| {
             let s = 0.1e-9 + 0.4e-9 * k as f64 / (cases - 1) as f64;
-            SkewCase { skews: vec![s; aggressors] }
+            SkewCase {
+                skews: vec![s; aggressors],
+            }
         })
         .collect()
 }
@@ -39,8 +41,10 @@ fn main() {
     }
     let methods = [MethodKind::Wls5, MethodKind::Sgdp];
     let mut rows = Vec::new();
-    for (label, cfg) in [("1 (Config I)", Fig1Config::config_i()), ("2 (Config II)", Fig1Config::config_ii())]
-    {
+    for (label, cfg) in [
+        ("1 (Config I)", Fig1Config::config_i()),
+        ("2 (Config II)", Fig1Config::config_ii()),
+    ] {
         let workload = late_sweep(cfg.aggressors, cases);
         let table = run_accuracy(&cfg, &workload, &methods, |_, _| {}).expect("experiment");
         for row in &table.rows {
@@ -57,6 +61,9 @@ fn main() {
     println!("\nE-A2 — late-noise robustness: WLS5 vs SGDP ({cases} late-aligned cases each)");
     print!(
         "{}",
-        render_table(&["Aggressors", "Method", "Max (ps)", "Avg (ps)", "Failures"], &rows)
+        render_table(
+            &["Aggressors", "Method", "Max (ps)", "Avg (ps)", "Failures"],
+            &rows
+        )
     );
 }

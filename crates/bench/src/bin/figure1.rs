@@ -17,13 +17,26 @@ fn describe(name: &str, cfg: &Fig1Config) {
         vec!["aggressors".into(), cfg.aggressors.to_string()],
         vec!["line length (um)".into(), format!("{}", cfg.line_length_um)],
         vec!["segments / line".into(), spec.segments.to_string()],
-        vec!["R per segment (ohm)".into(), format!("{:.2}", spec.r_segment())],
+        vec![
+            "R per segment (ohm)".into(),
+            format!("{:.2}", spec.r_segment()),
+        ],
         vec![
             "C per segment (fF)".into(),
-            format!("{:.2} (2 x {:.2})", spec.c_segment() * 1e15, spec.c_segment() * 1e15 / 2.0),
+            format!(
+                "{:.2} (2 x {:.2})",
+                spec.c_segment() * 1e15,
+                spec.c_segment() * 1e15 / 2.0
+            ),
         ],
-        vec!["total Cm per pair (fF)".into(), format!("{:.1}", cfg.cm_total * 1e15)],
-        vec!["input slew 10-90 (ps)".into(), format!("{:.0}", cfg.input_slew * 1e12)],
+        vec![
+            "total Cm per pair (fF)".into(),
+            format!("{:.1}", cfg.cm_total * 1e15),
+        ],
+        vec![
+            "input slew 10-90 (ps)".into(),
+            format!("{:.0}", cfg.input_slew * 1e12),
+        ],
         vec!["vdd (V)".into(), format!("{}", cfg.proc.vdd)],
         vec!["nodes".into(), net.node_count().to_string()],
         vec!["resistors".into(), r.to_string()],

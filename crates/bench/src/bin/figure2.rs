@@ -26,7 +26,10 @@ fn main() {
                 skew = ps * 1e-12;
             }
             "--out" => {
-                out_dir = args.next().map(PathBuf::from).unwrap_or_else(|| PathBuf::from("."));
+                out_dir = args
+                    .next()
+                    .map(PathBuf::from)
+                    .unwrap_or_else(|| PathBuf::from("."));
             }
             other => {
                 eprintln!("unknown argument {other}");
@@ -81,7 +84,11 @@ fn main() {
     // Panel (b).
     let path_b = out_dir.join("figure2b.csv");
     let mut fb = std::fs::File::create(&path_b).expect("create figure2b.csv");
-    writeln!(fb, "t_ps,v_in_noisy,v_out_noisy,gamma_eff,v_out_eff,rho_eff_scaled").expect("write");
+    writeln!(
+        fb,
+        "t_ps,v_in_noisy,v_out_noisy,gamma_eff,v_out_eff,rho_eff_scaled"
+    )
+    .expect("write");
     for k in 0..=n {
         let t = t_start + (t_end - t_start) * k as f64 / n as f64;
         // ρeff is sampled at P points; interpolate piecewise for plotting.

@@ -34,7 +34,9 @@ fn buffer_response(cfg: &Fig1Config, input: &Waveform) -> Waveform {
     // Heavy fanout loading pushes the output transition far from the input.
     cells::add_load_cap(&mut net, out, 150.0 * proc.inverter_input_cap(1.0)).expect("load");
     let t_stop = (cfg.t_stop + 2e-9).max(input.t_end() + 2e-9);
-    let res = net.run_transient(SimOptions::new(0.0, t_stop, cfg.dt).expect("opts")).expect("sim");
+    let res = net
+        .run_transient(SimOptions::new(0.0, t_stop, cfg.dt).expect("opts"))
+        .expect("sim");
     res.voltage(out).expect("trace")
 }
 
@@ -58,9 +60,16 @@ fn main() {
     println!(
         "buffer receiver intrinsic delay: {:.1} ps (input slew {:.1} ps) — transitions {}",
         (t_out - t_in) * 1e12,
-        quiet.in_u.slew_first_to_first(th, nsta_waveform::Polarity::Rise).expect("slew") * 1e12,
+        quiet
+            .in_u
+            .slew_first_to_first(th, nsta_waveform::Polarity::Rise)
+            .expect("slew")
+            * 1e12,
         if t_out - t_in
-            > quiet.in_u.slew_first_to_first(th, nsta_waveform::Polarity::Rise).expect("slew")
+            > quiet
+                .in_u
+                .slew_first_to_first(th, nsta_waveform::Polarity::Rise)
+                .expect("slew")
         {
             "do NOT overlap"
         } else {
@@ -69,8 +78,10 @@ fn main() {
     );
 
     let methods = [MethodKind::Wls5, MethodKind::Sgdp];
-    let mut stats: Vec<(MethodKind, Summary, usize)> =
-        methods.iter().map(|&m| (m, Summary::new(), 0usize)).collect();
+    let mut stats: Vec<(MethodKind, Summary, usize)> = methods
+        .iter()
+        .map(|&m| (m, Summary::new(), 0usize))
+        .collect();
 
     for k in 0..cases {
         let skew = -0.25e-9 + 0.5e-9 * k as f64 / (cases - 1) as f64;
@@ -109,12 +120,23 @@ fn main() {
         .map(|(m, s, failures)| {
             vec![
                 m.name().to_string(),
-                if s.count() > 0 { ps(s.max()) } else { "-".into() },
-                if s.count() > 0 { ps(s.mean()) } else { "-".into() },
+                if s.count() > 0 {
+                    ps(s.max())
+                } else {
+                    "-".into()
+                },
+                if s.count() > 0 {
+                    ps(s.mean())
+                } else {
+                    "-".into()
+                },
                 format!("{failures}/{cases}"),
             ]
         })
         .collect();
     println!("\nE-A3 — non-overlapping transitions (multi-stage buffer, heavy fanout)");
-    print!("{}", render_table(&["Method", "Max (ps)", "Avg (ps)", "Refused"], &rows));
+    print!(
+        "{}",
+        render_table(&["Method", "Max (ps)", "Avg (ps)", "Refused"], &rows)
+    );
 }

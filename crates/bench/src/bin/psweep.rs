@@ -26,11 +26,7 @@ fn main() {
         // The context's sampling budget is configured through the
         // experiment driver; rebuild it with the requested P.
         let table = run_accuracy_with_p(&cfg, &workload, p);
-        rows.push(vec![
-            p.to_string(),
-            ps(table.0),
-            ps(table.1),
-        ]);
+        rows.push(vec![p.to_string(), ps(table.0), ps(table.1)]);
         eprintln!("P = {p} done");
     }
     println!("\nE-A1 — SGDP accuracy vs sampling budget P (Config I, {cases} cases)");

@@ -63,11 +63,20 @@ fn main() {
         rows.push(vec![
             method.name().to_string(),
             format!("{micros:.2}"),
-            format!("{:.2}", micros / rows.first().map_or(micros, |r: &Vec<String>| r[1].parse().unwrap_or(micros))),
+            format!(
+                "{:.2}",
+                micros
+                    / rows
+                        .first()
+                        .map_or(micros, |r: &Vec<String>| r[1].parse().unwrap_or(micros))
+            ),
         ]);
     }
     println!("\nSection 4.2 — run-time per gate delay propagation ({iterations} iterations)");
-    print!("{}", render_table(&["Method", "us/propagation", "vs P1"], &rows));
+    print!(
+        "{}",
+        render_table(&["Method", "us/propagation", "vs P1"], &rows)
+    );
 
     // P-linearity: SGDP runtime vs sampling budget.
     let mut prows = Vec::new();

@@ -1,0 +1,195 @@
+//! SPEF-driven STA workload: a synthetic coupled bus pushed through the
+//! full parse → bind → window-filter → crosstalk pipeline.
+//!
+//! Generates `--groups` independent victim/aggressor groups. Group `i`'s
+//! far aggressor sits behind a chain of `2i + 1` inverters, so early
+//! groups keep both aggressors inside the victim's switching window while
+//! later groups get their far aggressor pruned — exercising both branches
+//! of the temporal-correlation filter at scale. The run reports binding
+//! statistics, pruning counts, fixed-point iterations and wall-clock time
+//! with and without the window filter.
+//!
+//! Usage: `spefbus [--groups N]`
+
+use nsta_bench::microbench;
+use nsta_liberty::characterize::{inverter_family, Options};
+use nsta_parasitics::ast::{CapElem, DNet, SpefFile, SpefNode, Units};
+use nsta_parasitics::{bind_couplings, parse_spef, write_spef, BindOptions};
+use nsta_spice::Process;
+use nsta_sta::{verilog, Constraints, SiOptions, Sta};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Gate-level netlist of `groups` independent victim/aggressor groups.
+fn netlist(groups: usize) -> String {
+    let mut src = String::from("module bus (");
+    let mut ports = Vec::new();
+    for g in 0..groups {
+        ports.extend([format!("a{g}"), format!("b{g}"), format!("c{g}")]);
+        ports.extend([format!("y{g}"), format!("z{g}"), format!("w{g}")]);
+    }
+    src.push_str(&ports.join(", "));
+    src.push_str(");\n");
+    for g in 0..groups {
+        let _ = writeln!(src, "input a{g}, b{g}, c{g}; output y{g}, z{g}, w{g};");
+    }
+    for g in 0..groups {
+        let stages = 2 * g + 1;
+        let _ = writeln!(src, "wire v{g}, gn{g}, gf{g};");
+        let _ = writeln!(src, "INVX1 u{g}_1 (.A(a{g}), .Y(v{g}));");
+        let _ = writeln!(src, "INVX4 u{g}_2 (.A(v{g}), .Y(y{g}));");
+        let _ = writeln!(src, "INVX1 u{g}_3 (.A(b{g}), .Y(gn{g}));");
+        let _ = writeln!(src, "INVX4 u{g}_4 (.A(gn{g}), .Y(z{g}));");
+        let mut prev = format!("c{g}");
+        for s in 1..stages {
+            let _ = writeln!(src, "wire f{g}_{s};");
+            let _ = writeln!(src, "INVX1 c{g}_{s} (.A({prev}), .Y(f{g}_{s}));");
+            prev = format!("f{g}_{s}");
+        }
+        let _ = writeln!(src, "INVX1 c{g}_{stages} (.A({prev}), .Y(gf{g}));");
+        let _ = writeln!(src, "INVX4 u{g}_5 (.A(gf{g}), .Y(w{g}));");
+    }
+    src.push_str("endmodule\n");
+    src
+}
+
+/// A Figure-1-style extraction of every victim wire, built through the
+/// parasitics AST and round-tripped through the canonical writer (so the
+/// workload also exercises write → parse at scale).
+fn spef(groups: usize) -> SpefFile {
+    let seg_r = 8.5;
+    let seg_c = 9.6e-15;
+    let mut nets = Vec::new();
+    for g in 0..groups {
+        let victim = format!("v{g}");
+        let near = format!("gn{g}");
+        let far = format!("gf{g}");
+        let mut caps = Vec::new();
+        for (k, seg) in ["1", "2", "3"].iter().enumerate() {
+            caps.push(CapElem {
+                id: (k + 1) as u64,
+                a: SpefNode::sub(&victim, seg),
+                b: None,
+                value: seg_c,
+            });
+        }
+        caps.push(CapElem {
+            id: 4,
+            a: SpefNode::sub(&victim, "1"),
+            b: Some(SpefNode::sub(&near, "1")),
+            value: 50e-15,
+        });
+        caps.push(CapElem {
+            id: 5,
+            a: SpefNode::sub(&victim, "2"),
+            b: Some(SpefNode::sub(&far, "1")),
+            value: 50e-15,
+        });
+        let mut ress = Vec::new();
+        let mut prev = SpefNode::net(&victim);
+        for (k, seg) in ["1", "2", "3"].iter().enumerate() {
+            let next = SpefNode::sub(&victim, seg);
+            ress.push(nsta_parasitics::ResElem {
+                id: (k + 1) as u64,
+                a: prev,
+                b: next.clone(),
+                value: seg_r,
+            });
+            prev = next;
+        }
+        nets.push(DNet {
+            name: victim,
+            total_cap: 3.0 * seg_c + 100e-15,
+            conns: Vec::new(),
+            caps,
+            ress,
+        });
+    }
+    SpefFile {
+        design: "bus".into(),
+        divider: '/',
+        delimiter: ':',
+        units: Units::default(),
+        ports: Vec::new(),
+        nets,
+    }
+}
+
+fn main() {
+    let mut groups = 8usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--groups" {
+            groups = args.next().and_then(|v| v.parse().ok()).unwrap_or(8);
+        }
+    }
+
+    eprintln!("characterizing library...");
+    let lib = inverter_family(
+        &Process::c013(),
+        &[("INVX1", 1.0), ("INVX4", 4.0)],
+        &Options::fast_test(),
+    )
+    .expect("characterization");
+
+    let design = verilog::parse_design(&netlist(groups)).expect("netlist");
+    let spef_text = write_spef(&spef(groups));
+    let t = Instant::now();
+    let parsed = parse_spef(&spef_text).expect("spef");
+    let parse_time = t.elapsed();
+    let t = Instant::now();
+    let bound = bind_couplings(&parsed, &design, &BindOptions::default()).expect("bind");
+    let bind_time = t.elapsed();
+    println!(
+        "{} groups: SPEF {} bytes, {} nets parsed in {parse_time:.2?}, \
+         {} specs bound in {bind_time:.2?}",
+        groups,
+        spef_text.len(),
+        parsed.nets.len(),
+        bound.specs.len(),
+    );
+
+    let sta = Sta::new(design, lib).expect("sta");
+    let c = Constraints::default();
+
+    let t = Instant::now();
+    let filtered = sta
+        .analyze_with_crosstalk_windows(&c, &bound.specs, &SiOptions::default())
+        .expect("windowed analysis");
+    let filtered_time = t.elapsed();
+    let t = Instant::now();
+    let unfiltered = sta
+        .analyze_with_crosstalk_windows(
+            &c,
+            &bound.specs,
+            &SiOptions {
+                use_windows: false,
+                ..SiOptions::default()
+            },
+        )
+        .expect("unfiltered analysis");
+    let unfiltered_time = t.elapsed();
+
+    println!(
+        "window-filtered: {} pruned aggressor(s), {} iteration(s), converged {}, \
+         worst arrival {:.1} ps, {filtered_time:.2?}",
+        filtered.pruned.len(),
+        filtered.iterations,
+        filtered.converged,
+        filtered.report.worst_arrival() * 1e12,
+    );
+    println!(
+        "unfiltered:      0 pruned aggressor(s), {} iteration(s), worst arrival {:.1} ps, \
+         {unfiltered_time:.2?}",
+        unfiltered.iterations,
+        unfiltered.report.worst_arrival() * 1e12,
+    );
+
+    // Per-iteration cost of the two modes, measured properly.
+    if groups <= 8 {
+        microbench::bench("spefbus/windowed_analysis", || {
+            sta.analyze_with_crosstalk_windows(&c, &bound.specs, &SiOptions::default())
+                .expect("analysis")
+        });
+    }
+}

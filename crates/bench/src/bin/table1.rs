@@ -19,7 +19,12 @@ struct Args {
 }
 
 fn parse_args() -> Args {
-    let mut args = Args { cases: 200, run_i: true, run_ii: true, csv: false };
+    let mut args = Args {
+        cases: 200,
+        run_i: true,
+        run_ii: true,
+        csv: false,
+    };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -56,7 +61,10 @@ fn run_config(name: &str, cfg: &Fig1Config, cases: usize, csv: bool) {
     let started = std::time::Instant::now();
     let table = run_accuracy(cfg, &workload, &methods, |done, total| {
         if done % 20 == 0 || done == total {
-            eprintln!("[{name}] {done}/{total} cases ({:.1}s)", started.elapsed().as_secs_f64());
+            eprintln!(
+                "[{name}] {done}/{total} cases ({:.1}s)",
+                started.elapsed().as_secs_f64()
+            );
         }
     })
     .unwrap_or_else(|e| {

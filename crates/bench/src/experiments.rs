@@ -75,8 +75,10 @@ pub fn run_accuracy(
     // The noiseless reference is skew-independent: compute once.
     let quiet = fig1::run_noiseless(cfg)?;
 
-    let mut summaries: Vec<(MethodKind, Summary, usize)> =
-        methods.iter().map(|&m| (m, Summary::new(), 0usize)).collect();
+    let mut summaries: Vec<(MethodKind, Summary, usize)> = methods
+        .iter()
+        .map(|&m| (m, Summary::new(), 0usize))
+        .collect();
     let mut golden_delays = Summary::new();
     let mut excluded_functional = 0usize;
 
@@ -98,9 +100,7 @@ pub fn run_accuracy(
         )?;
         let report = evaluate_case(&ctx, &gate, &noisy.out_u, methods)?;
         golden_delays.push(report.golden_delay.value());
-        for ((_, summary, failures), (_, outcome)) in
-            summaries.iter_mut().zip(&report.outcomes)
-        {
+        for ((_, summary, failures), (_, outcome)) in summaries.iter_mut().zip(&report.outcomes) {
             match outcome {
                 Ok(out) => summary.push(out.arrival_error),
                 Err(_) => *failures += 1,

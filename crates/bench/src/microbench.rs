@@ -1,0 +1,77 @@
+//! Minimal wall-clock micro-benchmark harness.
+//!
+//! The workspace builds fully offline, so the benches under `benches/` use
+//! this harness (`harness = false`) instead of an external framework. Each
+//! benchmark is auto-calibrated to a target measurement time and reported as
+//! the median over a fixed number of batches, which is robust to scheduler
+//! noise on shared CI machines.
+
+use std::time::{Duration, Instant};
+
+/// Number of timed batches per benchmark; the median batch is reported.
+const BATCHES: usize = 15;
+/// Target wall-clock time for one batch.
+const TARGET_BATCH: Duration = Duration::from_millis(40);
+
+/// Times `f` and prints `name: <median> per iter (<iters> iters/batch)`.
+///
+/// The return value of `f` is passed through [`std::hint::black_box`], so
+/// benchmarked code cannot be optimized away.
+pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) {
+    // Calibrate: find an iteration count filling roughly one target batch.
+    let mut iters = 1u64;
+    loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        let elapsed = start.elapsed();
+        if elapsed >= TARGET_BATCH / 2 || iters >= 1 << 24 {
+            let per_iter = elapsed.as_secs_f64() / iters as f64;
+            iters = ((TARGET_BATCH.as_secs_f64() / per_iter.max(1e-12)) as u64).max(1);
+            break;
+        }
+        iters *= 4;
+    }
+
+    let mut samples: Vec<f64> = (0..BATCHES)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            start.elapsed().as_secs_f64() / iters as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let median = samples[samples.len() / 2];
+    println!(
+        "{name:<40} {:>12}  ({iters} iters/batch)",
+        format_time(median)
+    );
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} µs", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn format_covers_scales() {
+        assert_eq!(format_time(2.5), "2.500 s");
+        assert_eq!(format_time(2.5e-3), "2.500 ms");
+        assert_eq!(format_time(2.5e-6), "2.500 µs");
+        assert_eq!(format_time(2.5e-9), "2.5 ns");
+    }
+}

@@ -45,7 +45,10 @@ pub fn render_csv(headers: &[&str], rows: &[Vec<String>]) -> String {
     out.push_str(&headers.join(","));
     out.push('\n');
     for row in rows {
-        debug_assert!(row.iter().all(|c| !c.contains(',')), "csv cells must not contain commas");
+        debug_assert!(
+            row.iter().all(|c| !c.contains(',')),
+            "csv cells must not contain commas"
+        );
         out.push_str(&row.join(","));
         out.push('\n');
     }

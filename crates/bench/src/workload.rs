@@ -6,8 +6,37 @@
 //! deterministic sweep; [`random_pairs`] adds an independent-aggressor
 //! variant for the two-aggressor configuration.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+/// Minimal deterministic PRNG (xorshift64*) so workloads stay reproducible
+/// without an external dependency; the container builds fully offline.
+#[derive(Debug, Clone)]
+struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    fn seed_from_u64(seed: u64) -> Self {
+        // Avoid the all-zero fixed point; mix the seed once (splitmix64).
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        XorShift64 {
+            state: (z ^ (z >> 31)) | 1,
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state ^= self.state << 13;
+        self.state ^= self.state >> 7;
+        self.state ^= self.state << 17;
+        self.state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform draw from `[lo, hi]`.
+    fn gen_range(&mut self, lo: f64, hi: f64) -> f64 {
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        lo + (hi - lo) * unit
+    }
+}
 
 /// One noise-injection case: the skew of each aggressor's transition
 /// relative to the victim's (seconds).
@@ -30,7 +59,9 @@ pub fn skew_sweep(aggressors: usize, cases: usize, half_range: f64) -> Vec<SkewC
     (0..cases)
         .map(|k| {
             let s = -half_range + 2.0 * half_range * k as f64 / (cases - 1) as f64;
-            SkewCase { skews: vec![s; aggressors] }
+            SkewCase {
+                skews: vec![s; aggressors],
+            }
         })
         .collect()
 }
@@ -44,10 +75,12 @@ pub fn skew_sweep(aggressors: usize, cases: usize, half_range: f64) -> Vec<SkewC
 pub fn random_pairs(aggressors: usize, cases: usize, half_range: f64, seed: u64) -> Vec<SkewCase> {
     assert!(cases >= 1, "need at least one case");
     assert!(aggressors >= 1, "need at least one aggressor");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = XorShift64::seed_from_u64(seed);
     (0..cases)
         .map(|_| SkewCase {
-            skews: (0..aggressors).map(|_| rng.gen_range(-half_range..=half_range)).collect(),
+            skews: (0..aggressors)
+                .map(|_| rng.gen_range(-half_range, half_range))
+                .collect(),
         })
         .collect()
 }

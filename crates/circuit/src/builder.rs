@@ -121,13 +121,21 @@ impl Circuit {
     /// * [`CircuitError::UnknownNode`] for foreign node ids.
     pub fn resistor(&mut self, a: NodeId, b: NodeId, ohms: f64) -> Result<(), CircuitError> {
         if !(ohms.is_finite() && ohms > 0.0) {
-            return Err(CircuitError::InvalidElement("resistance must be finite and positive"));
+            return Err(CircuitError::InvalidElement(
+                "resistance must be finite and positive",
+            ));
         }
         let (ia, ib) = (self.check(a)?, self.check(b)?);
         if ia == ib {
-            return Err(CircuitError::DegenerateElement("resistor terminals coincide"));
+            return Err(CircuitError::DegenerateElement(
+                "resistor terminals coincide",
+            ));
         }
-        self.resistors.push(Resistor { a: ia, b: ib, conductance: 1.0 / ohms });
+        self.resistors.push(Resistor {
+            a: ia,
+            b: ib,
+            conductance: 1.0 / ohms,
+        });
         Ok(())
     }
 
@@ -140,13 +148,21 @@ impl Circuit {
     /// Same conditions as [`Circuit::resistor`], with capacitance > 0.
     pub fn capacitor(&mut self, a: NodeId, b: NodeId, farads: f64) -> Result<(), CircuitError> {
         if !(farads.is_finite() && farads > 0.0) {
-            return Err(CircuitError::InvalidElement("capacitance must be finite and positive"));
+            return Err(CircuitError::InvalidElement(
+                "capacitance must be finite and positive",
+            ));
         }
         let (ia, ib) = (self.check(a)?, self.check(b)?);
         if ia == ib {
-            return Err(CircuitError::DegenerateElement("capacitor terminals coincide"));
+            return Err(CircuitError::DegenerateElement(
+                "capacitor terminals coincide",
+            ));
         }
-        self.capacitors.push(Capacitor { a: ia, b: ib, farads });
+        self.capacitors.push(Capacitor {
+            a: ia,
+            b: ib,
+            farads,
+        });
         Ok(())
     }
 
@@ -160,12 +176,19 @@ impl Circuit {
     pub fn vsource(&mut self, node: NodeId, waveform: Waveform) -> Result<(), CircuitError> {
         let idx = self.check(node)?;
         if node.is_ground() {
-            return Err(CircuitError::DegenerateElement("cannot drive the ground node"));
+            return Err(CircuitError::DegenerateElement(
+                "cannot drive the ground node",
+            ));
         }
         if self.vsources.iter().any(|s| s.node == idx) {
-            return Err(CircuitError::AlreadyDriven { name: self.names[idx].clone() });
+            return Err(CircuitError::AlreadyDriven {
+                name: self.names[idx].clone(),
+            });
         }
-        self.vsources.push(VSource { node: idx, waveform });
+        self.vsources.push(VSource {
+            node: idx,
+            waveform,
+        });
         Ok(())
     }
 
@@ -178,9 +201,14 @@ impl Circuit {
     pub fn isource(&mut self, node: NodeId, waveform: Waveform) -> Result<(), CircuitError> {
         let idx = self.check(node)?;
         if node.is_ground() {
-            return Err(CircuitError::DegenerateElement("cannot inject into the ground node"));
+            return Err(CircuitError::DegenerateElement(
+                "cannot inject into the ground node",
+            ));
         }
-        self.isources.push(ISource { node: idx, waveform });
+        self.isources.push(ISource {
+            node: idx,
+            waveform,
+        });
         Ok(())
     }
 
@@ -226,7 +254,12 @@ impl Circuit {
     /// Element counts `(resistors, capacitors, vsources, isources)` — used
     /// by the Figure-1 topology audit.
     pub fn element_counts(&self) -> (usize, usize, usize, usize) {
-        (self.resistors.len(), self.capacitors.len(), self.vsources.len(), self.isources.len())
+        (
+            self.resistors.len(),
+            self.capacitors.len(),
+            self.vsources.len(),
+            self.isources.len(),
+        )
     }
 }
 
@@ -262,7 +295,10 @@ mod tests {
         assert!(c.capacitor(a, Circuit::GROUND, 1e-15).is_ok());
         assert!(c.capacitor(a, Circuit::GROUND, f64::NAN).is_err());
         let foreign = NodeId(99);
-        assert!(matches!(c.resistor(a, foreign, 1.0), Err(CircuitError::UnknownNode { .. })));
+        assert!(matches!(
+            c.resistor(a, foreign, 1.0),
+            Err(CircuitError::UnknownNode { .. })
+        ));
     }
 
     #[test]
@@ -270,7 +306,10 @@ mod tests {
         let mut c = Circuit::new();
         let a = c.node("a");
         assert!(c.vsource(a, step()).is_ok());
-        assert!(matches!(c.vsource(a, step()), Err(CircuitError::AlreadyDriven { .. })));
+        assert!(matches!(
+            c.vsource(a, step()),
+            Err(CircuitError::AlreadyDriven { .. })
+        ));
         assert!(c.vsource(Circuit::GROUND, step()).is_err());
         assert!(c.isource(Circuit::GROUND, step()).is_err());
     }

@@ -41,5 +41,5 @@ mod transient;
 
 pub use builder::{Circuit, NodeId};
 pub use error::CircuitError;
-pub use rcline::{CoupledLines, RcLineSpec};
+pub use rcline::{CoupledLines, RcLineSpec, StarCoupledLines};
 pub use transient::{TransientOptions, TransientResult};

@@ -27,22 +27,36 @@ impl RcLineSpec {
     /// `segments == 0`.
     pub fn new(r_total: f64, c_total: f64, segments: usize) -> Result<Self, CircuitError> {
         if !(r_total > 0.0 && r_total.is_finite()) {
-            return Err(CircuitError::InvalidElement("line resistance must be positive"));
+            return Err(CircuitError::InvalidElement(
+                "line resistance must be positive",
+            ));
         }
         if !(c_total > 0.0 && c_total.is_finite()) {
-            return Err(CircuitError::InvalidElement("line capacitance must be positive"));
+            return Err(CircuitError::InvalidElement(
+                "line capacitance must be positive",
+            ));
         }
         if segments == 0 {
-            return Err(CircuitError::InvalidElement("line needs at least one segment"));
+            return Err(CircuitError::InvalidElement(
+                "line needs at least one segment",
+            ));
         }
-        Ok(RcLineSpec { r_total, c_total, segments })
+        Ok(RcLineSpec {
+            r_total,
+            c_total,
+            segments,
+        })
     }
 
     /// The exact element values drawn in the paper's Figure 1: three
     /// segments of `R = 8.5 Ω` and `2 × C = 4.8 fF` each.
     pub fn figure1() -> Self {
         // 3 segments; each π-segment carries 2 × 4.8 fF, R = 8.5 Ω.
-        RcLineSpec { r_total: 3.0 * 8.5, c_total: 3.0 * 2.0 * 4.8e-15, segments: 3 }
+        RcLineSpec {
+            r_total: 3.0 * 8.5,
+            c_total: 3.0 * 2.0 * 4.8e-15,
+            segments: 3,
+        }
     }
 
     /// Scales Figure 1's per-length parameters to `length_um` microns.
@@ -89,16 +103,35 @@ impl RcLineSpec {
         input: NodeId,
         prefix: &str,
     ) -> Result<NodeId, CircuitError> {
+        let nodes = self.build_nodes(ckt, input, prefix)?;
+        Ok(nodes.last().copied().unwrap_or(input))
+    }
+
+    /// Like [`build`](Self::build), but returns *every* segment-boundary
+    /// node (the last entry is the far end). The coupled-bundle builders
+    /// use the full list to place coupling capacitors.
+    ///
+    /// # Errors
+    ///
+    /// Propagates element-construction failures.
+    pub fn build_nodes(
+        &self,
+        ckt: &mut Circuit,
+        input: NodeId,
+        prefix: &str,
+    ) -> Result<Vec<NodeId>, CircuitError> {
         let half_c = self.c_segment() / 2.0;
+        let mut nodes = Vec::with_capacity(self.segments);
         let mut prev = input;
         for k in 0..self.segments {
             ckt.capacitor(prev, Circuit::GROUND, half_c)?;
             let next = ckt.node(&format!("{prefix}_s{}", k + 1));
             ckt.resistor(prev, next, self.r_segment())?;
             ckt.capacitor(next, Circuit::GROUND, half_c)?;
+            nodes.push(next);
             prev = next;
         }
-        Ok(prev)
+        Ok(nodes)
     }
 }
 
@@ -123,12 +156,20 @@ impl CoupledLines {
     /// [`CircuitError::InvalidElement`] if `lines < 2` or `cm_total <= 0`.
     pub fn new(line: RcLineSpec, lines: usize, cm_total: f64) -> Result<Self, CircuitError> {
         if lines < 2 {
-            return Err(CircuitError::InvalidElement("coupled bundle needs at least two lines"));
+            return Err(CircuitError::InvalidElement(
+                "coupled bundle needs at least two lines",
+            ));
         }
         if !(cm_total > 0.0 && cm_total.is_finite()) {
-            return Err(CircuitError::InvalidElement("coupling capacitance must be positive"));
+            return Err(CircuitError::InvalidElement(
+                "coupling capacitance must be positive",
+            ));
         }
-        Ok(CoupledLines { line, lines, cm_total })
+        Ok(CoupledLines {
+            line,
+            lines,
+            cm_total,
+        })
     }
 
     /// Builds the bundle into `ckt`. `inputs` supplies the near-end node of
@@ -150,24 +191,16 @@ impl CoupledLines {
         prefix: &str,
     ) -> Result<Vec<NodeId>, CircuitError> {
         if inputs.len() != self.lines {
-            return Err(CircuitError::InvalidElement("one input node required per line"));
+            return Err(CircuitError::InvalidElement(
+                "one input node required per line",
+            ));
         }
         let mut far = Vec::with_capacity(self.lines);
         // Build each line, remembering every segment-boundary node.
         let mut boundaries: Vec<Vec<NodeId>> = Vec::with_capacity(self.lines);
         for (i, &input) in inputs.iter().enumerate() {
-            let half_c = self.line.c_segment() / 2.0;
-            let mut nodes = Vec::with_capacity(self.line.segments);
-            let mut prev = input;
-            for k in 0..self.line.segments {
-                ckt.capacitor(prev, Circuit::GROUND, half_c)?;
-                let next = ckt.node(&format!("{prefix}{i}_s{}", k + 1));
-                ckt.resistor(prev, next, self.line.r_segment())?;
-                ckt.capacitor(next, Circuit::GROUND, half_c)?;
-                nodes.push(next);
-                prev = next;
-            }
-            far.push(prev);
+            let nodes = self.line.build_nodes(ckt, input, &format!("{prefix}{i}"))?;
+            far.push(nodes.last().copied().unwrap_or(input));
             boundaries.push(nodes);
         }
         // Coupling between adjacent lines at each segment boundary.
@@ -178,6 +211,91 @@ impl CoupledLines {
             }
         }
         Ok(far)
+    }
+}
+
+/// A victim line coupled individually to each aggressor line — the star
+/// topology that extracted parasitics (SPEF) describe: every coupling
+/// capacitance names the victim and one specific aggressor, with its own
+/// total and its own wire model.
+///
+/// Unlike [`CoupledLines`] (which chains *adjacent* lines, as drawn in the
+/// paper's Figure 1), each aggressor here couples directly to the victim
+/// and aggressors do not couple to each other.
+#[derive(Debug, Clone)]
+pub struct StarCoupledLines {
+    /// The victim wire.
+    pub victim: RcLineSpec,
+    /// Each aggressor's wire spec and its total coupling to the victim (F).
+    pub aggressors: Vec<(RcLineSpec, f64)>,
+}
+
+impl StarCoupledLines {
+    /// Creates a star bundle.
+    ///
+    /// # Errors
+    ///
+    /// [`CircuitError::InvalidElement`] if a coupling total is not
+    /// positive and finite.
+    pub fn new(
+        victim: RcLineSpec,
+        aggressors: Vec<(RcLineSpec, f64)>,
+    ) -> Result<Self, CircuitError> {
+        for &(_, cm) in &aggressors {
+            if !(cm > 0.0 && cm.is_finite()) {
+                return Err(CircuitError::InvalidElement(
+                    "coupling capacitance must be positive",
+                ));
+            }
+        }
+        Ok(StarCoupledLines { victim, aggressors })
+    }
+
+    /// Builds the bundle into `ckt`: the victim from `victim_in`, each
+    /// aggressor from its entry in `aggressor_ins` (lengths must match).
+    /// Internal nodes are named `{prefix}v_s{k}` / `{prefix}a{i}_s{k}`.
+    /// Returns `(victim_far, aggressor_fars)`.
+    ///
+    /// Each victim/aggressor coupling total is spread uniformly over the
+    /// segment-boundary pairs the two lines share; when segment counts
+    /// differ, the shorter line's boundaries are used.
+    ///
+    /// # Errors
+    ///
+    /// * [`CircuitError::InvalidElement`] if `aggressor_ins.len()` differs
+    ///   from the aggressor count.
+    /// * Propagates element-construction failures.
+    pub fn build(
+        &self,
+        ckt: &mut Circuit,
+        victim_in: NodeId,
+        aggressor_ins: &[NodeId],
+        prefix: &str,
+    ) -> Result<(NodeId, Vec<NodeId>), CircuitError> {
+        if aggressor_ins.len() != self.aggressors.len() {
+            return Err(CircuitError::InvalidElement(
+                "one input node required per aggressor",
+            ));
+        }
+        let victim_nodes = self
+            .victim
+            .build_nodes(ckt, victim_in, &format!("{prefix}v"))?;
+        let victim_far = *victim_nodes.last().unwrap_or(&victim_in);
+        let mut fars = Vec::with_capacity(self.aggressors.len());
+        for (i, ((spec, cm), &input)) in self.aggressors.iter().zip(aggressor_ins).enumerate() {
+            let agg_nodes = spec.build_nodes(ckt, input, &format!("{prefix}a{i}"))?;
+            fars.push(*agg_nodes.last().unwrap_or(&input));
+            let shared = victim_nodes.len().min(agg_nodes.len());
+            let cm_each = cm / shared as f64;
+            for (va, ab) in victim_nodes
+                .iter()
+                .take(shared)
+                .zip(agg_nodes.iter().take(shared))
+            {
+                ckt.capacitor(*va, *ab, cm_each)?;
+            }
+        }
+        Ok((victim_far, fars))
     }
 }
 
@@ -224,13 +342,13 @@ mod tests {
         let (r, c, _, _) = ckt.element_counts();
         assert_eq!(r, 3);
         assert_eq!(c, 6); // two half-caps per segment
-        // Total capacitance check: sum of all caps = c_total.
+                          // Total capacitance check: sum of all caps = c_total.
         let total: f64 = (0..ckt.node_count())
             .map(|i| ckt.total_capacitance_at(NodeId(i)).unwrap())
             .sum::<f64>()
             / 2.0; // each grounded cap counted once per its one node...
-        // Grounded caps touch exactly one non-ground node, so the sum over
-        // nodes counts each exactly once:
+                   // Grounded caps touch exactly one non-ground node, so the sum over
+                   // nodes counts each exactly once:
         let _ = total;
     }
 
@@ -245,13 +363,74 @@ mod tests {
         assert_eq!(far.len(), 2);
         let (r, c, _, _) = ckt.element_counts();
         assert_eq!(r, 6); // 3 per line
-        // 6 ground caps per line × 2 lines + 3 coupling caps.
+                          // 6 ground caps per line × 2 lines + 3 coupling caps.
         assert_eq!(c, 15);
         assert!(CoupledLines::new(spec, 1, 100e-15).is_err());
         assert!(CoupledLines::new(spec, 2, 0.0).is_err());
         let mut ckt2 = Circuit::new();
         let only = ckt2.node("x");
         assert!(bundle.build(&mut ckt2, &[only], "ln").is_err());
+    }
+
+    #[test]
+    fn star_bundle_builds_per_aggressor_couplings() {
+        let mut ckt = Circuit::new();
+        let v = ckt.node("v_in");
+        let a0 = ckt.node("a0_in");
+        let a1 = ckt.node("a1_in");
+        let victim = RcLineSpec::figure1(); // 3 segments
+        let short = RcLineSpec::new(10.0, 10e-15, 2).unwrap(); // 2 segments
+        let star = StarCoupledLines::new(victim, vec![(victim, 60e-15), (short, 40e-15)]).unwrap();
+        let (far_v, fars) = star.build(&mut ckt, v, &[a0, a1], "ln").unwrap();
+        assert_eq!(fars.len(), 2);
+        assert_ne!(far_v, v);
+        let (r, c, _, _) = ckt.element_counts();
+        // 3 + 3 + 2 resistors.
+        assert_eq!(r, 8);
+        // Ground caps: 6 + 6 + 4; coupling: 3 (full overlap) + 2 (short).
+        assert_eq!(c, 16 + 5);
+        // Mismatched input count is rejected.
+        let mut ckt2 = Circuit::new();
+        let x = ckt2.node("x");
+        assert!(star.build(&mut ckt2, x, &[x], "ln").is_err());
+        // Invalid coupling totals are rejected.
+        assert!(StarCoupledLines::new(victim, vec![(victim, 0.0)]).is_err());
+    }
+
+    #[test]
+    fn star_and_chain_agree_for_a_single_aggressor() {
+        // With one aggressor the two topologies are the same circuit; the
+        // victim's far-end noise must match.
+        let run = |star: bool| {
+            let mut ckt = Circuit::new();
+            let a_in = ckt.node("a_in");
+            let v_in = ckt.node("v_in");
+            let edge =
+                Waveform::new(vec![0.0, 1e-9, 1.15e-9, 5e-9], vec![0.0, 0.0, 1.2, 1.2]).unwrap();
+            ckt.thevenin_driver(a_in, edge, 50.0).unwrap();
+            ckt.thevenin_driver(v_in, Waveform::constant(0.0, 0.0, 5e-9).unwrap(), 200.0)
+                .unwrap();
+            let spec = RcLineSpec::figure1();
+            let far_v = if star {
+                let bundle = StarCoupledLines::new(spec, vec![(spec, 100e-15)]).unwrap();
+                let (fv, _) = bundle.build(&mut ckt, v_in, &[a_in], "ln").unwrap();
+                fv
+            } else {
+                let bundle = CoupledLines::new(spec, 2, 100e-15).unwrap();
+                let far = bundle.build(&mut ckt, &[a_in, v_in], "ln").unwrap();
+                far[1]
+            };
+            let res = ckt
+                .run_transient(TransientOptions::new(0.0, 5e-9, 1e-12).unwrap())
+                .unwrap();
+            res.voltage(far_v).unwrap()
+        };
+        let star = run(true);
+        let chain = run(false);
+        for k in 0..50 {
+            let t = 5e-9 * k as f64 / 49.0;
+            assert!((star.value_at(t) - chain.value_at(t)).abs() < 1e-9);
+        }
     }
 
     #[test]
@@ -264,10 +443,13 @@ mod tests {
         let v_in = ckt.node("v_in");
         let edge = Waveform::new(vec![0.0, 1e-9, 1.15e-9, 5e-9], vec![0.0, 0.0, 1.2, 1.2]).unwrap();
         ckt.thevenin_driver(a_in, edge, 50.0).unwrap();
-        ckt.thevenin_driver(v_in, Waveform::constant(0.0, 0.0, 5e-9).unwrap(), 200.0).unwrap();
+        ckt.thevenin_driver(v_in, Waveform::constant(0.0, 0.0, 5e-9).unwrap(), 200.0)
+            .unwrap();
         let bundle = CoupledLines::new(RcLineSpec::figure1(), 2, 100e-15).unwrap();
         let far = bundle.build(&mut ckt, &[a_in, v_in], "ln").unwrap();
-        let res = ckt.run_transient(TransientOptions::new(0.0, 5e-9, 1e-12).unwrap()).unwrap();
+        let res = ckt
+            .run_transient(TransientOptions::new(0.0, 5e-9, 1e-12).unwrap())
+            .unwrap();
         let noise = res.voltage(far[1]).unwrap();
         let peak = noise.v_max();
         assert!(peak > 0.1, "coupling noise too small: {peak}");

@@ -28,9 +28,17 @@ impl TransientOptions {
             return Err(CircuitError::InvalidOptions("t_stop must exceed t_start"));
         }
         if !(dt > 0.0) || dt >= t_stop - t_start {
-            return Err(CircuitError::InvalidOptions("dt must be positive and smaller than span"));
+            return Err(CircuitError::InvalidOptions(
+                "dt must be positive and smaller than span",
+            ));
         }
-        Ok(TransientOptions { t_start, t_stop, dt, gmin: 1e-12, zero_initial_state: false })
+        Ok(TransientOptions {
+            t_start,
+            t_stop,
+            dt,
+            gmin: 1e-12,
+            zero_initial_state: false,
+        })
     }
 
     /// Starts the run from all-zero node voltages instead of the DC
@@ -92,7 +100,9 @@ impl TransientResult {
     /// * [`CircuitError::UnknownNode`] for foreign ids.
     pub fn voltage(&self, node: NodeId) -> Result<Waveform, CircuitError> {
         if node.is_ground() {
-            return Err(CircuitError::NotRecorded("ground voltage is identically zero"));
+            return Err(CircuitError::NotRecorded(
+                "ground voltage is identically zero",
+            ));
         }
         let trace = self
             .voltages
@@ -146,31 +156,28 @@ impl Circuit {
         let mut g_uk = DenseMatrix::zeros(nf, nd.max(1));
         let mut c_uk = DenseMatrix::zeros(nf, nd.max(1));
 
-        let stamp2 = |m_uu: &mut DenseMatrix,
-                          m_uk: &mut DenseMatrix,
-                          a: usize,
-                          b: usize,
-                          v: f64| {
-            let terminals = [(a, 1.0), (b, 1.0)];
-            for (row_node, _) in terminals {
-                if row_node == NodeId::GROUND_SENTINEL || is_driven[row_node] {
-                    continue;
+        let stamp2 =
+            |m_uu: &mut DenseMatrix, m_uk: &mut DenseMatrix, a: usize, b: usize, v: f64| {
+                let terminals = [(a, 1.0), (b, 1.0)];
+                for (row_node, _) in terminals {
+                    if row_node == NodeId::GROUND_SENTINEL || is_driven[row_node] {
+                        continue;
+                    }
+                    let r = position[row_node];
+                    // Diagonal (self) term.
+                    m_uu.add(r, r, v);
+                    // Off-diagonal to the other terminal.
+                    let other = if row_node == a { b } else { a };
+                    if other == NodeId::GROUND_SENTINEL {
+                        continue;
+                    }
+                    if is_driven[other] {
+                        m_uk.add(r, driven_slot[other], -v);
+                    } else {
+                        m_uu.add(r, position[other], -v);
+                    }
                 }
-                let r = position[row_node];
-                // Diagonal (self) term.
-                m_uu.add(r, r, v);
-                // Off-diagonal to the other terminal.
-                let other = if row_node == a { b } else { a };
-                if other == NodeId::GROUND_SENTINEL {
-                    continue;
-                }
-                if is_driven[other] {
-                    m_uk.add(r, driven_slot[other], -v);
-                } else {
-                    m_uu.add(r, position[other], -v);
-                }
-            }
-        };
+            };
 
         for r in &self.resistors {
             stamp2(&mut g_uu, &mut g_uk, r.a, r.b, r.conductance);
@@ -225,13 +232,16 @@ impl Circuit {
         let lu = LuFactors::factor(&lhs)?;
 
         let mut voltages: Vec<Vec<f64>> = vec![Vec::with_capacity(times.len()); n];
-        let record =
-            |voltages: &mut Vec<Vec<f64>>, x: &[f64], vk_now: &[f64]| {
-                for i in 0..n {
-                    let v = if is_driven[i] { vk_now[driven_slot[i]] } else { x[position[i]] };
-                    voltages[i].push(v);
-                }
-            };
+        let record = |voltages: &mut Vec<Vec<f64>>, x: &[f64], vk_now: &[f64]| {
+            for i in 0..n {
+                let v = if is_driven[i] {
+                    vk_now[driven_slot[i]]
+                } else {
+                    x[position[i]]
+                };
+                voltages[i].push(v);
+            }
+        };
         record(&mut voltages, &x, &vk[0]);
 
         let mut rhs = vec![0.0; nf];
@@ -322,7 +332,9 @@ mod tests {
             ckt.resistor(inp, out, r).unwrap();
             ckt.capacitor(out, Circuit::GROUND, c).unwrap();
             ckt.vsource(inp, drive.clone()).unwrap();
-            let res = ckt.run_transient(TransientOptions::new(0.0, 5e-9, dt).unwrap()).unwrap();
+            let res = ckt
+                .run_transient(TransientOptions::new(0.0, 5e-9, dt).unwrap())
+                .unwrap();
             res.voltage(out).unwrap().value_at(2.5e-9)
         };
         let fine = run(2.5e-12);
@@ -330,7 +342,10 @@ mod tests {
         let mid = run(20e-12);
         let err_coarse = (coarse - fine).abs();
         let err_mid = (mid - fine).abs();
-        assert!(err_mid < err_coarse / 2.5, "expected ~4x reduction: {err_coarse} vs {err_mid}");
+        assert!(
+            err_mid < err_coarse / 2.5,
+            "expected ~4x reduction: {err_coarse} vs {err_mid}"
+        );
     }
 
     #[test]
@@ -341,8 +356,11 @@ mod tests {
         let out = ckt.node("out");
         ckt.resistor(inp, out, 500.0).unwrap();
         ckt.capacitor(out, Circuit::GROUND, 2e-12).unwrap();
-        ckt.vsource(inp, Waveform::constant(1.0, 0.0, 1e-9).unwrap()).unwrap();
-        let res = ckt.run_transient(TransientOptions::new(0.0, 1e-9, 1e-12).unwrap()).unwrap();
+        ckt.vsource(inp, Waveform::constant(1.0, 0.0, 1e-9).unwrap())
+            .unwrap();
+        let res = ckt
+            .run_transient(TransientOptions::new(0.0, 1e-9, 1e-12).unwrap())
+            .unwrap();
         let v = res.voltage(out).unwrap();
         assert!((v.value_at(0.0) - 1.0).abs() < 1e-9);
         assert!((v.value_at(0.9e-9) - 1.0).abs() < 1e-9);
@@ -356,14 +374,18 @@ mod tests {
         let agg_src = ckt.node("agg_src");
         let agg = ckt.node("agg");
         let vic = ckt.node("vic");
-        ckt.vsource(agg_src, step_at(1e-9, 50e-12, 1.0, 10e-9)).unwrap();
+        ckt.vsource(agg_src, step_at(1e-9, 50e-12, 1.0, 10e-9))
+            .unwrap();
         ckt.resistor(agg_src, agg, 100.0).unwrap();
         ckt.capacitor(agg, Circuit::GROUND, 5e-15).unwrap();
         // Victim driver: Thevenin holding low.
-        ckt.thevenin_driver(vic, Waveform::constant(0.0, 0.0, 10e-9).unwrap(), 200.0).unwrap();
+        ckt.thevenin_driver(vic, Waveform::constant(0.0, 0.0, 10e-9).unwrap(), 200.0)
+            .unwrap();
         ckt.capacitor(vic, Circuit::GROUND, 5e-15).unwrap();
         ckt.capacitor(agg, vic, 20e-15).unwrap();
-        let res = ckt.run_transient(TransientOptions::new(0.0, 6e-9, 1e-12).unwrap()).unwrap();
+        let res = ckt
+            .run_transient(TransientOptions::new(0.0, 6e-9, 1e-12).unwrap())
+            .unwrap();
         let v = res.voltage(vic).unwrap();
         let peak = v.v_max();
         assert!(peak > 0.05, "expected visible coupling noise, peak={peak}");
@@ -380,7 +402,8 @@ mod tests {
         let mut ckt = Circuit::new();
         let n1 = ckt.node("n1");
         ckt.capacitor(n1, Circuit::GROUND, 1e-12).unwrap();
-        ckt.isource(n1, Waveform::constant(1e-6, 0.0, 10e-9).unwrap()).unwrap();
+        ckt.isource(n1, Waveform::constant(1e-6, 0.0, 10e-9).unwrap())
+            .unwrap();
         let res = ckt
             .run_transient(
                 TransientOptions::new(0.0, 10e-9, 10e-12)
@@ -411,10 +434,15 @@ mod tests {
             prev = n;
         }
         let elmore: f64 = (1..=5).map(|i| r * c * (5 - i + 1) as f64).sum();
-        let res = ckt.run_transient(TransientOptions::new(0.0, 10e-9, 1e-12).unwrap()).unwrap();
+        let res = ckt
+            .run_transient(TransientOptions::new(0.0, 10e-9, 1e-12).unwrap())
+            .unwrap();
         let far = res.voltage(*nodes.last().unwrap()).unwrap();
         let t50 = far.first_crossing(0.5).unwrap();
-        assert!(t50 > 0.4 * elmore && t50 < 1.4 * elmore, "t50={t50:e}, elmore={elmore:e}");
+        assert!(
+            t50 > 0.4 * elmore && t50 < 1.4 * elmore,
+            "t50={t50:e}, elmore={elmore:e}"
+        );
     }
 
     #[test]
@@ -425,8 +453,13 @@ mod tests {
         ckt.vsource(a, step_at(0.0, 1e-12, 1.0, 1e-9)).unwrap();
         ckt.resistor(a, b, 100.0).unwrap();
         ckt.capacitor(b, Circuit::GROUND, 1e-15).unwrap();
-        let res = ckt.run_transient(TransientOptions::new(0.0, 1e-9, 1e-12).unwrap()).unwrap();
-        assert!(matches!(res.voltage(Circuit::GROUND), Err(CircuitError::NotRecorded(_))));
+        let res = ckt
+            .run_transient(TransientOptions::new(0.0, 1e-9, 1e-12).unwrap())
+            .unwrap();
+        assert!(matches!(
+            res.voltage(Circuit::GROUND),
+            Err(CircuitError::NotRecorded(_))
+        ));
         assert!(res.voltage(NodeId(42)).is_err());
         // Driven node is recorded and equals its source.
         let va = res.voltage(a).unwrap();

@@ -110,7 +110,9 @@ impl PropagationContext {
     /// [`SgdpError::InvalidParameter`] if `samples < 5`.
     pub fn with_samples(mut self, samples: usize) -> Result<Self, SgdpError> {
         if samples < 5 {
-            return Err(SgdpError::InvalidParameter("need at least 5 sampling points"));
+            return Err(SgdpError::InvalidParameter(
+                "need at least 5 sampling points",
+            ));
         }
         self.samples = samples;
         Ok(self)
@@ -137,7 +139,9 @@ impl PropagationContext {
     ///
     /// [`SgdpError::MissingNoiselessOutput`] when absent.
     pub fn noiseless_output_or_err(&self) -> Result<&Waveform, SgdpError> {
-        self.noiseless_output.as_ref().ok_or(SgdpError::MissingNoiselessOutput)
+        self.noiseless_output
+            .as_ref()
+            .ok_or(SgdpError::MissingNoiselessOutput)
     }
 
     /// Measurement thresholds.
@@ -162,7 +166,9 @@ impl PropagationContext {
     /// Propagates [`SgdpError::Waveform`] (cannot happen after successful
     /// construction, but the signature stays honest).
     pub fn noisy_critical_region(&self) -> Result<(f64, f64), SgdpError> {
-        Ok(self.noisy_input.critical_region(self.thresholds, self.polarity)?)
+        Ok(self
+            .noisy_input
+            .critical_region(self.thresholds, self.polarity)?)
     }
 
     /// The noiseless critical region.
@@ -171,13 +177,17 @@ impl PropagationContext {
     ///
     /// Propagates [`SgdpError::Waveform`].
     pub fn noiseless_critical_region(&self) -> Result<(f64, f64), SgdpError> {
-        Ok(self.noiseless_input.critical_region(self.thresholds, self.polarity)?)
+        Ok(self
+            .noiseless_input
+            .critical_region(self.thresholds, self.polarity)?)
     }
 
     /// `P` uniformly spaced sample times across `[t0, t1]` (inclusive).
     pub fn sample_times(&self, t0: f64, t1: f64) -> Vec<f64> {
         let p = self.samples;
-        (0..p).map(|k| t0 + (t1 - t0) * k as f64 / (p - 1) as f64).collect()
+        (0..p)
+            .map(|k| t0 + (t1 - t0) * k as f64 / (p - 1) as f64)
+            .collect()
     }
 
     /// Returns a copy whose inputs (and output, if any) are shifted by `dt`

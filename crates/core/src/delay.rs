@@ -37,7 +37,10 @@ pub fn gate_delay(
 ) -> Result<GateDelay, SgdpError> {
     let t_in_mid = input.last_crossing_or_err(th.mid())?;
     let t_out_mid = output.last_crossing_or_err(th.mid())?;
-    Ok(GateDelay { t_in_mid, t_out_mid })
+    Ok(GateDelay {
+        t_in_mid,
+        t_out_mid,
+    })
 }
 
 #[cfg(test)]

@@ -35,7 +35,10 @@ impl fmt::Display for SgdpError {
             SgdpError::Numeric(e) => write!(f, "numeric failure: {e}"),
             SgdpError::Spice(e) => write!(f, "simulator failure: {e}"),
             SgdpError::NonOverlapping { gap } => {
-                write!(f, "input and output transitions do not overlap (gap {gap:.3e}s)")
+                write!(
+                    f,
+                    "input and output transitions do not overlap (gap {gap:.3e}s)"
+                )
             }
             SgdpError::MissingNoiselessOutput => {
                 write!(f, "technique requires the noiseless output waveform")

@@ -69,13 +69,21 @@ pub fn evaluate_case(
             let ramp_wave = gamma.to_waveform(t0, t1, dt)?;
             let predicted_output = gate.response(&ramp_wave)?;
             let predicted_delay = gate_delay(&ramp_wave, &predicted_output, th)?;
-            let arrival_error =
-                (predicted_delay.t_out_mid - golden_delay.t_out_mid).abs();
-            Ok(MethodOutcome { method, gamma, predicted_output, predicted_delay, arrival_error })
+            let arrival_error = (predicted_delay.t_out_mid - golden_delay.t_out_mid).abs();
+            Ok(MethodOutcome {
+                method,
+                gamma,
+                predicted_output,
+                predicted_delay,
+                arrival_error,
+            })
         });
         outcomes.push((method, outcome));
     }
-    Ok(CaseReport { golden_delay, outcomes })
+    Ok(CaseReport {
+        golden_delay,
+        outcomes,
+    })
 }
 
 impl CaseReport {
@@ -109,8 +117,7 @@ mod tests {
         let noisy = clean.with_triangular_pulse(1.15e-9, 220e-12, -0.7).unwrap();
         let out_noiseless = gate.response(&clean).unwrap();
         let golden = gate.response(&noisy).unwrap();
-        let ctx =
-            PropagationContext::new(clean, noisy, Some(out_noiseless), th).unwrap();
+        let ctx = PropagationContext::new(clean, noisy, Some(out_noiseless), th).unwrap();
         let report = evaluate_case(&ctx, &gate, &golden, &MethodKind::all()).unwrap();
         assert_eq!(report.outcomes.len(), 6);
         // Everything succeeds on this benign case.

@@ -115,8 +115,7 @@ impl GateModel for AnalyticInverterGate {
         let t50_in = input.last_crossing_or_err(th.mid())?;
         let t50_out = t50_in + self.delay0 + self.delay_slew_factor * slew_in;
         let slew_out = self.slew0 + self.slew_slew_factor * slew_in;
-        let out =
-            SaturatedRamp::with_slew(t50_out, slew_out, th, !in_pol.is_rise())?;
+        let out = SaturatedRamp::with_slew(t50_out, slew_out, th, !in_pol.is_rise())?;
         let t_end = input.t_end().max(t50_out + 2.0 * slew_out);
         let dt = (slew_out / 40.0).max(1e-13);
         Ok(out.to_waveform(input.t_start(), t_end, dt)?)
@@ -154,13 +153,21 @@ impl TableGate {
         thresholds: Thresholds,
     ) -> Result<Self, SgdpError> {
         if !(load.is_finite() && load > 0.0) {
-            return Err(SgdpError::InvalidParameter("load must be positive and finite"));
+            return Err(SgdpError::InvalidParameter(
+                "load must be positive and finite",
+            ));
         }
-        let has_arc = cell.output().map_or(false, |p| !p.timing.is_empty());
+        let has_arc = cell.output().is_some_and(|p| !p.timing.is_empty());
         if !has_arc {
-            return Err(SgdpError::InvalidParameter("cell has no characterized output arc"));
+            return Err(SgdpError::InvalidParameter(
+                "cell has no characterized output arc",
+            ));
         }
-        Ok(TableGate { cell: cell.clone(), load, thresholds })
+        Ok(TableGate {
+            cell: cell.clone(),
+            load,
+            thresholds,
+        })
     }
 
     /// The configured output load (farads).
@@ -175,7 +182,11 @@ impl GateModel for TableGate {
         let in_pol = input.polarity(th)?;
         let slew_in = input.slew_first_to_last(th, in_pol)?;
         let t50_in = input.last_crossing_or_err(th.mid())?;
-        let arc = &self.cell.output().expect("validated at construction").timing[0];
+        let arc = &self
+            .cell
+            .output()
+            .expect("validated at construction")
+            .timing[0];
         let out_rises = match arc.sense {
             nsta_liberty::TimingSense::NegativeUnate => !in_pol.is_rise(),
             nsta_liberty::TimingSense::PositiveUnate => in_pol.is_rise(),
@@ -195,7 +206,11 @@ impl GateModel for TableGate {
         let out = SaturatedRamp::with_slew(t50_in + delay, slew_out, th, out_rises)?;
         let t_end = input.t_end().max(t50_in + delay + 2.0 * slew_out);
         let dt = (slew_out / 40.0).max(1e-13);
-        Ok(out.to_waveform(input.t_start().min(t50_in + delay - 2.0 * slew_out), t_end, dt)?)
+        Ok(out.to_waveform(
+            input.t_start().min(t50_in + delay - 2.0 * slew_out),
+            t_end,
+            dt,
+        )?)
     }
 
     fn vdd(&self) -> f64 {

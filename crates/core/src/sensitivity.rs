@@ -60,10 +60,11 @@ impl SensitivityCurve {
         let mut volts = Vec::with_capacity(n);
         // Slope floor: 0.1% of the mean transition slope. Below it the
         // sensitivity is treated as zero (flat input cannot transmit noise).
-        let mean_slope =
-            (v_in.value_at(t1) - v_in.value_at(t0)).abs() / (t1 - t0);
+        let mean_slope = (v_in.value_at(t1) - v_in.value_at(t0)).abs() / (t1 - t0);
         if mean_slope <= 0.0 {
-            return Err(SgdpError::DegenerateFit("noiseless input flat across critical region"));
+            return Err(SgdpError::DegenerateFit(
+                "noiseless input flat across critical region",
+            ));
         }
         let slope_floor = 1e-3 * mean_slope;
         for k in 0..n {
@@ -85,14 +86,14 @@ impl SensitivityCurve {
         match polarity {
             Polarity::Rise => {
                 for (&v, &r) in volts.iter().zip(&rho) {
-                    if map.last().map_or(true, |&(lv, _)| v > lv + 1e-12) {
+                    if map.last().is_none_or(|&(lv, _)| v > lv + 1e-12) {
                         map.push((v, r));
                     }
                 }
             }
             Polarity::Fall => {
                 for (&v, &r) in volts.iter().zip(&rho) {
-                    if map.last().map_or(true, |&(lv, _)| v < lv - 1e-12) {
+                    if map.last().is_none_or(|&(lv, _)| v < lv - 1e-12) {
                         map.push((v, r));
                     }
                 }
@@ -100,10 +101,18 @@ impl SensitivityCurve {
             }
         }
         if map.len() < 2 {
-            return Err(SgdpError::DegenerateFit("noiseless input has no voltage span"));
+            return Err(SgdpError::DegenerateFit(
+                "noiseless input has no voltage span",
+            ));
         }
         let (map_volts, map_rho): (Vec<f64>, Vec<f64>) = map.into_iter().unzip();
-        Ok(SensitivityCurve { times, rho, map_volts, map_rho, region })
+        Ok(SensitivityCurve {
+            times,
+            rho,
+            map_volts,
+            map_rho,
+            region,
+        })
     }
 
     /// The noiseless critical region this curve spans.
@@ -256,7 +265,12 @@ pub fn effective_sensitivity(
         rho.push(curve.rho_at_voltage(v));
         drho.push(curve.drho_dv(v));
     }
-    Ok(EffectiveSensitivity { times, voltages, rho, drho_dv: drho })
+    Ok(EffectiveSensitivity {
+        times,
+        voltages,
+        rho,
+        drho_dv: drho,
+    })
 }
 
 #[cfg(test)]
@@ -334,8 +348,7 @@ mod tests {
         let v_in = ramp_wave(1.0e-9, 150e-12, true);
         // Output a full nanosecond later: no overlap.
         let v_out = ramp_wave(2.0e-9, 150e-12, false);
-        let ctx =
-            PropagationContext::new(v_in.clone(), v_in.clone(), Some(v_out), th()).unwrap();
+        let ctx = PropagationContext::new(v_in.clone(), v_in.clone(), Some(v_out), th()).unwrap();
         let s = noiseless_sensitivity(&ctx).unwrap();
         assert!((s.delta - 1.0e-9).abs() < 5e-12, "delta = {:e}", s.delta);
         // After alignment the sensitivity is meaningful.
@@ -346,8 +359,7 @@ mod tests {
     fn overlap_keeps_delta_zero() {
         let v_in = ramp_wave(1.0e-9, 150e-12, true);
         let v_out = ramp_wave(1.05e-9, 100e-12, false);
-        let ctx =
-            PropagationContext::new(v_in.clone(), v_in.clone(), Some(v_out), th()).unwrap();
+        let ctx = PropagationContext::new(v_in.clone(), v_in.clone(), Some(v_out), th()).unwrap();
         let s = noiseless_sensitivity(&ctx).unwrap();
         assert_eq!(s.delta, 0.0);
     }
@@ -356,8 +368,7 @@ mod tests {
     fn effective_sensitivity_matches_noiseless_on_clean_input() {
         let v_in = ramp_wave(1.0e-9, 150e-12, true);
         let v_out = ramp_wave(1.04e-9, 90e-12, false);
-        let ctx =
-            PropagationContext::new(v_in.clone(), v_in.clone(), Some(v_out), th()).unwrap();
+        let ctx = PropagationContext::new(v_in.clone(), v_in.clone(), Some(v_out), th()).unwrap();
         let s = noiseless_sensitivity(&ctx).unwrap();
         let eff = effective_sensitivity(&s.curve, &ctx).unwrap();
         assert_eq!(eff.times.len(), ctx.samples());

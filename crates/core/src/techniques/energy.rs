@@ -43,10 +43,16 @@ impl EquivalentWaveform for E4 {
             Polarity::Fall => metrics::band_area(noisy, t50, t_end, 0.0, half)?,
         };
         if !(area > 0.0) {
-            return Err(SgdpError::DegenerateFit("area match degenerate (instant settle)"));
+            return Err(SgdpError::DegenerateFit(
+                "area match degenerate (instant settle)",
+            ));
         }
         let magnitude = half * half / (2.0 * area);
-        let a = if ctx.polarity().is_rise() { magnitude } else { -magnitude };
+        let a = if ctx.polarity().is_rise() {
+            magnitude
+        } else {
+            -magnitude
+        };
         let b = half - a * t50;
         Ok(SaturatedRamp::from_coefficients(a, b, th.vdd())?)
     }
@@ -78,7 +84,11 @@ mod tests {
         // triangle, so E4 returns the ramp itself.
         let ctx = ctx_for(clean(150e-12, true), clean(150e-12, true));
         let g = E4.equivalent(&ctx).unwrap();
-        assert!((g.arrival_mid() - 1.0e-9).abs() < 1e-12, "{:e}", g.arrival_mid());
+        assert!(
+            (g.arrival_mid() - 1.0e-9).abs() < 1e-12,
+            "{:e}",
+            g.arrival_mid()
+        );
         assert!((g.slew(th()) - 150e-12).abs() < 2e-12, "{:e}", g.slew(th()));
     }
 
@@ -93,7 +103,9 @@ mod tests {
 
     #[test]
     fn anchored_at_latest_mid_crossing() {
-        let noisy = clean(150e-12, true).with_triangular_pulse(1.3e-9, 200e-12, -0.8).unwrap();
+        let noisy = clean(150e-12, true)
+            .with_triangular_pulse(1.3e-9, 200e-12, -0.8)
+            .unwrap();
         let latest = noisy.last_crossing(th().mid()).unwrap();
         let ctx = ctx_for(clean(150e-12, true), noisy);
         let g = E4.equivalent(&ctx).unwrap();

@@ -23,7 +23,10 @@ impl EquivalentWaveform for Lsf3 {
     fn equivalent(&self, ctx: &PropagationContext) -> Result<SaturatedRamp, SgdpError> {
         let (t0, t1) = ctx.noisy_critical_region()?;
         let times = ctx.sample_times(t0, t1);
-        let values: Vec<f64> = times.iter().map(|&t| ctx.noisy_input().value_at(t)).collect();
+        let values: Vec<f64> = times
+            .iter()
+            .map(|&t| ctx.noisy_input().value_at(t))
+            .collect();
         let fit = LineFit::least_squares(&times, &values)?;
         ramp_from_fit(fit.a, fit.b, ctx)
     }
@@ -57,7 +60,9 @@ mod tests {
     fn symmetric_mid_glitch_leaves_arrival_near_ramp() {
         // A symmetric dip centered on the ramp midpoint biases the fit's
         // intercept but barely moves its mid-crossing.
-        let noisy = clean().with_triangular_pulse(1.0e-9, 80e-12, -0.15).unwrap();
+        let noisy = clean()
+            .with_triangular_pulse(1.0e-9, 80e-12, -0.15)
+            .unwrap();
         let ctx = PropagationContext::new(clean(), noisy, None, th()).unwrap();
         let g = Lsf3.equivalent(&ctx).unwrap();
         assert!((g.arrival_mid() - 1.0e-9).abs() < 25e-12);

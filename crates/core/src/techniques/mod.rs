@@ -111,13 +111,21 @@ pub(crate) fn ramp_from_fit(
     ctx: &PropagationContext,
 ) -> Result<SaturatedRamp, SgdpError> {
     if !a.is_finite() || !b.is_finite() {
-        return Err(SgdpError::DegenerateFit("fit produced non-finite coefficients"));
+        return Err(SgdpError::DegenerateFit(
+            "fit produced non-finite coefficients",
+        ));
     }
     let rising = ctx.polarity().is_rise();
     if (rising && a <= 0.0) || (!rising && a >= 0.0) {
-        return Err(SgdpError::DegenerateFit("fitted slope opposes the transition"));
+        return Err(SgdpError::DegenerateFit(
+            "fitted slope opposes the transition",
+        ));
     }
-    Ok(SaturatedRamp::from_coefficients(a, b, ctx.thresholds().vdd())?)
+    Ok(SaturatedRamp::from_coefficients(
+        a,
+        b,
+        ctx.thresholds().vdd(),
+    )?)
 }
 
 #[cfg(test)]

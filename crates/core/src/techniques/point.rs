@@ -72,10 +72,20 @@ mod tests {
     #[test]
     fn on_clean_input_both_reproduce_the_ramp() {
         let ctx = ctx_for(clean());
-        for (name, g) in [("p1", P1.equivalent(&ctx).unwrap()), ("p2", P2.equivalent(&ctx).unwrap())]
-        {
-            assert!((g.arrival_mid() - 1.0e-9).abs() < 2e-12, "{name}: {:e}", g.arrival_mid());
-            assert!((g.slew(th()) - 150e-12).abs() < 3e-12, "{name}: {:e}", g.slew(th()));
+        for (name, g) in [
+            ("p1", P1.equivalent(&ctx).unwrap()),
+            ("p2", P2.equivalent(&ctx).unwrap()),
+        ] {
+            assert!(
+                (g.arrival_mid() - 1.0e-9).abs() < 2e-12,
+                "{name}: {:e}",
+                g.arrival_mid()
+            );
+            assert!(
+                (g.slew(th()) - 150e-12).abs() < 3e-12,
+                "{name}: {:e}",
+                g.slew(th())
+            );
         }
     }
 
@@ -83,7 +93,9 @@ mod tests {
     fn glitch_moves_anchor_to_latest_mid_crossing() {
         // A dip below mid-rail after the main transition forces a later
         // final 0.5·Vdd crossing; both methods must anchor there.
-        let noisy = clean().with_triangular_pulse(1.25e-9, 200e-12, -0.8).unwrap();
+        let noisy = clean()
+            .with_triangular_pulse(1.25e-9, 200e-12, -0.8)
+            .unwrap();
         let latest = noisy.last_crossing(th().mid()).unwrap();
         assert!(latest > 1.2e-9, "glitch must recross mid-rail");
         let ctx = ctx_for(noisy);
@@ -95,12 +107,20 @@ mod tests {
 
     #[test]
     fn p1_keeps_noiseless_slew_p2_stretches() {
-        let noisy = clean().with_triangular_pulse(1.25e-9, 200e-12, -0.8).unwrap();
+        let noisy = clean()
+            .with_triangular_pulse(1.25e-9, 200e-12, -0.8)
+            .unwrap();
         let ctx = ctx_for(noisy);
         let g1 = P1.equivalent(&ctx).unwrap();
         let g2 = P2.equivalent(&ctx).unwrap();
-        assert!((g1.slew(th()) - 150e-12).abs() < 3e-12, "p1 ignores the distortion");
-        assert!(g2.slew(th()) > 2.0 * g1.slew(th()), "p2 spans the whole critical region");
+        assert!(
+            (g1.slew(th()) - 150e-12).abs() < 3e-12,
+            "p1 ignores the distortion"
+        );
+        assert!(
+            g2.slew(th()) > 2.0 * g1.slew(th()),
+            "p2 spans the whole critical region"
+        );
     }
 
     #[test]
@@ -109,7 +129,9 @@ mod tests {
             .unwrap()
             .to_waveform(0.0, 3e-9, 1e-12)
             .unwrap();
-        let noisy = clean_fall.with_triangular_pulse(1.2e-9, 150e-12, 0.7).unwrap();
+        let noisy = clean_fall
+            .with_triangular_pulse(1.2e-9, 150e-12, 0.7)
+            .unwrap();
         let ctx = PropagationContext::new(clean_fall, noisy, None, th()).unwrap();
         let g1 = P1.equivalent(&ctx).unwrap();
         let g2 = P2.equivalent(&ctx).unwrap();

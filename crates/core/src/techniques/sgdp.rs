@@ -67,12 +67,18 @@ pub struct Sgdp {
 impl Sgdp {
     /// SGDP with an explicit shift policy.
     pub fn with_policy(shift_policy: ShiftPolicy) -> Self {
-        Sgdp { shift_policy, ..Sgdp::default() }
+        Sgdp {
+            shift_policy,
+            ..Sgdp::default()
+        }
     }
 
     /// SGDP with an explicit step-3 fit mode.
     pub fn with_fit(fit: FitMode) -> Self {
-        Sgdp { fit, ..Sgdp::default() }
+        Sgdp {
+            fit,
+            ..Sgdp::default()
+        }
     }
 }
 
@@ -153,9 +159,13 @@ impl EquivalentWaveform for Sgdp {
             FitMode::GaussNewton => {
                 let gn = GaussNewton::default();
                 let seed = weighted_fit(&w0).or_else(|_| {
-                    LineFit::least_squares(&tau, &u).map(|f| [f.a, f.b]).map_err(SgdpError::from)
+                    LineFit::least_squares(&tau, &u)
+                        .map(|f| [f.a, f.b])
+                        .map_err(SgdpError::from)
                 })?;
-                gn.minimize(seed, residuals).map(|r| r.params).map_err(SgdpError::from)
+                gn.minimize(seed, residuals)
+                    .map(|r| r.params)
+                    .map_err(SgdpError::from)
             }
         };
 
@@ -186,8 +196,7 @@ impl EquivalentWaveform for Sgdp {
                 // Anchored fallback: re-fit the slope from samples within
                 // one noiseless slew of the latest mid crossing, anchor the
                 // line there (the P1/P2/E4 anchoring convention).
-                let anchor =
-                    mid_last.ok_or(SgdpError::DegenerateFit("no mid-rail crossing"))?;
+                let anchor = mid_last.ok_or(SgdpError::DegenerateFit("no mid-rail crossing"))?;
                 let near = 2.0 * margin; // one noiseless slew
                 let mut w = w0.clone();
                 for k in 0..tau.len() {
@@ -254,8 +263,16 @@ mod tests {
         let ctx = ctx_with_gate(clean(), &gate);
         for fit in [FitMode::Weighted, FitMode::Taylor2, FitMode::GaussNewton] {
             let g = Sgdp::with_fit(fit).equivalent(&ctx).unwrap();
-            assert!((g.arrival_mid() - 1.0e-9).abs() < 3e-12, "{fit:?}: {:e}", g.arrival_mid());
-            assert!((g.slew(th()) - 150e-12).abs() < 8e-12, "{fit:?}: {:e}", g.slew(th()));
+            assert!(
+                (g.arrival_mid() - 1.0e-9).abs() < 3e-12,
+                "{fit:?}: {:e}",
+                g.arrival_mid()
+            );
+            assert!(
+                (g.slew(th()) - 150e-12).abs() < 8e-12,
+                "{fit:?}: {:e}",
+                g.slew(th())
+            );
         }
     }
 
@@ -264,7 +281,9 @@ mod tests {
         // The defining improvement over WLS5: a glitch after the noiseless
         // critical region must influence Γeff.
         let gate = AnalyticInverterGate::fast(th());
-        let noisy = clean().with_triangular_pulse(1.5e-9, 250e-12, -0.9).unwrap();
+        let noisy = clean()
+            .with_triangular_pulse(1.5e-9, 250e-12, -0.9)
+            .unwrap();
         let ctx = ctx_with_gate(noisy, &gate);
         let g_sgdp = Sgdp::default().equivalent(&ctx).unwrap();
         let g_wls = Wls5.equivalent(&ctx).unwrap();
@@ -283,7 +302,10 @@ mod tests {
         // WLS5 refuses; SGDP's pre-shift recovers a sane input-referred ramp.
         let gate = AnalyticInverterGate::slow(th());
         let ctx = ctx_with_gate(clean(), &gate);
-        assert!(matches!(Wls5.equivalent(&ctx), Err(SgdpError::NonOverlapping { .. })));
+        assert!(matches!(
+            Wls5.equivalent(&ctx),
+            Err(SgdpError::NonOverlapping { .. })
+        ));
         let g = Sgdp::default().equivalent(&ctx).unwrap();
         assert!(
             (g.arrival_mid() - 1.0e-9).abs() < 10e-12,
@@ -291,14 +313,18 @@ mod tests {
             g.arrival_mid()
         );
         // The literal policy shifts the line by the gate's intrinsic delay.
-        let g_lit = Sgdp::with_policy(ShiftPolicy::PaperLiteral).equivalent(&ctx).unwrap();
+        let g_lit = Sgdp::with_policy(ShiftPolicy::PaperLiteral)
+            .equivalent(&ctx)
+            .unwrap();
         assert!(g_lit.arrival_mid() > g.arrival_mid() + 0.5e-9);
     }
 
     #[test]
     fn time_shift_equivariance() {
         let gate = AnalyticInverterGate::fast(th());
-        let noisy = clean().with_triangular_pulse(1.05e-9, 120e-12, -0.4).unwrap();
+        let noisy = clean()
+            .with_triangular_pulse(1.05e-9, 120e-12, -0.4)
+            .unwrap();
         let ctx = ctx_with_gate(noisy, &gate);
         let g0 = Sgdp::default().equivalent(&ctx).unwrap();
         let dt = 0.37e-9;
@@ -315,10 +341,15 @@ mod tests {
     #[test]
     fn in_region_glitch_moves_arrival_late() {
         let gate = AnalyticInverterGate::fast(th());
-        let noisy = clean().with_triangular_pulse(1.02e-9, 150e-12, -0.5).unwrap();
+        let noisy = clean()
+            .with_triangular_pulse(1.02e-9, 150e-12, -0.5)
+            .unwrap();
         let ctx = ctx_with_gate(noisy, &gate);
         let g = Sgdp::default().equivalent(&ctx).unwrap();
-        assert!(g.arrival_mid() > 1.0e-9, "glitch against the edge delays Γeff");
+        assert!(
+            g.arrival_mid() > 1.0e-9,
+            "glitch against the edge delays Γeff"
+        );
     }
 
     #[test]
@@ -329,7 +360,9 @@ mod tests {
         let gate = AnalyticInverterGate::fast(th());
         let base = clean();
         // Stall: pull the settled waveform down to 0.95 V for ~1 ns.
-        let noisy = base.with_trapezoidal_pulse(1.15e-9, 0.1e-9, 0.9e-9, -0.25).unwrap();
+        let noisy = base
+            .with_trapezoidal_pulse(1.15e-9, 0.1e-9, 0.9e-9, -0.25)
+            .unwrap();
         let ctx = ctx_with_gate(noisy.clone(), &gate);
         let g = Sgdp::default().equivalent(&ctx).unwrap();
         let first = noisy.first_crossing(th().mid()).unwrap();
@@ -347,7 +380,9 @@ mod tests {
     #[test]
     fn sampling_budget_is_respected() {
         let gate = AnalyticInverterGate::fast(th());
-        let noisy = clean().with_triangular_pulse(1.0e-9, 100e-12, -0.3).unwrap();
+        let noisy = clean()
+            .with_triangular_pulse(1.0e-9, 100e-12, -0.3)
+            .unwrap();
         let ctx = ctx_with_gate(noisy, &gate).with_samples(7).unwrap();
         let g = Sgdp::default().equivalent(&ctx).unwrap();
         assert!(g.slew(th()) > 0.0);

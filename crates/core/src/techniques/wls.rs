@@ -43,7 +43,10 @@ impl EquivalentWaveform for Wls5 {
         // ρ² vanishes outside it by construction.
         let (t0, t1) = ctx.noiseless_critical_region()?;
         let times = ctx.sample_times(t0, t1);
-        let values: Vec<f64> = times.iter().map(|&t| ctx.noisy_input().value_at(t)).collect();
+        let values: Vec<f64> = times
+            .iter()
+            .map(|&t| ctx.noisy_input().value_at(t))
+            .collect();
         let weights: Vec<f64> = times
             .iter()
             .map(|&t| {
@@ -83,7 +86,11 @@ mod tests {
         let gate = AnalyticInverterGate::fast(th());
         let ctx = ctx_with_gate(clean(), &gate);
         let g = Wls5.equivalent(&ctx).unwrap();
-        assert!((g.arrival_mid() - 1.0e-9).abs() < 3e-12, "{:e}", g.arrival_mid());
+        assert!(
+            (g.arrival_mid() - 1.0e-9).abs() < 3e-12,
+            "{:e}",
+            g.arrival_mid()
+        );
         assert!((g.slew(th()) - 150e-12).abs() < 6e-12, "{:e}", g.slew(th()));
     }
 
@@ -92,7 +99,9 @@ mod tests {
         // The paper's central criticism: put the glitch after the noiseless
         // critical region (which ends at ~1.075 ns) and WLS5 cannot see it.
         let gate = AnalyticInverterGate::fast(th());
-        let noisy = clean().with_triangular_pulse(1.5e-9, 250e-12, -0.9).unwrap();
+        let noisy = clean()
+            .with_triangular_pulse(1.5e-9, 250e-12, -0.9)
+            .unwrap();
         // The glitch does move the latest mid-rail crossing...
         assert!(noisy.last_crossing(th().mid()).unwrap() > 1.4e-9);
         let ctx = ctx_with_gate(noisy, &gate);
@@ -108,10 +117,15 @@ mod tests {
     #[test]
     fn noise_inside_region_shifts_the_fit() {
         let gate = AnalyticInverterGate::fast(th());
-        let noisy = clean().with_triangular_pulse(1.0e-9, 120e-12, -0.5).unwrap();
+        let noisy = clean()
+            .with_triangular_pulse(1.0e-9, 120e-12, -0.5)
+            .unwrap();
         let ctx = ctx_with_gate(noisy, &gate);
         let g = Wls5.equivalent(&ctx).unwrap();
-        assert!(g.arrival_mid() > 1.0e-9 + 5e-12, "in-region noise must register");
+        assert!(
+            g.arrival_mid() > 1.0e-9 + 5e-12,
+            "in-region noise must register"
+        );
     }
 
     #[test]
@@ -127,6 +141,9 @@ mod tests {
     #[test]
     fn missing_output_is_reported() {
         let ctx = PropagationContext::new(clean(), clean(), None, th()).unwrap();
-        assert!(matches!(Wls5.equivalent(&ctx), Err(SgdpError::MissingNoiselessOutput)));
+        assert!(matches!(
+            Wls5.equivalent(&ctx),
+            Err(SgdpError::MissingNoiselessOutput)
+        ));
     }
 }

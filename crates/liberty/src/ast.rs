@@ -79,7 +79,11 @@ pub struct Group {
 impl Group {
     /// Creates an empty group of the given type with one identifier arg.
     pub fn named(kind: &str, arg: &str) -> Self {
-        Group { name: kind.into(), args: vec![Value::Ident(arg.into())], ..Group::default() }
+        Group {
+            name: kind.into(),
+            args: vec![Value::Ident(arg.into())],
+            ..Group::default()
+        }
     }
 
     /// First group argument as text, if present.
@@ -89,7 +93,10 @@ impl Group {
 
     /// Looks up a simple attribute by name.
     pub fn simple_attr(&self, name: &str) -> Option<&Value> {
-        self.simple.iter().find(|a| a.name == name).map(|a| &a.value)
+        self.simple
+            .iter()
+            .find(|a| a.name == name)
+            .map(|a| &a.value)
     }
 
     /// Looks up a complex attribute by name.
@@ -104,13 +111,19 @@ impl Group {
 
     /// Adds a simple attribute (builder style).
     pub fn set(&mut self, name: &str, value: Value) -> &mut Self {
-        self.simple.push(Attribute { name: name.into(), value });
+        self.simple.push(Attribute {
+            name: name.into(),
+            value,
+        });
         self
     }
 
     /// Adds a complex attribute (builder style).
     pub fn set_complex(&mut self, name: &str, values: Vec<Value>) -> &mut Self {
-        self.complex.push(ComplexAttribute { name: name.into(), values });
+        self.complex.push(ComplexAttribute {
+            name: name.into(),
+            values,
+        });
         self
     }
 }

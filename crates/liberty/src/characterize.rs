@@ -62,7 +62,11 @@ fn measure_inverter(
     let full = slew / 0.8;
     let mid = 0.2e-9 + full / 2.0;
     let t_stop = mid + full / 2.0 + 2.0e-9;
-    let (v0, v1) = if input_rising { (0.0, proc.vdd) } else { (proc.vdd, 0.0) };
+    let (v0, v1) = if input_rising {
+        (0.0, proc.vdd)
+    } else {
+        (proc.vdd, 0.0)
+    };
     let ramp = Waveform::new(
         vec![0.0, mid - full / 2.0, mid + full / 2.0, t_stop],
         vec![v0, v0, v1, v1],
@@ -76,7 +80,11 @@ fn measure_inverter(
     net.vsource(inp, ramp)?;
     let res = net.run_transient(SimOptions::new(0.0, t_stop, dt)?)?;
     let v_out = res.voltage(out)?;
-    let out_pol = if input_rising { Polarity::Fall } else { Polarity::Rise };
+    let out_pol = if input_rising {
+        Polarity::Fall
+    } else {
+        Polarity::Rise
+    };
     let t_out = v_out.last_crossing_or_err(th.mid())?;
     let delay = t_out - mid;
     let out_slew = v_out.slew_first_to_first(th, out_pol)?;
@@ -96,7 +104,9 @@ pub fn inverter_cell(
     opts: &Options,
 ) -> Result<Cell, LibertyError> {
     if opts.slews.len() < 2 || opts.loads.len() < 2 {
-        return Err(LibertyError::Semantic("characterization grid needs at least 2x2".into()));
+        return Err(LibertyError::Semantic(
+            "characterization grid needs at least 2x2".into(),
+        ));
     }
     let n1 = opts.slews.len();
     let n2 = opts.loads.len();
@@ -115,9 +125,7 @@ pub fn inverter_cell(
             fall_slew.push(fall.out_slew);
         }
     }
-    let table = |values: Vec<f64>| {
-        NldmTable::new(opts.slews.clone(), opts.loads.clone(), values)
-    };
+    let table = |values: Vec<f64>| NldmTable::new(opts.slews.clone(), opts.loads.clone(), values);
     let arc = TimingArc {
         related_pin: "A".into(),
         sense: TimingSense::NegativeUnate,
@@ -194,9 +202,12 @@ mod tests {
     #[test]
     fn family_round_trips_through_liberty_text() {
         let proc = Process::c013();
-        let lib =
-            inverter_family(&proc, &[("INVX1", 1.0), ("INVX4", 4.0)], &Options::fast_test())
-                .unwrap();
+        let lib = inverter_family(
+            &proc,
+            &[("INVX1", 1.0), ("INVX4", 4.0)],
+            &Options::fast_test(),
+        )
+        .unwrap();
         let text = lib.to_liberty();
         let parsed = parse_library(&text).unwrap();
         assert_eq!(parsed.cells().len(), 2);
@@ -219,7 +230,11 @@ mod tests {
     #[test]
     fn tiny_grids_are_rejected() {
         let proc = Process::c013();
-        let opts = Options { slews: vec![100e-12], loads: vec![1e-15, 2e-15], dt: 2e-12 };
+        let opts = Options {
+            slews: vec![100e-12],
+            loads: vec![1e-15, 2e-15],
+            dt: 2e-12,
+        };
         assert!(inverter_cell(&proc, "X", 1.0, &opts).is_err());
     }
 }

@@ -34,10 +34,18 @@ pub enum LibertyError {
 impl fmt::Display for LibertyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            LibertyError::Lex { line, column, message } => {
+            LibertyError::Lex {
+                line,
+                column,
+                message,
+            } => {
                 write!(f, "lex error at {line}:{column}: {message}")
             }
-            LibertyError::Parse { line, column, message } => {
+            LibertyError::Parse {
+                line,
+                column,
+                message,
+            } => {
                 write!(f, "parse error at {line}:{column}: {message}")
             }
             LibertyError::Semantic(m) => write!(f, "semantic error: {m}"),

@@ -108,7 +108,11 @@ pub(crate) fn lex(input: &str) -> Result<Vec<Token>, LibertyError> {
                         message: "unterminated string".into(),
                     });
                 }
-                tokens.push(Token { kind: TokenKind::Str(s), line: tline, column: tcol });
+                tokens.push(Token {
+                    kind: TokenKind::Str(s),
+                    line: tline,
+                    column: tcol,
+                });
             }
             '{' | '}' | '(' | ')' | ':' | ';' | ',' => {
                 let kind = match c {
@@ -121,7 +125,11 @@ pub(crate) fn lex(input: &str) -> Result<Vec<Token>, LibertyError> {
                     _ => TokenKind::Comma,
                 };
                 advance(&mut i, &mut line, &mut col);
-                tokens.push(Token { kind, line: tline, column: tcol });
+                tokens.push(Token {
+                    kind,
+                    line: tline,
+                    column: tcol,
+                });
             }
             c if c.is_ascii_digit() || c == '-' || c == '+' || c == '.' => {
                 let start = i;
@@ -140,9 +148,11 @@ pub(crate) fn lex(input: &str) -> Result<Vec<Token>, LibertyError> {
                 }
                 let text: String = bytes[start..i].iter().collect();
                 match text.parse::<f64>() {
-                    Ok(v) => {
-                        tokens.push(Token { kind: TokenKind::Number(v), line: tline, column: tcol })
-                    }
+                    Ok(v) => tokens.push(Token {
+                        kind: TokenKind::Number(v),
+                        line: tline,
+                        column: tcol,
+                    }),
                     Err(_) => {
                         // Things like `1ns` are identifiers in our subset.
                         tokens.push(Token {
@@ -162,7 +172,11 @@ pub(crate) fn lex(input: &str) -> Result<Vec<Token>, LibertyError> {
                     advance(&mut i, &mut line, &mut col);
                 }
                 let text: String = bytes[start..i].iter().collect();
-                tokens.push(Token { kind: TokenKind::Ident(text), line: tline, column: tcol });
+                tokens.push(Token {
+                    kind: TokenKind::Ident(text),
+                    line: tline,
+                    column: tcol,
+                });
             }
             other => {
                 return Err(LibertyError::Lex {
@@ -173,7 +187,11 @@ pub(crate) fn lex(input: &str) -> Result<Vec<Token>, LibertyError> {
             }
         }
     }
-    tokens.push(Token { kind: TokenKind::Eof, line, column: col });
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        line,
+        column: col,
+    });
     Ok(tokens)
 }
 
@@ -227,7 +245,9 @@ mod tests {
     #[test]
     fn errors_have_positions() {
         match lex("ok $bad") {
-            Err(LibertyError::Lex { line: 1, column: 4, .. }) => {}
+            Err(LibertyError::Lex {
+                line: 1, column: 4, ..
+            }) => {}
             other => panic!("expected lex error at 1:4, got {other:?}"),
         }
         assert!(lex("\"unterminated").is_err());

@@ -60,7 +60,11 @@ impl NldmTable {
                 values.len()
             )));
         }
-        Ok(NldmTable { index1, index2, values })
+        Ok(NldmTable {
+            index1,
+            index2,
+            values,
+        })
     }
 
     /// Input-slew axis (seconds).
@@ -80,7 +84,13 @@ impl NldmTable {
     ///
     /// [`LibertyError::Table`] only on internal shape corruption.
     pub fn lookup(&self, slew: f64, load: f64) -> Result<f64, LibertyError> {
-        Ok(interp::bilinear(&self.index1, &self.index2, &self.values, slew, load)?)
+        Ok(interp::bilinear(
+            &self.index1,
+            &self.index2,
+            &self.values,
+            slew,
+            load,
+        )?)
     }
 }
 
@@ -162,7 +172,11 @@ const CAP_SCALE: f64 = 1e-12;
 impl Library {
     /// Creates an empty library.
     pub fn new(name: &str, voltage: f64) -> Self {
-        Library { name: name.into(), voltage, cells: Vec::new() }
+        Library {
+            name: name.into(),
+            voltage,
+            cells: Vec::new(),
+        }
     }
 
     /// Adds a cell.
@@ -207,7 +221,10 @@ impl Library {
                     pg.set("function", Value::Str(f.clone()));
                 }
                 for arc in &pin.timing {
-                    let mut tg = Group { name: "timing".into(), ..Group::default() };
+                    let mut tg = Group {
+                        name: "timing".into(),
+                        ..Group::default()
+                    };
                     tg.set("related_pin", Value::Str(arc.related_pin.clone()));
                     tg.set("timing_sense", Value::Ident(arc.sense.as_liberty().into()));
                     for (name, table) in [
@@ -229,13 +246,23 @@ impl Library {
 }
 
 fn number_list(values: &[f64], scale: f64) -> String {
-    values.iter().map(|v| format!("{}", v / scale)).collect::<Vec<_>>().join(", ")
+    values
+        .iter()
+        .map(|v| format!("{}", v / scale))
+        .collect::<Vec<_>>()
+        .join(", ")
 }
 
 fn table_to_ast(name: &str, table: &NldmTable) -> Group {
     let mut g = Group::named(name, "delay_template");
-    g.set_complex("index_1", vec![Value::Str(number_list(table.slews(), TIME_SCALE))]);
-    g.set_complex("index_2", vec![Value::Str(number_list(table.loads(), CAP_SCALE))]);
+    g.set_complex(
+        "index_1",
+        vec![Value::Str(number_list(table.slews(), TIME_SCALE))],
+    );
+    g.set_complex(
+        "index_2",
+        vec![Value::Str(number_list(table.loads(), CAP_SCALE))],
+    );
     let rows: Vec<Value> = table
         .index1
         .iter()
@@ -311,7 +338,10 @@ pub fn parse_library(source: &str) -> Result<Library, LibertyError> {
             .arg_text()
             .ok_or_else(|| LibertyError::Semantic("cell without a name".into()))?
             .to_string();
-        let area = cg.simple_attr("area").and_then(Value::as_number).unwrap_or(0.0);
+        let area = cg
+            .simple_attr("area")
+            .and_then(Value::as_number)
+            .unwrap_or(0.0);
         let mut pins = Vec::new();
         for pg in cg.groups_named("pin") {
             let pin_name = pg
@@ -332,15 +362,19 @@ pub fn parse_library(source: &str) -> Result<Library, LibertyError> {
                 .and_then(Value::as_number)
                 .map(|v| v * CAP_SCALE)
                 .unwrap_or(0.0);
-            let function =
-                pg.simple_attr("function").and_then(Value::as_text).map(str::to_string);
+            let function = pg
+                .simple_attr("function")
+                .and_then(Value::as_text)
+                .map(str::to_string);
             let mut timing = Vec::new();
             for tg in pg.groups_named("timing") {
                 let related_pin = tg
                     .simple_attr("related_pin")
                     .and_then(Value::as_text)
                     .ok_or_else(|| {
-                        LibertyError::Semantic(format!("pin {pin_name}: timing without related_pin"))
+                        LibertyError::Semantic(format!(
+                            "pin {pin_name}: timing without related_pin"
+                        ))
                     })?
                     .to_string();
                 let sense = match tg.simple_attr("timing_sense").and_then(Value::as_text) {
@@ -370,9 +404,19 @@ pub fn parse_library(source: &str) -> Result<Library, LibertyError> {
                     fall_transition: table("fall_transition")?,
                 });
             }
-            pins.push(Pin { name: pin_name, direction, capacitance, function, timing });
+            pins.push(Pin {
+                name: pin_name,
+                direction,
+                capacitance,
+                function,
+                timing,
+            });
         }
-        lib.push_cell(Cell { name: cell_name, area, pins });
+        lib.push_cell(Cell {
+            name: cell_name,
+            area,
+            pins,
+        });
     }
     Ok(lib)
 }
@@ -460,7 +504,10 @@ mod tests {
 
     #[test]
     fn parse_rejects_non_library_roots() {
-        assert!(matches!(parse_library("cell(x) { }"), Err(LibertyError::Semantic(_))));
+        assert!(matches!(
+            parse_library("cell(x) { }"),
+            Err(LibertyError::Semantic(_))
+        ));
     }
 
     #[test]
@@ -475,6 +522,9 @@ mod tests {
                 }
             }
         "#;
-        assert!(matches!(parse_library(text), Err(LibertyError::Semantic(_))));
+        assert!(matches!(
+            parse_library(text),
+            Err(LibertyError::Semantic(_))
+        ));
     }
 }

@@ -36,7 +36,11 @@ impl Parser {
 
     fn error<T>(&self, message: impl Into<String>) -> Result<T, LibertyError> {
         let t = self.peek();
-        Err(LibertyError::Parse { line: t.line, column: t.column, message: message.into() })
+        Err(LibertyError::Parse {
+            line: t.line,
+            column: t.column,
+            message: message.into(),
+        })
     }
 
     fn expect(&mut self, kind: &TokenKind, what: &str) -> Result<(), LibertyError> {
@@ -92,7 +96,11 @@ impl Parser {
         }
         self.expect(&TokenKind::RParen, "')'")?;
         self.expect(&TokenKind::LBrace, "'{'")?;
-        let mut group = Group { name, args, ..Group::default() };
+        let mut group = Group {
+            name,
+            args,
+            ..Group::default()
+        };
         loop {
             match self.peek().kind.clone() {
                 TokenKind::RBrace => {
@@ -215,7 +223,10 @@ mod tests {
         assert_eq!(cell.groups_named("pin").count(), 2);
         let y = cell.groups_named("pin").nth(1).unwrap();
         let timing = y.groups_named("timing").next().unwrap();
-        assert_eq!(timing.simple_attr("timing_sense").unwrap().as_text(), Some("negative_unate"));
+        assert_eq!(
+            timing.simple_attr("timing_sense").unwrap().as_text(),
+            Some("negative_unate")
+        );
         let rise = timing.groups_named("cell_rise").next().unwrap();
         assert_eq!(rise.complex_attr("values").unwrap().values.len(), 2);
         // Template group parsed as a subgroup, not a complex attribute.

@@ -17,7 +17,11 @@ fn indent(depth: usize, out: &mut String) {
 }
 
 fn value_list(values: &[Value]) -> String {
-    values.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(", ")
+    values
+        .iter()
+        .map(|v| v.to_string())
+        .collect::<Vec<_>>()
+        .join(", ")
 }
 
 fn emit(group: &Group, depth: usize, out: &mut String) {

@@ -55,8 +55,14 @@ impl fmt::Display for NumericError {
             NumericError::InsufficientData { got, required } => {
                 write!(f, "insufficient data: got {got} samples, need {required}")
             }
-            NumericError::NoConvergence { iterations, residual } => {
-                write!(f, "no convergence after {iterations} iterations (residual {residual:.3e})")
+            NumericError::NoConvergence {
+                iterations,
+                residual,
+            } => {
+                write!(
+                    f,
+                    "no convergence after {iterations} iterations (residual {residual:.3e})"
+                )
             }
             NumericError::NonFinite(what) => write!(f, "non-finite value in {what}"),
         }
@@ -72,11 +78,23 @@ mod tests {
     #[test]
     fn display_is_nonempty_and_lowercase() {
         let errors = [
-            NumericError::ShapeMismatch { got: 1, expected: 2 },
-            NumericError::SingularMatrix { column: 3, pivot: 0.0 },
+            NumericError::ShapeMismatch {
+                got: 1,
+                expected: 2,
+            },
+            NumericError::SingularMatrix {
+                column: 3,
+                pivot: 0.0,
+            },
             NumericError::InvalidGrid("empty"),
-            NumericError::InsufficientData { got: 0, required: 2 },
-            NumericError::NoConvergence { iterations: 10, residual: 1.0 },
+            NumericError::InsufficientData {
+                got: 0,
+                required: 2,
+            },
+            NumericError::NoConvergence {
+                iterations: 10,
+                residual: 1.0,
+            },
             NumericError::NonFinite("rhs"),
         ];
         for e in errors {

@@ -42,12 +42,22 @@ impl LineFit {
     /// * [`NumericError::SingularMatrix`] if the weighted abscissae are
     ///   degenerate (all effective `xs` equal).
     /// * [`NumericError::NonFinite`] on NaN/inf inputs.
-    pub fn weighted_least_squares(xs: &[f64], ys: &[f64], ws: &[f64]) -> Result<Self, NumericError> {
+    pub fn weighted_least_squares(
+        xs: &[f64],
+        ys: &[f64],
+        ws: &[f64],
+    ) -> Result<Self, NumericError> {
         if xs.len() != ys.len() {
-            return Err(NumericError::ShapeMismatch { got: ys.len(), expected: xs.len() });
+            return Err(NumericError::ShapeMismatch {
+                got: ys.len(),
+                expected: xs.len(),
+            });
         }
         if xs.len() != ws.len() {
-            return Err(NumericError::ShapeMismatch { got: ws.len(), expected: xs.len() });
+            return Err(NumericError::ShapeMismatch {
+                got: ws.len(),
+                expected: xs.len(),
+            });
         }
         let mut effective = 0usize;
         // Shift the abscissa origin to the weighted mean for conditioning:
@@ -65,7 +75,10 @@ impl LineFit {
             }
         }
         if effective < 2 {
-            return Err(NumericError::InsufficientData { got: effective, required: 2 });
+            return Err(NumericError::InsufficientData {
+                got: effective,
+                required: 2,
+            });
         }
         let xbar = swx / sw;
         let ybar = swy / sw;
@@ -78,7 +91,10 @@ impl LineFit {
             }
         }
         if sxx <= 0.0 {
-            return Err(NumericError::SingularMatrix { column: 0, pivot: sxx });
+            return Err(NumericError::SingularMatrix {
+                column: 0,
+                pivot: sxx,
+            });
         }
         let a = sxy / sxx;
         let b = ybar - a * xbar;
@@ -122,7 +138,11 @@ pub struct GaussNewton {
 
 impl Default for GaussNewton {
     fn default() -> Self {
-        GaussNewton { max_iterations: 40, step_tolerance: 1e-10, initial_damping: 1e-12 }
+        GaussNewton {
+            max_iterations: 40,
+            step_tolerance: 1e-10,
+            initial_damping: 1e-12,
+        }
     }
 }
 
@@ -142,7 +162,11 @@ impl GaussNewton {
     ///   step (the last iterate is still returned inside the error-free path
     ///   whenever any progress was made; this error means no step ever
     ///   succeeded).
-    pub fn minimize<F>(&self, start: [f64; 2], mut model: F) -> Result<GaussNewtonReport, NumericError>
+    pub fn minimize<F>(
+        &self,
+        start: [f64; 2],
+        mut model: F,
+    ) -> Result<GaussNewtonReport, NumericError>
     where
         F: FnMut([f64; 2], &mut Vec<f64>, &mut Vec<[f64; 2]>),
     {
@@ -154,7 +178,10 @@ impl GaussNewton {
 
         model(params, &mut residuals, &mut jacobian);
         if residuals.len() < 2 {
-            return Err(NumericError::InsufficientData { got: residuals.len(), required: 2 });
+            return Err(NumericError::InsufficientData {
+                got: residuals.len(),
+                required: 2,
+            });
         }
         if residuals.iter().any(|v| !v.is_finite()) {
             return Err(NumericError::NonFinite("residuals"));
@@ -176,7 +203,10 @@ impl GaussNewton {
                 jtf0 += j[0] * f;
                 jtf1 += j[1] * f;
             }
-            if ![jtj00, jtj01, jtj11, jtf0, jtf1].iter().all(|v| v.is_finite()) {
+            if ![jtj00, jtj01, jtj11, jtf0, jtf1]
+                .iter()
+                .all(|v| v.is_finite())
+            {
                 return Err(NumericError::NonFinite("jacobian"));
             }
 
@@ -226,7 +256,12 @@ impl GaussNewton {
         }
         // Refresh residuals at the accepted parameters for the cost report.
         model(params, &mut residuals, &mut jacobian);
-        Ok(GaussNewtonReport { params, cost: eval_cost(&residuals), iterations, converged })
+        Ok(GaussNewtonReport {
+            params,
+            cost: eval_cost(&residuals),
+            iterations,
+            converged,
+        })
     }
 }
 
@@ -332,8 +367,16 @@ mod tests {
                 }
             })
             .unwrap();
-        assert!((report.params[0] - 1.5).abs() < 1e-5, "a = {}", report.params[0]);
-        assert!((report.params[1] - 0.2).abs() < 1e-5, "b = {}", report.params[1]);
+        assert!(
+            (report.params[0] - 1.5).abs() < 1e-5,
+            "a = {}",
+            report.params[0]
+        );
+        assert!(
+            (report.params[1] - 0.2).abs() < 1e-5,
+            "b = {}",
+            report.params[1]
+        );
     }
 
     #[test]

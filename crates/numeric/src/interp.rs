@@ -115,7 +115,7 @@ pub fn crossings(xs: &[f64], ys: &[f64], level: f64) -> Vec<f64> {
     for k in 0..xs.len() - 1 {
         let (y0, y1) = (ys[k] - level, ys[k + 1] - level);
         if y0 == 0.0 {
-            if out.last().map_or(true, |&last| last < xs[k]) {
+            if out.last().is_none_or(|&last| last < xs[k]) {
                 out.push(xs[k]);
             }
         } else if y0 * y1 < 0.0 {
@@ -126,7 +126,7 @@ pub fn crossings(xs: &[f64], ys: &[f64], level: f64) -> Vec<f64> {
     // Trailing endpoint exactly on the level.
     if *ys.last().expect("non-empty") == level {
         let x_last = *xs.last().expect("non-empty");
-        if out.last().map_or(true, |&last| last < x_last) {
+        if out.last().is_none_or(|&last| last < x_last) {
             out.push(x_last);
         }
     }
@@ -177,7 +177,10 @@ mod tests {
         }
         for (x, y) in [(0.5, 1.0), (1.7, 0.3), (2.0, 2.0), (-0.5, 3.0)] {
             let v = bilinear(&xs, &ys, &values, x, y).unwrap();
-            assert!((v - (2.0 * x + 3.0 * y + 1.0)).abs() < 1e-12, "at ({x},{y})");
+            assert!(
+                (v - (2.0 * x + 3.0 * y + 1.0)).abs() < 1e-12,
+                "at ({x},{y})"
+            );
         }
     }
 

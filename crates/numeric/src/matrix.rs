@@ -26,7 +26,11 @@ pub struct DenseMatrix {
 impl DenseMatrix {
     /// Creates a `rows × cols` matrix of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        DenseMatrix { rows, cols, data: vec![0.0; rows * cols] }
+        DenseMatrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates the `n × n` identity matrix.
@@ -45,16 +49,25 @@ impl DenseMatrix {
     /// Returns [`NumericError::ShapeMismatch`] if the rows have differing
     /// lengths, and [`NumericError::InvalidGrid`] if `rows` is empty.
     pub fn from_rows(rows: &[&[f64]]) -> Result<Self, NumericError> {
-        let first = rows.first().ok_or(NumericError::InvalidGrid("empty row set"))?;
+        let first = rows
+            .first()
+            .ok_or(NumericError::InvalidGrid("empty row set"))?;
         let cols = first.len();
         let mut data = Vec::with_capacity(rows.len() * cols);
         for row in rows {
             if row.len() != cols {
-                return Err(NumericError::ShapeMismatch { got: row.len(), expected: cols });
+                return Err(NumericError::ShapeMismatch {
+                    got: row.len(),
+                    expected: cols,
+                });
             }
             data.extend_from_slice(row);
         }
-        Ok(DenseMatrix { rows: rows.len(), cols, data })
+        Ok(DenseMatrix {
+            rows: rows.len(),
+            cols,
+            data,
+        })
     }
 
     /// Number of rows.
@@ -109,7 +122,10 @@ impl DenseMatrix {
     /// Returns [`NumericError::ShapeMismatch`] if `x.len() != self.cols()`.
     pub fn mul_vec(&self, x: &[f64]) -> Result<Vec<f64>, NumericError> {
         if x.len() != self.cols {
-            return Err(NumericError::ShapeMismatch { got: x.len(), expected: self.cols });
+            return Err(NumericError::ShapeMismatch {
+                got: x.len(),
+                expected: self.cols,
+            });
         }
         let mut y = vec![0.0; self.rows];
         for r in 0..self.rows {
@@ -131,9 +147,17 @@ impl DenseMatrix {
                 expected: self.rows * self.cols,
             });
         }
-        let data =
-            self.data.iter().zip(&other.data).map(|(a, b)| a + scale * b).collect::<Vec<_>>();
-        Ok(DenseMatrix { rows: self.rows, cols: self.cols, data })
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a + scale * b)
+            .collect::<Vec<_>>();
+        Ok(DenseMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        })
     }
 
     /// Maximum absolute entry (∞-norm of the flattened matrix).
@@ -180,7 +204,10 @@ impl LuFactors {
     /// * [`NumericError::NonFinite`] if the matrix contains NaN/inf.
     pub fn factor(a: &DenseMatrix) -> Result<Self, NumericError> {
         if a.rows() != a.cols() {
-            return Err(NumericError::ShapeMismatch { got: a.cols(), expected: a.rows() });
+            return Err(NumericError::ShapeMismatch {
+                got: a.cols(),
+                expected: a.rows(),
+            });
         }
         let n = a.rows();
         let mut lu = a.data.clone();
@@ -201,7 +228,10 @@ impl LuFactors {
                 }
             }
             if best < PIVOT_TOL {
-                return Err(NumericError::SingularMatrix { column: k, pivot: best });
+                return Err(NumericError::SingularMatrix {
+                    column: k,
+                    pivot: best,
+                });
             }
             if p != k {
                 perm.swap(p, k);
@@ -235,7 +265,10 @@ impl LuFactors {
     /// Returns [`NumericError::ShapeMismatch`] if `b.len() != self.dim()`.
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, NumericError> {
         if b.len() != self.n {
-            return Err(NumericError::ShapeMismatch { got: b.len(), expected: self.n });
+            return Err(NumericError::ShapeMismatch {
+                got: b.len(),
+                expected: self.n,
+            });
         }
         let mut x = vec![0.0; self.n];
         for i in 0..self.n {
@@ -312,14 +345,20 @@ mod tests {
     #[test]
     fn non_square_rejected() {
         let a = DenseMatrix::zeros(2, 3);
-        assert!(matches!(LuFactors::factor(&a), Err(NumericError::ShapeMismatch { .. })));
+        assert!(matches!(
+            LuFactors::factor(&a),
+            Err(NumericError::ShapeMismatch { .. })
+        ));
     }
 
     #[test]
     fn nan_rejected() {
         let mut a = DenseMatrix::identity(2);
         a.set(0, 1, f64::NAN);
-        assert!(matches!(LuFactors::factor(&a), Err(NumericError::NonFinite(_))));
+        assert!(matches!(
+            LuFactors::factor(&a),
+            Err(NumericError::NonFinite(_))
+        ));
     }
 
     #[test]

@@ -31,7 +31,13 @@ impl Default for Summary {
 impl Summary {
     /// Creates an empty accumulator.
     pub fn new() -> Self {
-        Summary { count: 0, sum: 0.0, sum_sq: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        Summary {
+            count: 0,
+            sum: 0.0,
+            sum_sq: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Adds one sample.

@@ -1,45 +1,83 @@
-//! Property-based tests of the numeric kernels.
+//! Property-style tests of the numeric kernels.
+//!
+//! The workspace builds offline, so instead of a property-testing framework
+//! these run each invariant over a deterministic seeded sweep of inputs.
 
 use nsta_numeric::interp;
 use nsta_numeric::{DenseMatrix, LineFit, LuFactors};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+/// Deterministic xorshift64 sampler shared by the sweeps below.
+struct Rng(u64);
 
-    /// Interpolation reproduces the tabulated points exactly.
-    #[test]
-    fn interp_hits_knots(ys in prop::collection::vec(-10.0f64..10.0, 2..20)) {
-        let xs: Vec<f64> = (0..ys.len()).map(|i| i as f64).collect();
-        for (x, y) in xs.iter().zip(&ys) {
-            let v = interp::interp1(&xs, &ys, *x);
-            prop_assert!((v - y).abs() < 1e-12);
-        }
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed | 1)
     }
 
-    /// Interpolation is monotone between adjacent knots for monotone data.
-    #[test]
-    fn interp_preserves_monotonicity(mut ys in prop::collection::vec(0.0f64..10.0, 3..15)) {
+    fn next_unit(&mut self) -> f64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        (self.0 >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.next_unit()
+    }
+
+    fn usize_range(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next_unit() * (hi - lo) as f64) as usize
+    }
+
+    fn vec(&mut self, lo: f64, hi: f64, len: usize) -> Vec<f64> {
+        (0..len).map(|_| self.range(lo, hi)).collect()
+    }
+}
+
+/// Interpolation reproduces the tabulated points exactly.
+#[test]
+fn interp_hits_knots() {
+    let mut rng = Rng::new(0xA11CE);
+    for _ in 0..128 {
+        let n = rng.usize_range(2, 20);
+        let ys = rng.vec(-10.0, 10.0, n);
+        let xs: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        for (x, y) in xs.iter().zip(&ys) {
+            let v = interp::interp1(&xs, &ys, *x);
+            assert!((v - y).abs() < 1e-12);
+        }
+    }
+}
+
+/// Interpolation is monotone between adjacent knots for monotone data.
+#[test]
+fn interp_preserves_monotonicity() {
+    let mut rng = Rng::new(0xB0B);
+    for _ in 0..128 {
+        let n = rng.usize_range(3, 15);
+        let mut ys = rng.vec(0.0, 10.0, n);
         ys.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-        let xs: Vec<f64> = (0..ys.len()).map(|i| i as f64).collect();
+        let xs: Vec<f64> = (0..n).map(|i| i as f64).collect();
         let mut prev = f64::NEG_INFINITY;
         for k in 0..100 {
-            let x = (ys.len() - 1) as f64 * k as f64 / 99.0;
+            let x = (n - 1) as f64 * k as f64 / 99.0;
             let v = interp::interp1(&xs, &ys, x);
-            prop_assert!(v >= prev - 1e-12);
+            assert!(v >= prev - 1e-12);
             prev = v;
         }
     }
+}
 
-    /// Bilinear interpolation is exact on affine surfaces.
-    #[test]
-    fn bilinear_reproduces_planes(
-        a in -3.0f64..3.0,
-        b in -3.0f64..3.0,
-        c in -3.0f64..3.0,
-        x in -1.0f64..4.0,
-        y in -1.0f64..4.0,
-    ) {
+/// Bilinear interpolation is exact on affine surfaces.
+#[test]
+fn bilinear_reproduces_planes() {
+    let mut rng = Rng::new(0xCAFE);
+    for _ in 0..128 {
+        let a = rng.range(-3.0, 3.0);
+        let b = rng.range(-3.0, 3.0);
+        let c = rng.range(-3.0, 3.0);
+        let x = rng.range(-1.0, 4.0);
+        let y = rng.range(-1.0, 4.0);
         let xs = [0.0, 1.0, 3.0];
         let ys = [0.0, 2.0];
         let mut values = Vec::new();
@@ -49,48 +87,52 @@ proptest! {
             }
         }
         let v = interp::bilinear(&xs, &ys, &values, x, y).expect("valid grid");
-        prop_assert!((v - (a * x + b * y + c)).abs() < 1e-10);
+        assert!((v - (a * x + b * y + c)).abs() < 1e-10);
     }
+}
 
-    /// Weighted least squares with uniform weights equals plain least
-    /// squares.
-    #[test]
-    fn uniform_weights_match_ols(
-        ys in prop::collection::vec(-5.0f64..5.0, 3..25),
-        w in 0.1f64..10.0,
-    ) {
-        let xs: Vec<f64> = (0..ys.len()).map(|i| i as f64 * 0.5).collect();
-        let ws = vec![w; ys.len()];
+/// Weighted least squares with uniform weights equals plain least squares.
+#[test]
+fn uniform_weights_match_ols() {
+    let mut rng = Rng::new(0xD00D);
+    for _ in 0..128 {
+        let n = rng.usize_range(3, 25);
+        let ys = rng.vec(-5.0, 5.0, n);
+        let w = rng.range(0.1, 10.0);
+        let xs: Vec<f64> = (0..n).map(|i| i as f64 * 0.5).collect();
+        let ws = vec![w; n];
         let plain = LineFit::least_squares(&xs, &ys).expect("fit");
         let weighted = LineFit::weighted_least_squares(&xs, &ys, &ws).expect("fit");
-        prop_assert!((plain.a - weighted.a).abs() < 1e-9);
-        prop_assert!((plain.b - weighted.b).abs() < 1e-9);
+        assert!((plain.a - weighted.a).abs() < 1e-9);
+        assert!((plain.b - weighted.b).abs() < 1e-9);
     }
+}
 
-    /// The fitted line passes through the (weighted) centroid.
-    #[test]
-    fn fit_passes_through_centroid(ys in prop::collection::vec(-5.0f64..5.0, 3..25)) {
-        let xs: Vec<f64> = (0..ys.len()).map(|i| i as f64).collect();
+/// The fitted line passes through the (weighted) centroid.
+#[test]
+fn fit_passes_through_centroid() {
+    let mut rng = Rng::new(0xFEED);
+    for _ in 0..128 {
+        let n = rng.usize_range(3, 25);
+        let ys = rng.vec(-5.0, 5.0, n);
+        let xs: Vec<f64> = (0..n).map(|i| i as f64).collect();
         let fit = LineFit::least_squares(&xs, &ys).expect("fit");
         let xbar = xs.iter().sum::<f64>() / xs.len() as f64;
         let ybar = ys.iter().sum::<f64>() / ys.len() as f64;
-        prop_assert!((fit.eval(xbar) - ybar).abs() < 1e-9);
+        assert!((fit.eval(xbar) - ybar).abs() < 1e-9);
     }
+}
 
-    /// LU: solving against the identity recovers matrix columns (A·A⁻¹ = I).
-    #[test]
-    fn lu_inverse_columns(n in 2usize..8, seed in any::<u64>()) {
-        let mut state = seed | 1;
-        let mut next = move || {
-            state ^= state << 13;
-            state ^= state >> 7;
-            state ^= state << 17;
-            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
-        };
+/// LU: solving against the identity recovers matrix columns (A·A⁻¹ = I).
+#[test]
+fn lu_inverse_columns() {
+    let mut rng = Rng::new(0x1DEA);
+    for _ in 0..64 {
+        let n = rng.usize_range(2, 8);
         let mut a = DenseMatrix::zeros(n, n);
         for r in 0..n {
             for c in 0..n {
-                a.set(r, c, next());
+                a.set(r, c, rng.range(-0.5, 0.5));
             }
             a.add(r, r, 2.0 * n as f64);
         }
@@ -102,7 +144,7 @@ proptest! {
             let back = a.mul_vec(&x).expect("shape");
             for (i, v) in back.iter().enumerate() {
                 let want = if i == col { 1.0 } else { 0.0 };
-                prop_assert!((v - want).abs() < 1e-9);
+                assert!((v - want).abs() < 1e-9);
             }
         }
     }

@@ -1,0 +1,248 @@
+//! Binding extracted parasitics onto a timing [`Design`].
+//!
+//! [`bind_couplings`] matches every reduced SPEF net against the design's
+//! nets by name and auto-derives the [`CouplingSpec`]s that
+//! `Sta::analyze_with_crosstalk` consumes: the victim's distributed line
+//! from its own RC totals, each aggressor's line from *its* extraction, and
+//! the per-aggressor coupling totals. This is the glue that makes the flow
+//! drivable from a netlist + SPEF pair instead of hand-written specs.
+
+use crate::ast::SpefFile;
+use crate::reduce::{reduce_spef, ReducedNet};
+use crate::SpefError;
+use nsta_sta::{CouplingSpec, Design};
+use std::collections::HashMap;
+
+/// Knobs of the SPEF-to-design binder.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BindOptions {
+    /// Thevenin resistance modeling each driver's output stage (Ω).
+    pub driver_resistance: f64,
+    /// Couplings weaker than this are dropped as electrically irrelevant
+    /// (F). Mirrors the aggressor-filtering thresholds of production SI
+    /// flows.
+    pub min_coupling: f64,
+    /// Aggressor alignment offset forwarded to every generated spec (s).
+    pub aggressor_skew: f64,
+    /// Whether aggressors switch opposite to the victim (worst case).
+    pub aggressors_oppose: bool,
+}
+
+impl Default for BindOptions {
+    fn default() -> Self {
+        BindOptions {
+            driver_resistance: 200.0,
+            min_coupling: 1e-18,
+            aggressor_skew: 0.0,
+            aggressors_oppose: true,
+        }
+    }
+}
+
+/// Why a SPEF net or coupling did not produce (part of) a spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DropReason {
+    /// The net name does not exist in the design.
+    UnknownNet,
+    /// The coupling total fell below [`BindOptions::min_coupling`].
+    BelowThreshold,
+}
+
+/// Result of binding a SPEF file onto a design.
+#[derive(Debug, Clone)]
+pub struct BoundCouplings {
+    /// One spec per victim net that survived matching, in SPEF file order.
+    pub specs: Vec<CouplingSpec>,
+    /// SPEF victim nets skipped entirely, with the reason.
+    pub skipped_victims: Vec<(String, DropReason)>,
+    /// `(victim, aggressor)` pairs dropped from otherwise-bound specs.
+    pub dropped_aggressors: Vec<(String, String, DropReason)>,
+}
+
+impl BoundCouplings {
+    /// The spec whose victim is the named design net, if any.
+    pub fn spec_for<'a>(&'a self, design: &Design, name: &str) -> Option<&'a CouplingSpec> {
+        let id = design.find_net(name)?;
+        self.specs.iter().find(|s| s.victim == id)
+    }
+}
+
+/// Matches reduced SPEF nets to design nets and derives coupling specs.
+///
+/// Victim candidates are the SPEF nets with at least one coupling
+/// capacitance. A candidate binds when its name exists in the design; each
+/// of its coupling partners becomes an aggressor when *that* name exists
+/// too and the coupling total clears `opts.min_coupling`. Aggressor wires
+/// use their own extracted line model when the partner net has a `*D_NET`
+/// section, falling back to the victim's line otherwise.
+///
+/// # Errors
+///
+/// [`SpefError::Reduction`] when a bound victim's extraction cannot form a
+/// valid line model.
+pub fn bind_couplings(
+    spef: &SpefFile,
+    design: &Design,
+    opts: &BindOptions,
+) -> Result<BoundCouplings, SpefError> {
+    let reduced = reduce_spef(spef);
+    let by_name: HashMap<&str, &ReducedNet> =
+        reduced.iter().map(|r| (r.name.as_str(), r)).collect();
+
+    let mut specs = Vec::new();
+    let mut skipped_victims = Vec::new();
+    let mut dropped_aggressors = Vec::new();
+
+    for net in &reduced {
+        if net.couplings.is_empty() {
+            continue; // uncoupled nets need no SI treatment
+        }
+        let Some(victim) = design.find_net(&net.name) else {
+            skipped_victims.push((net.name.clone(), DropReason::UnknownNet));
+            continue;
+        };
+        let victim_line = net.to_line_spec()?;
+
+        let mut aggressors = Vec::new();
+        let mut aggressor_lines = Vec::new();
+        let mut cms = Vec::new();
+        // Couplings to dropped partners still load the victim: their
+        // quiet drivers ground the caps, exactly like window-pruned
+        // aggressors in the SI analysis.
+        let mut quiet_cm = 0.0;
+        for (partner, &cm) in &net.couplings {
+            if cm < opts.min_coupling {
+                quiet_cm += cm;
+                dropped_aggressors.push((
+                    net.name.clone(),
+                    partner.clone(),
+                    DropReason::BelowThreshold,
+                ));
+                continue;
+            }
+            let Some(agg) = design.find_net(partner) else {
+                quiet_cm += cm;
+                dropped_aggressors.push((
+                    net.name.clone(),
+                    partner.clone(),
+                    DropReason::UnknownNet,
+                ));
+                continue;
+            };
+            let line = match by_name.get(partner.as_str()) {
+                Some(r) => r.to_line_spec()?,
+                None => victim_line,
+            };
+            aggressors.push(agg);
+            aggressor_lines.push(line);
+            cms.push(cm);
+        }
+        if aggressors.is_empty() {
+            skipped_victims.push((net.name.clone(), DropReason::BelowThreshold));
+            continue;
+        }
+
+        let cm_total: f64 = cms.iter().sum();
+        let mut spec = CouplingSpec::new(victim, aggressors, cm_total, victim_line);
+        spec.cm_per_aggressor = cms;
+        spec.aggressor_lines = aggressor_lines;
+        spec.quiet_cm = quiet_cm;
+        // The extraction's own receiver pin load, when the *CONN section
+        // carried one, overrides the library-derived fanout load.
+        if net.pin_load > 0.0 {
+            spec.receiver_load = Some(net.pin_load);
+        }
+        spec.driver_resistance = opts.driver_resistance;
+        spec.aggressor_skew = opts.aggressor_skew;
+        spec.aggressors_oppose = opts.aggressors_oppose;
+        specs.push(spec);
+    }
+    Ok(BoundCouplings {
+        specs,
+        skipped_victims,
+        dropped_aggressors,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_spef;
+
+    fn design() -> Design {
+        let mut d = Design::new("m");
+        let a = d.net("a");
+        let v = d.net("v");
+        let g = d.net("g");
+        let y = d.net("y");
+        d.mark_input(a);
+        d.mark_output(y);
+        let _ = (v, g);
+        d
+    }
+
+    fn spef() -> SpefFile {
+        parse_spef(
+            "*C_UNIT 1 FF\n*R_UNIT 1 OHM\n*NAME_MAP\n*1 v\n*2 g\n*3 phantom\n\
+             *D_NET *1 120.0\n\
+             *CAP\n1 *1:1 20.0\n2 *1:1 *2:1 60.0\n3 *1:2 *3:1 39.0\n4 *1:2 *2:2 0.0005\n\
+             *RES\n1 *1 *1:1 10.0\n2 *1:1 *1:2 10.0\n*END\n\
+             *D_NET *2 30.0\n*CAP\n1 *2:1 30.0\n*RES\n1 *2 *2:1 4.0\n*END\n",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn binds_matching_nets_and_drops_the_rest() {
+        let d = design();
+        let opts = BindOptions {
+            min_coupling: 1e-18,
+            ..BindOptions::default()
+        };
+        let bound = bind_couplings(&spef(), &d, &opts).unwrap();
+        assert_eq!(bound.specs.len(), 1);
+        let spec = bound.spec_for(&d, "v").unwrap();
+        assert_eq!(spec.aggressors, vec![d.find_net("g").unwrap()]);
+        // Both v→g couplings summed: 60 fF + 0.0005 fF.
+        assert!((spec.cm_per_aggressor[0] - 60.0005e-15).abs() < 1e-24);
+        // The phantom partner's 39 fF still loads the victim as quiet
+        // grounded capacitance.
+        assert!((spec.quiet_cm - 39e-15).abs() < 1e-27);
+        // The aggressor's own extraction supplies its line model.
+        assert!((spec.aggressor_lines[0].r_total - 4.0).abs() < 1e-12);
+        assert!((spec.line.r_total - 20.0).abs() < 1e-12);
+        // The phantom partner is reported, not silently ignored.
+        assert!(bound
+            .dropped_aggressors
+            .iter()
+            .any(|(v, a, r)| v == "v" && a == "phantom" && *r == DropReason::UnknownNet));
+    }
+
+    #[test]
+    fn threshold_prunes_weak_couplings() {
+        let d = design();
+        let opts = BindOptions {
+            min_coupling: 70e-15,
+            ..BindOptions::default()
+        };
+        let bound = bind_couplings(&spef(), &d, &opts).unwrap();
+        // 60.0005 fF to g falls below 70 fF: no aggressors remain.
+        assert!(bound.specs.is_empty());
+        assert!(bound
+            .skipped_victims
+            .iter()
+            .any(|(n, r)| n == "v" && *r == DropReason::BelowThreshold));
+    }
+
+    #[test]
+    fn unknown_victims_are_reported() {
+        let mut d = Design::new("m");
+        d.net("unrelated");
+        let bound = bind_couplings(&spef(), &d, &BindOptions::default()).unwrap();
+        assert!(bound.specs.is_empty());
+        assert!(bound
+            .skipped_victims
+            .iter()
+            .any(|(n, r)| n == "v" && *r == DropReason::UnknownNet));
+    }
+}

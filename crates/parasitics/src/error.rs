@@ -1,0 +1,59 @@
+use std::fmt;
+
+/// Error type for SPEF lexing, parsing, reduction and design binding.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpefError {
+    /// Lexical error with a 1-based line number.
+    Lex {
+        /// Line of the offending character.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// Parse error with a 1-based line number.
+    Parse {
+        /// Line of the offending token.
+        line: usize,
+        /// What the parser expected/found.
+        message: String,
+    },
+    /// The file was syntactically valid SPEF but semantically unusable
+    /// (unknown name-map index, bad unit, duplicate net section…).
+    Semantic(String),
+    /// RC reduction produced an electrically invalid line model.
+    Reduction(String),
+    /// Binding the extracted nets onto a design failed.
+    Bind(String),
+    /// Constructing circuit-level specs failed.
+    Circuit(nsta_circuit::CircuitError),
+}
+
+impl fmt::Display for SpefError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpefError::Lex { line, message } => write!(f, "lex error at line {line}: {message}"),
+            SpefError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            SpefError::Semantic(m) => write!(f, "semantic error: {m}"),
+            SpefError::Reduction(m) => write!(f, "reduction error: {m}"),
+            SpefError::Bind(m) => write!(f, "bind error: {m}"),
+            SpefError::Circuit(e) => write!(f, "circuit failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SpefError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SpefError::Circuit(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<nsta_circuit::CircuitError> for SpefError {
+    fn from(e: nsta_circuit::CircuitError) -> Self {
+        SpefError::Circuit(e)
+    }
+}

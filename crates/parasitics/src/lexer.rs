@@ -1,0 +1,288 @@
+//! SPEF tokenizer.
+//!
+//! SPEF (IEEE 1481) is whitespace-separated: every construct is a sequence
+//! of keywords (`*D_NET`, `*CAP`, …), name-map references (`*12`, possibly
+//! with a `:node` tail), quoted strings, numbers and identifiers. Comments
+//! run `//` to end of line.
+
+use crate::SpefError;
+
+/// One lexical token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Token payload.
+    pub kind: TokenKind,
+    /// 1-based line the token started on.
+    pub line: usize,
+}
+
+/// Token payloads.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// A starred keyword such as `*D_NET` (stored without the `*`).
+    Keyword(String),
+    /// A name-map reference `*12`, optionally with a node tail `*12:3`.
+    IndexRef(u64, Option<String>),
+    /// A double-quoted string (stored without the quotes).
+    QString(String),
+    /// A number (SPEF numbers are plain floats).
+    Number(f64),
+    /// Any other word: net names, pin names, punctuation directives.
+    Ident(String),
+}
+
+impl TokenKind {
+    /// Short human-readable description for error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Keyword(k) => format!("*{k}"),
+            TokenKind::IndexRef(i, Some(tail)) => format!("*{i}:{tail}"),
+            TokenKind::IndexRef(i, None) => format!("*{i}"),
+            TokenKind::QString(s) => format!("\"{s}\""),
+            TokenKind::Number(v) => format!("{v}"),
+            TokenKind::Ident(s) => s.clone(),
+        }
+    }
+}
+
+/// Characters that may appear inside an unquoted SPEF word.
+fn is_word_char(c: char) -> bool {
+    !c.is_whitespace() && c != '"' && c != '*'
+}
+
+/// Tokenizes SPEF text.
+///
+/// # Errors
+///
+/// [`SpefError::Lex`] on unterminated strings and malformed `*` constructs.
+pub fn tokenize(text: &str) -> Result<Vec<Token>, SpefError> {
+    let mut tokens = Vec::new();
+    let mut chars = text.chars().peekable();
+    let mut line = 1usize;
+
+    while let Some(&c) = chars.peek() {
+        match c {
+            '\n' => {
+                line += 1;
+                chars.next();
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '/' => {
+                // `//` comment, or a bare divider character in directives.
+                chars.next();
+                if chars.peek() == Some(&'/') {
+                    for nc in chars.by_ref() {
+                        if nc == '\n' {
+                            line += 1;
+                            break;
+                        }
+                    }
+                } else {
+                    tokens.push(Token {
+                        kind: TokenKind::Ident("/".into()),
+                        line,
+                    });
+                }
+            }
+            '"' => {
+                chars.next();
+                let start_line = line;
+                let mut s = String::new();
+                loop {
+                    match chars.next() {
+                        Some('"') => break,
+                        Some('\n') => {
+                            line += 1;
+                            s.push('\n');
+                        }
+                        Some(nc) => s.push(nc),
+                        None => {
+                            return Err(SpefError::Lex {
+                                line: start_line,
+                                message: "unterminated string".into(),
+                            })
+                        }
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokenKind::QString(s),
+                    line: start_line,
+                });
+            }
+            '*' => {
+                chars.next();
+                let mut word = String::new();
+                while let Some(&nc) = chars.peek() {
+                    if is_word_char(nc) {
+                        word.push(nc);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                if word.is_empty() {
+                    return Err(SpefError::Lex {
+                        line,
+                        message: "bare '*'".into(),
+                    });
+                }
+                let kind = if word.chars().next().is_some_and(|d| d.is_ascii_digit()) {
+                    // `*12` or `*12<delim>node` — a name-map reference.
+                    // The delimiter is whatever single punctuation char the
+                    // header declared (the lexer cannot see `*DELIMITER`,
+                    // so it accepts any non-alphanumeric separator).
+                    let digits_end = word
+                        .find(|c: char| !c.is_ascii_digit())
+                        .unwrap_or(word.len());
+                    let index = word[..digits_end]
+                        .parse::<u64>()
+                        .map_err(|_| SpefError::Lex {
+                            line,
+                            message: format!("malformed name-map reference *{word}"),
+                        })?;
+                    let tail = match &word[digits_end..] {
+                        "" => None,
+                        rest => {
+                            let mut chars = rest.chars();
+                            let sep = chars.next().expect("non-empty rest");
+                            let tail = chars.as_str();
+                            if sep.is_alphanumeric() || tail.is_empty() {
+                                return Err(SpefError::Lex {
+                                    line,
+                                    message: format!("malformed name-map reference *{word}"),
+                                });
+                            }
+                            Some(tail.to_string())
+                        }
+                    };
+                    TokenKind::IndexRef(index, tail)
+                } else {
+                    TokenKind::Keyword(word)
+                };
+                tokens.push(Token { kind, line });
+            }
+            _ => {
+                let mut word = String::new();
+                while let Some(&nc) = chars.peek() {
+                    if is_word_char(nc) && nc != '/' {
+                        word.push(nc);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                // Hierarchy dividers join a word: `top/u1:A`.
+                while chars.peek() == Some(&'/') {
+                    let mut lookahead = chars.clone();
+                    lookahead.next();
+                    if lookahead.peek() == Some(&'/') {
+                        break; // start of a comment
+                    }
+                    word.push('/');
+                    chars.next();
+                    while let Some(&nc) = chars.peek() {
+                        if is_word_char(nc) && nc != '/' {
+                            word.push(nc);
+                            chars.next();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                let kind = match word.parse::<f64>() {
+                    Ok(v) => TokenKind::Number(v),
+                    Err(_) => TokenKind::Ident(word),
+                };
+                tokens.push(Token { kind, line });
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(text: &str) -> Vec<TokenKind> {
+        tokenize(text)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn keywords_refs_numbers_and_idents() {
+        let k = kinds("*D_NET *1 0.5\n*CONN\n*I u1:Y O *D INVX1");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Keyword("D_NET".into()),
+                TokenKind::IndexRef(1, None),
+                TokenKind::Number(0.5),
+                TokenKind::Keyword("CONN".into()),
+                TokenKind::Keyword("I".into()),
+                TokenKind::Ident("u1:Y".into()),
+                TokenKind::Ident("O".into()),
+                TokenKind::Keyword("D".into()),
+                TokenKind::Ident("INVX1".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn index_refs_carry_node_tails() {
+        assert_eq!(
+            kinds("*12:4"),
+            vec![TokenKind::IndexRef(12, Some("4".into()))]
+        );
+        // Non-colon delimiters (declared via *DELIMITER) must lex too.
+        assert_eq!(
+            kinds("*12.4"),
+            vec![TokenKind::IndexRef(12, Some("4".into()))]
+        );
+        assert_eq!(
+            kinds("*7|A"),
+            vec![TokenKind::IndexRef(7, Some("A".into()))]
+        );
+    }
+
+    #[test]
+    fn comments_and_strings() {
+        let k = kinds("*DESIGN \"top\" // trailing comment\n*DIVIDER /");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Keyword("DESIGN".into()),
+                TokenKind::QString("top".into()),
+                TokenKind::Keyword("DIVIDER".into()),
+                TokenKind::Ident("/".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn hierarchical_names_join_across_dividers() {
+        assert_eq!(kinds("top/u1:A"), vec![TokenKind::Ident("top/u1:A".into())]);
+    }
+
+    #[test]
+    fn lines_are_tracked() {
+        let toks = tokenize("*CAP\n1 n1 0.5").unwrap();
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+    }
+
+    #[test]
+    fn lex_errors() {
+        assert!(matches!(
+            tokenize("\"unterminated"),
+            Err(SpefError::Lex { .. })
+        ));
+        assert!(matches!(tokenize("* "), Err(SpefError::Lex { .. })));
+        assert!(matches!(tokenize("*9zz"), Err(SpefError::Lex { .. })));
+    }
+}

@@ -1,0 +1,569 @@
+//! Recursive-descent parser for the SPEF subset used by the workspace:
+//! header directives, units, the name map, `*PORTS` and `*D_NET` RC
+//! sections (`*CONN`, `*CAP` with ground and coupling entries, `*RES`).
+//!
+//! Unsupported constructs (`*INDUC`, `*R_NET`, `*C_NET`, attribute cruft)
+//! are skipped where harmless or rejected with a positioned error.
+
+use crate::ast::{
+    CapElem, Conn, ConnDirection, ConnKind, DNet, ResElem, SpefFile, SpefNode, Units,
+};
+use crate::lexer::{tokenize, Token, TokenKind};
+use crate::SpefError;
+use std::collections::HashMap;
+
+/// Parses SPEF text into a [`SpefFile`].
+///
+/// # Errors
+///
+/// [`SpefError::Lex`] / [`SpefError::Parse`] with 1-based line positions,
+/// or [`SpefError::Semantic`] for valid syntax the model cannot express
+/// (duplicate nets, unknown name-map indices, bad units).
+pub fn parse_spef(text: &str) -> Result<SpefFile, SpefError> {
+    Parser::new(tokenize(text)?).file()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    name_map: HashMap<u64, String>,
+    delimiter: char,
+}
+
+impl Parser {
+    fn new(tokens: Vec<Token>) -> Self {
+        Parser {
+            tokens,
+            pos: 0,
+            name_map: HashMap::new(),
+            delimiter: ':',
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenKind> {
+        self.tokens.get(self.pos).map(|t| &t.kind)
+    }
+
+    fn line(&self) -> usize {
+        self.tokens
+            .get(self.pos.min(self.tokens.len().saturating_sub(1)))
+            .map_or(0, |t| t.line)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, message: impl Into<String>) -> SpefError {
+        SpefError::Parse {
+            line: self.line(),
+            message: message.into(),
+        }
+    }
+
+    fn expect_number(&mut self, what: &str) -> Result<f64, SpefError> {
+        match self.next().map(|t| t.kind) {
+            Some(TokenKind::Number(v)) => Ok(v),
+            other => Err(SpefError::Parse {
+                line: self.line(),
+                message: format!(
+                    "expected {what}, found {}",
+                    other.map_or("end of file".into(), |k| k.describe())
+                ),
+            }),
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<String, SpefError> {
+        match self.next().map(|t| t.kind) {
+            Some(TokenKind::Ident(s)) => Ok(s),
+            other => Err(SpefError::Parse {
+                line: self.line(),
+                message: format!(
+                    "expected {what}, found {}",
+                    other.map_or("end of file".into(), |k| k.describe())
+                ),
+            }),
+        }
+    }
+
+    /// Resolves a name-map index to its mapped name.
+    fn resolve(&self, index: u64) -> Result<&str, SpefError> {
+        self.name_map
+            .get(&index)
+            .map(String::as_str)
+            .ok_or_else(|| SpefError::Semantic(format!("unknown name-map index *{index}")))
+    }
+
+    /// Parses a node: an index reference (`*12`, `*12:3`) or an identifier
+    /// (`net`, `net:3`, `u1:A`).
+    fn node(&mut self, what: &str) -> Result<SpefNode, SpefError> {
+        match self.next().map(|t| t.kind) {
+            Some(TokenKind::IndexRef(i, tail)) => {
+                let base = self.resolve(i)?.to_string();
+                Ok(SpefNode { base, tail })
+            }
+            Some(TokenKind::Ident(s)) => Ok(self.split_ident(&s)),
+            other => Err(SpefError::Parse {
+                line: self.line(),
+                message: format!(
+                    "expected {what}, found {}",
+                    other.map_or("end of file".into(), |k| k.describe())
+                ),
+            }),
+        }
+    }
+
+    /// Splits `base<delim>tail` on the *last* delimiter occurrence.
+    fn split_ident(&self, s: &str) -> SpefNode {
+        match s.rfind(self.delimiter) {
+            Some(k) if k > 0 && k + 1 < s.len() => SpefNode {
+                base: s[..k].to_string(),
+                tail: Some(s[k + 1..].to_string()),
+            },
+            _ => SpefNode::net(s),
+        }
+    }
+
+    /// Parses a unit directive payload: `<number> <suffix>`.
+    fn unit(&mut self, scales: &[(&str, f64)], what: &str) -> Result<f64, SpefError> {
+        let mult = self.expect_number(what)?;
+        let suffix = self.expect_ident(what)?.to_ascii_uppercase();
+        let scale = scales
+            .iter()
+            .find(|(name, _)| *name == suffix)
+            .map(|&(_, s)| s)
+            .ok_or_else(|| SpefError::Semantic(format!("unknown {what} suffix {suffix}")))?;
+        if !(mult > 0.0 && mult.is_finite()) {
+            return Err(SpefError::Semantic(format!(
+                "non-positive {what} multiplier {mult}"
+            )));
+        }
+        Ok(mult * scale)
+    }
+
+    fn file(&mut self) -> Result<SpefFile, SpefError> {
+        let mut design = String::new();
+        let mut divider = '/';
+        let mut units = Units::default();
+        let mut ports = Vec::new();
+        let mut nets: Vec<DNet> = Vec::new();
+
+        while let Some(tok) = self.next() {
+            let TokenKind::Keyword(kw) = tok.kind else {
+                return Err(SpefError::Parse {
+                    line: tok.line,
+                    message: format!("expected a directive, found {}", tok.kind.describe()),
+                });
+            };
+            match kw.as_str() {
+                // String-payload header directives we keep or skip.
+                "SPEF" | "DATE" | "VENDOR" | "PROGRAM" | "VERSION" | "DESIGN_FLOW" => {
+                    // Optional payload: one or more strings.
+                    while matches!(self.peek(), Some(TokenKind::QString(_))) {
+                        self.next();
+                    }
+                }
+                "DESIGN" => match self.next().map(|t| t.kind) {
+                    Some(TokenKind::QString(s)) => design = s,
+                    Some(TokenKind::Ident(s)) => design = s,
+                    _ => return Err(self.err("expected design name")),
+                },
+                "DIVIDER" => {
+                    let s = self.expect_ident("divider character")?;
+                    divider = s.chars().next().unwrap_or('/');
+                }
+                "DELIMITER" => {
+                    let s = self.expect_ident("delimiter character")?;
+                    self.delimiter = s.chars().next().unwrap_or(':');
+                }
+                "BUS_DELIMITER" => {
+                    // One or two punctuation idents; consume greedily.
+                    while matches!(self.peek(), Some(TokenKind::Ident(s)) if s.len() == 1) {
+                        self.next();
+                    }
+                }
+                "T_UNIT" => {
+                    units.time = self.unit(
+                        &[
+                            ("S", 1.0),
+                            ("MS", 1e-3),
+                            ("US", 1e-6),
+                            ("NS", 1e-9),
+                            ("PS", 1e-12),
+                        ],
+                        "time unit",
+                    )?;
+                }
+                "C_UNIT" => {
+                    units.capacitance = self.unit(
+                        &[
+                            ("F", 1.0),
+                            ("UF", 1e-6),
+                            ("NF", 1e-9),
+                            ("PF", 1e-12),
+                            ("FF", 1e-15),
+                        ],
+                        "capacitance unit",
+                    )?;
+                }
+                "R_UNIT" => {
+                    units.resistance = self.unit(
+                        &[("OHM", 1.0), ("KOHM", 1e3), ("MOHM", 1e6)],
+                        "resistance unit",
+                    )?;
+                }
+                "L_UNIT" => {
+                    units.inductance = self.unit(
+                        &[("HENRY", 1.0), ("MH", 1e-3), ("UH", 1e-6)],
+                        "inductance unit",
+                    )?;
+                }
+                "NAME_MAP" => self.name_map_section()?,
+                "PORTS" => self.ports_section(&mut ports, &units)?,
+                "GROUND_NETS" | "POWER_NETS" => {
+                    // A list of net names; irrelevant to RC reduction here.
+                    while matches!(
+                        self.peek(),
+                        Some(TokenKind::Ident(_)) | Some(TokenKind::IndexRef(_, _))
+                    ) {
+                        self.next();
+                    }
+                }
+                "D_NET" => {
+                    let net = self.d_net(&units)?;
+                    if nets.iter().any(|n| n.name == net.name) {
+                        return Err(SpefError::Semantic(format!(
+                            "duplicate *D_NET section for net {}",
+                            net.name
+                        )));
+                    }
+                    nets.push(net);
+                }
+                other => {
+                    return Err(SpefError::Parse {
+                        line: tok.line,
+                        message: format!("unsupported directive *{other}"),
+                    })
+                }
+            }
+        }
+        Ok(SpefFile {
+            design,
+            divider,
+            delimiter: self.delimiter,
+            units,
+            ports,
+            nets,
+        })
+    }
+
+    fn name_map_section(&mut self) -> Result<(), SpefError> {
+        // Pairs of `*<index> <name>` until the next non-index token.
+        while let Some(TokenKind::IndexRef(i, tail)) = self.peek().cloned() {
+            self.next();
+            if tail.is_some() {
+                return Err(self.err("name-map index must not carry a node tail"));
+            }
+            let name = self.expect_ident("mapped name")?;
+            if self.name_map.insert(i, name).is_some() {
+                return Err(SpefError::Semantic(format!(
+                    "duplicate name-map index *{i}"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    fn direction(&mut self) -> Result<ConnDirection, SpefError> {
+        let s = self.expect_ident("direction (I/O/B)")?;
+        match s.as_str() {
+            "I" => Ok(ConnDirection::Input),
+            "O" => Ok(ConnDirection::Output),
+            "B" => Ok(ConnDirection::Bidirectional),
+            other => Err(self.err(format!("bad direction {other}"))),
+        }
+    }
+
+    fn ports_section(&mut self, ports: &mut Vec<Conn>, units: &Units) -> Result<(), SpefError> {
+        loop {
+            match self.peek() {
+                Some(TokenKind::IndexRef(_, _)) | Some(TokenKind::Ident(_)) => {
+                    let node = self.node("port name")?;
+                    let direction = self.direction()?;
+                    let mut conn = Conn {
+                        kind: ConnKind::Port,
+                        node,
+                        direction,
+                        load: None,
+                        driver_cell: None,
+                    };
+                    self.conn_attributes(&mut conn, units.capacitance)?;
+                    ports.push(conn);
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    /// Consumes `*C`, `*L`, `*S`, `*D` attributes following a conn entry.
+    /// `cap_scale` converts `*L` loads to farads.
+    fn conn_attributes(&mut self, conn: &mut Conn, cap_scale: f64) -> Result<(), SpefError> {
+        loop {
+            match self.peek() {
+                Some(TokenKind::Keyword(k)) if k == "C" => {
+                    self.next();
+                    self.expect_number("x coordinate")?;
+                    self.expect_number("y coordinate")?;
+                }
+                Some(TokenKind::Keyword(k)) if k == "L" => {
+                    self.next();
+                    conn.load = Some(self.expect_number("pin load")? * cap_scale);
+                }
+                Some(TokenKind::Keyword(k)) if k == "S" => {
+                    self.next();
+                    self.expect_number("slew 1")?;
+                    self.expect_number("slew 2")?;
+                }
+                Some(TokenKind::Keyword(k)) if k == "D" => {
+                    self.next();
+                    conn.driver_cell = Some(self.expect_ident("driving cell")?);
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn d_net(&mut self, units: &Units) -> Result<DNet, SpefError> {
+        let name = self.node("net name")?;
+        if name.tail.is_some() {
+            return Err(self.err(format!("*D_NET name {name} must be a net, not a node")));
+        }
+        let total_cap = self.expect_number("total capacitance")? * units.capacitance;
+        let mut net = DNet {
+            name: name.base,
+            total_cap,
+            conns: Vec::new(),
+            caps: Vec::new(),
+            ress: Vec::new(),
+        };
+        loop {
+            match self.next().map(|t| t.kind) {
+                Some(TokenKind::Keyword(k)) => match k.as_str() {
+                    "CONN" => self.conn_section(&mut net, units)?,
+                    "CAP" => self.cap_section(&mut net, units)?,
+                    "RES" => self.res_section(&mut net, units)?,
+                    "END" => return Ok(net),
+                    other => return Err(self.err(format!("unsupported *D_NET section *{other}"))),
+                },
+                other => {
+                    return Err(self.err(format!(
+                        "expected a *D_NET section keyword, found {}",
+                        other.map_or("end of file".into(), |kk| kk.describe())
+                    )))
+                }
+            }
+        }
+    }
+
+    fn conn_section(&mut self, net: &mut DNet, units: &Units) -> Result<(), SpefError> {
+        loop {
+            let kind = match self.peek() {
+                Some(TokenKind::Keyword(k)) if k == "P" => ConnKind::Port,
+                Some(TokenKind::Keyword(k)) if k == "I" => ConnKind::Internal,
+                _ => return Ok(()),
+            };
+            self.next();
+            let node = self.node("connection pin")?;
+            let direction = self.direction()?;
+            let mut conn = Conn {
+                kind,
+                node,
+                direction,
+                load: None,
+                driver_cell: None,
+            };
+            self.conn_attributes(&mut conn, units.capacitance)?;
+            net.conns.push(conn);
+        }
+    }
+
+    fn cap_section(&mut self, net: &mut DNet, units: &Units) -> Result<(), SpefError> {
+        while let Some(TokenKind::Number(id)) = self.peek().cloned() {
+            self.next();
+            let a = self.node("capacitor node")?;
+            // A second node token makes this a coupling capacitor.
+            let b = match self.peek() {
+                Some(TokenKind::IndexRef(_, _)) | Some(TokenKind::Ident(_)) => {
+                    Some(self.node("coupled node")?)
+                }
+                _ => None,
+            };
+            let value = self.expect_number("capacitance value")? * units.capacitance;
+            net.caps.push(CapElem {
+                id: id as u64,
+                a,
+                b,
+                value,
+            });
+        }
+        Ok(())
+    }
+
+    fn res_section(&mut self, net: &mut DNet, units: &Units) -> Result<(), SpefError> {
+        while let Some(TokenKind::Number(id)) = self.peek().cloned() {
+            self.next();
+            let a = self.node("resistor node")?;
+            let b = self.node("resistor node")?;
+            let value = self.expect_number("resistance value")? * units.resistance;
+            net.ress.push(ResElem {
+                id: id as u64,
+                a,
+                b,
+                value,
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SMALL: &str = r#"
+*SPEF "IEEE 1481-1998"
+*DESIGN "coupled_pair"
+*DATE "Fri Jul 31 2026"
+*VENDOR "noisy-sta"
+*PROGRAM "handwritten"
+*VERSION "1.0"
+*DESIGN_FLOW "TEST"
+*DIVIDER /
+*DELIMITER :
+*BUS_DELIMITER [ ]
+*T_UNIT 1 NS
+*C_UNIT 1 FF
+*R_UNIT 1 OHM
+*L_UNIT 1 HENRY
+
+*NAME_MAP
+*1 v
+*2 g
+
+*D_NET *1 148.8
+*CONN
+*I u1:Y O *D INVX1
+*I u2:A I *L 5.2 *C 10.0 20.0
+*CAP
+1 *1:1 14.4
+2 *1:2 14.4
+3 *1:3 14.4
+4 *1:1 *2:1 33.0
+5 *1:2 *2:2 33.0
+6 *1:3 *2:3 34.0
+*RES
+1 *1 *1:1 8.5
+2 *1:1 *1:2 8.5
+3 *1:2 *1:3 8.5
+*END
+
+*D_NET *2 43.2
+*CONN
+*I u3:Y O *D INVX1
+*I u4:A I *L 5.2
+*CAP
+1 *2:1 14.4
+2 *2:2 14.4
+3 *2:3 14.4
+*RES
+1 *2 *2:1 8.5
+2 *2:1 *2:2 8.5
+3 *2:2 *2:3 8.5
+*END
+"#;
+
+    #[test]
+    fn parses_the_small_file() {
+        let spef = parse_spef(SMALL).unwrap();
+        assert_eq!(spef.design, "coupled_pair");
+        assert_eq!(spef.nets.len(), 2);
+        let v = spef.net("v").unwrap();
+        assert!((v.total_cap - 148.8e-15).abs() < 1e-20);
+        assert_eq!(v.conns.len(), 2);
+        assert_eq!(v.conns[0].driver_cell.as_deref(), Some("INVX1"));
+        assert!((v.conns[1].load.unwrap() - 5.2e-15).abs() < 1e-22);
+        assert_eq!(v.caps.len(), 6);
+        assert_eq!(v.caps.iter().filter(|c| c.is_coupling()).count(), 3);
+        assert!((v.ground_cap() - 3.0 * 14.4e-15).abs() < 1e-20);
+        assert!((v.coupling_cap() - 100e-15).abs() < 1e-20);
+        assert!((v.total_resistance() - 25.5).abs() < 1e-12);
+        // Coupling partners resolve through the name map.
+        let partner = v.caps.iter().find(|c| c.is_coupling()).unwrap();
+        assert_eq!(partner.b.as_ref().unwrap().base, "g");
+    }
+
+    #[test]
+    fn units_scale_values() {
+        let spef = parse_spef(
+            "*T_UNIT 1 PS\n*C_UNIT 1 PF\n*R_UNIT 1 KOHM\n\
+             *D_NET n 0.5\n*RES\n1 n n:1 2.0\n*CAP\n1 n:1 0.5\n*END",
+        )
+        .unwrap();
+        let n = spef.net("n").unwrap();
+        assert!((n.total_cap - 0.5e-12).abs() < 1e-24);
+        assert!((n.total_resistance() - 2000.0).abs() < 1e-9);
+        assert!((n.ground_cap() - 0.5e-12).abs() < 1e-24);
+        assert!((spef.units.time - 1e-12).abs() < 1e-24);
+    }
+
+    #[test]
+    fn cap_and_res_sections_may_swap_order() {
+        let spef = parse_spef("*D_NET n 1.0\n*CAP\n1 n:1 1.0\n*RES\n1 n n:1 5.0\n*END").unwrap();
+        assert_eq!(spef.nets.len(), 1);
+    }
+
+    #[test]
+    fn unknown_map_index_is_semantic_error() {
+        assert!(matches!(
+            parse_spef("*D_NET *9 1.0\n*END"),
+            Err(SpefError::Semantic(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_net_sections_rejected() {
+        assert!(matches!(
+            parse_spef("*D_NET n 1.0\n*END\n*D_NET n 1.0\n*END"),
+            Err(SpefError::Semantic(_))
+        ));
+    }
+
+    #[test]
+    fn unterminated_net_section_is_parse_error() {
+        assert!(matches!(
+            parse_spef("*D_NET n 1.0\n*CAP\n1 n:1 1.0"),
+            Err(SpefError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_unit_suffix_rejected() {
+        assert!(matches!(
+            parse_spef("*C_UNIT 1 LITERS"),
+            Err(SpefError::Semantic(_))
+        ));
+    }
+
+    #[test]
+    fn ports_section_parses() {
+        let spef = parse_spef("*NAME_MAP\n*1 a\n*PORTS\n*1 I *C 0.0 1.0\nb O").unwrap();
+        assert_eq!(spef.ports.len(), 2);
+        assert_eq!(spef.ports[0].node.base, "a");
+        assert_eq!(spef.ports[1].direction, ConnDirection::Output);
+    }
+}

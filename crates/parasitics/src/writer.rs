@@ -1,0 +1,129 @@
+//! Canonical SPEF serialization.
+//!
+//! [`write_spef`] emits a parsed (or programmatically built) [`SpefFile`]
+//! back as SPEF text. The output is *canonical*: SI units (`*C_UNIT 1 F`,
+//! `*R_UNIT 1 OHM`, `*T_UNIT 1 S`), resolved names (no name map), sections
+//! in fixed order. Because Rust formats floats as the shortest string that
+//! round-trips and the SI unit scale is exactly 1.0, `parse ∘ write` is the
+//! identity on the model — the invariant the golden-file tests rely on.
+
+use crate::ast::{Conn, DNet, SpefFile};
+use std::fmt::Write as _;
+
+fn push_conn(out: &mut String, conn: &Conn, kw: &str) {
+    let _ = write!(out, "{kw} {} {}", conn.node, conn.direction.letter());
+    if let Some(load) = conn.load {
+        let _ = write!(out, " *L {load}");
+    }
+    if let Some(cell) = &conn.driver_cell {
+        let _ = write!(out, " *D {cell}");
+    }
+    out.push('\n');
+}
+
+fn push_net(out: &mut String, net: &DNet) {
+    let _ = writeln!(out, "*D_NET {} {}", net.name, net.total_cap);
+    if !net.conns.is_empty() {
+        out.push_str("*CONN\n");
+        for conn in &net.conns {
+            let kw = match conn.kind {
+                crate::ast::ConnKind::Port => "*P",
+                crate::ast::ConnKind::Internal => "*I",
+            };
+            push_conn(out, conn, kw);
+        }
+    }
+    if !net.caps.is_empty() {
+        out.push_str("*CAP\n");
+        for cap in &net.caps {
+            match &cap.b {
+                Some(b) => {
+                    let _ = writeln!(out, "{} {} {} {}", cap.id, cap.a, b, cap.value);
+                }
+                None => {
+                    let _ = writeln!(out, "{} {} {}", cap.id, cap.a, cap.value);
+                }
+            }
+        }
+    }
+    if !net.ress.is_empty() {
+        out.push_str("*RES\n");
+        for res in &net.ress {
+            let _ = writeln!(out, "{} {} {} {}", res.id, res.a, res.b, res.value);
+        }
+    }
+    out.push_str("*END\n");
+}
+
+/// Serializes `spef` as canonical SPEF text (SI units, resolved names).
+pub fn write_spef(spef: &SpefFile) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "*SPEF \"IEEE 1481-1998\"");
+    let _ = writeln!(out, "*DESIGN \"{}\"", spef.design);
+    let _ = writeln!(out, "*DIVIDER {}", spef.divider);
+    // Nodes are serialized by `SpefNode`'s Display, which always uses ':'.
+    // Emit the matching delimiter regardless of the source file's choice —
+    // canonicalized exactly like the units above — so re-parsing splits
+    // node names correctly.
+    out.push_str("*DELIMITER :\n");
+    out.push_str("*T_UNIT 1 S\n*C_UNIT 1 F\n*R_UNIT 1 OHM\n*L_UNIT 1 HENRY\n");
+    if !spef.ports.is_empty() {
+        out.push_str("\n*PORTS\n");
+        for port in &spef.ports {
+            // Port entries have no leading keyword in the *PORTS section.
+            let line_start = out.len();
+            push_conn(&mut out, port, "");
+            // Trim the placeholder keyword's leading space.
+            out.replace_range(line_start..line_start + 1, "");
+        }
+    }
+    for net in &spef.nets {
+        out.push('\n');
+        push_net(&mut out, net);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_spef;
+
+    #[test]
+    fn round_trips_through_the_parser() {
+        let src = "*DESIGN \"t\"\n*C_UNIT 1 FF\n*R_UNIT 1 OHM\n\
+                   *NAME_MAP\n*1 v\n*2 g\n\
+                   *D_NET *1 10.0\n*CONN\n*I u1:Y O *D INVX1\n\
+                   *CAP\n1 *1:1 4.0\n2 *1:1 *2:1 6.0\n\
+                   *RES\n1 *1 *1:1 8.5\n*END\n";
+        let first = parse_spef(src).unwrap();
+        let text = write_spef(&first);
+        let second = parse_spef(&text).unwrap();
+        assert_eq!(first.nets, second.nets);
+        assert_eq!(first.design, second.design);
+        // Canonical output is a fixed point of write ∘ parse.
+        assert_eq!(text, write_spef(&second));
+    }
+
+    #[test]
+    fn non_colon_delimiter_round_trips() {
+        // The source file splits nodes on '.'; the canonical output must
+        // declare ':' to match how SpefNode serializes.
+        let src = "*DELIMITER .\n*C_UNIT 1 FF\n*D_NET v 10.0\n\
+                   *CAP\n1 v.1 4.0\n*RES\n1 v v.1 8.5\n*END\n";
+        let first = parse_spef(src).unwrap();
+        assert_eq!(first.nets[0].caps[0].a.tail.as_deref(), Some("1"));
+        let text = write_spef(&first);
+        let second = parse_spef(&text).unwrap();
+        assert_eq!(second.delimiter, ':');
+        assert_eq!(first.nets, second.nets);
+    }
+
+    #[test]
+    fn ports_round_trip() {
+        let src = "*PORTS\na I\nb O *L 3.0\n";
+        let first = parse_spef(src).unwrap();
+        let second = parse_spef(&write_spef(&first)).unwrap();
+        assert_eq!(first.ports, second.ports);
+    }
+}

@@ -1,0 +1,56 @@
+//! Golden-file tests: parse a handwritten SPEF, check the reduced
+//! electrical totals against hand-computed constants, and round-trip the
+//! model through the canonical writer.
+
+use nsta_parasitics::{parse_spef, reduce_spef, write_spef};
+
+const GOLDEN: &str = include_str!("golden.spef");
+
+#[test]
+fn golden_file_parses_with_expected_structure() {
+    let spef = parse_spef(GOLDEN).expect("golden file parses");
+    assert_eq!(spef.design, "coupled_bus");
+    assert_eq!(spef.delimiter, ':');
+    assert_eq!(spef.ports.len(), 2);
+    assert_eq!(spef.nets.len(), 3);
+    let v = spef.net("v").expect("net v");
+    assert_eq!(v.conns.len(), 2);
+    assert_eq!(v.caps.len(), 6);
+    assert_eq!(v.ress.len(), 3);
+    // Units: 128.8 fF header total.
+    assert!((v.total_cap - 128.8e-15).abs() < 1e-27);
+}
+
+#[test]
+fn golden_file_reduces_to_figure1_wire() {
+    let spef = parse_spef(GOLDEN).expect("golden file parses");
+    let reduced = reduce_spef(&spef);
+    let v = reduced.iter().find(|r| r.name == "v").expect("net v");
+    // The victim wire is exactly the paper's Figure 1 line.
+    assert!((v.r_total - 25.5).abs() < 1e-12);
+    assert!((v.c_ground - 28.8e-15).abs() < 1e-27);
+    assert_eq!(v.segments, 3);
+    assert!((v.couplings["g"] - 100e-15).abs() < 1e-27);
+    assert!((v.pin_load - 5.2e-15).abs() < 1e-27);
+    let line = v.to_line_spec().expect("valid line");
+    assert!((line.r_segment() - 8.5).abs() < 1e-12);
+    assert!((line.c_segment() - 9.6e-15).abs() < 1e-27);
+
+    // The tap net couples back into the victim from its own section.
+    let h = reduced.iter().find(|r| r.name == "h").expect("net h");
+    assert!((h.couplings["v"] - 6e-15).abs() < 1e-27);
+    assert_eq!(h.segments, 1);
+}
+
+#[test]
+fn golden_file_round_trips_through_the_writer() {
+    let first = parse_spef(GOLDEN).expect("golden file parses");
+    let text = write_spef(&first);
+    let second = parse_spef(&text).expect("canonical output parses");
+    // The canonical form uses SI units, so values survive exactly.
+    assert_eq!(first.design, second.design);
+    assert_eq!(first.ports, second.ports);
+    assert_eq!(first.nets, second.nets);
+    // And the canonical form is a fixed point of write ∘ parse.
+    assert_eq!(text, write_spef(&second));
+}

@@ -26,7 +26,9 @@ pub fn add_inverter(
     _prefix: &str,
 ) -> Result<(), SpiceError> {
     if !(size.is_finite() && size > 0.0) {
-        return Err(SpiceError::InvalidParameter("inverter size must be positive"));
+        return Err(SpiceError::InvalidParameter(
+            "inverter size must be positive",
+        ));
     }
     let vdd = net.vdd_node();
     let wn = proc.wn_1x * size;
@@ -170,8 +172,11 @@ mod tests {
         let out = net.node("out");
         let mid = add_buffer(&mut net, &p, 1.0, 4.0, inp, out, "buf").unwrap();
         add_load_cap(&mut net, out, 20e-15).unwrap();
-        net.vsource(inp, ramp_up(0.5e-9, 0.2e-9, 1.2, 4e-9)).unwrap();
-        let res = net.run_transient(SimOptions::new(0.0, 4e-9, 2e-12).unwrap()).unwrap();
+        net.vsource(inp, ramp_up(0.5e-9, 0.2e-9, 1.2, 4e-9))
+            .unwrap();
+        let res = net
+            .run_transient(SimOptions::new(0.0, 4e-9, 2e-12).unwrap())
+            .unwrap();
         let th = Thresholds::cmos(1.2);
         let v_mid = res.voltage(mid).unwrap();
         let v_out = res.voltage(out).unwrap();
@@ -222,9 +227,12 @@ mod tests {
         add_nand2(&mut net, &p, 2.0, a, b, y, "g").unwrap();
         add_load_cap(&mut net, y, 10e-15).unwrap();
         // a held high, b rises ⇒ y falls.
-        net.vsource(a, Waveform::constant(1.2, -1.0, 4e-9).unwrap()).unwrap();
+        net.vsource(a, Waveform::constant(1.2, -1.0, 4e-9).unwrap())
+            .unwrap();
         net.vsource(b, ramp_up(1e-9, 0.2e-9, 1.2, 4e-9)).unwrap();
-        let res = net.run_transient(SimOptions::new(0.0, 4e-9, 2e-12).unwrap()).unwrap();
+        let res = net
+            .run_transient(SimOptions::new(0.0, 4e-9, 2e-12).unwrap())
+            .unwrap();
         let v_y = res.voltage(y).unwrap();
         assert!(v_y.value_at(0.5e-9) > 1.1);
         assert!(v_y.value_at(3.8e-9) < 0.1);

@@ -43,13 +43,25 @@ impl MosParams {
     /// NMOS parameters calibrated to 0.13 µm-class magnitudes
     /// (Vdd = 1.2 V, Idsat ≈ 0.5 mA/µm at full overdrive).
     pub fn nmos_013() -> Self {
-        MosParams { vth: 0.30, alpha: 1.3, kc: 0.55e-3, kv: 0.65, lambda: 0.06 }
+        MosParams {
+            vth: 0.30,
+            alpha: 1.3,
+            kc: 0.55e-3,
+            kv: 0.65,
+            lambda: 0.06,
+        }
     }
 
     /// PMOS parameters calibrated to 0.13 µm-class magnitudes (about 2.2×
     /// weaker than NMOS per µm).
     pub fn pmos_013() -> Self {
-        MosParams { vth: 0.32, alpha: 1.4, kc: 0.25e-3, kv: 0.70, lambda: 0.08 }
+        MosParams {
+            vth: 0.32,
+            alpha: 1.4,
+            kc: 0.25e-3,
+            kv: 0.70,
+            lambda: 0.08,
+        }
     }
 
     /// Validates the parameter set.
@@ -73,7 +85,9 @@ impl MosParams {
         if ok {
             Ok(())
         } else {
-            Err(SpiceError::InvalidParameter("mos parameters out of physical range"))
+            Err(SpiceError::InvalidParameter(
+                "mos parameters out of physical range",
+            ))
         }
     }
 
@@ -152,11 +166,21 @@ impl Mosfet {
             MosType::Nmos => {
                 if vd >= vs {
                     let (i, dg, dd) = self.params.forward(self.w_um, vg - vs, vd - vs);
-                    DeviceEval { i_drain: i, di_dvg: dg, di_dvd: dd, di_dvs: -dg - dd }
+                    DeviceEval {
+                        i_drain: i,
+                        di_dvg: dg,
+                        di_dvd: dd,
+                        di_dvs: -dg - dd,
+                    }
                 } else {
                     // Swapped: physical source is the nominal drain.
                     let (i, dg, dd) = self.params.forward(self.w_um, vg - vd, vs - vd);
-                    DeviceEval { i_drain: -i, di_dvg: -dg, di_dvd: dg + dd, di_dvs: -dd }
+                    DeviceEval {
+                        i_drain: -i,
+                        di_dvg: -dg,
+                        di_dvd: dg + dd,
+                        di_dvs: -dd,
+                    }
                 }
             }
             MosType::Pmos => {
@@ -164,10 +188,20 @@ impl Mosfet {
                     // Normal PMOS conduction: source high, current out of
                     // the drain into the circuit ⇒ negative into-drain.
                     let (i, dg, dd) = self.params.forward(self.w_um, vs - vg, vs - vd);
-                    DeviceEval { i_drain: -i, di_dvg: dg, di_dvd: dd, di_dvs: -dg - dd }
+                    DeviceEval {
+                        i_drain: -i,
+                        di_dvg: dg,
+                        di_dvd: dd,
+                        di_dvs: -dg - dd,
+                    }
                 } else {
                     let (i, dg, dd) = self.params.forward(self.w_um, vd - vg, vd - vs);
-                    DeviceEval { i_drain: i, di_dvg: -dg, di_dvd: dg + dd, di_dvs: -dd }
+                    DeviceEval {
+                        i_drain: i,
+                        di_dvg: -dg,
+                        di_dvd: dg + dd,
+                        di_dvs: -dd,
+                    }
                 }
             }
         }
@@ -228,7 +262,10 @@ mod tests {
         let i_high = d1.eval(1.2, 1.2, 0.0).i_drain;
         assert!(i_high > i_low && i_low > 0.0);
         let i_wide = d2.eval(1.2, 1.2, 0.0).i_drain;
-        assert!((i_wide / i_high - 4.0).abs() < 1e-9, "width scaling must be linear");
+        assert!(
+            (i_wide / i_high - 4.0).abs() < 1e-9,
+            "width scaling must be linear"
+        );
         // 0.13 µm-class magnitude: a 1 µm NMOS at full bias carries
         // a few hundred µA.
         assert!(i_high > 1e-4 && i_high < 2e-3, "i_on = {i_high}");
@@ -251,7 +288,10 @@ mod tests {
         let rev = d.eval(1.2, -0.01, 0.0).i_drain;
         assert!(fwd > 0.0);
         assert!(rev < 0.0);
-        assert!((fwd + rev).abs() < fwd * 0.1, "near-antisymmetric around vds=0");
+        assert!(
+            (fwd + rev).abs() < fwd * 0.1,
+            "near-antisymmetric around vds=0"
+        );
         let zero = d.eval(1.2, 0.0, 0.0).i_drain;
         assert_eq!(zero, 0.0);
     }
@@ -275,19 +315,34 @@ mod tests {
             (nmos(2.0), 1.2, 0.2, 0.0),  // triode
             (nmos(2.0), 1.1, -0.3, 0.0), // swapped
             (pmos(3.0), 0.1, 0.6, 1.2),
-            (pmos(3.0), 0.0, 1.1, 1.2),  // triode (vsd small)
-            (pmos(3.0), 0.2, 1.3, 1.2),  // swapped
+            (pmos(3.0), 0.0, 1.1, 1.2), // triode (vsd small)
+            (pmos(3.0), 0.2, 1.3, 1.2), // swapped
         ];
         let h = 1e-7;
         for (dev, vg, vd, vs) in cases {
             let e = dev.eval(vg, vd, vs);
-            let dg = (dev.eval(vg + h, vd, vs).i_drain - dev.eval(vg - h, vd, vs).i_drain) / (2.0 * h);
-            let dd = (dev.eval(vg, vd + h, vs).i_drain - dev.eval(vg, vd - h, vs).i_drain) / (2.0 * h);
-            let ds = (dev.eval(vg, vd, vs + h).i_drain - dev.eval(vg, vd, vs - h).i_drain) / (2.0 * h);
+            let dg =
+                (dev.eval(vg + h, vd, vs).i_drain - dev.eval(vg - h, vd, vs).i_drain) / (2.0 * h);
+            let dd =
+                (dev.eval(vg, vd + h, vs).i_drain - dev.eval(vg, vd - h, vs).i_drain) / (2.0 * h);
+            let ds =
+                (dev.eval(vg, vd, vs + h).i_drain - dev.eval(vg, vd, vs - h).i_drain) / (2.0 * h);
             let scale = e.i_drain.abs().max(1e-6);
-            assert!((e.di_dvg - dg).abs() / scale < 2e-3, "dvg: {} vs {dg}", e.di_dvg);
-            assert!((e.di_dvd - dd).abs() / scale < 2e-3, "dvd: {} vs {dd}", e.di_dvd);
-            assert!((e.di_dvs - ds).abs() / scale < 2e-3, "dvs: {} vs {ds}", e.di_dvs);
+            assert!(
+                (e.di_dvg - dg).abs() / scale < 2e-3,
+                "dvg: {} vs {dg}",
+                e.di_dvg
+            );
+            assert!(
+                (e.di_dvd - dd).abs() / scale < 2e-3,
+                "dvd: {} vs {dd}",
+                e.di_dvd
+            );
+            assert!(
+                (e.di_dvs - ds).abs() / scale < 2e-3,
+                "dvs: {} vs {ds}",
+                e.di_dvs
+            );
         }
     }
 
@@ -295,9 +350,11 @@ mod tests {
     fn derivative_sum_is_zero() {
         // Shifting all terminals by the same ΔV must not change the current:
         // ∂i/∂vg + ∂i/∂vd + ∂i/∂vs = 0.
-        for (dev, vg, vd, vs) in
-            [(nmos(1.0), 1.0, 0.5, 0.0), (pmos(2.0), 0.3, 0.4, 1.2), (nmos(1.0), 1.0, -0.2, 0.0)]
-        {
+        for (dev, vg, vd, vs) in [
+            (nmos(1.0), 1.0, 0.5, 0.0),
+            (pmos(2.0), 0.3, 0.4, 1.2),
+            (nmos(1.0), 1.0, -0.2, 0.0),
+        ] {
             let e = dev.eval(vg, vd, vs);
             assert!((e.di_dvg + e.di_dvd + e.di_dvs).abs() < 1e-12);
         }

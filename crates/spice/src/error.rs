@@ -43,7 +43,11 @@ impl fmt::Display for SpiceError {
             SpiceError::AlreadyDriven { name } => {
                 write!(f, "node {name} already has a voltage source")
             }
-            SpiceError::NewtonDiverged { at_time, iterations, max_update } => {
+            SpiceError::NewtonDiverged {
+                at_time,
+                iterations,
+                max_update,
+            } => {
                 if at_time.is_nan() {
                     write!(
                         f,

@@ -63,10 +63,14 @@ pub fn build_coupled_lines(
     prefix: &str,
 ) -> Result<Vec<NodeId>, SpiceError> {
     if inputs.len() < 2 {
-        return Err(SpiceError::InvalidParameter("coupled bundle needs at least two lines"));
+        return Err(SpiceError::InvalidParameter(
+            "coupled bundle needs at least two lines",
+        ));
     }
     if !(cm_total > 0.0 && cm_total.is_finite()) {
-        return Err(SpiceError::InvalidParameter("coupling capacitance must be positive"));
+        return Err(SpiceError::InvalidParameter(
+            "coupling capacitance must be positive",
+        ));
     }
     let half_c = spec.c_segment() / 2.0;
     let mut far = Vec::with_capacity(inputs.len());
@@ -142,7 +146,11 @@ impl Fig1Config {
     /// Configuration II of Table 1: two aggressors (victim in the middle),
     /// 500 µm lines, 100 fF coupling to each aggressor.
     pub fn config_ii() -> Self {
-        Fig1Config { aggressors: 2, line_length_um: 500.0, ..Fig1Config::config_i() }
+        Fig1Config {
+            aggressors: 2,
+            line_length_um: 500.0,
+            ..Fig1Config::config_i()
+        }
     }
 
     /// The RC spec of each wire, derived from Figure 1's per-length values.
@@ -160,7 +168,14 @@ impl Fig1Config {
     fn source_ramp(&self, wire_rises: bool, mid_time: f64) -> Result<Waveform, SpiceError> {
         // Wire rises ⇔ source falls.
         let source_rises = !wire_rises;
-        input_ramp(self.proc.vdd, mid_time, self.input_slew, source_rises, 0.0, self.t_stop)
+        input_ramp(
+            self.proc.vdd,
+            mid_time,
+            self.input_slew,
+            source_rises,
+            0.0,
+            self.t_stop,
+        )
     }
 
     fn quiet_level(&self, wire_rises: bool) -> f64 {
@@ -194,10 +209,15 @@ pub fn input_ramp(
     let begin = mid_time - full / 2.0;
     let end = mid_time + full / 2.0;
     if begin <= t_start || end >= t_stop {
-        return Err(SpiceError::InvalidOptions("ramp transition must fit inside the window"));
+        return Err(SpiceError::InvalidOptions(
+            "ramp transition must fit inside the window",
+        ));
     }
     let (v0, v1) = if rising { (0.0, vdd) } else { (vdd, 0.0) };
-    Ok(Waveform::new(vec![t_start, begin, end, t_stop], vec![v0, v0, v1, v1])?)
+    Ok(Waveform::new(
+        vec![t_start, begin, end, t_stop],
+        vec![v0, v0, v1, v1],
+    )?)
 }
 
 /// Node handles of interest in a built testbench.
@@ -229,15 +249,16 @@ pub struct Fig1Waves {
 ///
 /// [`SpiceError::InvalidOptions`] on skew/window conflicts; propagated
 /// construction failures.
-pub fn build(
-    cfg: &Fig1Config,
-    skews: &[Option<f64>],
-) -> Result<(Netlist, Fig1Nodes), SpiceError> {
+pub fn build(cfg: &Fig1Config, skews: &[Option<f64>]) -> Result<(Netlist, Fig1Nodes), SpiceError> {
     if skews.len() != cfg.aggressors {
-        return Err(SpiceError::InvalidOptions("one skew entry required per aggressor"));
+        return Err(SpiceError::InvalidOptions(
+            "one skew entry required per aggressor",
+        ));
     }
     if !(cfg.aggressors == 1 || cfg.aggressors == 2) {
-        return Err(SpiceError::InvalidOptions("testbench supports 1 or 2 aggressors"));
+        return Err(SpiceError::InvalidOptions(
+            "testbench supports 1 or 2 aggressors",
+        ));
     }
     let spec = cfg.line_spec()?;
     let proc = cfg.proc;
@@ -255,8 +276,11 @@ pub fn build(
     };
 
     let victim_wire_rises = cfg.victim_input_rise;
-    let aggressor_wire_rises =
-        if cfg.aggressors_oppose { !victim_wire_rises } else { victim_wire_rises };
+    let aggressor_wire_rises = if cfg.aggressors_oppose {
+        !victim_wire_rises
+    } else {
+        victim_wire_rises
+    };
 
     // Sources and 1× drivers.
     let mut drv_out = Vec::new();
@@ -270,9 +294,7 @@ pub fn build(
             agg_index += 1;
             match skew {
                 Some(s) => cfg.source_ramp(aggressor_wire_rises, cfg.victim_mid_time + s)?,
-                None => {
-                    Waveform::constant(cfg.quiet_level(aggressor_wire_rises), 0.0, cfg.t_stop)?
-                }
+                None => Waveform::constant(cfg.quiet_level(aggressor_wire_rises), 0.0, cfg.t_stop)?,
             }
         };
         net.vsource(src, wf)?;
@@ -341,7 +363,10 @@ pub fn run_noiseless(cfg: &Fig1Config) -> Result<Fig1Waves, SpiceError> {
 fn run_with(cfg: &Fig1Config, skews: &[Option<f64>]) -> Result<Fig1Waves, SpiceError> {
     let (net, nodes) = build(cfg, skews)?;
     let res = net.run_transient(SimOptions::new(0.0, cfg.t_stop, cfg.dt)?)?;
-    Ok(Fig1Waves { in_u: res.voltage(nodes.in_u)?, out_u: res.voltage(nodes.out_u)? })
+    Ok(Fig1Waves {
+        in_u: res.voltage(nodes.in_u)?,
+        out_u: res.voltage(nodes.out_u)?,
+    })
 }
 
 /// Drives the receiver stage alone (4× inverter with its full downstream
@@ -372,7 +397,7 @@ pub fn run_receiver(cfg: &Fig1Config, input: &Waveform) -> Result<Waveform, Spic
     // standard testbench window (very slow equivalent ramps do).
     let t_stop = cfg.t_stop.max(input.t_end());
     let res = net.run_transient(SimOptions::new(0.0, t_stop, cfg.dt)?)?;
-    Ok(res.voltage(out)?)
+    res.voltage(out)
 }
 
 #[cfg(test)]
@@ -382,7 +407,11 @@ mod tests {
 
     /// Faster settings for unit tests (coarser step, shorter tail).
     fn test_cfg() -> Fig1Config {
-        Fig1Config { dt: 2e-12, t_stop: 3.5e-9, ..Fig1Config::config_i() }
+        Fig1Config {
+            dt: 2e-12,
+            t_stop: 3.5e-9,
+            ..Fig1Config::config_i()
+        }
     }
 
     #[test]
@@ -477,8 +506,14 @@ mod tests {
         };
         let aligned = delta(0.0);
         let far = delta(-1.2e-9);
-        assert!(aligned > 100e-12, "aligned aggressor must push out strongly: {aligned:e}");
-        assert!(far.abs() < 0.25 * aligned.abs(), "far {far:e} vs aligned {aligned:e}");
+        assert!(
+            aligned > 100e-12,
+            "aligned aggressor must push out strongly: {aligned:e}"
+        );
+        assert!(
+            far.abs() < 0.25 * aligned.abs(),
+            "far {far:e} vs aligned {aligned:e}"
+        );
     }
 
     #[test]

@@ -88,7 +88,10 @@ impl Netlist {
     ///
     /// Panics if `vdd` is not positive and finite.
     pub fn new(vdd: f64) -> Self {
-        assert!(vdd.is_finite() && vdd > 0.0, "vdd must be positive and finite");
+        assert!(
+            vdd.is_finite() && vdd > 0.0,
+            "vdd must be positive and finite"
+        );
         Netlist {
             vdd_value: vdd,
             names: Vec::new(),
@@ -143,7 +146,10 @@ impl Netlist {
         if id.is_ground() {
             return Ok("0");
         }
-        self.names.get(id.0).map(String::as_str).ok_or(SpiceError::UnknownNode { index: id.0 })
+        self.names
+            .get(id.0)
+            .map(String::as_str)
+            .ok_or(SpiceError::UnknownNode { index: id.0 })
     }
 
     pub(crate) fn check(&self, id: NodeId) -> Result<usize, SpiceError> {
@@ -204,7 +210,9 @@ impl Netlist {
             return Err(SpiceError::InvalidParameter("cannot drive the ground node"));
         }
         if self.vsources.iter().any(|(n, _)| *n == idx) {
-            return Err(SpiceError::AlreadyDriven { name: self.names[idx].clone() });
+            return Err(SpiceError::AlreadyDriven {
+                name: self.names[idx].clone(),
+            });
         }
         self.vsources.push((idx, waveform));
         Ok(())
@@ -218,7 +226,9 @@ impl Netlist {
     pub fn isource(&mut self, node: NodeId, waveform: Waveform) -> Result<(), SpiceError> {
         let idx = self.check(node)?;
         if node.is_ground() {
-            return Err(SpiceError::InvalidParameter("cannot inject into the ground node"));
+            return Err(SpiceError::InvalidParameter(
+                "cannot inject into the ground node",
+            ));
         }
         self.isources.push((idx, waveform));
         Ok(())
@@ -240,13 +250,22 @@ impl Netlist {
         source: NodeId,
     ) -> Result<(), SpiceError> {
         if !(w_um.is_finite() && w_um > 0.0) {
-            return Err(SpiceError::InvalidParameter("device width must be positive"));
+            return Err(SpiceError::InvalidParameter(
+                "device width must be positive",
+            ));
         }
         params.validate()?;
         let d = self.check(drain)?;
         let g = self.check(gate)?;
         let s = self.check(source)?;
-        self.mosfets.push(Mosfet { mos_type, w_um, params, drain: d, gate: g, source: s });
+        self.mosfets.push(Mosfet {
+            mos_type,
+            w_um,
+            params,
+            drain: d,
+            gate: g,
+            source: s,
+        });
         Ok(())
     }
 
@@ -298,14 +317,31 @@ mod tests {
         assert!(n.capacitor(a, Netlist::GROUND, -1e-15).is_err());
         let w = Waveform::constant(0.0, 0.0, 1.0).unwrap();
         assert!(n.vsource(a, w.clone()).is_ok());
-        assert!(matches!(n.vsource(a, w.clone()), Err(SpiceError::AlreadyDriven { .. })));
+        assert!(matches!(
+            n.vsource(a, w.clone()),
+            Err(SpiceError::AlreadyDriven { .. })
+        ));
         assert!(n.vsource(Netlist::GROUND, w.clone()).is_err());
         assert!(n.isource(Netlist::GROUND, w).is_err());
         assert!(n
-            .mosfet(MosType::Nmos, 0.4, MosParams::nmos_013(), b, a, Netlist::GROUND)
+            .mosfet(
+                MosType::Nmos,
+                0.4,
+                MosParams::nmos_013(),
+                b,
+                a,
+                Netlist::GROUND
+            )
             .is_ok());
         assert!(n
-            .mosfet(MosType::Nmos, -0.4, MosParams::nmos_013(), b, a, Netlist::GROUND)
+            .mosfet(
+                MosType::Nmos,
+                -0.4,
+                MosParams::nmos_013(),
+                b,
+                a,
+                Netlist::GROUND
+            )
             .is_err());
     }
 

@@ -29,7 +29,9 @@ impl SimOptions {
             return Err(SpiceError::InvalidOptions("t_stop must exceed t_start"));
         }
         if !(dt > 0.0) || dt >= t_stop - t_start {
-            return Err(SpiceError::InvalidOptions("dt must be positive and smaller than span"));
+            return Err(SpiceError::InvalidOptions(
+                "dt must be positive and smaller than span",
+            ));
         }
         Ok(SimOptions {
             t_start,
@@ -100,10 +102,14 @@ impl SimResult {
     /// for foreign ids.
     pub fn voltage(&self, node: NodeId) -> Result<Waveform, SpiceError> {
         if node.is_ground() {
-            return Err(SpiceError::NotRecorded("ground voltage is identically zero"));
+            return Err(SpiceError::NotRecorded(
+                "ground voltage is identically zero",
+            ));
         }
-        let trace =
-            self.voltages.get(node.0).ok_or(SpiceError::UnknownNode { index: node.0 })?;
+        let trace = self
+            .voltages
+            .get(node.0)
+            .ok_or(SpiceError::UnknownNode { index: node.0 })?;
         Ok(Waveform::new(self.times.clone(), trace.clone())?)
     }
 }
@@ -174,7 +180,17 @@ impl Netlist {
         for r in 0..nf {
             g_uu.add(r, r, gmin);
         }
-        Assembled { nf, nd, is_driven, position, driven_slot, g_uu, g_uk, c_uu, c_uk }
+        Assembled {
+            nf,
+            nd,
+            is_driven,
+            position,
+            driven_slot,
+            g_uu,
+            g_uk,
+            c_uu,
+            c_uk,
+        }
     }
 
     /// Voltage of `node_index` given the free vector `x` and driven values
@@ -216,7 +232,11 @@ impl Netlist {
             }
             if let Some((a, scale)) = jac.as_mut() {
                 let scale = *scale;
-                let entries = [(dev.gate, e.di_dvg), (dev.drain, e.di_dvd), (dev.source, e.di_dvs)];
+                let entries = [
+                    (dev.gate, e.di_dvg),
+                    (dev.drain, e.di_dvd),
+                    (dev.source, e.di_dvs),
+                ];
                 if dev.drain != ground && !asm.is_driven[dev.drain] {
                     let r = asm.position[dev.drain];
                     for (node, d) in entries {
@@ -251,7 +271,11 @@ impl Netlist {
     pub fn dc_operating_point(&self, at_time: f64) -> Result<Vec<f64>, SpiceError> {
         let asm = self.assemble(1e-9); // stronger gmin for the DC solve
         let (x, _) = self.dc_solve(&asm, at_time)?;
-        let w: Vec<f64> = self.vsources.iter().map(|(_, wf)| wf.value_at(at_time)).collect();
+        let w: Vec<f64> = self
+            .vsources
+            .iter()
+            .map(|(_, wf)| wf.value_at(at_time))
+            .collect();
         let mut out = vec![0.0; self.node_count()];
         for i in 0..self.node_count() {
             out[i] = Self::volt(&asm, &x, &w, i);
@@ -261,7 +285,11 @@ impl Netlist {
 
     fn dc_solve(&self, asm: &Assembled, at_time: f64) -> Result<(Vec<f64>, usize), SpiceError> {
         let nf = asm.nf;
-        let w: Vec<f64> = self.vsources.iter().map(|(_, wf)| wf.value_at(at_time)).collect();
+        let w: Vec<f64> = self
+            .vsources
+            .iter()
+            .map(|(_, wf)| wf.value_at(at_time))
+            .collect();
         let mut inj = vec![0.0; nf];
         for (node, wf) in &self.isources {
             if !asm.is_driven[*node] {
@@ -445,14 +473,18 @@ impl Netlist {
             record(&mut voltages, &x, w_now);
         }
 
-        Ok(SimResult { times, voltages, newton_iterations: newton_total })
+        Ok(SimResult {
+            times,
+            voltages,
+            newton_iterations: newton_total,
+        })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::device::{MosParams, MosType};
+    use crate::device::MosType;
     use crate::netlist::Process;
 
     fn inverter_net(size: f64, load: f64) -> (Netlist, NodeId, NodeId) {
@@ -461,8 +493,17 @@ mod tests {
         let inp = net.node("in");
         let out = net.node("out");
         let vdd = net.vdd_node();
-        net.mosfet(MosType::Pmos, p.wp_1x * size, p.pmos, out, inp, vdd).unwrap();
-        net.mosfet(MosType::Nmos, p.wn_1x * size, p.nmos, out, inp, Netlist::GROUND).unwrap();
+        net.mosfet(MosType::Pmos, p.wp_1x * size, p.pmos, out, inp, vdd)
+            .unwrap();
+        net.mosfet(
+            MosType::Nmos,
+            p.wn_1x * size,
+            p.nmos,
+            out,
+            inp,
+            Netlist::GROUND,
+        )
+        .unwrap();
         net.capacitor(out, Netlist::GROUND, load).unwrap();
         (net, inp, out)
     }
@@ -478,14 +519,24 @@ mod tests {
     #[test]
     fn dc_inverter_transfer_is_inverting() {
         let (mut net, inp, out) = inverter_net(1.0, 5e-15);
-        net.vsource(inp, Waveform::constant(0.0, -1.0, 1.0).unwrap()).unwrap();
+        net.vsource(inp, Waveform::constant(0.0, -1.0, 1.0).unwrap())
+            .unwrap();
         let v = net.dc_operating_point(0.0).unwrap();
-        assert!(v[out.0] > 1.15, "input low ⇒ output at vdd, got {}", v[out.0]);
+        assert!(
+            v[out.0] > 1.15,
+            "input low ⇒ output at vdd, got {}",
+            v[out.0]
+        );
 
         let (mut net2, inp2, out2) = inverter_net(1.0, 5e-15);
-        net2.vsource(inp2, Waveform::constant(1.2, -1.0, 1.0).unwrap()).unwrap();
+        net2.vsource(inp2, Waveform::constant(1.2, -1.0, 1.0).unwrap())
+            .unwrap();
         let v2 = net2.dc_operating_point(0.0).unwrap();
-        assert!(v2[out2.0] < 0.05, "input high ⇒ output at ground, got {}", v2[out2.0]);
+        assert!(
+            v2[out2.0] < 0.05,
+            "input high ⇒ output at ground, got {}",
+            v2[out2.0]
+        );
     }
 
     #[test]
@@ -494,7 +545,8 @@ mod tests {
         for k in 0..=12 {
             let vin = 1.2 * k as f64 / 12.0;
             let (mut net, inp, out) = inverter_net(1.0, 5e-15);
-            net.vsource(inp, Waveform::constant(vin, -1.0, 1.0).unwrap()).unwrap();
+            net.vsource(inp, Waveform::constant(vin, -1.0, 1.0).unwrap())
+                .unwrap();
             let v = net.dc_operating_point(0.0).unwrap();
             assert!(v[out.0] <= prev + 1e-6, "vtc must fall: vin={vin}");
             prev = v[out.0];
@@ -507,7 +559,9 @@ mod tests {
         let ramp =
             Waveform::new(vec![0.0, 0.5e-9, 0.65e-9, 3e-9], vec![0.0, 0.0, 1.2, 1.2]).unwrap();
         net.vsource(inp, ramp).unwrap();
-        let res = net.run_transient(SimOptions::new(0.0, 3e-9, 1e-12).unwrap()).unwrap();
+        let res = net
+            .run_transient(SimOptions::new(0.0, 3e-9, 1e-12).unwrap())
+            .unwrap();
         let v = res.voltage(out).unwrap();
         assert!(v.value_at(0.3e-9) > 1.15);
         assert!(v.value_at(2.5e-9) < 0.05);
@@ -527,13 +581,18 @@ mod tests {
             let ramp =
                 Waveform::new(vec![0.0, 0.5e-9, 0.65e-9, 5e-9], vec![0.0, 0.0, 1.2, 1.2]).unwrap();
             net.vsource(inp, ramp).unwrap();
-            let res = net.run_transient(SimOptions::new(0.0, 5e-9, 2e-12).unwrap()).unwrap();
+            let res = net
+                .run_transient(SimOptions::new(0.0, 5e-9, 2e-12).unwrap())
+                .unwrap();
             let v_out = res.voltage(out).unwrap();
             let t_in = 0.5e-9 + 0.075e-9; // mid of the input ramp
             let t_out = v_out.last_crossing(th.mid()).unwrap();
             delays.push(t_out - t_in);
         }
-        assert!(delays[1] > delays[0] && delays[2] > delays[1], "delays: {delays:?}");
+        assert!(
+            delays[1] > delays[0] && delays[2] > delays[1],
+            "delays: {delays:?}"
+        );
         // 16× the load ⇒ several times the delay.
         assert!(delays[2] > 3.0 * delays[0]);
     }
@@ -547,7 +606,9 @@ mod tests {
             let ramp =
                 Waveform::new(vec![0.0, 0.5e-9, 0.65e-9, 4e-9], vec![0.0, 0.0, 1.2, 1.2]).unwrap();
             net.vsource(inp, ramp).unwrap();
-            let res = net.run_transient(SimOptions::new(0.0, 4e-9, 2e-12).unwrap()).unwrap();
+            let res = net
+                .run_transient(SimOptions::new(0.0, 4e-9, 2e-12).unwrap())
+                .unwrap();
             let t_out = res.voltage(out).unwrap().last_crossing(th.mid()).unwrap();
             delays.push(t_out);
         }
@@ -565,7 +626,9 @@ mod tests {
         net.vsource(a, step.clone()).unwrap();
         net.resistor(a, b, 1000.0).unwrap();
         net.capacitor(b, Netlist::GROUND, 1e-12).unwrap();
-        let res = net.run_transient(SimOptions::new(0.0, 5e-9, 5e-12).unwrap()).unwrap();
+        let res = net
+            .run_transient(SimOptions::new(0.0, 5e-9, 5e-12).unwrap())
+            .unwrap();
         let v = res.voltage(b).unwrap();
 
         let mut ckt = nsta_circuit::Circuit::new();
@@ -573,13 +636,17 @@ mod tests {
         let cb = ckt.node("b");
         ckt.vsource(ca, step).unwrap();
         ckt.resistor(ca, cb, 1000.0).unwrap();
-        ckt.capacitor(cb, nsta_circuit::Circuit::GROUND, 1e-12).unwrap();
+        ckt.capacitor(cb, nsta_circuit::Circuit::GROUND, 1e-12)
+            .unwrap();
         let lin = ckt
             .run_transient(nsta_circuit::TransientOptions::new(0.0, 5e-9, 5e-12).unwrap())
             .unwrap();
         let vl = lin.voltage(cb).unwrap();
         for t in [0.5e-9, 1e-9, 2e-9, 4e-9] {
-            assert!((v.value_at(t) - vl.value_at(t)).abs() < 1e-6, "mismatch at {t:e}");
+            assert!(
+                (v.value_at(t) - vl.value_at(t)).abs() < 1e-6,
+                "mismatch at {t:e}"
+            );
         }
     }
 
@@ -601,10 +668,21 @@ mod tests {
             let mid = net.node("mid");
             let vdd = net.vdd_node();
             // Parallel PMOS pull-up, series NMOS pull-down.
-            net.mosfet(MosType::Pmos, p.wp_1x, p.pmos, y, a, vdd).unwrap();
-            net.mosfet(MosType::Pmos, p.wp_1x, p.pmos, y, b, vdd).unwrap();
-            net.mosfet(MosType::Nmos, 2.0 * p.wn_1x, p.nmos, y, a, mid).unwrap();
-            net.mosfet(MosType::Nmos, 2.0 * p.wn_1x, p.nmos, mid, b, Netlist::GROUND).unwrap();
+            net.mosfet(MosType::Pmos, p.wp_1x, p.pmos, y, a, vdd)
+                .unwrap();
+            net.mosfet(MosType::Pmos, p.wp_1x, p.pmos, y, b, vdd)
+                .unwrap();
+            net.mosfet(MosType::Nmos, 2.0 * p.wn_1x, p.nmos, y, a, mid)
+                .unwrap();
+            net.mosfet(
+                MosType::Nmos,
+                2.0 * p.wn_1x,
+                p.nmos,
+                mid,
+                b,
+                Netlist::GROUND,
+            )
+            .unwrap();
             net.capacitor(y, Netlist::GROUND, 2e-15).unwrap();
             net.vsource(a, va.clone()).unwrap();
             net.vsource(b, vb.clone()).unwrap();

@@ -121,7 +121,12 @@ impl Sta {
                 fall_transition: arc.fall_transition.clone(),
             });
         }
-        Ok(Sta { design, library, graph, arcs })
+        Ok(Sta {
+            design,
+            library,
+            graph,
+            arcs,
+        })
     }
 
     /// The bound design.
@@ -181,6 +186,27 @@ impl Sta {
     pub(crate) fn forward_sweep(
         &self,
         constraints: &Constraints,
+        override_net: impl FnMut(NetId, &mut NetState) -> Result<(), StaError>,
+    ) -> Result<Vec<NetState>, StaError> {
+        self.forward_sweep_dir(constraints, false, override_net)
+    }
+
+    /// Forward sweep propagating *earliest* arrivals: the lower edge of
+    /// each net's switching window. The slew kept with each point is the
+    /// one produced by the earliest-arriving predecessor.
+    pub(crate) fn forward_sweep_min(
+        &self,
+        constraints: &Constraints,
+    ) -> Result<Vec<NetState>, StaError> {
+        self.forward_sweep_dir(constraints, true, |_, _| Ok(()))
+    }
+
+    /// Shared sweep body: propagates latest arrivals (`minimize == false`)
+    /// or earliest arrivals (`minimize == true`).
+    fn forward_sweep_dir(
+        &self,
+        constraints: &Constraints,
+        minimize: bool,
         mut override_net: impl FnMut(NetId, &mut NetState) -> Result<(), StaError>,
     ) -> Result<Vec<NetState>, StaError> {
         let n = self.design.net_count();
@@ -202,11 +228,15 @@ impl Sta {
                     if !from.valid {
                         continue;
                     }
-                    let (out_pol, delay, slew) =
-                        self.edge_timing(k, from_pol, from.slew, load)?;
+                    let (out_pol, delay, slew) = self.edge_timing(k, from_pol, from.slew, load)?;
                     let candidate = from.arrival + delay;
                     let p = states[net.0].get_mut(out_pol);
-                    if !p.valid || candidate > p.arrival {
+                    let better = if minimize {
+                        candidate < p.arrival
+                    } else {
+                        candidate > p.arrival
+                    };
+                    if !p.valid || better {
                         p.arrival = candidate;
                         p.slew = slew;
                         p.valid = true;
@@ -284,8 +314,17 @@ impl Sta {
                     continue;
                 }
                 let req = required[i][idx(pol)];
-                let slack = if req.is_finite() { req - p.arrival } else { f64::INFINITY };
-                let pt = PointTiming { arrival: p.arrival, slew: p.slew, required: req, slack };
+                let slack = if req.is_finite() {
+                    req - p.arrival
+                } else {
+                    f64::INFINITY
+                };
+                let pt = PointTiming {
+                    arrival: p.arrival,
+                    slew: p.slew,
+                    required: req,
+                    slack,
+                };
                 match pol {
                     Polarity::Rise => timing.rise = Some(pt),
                     Polarity::Fall => timing.fall = Some(pt),
@@ -332,7 +371,12 @@ impl Sta {
             }
             critical.reverse();
         }
-        Ok(TimingReport::new(nets, critical, worst_slack, worst_arrival))
+        Ok(TimingReport::new(
+            nets,
+            critical,
+            worst_slack,
+            worst_arrival,
+        ))
     }
 }
 
@@ -362,8 +406,16 @@ mod tests {
             src.push_str(&format!("wire w{i};\n"));
         }
         for i in 0..n {
-            let from = if i == 0 { "a".to_string() } else { format!("w{i}") };
-            let to = if i == n - 1 { "y".to_string() } else { format!("w{}", i + 1) };
+            let from = if i == 0 {
+                "a".to_string()
+            } else {
+                format!("w{i}")
+            };
+            let to = if i == n - 1 {
+                "y".to_string()
+            } else {
+                format!("w{}", i + 1)
+            };
             src.push_str(&format!("INVX2 u{i} (.A({from}), .Y({to}));\n"));
         }
         src.push_str("endmodule");
@@ -393,8 +445,12 @@ mod tests {
             let load = sta.net_load(net, &c);
             let edge = sta.graph().fanin_edges(net)[0];
             // Negative unate inverter: out rise from in fall and vice versa.
-            let (_, d_r, s_r) = sta.edge_timing(edge, Polarity::Fall, slew[1], load).unwrap();
-            let (_, d_f, s_f) = sta.edge_timing(edge, Polarity::Rise, slew[0], load).unwrap();
+            let (_, d_r, s_r) = sta
+                .edge_timing(edge, Polarity::Fall, slew[1], load)
+                .unwrap();
+            let (_, d_f, s_f) = sta
+                .edge_timing(edge, Polarity::Rise, slew[0], load)
+                .unwrap();
             let next_rise = arr[1] + d_r;
             let next_fall = arr[0] + d_f;
             arr = [next_rise, next_fall];
@@ -424,12 +480,17 @@ mod tests {
     #[test]
     fn slack_and_critical_path() {
         let sta = Sta::new(chain(3), lib().clone()).unwrap();
-        let mut c = Constraints::default();
-        c.required_at_outputs = 1e-9;
+        let mut c = Constraints {
+            required_at_outputs: 1e-9,
+            ..Constraints::default()
+        };
         let report = sta.analyze(&c).unwrap();
         // Slack = required − arrival at the endpoint.
         assert!(report.worst_slack() < 1e-9);
-        assert!(report.worst_slack() > 0.0, "a 3-stage chain meets 1 ns easily");
+        assert!(
+            report.worst_slack() > 0.0,
+            "a 3-stage chain meets 1 ns easily"
+        );
         // Critical path runs input → output through every stage.
         let path = report.critical_path();
         assert_eq!(path.len(), 4); // a, w1, w2, y

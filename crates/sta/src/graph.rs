@@ -52,9 +52,9 @@ impl TimingGraph {
         let mut driver_of: Vec<Option<usize>> = vec![None; n];
 
         for (idx, inst) in design.instances().iter().enumerate() {
-            let cell = library
-                .cell(&inst.cell)
-                .ok_or_else(|| StaError::Unresolved(format!("cell {} not in library", inst.cell)))?;
+            let cell = library.cell(&inst.cell).ok_or_else(|| {
+                StaError::Unresolved(format!("cell {} not in library", inst.cell))
+            })?;
             for pin in &cell.pins {
                 let net = inst.net_on(&pin.name).ok_or_else(|| {
                     StaError::Unresolved(format!(
@@ -104,8 +104,7 @@ impl TimingGraph {
 
         // Kahn levelization over nets.
         let mut indegree: Vec<usize> = fanin.iter().map(Vec::len).collect();
-        let mut queue: Vec<NetId> =
-            (0..n).filter(|&i| indegree[i] == 0).map(NetId).collect();
+        let mut queue: Vec<NetId> = (0..n).filter(|&i| indegree[i] == 0).map(NetId).collect();
         let mut order = Vec::with_capacity(n);
         while let Some(net) = queue.pop() {
             order.push(net);
@@ -123,7 +122,13 @@ impl TimingGraph {
                 net: design.net_name(NetId(stuck)).to_string(),
             });
         }
-        Ok(TimingGraph { edges, fanin, fanout, order, loads })
+        Ok(TimingGraph {
+            edges,
+            fanin,
+            fanout,
+            order,
+            loads,
+        })
     }
 
     /// All edges.
@@ -203,16 +208,21 @@ mod tests {
              INVX1 u1 (.A(a), .Y(y)); INVX1 u2 (.A(a), .Y(y)); endmodule",
         )
         .unwrap();
-        assert!(matches!(TimingGraph::build(&d, lib()), Err(StaError::Structure(_))));
+        assert!(matches!(
+            TimingGraph::build(&d, lib()),
+            Err(StaError::Structure(_))
+        ));
     }
 
     #[test]
     fn unknown_cell_rejected() {
-        let d = parse_design(
-            "module m (a, y); input a; output y; NAND9 u1 (.A(a), .Y(y)); endmodule",
-        )
-        .unwrap();
-        assert!(matches!(TimingGraph::build(&d, lib()), Err(StaError::Unresolved(_))));
+        let d =
+            parse_design("module m (a, y); input a; output y; NAND9 u1 (.A(a), .Y(y)); endmodule")
+                .unwrap();
+        assert!(matches!(
+            TimingGraph::build(&d, lib()),
+            Err(StaError::Unresolved(_))
+        ));
     }
 
     #[test]

@@ -13,7 +13,14 @@
 //!   capacitive aggressors: the noisy waveform at the receiver is computed
 //!   on the linear RC substrate, reduced to an equivalent ramp `Γeff` by the
 //!   chosen [`MethodKind`](sgdp::MethodKind), and propagated downstream —
-//!   exactly how the paper proposes commercial STA adopt SGDP.
+//!   exactly how the paper proposes commercial STA adopt SGDP,
+//! * [`SiOptions`]/[`Sta::analyze_with_crosstalk_windows`] — the same
+//!   analysis behind a timing-window filter: aggressors whose switching
+//!   windows cannot overlap the victim's are pruned before any circuit
+//!   simulation (their coupling caps stay as quiet grounded load), and the
+//!   filter + analysis iterate to a fixed point because crosstalk push-out
+//!   moves the windows. Coupling specs can be hand-written or derived from
+//!   extracted parasitics by `nsta-parasitics`.
 //!
 //! ```
 //! use nsta_sta::{verilog, Constraints, Sta};
@@ -53,4 +60,4 @@ pub use error::StaError;
 pub use graph::TimingGraph;
 pub use netlist::{Design, Instance, NetId};
 pub use report::{NetTiming, TimingReport};
-pub use si::CouplingSpec;
+pub use si::{ArrivalWindow, CouplingSpec, PrunedAggressor, SiAdjustment, SiAnalysis, SiOptions};

@@ -18,7 +18,10 @@ pub struct Instance {
 impl Instance {
     /// The net connected to `pin`, if any.
     pub fn net_on(&self, pin: &str) -> Option<NetId> {
-        self.connections.iter().find(|(p, _)| p == pin).map(|&(_, n)| n)
+        self.connections
+            .iter()
+            .find(|(p, _)| p == pin)
+            .map(|&(_, n)| n)
     }
 }
 
@@ -36,7 +39,10 @@ pub struct Design {
 impl Design {
     /// Creates an empty design.
     pub fn new(name: &str) -> Self {
-        Design { name: name.into(), ..Design::default() }
+        Design {
+            name: name.into(),
+            ..Design::default()
+        }
     }
 
     /// Creates (or looks up) a named net.
@@ -103,7 +109,9 @@ impl Design {
         connections: Vec<(String, NetId)>,
     ) -> Result<(), StaError> {
         if self.instances.iter().any(|i| i.name == name) {
-            return Err(StaError::Structure(format!("duplicate instance name {name}")));
+            return Err(StaError::Structure(format!(
+                "duplicate instance name {name}"
+            )));
         }
         self.instances.push(Instance {
             name: name.into(),
@@ -151,7 +159,8 @@ mod tests {
         let mut d = Design::new("top");
         let a = d.net("a");
         let y = d.net("y");
-        d.add_instance("u1", "INVX1", vec![("A".into(), a), ("Y".into(), y)]).unwrap();
+        d.add_instance("u1", "INVX1", vec![("A".into(), a), ("Y".into(), y)])
+            .unwrap();
         assert!(d.add_instance("u1", "INVX1", vec![]).is_err());
         assert_eq!(d.instances().len(), 1);
         assert_eq!(d.instances()[0].net_on("A"), Some(a));

@@ -61,12 +61,22 @@ impl TimingReport {
         worst_slack: f64,
         worst_arrival: f64,
     ) -> Self {
-        TimingReport { nets, critical, worst_slack, worst_arrival }
+        TimingReport {
+            nets,
+            critical,
+            worst_slack,
+            worst_arrival,
+        }
     }
 
     /// Timing of a specific net.
     pub fn net(&self, net: NetId) -> Option<&NetTiming> {
         self.nets.iter().find(|n| n.net == net)
+    }
+
+    /// Timing of a net looked up by name.
+    pub fn net_by_name(&self, name: &str) -> Option<&NetTiming> {
+        self.nets.iter().find(|n| n.name == name)
     }
 
     /// All net timings.

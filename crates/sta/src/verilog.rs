@@ -56,7 +56,10 @@ fn lex(src: &str) -> Result<Vec<(Tok, usize)>, StaError> {
                     i += 1;
                 }
                 if i + 1 >= chars.len() {
-                    return Err(StaError::Parse { line, message: "unterminated comment".into() });
+                    return Err(StaError::Parse {
+                        line,
+                        message: "unterminated comment".into(),
+                    });
                 }
                 i += 2;
             }
@@ -123,7 +126,10 @@ impl P {
     }
 
     fn err<T>(&self, message: impl Into<String>) -> Result<T, StaError> {
-        Err(StaError::Parse { line: self.line(), message: message.into() })
+        Err(StaError::Parse {
+            line: self.line(),
+            message: message.into(),
+        })
     }
 
     fn ident(&mut self, what: &str) -> Result<String, StaError> {
@@ -167,7 +173,10 @@ impl P {
 ///
 /// [`StaError::Parse`] with the offending line.
 pub fn parse_design(source: &str) -> Result<Design, StaError> {
-    let mut p = P { toks: lex(source)?, pos: 0 };
+    let mut p = P {
+        toks: lex(source)?,
+        pos: 0,
+    };
     let kw = p.ident("'module'")?;
     if kw != "module" {
         return p.err("expected 'module'");

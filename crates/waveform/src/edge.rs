@@ -70,7 +70,9 @@ impl Thresholds {
         high_frac: f64,
     ) -> Result<Self, WaveformError> {
         if !(vdd.is_finite() && vdd > 0.0) {
-            return Err(WaveformError::InvalidParameter("vdd must be positive and finite"));
+            return Err(WaveformError::InvalidParameter(
+                "vdd must be positive and finite",
+            ));
         }
         let ok = low_frac.is_finite()
             && mid_frac.is_finite()
@@ -84,7 +86,12 @@ impl Thresholds {
                 "threshold fractions must satisfy 0 < low < mid < high < 1",
             ));
         }
-        Ok(Thresholds { vdd, low_frac, mid_frac, high_frac })
+        Ok(Thresholds {
+            vdd,
+            low_frac,
+            mid_frac,
+            high_frac,
+        })
     }
 
     /// Supply voltage in volts.

@@ -39,7 +39,10 @@ impl fmt::Display for WaveformError {
             }
             WaveformError::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
             WaveformError::IncompleteTransition => {
-                write!(f, "waveform does not complete a transition between thresholds")
+                write!(
+                    f,
+                    "waveform does not complete a transition between thresholds"
+                )
             }
         }
     }

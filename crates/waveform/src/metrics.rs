@@ -28,7 +28,9 @@ pub fn band_area(
         return Err(WaveformError::InvalidParameter("band area needs t1 > t0"));
     }
     if !(v_hi > v_lo) {
-        return Err(WaveformError::InvalidParameter("band area needs v_hi > v_lo"));
+        return Err(WaveformError::InvalidParameter(
+            "band area needs v_hi > v_lo",
+        ));
     }
     // Integrate the clamped waveform on a grid refined with the recorded
     // samples plus crossing points of both levels, so the piecewise-linear
@@ -58,7 +60,9 @@ pub fn band_area(
 /// [`WaveformError::InvalidParameter`] if `n < 2`.
 pub fn rms_difference(a: &Waveform, b: &Waveform, n: usize) -> Result<f64, WaveformError> {
     if n < 2 {
-        return Err(WaveformError::InvalidParameter("need at least two sample points"));
+        return Err(WaveformError::InvalidParameter(
+            "need at least two sample points",
+        ));
     }
     let t0 = a.t_start().min(b.t_start());
     let t1 = a.t_end().max(b.t_end());
@@ -78,7 +82,9 @@ pub fn rms_difference(a: &Waveform, b: &Waveform, n: usize) -> Result<f64, Wavef
 /// [`WaveformError::InvalidParameter`] if `n < 2`.
 pub fn max_difference(a: &Waveform, b: &Waveform, n: usize) -> Result<f64, WaveformError> {
     if n < 2 {
-        return Err(WaveformError::InvalidParameter("need at least two sample points"));
+        return Err(WaveformError::InvalidParameter(
+            "need at least two sample points",
+        ));
     }
     let t0 = a.t_start().min(b.t_start());
     let t1 = a.t_end().max(b.t_end());

@@ -88,7 +88,8 @@ impl Waveform {
         tau_fall: f64,
         height: f64,
     ) -> Result<Waveform, WaveformError> {
-        if !(tau_rise > 0.0 && tau_fall > tau_rise) || !t0.is_finite() || !height.is_finite() {
+        let valid = tau_rise > 0.0 && tau_fall > tau_rise && t0.is_finite() && height.is_finite();
+        if !valid {
             return Err(WaveformError::InvalidParameter(
                 "coupling pulse needs 0 < tau_rise < tau_fall",
             ));

@@ -35,10 +35,14 @@ impl SaturatedRamp {
     /// argument is non-finite — a saturated ramp must actually transition.
     pub fn from_coefficients(a: f64, b: f64, vdd: f64) -> Result<Self, WaveformError> {
         if !(a.is_finite() && b.is_finite() && vdd.is_finite()) {
-            return Err(WaveformError::InvalidParameter("ramp coefficients must be finite"));
+            return Err(WaveformError::InvalidParameter(
+                "ramp coefficients must be finite",
+            ));
         }
         if a == 0.0 {
-            return Err(WaveformError::InvalidParameter("ramp slope must be non-zero"));
+            return Err(WaveformError::InvalidParameter(
+                "ramp slope must be non-zero",
+            ));
         }
         if vdd <= 0.0 {
             return Err(WaveformError::InvalidParameter("vdd must be positive"));
@@ -61,7 +65,9 @@ impl SaturatedRamp {
         rising: bool,
     ) -> Result<Self, WaveformError> {
         if !(slew.is_finite() && arrival_mid.is_finite()) {
-            return Err(WaveformError::InvalidParameter("arrival and slew must be finite"));
+            return Err(WaveformError::InvalidParameter(
+                "arrival and slew must be finite",
+            ));
         }
         if slew <= 0.0 {
             return Err(WaveformError::InvalidParameter("slew must be positive"));
@@ -145,7 +151,11 @@ impl SaturatedRamp {
     /// Returns a copy shifted by `dt` in time.
     pub fn shifted(&self, dt: f64) -> SaturatedRamp {
         // v = a (t - dt) + b  ⇒  intercept b' = b - a·dt.
-        SaturatedRamp { a: self.a, b: self.b - self.a * dt, vdd: self.vdd }
+        SaturatedRamp {
+            a: self.a,
+            b: self.b - self.a * dt,
+            vdd: self.vdd,
+        }
     }
 
     /// Samples the saturated ramp into a [`Waveform`] over `[t0, t1]`.
@@ -163,7 +173,7 @@ impl SaturatedRamp {
         for brk in [self.t_rail_departure(), self.t_rail_arrival()] {
             if brk > t0 && brk < t1 {
                 let pos = ts.partition_point(|&t| t < brk);
-                if ts.get(pos).map_or(true, |&t| t != brk) {
+                if ts.get(pos).is_none_or(|&t| t != brk) {
                     ts.insert(pos, brk);
                 }
             }

@@ -38,7 +38,10 @@ impl Waveform {
     /// * [`WaveformError::NonFinite`] on NaN/inf entries.
     pub fn new(ts: Vec<f64>, vs: Vec<f64>) -> Result<Self, WaveformError> {
         if ts.len() != vs.len() {
-            return Err(WaveformError::LengthMismatch { times: ts.len(), values: vs.len() });
+            return Err(WaveformError::LengthMismatch {
+                times: ts.len(),
+                values: vs.len(),
+            });
         }
         if ts.len() < 2 {
             return Err(WaveformError::InvalidTimeAxis("need at least two samples"));
@@ -50,7 +53,9 @@ impl Waveform {
             return Err(WaveformError::NonFinite("voltage samples"));
         }
         if ts.windows(2).any(|w| w[1] <= w[0]) {
-            return Err(WaveformError::InvalidTimeAxis("times must be strictly increasing"));
+            return Err(WaveformError::InvalidTimeAxis(
+                "times must be strictly increasing",
+            ));
         }
         Ok(Waveform { ts, vs })
     }
@@ -69,7 +74,9 @@ impl Waveform {
         mut f: impl FnMut(f64) -> f64,
     ) -> Result<Self, WaveformError> {
         if !(t1 > t0) || !(dt > 0.0) || !t0.is_finite() || !t1.is_finite() || !dt.is_finite() {
-            return Err(WaveformError::InvalidParameter("need t1 > t0 and dt > 0, all finite"));
+            return Err(WaveformError::InvalidParameter(
+                "need t1 > t0 and dt > 0, all finite",
+            ));
         }
         let n = ((t1 - t0) / dt).ceil() as usize + 1;
         let mut ts = Vec::with_capacity(n);
@@ -180,7 +187,8 @@ impl Waveform {
     ///
     /// [`WaveformError::NoCrossing`] if the waveform never reaches `level`.
     pub fn first_crossing_or_err(&self, level: f64) -> Result<f64, WaveformError> {
-        self.first_crossing(level).ok_or(WaveformError::NoCrossing { level })
+        self.first_crossing(level)
+            .ok_or(WaveformError::NoCrossing { level })
     }
 
     /// Latest crossing of `level`, as an error if absent.
@@ -189,7 +197,8 @@ impl Waveform {
     ///
     /// [`WaveformError::NoCrossing`] if the waveform never reaches `level`.
     pub fn last_crossing_or_err(&self, level: f64) -> Result<f64, WaveformError> {
-        self.last_crossing(level).ok_or(WaveformError::NoCrossing { level })
+        self.last_crossing(level)
+            .ok_or(WaveformError::NoCrossing { level })
     }
 
     /// Transition direction inferred from the settled end values relative to
@@ -219,11 +228,18 @@ impl Waveform {
     ///
     /// [`WaveformError::IncompleteTransition`] if either level is never
     /// crossed or the region is empty.
-    pub fn critical_region(&self, th: Thresholds, polarity: Polarity) -> Result<(f64, f64), WaveformError> {
+    pub fn critical_region(
+        &self,
+        th: Thresholds,
+        polarity: Polarity,
+    ) -> Result<(f64, f64), WaveformError> {
         let (start_level, end_level) = th.slew_levels(polarity);
-        let t_first =
-            self.first_crossing(start_level).ok_or(WaveformError::IncompleteTransition)?;
-        let t_last = self.last_crossing(end_level).ok_or(WaveformError::IncompleteTransition)?;
+        let t_first = self
+            .first_crossing(start_level)
+            .ok_or(WaveformError::IncompleteTransition)?;
+        let t_last = self
+            .last_crossing(end_level)
+            .ok_or(WaveformError::IncompleteTransition)?;
         if t_last <= t_first {
             return Err(WaveformError::IncompleteTransition);
         }
@@ -238,9 +254,15 @@ impl Waveform {
     ///
     /// [`WaveformError::IncompleteTransition`] if the transition never
     /// completes.
-    pub fn slew_first_to_first(&self, th: Thresholds, polarity: Polarity) -> Result<f64, WaveformError> {
+    pub fn slew_first_to_first(
+        &self,
+        th: Thresholds,
+        polarity: Polarity,
+    ) -> Result<f64, WaveformError> {
         let (start_level, end_level) = th.slew_levels(polarity);
-        let t0 = self.first_crossing(start_level).ok_or(WaveformError::IncompleteTransition)?;
+        let t0 = self
+            .first_crossing(start_level)
+            .ok_or(WaveformError::IncompleteTransition)?;
         let t1 = self
             .crossings(end_level)
             .into_iter()
@@ -257,7 +279,11 @@ impl Waveform {
     ///
     /// [`WaveformError::IncompleteTransition`] if the transition never
     /// completes.
-    pub fn slew_first_to_last(&self, th: Thresholds, polarity: Polarity) -> Result<f64, WaveformError> {
+    pub fn slew_first_to_last(
+        &self,
+        th: Thresholds,
+        polarity: Polarity,
+    ) -> Result<f64, WaveformError> {
         let (t0, t1) = self.critical_region(th, polarity)?;
         Ok(t1 - t0)
     }
@@ -265,7 +291,10 @@ impl Waveform {
     /// Returns a copy shifted by `dt` in time.
     pub fn shifted(&self, dt: f64) -> Waveform {
         let ts = self.ts.iter().map(|t| t + dt).collect();
-        Waveform { ts, vs: self.vs.clone() }
+        Waveform {
+            ts,
+            vs: self.vs.clone(),
+        }
     }
 
     /// Returns a copy with voltages transformed by `f`.
@@ -295,7 +324,9 @@ impl Waveform {
     /// outside the recorded span.
     pub fn windowed(&self, t0: f64, t1: f64) -> Result<Waveform, WaveformError> {
         if !(t1 > t0) {
-            return Err(WaveformError::InvalidParameter("window must satisfy t1 > t0"));
+            return Err(WaveformError::InvalidParameter(
+                "window must satisfy t1 > t0",
+            ));
         }
         let mut ts = vec![t0];
         let mut vs = vec![self.value_at(t0)];
@@ -342,11 +373,14 @@ impl Waveform {
                 }
                 (None, None) => break,
             };
-            if ts.last().map_or(true, |&last| t > last) {
+            if ts.last().is_none_or(|&last| t > last) {
                 ts.push(t);
             }
         }
-        let vs: Vec<f64> = ts.iter().map(|&t| self.value_at(t) + other.value_at(t)).collect();
+        let vs: Vec<f64> = ts
+            .iter()
+            .map(|&t| self.value_at(t) + other.value_at(t))
+            .collect();
         Waveform { ts, vs }
     }
 
@@ -364,7 +398,10 @@ impl Waveform {
                 (self.vs[k + 1] - self.vs[k - 1]) / (self.ts[k + 1] - self.ts[k - 1])
             };
         }
-        Waveform { ts: self.ts.clone(), vs: dv }
+        Waveform {
+            ts: self.ts.clone(),
+            vs: dv,
+        }
     }
 
     /// `true` if voltages are non-decreasing (rise) or non-increasing (fall)
@@ -424,11 +461,8 @@ mod tests {
     #[test]
     fn crossings_first_last() {
         // Rise with a dip: crosses 0.5 three times.
-        let w = Waveform::new(
-            vec![0.0, 1.0, 2.0, 3.0, 4.0],
-            vec![0.0, 0.7, 0.3, 1.0, 1.0],
-        )
-        .unwrap();
+        let w =
+            Waveform::new(vec![0.0, 1.0, 2.0, 3.0, 4.0], vec![0.0, 0.7, 0.3, 1.0, 1.0]).unwrap();
         let c = w.crossings(0.5);
         assert_eq!(c.len(), 3);
         assert!((w.first_crossing(0.5).unwrap() - 5.0 / 7.0).abs() < 1e-12);

@@ -1,58 +1,104 @@
-//! Property-based tests of the waveform algebra.
+//! Property-style tests of the waveform algebra.
+//!
+//! The workspace builds offline, so instead of a property-testing framework
+//! these run each invariant over a deterministic seeded sweep of inputs.
 
 use nsta_waveform::{metrics, Polarity, SaturatedRamp, Thresholds, Waveform};
-use proptest::prelude::*;
 
-fn arb_ramp() -> impl Strategy<Value = (f64, f64, bool)> {
-    (300.0f64..2500.0, 30.0f64..600.0, any::<bool>())
-        .prop_map(|(t50, slew, rising)| (t50 * 1e-12, slew * 1e-12, rising))
+/// Deterministic xorshift64 sampler shared by the sweeps below.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed | 1)
+    }
+
+    fn next_unit(&mut self) -> f64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        (self.0 >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.next_unit()
+    }
+
+    fn usize_range(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next_unit() * (hi - lo) as f64) as usize
+    }
+
+    fn bool(&mut self) -> bool {
+        self.next_unit() < 0.5
+    }
+
+    /// A random `(t50, slew, rising)` ramp descriptor in SI units.
+    fn ramp(&mut self) -> (f64, f64, bool) {
+        (
+            self.range(300.0, 2500.0) * 1e-12,
+            self.range(30.0, 600.0) * 1e-12,
+            self.bool(),
+        )
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Shifting a waveform shifts every crossing by exactly the shift.
-    #[test]
-    fn crossings_shift_with_waveform((t50, slew, rising) in arb_ramp(), dt_ps in -500.0f64..500.0) {
-        let th = Thresholds::cmos(1.2);
-        let dt = dt_ps * 1e-12;
+/// Shifting a waveform shifts every crossing by exactly the shift.
+#[test]
+fn crossings_shift_with_waveform() {
+    let mut rng = Rng::new(0x51f7);
+    let th = Thresholds::cmos(1.2);
+    for _ in 0..128 {
+        let (t50, slew, rising) = rng.ramp();
+        let dt = rng.range(-500.0, 500.0) * 1e-12;
         let g = SaturatedRamp::with_slew(t50, slew, th, rising).expect("ramp");
-        let w = g.to_waveform(t50 - 2.0 * slew, t50 + 2.0 * slew, slew / 30.0).expect("wave");
+        let w = g
+            .to_waveform(t50 - 2.0 * slew, t50 + 2.0 * slew, slew / 30.0)
+            .expect("wave");
         let shifted = w.shifted(dt);
         for level in [th.low(), th.mid(), th.high()] {
             let a = w.crossings(level);
             let b = shifted.crossings(level);
-            prop_assert_eq!(a.len(), b.len());
+            assert_eq!(a.len(), b.len());
             for (x, y) in a.iter().zip(&b) {
-                prop_assert!((y - x - dt).abs() < 1e-15 + 1e-9 * dt.abs());
+                assert!((y - x - dt).abs() < 1e-15 + 1e-9 * dt.abs());
             }
         }
     }
+}
 
-    /// `value_at` is bounded by the sample extremes (linear interpolation
-    /// cannot overshoot).
-    #[test]
-    fn interpolation_never_overshoots(
-        samples in prop::collection::vec(-2.0f64..2.0, 2..40),
-        query in -1.0f64..2.0,
-    ) {
-        let n = samples.len();
+/// `value_at` is bounded by the sample extremes (linear interpolation
+/// cannot overshoot).
+#[test]
+fn interpolation_never_overshoots() {
+    let mut rng = Rng::new(0x0E3);
+    for _ in 0..128 {
+        let n = rng.usize_range(2, 40);
+        let samples: Vec<f64> = (0..n).map(|_| rng.range(-2.0, 2.0)).collect();
+        let query = rng.range(-1.0, 2.0);
         let ts: Vec<f64> = (0..n).map(|i| i as f64 * 0.1e-9).collect();
         let w = Waveform::new(ts, samples.clone()).expect("wave");
         let v = w.value_at(query * 1e-9);
         let lo = samples.iter().cloned().fold(f64::INFINITY, f64::min);
         let hi = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        prop_assert!(v >= lo - 1e-12 && v <= hi + 1e-12);
+        assert!(v >= lo - 1e-12 && v <= hi + 1e-12);
     }
+}
 
-    /// Superposition is commutative and associative at sample points.
-    #[test]
-    fn plus_is_commutative(
-        a_vals in prop::collection::vec(0.0f64..1.2, 3..12),
-        b_vals in prop::collection::vec(0.0f64..1.2, 3..12),
-    ) {
+/// Superposition is commutative at sample points.
+#[test]
+fn plus_is_commutative() {
+    let mut rng = Rng::new(0xADD);
+    for _ in 0..128 {
+        let a_vals: Vec<f64> = (0..rng.usize_range(3, 12))
+            .map(|_| rng.range(0.0, 1.2))
+            .collect();
+        let b_vals: Vec<f64> = (0..rng.usize_range(3, 12))
+            .map(|_| rng.range(0.0, 1.2))
+            .collect();
         let mk = |vals: &[f64], offset: f64| {
-            let ts: Vec<f64> = (0..vals.len()).map(|i| offset + i as f64 * 0.07e-9).collect();
+            let ts: Vec<f64> = (0..vals.len())
+                .map(|i| offset + i as f64 * 0.07e-9)
+                .collect();
             Waveform::new(ts, vals.to_vec()).expect("wave")
         };
         let a = mk(&a_vals, 0.0);
@@ -61,42 +107,57 @@ proptest! {
         let ba = b.plus(&a);
         for k in 0..60 {
             let t = -0.1e-9 + k as f64 * 0.02e-9;
-            prop_assert!((ab.value_at(t) - ba.value_at(t)).abs() < 1e-12);
+            assert!((ab.value_at(t) - ba.value_at(t)).abs() < 1e-12);
         }
     }
+}
 
-    /// The integral is additive over superposition.
-    #[test]
-    fn integral_is_linear(
-        a_vals in prop::collection::vec(0.0f64..1.0, 4..10),
-    ) {
-        let ts: Vec<f64> = (0..a_vals.len()).map(|i| i as f64 * 0.1e-9).collect();
-        let a = Waveform::new(ts.clone(), a_vals.clone()).expect("wave");
+/// The integral is additive over superposition.
+#[test]
+fn integral_is_linear() {
+    let mut rng = Rng::new(0x171);
+    for _ in 0..128 {
+        let n = rng.usize_range(4, 10);
+        let a_vals: Vec<f64> = (0..n).map(|_| rng.range(0.0, 1.0)).collect();
+        let ts: Vec<f64> = (0..n).map(|i| i as f64 * 0.1e-9).collect();
+        let a = Waveform::new(ts, a_vals).expect("wave");
         let doubled = a.plus(&a);
-        prop_assert!((doubled.integral() - 2.0 * a.integral()).abs() < 1e-18);
+        assert!((doubled.integral() - 2.0 * a.integral()).abs() < 1e-18);
     }
+}
 
-    /// A monotone rising record has exactly one crossing per interior level.
-    #[test]
-    fn monotone_rise_has_single_crossings((t50, slew, _) in arb_ramp()) {
-        let th = Thresholds::cmos(1.2);
+/// A monotone rising record has exactly one crossing per interior level.
+#[test]
+fn monotone_rise_has_single_crossings() {
+    let mut rng = Rng::new(0x2150);
+    let th = Thresholds::cmos(1.2);
+    for _ in 0..128 {
+        let (t50, slew, _) = rng.ramp();
         let g = SaturatedRamp::with_slew(t50, slew, th, true).expect("ramp");
-        let w = g.to_waveform(t50 - 2.0 * slew, t50 + 2.0 * slew, slew / 25.0).expect("wave");
-        prop_assert!(w.is_monotonic(Polarity::Rise, 1e-12));
+        let w = g
+            .to_waveform(t50 - 2.0 * slew, t50 + 2.0 * slew, slew / 25.0)
+            .expect("wave");
+        assert!(w.is_monotonic(Polarity::Rise, 1e-12));
         for frac in [0.2, 0.5, 0.8] {
-            prop_assert_eq!(w.crossings(frac * 1.2).len(), 1, "level {}", frac);
+            assert_eq!(w.crossings(frac * 1.2).len(), 1, "level {frac}");
         }
     }
+}
 
-    /// Band area is monotone in the band's upper level.
-    #[test]
-    fn band_area_monotone_in_levels((t50, slew, rising) in arb_ramp()) {
-        let th = Thresholds::cmos(1.2);
+/// Band area is monotone in the band's upper level.
+#[test]
+fn band_area_monotone_in_levels() {
+    let mut rng = Rng::new(0xA3EA);
+    let th = Thresholds::cmos(1.2);
+    for _ in 0..128 {
+        let (t50, slew, rising) = rng.ramp();
         let g = SaturatedRamp::with_slew(t50, slew, th, rising).expect("ramp");
-        let w = g.to_waveform(t50 - 2.0 * slew, t50 + 2.0 * slew, slew / 25.0).expect("wave");
+        let w = g
+            .to_waveform(t50 - 2.0 * slew, t50 + 2.0 * slew, slew / 25.0)
+            .expect("wave");
         let (t0, t1) = (w.t_start(), w.t_end());
         let a_small = metrics::band_area(&w, t0, t1, 0.0, 0.6).expect("area");
         let a_large = metrics::band_area(&w, t0, t1, 0.0, 1.2).expect("area");
-        prop_assert!(a_large >= a_small - 1e-18);
+        assert!(a_large >= a_small - 1e-18);
     }
 }

@@ -9,13 +9,20 @@ use noisy_sta::liberty::parse_library;
 use noisy_sta::spice::Process;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let out_path = std::env::args().nth(1).unwrap_or_else(|| "nsta013.lib".to_string());
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "nsta013.lib".to_string());
     let proc = Process::c013();
     eprintln!("characterizing INVX1/INVX2/INVX4/INVX8 on a 5x5 grid...");
     let opts = Options::standard();
     let lib = inverter_family(
         &proc,
-        &[("INVX1", 1.0), ("INVX2", 2.0), ("INVX4", 4.0), ("INVX8", 8.0)],
+        &[
+            ("INVX1", 1.0),
+            ("INVX2", 2.0),
+            ("INVX4", 4.0),
+            ("INVX8", 8.0),
+        ],
         &opts,
     )?;
 
@@ -24,7 +31,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("wrote {} ({} bytes)", out_path, text.len());
 
     let parsed = parse_library(&text)?;
-    assert_eq!(parsed.to_liberty(), text, "serialization must be idempotent");
+    assert_eq!(
+        parsed.to_liberty(),
+        text,
+        "serialization must be idempotent"
+    );
     println!("round trip parse OK: {} cells", parsed.cells().len());
 
     // Show the classic NLDM landscape for one cell.

@@ -28,7 +28,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "{:>9} {:>12} {:>9} {:>9} {:>9} {:>9}",
         "skew(ps)", "golden(ps)", "P1", "E4", "WLS5", "SGDP"
     );
-    let methods = [MethodKind::P1, MethodKind::E4, MethodKind::Wls5, MethodKind::Sgdp];
+    let methods = [
+        MethodKind::P1,
+        MethodKind::E4,
+        MethodKind::Wls5,
+        MethodKind::Sgdp,
+    ];
     for k in 0..cases {
         let skew = -0.5e-9 + 1.0e-9 * k as f64 / (cases - 1) as f64;
         let noisy = fig1::run_case(&cfg, &[skew])?;

@@ -3,7 +3,7 @@
 //!
 //! Run with `cargo run --release --example quickstart`.
 
-use noisy_sta::core::gate::{AnalyticInverterGate, GateModel};
+use noisy_sta::core::gate::AnalyticInverterGate;
 use noisy_sta::core::{MethodKind, PropagationContext};
 use noisy_sta::waveform::{SaturatedRamp, Thresholds};
 

@@ -31,7 +31,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &[("INVX1", 1.0), ("INVX4", 4.0)],
         &Options::fast_test(),
     )?;
-    println!("library `{}` with {} cells characterized", "nsta013", lib.cells().len());
+    println!(
+        "library `nsta013` with {} cells characterized",
+        lib.cells().len()
+    );
 
     let design = verilog::parse_design(NETLIST)?;
     let sta = Sta::new(design, lib)?;

@@ -13,7 +13,10 @@
 //!   ([`liberty`]),
 //! * the paper's contribution — the **SGDP** equivalent-waveform technique —
 //!   together with the P1/P2/LSF3/E4/WLS5 baselines ([`core`]),
-//! * a crosstalk-aware static timing analyzer ([`sta`]).
+//! * a crosstalk-aware static timing analyzer with timing-window aggressor
+//!   filtering ([`sta`]),
+//! * a SPEF parasitic-extraction subsystem that derives the coupling
+//!   structure from extracted RC networks ([`parasitics`]).
 //!
 //! Each sub-crate is usable on its own; this crate merely re-exports them
 //! under stable names so applications can depend on a single entry point.
@@ -45,6 +48,7 @@
 pub use nsta_circuit as circuit;
 pub use nsta_liberty as liberty;
 pub use nsta_numeric as numeric;
+pub use nsta_parasitics as parasitics;
 pub use nsta_spice as spice;
 pub use nsta_sta as sta;
 pub use nsta_waveform as waveform;

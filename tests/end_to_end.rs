@@ -9,7 +9,11 @@ use noisy_sta::waveform::Thresholds;
 
 /// Faster settings for CI: coarser step, shorter tail.
 fn test_cfg() -> Fig1Config {
-    Fig1Config { dt: 2e-12, t_stop: 3.5e-9, ..Fig1Config::config_i() }
+    Fig1Config {
+        dt: 2e-12,
+        t_stop: 3.5e-9,
+        ..Fig1Config::config_i()
+    }
 }
 
 #[test]
@@ -41,7 +45,10 @@ fn config_i_accuracy_pipeline() {
         assert!(report.golden_delay.value() < 500e-12);
         // SGDP succeeds on every delay-noise case.
         let err = report.error_of(MethodKind::Sgdp).expect("sgdp succeeds");
-        assert!(err < 150e-12, "sgdp error {err:e} out of band at skew {skew:e}");
+        assert!(
+            err < 150e-12,
+            "sgdp error {err:e} out of band at skew {skew:e}"
+        );
         sgdp_errors.push(err);
     }
     assert!(!sgdp_errors.is_empty());
@@ -156,7 +163,19 @@ fn sta_crosstalk_uses_equivalent_waveforms() {
     assert!(with_si.worst_slack() <= nominal.worst_slack() + 1e-15);
     // The victim's fanout arrives later than over an ideal wire.
     let y = sta.design().find_net("y").expect("net y");
-    let nom = nominal.net(y).expect("timing").rise.as_ref().expect("rise").arrival;
-    let si = with_si.net(y).expect("timing").rise.as_ref().expect("rise").arrival;
+    let nom = nominal
+        .net(y)
+        .expect("timing")
+        .rise
+        .as_ref()
+        .expect("rise")
+        .arrival;
+    let si = with_si
+        .net(y)
+        .expect("timing")
+        .rise
+        .as_ref()
+        .expect("rise")
+        .arrival;
     assert!(si > nom);
 }
