@@ -7,10 +7,19 @@
 //! later groups get their far aggressor pruned — exercising both branches
 //! of the temporal-correlation filter at scale. The run reports binding
 //! statistics, pruning counts, fixed-point iterations and wall-clock time
-//! with and without the window filter.
+//! across four analysis configurations: windowed-incremental (the default
+//! flow), windowed with a forced full recompute per iteration (isolates the
+//! incremental fixed point's benefit), windowed on a worker pool (when
+//! `--threads > 1`; results are asserted bit-identical to 1-thread), and
+//! unfiltered.
 //!
-//! Usage: `spefbus [--groups N]`
+//! Alongside the text report it writes a machine-readable JSON summary
+//! (default `BENCH_spefbus.json`) so CI can archive the perf trajectory
+//! per PR.
+//!
+//! Usage: `spefbus [--groups N] [--threads N] [--json PATH]`
 
+use nsta_bench::json::Json;
 use nsta_bench::microbench;
 use nsta_liberty::characterize::{inverter_family, Options};
 use nsta_parasitics::ast::{CapElem, DNet, SpefFile, SpefNode, Units};
@@ -117,20 +126,28 @@ fn spef(groups: usize) -> SpefFile {
 
 fn main() {
     let mut groups = 8usize;
+    let mut threads = 1usize;
+    let mut json_path = String::from("BENCH_spefbus.json");
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
-        if a == "--groups" {
-            groups = args.next().and_then(|v| v.parse().ok()).unwrap_or(8);
+        match a.as_str() {
+            "--groups" => groups = args.next().and_then(|v| v.parse().ok()).unwrap_or(8),
+            "--threads" => threads = args.next().and_then(|v| v.parse().ok()).unwrap_or(1),
+            "--json" => json_path = args.next().unwrap_or(json_path),
+            _ => {}
         }
     }
+    let threads = threads.max(1);
 
     eprintln!("characterizing library...");
+    let t = Instant::now();
     let lib = inverter_family(
         &Process::c013(),
         &[("INVX1", 1.0), ("INVX4", 4.0)],
         &Options::fast_test(),
     )
     .expect("characterization");
+    let characterize_time = t.elapsed();
 
     let design = verilog::parse_design(&netlist(groups)).expect("netlist");
     let spef_text = write_spef(&spef(groups));
@@ -152,11 +169,48 @@ fn main() {
     let sta = Sta::new(design, lib).expect("sta");
     let c = Constraints::default();
 
+    // The production flow: windows + incremental fixed point, 1 thread.
     let t = Instant::now();
     let filtered = sta
         .analyze_with_crosstalk_windows(&c, &bound.specs, &SiOptions::default())
         .expect("windowed analysis");
     let filtered_time = t.elapsed();
+    // Same analysis with the victim cache disabled: every fixed-point
+    // iteration re-simulates every victim. The gap to `filtered_time` is
+    // what the incremental fixed point buys.
+    let t = Instant::now();
+    let full_recompute = sta
+        .analyze_with_crosstalk_windows(
+            &c,
+            &bound.specs,
+            &SiOptions {
+                incremental: false,
+                ..SiOptions::default()
+            },
+        )
+        .expect("full-recompute analysis");
+    let full_recompute_time = t.elapsed();
+    // Worker-pool run (skipped at --threads 1); must be bit-identical.
+    let threaded_time = (threads > 1).then(|| {
+        let t = Instant::now();
+        let threaded = sta
+            .analyze_with_crosstalk_windows(
+                &c,
+                &bound.specs,
+                &SiOptions {
+                    threads,
+                    ..SiOptions::default()
+                },
+            )
+            .expect("threaded analysis");
+        let elapsed = t.elapsed();
+        assert_eq!(
+            threaded.report, filtered.report,
+            "threaded report must be bit-identical to 1-thread"
+        );
+        assert_eq!(threaded.adjustments, filtered.adjustments);
+        elapsed
+    });
     let t = Instant::now();
     let unfiltered = sta
         .analyze_with_crosstalk_windows(
@@ -169,6 +223,26 @@ fn main() {
         )
         .expect("unfiltered analysis");
     let unfiltered_time = t.elapsed();
+    // Cache reuse is tolerance-based (a victim within `convergence_tol` of
+    // its cached key is treated as converged), so the incremental run must
+    // match the full recompute to within that tolerance. On THIS fixture
+    // the bound is exact: groups are independent (no victim sits downstream
+    // of another), so cache keys repeat bit-for-bit across iterations and
+    // drift is identically 0 — which makes this assert a cheap tripwire
+    // for cache bugs. A future workload with chained victims would make
+    // sub-tol drift legitimate; relax the bound if you add one.
+    let incremental_drift = filtered
+        .report
+        .nets()
+        .iter()
+        .zip(full_recompute.report.nets())
+        .flat_map(|(a, b)| [(&a.rise, &b.rise), (&a.fall, &b.fall)])
+        .filter_map(|(a, b)| Some((a.as_ref()?.arrival - b.as_ref()?.arrival).abs()))
+        .fold(0.0f64, f64::max);
+    assert!(
+        incremental_drift <= SiOptions::default().convergence_tol,
+        "incremental drift {incremental_drift:e} s exceeds the convergence tolerance"
+    );
 
     println!(
         "window-filtered: {} pruned aggressor(s), {} iteration(s), converged {}, \
@@ -179,13 +253,82 @@ fn main() {
         filtered.report.worst_arrival() * 1e12,
     );
     println!(
+        "full recompute:  max drift {:.3} ps, no victim cache, {full_recompute_time:.2?} \
+         (incremental saves {:.1}%)",
+        incremental_drift * 1e12,
+        100.0 * (1.0 - filtered_time.as_secs_f64() / full_recompute_time.as_secs_f64().max(1e-12)),
+    );
+    if let Some(threaded) = threaded_time {
+        println!("threads={threads}:       bit-identical result, {threaded:.2?}");
+    }
+    println!(
         "unfiltered:      0 pruned aggressor(s), {} iteration(s), worst arrival {:.1} ps, \
          {unfiltered_time:.2?}",
         unfiltered.iterations,
         unfiltered.report.worst_arrival() * 1e12,
     );
 
-    // Per-iteration cost of the two modes, measured properly.
+    let ms = |d: std::time::Duration| Json::Num(d.as_secs_f64() * 1e3);
+    let report = Json::obj([
+        ("bench", Json::str("spefbus")),
+        ("groups", Json::from(groups)),
+        ("threads", Json::from(threads)),
+        (
+            "phases_ms",
+            Json::obj([
+                ("characterize", ms(characterize_time)),
+                ("spef_parse", ms(parse_time)),
+                ("bind", ms(bind_time)),
+                ("windowed_incremental", ms(filtered_time)),
+                ("windowed_full_recompute", ms(full_recompute_time)),
+                ("windowed_threaded", threaded_time.map_or(Json::Null, ms)),
+                ("unfiltered", ms(unfiltered_time)),
+            ]),
+        ),
+        (
+            "windowed",
+            Json::obj([
+                ("iterations", Json::from(filtered.iterations)),
+                ("pruned_aggressors", Json::from(filtered.pruned.len())),
+                ("converged", Json::from(filtered.converged)),
+                (
+                    "worst_arrival_ps",
+                    Json::Num(filtered.report.worst_arrival() * 1e12),
+                ),
+            ]),
+        ),
+        (
+            "unfiltered",
+            Json::obj([
+                ("iterations", Json::from(unfiltered.iterations)),
+                (
+                    "worst_arrival_ps",
+                    Json::Num(unfiltered.report.worst_arrival() * 1e12),
+                ),
+            ]),
+        ),
+        (
+            "parity",
+            Json::obj([
+                (
+                    "incremental_max_drift_ps",
+                    Json::Num(incremental_drift * 1e12),
+                ),
+                (
+                    "threaded_equals_single_thread",
+                    if threads > 1 {
+                        Json::from(true)
+                    } else {
+                        Json::Null
+                    },
+                ),
+            ]),
+        ),
+    ]);
+    std::fs::write(&json_path, report.render() + "\n").expect("write JSON report");
+    println!("wrote {json_path}");
+
+    // Per-iteration cost of the production mode, measured properly.
     if groups <= 8 {
         microbench::bench("spefbus/windowed_analysis", || {
             sta.analyze_with_crosstalk_windows(&c, &bound.specs, &SiOptions::default())

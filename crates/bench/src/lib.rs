@@ -6,6 +6,7 @@
 //! aggregation and plain-text/CSV reporting.
 
 pub mod experiments;
+pub mod json;
 pub mod microbench;
 pub mod report;
 pub mod workload;

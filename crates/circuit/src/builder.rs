@@ -53,7 +53,8 @@ pub(crate) struct ISource {
 /// piecewise-linear drives.
 #[derive(Debug, Clone, Default)]
 pub struct Circuit {
-    names: Vec<String>,
+    /// Node names; `None` for anonymous nodes (see [`Circuit::anon_node`]).
+    names: Vec<Option<String>>,
     pub(crate) resistors: Vec<Resistor>,
     pub(crate) capacitors: Vec<Capacitor>,
     pub(crate) vsources: Vec<VSource>,
@@ -74,10 +75,21 @@ impl Circuit {
     /// Calling `node` twice with the same name returns the same id, so
     /// subcircuit builders can meet at shared connection points by name.
     pub fn node(&mut self, name: &str) -> NodeId {
-        if let Some(pos) = self.names.iter().position(|n| n == name) {
+        if let Some(pos) = self.names.iter().position(|n| n.as_deref() == Some(name)) {
             return NodeId(pos);
         }
-        self.names.push(name.to_owned());
+        self.names.push(Some(name.to_owned()));
+        NodeId(self.names.len() - 1)
+    }
+
+    /// Creates a fresh anonymous node.
+    ///
+    /// Anonymous nodes carry no name: creating one neither allocates a
+    /// string nor scans the name table, so hot circuit-construction loops
+    /// (one coupled bundle per victim per crosstalk iteration) stay
+    /// allocation-free. They can never be returned by [`Circuit::node`].
+    pub fn anon_node(&mut self) -> NodeId {
+        self.names.push(None);
         NodeId(self.names.len() - 1)
     }
 
@@ -86,7 +98,7 @@ impl Circuit {
         self.names.len()
     }
 
-    /// Name of a node.
+    /// Name of a node; anonymous nodes report as `"<anon>"`.
     ///
     /// # Errors
     ///
@@ -97,7 +109,7 @@ impl Circuit {
         }
         self.names
             .get(id.0)
-            .map(String::as_str)
+            .map(|n| n.as_deref().unwrap_or("<anon>"))
             .ok_or(CircuitError::UnknownNode { index: id.0 })
     }
 
@@ -182,7 +194,7 @@ impl Circuit {
         }
         if self.vsources.iter().any(|s| s.node == idx) {
             return Err(CircuitError::AlreadyDriven {
-                name: self.names[idx].clone(),
+                name: self.names[idx].clone().unwrap_or_else(|| "<anon>".into()),
             });
         }
         self.vsources.push(VSource {
@@ -228,8 +240,7 @@ impl Circuit {
         waveform: Waveform,
         r_drive: f64,
     ) -> Result<NodeId, CircuitError> {
-        let name = format!("__thev_{}", self.vsources.len());
-        let src = self.node(&name);
+        let src = self.anon_node();
         self.vsource(src, waveform)?;
         self.resistor(src, node, r_drive)?;
         Ok(src)

@@ -82,8 +82,12 @@ impl TransientOptions {
 #[derive(Debug, Clone)]
 pub struct TransientResult {
     times: Vec<f64>,
-    /// Per non-ground node (original circuit indexing), the voltage trace.
-    voltages: Vec<Vec<f64>>,
+    /// Time-major flat buffer: `data[ti * nodes + node]`. The step loop
+    /// appends one contiguous row per timestep (instead of touching one
+    /// cache line per node), and [`TransientResult::voltage`] pays the
+    /// strided gather once per queried node.
+    data: Vec<f64>,
+    nodes: usize,
 }
 
 impl TransientResult {
@@ -104,12 +108,58 @@ impl TransientResult {
                 "ground voltage is identically zero",
             ));
         }
-        let trace = self
-            .voltages
-            .get(node.0)
-            .ok_or(CircuitError::UnknownNode { index: node.0 })?;
-        Ok(Waveform::new(self.times.clone(), trace.clone())?)
+        if node.0 >= self.nodes {
+            return Err(CircuitError::UnknownNode { index: node.0 });
+        }
+        let trace: Vec<f64> = self
+            .data
+            .chunks_exact(self.nodes)
+            .map(|row| row[node.0])
+            .collect();
+        Ok(Waveform::new(self.times.clone(), trace)?)
     }
+}
+
+/// An assembled and factored trapezoidal integrator for one [`Circuit`]
+/// topology at one fixed timestep.
+///
+/// [`Circuit::prepare_transient`] splits the solver into two phases:
+///
+/// * **assemble/factor** (done once here): stamp `G`/`C`, eliminate driven
+///   nodes, precompute the step matrix `C − (h/2)·G`, and LU-factor both
+///   the trapezoidal left-hand side `C + (h/2)·G` and the DC operating
+///   point system;
+/// * **step** ([`TransientStepper::run`] /
+///   [`TransientStepper::run_with_vsources`]): sample the sources on the
+///   time grid and sweep the factored system across it.
+///
+/// Because the factors depend only on topology, element values and `dt`,
+/// one stepper can be re-run against many source vectors — the crosstalk
+/// flow simulates each victim's noisy and noiseless drive off a single
+/// factorization instead of assembling and factoring twice.
+#[derive(Debug)]
+pub struct TransientStepper<'c> {
+    circuit: &'c Circuit,
+    opts: TransientOptions,
+    times: Vec<f64>,
+    /// Free unknowns / driven (vsource) node counts.
+    nf: usize,
+    nd: usize,
+    /// Node index -> free slot (`usize::MAX` for driven nodes).
+    position: Vec<usize>,
+    /// Node index -> vsource slot (`usize::MAX` for free nodes).
+    driven_slot: Vec<usize>,
+    is_driven: Vec<bool>,
+    g_uk: DenseMatrix,
+    c_uk: DenseMatrix,
+    /// Step matrix `C_UU − (h/2)·G_UU`, precomputed once instead of being
+    /// recombined element-by-element every timestep.
+    rhs_mat: DenseMatrix,
+    /// Factors of the trapezoidal LHS `C_UU + (h/2)·G_UU`.
+    lhs_lu: LuFactors,
+    /// Factors of `G_UU` for the DC initial condition (absent when the run
+    /// starts from an all-zero state).
+    dc_lu: Option<LuFactors>,
 }
 
 impl Circuit {
@@ -121,12 +171,31 @@ impl Circuit {
     /// used across this workspace within each linear segment. The initial
     /// state is the DC solution at `t_start` (capacitors open).
     ///
+    /// Equivalent to `self.prepare_transient(opts)?.run()`; call
+    /// [`Circuit::prepare_transient`] directly to reuse the factorization
+    /// across several source vectors.
+    ///
     /// # Errors
     ///
     /// * [`CircuitError::Numeric`] if the mesh is singular even with gmin
     ///   regularization.
     /// * Propagated construction errors for malformed options.
     pub fn run_transient(&self, opts: TransientOptions) -> Result<TransientResult, CircuitError> {
+        self.prepare_transient(opts)?.run()
+    }
+
+    /// Assembles and factors the trapezoidal system once, returning a
+    /// [`TransientStepper`] that can be run repeatedly against different
+    /// source waveforms.
+    ///
+    /// # Errors
+    ///
+    /// * [`CircuitError::Numeric`] if the mesh is singular even with gmin
+    ///   regularization.
+    pub fn prepare_transient(
+        &self,
+        opts: TransientOptions,
+    ) -> Result<TransientStepper<'_>, CircuitError> {
         let n = self.node_count();
         // Partition nodes: driven nodes take known voltages, the rest are
         // unknowns. `position[i]` maps node -> unknown slot.
@@ -135,14 +204,13 @@ impl Circuit {
             is_driven[s.node] = true;
         }
         let mut position = vec![usize::MAX; n];
-        let mut free_nodes = Vec::new();
+        let mut nf = 0usize;
         for i in 0..n {
             if !is_driven[i] {
-                position[i] = free_nodes.len();
-                free_nodes.push(i);
+                position[i] = nf;
+                nf += 1;
             }
         }
-        let nf = free_nodes.len();
 
         // Full-system stamps split into UU (free-free) and UK (free-driven).
         let mut g_uu = DenseMatrix::zeros(nf, nf);
@@ -193,84 +261,183 @@ impl Circuit {
         let steps = ((opts.t_stop - opts.t_start) / h).round() as usize;
         let times: Vec<f64> = (0..=steps).map(|k| opts.t_start + k as f64 * h).collect();
 
-        // Known node voltages at every time point.
-        let mut vk = vec![vec![0.0; nd]; times.len()];
-        for (k, s) in self.vsources.iter().enumerate() {
-            for (ti, &t) in times.iter().enumerate() {
-                vk[ti][k] = s.waveform.value_at(t);
+        // Trapezoidal system, scaled by h: (C + hG/2) x_{n+1} =
+        //   (C − hG/2) x_n − C_UK Δvk − h G_UK v̄k + h (inj_n + inj_{n+1})/2.
+        let lhs = c_uu.add_scaled(&g_uu, h / 2.0)?;
+        let lhs_lu = LuFactors::factor(&lhs)?;
+        let rhs_mat = c_uu.add_scaled(&g_uu, -h / 2.0)?;
+        let dc_lu = if opts.zero_initial_state {
+            None
+        } else {
+            Some(LuFactors::factor(&g_uu)?)
+        };
+
+        Ok(TransientStepper {
+            circuit: self,
+            opts,
+            times,
+            nf,
+            nd,
+            position,
+            driven_slot,
+            is_driven,
+            g_uk,
+            c_uk,
+            rhs_mat,
+            lhs_lu,
+            dc_lu,
+        })
+    }
+}
+
+impl TransientStepper<'_> {
+    /// The simulation time points the stepper integrates over.
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// Runs the integration with the circuit's own source waveforms.
+    ///
+    /// # Errors
+    ///
+    /// Propagates numeric failures from the factored solves.
+    pub fn run(&self) -> Result<TransientResult, CircuitError> {
+        let waves: Vec<&Waveform> = self.circuit.vsources.iter().map(|s| &s.waveform).collect();
+        self.run_with_vsources(&waves)
+    }
+
+    /// Runs the integration with replacement voltage-source waveforms,
+    /// reusing the factorization. `sources[k]` drives the node pinned by
+    /// the `k`-th [`Circuit::vsource`] call (Thevenin drivers register
+    /// their source in construction order).
+    ///
+    /// # Errors
+    ///
+    /// * [`CircuitError::InvalidOptions`] if `sources.len()` differs from
+    ///   the circuit's voltage-source count.
+    /// * Propagates numeric failures from the factored solves.
+    pub fn run_with_vsources(
+        &self,
+        sources: &[&Waveform],
+    ) -> Result<TransientResult, CircuitError> {
+        if sources.len() != self.nd {
+            return Err(CircuitError::InvalidOptions(
+                "one waveform required per voltage source",
+            ));
+        }
+        let (nf, nd) = (self.nf, self.nd);
+        let nt = self.times.len();
+        let h = self.opts.dt;
+        let n = self.circuit.node_count();
+
+        // Known node voltages at every time point (time-major: one row of
+        // `nd` values per time point).
+        let mut vk = vec![0.0; nt * nd];
+        let mut scratch = Vec::new();
+        for (k, w) in sources.iter().enumerate() {
+            w.sample_on_grid(&self.times, &mut scratch);
+            for (ti, &v) in scratch.iter().enumerate() {
+                vk[ti * nd + k] = v;
             }
         }
-        // Injected currents at every time point.
-        let mut inj = vec![vec![0.0; nf]; times.len()];
-        for s in &self.isources {
-            if is_driven[s.node] {
-                continue; // current into an ideally driven node is absorbed
-            }
-            let r = position[s.node];
-            for (ti, &t) in times.iter().enumerate() {
-                inj[ti][r] += s.waveform.value_at(t);
+        // Injected currents at every time point (time-major, `nf` wide);
+        // left empty when the circuit has no current sources, which skips
+        // both the table fill and the per-step reads.
+        let mut inj = Vec::new();
+        if !self.circuit.isources.is_empty() {
+            inj.resize(nt * nf, 0.0);
+            for s in &self.circuit.isources {
+                if self.is_driven[s.node] {
+                    continue; // current into an ideally driven node is absorbed
+                }
+                let r = self.position[s.node];
+                s.waveform.sample_on_grid(&self.times, &mut scratch);
+                for (ti, &v) in scratch.iter().enumerate() {
+                    inj[ti * nf + r] += v;
+                }
             }
         }
 
         // DC initial condition: G_UU x = inj(t0) − G_UK·vK(t0).
-        let mut x = if opts.zero_initial_state {
-            vec![0.0; nf]
+        let mut x = if let Some(dc) = &self.dc_lu {
+            let mut rhs = if inj.is_empty() {
+                vec![0.0; nf]
+            } else {
+                inj[..nf].to_vec()
+            };
+            for r in 0..nf {
+                let gr = &self.g_uk.row(r)[..nd];
+                for (k, g) in gr.iter().enumerate() {
+                    rhs[r] -= g * vk[k];
+                }
+            }
+            dc.solve(&rhs)?
         } else {
-            let lu = LuFactors::factor(&g_uu)?;
-            let mut rhs = inj[0].clone();
-            for r in 0..nf {
-                for k in 0..nd {
-                    rhs[r] -= g_uk.get(r, k) * vk[0][k];
-                }
-            }
-            lu.solve(&rhs)?
+            vec![0.0; nf]
         };
 
-        // Trapezoidal system: (C/h + G/2) x_{n+1} =
-        //   (C/h − G/2) x_n − C_UK Δvk/h − G_UK v̄k + (inj_n + inj_{n+1})/2.
-        let lhs = c_uu.add_scaled(&g_uu, h / 2.0)?; // scaled by h: C + hG/2
-        let lu = LuFactors::factor(&lhs)?;
-
-        let mut voltages: Vec<Vec<f64>> = vec![Vec::with_capacity(times.len()); n];
-        let record = |voltages: &mut Vec<Vec<f64>>, x: &[f64], vk_now: &[f64]| {
-            for i in 0..n {
-                let v = if is_driven[i] {
-                    vk_now[driven_slot[i]]
-                } else {
-                    x[position[i]]
-                };
-                voltages[i].push(v);
-            }
-        };
-        record(&mut voltages, &x, &vk[0]);
-
-        let mut rhs = vec![0.0; nf];
-        for ti in 1..times.len() {
-            // rhs = (C − hG/2)·x_n
+        // Source contributions of every step, tabulated up front so the
+        // step loop reads one contiguous row instead of slicing the
+        // coupler matrices per unknown per step:
+        //   src[ti][r] = −C_UK Δvk − h G_UK v̄k + h (inj_n + inj_{n+1})/2.
+        let mut src = vec![0.0; nt * nf];
+        for ti in 1..nt {
+            let vk_prev = &vk[(ti - 1) * nd..ti * nd];
+            let vk_now = &vk[ti * nd..(ti + 1) * nd];
+            let row = &mut src[ti * nf..(ti + 1) * nf];
             for r in 0..nf {
-                let mut acc = 0.0;
-                for c in 0..nf {
-                    acc += (c_uu.get(r, c) - h / 2.0 * g_uu.get(r, c)) * x[c];
-                }
-                rhs[r] = acc;
-            }
-            // Source contributions.
-            for r in 0..nf {
+                let gr = &self.g_uk.row(r)[..nd];
+                let cr = &self.c_uk.row(r)[..nd];
                 let mut acc = 0.0;
                 for k in 0..nd {
-                    let dv = vk[ti][k] - vk[ti - 1][k];
-                    let vbar = 0.5 * (vk[ti][k] + vk[ti - 1][k]);
-                    acc -= c_uk.get(r, k) * dv + h * g_uk.get(r, k) * vbar;
+                    let dv = vk_now[k] - vk_prev[k];
+                    let vbar = 0.5 * (vk_now[k] + vk_prev[k]);
+                    acc -= cr[k] * dv + h * gr[k] * vbar;
                 }
-                acc += h * 0.5 * (inj[ti][r] + inj[ti - 1][r]);
-                rhs[r] += acc;
+                row[r] = acc;
             }
-            lu.solve_in_place(&mut rhs)?;
-            x.copy_from_slice(&rhs);
-            record(&mut voltages, &x, &vk[ti]);
+            if !inj.is_empty() {
+                let inj_prev = &inj[(ti - 1) * nf..ti * nf];
+                let inj_now = &inj[ti * nf..(ti + 1) * nf];
+                for r in 0..nf {
+                    row[r] += h * 0.5 * (inj_now[r] + inj_prev[r]);
+                }
+            }
         }
 
-        Ok(TransientResult { times, voltages })
+        let mut data = Vec::with_capacity(n * nt);
+        let record = |data: &mut Vec<f64>, x: &[f64], vk_now: &[f64]| {
+            for i in 0..n {
+                data.push(if self.is_driven[i] {
+                    vk_now[self.driven_slot[i]]
+                } else {
+                    x[self.position[i]]
+                });
+            }
+        };
+        record(&mut data, &x, &vk[..nd]);
+
+        // The right-hand side is assembled row by row anyway, so write it
+        // directly in the LU's permuted row order and skip the permutation
+        // copy inside the solve.
+        let perm = self.lhs_lu.perm();
+        let mut x_next = vec![0.0; nf];
+        for ti in 1..nt {
+            let s_row = &src[ti * nf..(ti + 1) * nf];
+            for (i, &r) in perm.iter().enumerate() {
+                // rhs = (C − hG/2)·x_n + src, off the precomputed matrices.
+                x_next[i] = nsta_numeric::dot(self.rhs_mat.row(r), &x) + s_row[r];
+            }
+            self.lhs_lu.solve_prepermuted_in_place(&mut x_next)?;
+            std::mem::swap(&mut x, &mut x_next);
+            record(&mut data, &x, &vk[ti * nd..(ti + 1) * nd]);
+        }
+
+        Ok(TransientResult {
+            times: self.times.clone(),
+            data,
+            nodes: n,
+        })
     }
 }
 
@@ -443,6 +610,51 @@ mod tests {
             t50 > 0.4 * elmore && t50 < 1.4 * elmore,
             "t50={t50:e}, elmore={elmore:e}"
         );
+    }
+
+    #[test]
+    fn stepper_reuse_is_bit_identical_to_fresh_runs() {
+        // The noisy/noiseless pattern of the SI flow: same topology, two
+        // source vectors. One prepared stepper must reproduce separately
+        // assembled runs exactly.
+        let quiet = Waveform::constant(0.0, 0.0, 6e-9).unwrap();
+        let build = |agg_wave: Waveform| {
+            let mut ckt = Circuit::new();
+            let agg = ckt.node("agg");
+            let vic = ckt.node("vic");
+            ckt.thevenin_driver(agg, agg_wave, 100.0).unwrap();
+            ckt.thevenin_driver(vic, Waveform::constant(0.0, 0.0, 6e-9).unwrap(), 200.0)
+                .unwrap();
+            ckt.capacitor(agg, Circuit::GROUND, 5e-15).unwrap();
+            ckt.capacitor(vic, Circuit::GROUND, 5e-15).unwrap();
+            ckt.capacitor(agg, vic, 20e-15).unwrap();
+            (ckt, vic)
+        };
+        let noisy_wave = step_at(1e-9, 50e-12, 1.0, 10e-9);
+        let opts = TransientOptions::new(0.0, 6e-9, 2e-12).unwrap();
+
+        let (ckt, vic) = build(noisy_wave.clone());
+        let stepper = ckt.prepare_transient(opts).unwrap();
+        let via_run = stepper.run().unwrap().voltage(vic).unwrap();
+        let via_runtransient = ckt.run_transient(opts).unwrap().voltage(vic).unwrap();
+        assert_eq!(via_run, via_runtransient);
+
+        // Swap the aggressor quiet through the same factorization.
+        let vic_hold = Waveform::constant(0.0, 0.0, 6e-9).unwrap();
+        let overridden = stepper
+            .run_with_vsources(&[&quiet, &vic_hold])
+            .unwrap()
+            .voltage(vic)
+            .unwrap();
+        let (fresh, vic2) = build(quiet.clone());
+        let rebuilt = fresh.run_transient(opts).unwrap().voltage(vic2).unwrap();
+        assert_eq!(overridden, rebuilt);
+
+        // Source-count mismatch is rejected.
+        assert!(matches!(
+            stepper.run_with_vsources(&[&quiet]),
+            Err(CircuitError::InvalidOptions(_))
+        ));
     }
 
     #[test]

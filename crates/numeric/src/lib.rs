@@ -33,4 +33,4 @@ pub mod stats;
 
 pub use error::NumericError;
 pub use fit::{GaussNewton, GaussNewtonReport, LineFit};
-pub use matrix::{DenseMatrix, LuFactors};
+pub use matrix::{dot, DenseMatrix, LuFactors};

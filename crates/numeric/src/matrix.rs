@@ -1,5 +1,34 @@
 use crate::NumericError;
 
+/// Dot product with four-way accumulation.
+///
+/// A strictly left-to-right `f64` sum is one long dependency chain; four
+/// independent partial sums let superscalar cores overlap the
+/// multiply-adds, which is worth ~4× on the transient hot loop. The
+/// summation order is fixed by the input alone — never by thread count or
+/// timing — so results stay deterministic.
+///
+/// Trailing elements beyond the common length of `a` and `b` are ignored.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    let n = a.len().min(b.len());
+    let (a, b) = (&a[..n], &b[..n]);
+    let mut chunks_a = a.chunks_exact(4);
+    let mut chunks_b = b.chunks_exact(4);
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+    for (ca, cb) in (&mut chunks_a).zip(&mut chunks_b) {
+        s0 += ca[0] * cb[0];
+        s1 += ca[1] * cb[1];
+        s2 += ca[2] * cb[2];
+        s3 += ca[3] * cb[3];
+    }
+    let mut rest = 0.0;
+    for (x, y) in chunks_a.remainder().iter().zip(chunks_b.remainder()) {
+        rest += x * y;
+    }
+    (s0 + s2) + (s1 + s3) + rest
+}
+
 /// A dense, row-major, square-or-rectangular matrix of `f64`.
 ///
 /// The circuit engines assemble modified-nodal-analysis systems of at most a
@@ -115,6 +144,35 @@ impl DenseMatrix {
         self.data.iter_mut().for_each(|v| *v = 0.0);
     }
 
+    /// Overwrites this matrix with `other`'s contents, keeping the
+    /// allocation — the Newton loops reset their Jacobian to a precomputed
+    /// base this way instead of re-deriving it element by element.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::ShapeMismatch`] on dimension mismatch.
+    pub fn copy_from(&mut self, other: &DenseMatrix) -> Result<(), NumericError> {
+        if self.rows != other.rows || self.cols != other.cols {
+            return Err(NumericError::ShapeMismatch {
+                got: other.rows * other.cols,
+                expected: self.rows * self.cols,
+            });
+        }
+        self.data.copy_from_slice(&other.data);
+        Ok(())
+    }
+
+    /// Contiguous row `r` as a slice — lets hot loops dot rows against a
+    /// vector without per-element bounds checks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
     /// Matrix–vector product `A·x`.
     ///
     /// # Errors
@@ -189,6 +247,9 @@ pub struct LuFactors {
     lu: Vec<f64>,
     /// Row permutation applied during elimination.
     perm: Vec<usize>,
+    /// Reciprocals of U's diagonal: back substitution multiplies instead
+    /// of dividing, which matters in per-timestep solve loops.
+    inv_diag: Vec<f64>,
 }
 
 /// Pivots smaller than this are treated as structural singularities.
@@ -250,12 +311,45 @@ impl LuFactors {
                 }
             }
         }
-        Ok(LuFactors { n, lu, perm })
+        let inv_diag: Vec<f64> = (0..n).map(|i| 1.0 / lu[i * n + i]).collect();
+        Ok(LuFactors {
+            n,
+            lu,
+            perm,
+            inv_diag,
+        })
     }
 
     /// Dimension of the factored system.
     pub fn dim(&self) -> usize {
         self.n
+    }
+
+    /// The row permutation applied during factorization: row `i` of the
+    /// factored system corresponds to row `perm()[i]` of the original
+    /// matrix. Callers that assemble right-hand sides row by row can write
+    /// them directly in permuted order and use
+    /// [`LuFactors::solve_prepermuted_in_place`], skipping the permutation
+    /// copy of [`LuFactors::solve`].
+    pub fn perm(&self) -> &[usize] {
+        &self.perm
+    }
+
+    /// Solves `A·x = b` in place, where `x` already holds `b` *in permuted
+    /// order* (`x[i] = b[perm()[i]]`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::ShapeMismatch`] if `x.len() != self.dim()`.
+    pub fn solve_prepermuted_in_place(&self, x: &mut [f64]) -> Result<(), NumericError> {
+        if x.len() != self.n {
+            return Err(NumericError::ShapeMismatch {
+                got: x.len(),
+                expected: self.n,
+            });
+        }
+        self.solve_permuted_in_place(x);
+        Ok(())
     }
 
     /// Solves `A·x = b` for `x`.
@@ -289,23 +383,39 @@ impl LuFactors {
         Ok(())
     }
 
+    /// Solves `A·x = b` into a caller-provided buffer without allocating —
+    /// the transient steppers call this once per timestep.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::ShapeMismatch`] if `b.len()` or `x.len()`
+    /// differs from `self.dim()`.
+    pub fn solve_into(&self, b: &[f64], x: &mut [f64]) -> Result<(), NumericError> {
+        if b.len() != self.n || x.len() != self.n {
+            return Err(NumericError::ShapeMismatch {
+                got: b.len().min(x.len()),
+                expected: self.n,
+            });
+        }
+        for i in 0..self.n {
+            x[i] = b[self.perm[i]];
+        }
+        self.solve_permuted_in_place(x);
+        Ok(())
+    }
+
     fn solve_permuted_in_place(&self, x: &mut [f64]) {
         let n = self.n;
         // Forward substitution with unit-diagonal L.
         for i in 1..n {
-            let mut sum = x[i];
-            for j in 0..i {
-                sum -= self.lu[i * n + j] * x[j];
-            }
-            x[i] = sum;
+            let row = &self.lu[i * n..i * n + i];
+            x[i] -= dot(row, &x[..i]);
         }
         // Back substitution with U.
         for i in (0..n).rev() {
-            let mut sum = x[i];
-            for j in (i + 1)..n {
-                sum -= self.lu[i * n + j] * x[j];
-            }
-            x[i] = sum / self.lu[i * n + i];
+            let row = &self.lu[i * n + i + 1..(i + 1) * n];
+            let sum = x[i] - dot(row, &x[i + 1..]);
+            x[i] = sum * self.inv_diag[i];
         }
     }
 }
@@ -388,6 +498,43 @@ mod tests {
                 assert!((bi - yi).abs() < 1e-9, "n={n} residual too large");
             }
         }
+    }
+
+    #[test]
+    fn dot_matches_naive_sum() {
+        for n in 0..13 {
+            let a: Vec<f64> = (0..n).map(|i| 1.0 + i as f64 * 0.5).collect();
+            let b: Vec<f64> = (0..n).map(|i| 2.0 - i as f64 * 0.25).collect();
+            let naive: f64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+            assert!(
+                (dot(&a, &b) - naive).abs() < 1e-12 * naive.abs().max(1.0),
+                "n={n}"
+            );
+        }
+        // Length mismatch uses the common prefix.
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[10.0]), 10.0);
+    }
+
+    #[test]
+    fn solve_into_matches_solve() {
+        let a = DenseMatrix::from_rows(&[&[0.0, 2.0, 1.0], &[3.0, 0.5, -1.0], &[1.0, 1.0, 4.0]])
+            .unwrap();
+        let lu = LuFactors::factor(&a).unwrap();
+        let b = [1.0, -2.0, 0.5];
+        let via_solve = lu.solve(&b).unwrap();
+        let mut x = [0.0; 3];
+        lu.solve_into(&b, &mut x).unwrap();
+        assert_eq!(x.to_vec(), via_solve);
+        let mut short = [0.0; 2];
+        assert!(lu.solve_into(&b, &mut short).is_err());
+        assert!(lu.solve_into(&b[..2], &mut x).is_err());
+    }
+
+    #[test]
+    fn row_returns_contiguous_slice() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        assert_eq!(a.row(0), &[1.0, 2.0]);
+        assert_eq!(a.row(1), &[3.0, 4.0]);
     }
 
     #[test]

@@ -388,13 +388,8 @@ impl Netlist {
         let eval_static = |x: &[f64], w: &[f64], inj: &[f64], out: &mut Vec<f64>| {
             out.iter_mut().for_each(|v| *v = 0.0);
             for r in 0..nf {
-                let mut acc = 0.0;
-                for c in 0..nf {
-                    acc += asm.g_uu.get(r, c) * x[c];
-                }
-                for k in 0..asm.nd {
-                    acc += asm.g_uk.get(r, k) * w[k];
-                }
+                let acc = nsta_numeric::dot(asm.g_uu.row(r), x)
+                    + nsta_numeric::dot(&asm.g_uk.row(r)[..asm.nd], w);
                 out[r] = acc - inj[r];
             }
             self.device_currents(&asm, x, w, out, None);
@@ -415,6 +410,20 @@ impl Netlist {
         let mut a = DenseMatrix::zeros(nf, nf);
         let mut x_new = x.clone();
         let mut i_new = vec![0.0; nf];
+        let mut delta = vec![0.0; nf];
+        let mut dev_scratch = vec![0.0; nf];
+        // The linear part of the Jacobian, C_UU/h + ½ G_UU, never changes:
+        // precompute it once and reset `a` to it per Newton iteration
+        // instead of re-deriving it element by element.
+        let jac_base = {
+            let mut m = DenseMatrix::zeros(nf, nf);
+            for r in 0..nf {
+                for c in 0..nf {
+                    m.set(r, c, asm.c_uu.get(r, c) / h + 0.5 * asm.g_uu.get(r, c));
+                }
+            }
+            m
+        };
 
         for ti in 1..times.len() {
             let w_prev = &w_at[ti - 1];
@@ -430,25 +439,21 @@ impl Netlist {
                 eval_static(&x_new, w_now, &inj_at[ti], &mut i_new);
                 for r in 0..nf {
                     let mut acc = 0.0;
+                    let row = asm.c_uu.row(r);
                     for c in 0..nf {
-                        acc += asm.c_uu.get(r, c) * (x_new[c] - x[c]);
+                        acc += row[c] * (x_new[c] - x[c]);
                     }
+                    let ck = &asm.c_uk.row(r)[..asm.nd];
                     for k in 0..asm.nd {
-                        acc += asm.c_uk.get(r, k) * (w_now[k] - w_prev[k]);
+                        acc += ck[k] * (w_now[k] - w_prev[k]);
                     }
                     f[r] = acc / h + 0.5 * (i_new[r] + i_old[r]);
                 }
-                // Jacobian: C_UU/h + ½ G_UU + ½ J_dev.
-                a.clear();
-                for r in 0..nf {
-                    for c in 0..nf {
-                        a.add(r, c, asm.c_uu.get(r, c) / h + 0.5 * asm.g_uu.get(r, c));
-                    }
-                }
-                self.device_currents(&asm, &x_new, w_now, &mut vec![0.0; nf], Some((&mut a, 0.5)));
+                a.copy_from(&jac_base)?;
+                dev_scratch.iter_mut().for_each(|v| *v = 0.0);
+                self.device_currents(&asm, &x_new, w_now, &mut dev_scratch, Some((&mut a, 0.5)));
                 let lu = LuFactors::factor(&a)?;
-                let mut delta = f.clone();
-                lu.solve_in_place(&mut delta)?;
+                lu.solve_into(&f, &mut delta)?;
                 worst = 0.0;
                 for i in 0..nf {
                     let step = (-delta[i]).clamp(-opts.dv_clamp, opts.dv_clamp);

@@ -181,36 +181,10 @@ impl Sta {
         Ok((out_pol, delay, slew))
     }
 
-    /// Forward arrival sweep. `override_net` lets the crosstalk pass
-    /// replace the state of specific nets as they are reached.
-    pub(crate) fn forward_sweep(
-        &self,
-        constraints: &Constraints,
-        override_net: impl FnMut(NetId, &mut NetState) -> Result<(), StaError>,
-    ) -> Result<Vec<NetState>, StaError> {
-        self.forward_sweep_dir(constraints, false, override_net)
-    }
-
-    /// Forward sweep propagating *earliest* arrivals: the lower edge of
-    /// each net's switching window. The slew kept with each point is the
-    /// one produced by the earliest-arriving predecessor.
-    pub(crate) fn forward_sweep_min(
-        &self,
-        constraints: &Constraints,
-    ) -> Result<Vec<NetState>, StaError> {
-        self.forward_sweep_dir(constraints, true, |_, _| Ok(()))
-    }
-
-    /// Shared sweep body: propagates latest arrivals (`minimize == false`)
-    /// or earliest arrivals (`minimize == true`).
-    fn forward_sweep_dir(
-        &self,
-        constraints: &Constraints,
-        minimize: bool,
-        mut override_net: impl FnMut(NetId, &mut NetState) -> Result<(), StaError>,
-    ) -> Result<Vec<NetState>, StaError> {
-        let n = self.design.net_count();
-        let mut states = vec![NetState::default(); n];
+    /// Initial sweep states: primary inputs seeded from the constraints,
+    /// everything else invalid.
+    pub(crate) fn init_states(&self, constraints: &Constraints) -> Vec<NetState> {
+        let mut states = vec![NetState::default(); self.design.net_count()];
         for &input in self.design.inputs() {
             for pol in [Polarity::Rise, Polarity::Fall] {
                 let p = states[input.0].get_mut(pol);
@@ -219,32 +193,77 @@ impl Sta {
                 p.valid = true;
             }
         }
-        for &net in self.graph.topological_order() {
-            for &k in self.graph.fanin_edges(net) {
-                let edge = &self.graph.edges()[k];
-                let load = self.net_load(net, constraints);
-                for from_pol in [Polarity::Rise, Polarity::Fall] {
-                    let from = *states[edge.from.0].get(from_pol);
-                    if !from.valid {
-                        continue;
-                    }
-                    let (out_pol, delay, slew) = self.edge_timing(k, from_pol, from.slew, load)?;
-                    let candidate = from.arrival + delay;
-                    let p = states[net.0].get_mut(out_pol);
-                    let better = if minimize {
-                        candidate < p.arrival
-                    } else {
-                        candidate > p.arrival
-                    };
-                    if !p.valid || better {
-                        p.arrival = candidate;
-                        p.slew = slew;
-                        p.valid = true;
-                        p.pred = Some((k, from_pol));
-                    }
+        states
+    }
+
+    /// One net's fanin update: folds every incoming arc into the net's
+    /// current state and returns the result. Reads only predecessor
+    /// states, so all nets of one graph level can be updated concurrently;
+    /// the arithmetic is a fixed per-net operation sequence, making the
+    /// outcome independent of which thread runs it.
+    pub(crate) fn propagate_net(
+        &self,
+        net: NetId,
+        states: &[NetState],
+        constraints: &Constraints,
+        minimize: bool,
+    ) -> Result<NetState, StaError> {
+        let mut state = states[net.0];
+        let load = self.net_load(net, constraints);
+        for &k in self.graph.fanin_edges(net) {
+            let edge = &self.graph.edges()[k];
+            for from_pol in [Polarity::Rise, Polarity::Fall] {
+                let from = *states[edge.from.0].get(from_pol);
+                if !from.valid {
+                    continue;
+                }
+                let (out_pol, delay, slew) = self.edge_timing(k, from_pol, from.slew, load)?;
+                let candidate = from.arrival + delay;
+                let p = state.get_mut(out_pol);
+                let better = if minimize {
+                    candidate < p.arrival
+                } else {
+                    candidate > p.arrival
+                };
+                if !p.valid || better {
+                    p.arrival = candidate;
+                    p.slew = slew;
+                    p.valid = true;
+                    p.pred = Some((k, from_pol));
                 }
             }
-            override_net(net, &mut states[net.0])?;
+        }
+        Ok(state)
+    }
+
+    /// The nominal (latest-arrival, single-thread) forward sweep.
+    pub(crate) fn forward_sweep(
+        &self,
+        constraints: &Constraints,
+    ) -> Result<Vec<NetState>, StaError> {
+        self.forward_sweep_levels(constraints, false, 1)
+    }
+
+    /// Level-synchronous forward sweep on a scoped worker pool: each graph
+    /// level's nets are updated concurrently, then merged in net-id order.
+    /// This is the only sweep loop — every caller (nominal, min, threaded)
+    /// goes through it, so per-net arithmetic cannot diverge between
+    /// configurations and the result is bit-identical for every `threads`
+    /// value (including 1).
+    pub(crate) fn forward_sweep_levels(
+        &self,
+        constraints: &Constraints,
+        minimize: bool,
+        threads: usize,
+    ) -> Result<Vec<NetState>, StaError> {
+        let mut states = self.init_states(constraints);
+        for level in self.graph.levels() {
+            let updated = crate::par::par_map(threads, level, |&net| {
+                self.propagate_net(net, &states, constraints, minimize)
+            });
+            for (&net, result) in level.iter().zip(updated) {
+                states[net.0] = result?;
+            }
         }
         Ok(states)
     }
@@ -256,7 +275,7 @@ impl Sta {
     /// Propagates table-lookup failures; construction errors were already
     /// caught in [`Sta::new`].
     pub fn analyze(&self, constraints: &Constraints) -> Result<TimingReport, StaError> {
-        let states = self.forward_sweep(constraints, |_, _| Ok(()))?;
+        let states = self.forward_sweep(constraints)?;
         self.finish_report(constraints, states)
     }
 

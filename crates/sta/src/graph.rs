@@ -33,6 +33,11 @@ pub struct TimingGraph {
     fanout: Vec<Vec<usize>>,
     /// Nets in topological order (inputs first).
     order: Vec<NetId>,
+    /// Nets grouped by logic level (level = longest fanin path, in
+    /// stages); nets within a level are sorted by id. Levels partition the
+    /// forward sweep into batches with no intra-batch dependencies — the
+    /// unit of parallelism for the threaded sweeps.
+    levels: Vec<Vec<NetId>>,
     /// Capacitive load on each net: Σ input-pin capacitances of fanout.
     loads: Vec<f64>,
 }
@@ -122,11 +127,33 @@ impl TimingGraph {
                 net: design.net_name(NetId(stuck)).to_string(),
             });
         }
+
+        // Levelization: level(net) = longest fanin path in stages. Walking
+        // the topological order makes every predecessor's level final
+        // before its successors read it.
+        let mut level = vec![0usize; n];
+        for &net in &order {
+            for &k in &fanin[net.0] {
+                level[net.0] = level[net.0].max(level[edges[k].from.0] + 1);
+            }
+        }
+        let depth = level.iter().map(|&l| l + 1).max().unwrap_or(0);
+        let mut levels: Vec<Vec<NetId>> = vec![Vec::new(); depth];
+        for i in 0..n {
+            levels[level[i]].push(NetId(i));
+        }
+        // Net-id order within a level fixes the merge order of parallel
+        // sweeps, independent of thread count.
+        for l in &mut levels {
+            l.sort_unstable_by_key(|net| net.0);
+        }
+
         Ok(TimingGraph {
             edges,
             fanin,
             fanout,
             order,
+            levels,
             loads,
         })
     }
@@ -139,6 +166,14 @@ impl TimingGraph {
     /// Nets in topological order.
     pub fn topological_order(&self) -> &[NetId] {
         &self.order
+    }
+
+    /// Nets grouped by logic level (ascending), each level sorted by net
+    /// id. All fanin of a net at level `l` sits strictly below `l`, so the
+    /// nets of one level can be processed in any order — or in parallel —
+    /// without changing results.
+    pub fn levels(&self) -> &[Vec<NetId>] {
+        &self.levels
     }
 
     /// Indices of edges terminating at `net`.
@@ -199,6 +234,33 @@ mod tests {
         assert_eq!(g.load(y), 0.0);
         assert_eq!(g.fanin_edges(y).len(), 1);
         assert_eq!(g.fanout_edges(a).len(), 1);
+    }
+
+    #[test]
+    fn levels_partition_nets_and_respect_edges() {
+        let d = parse_design(
+            "module m (a, b, y); input a, b; output y; wire w1, w2;\
+             INVX1 u1 (.A(a), .Y(w1)); INVX1 u2 (.A(b), .Y(w2));\
+             INVX4 u3 (.A(w1), .Y(y)); endmodule",
+        )
+        .unwrap();
+        let g = TimingGraph::build(&d, lib()).unwrap();
+        let levels = g.levels();
+        // Every net appears exactly once.
+        let total: usize = levels.iter().map(Vec::len).sum();
+        assert_eq!(total, d.net_count());
+        // Each level is sorted by net id.
+        assert!(levels.iter().all(|l| l.windows(2).all(|w| w[0].0 < w[1].0)));
+        // Every edge goes from a strictly lower level to a higher one.
+        let level_of = |n: NetId| levels.iter().position(|l| l.contains(&n)).unwrap();
+        for e in g.edges() {
+            assert!(level_of(e.from) < level_of(e.to));
+        }
+        // a and b are level 0; w1/w2 level 1; y level 2.
+        let a = d.find_net("a").unwrap();
+        let y = d.find_net("y").unwrap();
+        assert_eq!(level_of(a), 0);
+        assert_eq!(level_of(y), 2);
     }
 
     #[test]

@@ -51,6 +51,7 @@ mod engine;
 mod error;
 mod graph;
 mod netlist;
+mod par;
 mod report;
 pub mod si;
 pub mod verilog;

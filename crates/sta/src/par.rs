@@ -1,0 +1,90 @@
+//! A dependency-free scoped worker pool with deterministic merge.
+//!
+//! The crosstalk flow fans independent work items (per-victim transient
+//! reductions, per-net sweep updates) across `std::thread::scope` workers.
+//! Workers pull indices from a shared atomic counter — dynamic load
+//! balancing without any work-stealing machinery — and tag every result
+//! with its input index, so the merged output vector is ordered exactly
+//! like the input regardless of thread count or scheduling. Combined with
+//! the fact that each item's computation performs the identical sequence
+//! of floating-point operations on any thread, N-thread results are
+//! bit-identical to 1-thread results.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Maps `f` over `items`, using up to `threads` scoped worker threads,
+/// returning results in input order.
+///
+/// `threads <= 1` (or a single item) runs inline with no thread overhead;
+/// the output is identical either way.
+pub(crate) fn par_map<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = threads.min(items.len());
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut tagged: Vec<(usize, R)> = Vec::with_capacity(items.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(item) = items.get(i) else { break };
+                        local.push((i, f(item)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            tagged.extend(h.join().expect("sweep worker panicked"));
+        }
+    });
+    // Deterministic merge: scatter back into input order.
+    tagged.sort_unstable_by_key(|&(i, _)| i);
+    debug_assert_eq!(tagged.len(), items.len());
+    tagged.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order_for_any_thread_count() {
+        let items: Vec<usize> = (0..97).collect();
+        let expect: Vec<usize> = items.iter().map(|i| i * i).collect();
+        for threads in [0, 1, 2, 3, 8, 200] {
+            assert_eq!(par_map(threads, &items, |&i| i * i), expect);
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map(4, &empty, |&x| x).is_empty());
+        assert_eq!(par_map(4, &[7u32], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn results_can_be_fallible() {
+        let items = [1i32, -2, 3];
+        let out: Vec<Result<i32, String>> = par_map(2, &items, |&i| {
+            if i < 0 {
+                Err(format!("bad {i}"))
+            } else {
+                Ok(i)
+            }
+        });
+        assert_eq!(out[0], Ok(1));
+        assert!(out[1].is_err());
+        assert_eq!(out[2], Ok(3));
+    }
+}

@@ -11,15 +11,52 @@
 //! This is precisely the integration path the paper proposes for
 //! commercial tools: no extra library characterization, one extra waveform
 //! reduction per coupled stage.
+//!
+//! # Threading model and determinism
+//!
+//! With [`SiOptions::threads`] ` > 1` the sweep runs level-synchronously:
+//! the nets of one graph level have no mutual dependencies, so their fanin
+//! updates — and, afterwards, the per-victim transient reductions of that
+//! level — are fanned across a `std::thread::scope` worker pool and merged
+//! back in net-id order. Each work item performs a fixed sequence of
+//! floating-point operations that does not depend on which worker runs it
+//! or in what order items finish, and the merge order is fixed by the
+//! level structure, so **N-thread results are bit-identical to 1-thread
+//! results**. Aggressor ramps are always taken from the iteration-invariant
+//! nominal sweep, which is what makes same-level victims independent.
+//!
+//! # Incremental fixed point
+//!
+//! Crosstalk push-out moves switching windows, so
+//! [`Sta::analyze_with_crosstalk_windows`] iterates the window filter and
+//! the analysis to a fixed point. Two observations make that cheap:
+//!
+//! * the nominal forward sweep (which also supplies every aggressor ramp)
+//!   is iteration-invariant and is computed once, outside the loop;
+//! * a victim's reduction is a pure function of its *victim cache key*:
+//!   its own `(arrival, slew)`, the filtered aggressor set with each kept
+//!   aggressor's `(net, arrival, slew, coupling cap)`, and the quiet
+//!   coupling total folded onto its line. With
+//!   [`SiOptions::incremental`] the `(Γeff, base arrival)` of every victim
+//!   is cached under that key, and a victim is re-simulated only when its
+//!   key moved beyond [`SiOptions::convergence_tol`] (structural changes —
+//!   a different kept-aggressor set or coupling value — always re-run).
+//!
+//! Later iterations therefore pay only for victims whose windows actually
+//! changed: the fixed point costs O(changed victims), not
+//! O(iterations × victims), and unchanged victims reproduce their cached
+//! result bit-for-bit.
 
 use crate::engine::{Constraints, Sta};
 use crate::netlist::NetId;
+use crate::par::par_map;
 use crate::report::TimingReport;
 use crate::StaError;
 use nsta_circuit::{Circuit, RcLineSpec, StarCoupledLines, TransientOptions};
 use nsta_waveform::{Polarity, SaturatedRamp, Thresholds, Waveform};
 use sgdp::gate::{GateModel, TableGate};
 use sgdp::{MethodKind, PropagationContext};
+use std::collections::HashMap;
 
 /// Coupling description of one victim net.
 #[derive(Debug, Clone)]
@@ -152,8 +189,18 @@ pub struct SiOptions {
     /// analysis iterates until windows stop moving.
     pub max_iterations: usize,
     /// Convergence threshold on the worst per-net arrival movement between
-    /// iterations (s).
+    /// iterations (s). Also bounds how far a cached victim's timing inputs
+    /// may drift before the incremental fixed point re-simulates it.
     pub convergence_tol: f64,
+    /// Worker threads for the levelized sweep and the per-victim transient
+    /// reductions. `1` (default) runs inline; any value produces
+    /// bit-identical results (see the module docs).
+    pub threads: usize,
+    /// When `true` (default), victims whose cache key is unchanged between
+    /// fixed-point iterations reuse their previous `Γeff` instead of
+    /// re-simulating. Disable to force a full recompute every iteration
+    /// (the parity baseline).
+    pub incremental: bool,
 }
 
 impl Default for SiOptions {
@@ -164,6 +211,8 @@ impl Default for SiOptions {
             window_guard: 0.0,
             max_iterations: 4,
             convergence_tol: 0.1e-12,
+            threads: 1,
+            incremental: true,
         }
     }
 }
@@ -225,7 +274,241 @@ fn worst_arrival_movement(a: &TimingReport, b: &TimingReport) -> f64 {
     worst
 }
 
+/// Everything a victim reduction depends on besides the iteration-invariant
+/// design/library/constraints: the victim's own timing point, the kept
+/// aggressors with the inputs their ramps are built from, and the quiet
+/// coupling folded onto the victim line.
+#[derive(Debug, Clone)]
+struct VictimKey {
+    arrival: f64,
+    slew: f64,
+    /// Per kept aggressor: `(net, arrival, slew, coupling cap)`.
+    aggressors: Vec<(NetId, f64, f64, f64)>,
+    quiet_cm: f64,
+}
+
+impl VictimKey {
+    /// Whether `other` is close enough to this key that re-simulating
+    /// could not move the result beyond `tol`: structure (aggressor set,
+    /// coupling values) must match exactly, timing inputs within `tol`.
+    fn matches(&self, other: &VictimKey, tol: f64) -> bool {
+        let close = |a: f64, b: f64| (a - b).abs() <= tol;
+        self.aggressors.len() == other.aggressors.len()
+            && self.quiet_cm == other.quiet_cm
+            && close(self.arrival, other.arrival)
+            && close(self.slew, other.slew)
+            && self
+                .aggressors
+                .iter()
+                .zip(&other.aggressors)
+                .all(|(a, b)| a.0 == b.0 && a.3 == b.3 && close(a.1, b.1) && close(a.2, b.2))
+    }
+}
+
+/// Per-victim `(key, Γeff, base arrival)` memo carried across fixed-point
+/// iterations, keyed by `(victim net, polarity)`.
+#[derive(Debug, Default)]
+struct VictimCache {
+    entries: HashMap<(usize, bool), (VictimKey, SaturatedRamp, f64)>,
+}
+
+/// One victim reduction scheduled for (possibly parallel) evaluation.
+struct VictimJob<'a> {
+    spec: &'a CouplingSpec,
+    pol: Polarity,
+    arrival: f64,
+    slew: f64,
+}
+
+/// How a victim transition of the current level gets its `Γeff`.
+enum Pending {
+    /// Reuse a cached result from an earlier iteration.
+    Cached(SaturatedRamp, f64),
+    /// Take the next entry of this level's computed-job results.
+    Computed,
+}
+
 impl Sta {
+    fn check_unique_victims(&self, couplings: &[CouplingSpec]) -> Result<(), StaError> {
+        let mut victims: Vec<NetId> = couplings.iter().map(|s| s.victim).collect();
+        victims.sort_unstable();
+        if let Some(dup) = victims.windows(2).find(|w| w[0] == w[1]) {
+            return Err(StaError::Structure(format!(
+                "two coupling specs name the same victim net {}",
+                self.design().net_name(dup[0])
+            )));
+        }
+        Ok(())
+    }
+
+    /// Builds the cache key of one victim transition from the current
+    /// sweep point and the nominal (`base`) aggressor arrivals.
+    fn victim_key(
+        &self,
+        spec: &CouplingSpec,
+        victim_pol: Polarity,
+        arrival: f64,
+        slew: f64,
+        base: &[crate::engine::NetState],
+    ) -> Result<VictimKey, StaError> {
+        let agg_pol = if spec.aggressors_oppose {
+            victim_pol.inverted()
+        } else {
+            victim_pol
+        };
+        let mut aggressors = Vec::with_capacity(spec.aggressors.len());
+        for (i, &agg) in spec.aggressors.iter().enumerate() {
+            let p = base
+                .get(agg.0)
+                .map(|s| *s.get(agg_pol))
+                .filter(|p| p.valid)
+                .ok_or_else(|| {
+                    StaError::Unresolved(format!(
+                        "aggressor net #{} has no computed arrival",
+                        agg.0
+                    ))
+                })?;
+            aggressors.push((agg, p.arrival, p.slew, spec.cm_of(i)));
+        }
+        Ok(VictimKey {
+            arrival,
+            slew,
+            aggressors,
+            quiet_cm: spec.quiet_cm,
+        })
+    }
+
+    /// One crosstalk-adjusted forward sweep: level-synchronous, with the
+    /// victim reductions of each level evaluated on the worker pool and
+    /// merged in net-id order. `cache` (with its staleness tolerance)
+    /// short-circuits victims whose key is unchanged since an earlier
+    /// iteration.
+    fn crosstalk_pass(
+        &self,
+        constraints: &Constraints,
+        couplings: &[CouplingSpec],
+        method: MethodKind,
+        base: &[crate::engine::NetState],
+        threads: usize,
+        mut cache: Option<(&mut VictimCache, f64)>,
+    ) -> Result<(Vec<crate::engine::NetState>, Vec<SiAdjustment>), StaError> {
+        let n = self.design().net_count();
+        let mut spec_of: Vec<Option<&CouplingSpec>> = vec![None; n];
+        for s in couplings {
+            if let Some(slot) = spec_of.get_mut(s.victim.0) {
+                *slot = Some(s);
+            } else {
+                return Err(StaError::Unresolved(format!(
+                    "coupling spec names unknown victim net #{}",
+                    s.victim.0
+                )));
+            }
+        }
+        let th = Thresholds::cmos(self.library().voltage);
+        let mut states = self.init_states(constraints);
+        let mut adjustments = Vec::new();
+        for level in self.graph().levels() {
+            // Fanin updates of this level (parallel, merged in net order).
+            let updated = par_map(threads, level, |&net| {
+                self.propagate_net(net, &states, constraints, false)
+            });
+            for (&net, result) in level.iter().zip(updated) {
+                states[net.0] = result?;
+            }
+            // Victim transitions of this level, in net-id order: resolve
+            // each against the cache or queue it for evaluation. Keys are
+            // only built when a cache is active — without one they would
+            // never be read.
+            let mut units: Vec<(NetId, Polarity, Pending, Option<VictimKey>)> = Vec::new();
+            let mut jobs: Vec<VictimJob> = Vec::new();
+            for &net in level {
+                let Some(spec) = spec_of[net.0] else { continue };
+                for pol in [Polarity::Rise, Polarity::Fall] {
+                    let point = *states[net.0].get(pol);
+                    if !point.valid {
+                        continue;
+                    }
+                    let key = match &cache {
+                        Some(_) => {
+                            Some(self.victim_key(spec, pol, point.arrival, point.slew, base)?)
+                        }
+                        None => None,
+                    };
+                    let hit = cache.as_ref().and_then(|(c, tol)| {
+                        c.entries
+                            .get(&(net.0, pol.is_rise()))
+                            .filter(|(old, _, _)| {
+                                old.matches(key.as_ref().expect("key built with cache"), *tol)
+                            })
+                            .map(|&(_, gamma, base_arrival)| (gamma, base_arrival))
+                    });
+                    match hit {
+                        Some((gamma, base_arrival)) => {
+                            // The stored entry (old key + result) is kept as
+                            // is: refreshing the key here would let sub-tol
+                            // input drift accumulate across iterations
+                            // without ever re-simulating.
+                            units.push((net, pol, Pending::Cached(gamma, base_arrival), None));
+                        }
+                        None => {
+                            units.push((net, pol, Pending::Computed, key));
+                            jobs.push(VictimJob {
+                                spec,
+                                pol,
+                                arrival: point.arrival,
+                                slew: point.slew,
+                            });
+                        }
+                    }
+                }
+            }
+            // Same-level victims only read `base` and earlier levels, so
+            // their reductions are independent.
+            let results = par_map(threads, &jobs, |job| {
+                self.victim_gamma(
+                    constraints,
+                    job.spec,
+                    job.pol,
+                    job.arrival,
+                    job.slew,
+                    base,
+                    method,
+                )
+            });
+            let mut results = results.into_iter();
+            for (net, pol, pending, key) in units {
+                let (gamma, base_arrival, fresh) = match pending {
+                    Pending::Cached(gamma, base_arrival) => (gamma, base_arrival, false),
+                    Pending::Computed => {
+                        let (gamma, base_arrival) =
+                            results.next().expect("one result per queued job")?;
+                        (gamma, base_arrival, true)
+                    }
+                };
+                let p = states[net.0].get_mut(pol);
+                p.arrival = gamma.arrival_mid();
+                p.slew = gamma.slew(th);
+                adjustments.push(SiAdjustment {
+                    net,
+                    polarity: pol,
+                    base_arrival,
+                    noisy_arrival: p.arrival,
+                    noisy_slew: p.slew,
+                });
+                // Only freshly simulated results enter the cache, paired
+                // with the exact key they were computed from.
+                if fresh {
+                    if let Some((c, _)) = cache.as_mut() {
+                        let key = key.expect("computed units carry their key");
+                        c.entries
+                            .insert((net.0, pol.is_rise()), (key, gamma, base_arrival));
+                    }
+                }
+            }
+        }
+        Ok((states, adjustments))
+    }
+
     /// Runs the analysis with crosstalk-aware propagation on the nets named
     /// in `couplings`, reducing noisy waveforms with `method`.
     ///
@@ -246,51 +529,12 @@ impl Sta {
         couplings: &[CouplingSpec],
         method: MethodKind,
     ) -> Result<(TimingReport, Vec<SiAdjustment>), StaError> {
-        let mut victims: Vec<NetId> = couplings.iter().map(|s| s.victim).collect();
-        victims.sort_unstable();
-        if let Some(dup) = victims.windows(2).find(|w| w[0] == w[1]) {
-            return Err(StaError::Structure(format!(
-                "two coupling specs name the same victim net {}",
-                self.design().net_name(dup[0])
-            )));
-        }
+        self.check_unique_victims(couplings)?;
         // Pass 1: nominal arrivals — aggressor ramps need them.
-        let base = self.forward_sweep(constraints, |_, _| Ok(()))?;
-
-        let mut adjustments = Vec::new();
+        let base = self.forward_sweep(constraints)?;
         // Pass 2: sweep again, overriding victim nets as they are reached.
-        let states = self.forward_sweep(constraints, |net, state| {
-            let Some(spec) = couplings.iter().find(|s| s.victim == net) else {
-                return Ok(());
-            };
-            for pol in [Polarity::Rise, Polarity::Fall] {
-                let point = *state.get(pol);
-                if !point.valid {
-                    continue;
-                }
-                let (gamma, base_arrival) = self.victim_gamma(
-                    constraints,
-                    spec,
-                    pol,
-                    point.arrival,
-                    point.slew,
-                    &base,
-                    method,
-                )?;
-                let th = Thresholds::cmos(self.library().voltage);
-                let p = state.get_mut(pol);
-                p.arrival = gamma.arrival_mid();
-                p.slew = gamma.slew(th);
-                adjustments.push(SiAdjustment {
-                    net,
-                    polarity: pol,
-                    base_arrival,
-                    noisy_arrival: p.arrival,
-                    noisy_slew: p.slew,
-                });
-            }
-            Ok(())
-        })?;
+        let (states, adjustments) =
+            self.crosstalk_pass(constraints, couplings, method, &base, 1, None)?;
         let report = self.finish_report(constraints, states)?;
         Ok((report, adjustments))
     }
@@ -381,6 +625,13 @@ impl Sta {
     /// analysis repeat until the worst per-net arrival movement drops
     /// below `options.convergence_tol` (or the iteration cap is hit).
     ///
+    /// The nominal sweep feeding aggressor ramps and earliest windows is
+    /// computed once, outside the loop; with [`SiOptions::incremental`]
+    /// only victims whose cache key changed between iterations are
+    /// re-simulated, and with [`SiOptions::threads`] the per-level work
+    /// runs on a worker pool (both without changing any result bit — see
+    /// the module docs).
+    ///
     /// # Errors
     ///
     /// Same failure modes as [`Sta::analyze_with_crosstalk`].
@@ -390,9 +641,28 @@ impl Sta {
         couplings: &[CouplingSpec],
         options: &SiOptions,
     ) -> Result<SiAnalysis, StaError> {
+        self.check_unique_victims(couplings)?;
+        let threads = options.threads.max(1);
+        // Iteration-invariant work, hoisted out of the fixed point: the
+        // nominal sweep (aggressor ramps + latest windows of iteration 0)
+        // and the min sweep (earliest window edges, which worst-case
+        // push-out never moves).
+        let base = self.forward_sweep_levels(constraints, false, threads)?;
+
         if !options.use_windows {
-            let (report, adjustments) =
-                self.analyze_with_crosstalk(constraints, couplings, options.method)?;
+            let mut cache = VictimCache::default();
+            let cache_ref = options
+                .incremental
+                .then_some((&mut cache, options.convergence_tol));
+            let (states, adjustments) = self.crosstalk_pass(
+                constraints,
+                couplings,
+                options.method,
+                &base,
+                threads,
+                cache_ref,
+            )?;
+            let report = self.finish_report(constraints, states)?;
             return Ok(SiAnalysis {
                 report,
                 adjustments,
@@ -402,11 +672,8 @@ impl Sta {
             });
         }
 
-        // Windows start from the clean analysis: earliest arrivals are not
-        // affected by worst-case push-out, so the min sweep is computed
-        // once; latest arrivals are refreshed every iteration.
-        let min_states = self.forward_sweep_min(constraints)?;
-        let clean = self.analyze(constraints)?;
+        let min_states = self.forward_sweep_levels(constraints, true, threads)?;
+        let clean = self.finish_report(constraints, base.clone())?;
         let mut windows = self.windows_from(&min_states, &clean);
         let mut previous: Option<TimingReport> = Some(clean);
 
@@ -415,6 +682,7 @@ impl Sta {
         let mut converged = false;
         let mut iterations = 0;
         let mut prev_pruned: Option<Vec<(NetId, NetId)>> = None;
+        let mut cache = VictimCache::default();
         for _ in 0..max_iterations {
             let (filtered, pruned) = Self::window_filter(couplings, &windows, options.window_guard);
             // The analysis result is a pure function of the filtered
@@ -428,8 +696,18 @@ impl Sta {
                 break;
             }
             iterations += 1;
-            let (report, adjustments) =
-                self.analyze_with_crosstalk(constraints, &filtered, options.method)?;
+            let cache_ref = options
+                .incremental
+                .then_some((&mut cache, options.convergence_tol));
+            let (states, adjustments) = self.crosstalk_pass(
+                constraints,
+                &filtered,
+                options.method,
+                &base,
+                threads,
+                cache_ref,
+            )?;
+            let report = self.finish_report(constraints, states)?;
             windows = self.windows_from(&min_states, &report);
             let moved = previous
                 .as_ref()
@@ -503,11 +781,12 @@ impl Sta {
         let t_stop = latest + 2e-9;
         let dt = (victim_slew / 50.0).clamp(0.5e-12, 5e-12);
 
-        // Build the coupled circuit twice: noisy (aggressors switching) and
-        // noiseless (aggressors held at their pre-transition rail). Each
-        // aggressor couples to the victim individually (star topology) with
-        // its own wire model and coupling total — the structure extracted
-        // parasitics describe.
+        // Build the coupled circuit once — noisy (aggressors switching) and
+        // noiseless (aggressors held at their pre-transition rail) share
+        // the topology and the timestep, hence one assembly and one LU
+        // factorization serve both runs. Each aggressor couples to the
+        // victim individually (star topology) with its own wire model and
+        // coupling total — the structure extracted parasitics describe.
         // Quiet (window-pruned) aggressors still ground their coupling
         // caps onto the victim: fold their total into the line's ground
         // capacitance.
@@ -520,62 +799,63 @@ impl Sta {
         } else {
             spec.line
         };
-        let far_wave = |aggressors_switch: bool| -> Result<Waveform, StaError> {
-            let mut ckt = Circuit::new();
-            let v_in = ckt.node("victim_in");
-            let victim_ramp = SaturatedRamp::with_slew(
-                victim_arrival,
-                victim_slew.max(1e-12),
-                th,
-                victim_pol.is_rise(),
-            )?;
+        let mut ckt = Circuit::new();
+        let v_in = ckt.node("victim_in");
+        let victim_ramp = SaturatedRamp::with_slew(
+            victim_arrival,
+            victim_slew.max(1e-12),
+            th,
+            victim_pol.is_rise(),
+        )?;
+        // Voltage source 0 is the victim driver; sources 1..=N follow
+        // aggressor order — `run_with_vsources` relies on this layout.
+        let victim_wave = victim_ramp.to_waveform(0.0, t_stop, dt)?;
+        ckt.thevenin_driver(v_in, victim_wave.clone(), spec.driver_resistance)?;
+        let mut agg_ins = Vec::with_capacity(agg_ramps.len());
+        for ramp in &agg_ramps {
+            let a_in = ckt.anon_node();
             ckt.thevenin_driver(
-                v_in,
-                victim_ramp.to_waveform(0.0, t_stop, dt)?,
+                a_in,
+                ramp.to_waveform(0.0, t_stop, dt)?,
                 spec.driver_resistance,
             )?;
-            let mut agg_ins = Vec::with_capacity(agg_ramps.len());
-            for (i, ramp) in agg_ramps.iter().enumerate() {
-                let a_in = ckt.node(&format!("agg{i}_in"));
-                let wf = if aggressors_switch {
-                    ramp.to_waveform(0.0, t_stop, dt)?
-                } else {
-                    let quiet = if agg_pol.is_rise() { 0.0 } else { vdd };
-                    Waveform::constant(quiet, 0.0, t_stop)?
-                };
-                ckt.thevenin_driver(a_in, wf, spec.driver_resistance)?;
-                agg_ins.push(a_in);
-            }
-            let victim_far = if agg_ins.is_empty() {
-                // All aggressors pruned: the victim still sees its own wire.
-                victim_line.build(&mut ckt, v_in, "w")?
-            } else {
-                let bundle = StarCoupledLines::new(
-                    victim_line,
-                    (0..agg_ins.len())
-                        .map(|i| (spec.line_of(i), spec.cm_of(i)))
-                        .collect(),
-                )?;
-                let (far, _) = bundle.build(&mut ckt, v_in, &agg_ins, "w")?;
-                far
-            };
-            // Receiver loading at the victim far end.
-            let load = spec
-                .receiver_load
-                .unwrap_or_else(|| self.graph().load(spec.victim))
-                .max(1e-16);
-            ckt.capacitor(victim_far, Circuit::GROUND, load)?;
-            let res = ckt.run_transient(TransientOptions::new(0.0, t_stop, dt)?)?;
-            Ok(res.voltage(victim_far)?)
+            agg_ins.push(a_in);
+        }
+        let victim_far = if agg_ins.is_empty() {
+            // All aggressors pruned: the victim still sees its own wire.
+            victim_line.build(&mut ckt, v_in, "w")?
+        } else {
+            let bundle = StarCoupledLines::new(
+                victim_line,
+                (0..agg_ins.len())
+                    .map(|i| (spec.line_of(i), spec.cm_of(i)))
+                    .collect(),
+            )?;
+            let (far, _) = bundle.build(&mut ckt, v_in, &agg_ins, "w")?;
+            far
         };
+        // Receiver loading at the victim far end.
+        let load = spec
+            .receiver_load
+            .unwrap_or_else(|| self.graph().load(spec.victim))
+            .max(1e-16);
+        ckt.capacitor(victim_far, Circuit::GROUND, load)?;
 
-        let noiseless = far_wave(false)?;
+        let stepper = ckt.prepare_transient(TransientOptions::new(0.0, t_stop, dt)?)?;
+        let quiet_level = if agg_pol.is_rise() { 0.0 } else { vdd };
+        let quiet = Waveform::constant(quiet_level, 0.0, t_stop)?;
+        let mut quiet_sources: Vec<&Waveform> = Vec::with_capacity(1 + agg_ins.len());
+        quiet_sources.push(&victim_wave);
+        quiet_sources.extend(agg_ins.iter().map(|_| &quiet));
+        let noiseless = stepper
+            .run_with_vsources(&quiet_sources)?
+            .voltage(victim_far)?;
         // With every aggressor pruned the "noisy" circuit is identical to
         // the noiseless one: skip the second transient run.
         let noisy = if agg_ramps.is_empty() {
             noiseless.clone()
         } else {
-            far_wave(true)?
+            stepper.run()?.voltage(victim_far)?
         };
         let base_arrival = noiseless.last_crossing_or_err(th.mid())?;
 
@@ -855,7 +1135,7 @@ mod tests {
     fn windows_from_min_and_max_sweeps_are_ordered() {
         let sta = Sta::new(windowed_design(), lib().clone()).unwrap();
         let c = Constraints::default();
-        let min_states = sta.forward_sweep_min(&c).unwrap();
+        let min_states = sta.forward_sweep_levels(&c, true, 1).unwrap();
         let report = sta.analyze(&c).unwrap();
         let windows = sta.windows_from(&min_states, &report);
         let mut seen = 0;
@@ -864,6 +1144,123 @@ mod tests {
             seen += 1;
         }
         assert!(seen > 0);
+    }
+
+    /// Three victim/aggressor groups in the spefbus pattern: group `g`'s
+    /// far aggressor sits behind a chain of `2g + 3` inverters, so some
+    /// groups keep both aggressors while later ones get window-pruned —
+    /// both cache paths of the incremental fixed point get exercised.
+    fn multi_group_design(groups: usize) -> crate::Design {
+        let mut src = String::from("module m (");
+        let ports: Vec<String> = (0..groups)
+            .flat_map(|g| vec![format!("a{g}"), format!("b{g}"), format!("c{g}")])
+            .chain(
+                (0..groups).flat_map(|g| vec![format!("y{g}"), format!("z{g}"), format!("w{g}")]),
+            )
+            .collect();
+        src.push_str(&ports.join(", "));
+        src.push_str(");\n");
+        for g in 0..groups {
+            src.push_str(&format!(
+                "input a{g}, b{g}, c{g}; output y{g}, z{g}, w{g};\n"
+            ));
+        }
+        for g in 0..groups {
+            let stages = 2 * g + 3;
+            src.push_str(&format!(
+                "wire v{g}, gn{g}, gf{g};\n\
+                 INVX1 u{g}_1 (.A(a{g}), .Y(v{g})); INVX4 u{g}_2 (.A(v{g}), .Y(y{g}));\n\
+                 INVX1 u{g}_3 (.A(b{g}), .Y(gn{g})); INVX4 u{g}_4 (.A(gn{g}), .Y(z{g}));\n"
+            ));
+            let mut prev = format!("c{g}");
+            for s in 1..stages {
+                src.push_str(&format!(
+                    "wire f{g}_{s};\nINVX1 c{g}_{s} (.A({prev}), .Y(f{g}_{s}));\n"
+                ));
+                prev = format!("f{g}_{s}");
+            }
+            src.push_str(&format!(
+                "INVX1 c{g}_{stages} (.A({prev}), .Y(gf{g}));\nINVX4 u{g}_5 (.A(gf{g}), .Y(w{g}));\n"
+            ));
+        }
+        src.push_str("endmodule");
+        parse_design(&src).unwrap()
+    }
+
+    fn multi_group_specs(sta: &Sta, groups: usize) -> Vec<CouplingSpec> {
+        (0..groups)
+            .map(|g| {
+                let v = sta.design().find_net(&format!("v{g}")).unwrap();
+                let gn = sta.design().find_net(&format!("gn{g}")).unwrap();
+                let gf = sta.design().find_net(&format!("gf{g}")).unwrap();
+                CouplingSpec::new(
+                    v,
+                    vec![gn, gf],
+                    50e-15,
+                    RcLineSpec::per_micron(1000.0).unwrap(),
+                )
+            })
+            .collect()
+    }
+
+    fn assert_analyses_identical(a: &SiAnalysis, b: &SiAnalysis) {
+        assert_eq!(a.report, b.report);
+        assert_eq!(a.adjustments, b.adjustments);
+        assert_eq!(a.pruned, b.pruned);
+        assert_eq!(a.iterations, b.iterations);
+        assert_eq!(a.converged, b.converged);
+    }
+
+    #[test]
+    fn threaded_analysis_is_bit_identical_to_sequential() {
+        let groups = 3;
+        let sta = Sta::new(multi_group_design(groups), lib().clone()).unwrap();
+        let c = Constraints::default();
+        let specs = multi_group_specs(&sta, groups);
+        let sequential = sta
+            .analyze_with_crosstalk_windows(&c, &specs, &SiOptions::default())
+            .unwrap();
+        let threaded = sta
+            .analyze_with_crosstalk_windows(
+                &c,
+                &specs,
+                &SiOptions {
+                    threads: 4,
+                    ..SiOptions::default()
+                },
+            )
+            .unwrap();
+        // Bit-identical, not approximately equal: the worker pool must not
+        // change a single ulp anywhere in the report.
+        assert_analyses_identical(&sequential, &threaded);
+        assert!(!sequential.adjustments.is_empty());
+    }
+
+    #[test]
+    fn incremental_fixed_point_matches_full_recompute() {
+        let groups = 3;
+        let sta = Sta::new(multi_group_design(groups), lib().clone()).unwrap();
+        let c = Constraints::default();
+        let specs = multi_group_specs(&sta, groups);
+        let incremental = sta
+            .analyze_with_crosstalk_windows(&c, &specs, &SiOptions::default())
+            .unwrap();
+        let full = sta
+            .analyze_with_crosstalk_windows(
+                &c,
+                &specs,
+                &SiOptions {
+                    incremental: false,
+                    ..SiOptions::default()
+                },
+            )
+            .unwrap();
+        assert!(
+            incremental.iterations >= 2,
+            "fixture must exercise the fixed point, got {} iteration(s)",
+            incremental.iterations
+        );
+        assert_analyses_identical(&incremental, &full);
     }
 
     #[test]

@@ -166,6 +166,43 @@ impl Waveform {
         interp::interp1(&self.ts, &self.vs, t)
     }
 
+    /// Samples the waveform at every point of an ascending time grid with
+    /// one forward pass — `O(grid + samples)` instead of one binary search
+    /// per grid point. The transient steppers use this to tabulate source
+    /// values over their whole time axis.
+    ///
+    /// Grid points outside the recorded span hold the end values, exactly
+    /// like [`Waveform::value_at`].
+    pub fn sample_on_grid(&self, grid: &[f64], out: &mut Vec<f64>) {
+        debug_assert!(
+            grid.windows(2).all(|w| w[0] <= w[1]),
+            "grid must be ascending"
+        );
+        out.clear();
+        out.reserve(grid.len());
+        let mut seg = 0usize;
+        let last = self.ts.len() - 1;
+        for &t in grid {
+            if t <= self.ts[0] {
+                out.push(self.vs[0]);
+                continue;
+            }
+            if t >= self.ts[last] {
+                out.push(self.vs[last]);
+                continue;
+            }
+            // `<=` matches `segment_index`'s choice for exact sample hits,
+            // keeping these tables bit-identical to `value_at` queries.
+            while self.ts[seg + 1] <= t {
+                seg += 1;
+            }
+            let (t0, t1) = (self.ts[seg], self.ts[seg + 1]);
+            let (v0, v1) = (self.vs[seg], self.vs[seg + 1]);
+            let frac = (t - t0) / (t1 - t0);
+            out.push(v0 + frac * (v1 - v0));
+        }
+    }
+
     /// All times at which the waveform crosses `level`, ascending.
     pub fn crossings(&self, level: f64) -> Vec<f64> {
         interp::crossings(&self.ts, &self.vs, level)
@@ -448,6 +485,21 @@ mod tests {
         assert_eq!(w.value_at(-1.0), 0.0);
         assert_eq!(w.value_at(2.0), 1.0);
         assert!((w.value_at(0.25) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sample_on_grid_matches_value_at() {
+        let w = Waveform::new(vec![0.0, 1.0, 2.0, 4.0], vec![0.0, 1.0, 0.5, 0.5]).unwrap();
+        let grid: Vec<f64> = (0..50).map(|i| -0.5 + i as f64 * 0.11).collect();
+        let mut out = Vec::new();
+        w.sample_on_grid(&grid, &mut out);
+        assert_eq!(out.len(), grid.len());
+        for (&t, &v) in grid.iter().zip(&out) {
+            assert_eq!(v, w.value_at(t), "t={t}");
+        }
+        // Exact sample hits and out-of-span points hold exactly.
+        w.sample_on_grid(&[1.0, 2.0, 99.0], &mut out);
+        assert_eq!(out, vec![1.0, 0.5, 0.5]);
     }
 
     #[test]
