@@ -1,0 +1,16 @@
+# Sample constraint set for the spefbus workload (any --groups >= 1).
+# Times in ns, capacitances in pF. Gives the group-0 victim source a
+# genuine [0.02, 0.1] ns arrival window, declares the group-0 near
+# aggressor's source late enough that its switching window can no longer
+# reach the victim (the pruning delta spefbus reports), requires the
+# outputs 0.5 ns before the 4 ns clock edge, and falsifies the group-0
+# far-aggressor chain.
+create_clock -name clk -period 4
+set_input_delay 0.02 -clock clk -min [get_ports a0]
+set_input_delay 0.1 -clock clk -max [get_ports a0]
+set_input_delay 2.0 -clock clk -min [get_ports b0]
+set_input_delay 2.2 -clock clk -max [get_ports b0]
+set_input_transition 0.1 [get_ports {a0 b0 c0}]
+set_output_delay 0.5 -clock clk [get_ports {y0 z0 w0}]
+set_load 0.005 [get_ports y0]
+set_false_path -from [get_ports c0] -to [get_ports w0]

@@ -13,14 +13,25 @@
 //! `--threads > 1`; results are asserted bit-identical to 1-thread), and
 //! unfiltered.
 //!
+//! With `--sdc FILE` the run additionally binds an SDC constraint set
+//! onto the design and repeats the windowed analysis under the resulting
+//! per-pin boundary conditions, reporting how the constraint-driven
+//! arrival windows change aggressor pruning (the `pruning_delta` field)
+//! and the worst slack against the declared clock.
+//!
 //! Alongside the text report it writes a machine-readable JSON summary
 //! (default `BENCH_spefbus.json`) so CI can archive the perf trajectory
-//! per PR.
+//! per PR. The in-binary parity checks (threaded ≡ sequential,
+//! incremental ≡ full recompute) gate that artifact: on a parity failure
+//! the run deletes any stale JSON at the target path and exits nonzero
+//! **without** writing a new one, so CI cannot upload a green-looking
+//! report from a broken run.
 //!
-//! Usage: `spefbus [--groups N] [--threads N] [--json PATH]`
+//! Usage: `spefbus [--groups N] [--threads N] [--sdc FILE] [--json PATH]`
 
 use nsta_bench::json::Json;
 use nsta_bench::microbench;
+use nsta_constraints::{bind_sdc, parse_sdc};
 use nsta_liberty::characterize::{inverter_family, Options};
 use nsta_parasitics::ast::{CapElem, DNet, SpefFile, SpefNode, Units};
 use nsta_parasitics::{bind_couplings, parse_spef, write_spef, BindOptions};
@@ -127,12 +138,14 @@ fn spef(groups: usize) -> SpefFile {
 fn main() {
     let mut groups = 8usize;
     let mut threads = 1usize;
+    let mut sdc_path: Option<String> = None;
     let mut json_path = String::from("BENCH_spefbus.json");
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--groups" => groups = args.next().and_then(|v| v.parse().ok()).unwrap_or(8),
             "--threads" => threads = args.next().and_then(|v| v.parse().ok()).unwrap_or(1),
+            "--sdc" => sdc_path = args.next(),
             "--json" => json_path = args.next().unwrap_or(json_path),
             _ => {}
         }
@@ -172,7 +185,7 @@ fn main() {
     // The production flow: windows + incremental fixed point, 1 thread.
     let t = Instant::now();
     let filtered = sta
-        .analyze_with_crosstalk_windows(&c, &bound.specs, &SiOptions::default())
+        .analyze_with_crosstalk_windows(c, &bound.specs, &SiOptions::default())
         .expect("windowed analysis");
     let filtered_time = t.elapsed();
     // Same analysis with the victim cache disabled: every fixed-point
@@ -181,7 +194,7 @@ fn main() {
     let t = Instant::now();
     let full_recompute = sta
         .analyze_with_crosstalk_windows(
-            &c,
+            c,
             &bound.specs,
             &SiOptions {
                 incremental: false,
@@ -190,12 +203,14 @@ fn main() {
         )
         .expect("full-recompute analysis");
     let full_recompute_time = t.elapsed();
+    // Parity failures collected here gate the JSON artifact at the end.
+    let mut parity_failures: Vec<String> = Vec::new();
     // Worker-pool run (skipped at --threads 1); must be bit-identical.
     let threaded_time = (threads > 1).then(|| {
         let t = Instant::now();
         let threaded = sta
             .analyze_with_crosstalk_windows(
-                &c,
+                c,
                 &bound.specs,
                 &SiOptions {
                     threads,
@@ -203,18 +218,22 @@ fn main() {
                 },
             )
             .expect("threaded analysis");
-        let elapsed = t.elapsed();
-        assert_eq!(
-            threaded.report, filtered.report,
-            "threaded report must be bit-identical to 1-thread"
-        );
-        assert_eq!(threaded.adjustments, filtered.adjustments);
+        (t.elapsed(), threaded)
+    });
+    let threaded_time = threaded_time.map(|(elapsed, threaded)| {
+        if threaded.report != filtered.report {
+            parity_failures.push("threaded report differs from the 1-thread report".into());
+        }
+        if threaded.adjustments != filtered.adjustments {
+            parity_failures
+                .push("threaded adjustments differ from the 1-thread adjustments".into());
+        }
         elapsed
     });
     let t = Instant::now();
     let unfiltered = sta
         .analyze_with_crosstalk_windows(
-            &c,
+            c,
             &bound.specs,
             &SiOptions {
                 use_windows: false,
@@ -223,6 +242,32 @@ fn main() {
         )
         .expect("unfiltered analysis");
     let unfiltered_time = t.elapsed();
+
+    // SDC-constrained run: per-pin arrival windows from a real constraint
+    // set, compared against the uniform-constraint pruning above.
+    let sdc_run = sdc_path.as_ref().map(|path| {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read SDC file {path}: {e}");
+            std::process::exit(2);
+        });
+        let sdc = parse_sdc(&text).unwrap_or_else(|e| {
+            eprintln!("cannot parse SDC file {path}: {e}");
+            std::process::exit(2);
+        });
+        let bound_sdc = bind_sdc(&sdc, sta.design(), &c).unwrap_or_else(|e| {
+            eprintln!("cannot bind SDC file {path} onto the design: {e}");
+            std::process::exit(2);
+        });
+        let t = Instant::now();
+        let analysis = sta
+            .analyze_with_crosstalk_windows(
+                &bound_sdc.boundary,
+                &bound.specs,
+                &SiOptions::default(),
+            )
+            .expect("sdc analysis");
+        (analysis, bound_sdc, t.elapsed())
+    });
     // Cache reuse is tolerance-based (a victim within `convergence_tol` of
     // its cached key is treated as converged), so the incremental run must
     // match the full recompute to within that tolerance. On THIS fixture
@@ -239,10 +284,11 @@ fn main() {
         .flat_map(|(a, b)| [(&a.rise, &b.rise), (&a.fall, &b.fall)])
         .filter_map(|(a, b)| Some((a.as_ref()?.arrival - b.as_ref()?.arrival).abs()))
         .fold(0.0f64, f64::max);
-    assert!(
-        incremental_drift <= SiOptions::default().convergence_tol,
-        "incremental drift {incremental_drift:e} s exceeds the convergence tolerance"
-    );
+    if incremental_drift > SiOptions::default().convergence_tol {
+        parity_failures.push(format!(
+            "incremental drift {incremental_drift:e} s exceeds the convergence tolerance"
+        ));
+    }
 
     println!(
         "window-filtered: {} pruned aggressor(s), {} iteration(s), converged {}, \
@@ -267,6 +313,33 @@ fn main() {
         unfiltered.iterations,
         unfiltered.report.worst_arrival() * 1e12,
     );
+    if let Some((analysis, bound_sdc, elapsed)) = &sdc_run {
+        let delta = analysis.pruned.len() as i64 - filtered.pruned.len() as i64;
+        let slack = analysis.report.worst_slack();
+        println!(
+            "sdc-windowed:    {} pruned aggressor(s) ({delta:+} vs uniform), {} iteration(s), \
+             clock {:.1} ns, worst slack {}, {elapsed:.2?}",
+            analysis.pruned.len(),
+            analysis.iterations,
+            bound_sdc.clock_period().unwrap_or(f64::NAN) * 1e9,
+            if slack.is_finite() {
+                format!("{:.1} ps", slack * 1e12)
+            } else {
+                "unconstrained".into()
+            },
+        );
+    }
+
+    // Parity gates the artifact: a broken run must not leave a
+    // green-looking JSON behind for CI to upload.
+    if !parity_failures.is_empty() {
+        for f in &parity_failures {
+            eprintln!("parity failure: {f}");
+        }
+        let _ = std::fs::remove_file(&json_path);
+        eprintln!("parity checks failed; not writing {json_path}");
+        std::process::exit(1);
+    }
 
     let ms = |d: std::time::Duration| Json::Num(d.as_secs_f64() * 1e3);
     let report = Json::obj([
@@ -308,6 +381,44 @@ fn main() {
             ]),
         ),
         (
+            "sdc",
+            match &sdc_run {
+                Some((analysis, bound_sdc, elapsed)) => Json::obj([
+                    ("path", Json::str(sdc_path.as_deref().unwrap_or(""))),
+                    ("analysis_ms", ms(*elapsed)),
+                    (
+                        "clock_period_ns",
+                        bound_sdc
+                            .clock_period()
+                            .map_or(Json::Null, |p| Json::Num(p * 1e9)),
+                    ),
+                    ("iterations", Json::from(analysis.iterations)),
+                    ("pruned_aggressors", Json::from(analysis.pruned.len())),
+                    (
+                        "pruning_delta_vs_uniform",
+                        Json::Num(analysis.pruned.len() as f64 - filtered.pruned.len() as f64),
+                    ),
+                    (
+                        "worst_arrival_ps",
+                        Json::Num(analysis.report.worst_arrival() * 1e12),
+                    ),
+                    (
+                        "worst_slack_ps",
+                        if analysis.report.worst_slack().is_finite() {
+                            Json::Num(analysis.report.worst_slack() * 1e12)
+                        } else {
+                            Json::Null
+                        },
+                    ),
+                    (
+                        "false_paths",
+                        Json::from(bound_sdc.boundary.false_paths().len()),
+                    ),
+                ]),
+                None => Json::Null,
+            },
+        ),
+        (
             "parity",
             Json::obj([
                 (
@@ -331,7 +442,7 @@ fn main() {
     // Per-iteration cost of the production mode, measured properly.
     if groups <= 8 {
         microbench::bench("spefbus/windowed_analysis", || {
-            sta.analyze_with_crosstalk_windows(&c, &bound.specs, &SiOptions::default())
+            sta.analyze_with_crosstalk_windows(c, &bound.specs, &SiOptions::default())
                 .expect("analysis")
         });
     }

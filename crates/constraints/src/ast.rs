@@ -1,0 +1,144 @@
+//! SDC abstract syntax tree.
+//!
+//! The AST stores values **exactly as written** — times in nanoseconds and
+//! capacitances in picofarads, the customary library units of SDC — so the
+//! canonical writer can reproduce them digit for digit and `parse ∘ write`
+//! is the identity on the model. Scaling to SI happens in the binder
+//! ([`bind_sdc`](crate::bind_sdc)), not at parse time.
+
+use std::fmt;
+
+/// Whether a delay/transition applies to the min corner, the max corner,
+/// or both (the default when neither flag is given).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MinMax {
+    /// `-min` only.
+    Min,
+    /// `-max` only.
+    Max,
+    /// Neither flag: applies to both corners.
+    Both,
+}
+
+impl MinMax {
+    /// Whether the min corner is covered.
+    pub fn covers_min(self) -> bool {
+        matches!(self, MinMax::Min | MinMax::Both)
+    }
+
+    /// Whether the max corner is covered.
+    pub fn covers_max(self) -> bool {
+        matches!(self, MinMax::Max | MinMax::Both)
+    }
+}
+
+/// `create_clock -name NAME -period P [get_ports {...}]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CreateClock {
+    /// Clock name (`-name`, or the first source port when omitted).
+    pub name: String,
+    /// Period in ns.
+    pub period: f64,
+    /// Source ports (may be empty for a virtual clock).
+    pub ports: Vec<String>,
+}
+
+/// `set_input_delay` / `set_output_delay`: a delay relative to a clock
+/// edge on a list of ports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PortDelay {
+    /// Delay in ns.
+    pub delay: f64,
+    /// `-clock NAME`, when given.
+    pub clock: Option<String>,
+    /// `-min` / `-max` / both.
+    pub minmax: MinMax,
+    /// Target ports.
+    pub ports: Vec<String>,
+}
+
+/// `set_input_transition VALUE [get_ports {...}]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SetInputTransition {
+    /// Transition time in ns.
+    pub value: f64,
+    /// `-min` / `-max` / both (recorded for fidelity; the engine keeps a
+    /// single slew per pin, so the binder applies any of them).
+    pub minmax: MinMax,
+    /// Target ports.
+    pub ports: Vec<String>,
+}
+
+/// `set_load VALUE [get_ports {...}]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SetLoad {
+    /// Capacitance in pF.
+    pub value: f64,
+    /// Target ports.
+    pub ports: Vec<String>,
+}
+
+/// `set_false_path -from [...] -to [...]`. Either side may be empty,
+/// acting as a wildcard over all inputs / all outputs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SetFalsePath {
+    /// `-from` startpoints (input ports).
+    pub from: Vec<String>,
+    /// `-to` endpoints (output ports).
+    pub to: Vec<String>,
+}
+
+/// One parsed SDC command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SdcCommand {
+    /// `create_clock`.
+    CreateClock(CreateClock),
+    /// `set_input_delay`.
+    SetInputDelay(PortDelay),
+    /// `set_output_delay`.
+    SetOutputDelay(PortDelay),
+    /// `set_input_transition`.
+    SetInputTransition(SetInputTransition),
+    /// `set_load`.
+    SetLoad(SetLoad),
+    /// `set_false_path`.
+    SetFalsePath(SetFalsePath),
+}
+
+impl SdcCommand {
+    /// The SDC command word this variant corresponds to.
+    pub fn keyword(&self) -> &'static str {
+        match self {
+            SdcCommand::CreateClock(_) => "create_clock",
+            SdcCommand::SetInputDelay(_) => "set_input_delay",
+            SdcCommand::SetOutputDelay(_) => "set_output_delay",
+            SdcCommand::SetInputTransition(_) => "set_input_transition",
+            SdcCommand::SetLoad(_) => "set_load",
+            SdcCommand::SetFalsePath(_) => "set_false_path",
+        }
+    }
+}
+
+impl fmt::Display for SdcCommand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.keyword())
+    }
+}
+
+/// A parsed SDC file: the command sequence, in source order (order matters
+/// — later commands override earlier ones on the same port).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SdcFile {
+    /// Commands in source order.
+    pub commands: Vec<SdcCommand>,
+}
+
+impl SdcFile {
+    /// All `create_clock` commands, in source order.
+    pub fn clocks(&self) -> impl Iterator<Item = &CreateClock> {
+        self.commands.iter().filter_map(|c| match c {
+            SdcCommand::CreateClock(cc) => Some(cc),
+            _ => None,
+        })
+    }
+}

@@ -1,0 +1,509 @@
+//! Binding a parsed SDC onto a timing [`Design`].
+//!
+//! [`bind_sdc`] resolves every port name against the design and folds the
+//! command sequence into the [`BoundaryConditions`] the STA engine
+//! consumes:
+//!
+//! * `create_clock` fixes the period slacks are computed against; with a
+//!   clock present, every output defaults to `required = period` and
+//!   `set_output_delay D` tightens that to `period − D`;
+//! * `set_input_delay -min/-max` seeds each input's arrival **window**
+//!   `[min, max]` — the per-pin ranges the crosstalk window filter prunes
+//!   against (a plain `set_input_delay` collapses the window to a point);
+//! * `set_input_transition` / `set_load` override the port slew and the
+//!   external output load;
+//! * `set_false_path -from/-to` expands to [`FalsePath`] pairs excluded
+//!   from required-time propagation.
+//!
+//! Units: SDC carries no unit declarations — values are in the customary
+//! library units, **ns** for time and **pF** for capacitance, and the
+//! binder scales them to SI here (the AST keeps source units so the writer
+//! round-trips exactly).
+//!
+//! Binding is strict: unknown ports, ports of the wrong direction,
+//! duplicate clock names, unresolvable `-clock` references and false
+//! paths on missing nets are errors, not warnings — a constraint that
+//! silently fails to apply is worse than no constraint at all.
+
+use crate::ast::{PortDelay, SdcCommand, SdcFile};
+use crate::SdcError;
+use nsta_sta::{
+    BoundaryConditions, Constraints, Design, FalsePath, InputBoundary, NetId, OutputBoundary,
+};
+use std::collections::HashMap;
+
+/// SDC time unit (ns) in seconds.
+const TIME_UNIT: f64 = 1e-9;
+/// SDC capacitance unit (pF) in farads.
+const CAP_UNIT: f64 = 1e-12;
+
+/// One resolved clock.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoundClock {
+    /// Clock name.
+    pub name: String,
+    /// Period (s).
+    pub period: f64,
+}
+
+/// Result of binding an SDC file onto a design.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SdcBinding {
+    /// The resolved per-pin boundary conditions.
+    pub boundary: BoundaryConditions,
+    /// Clocks in declaration order (periods in seconds).
+    pub clocks: Vec<BoundClock>,
+}
+
+impl SdcBinding {
+    /// The period of the primary (first-declared) clock, if any (s).
+    pub fn clock_period(&self) -> Option<f64> {
+        self.clocks.first().map(|c| c.period)
+    }
+}
+
+fn resolve_input(design: &Design, name: &str, cmd: &str) -> Result<NetId, SdcError> {
+    let net = design
+        .find_net(name)
+        .ok_or_else(|| SdcError::Bind(format!("{cmd}: unknown port {name}")))?;
+    if !design.inputs().contains(&net) {
+        return Err(SdcError::Bind(format!(
+            "{cmd}: port {name} is not a primary input"
+        )));
+    }
+    Ok(net)
+}
+
+fn resolve_output(design: &Design, name: &str, cmd: &str) -> Result<NetId, SdcError> {
+    let net = design
+        .find_net(name)
+        .ok_or_else(|| SdcError::Bind(format!("{cmd}: unknown port {name}")))?;
+    if !design.outputs().contains(&net) {
+        return Err(SdcError::Bind(format!(
+            "{cmd}: port {name} is not a primary output"
+        )));
+    }
+    Ok(net)
+}
+
+fn resolve_clock<'a>(
+    clocks: &'a [BoundClock],
+    delay: &PortDelay,
+    cmd: &str,
+) -> Result<Option<&'a BoundClock>, SdcError> {
+    match &delay.clock {
+        Some(name) => clocks
+            .iter()
+            .find(|c| &c.name == name)
+            .map(Some)
+            .ok_or_else(|| SdcError::Bind(format!("{cmd}: unknown clock {name}"))),
+        None => match clocks {
+            [] => Ok(None),
+            [only] => Ok(Some(only)),
+            _ => Err(SdcError::Bind(format!(
+                "{cmd}: -clock required when several clocks exist"
+            ))),
+        },
+    }
+}
+
+/// Resolves `sdc` against `design`, producing the boundary conditions of
+/// the run. `defaults` fills whatever the constraint set leaves open: the
+/// slew of inputs without `set_input_transition` and the load of outputs
+/// without `set_load`. Unconstrained inputs arrive at t = 0; outputs are
+/// required at the clock period when a clock exists and stay genuinely
+/// unconstrained (`required = +inf`) otherwise — `defaults`'
+/// `required_at_outputs` is deliberately **not** used, so an SDC without
+/// clocks reports `unconstrained` instead of inheriting a fake budget.
+///
+/// # Errors
+///
+/// [`SdcError::Bind`] on unknown/misdirected ports, duplicate clock
+/// names, unresolvable `-clock` references, `set_output_delay` without
+/// any clock, false paths on missing nets, and inverted arrival windows
+/// (min delay above max).
+pub fn bind_sdc(
+    sdc: &SdcFile,
+    design: &Design,
+    defaults: &Constraints,
+) -> Result<SdcBinding, SdcError> {
+    // Pass 1: clocks (so later commands can reference them regardless of
+    // declaration order).
+    let mut clocks: Vec<BoundClock> = Vec::new();
+    for clock in sdc.clocks() {
+        if clocks.iter().any(|c| c.name == clock.name) {
+            return Err(SdcError::Bind(format!("duplicate clock {}", clock.name)));
+        }
+        // Source ports must be input ports when named (virtual clocks
+        // carry none) — same strictness as every other port reference.
+        for port in &clock.ports {
+            resolve_input(design, port, "create_clock")?;
+        }
+        clocks.push(BoundClock {
+            name: clock.name.clone(),
+            period: clock.period * TIME_UNIT,
+        });
+    }
+
+    let default_input = InputBoundary::point(0.0, defaults.input_slew);
+    let default_output = match clocks.first() {
+        Some(clock) => OutputBoundary {
+            required: clock.period,
+            load: defaults.output_load,
+        },
+        None => OutputBoundary::unconstrained(defaults.output_load),
+    };
+
+    // Pass 2: fold the command sequence (source order — later commands
+    // override earlier ones on the same port and corner). The flags track
+    // which corners were explicitly constrained so a lone `-min`/`-max`
+    // can widen the untouched corner instead of inverting the window.
+    struct WorkInput {
+        b: InputBoundary,
+        min_set: bool,
+        max_set: bool,
+    }
+    let mut inputs: HashMap<NetId, WorkInput> = HashMap::new();
+    let mut outputs: HashMap<NetId, OutputBoundary> = HashMap::new();
+    let mut false_paths: Vec<FalsePath> = Vec::new();
+    for cmd in &sdc.commands {
+        match cmd {
+            SdcCommand::CreateClock(_) => {} // handled in pass 1
+            SdcCommand::SetInputDelay(d) => {
+                // -clock references must resolve even though the input
+                // arrival is relative to the edge at t = 0 either way.
+                resolve_clock(&clocks, d, "set_input_delay")?;
+                for port in &d.ports {
+                    let net = resolve_input(design, port, "set_input_delay")?;
+                    let w = inputs.entry(net).or_insert(WorkInput {
+                        b: default_input,
+                        min_set: false,
+                        max_set: false,
+                    });
+                    let arrival = d.delay * TIME_UNIT;
+                    if d.minmax.covers_min() {
+                        w.b.min_arrival = arrival;
+                        w.min_set = true;
+                    }
+                    if d.minmax.covers_max() {
+                        w.b.max_arrival = arrival;
+                        w.max_set = true;
+                    }
+                }
+            }
+            SdcCommand::SetOutputDelay(d) => {
+                let clock = resolve_clock(&clocks, d, "set_output_delay")?
+                    .ok_or_else(|| SdcError::Bind("set_output_delay requires a clock".into()))?;
+                for port in &d.ports {
+                    let net = resolve_output(design, port, "set_output_delay")?;
+                    let b = outputs.entry(net).or_insert(default_output);
+                    // The external path consumes `delay` of the period, so
+                    // data is required `delay` before the capturing edge.
+                    // Setup analysis uses the max corner; `-min` variants
+                    // describe the hold corner the engine does not check.
+                    if d.minmax.covers_max() {
+                        b.required = clock.period - d.delay * TIME_UNIT;
+                    }
+                }
+            }
+            SdcCommand::SetInputTransition(t) => {
+                for port in &t.ports {
+                    // Ports resolve (strict binding) even when the value
+                    // is then discarded as hold-corner data: the engine
+                    // keeps one slew per pin and sweeps the setup (max)
+                    // corner, so a `-min`-only transition must NOT be
+                    // absorbed — a fast min-corner slew would silently
+                    // shrink setup arrivals.
+                    let net = resolve_input(design, port, "set_input_transition")?;
+                    if !t.minmax.covers_max() {
+                        continue;
+                    }
+                    let w = inputs.entry(net).or_insert(WorkInput {
+                        b: default_input,
+                        min_set: false,
+                        max_set: false,
+                    });
+                    w.b.slew = t.value * TIME_UNIT;
+                }
+            }
+            SdcCommand::SetLoad(l) => {
+                for port in &l.ports {
+                    let net = resolve_output(design, port, "set_load")?;
+                    let b = outputs.entry(net).or_insert(default_output);
+                    b.load = l.value * CAP_UNIT;
+                }
+            }
+            SdcCommand::SetFalsePath(fp) => {
+                let from: Vec<Option<NetId>> = if fp.from.is_empty() {
+                    vec![None]
+                } else {
+                    fp.from
+                        .iter()
+                        .map(|p| resolve_input(design, p, "set_false_path -from").map(Some))
+                        .collect::<Result<_, _>>()?
+                };
+                let to: Vec<Option<NetId>> = if fp.to.is_empty() {
+                    vec![None]
+                } else {
+                    fp.to
+                        .iter()
+                        .map(|p| resolve_output(design, p, "set_false_path -to").map(Some))
+                        .collect::<Result<_, _>>()?
+                };
+                for &f in &from {
+                    for &t in &to {
+                        false_paths.push(FalsePath { from: f, to: t });
+                    }
+                }
+            }
+        }
+    }
+
+    // Widen corners never explicitly constrained, then reject windows the
+    // user genuinely inverted: a min/max sweep cannot be seeded from an
+    // empty arrival window.
+    for (&net, w) in &mut inputs {
+        if !w.max_set {
+            w.b.max_arrival = w.b.max_arrival.max(w.b.min_arrival);
+        }
+        if !w.min_set {
+            w.b.min_arrival = w.b.min_arrival.min(w.b.max_arrival);
+        }
+        if !(w.b.min_arrival <= w.b.max_arrival) {
+            return Err(SdcError::Bind(format!(
+                "input {} has min arrival {} above max arrival {}",
+                design.net_name(net),
+                w.b.min_arrival,
+                w.b.max_arrival
+            )));
+        }
+    }
+
+    let mut boundary = BoundaryConditions::new(default_input, default_output);
+    if let Some(clock) = clocks.first() {
+        boundary.set_clock_period(clock.period);
+    }
+    for (net, w) in inputs {
+        boundary.set_input(net, w.b);
+    }
+    for (net, b) in outputs {
+        boundary.set_output(net, b);
+    }
+    for fp in false_paths {
+        boundary.add_false_path(fp);
+    }
+    Ok(SdcBinding { boundary, clocks })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_sdc;
+
+    fn design() -> Design {
+        let mut d = Design::new("m");
+        let a = d.net("a");
+        let b = d.net("b");
+        let y = d.net("y");
+        let z = d.net("z");
+        d.net("internal");
+        d.mark_input(a);
+        d.mark_input(b);
+        d.mark_output(y);
+        d.mark_output(z);
+        d
+    }
+
+    fn bind(src: &str) -> Result<SdcBinding, SdcError> {
+        bind_sdc(&parse_sdc(src).unwrap(), &design(), &Constraints::default())
+    }
+
+    #[test]
+    fn per_pin_windows_and_requirements() {
+        let bound = bind(
+            "create_clock -name clk -period 2\n\
+             set_input_delay 0.25 -clock clk -min [get_ports a]\n\
+             set_input_delay 0.6 -clock clk -max [get_ports a]\n\
+             set_input_transition 0.08 [get_ports a]\n\
+             set_output_delay 0.4 -clock clk [get_ports y]\n\
+             set_load 0.05 [get_ports y]\n",
+        )
+        .unwrap();
+        assert_eq!(bound.clock_period(), Some(2e-9));
+        let d = design();
+        let a = bound.boundary.input(d.find_net("a").unwrap());
+        assert!((a.min_arrival - 0.25e-9).abs() < 1e-18);
+        assert!((a.max_arrival - 0.6e-9).abs() < 1e-18);
+        assert!((a.slew - 0.08e-9).abs() < 1e-18);
+        // Unreferenced input keeps the zero-point default.
+        let b = bound.boundary.input(d.find_net("b").unwrap());
+        assert_eq!(b.min_arrival, 0.0);
+        assert_eq!(b.max_arrival, 0.0);
+        // Output y: required = period − output delay; load from set_load.
+        let y = bound.boundary.output(d.find_net("y").unwrap());
+        assert!((y.required - 1.6e-9).abs() < 1e-18);
+        assert!((y.load - 0.05e-12).abs() < 1e-24);
+        // Output z: required defaults to the full period.
+        let z = bound.boundary.output(d.find_net("z").unwrap());
+        assert!((z.required - 2e-9).abs() < 1e-18);
+    }
+
+    #[test]
+    fn min_corner_transition_does_not_shrink_the_setup_slew() {
+        // `-min` transitions describe the hold corner; absorbing one into
+        // the engine's single (setup) slew would shrink arrivals.
+        let bound = bind(
+            "set_input_transition 0.3 -max [get_ports a]\n\
+             set_input_transition 0.05 -min [get_ports a]\n",
+        )
+        .unwrap();
+        let d = design();
+        let a = bound.boundary.input(d.find_net("a").unwrap());
+        assert!((a.slew - 0.3e-9).abs() < 1e-18, "setup slew kept: {a:?}");
+    }
+
+    #[test]
+    fn min_corner_transition_still_resolves_its_ports() {
+        // Strict binding: the port reference must resolve even though the
+        // hold-corner value itself is discarded.
+        assert!(matches!(
+            bind("set_input_transition 0.05 -min [get_ports ghost]\n"),
+            Err(SdcError::Bind(_))
+        ));
+        assert!(matches!(
+            bind("set_input_transition 0.05 -min [get_ports y]\n"),
+            Err(SdcError::Bind(_))
+        ));
+    }
+
+    #[test]
+    fn clock_source_must_be_an_input_port() {
+        assert!(matches!(
+            bind("create_clock -name clk -period 1 [get_ports internal]\n"),
+            Err(SdcError::Bind(_))
+        ));
+        assert!(matches!(
+            bind("create_clock -name clk -period 1 [get_ports y]\n"),
+            Err(SdcError::Bind(_))
+        ));
+    }
+
+    #[test]
+    fn no_clock_leaves_outputs_unconstrained() {
+        let bound = bind("set_input_delay 0.1 [get_ports a]\n").unwrap();
+        let d = design();
+        let y = bound.boundary.output(d.find_net("y").unwrap());
+        assert!(y.required.is_infinite());
+        assert_eq!(bound.clock_period(), None);
+    }
+
+    #[test]
+    fn false_paths_expand_to_pairs() {
+        let bound = bind(
+            "create_clock -name clk -period 2\n\
+             set_false_path -from [get_ports {a b}] -to [get_ports y]\n\
+             set_false_path -to [get_ports z]\n",
+        )
+        .unwrap();
+        let d = design();
+        let a = d.find_net("a").unwrap();
+        let b = d.find_net("b").unwrap();
+        let y = d.find_net("y").unwrap();
+        let z = d.find_net("z").unwrap();
+        let fps = bound.boundary.false_paths();
+        assert_eq!(fps.len(), 3);
+        assert!(fps.contains(&FalsePath {
+            from: Some(a),
+            to: Some(y)
+        }));
+        assert!(fps.contains(&FalsePath {
+            from: Some(b),
+            to: Some(y)
+        }));
+        assert!(fps.contains(&FalsePath {
+            from: None,
+            to: Some(z)
+        }));
+    }
+
+    #[test]
+    fn unknown_port_is_a_bind_error() {
+        for src in [
+            "set_input_delay 0.1 [get_ports nope]\n",
+            "set_load 0.1 [get_ports nope]\n",
+            "create_clock -name c -period 1 [get_ports nope]\n",
+        ] {
+            assert!(
+                matches!(bind(src), Err(SdcError::Bind(_))),
+                "expected bind error for {src}"
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_direction_is_a_bind_error() {
+        // y is an output; a is an input; `internal` is neither.
+        assert!(matches!(
+            bind("set_input_delay 0.1 [get_ports y]\n"),
+            Err(SdcError::Bind(_))
+        ));
+        assert!(matches!(
+            bind("create_clock -name c -period 1\nset_output_delay 0.1 [get_ports a]\n"),
+            Err(SdcError::Bind(_))
+        ));
+        assert!(matches!(
+            bind("set_input_delay 0.1 [get_ports internal]\n"),
+            Err(SdcError::Bind(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_clock_is_a_bind_error() {
+        assert!(matches!(
+            bind("create_clock -name clk -period 1\ncreate_clock -name clk -period 2\n"),
+            Err(SdcError::Bind(_))
+        ));
+    }
+
+    #[test]
+    fn false_path_on_missing_net_is_a_bind_error() {
+        assert!(matches!(
+            bind("set_false_path -from [get_ports ghost] -to [get_ports y]\n"),
+            Err(SdcError::Bind(_))
+        ));
+        assert!(matches!(
+            bind("set_false_path -from [get_ports a] -to [get_ports ghost]\n"),
+            Err(SdcError::Bind(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_or_ambiguous_clock_references() {
+        assert!(matches!(
+            bind("create_clock -name clk -period 1\nset_input_delay 0.1 -clock other [get_ports a]\n"),
+            Err(SdcError::Bind(_))
+        ));
+        assert!(matches!(
+            bind("set_output_delay 0.1 [get_ports y]\n"),
+            Err(SdcError::Bind(_))
+        ));
+        assert!(matches!(
+            bind(
+                "create_clock -name c1 -period 1\ncreate_clock -name c2 -period 2\n\
+                 set_output_delay 0.1 [get_ports y]\n"
+            ),
+            Err(SdcError::Bind(_))
+        ));
+    }
+
+    #[test]
+    fn inverted_window_is_a_bind_error() {
+        assert!(matches!(
+            bind(
+                "set_input_delay 0.5 -min [get_ports a]\n\
+                 set_input_delay 0.2 -max [get_ports a]\n"
+            ),
+            Err(SdcError::Bind(_))
+        ));
+    }
+}

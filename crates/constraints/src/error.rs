@@ -1,0 +1,41 @@
+use std::fmt;
+
+/// Error type for SDC lexing, parsing and design binding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SdcError {
+    /// Lexical error with a 1-based line number.
+    Lex {
+        /// Line of the offending character.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// Parse error with a 1-based line number.
+    Parse {
+        /// Line of the offending token.
+        line: usize,
+        /// What the parser expected/found.
+        message: String,
+    },
+    /// The file was syntactically valid SDC but semantically unusable
+    /// (non-positive period, min delay above max…).
+    Semantic(String),
+    /// Resolving the constraint set against a design failed (unknown
+    /// port, duplicate clock, false path on a missing net…).
+    Bind(String),
+}
+
+impl fmt::Display for SdcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SdcError::Lex { line, message } => write!(f, "lex error at line {line}: {message}"),
+            SdcError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            SdcError::Semantic(m) => write!(f, "semantic error: {m}"),
+            SdcError::Bind(m) => write!(f, "bind error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SdcError {}

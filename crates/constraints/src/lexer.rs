@@ -1,0 +1,286 @@
+//! SDC tokenizer.
+//!
+//! SDC is a Tcl dialect, but the constraint subset this crate accepts is
+//! line-oriented: one command per line, words separated by whitespace,
+//! object lists in `[get_ports {...}]` form. The lexer therefore needs
+//! only six token kinds: words, numbers, the two bracket pairs, and a
+//! newline marker separating commands. `#` comments run to end of line
+//! and a trailing `\` continues a command across lines, exactly like Tcl.
+
+use crate::SdcError;
+
+/// One lexical token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Token payload.
+    pub kind: TokenKind,
+    /// 1-based line the token started on.
+    pub line: usize,
+}
+
+/// Token payloads.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// A bare or quoted word: command names, option flags (`-min`),
+    /// port and clock names.
+    Word(String),
+    /// A number (integer or float).
+    Number(f64),
+    /// `[` — opens a command substitution (`[get_ports ...]`).
+    LBracket,
+    /// `]`.
+    RBracket,
+    /// `{` — opens a Tcl list.
+    LBrace,
+    /// `}`.
+    RBrace,
+    /// End of a command (one or more newlines collapse to one token).
+    Newline,
+}
+
+impl TokenKind {
+    /// Short human-readable description for error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Word(w) => w.clone(),
+            TokenKind::Number(v) => format!("{v}"),
+            TokenKind::LBracket => "[".into(),
+            TokenKind::RBracket => "]".into(),
+            TokenKind::LBrace => "{".into(),
+            TokenKind::RBrace => "}".into(),
+            TokenKind::Newline => "end of command".into(),
+        }
+    }
+}
+
+/// Characters that terminate a bare word.
+fn is_word_end(c: char) -> bool {
+    c.is_whitespace() || matches!(c, '[' | ']' | '{' | '}' | '"' | '#' | ';')
+}
+
+/// Tokenizes SDC text.
+///
+/// # Errors
+///
+/// [`SdcError::Lex`] on unterminated strings.
+pub fn tokenize(text: &str) -> Result<Vec<Token>, SdcError> {
+    let mut tokens: Vec<Token> = Vec::new();
+    let chars: Vec<char> = text.chars().collect();
+    let mut i = 0;
+    let mut line = 1usize;
+    let push = |kind: TokenKind, line: usize, tokens: &mut Vec<Token>| {
+        // Collapse newline runs; drop leading newlines entirely.
+        if kind == TokenKind::Newline && tokens.last().is_none_or(|t| t.kind == TokenKind::Newline)
+        {
+            return;
+        }
+        tokens.push(Token { kind, line });
+    };
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                push(TokenKind::Newline, line, &mut tokens);
+                line += 1;
+                i += 1;
+            }
+            ';' => {
+                // Tcl also separates commands with semicolons.
+                push(TokenKind::Newline, line, &mut tokens);
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '#' => {
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '\\' if chars.get(i + 1) == Some(&'\n') => {
+                // Line continuation: swallow the newline, no separator.
+                line += 1;
+                i += 2;
+            }
+            '[' => {
+                push(TokenKind::LBracket, line, &mut tokens);
+                i += 1;
+            }
+            ']' => {
+                push(TokenKind::RBracket, line, &mut tokens);
+                i += 1;
+            }
+            '{' => {
+                push(TokenKind::LBrace, line, &mut tokens);
+                i += 1;
+            }
+            '}' => {
+                push(TokenKind::RBrace, line, &mut tokens);
+                i += 1;
+            }
+            '"' => {
+                let start_line = line;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match chars.get(i) {
+                        Some('"') => {
+                            i += 1;
+                            break;
+                        }
+                        Some('\n') => {
+                            line += 1;
+                            s.push('\n');
+                            i += 1;
+                        }
+                        Some(&nc) => {
+                            s.push(nc);
+                            i += 1;
+                        }
+                        None => {
+                            return Err(SdcError::Lex {
+                                line: start_line,
+                                message: "unterminated string".into(),
+                            })
+                        }
+                    }
+                }
+                push(TokenKind::Word(s), start_line, &mut tokens);
+            }
+            _ => {
+                let start = i;
+                while i < chars.len() && !is_word_end(chars[i]) {
+                    i += 1;
+                }
+                let word: String = chars[start..i].iter().collect();
+                // Option flags (`-min`) stay words; `-0.5` is a number.
+                // Words like `inf`/`nan` that f64 happens to accept are
+                // legal port names, so only digit/sign/point-led spellings
+                // of finite values become numbers.
+                let numeric_start = word
+                    .chars()
+                    .next()
+                    .is_some_and(|c| c.is_ascii_digit() || matches!(c, '.' | '+' | '-'));
+                let kind = match word.parse::<f64>() {
+                    Ok(v) if numeric_start && v.is_finite() => TokenKind::Number(v),
+                    _ => TokenKind::Word(word),
+                };
+                push(kind, line, &mut tokens);
+            }
+        }
+    }
+    // A trailing newline token simplifies the parser's command loop.
+    push(TokenKind::Newline, line, &mut tokens);
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(text: &str) -> Vec<TokenKind> {
+        tokenize(text)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn words_numbers_and_brackets() {
+        assert_eq!(
+            kinds("set_input_delay 0.5 -clock clk [get_ports {a b}]"),
+            vec![
+                TokenKind::Word("set_input_delay".into()),
+                TokenKind::Number(0.5),
+                TokenKind::Word("-clock".into()),
+                TokenKind::Word("clk".into()),
+                TokenKind::LBracket,
+                TokenKind::Word("get_ports".into()),
+                TokenKind::LBrace,
+                TokenKind::Word("a".into()),
+                TokenKind::Word("b".into()),
+                TokenKind::RBrace,
+                TokenKind::RBracket,
+                TokenKind::Newline,
+            ]
+        );
+    }
+
+    #[test]
+    fn flags_are_words_but_negative_values_are_numbers() {
+        assert_eq!(
+            kinds("-min -0.25"),
+            vec![
+                TokenKind::Word("-min".into()),
+                TokenKind::Number(-0.25),
+                TokenKind::Newline,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_blank_lines_collapse() {
+        let k = kinds("# header\n\n\ncreate_clock -period 2\n# tail\n");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Word("create_clock".into()),
+                TokenKind::Word("-period".into()),
+                TokenKind::Number(2.0),
+                TokenKind::Newline,
+            ]
+        );
+    }
+
+    #[test]
+    fn continuations_and_semicolons() {
+        let k = kinds("set_load \\\n 0.1 x; set_load 0.2 y");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Word("set_load".into()),
+                TokenKind::Number(0.1),
+                TokenKind::Word("x".into()),
+                TokenKind::Newline,
+                TokenKind::Word("set_load".into()),
+                TokenKind::Number(0.2),
+                TokenKind::Word("y".into()),
+                TokenKind::Newline,
+            ]
+        );
+    }
+
+    #[test]
+    fn quoted_names_and_line_tracking() {
+        let toks = tokenize("create_clock -name \"clk core\"\nset_load 1 y").unwrap();
+        assert_eq!(toks[2].kind, TokenKind::Word("clk core".into()));
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[4].line, 2);
+    }
+
+    #[test]
+    fn float_spellings_stay_port_names() {
+        // `inf`, `nan` & co. are legal Verilog identifiers; only
+        // digit/sign/point-led finite spellings become numbers.
+        assert_eq!(
+            kinds("set_load 0.1 inf"),
+            vec![
+                TokenKind::Word("set_load".into()),
+                TokenKind::Number(0.1),
+                TokenKind::Word("inf".into()),
+                TokenKind::Newline,
+            ]
+        );
+        assert_eq!(kinds("nan")[0], TokenKind::Word("nan".into()));
+        assert_eq!(kinds("-inf")[0], TokenKind::Word("-inf".into()));
+        assert_eq!(kinds("infinity")[0], TokenKind::Word("infinity".into()));
+        assert_eq!(kinds("+0.5")[0], TokenKind::Number(0.5));
+    }
+
+    #[test]
+    fn lex_errors() {
+        assert!(matches!(
+            tokenize("create_clock -name \"oops"),
+            Err(SdcError::Lex { .. })
+        ));
+    }
+}

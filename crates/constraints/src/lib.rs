@@ -1,0 +1,68 @@
+//! SDC-subset constraints for per-pin timing windows.
+//!
+//! Commercial STA runs are driven by constraint sets (SDC — Synopsys
+//! Design Constraints), not by one uniform arrival/required pair. This
+//! crate closes that gap for the `noisy-sta` workspace: switching windows
+//! and slacks can now come from a real constraint file, which is exactly
+//! where the paper's temporal-correlation aggressor filtering earns its
+//! keep — per-pin `[min, max]` arrival windows change which aggressors
+//! can align with a victim.
+//!
+//! * [`parse_sdc`] — lexer/parser for the SDC subset that matters to a
+//!   combinational timing engine: `create_clock`, `set_input_delay`
+//!   (`-min`/`-max`/`-clock`), `set_output_delay`, `set_input_transition`,
+//!   `set_load`, and `set_false_path -from/-to`.
+//! * [`write_sdc`] — canonical serializer; `parse ∘ write` is the
+//!   identity on the model (golden-file round trips, mirroring
+//!   `nsta-parasitics`).
+//! * [`bind_sdc`] — resolves port names against a
+//!   [`Design`](nsta_sta::Design) and emits the
+//!   [`BoundaryConditions`](nsta_sta::BoundaryConditions) every analysis
+//!   entry point accepts: per-input `{min_arrival, max_arrival, slew}`,
+//!   per-output `{required, load}` (slack against the clock period), and
+//!   the false-path pairs excluded from the worst slack. Binding is
+//!   strict — unknown ports, duplicate clocks and false paths on missing
+//!   nets are errors.
+//!
+//! Values are written in the customary SDC library units (ns, pF); the
+//! binder scales them to SI.
+//!
+//! ```
+//! use nsta_constraints::{bind_sdc, parse_sdc};
+//! use nsta_sta::{verilog::parse_design, Constraints};
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let design = parse_design(
+//!     "module m (a, b, y); input a, b; output y; wire w;\
+//!      INVX1 u1 (.A(a), .Y(w)); INVX1 u2 (.A(w), .Y(y)); endmodule",
+//! )?;
+//! let sdc = parse_sdc(
+//!     "create_clock -name clk -period 2\n\
+//!      set_input_delay 0.2 -clock clk -min [get_ports a]\n\
+//!      set_input_delay 0.7 -clock clk -max [get_ports a]\n\
+//!      set_output_delay 0.4 -clock clk [get_ports y]\n",
+//! )?;
+//! let bound = bind_sdc(&sdc, &design, &Constraints::default())?;
+//! let a = design.find_net("a").expect("port a");
+//! let window = bound.boundary.input(a);
+//! assert!((window.min_arrival - 0.2e-9).abs() < 1e-18);
+//! assert!((window.max_arrival - 0.7e-9).abs() < 1e-18);
+//! let y = design.find_net("y").expect("port y");
+//! assert!((bound.boundary.output(y).required - 1.6e-9).abs() < 1e-18);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod ast;
+mod bind;
+mod error;
+pub mod lexer;
+mod parser;
+mod writer;
+
+pub use ast::{
+    CreateClock, MinMax, PortDelay, SdcCommand, SdcFile, SetFalsePath, SetInputTransition, SetLoad,
+};
+pub use bind::{bind_sdc, BoundClock, SdcBinding};
+pub use error::SdcError;
+pub use parser::parse_sdc;
+pub use writer::write_sdc;

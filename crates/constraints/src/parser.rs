@@ -1,0 +1,518 @@
+//! SDC parser: token stream → [`SdcFile`].
+//!
+//! Grammar of the accepted subset (one command per line; `\` continues):
+//!
+//! ```text
+//! create_clock         -name NAME -period NUM [objects]?
+//! set_input_delay      NUM (-clock NAME)? (-min|-max)? objects
+//! set_output_delay     NUM (-clock NAME)? (-min|-max)? objects
+//! set_input_transition NUM (-min|-max)? objects
+//! set_load             NUM objects
+//! set_false_path       (-from objects)? (-to objects)?   # at least one
+//!
+//! objects := [get_ports ports] | ports
+//! ports   := WORD | { WORD* }
+//! ```
+//!
+//! Options may appear before or after the positional value, as Tcl allows.
+
+use crate::ast::{
+    CreateClock, MinMax, PortDelay, SdcCommand, SdcFile, SetFalsePath, SetInputTransition, SetLoad,
+};
+use crate::lexer::{tokenize, Token, TokenKind};
+use crate::SdcError;
+
+struct P {
+    toks: Vec<Token>,
+    pos: usize,
+}
+
+impl P {
+    fn peek(&self) -> Option<&TokenKind> {
+        self.toks.get(self.pos).map(|t| &t.kind)
+    }
+
+    fn line(&self) -> usize {
+        self.toks
+            .get(self.pos.min(self.toks.len().saturating_sub(1)))
+            .map_or(1, |t| t.line)
+    }
+
+    fn bump(&mut self) -> Option<TokenKind> {
+        let t = self.toks.get(self.pos).map(|t| t.kind.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, SdcError> {
+        Err(SdcError::Parse {
+            line: self.line(),
+            message: message.into(),
+        })
+    }
+
+    fn at_command_end(&self) -> bool {
+        matches!(self.peek(), None | Some(TokenKind::Newline))
+    }
+
+    fn expect_newline(&mut self) -> Result<(), SdcError> {
+        match self.bump() {
+            None | Some(TokenKind::Newline) => Ok(()),
+            Some(other) => {
+                self.pos -= 1;
+                self.err(format!("unexpected {} at end of command", other.describe()))
+            }
+        }
+    }
+
+    fn word(&mut self, what: &str) -> Result<String, SdcError> {
+        match self.bump() {
+            Some(TokenKind::Word(w)) => Ok(w),
+            other => {
+                self.pos -= 1;
+                self.err(format!(
+                    "expected {what}, found {}",
+                    other.map_or("end of file".into(), |t| t.describe())
+                ))
+            }
+        }
+    }
+
+    fn number(&mut self, what: &str) -> Result<f64, SdcError> {
+        match self.bump() {
+            Some(TokenKind::Number(v)) => Ok(v),
+            other => {
+                self.pos -= 1;
+                self.err(format!(
+                    "expected {what}, found {}",
+                    other.map_or("end of file".into(), |t| t.describe())
+                ))
+            }
+        }
+    }
+
+    /// Parses an object list: `[get_ports ports]`, a brace list, or a bare
+    /// word. Only `get_ports` is understood inside brackets — the engine
+    /// constrains ports, not pins or hierarchical cells.
+    fn objects(&mut self) -> Result<Vec<String>, SdcError> {
+        match self.peek() {
+            Some(TokenKind::LBracket) => {
+                self.bump();
+                let getter = self.word("an object getter (get_ports)")?;
+                if getter != "get_ports" && getter != "get_port" {
+                    return self.err(format!("unsupported object getter {getter}"));
+                }
+                let ports = self.port_list()?;
+                match self.bump() {
+                    Some(TokenKind::RBracket) => Ok(ports),
+                    _ => {
+                        self.pos -= 1;
+                        self.err("expected ']' after get_ports")
+                    }
+                }
+            }
+            Some(TokenKind::LBrace) => self.port_list(),
+            Some(TokenKind::Word(_)) => Ok(vec![self.word("a port name")?]),
+            _ => self.err("expected an object list"),
+        }
+    }
+
+    /// A bare word or a `{ word* }` list.
+    fn port_list(&mut self) -> Result<Vec<String>, SdcError> {
+        match self.peek() {
+            Some(TokenKind::LBrace) => {
+                self.bump();
+                let mut ports = Vec::new();
+                loop {
+                    match self.peek() {
+                        Some(TokenKind::RBrace) => {
+                            self.bump();
+                            break;
+                        }
+                        Some(TokenKind::Word(_)) => ports.push(self.word("a port name")?),
+                        _ => return self.err("expected a port name or '}'"),
+                    }
+                }
+                Ok(ports)
+            }
+            _ => Ok(vec![self.word("a port name")?]),
+        }
+    }
+
+    fn minmax(min: bool, max: bool) -> MinMax {
+        match (min, max) {
+            (true, false) => MinMax::Min,
+            (false, true) => MinMax::Max,
+            // `-min -max` together means both, same as neither.
+            _ => MinMax::Both,
+        }
+    }
+
+    fn create_clock(&mut self) -> Result<SdcCommand, SdcError> {
+        let mut name = None;
+        let mut period = None;
+        let mut ports = Vec::new();
+        while !self.at_command_end() {
+            match self.peek() {
+                Some(TokenKind::Word(w)) if w == "-name" => {
+                    self.bump();
+                    name = Some(self.word("a clock name after -name")?);
+                }
+                Some(TokenKind::Word(w)) if w == "-period" => {
+                    self.bump();
+                    period = Some(self.number("a period after -period")?);
+                }
+                Some(TokenKind::Word(w)) if w.starts_with('-') => {
+                    let w = w.clone();
+                    return self.err(format!("unsupported create_clock option {w}"));
+                }
+                _ => {
+                    if !ports.is_empty() {
+                        return self.err("create_clock given two source-port lists");
+                    }
+                    ports = self.objects()?;
+                }
+            }
+        }
+        let period = match period {
+            Some(p) if p > 0.0 => p,
+            Some(p) => return Err(SdcError::Semantic(format!("non-positive period {p}"))),
+            None => return self.err("create_clock requires -period"),
+        };
+        let name = match name.or_else(|| ports.first().cloned()) {
+            Some(n) => n,
+            None => return self.err("create_clock requires -name or a source port"),
+        };
+        Ok(SdcCommand::CreateClock(CreateClock {
+            name,
+            period,
+            ports,
+        }))
+    }
+
+    fn port_delay(&mut self, cmd: &str) -> Result<PortDelay, SdcError> {
+        let mut delay = None;
+        let mut clock = None;
+        let mut min = false;
+        let mut max = false;
+        let mut ports = Vec::new();
+        while !self.at_command_end() {
+            match self.peek() {
+                Some(TokenKind::Word(w)) if w == "-clock" => {
+                    self.bump();
+                    clock = Some(self.word("a clock name after -clock")?);
+                }
+                Some(TokenKind::Word(w)) if w == "-min" => {
+                    self.bump();
+                    min = true;
+                }
+                Some(TokenKind::Word(w)) if w == "-max" => {
+                    self.bump();
+                    max = true;
+                }
+                Some(TokenKind::Word(w)) if w.starts_with('-') => {
+                    let w = w.clone();
+                    return self.err(format!("unsupported {cmd} option {w}"));
+                }
+                Some(TokenKind::Number(_)) => {
+                    if delay.is_some() {
+                        return self.err(format!("{cmd} given two delay values"));
+                    }
+                    delay = Some(self.number("a delay")?);
+                }
+                _ => {
+                    if !ports.is_empty() {
+                        return self.err(format!("{cmd} given two port lists"));
+                    }
+                    ports = self.objects()?;
+                }
+            }
+        }
+        let Some(delay) = delay else {
+            return self.err(format!("{cmd} requires a delay value"));
+        };
+        if ports.is_empty() {
+            return self.err(format!("{cmd} requires a port list"));
+        }
+        Ok(PortDelay {
+            delay,
+            clock,
+            minmax: Self::minmax(min, max),
+            ports,
+        })
+    }
+
+    fn input_transition(&mut self) -> Result<SdcCommand, SdcError> {
+        let mut value = None;
+        let mut min = false;
+        let mut max = false;
+        let mut ports = Vec::new();
+        while !self.at_command_end() {
+            match self.peek() {
+                Some(TokenKind::Word(w)) if w == "-min" => {
+                    self.bump();
+                    min = true;
+                }
+                Some(TokenKind::Word(w)) if w == "-max" => {
+                    self.bump();
+                    max = true;
+                }
+                Some(TokenKind::Word(w)) if w.starts_with('-') => {
+                    let w = w.clone();
+                    return self.err(format!("unsupported set_input_transition option {w}"));
+                }
+                Some(TokenKind::Number(_)) => {
+                    if value.is_some() {
+                        return self.err("set_input_transition given two values");
+                    }
+                    value = Some(self.number("a transition time")?);
+                }
+                _ => {
+                    if !ports.is_empty() {
+                        return self.err("set_input_transition given two port lists");
+                    }
+                    ports = self.objects()?;
+                }
+            }
+        }
+        let Some(value) = value else {
+            return self.err("set_input_transition requires a value");
+        };
+        if value <= 0.0 {
+            return Err(SdcError::Semantic(format!(
+                "non-positive input transition {value}"
+            )));
+        }
+        if ports.is_empty() {
+            return self.err("set_input_transition requires a port list");
+        }
+        Ok(SdcCommand::SetInputTransition(SetInputTransition {
+            value,
+            minmax: Self::minmax(min, max),
+            ports,
+        }))
+    }
+
+    fn set_load(&mut self) -> Result<SdcCommand, SdcError> {
+        let mut value = None;
+        let mut ports = Vec::new();
+        while !self.at_command_end() {
+            match self.peek() {
+                Some(TokenKind::Word(w)) if w.starts_with('-') => {
+                    let w = w.clone();
+                    return self.err(format!("unsupported set_load option {w}"));
+                }
+                Some(TokenKind::Number(_)) => {
+                    if value.is_some() {
+                        return self.err("set_load given two values");
+                    }
+                    value = Some(self.number("a load value")?);
+                }
+                _ => {
+                    if !ports.is_empty() {
+                        return self.err("set_load given two port lists");
+                    }
+                    ports = self.objects()?;
+                }
+            }
+        }
+        let Some(value) = value else {
+            return self.err("set_load requires a value");
+        };
+        if value < 0.0 {
+            return Err(SdcError::Semantic(format!("negative load {value}")));
+        }
+        if ports.is_empty() {
+            return self.err("set_load requires a port list");
+        }
+        Ok(SdcCommand::SetLoad(SetLoad { value, ports }))
+    }
+
+    fn false_path(&mut self) -> Result<SdcCommand, SdcError> {
+        let mut from = Vec::new();
+        let mut to = Vec::new();
+        while !self.at_command_end() {
+            match self.peek() {
+                Some(TokenKind::Word(w)) if w == "-from" => {
+                    self.bump();
+                    from = self.objects()?;
+                }
+                Some(TokenKind::Word(w)) if w == "-to" => {
+                    self.bump();
+                    to = self.objects()?;
+                }
+                Some(other) => {
+                    let d = other.describe();
+                    return self.err(format!("unsupported set_false_path argument {d}"));
+                }
+                None => break,
+            }
+        }
+        if from.is_empty() && to.is_empty() {
+            return self.err("set_false_path requires -from and/or -to");
+        }
+        Ok(SdcCommand::SetFalsePath(SetFalsePath { from, to }))
+    }
+}
+
+/// Parses SDC text into an [`SdcFile`].
+///
+/// # Errors
+///
+/// [`SdcError::Lex`]/[`SdcError::Parse`] with the offending 1-based line;
+/// [`SdcError::Semantic`] for syntactically valid but unusable values
+/// (non-positive period or transition, negative load).
+pub fn parse_sdc(text: &str) -> Result<SdcFile, SdcError> {
+    let mut p = P {
+        toks: tokenize(text)?,
+        pos: 0,
+    };
+    let mut commands = Vec::new();
+    while let Some(kind) = p.peek() {
+        match kind {
+            TokenKind::Newline => {
+                p.bump();
+            }
+            TokenKind::Word(w) => {
+                let cmd = w.clone();
+                p.bump();
+                let parsed = match cmd.as_str() {
+                    "create_clock" => p.create_clock()?,
+                    "set_input_delay" => {
+                        SdcCommand::SetInputDelay(p.port_delay("set_input_delay")?)
+                    }
+                    "set_output_delay" => {
+                        SdcCommand::SetOutputDelay(p.port_delay("set_output_delay")?)
+                    }
+                    "set_input_transition" => p.input_transition()?,
+                    "set_load" => p.set_load()?,
+                    "set_false_path" => p.false_path()?,
+                    other => return p.err(format!("unsupported SDC command {other}")),
+                };
+                commands.push(parsed);
+                p.expect_newline()?;
+            }
+            other => {
+                let d = other.describe();
+                return p.err(format!("expected a command, found {d}"));
+            }
+        }
+    }
+    Ok(SdcFile { commands })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::MinMax;
+
+    #[test]
+    fn full_subset_parses() {
+        let sdc = parse_sdc(
+            "# constraints\n\
+             create_clock -name clk -period 2\n\
+             set_input_delay 0.25 -clock clk -min [get_ports {a}]\n\
+             set_input_delay 0.5 -clock clk -max [get_ports {a}]\n\
+             set_input_delay 0.1 [get_ports {b c}]\n\
+             set_output_delay 0.4 -clock clk [get_ports y]\n\
+             set_input_transition 0.08 [get_ports {a b}]\n\
+             set_load 0.05 [get_ports y]\n\
+             set_false_path -from [get_ports a] -to [get_ports y]\n",
+        )
+        .unwrap();
+        assert_eq!(sdc.commands.len(), 8);
+        assert_eq!(sdc.clocks().count(), 1);
+        let clk = sdc.clocks().next().unwrap();
+        assert_eq!(clk.name, "clk");
+        assert_eq!(clk.period, 2.0);
+        match &sdc.commands[1] {
+            SdcCommand::SetInputDelay(d) => {
+                assert_eq!(d.delay, 0.25);
+                assert_eq!(d.clock.as_deref(), Some("clk"));
+                assert_eq!(d.minmax, MinMax::Min);
+                assert_eq!(d.ports, vec!["a"]);
+            }
+            other => panic!("expected set_input_delay, got {other}"),
+        }
+        match &sdc.commands[3] {
+            SdcCommand::SetInputDelay(d) => {
+                assert_eq!(d.minmax, MinMax::Both);
+                assert_eq!(d.ports, vec!["b", "c"]);
+            }
+            other => panic!("expected set_input_delay, got {other}"),
+        }
+        match &sdc.commands[7] {
+            SdcCommand::SetFalsePath(fp) => {
+                assert_eq!(fp.from, vec!["a"]);
+                assert_eq!(fp.to, vec!["y"]);
+            }
+            other => panic!("expected set_false_path, got {other}"),
+        }
+    }
+
+    #[test]
+    fn options_may_precede_the_value() {
+        let sdc = parse_sdc("set_input_delay -min -clock clk 0.3 [get_ports a]").unwrap();
+        match &sdc.commands[0] {
+            SdcCommand::SetInputDelay(d) => {
+                assert_eq!(d.delay, 0.3);
+                assert_eq!(d.minmax, MinMax::Min);
+            }
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn bare_and_braced_object_lists() {
+        let sdc = parse_sdc("set_load 0.1 y\nset_load 0.2 {y z}").unwrap();
+        match (&sdc.commands[0], &sdc.commands[1]) {
+            (SdcCommand::SetLoad(a), SdcCommand::SetLoad(b)) => {
+                assert_eq!(a.ports, vec!["y"]);
+                assert_eq!(b.ports, vec!["y", "z"]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn clock_name_defaults_to_source_port() {
+        let sdc = parse_sdc("create_clock -period 1.5 [get_ports clkin]").unwrap();
+        let clk = sdc.clocks().next().unwrap();
+        assert_eq!(clk.name, "clkin");
+        assert_eq!(clk.ports, vec!["clkin"]);
+    }
+
+    #[test]
+    fn parse_errors_carry_lines() {
+        match parse_sdc("create_clock -name c -period 2\nbogus_command x\n") {
+            Err(SdcError::Parse { line: 2, .. }) => {}
+            other => panic!("expected parse error at line 2, got {other:?}"),
+        }
+        assert!(parse_sdc("set_input_delay [get_ports a]").is_err());
+        assert!(parse_sdc("set_input_delay 0.5").is_err());
+        assert!(parse_sdc("set_false_path").is_err());
+        assert!(parse_sdc("set_load 0.1 [get_clocks a]").is_err());
+        // Duplicate positional values/port lists must error, not silently
+        // drop half the constraint.
+        assert!(parse_sdc("set_input_delay 0.5 [get_ports a] [get_ports b]").is_err());
+        assert!(parse_sdc("set_load 0.1 0.2 [get_ports y]").is_err());
+        assert!(parse_sdc("set_input_transition 0.1 a b").is_err());
+        assert!(parse_sdc("create_clock -name c -period 1 [get_ports a] [get_ports b]").is_err());
+    }
+
+    #[test]
+    fn semantic_errors() {
+        assert!(matches!(
+            parse_sdc("create_clock -name c -period 0"),
+            Err(SdcError::Semantic(_))
+        ));
+        assert!(matches!(
+            parse_sdc("set_input_transition 0 [get_ports a]"),
+            Err(SdcError::Semantic(_))
+        ));
+        assert!(matches!(
+            parse_sdc("set_load -0.5 [get_ports y]"),
+            Err(SdcError::Semantic(_))
+        ));
+    }
+}

@@ -1,0 +1,152 @@
+//! Canonical SDC serialization.
+//!
+//! [`write_sdc`] emits a parsed (or programmatically built) [`SdcFile`]
+//! back as SDC text. The output is *canonical*: one command per line,
+//! options in fixed order (`-name`/`-period`, value, `-clock`,
+//! `-min`/`-max`, ports), object lists always in `[get_ports {...}]`
+//! form. Because the AST stores values in the source units (ns/pF) and
+//! Rust formats floats as the shortest string that round-trips,
+//! `parse ∘ write` is the identity on the model — the invariant the
+//! golden-file tests rely on, mirroring `nsta-parasitics`.
+
+use crate::ast::{MinMax, SdcCommand, SdcFile};
+use std::fmt::Write as _;
+
+/// A name as the lexer will read it back: quoted when it contains
+/// whitespace or a word-terminating character, or when its bare spelling
+/// would re-lex as a number (a port legally named `2` or `-0.5`).
+fn quoted(name: &str) -> String {
+    let has_special = name
+        .chars()
+        .any(|c| c.is_whitespace() || matches!(c, '[' | ']' | '{' | '}' | '"' | '#' | ';'));
+    let numeric_start = name
+        .chars()
+        .next()
+        .is_some_and(|c| c.is_ascii_digit() || matches!(c, '.' | '+' | '-'));
+    let lexes_as_number = numeric_start && name.parse::<f64>().is_ok_and(|v| v.is_finite());
+    if has_special || lexes_as_number || name.is_empty() {
+        format!("\"{name}\"")
+    } else {
+        name.to_string()
+    }
+}
+
+fn push_ports(out: &mut String, ports: &[String]) {
+    let names: Vec<String> = ports.iter().map(|p| quoted(p)).collect();
+    let _ = write!(out, " [get_ports {{{}}}]", names.join(" "));
+}
+
+fn push_minmax(out: &mut String, minmax: MinMax) {
+    match minmax {
+        MinMax::Min => out.push_str(" -min"),
+        MinMax::Max => out.push_str(" -max"),
+        MinMax::Both => {}
+    }
+}
+
+/// Serializes `sdc` as canonical SDC text.
+pub fn write_sdc(sdc: &SdcFile) -> String {
+    let mut out = String::new();
+    for cmd in &sdc.commands {
+        match cmd {
+            SdcCommand::CreateClock(c) => {
+                let _ = write!(
+                    out,
+                    "create_clock -name {} -period {}",
+                    quoted(&c.name),
+                    c.period
+                );
+                if !c.ports.is_empty() {
+                    push_ports(&mut out, &c.ports);
+                }
+            }
+            SdcCommand::SetInputDelay(d) | SdcCommand::SetOutputDelay(d) => {
+                let _ = write!(out, "{} {}", cmd.keyword(), d.delay);
+                if let Some(clock) = &d.clock {
+                    let _ = write!(out, " -clock {}", quoted(clock));
+                }
+                push_minmax(&mut out, d.minmax);
+                push_ports(&mut out, &d.ports);
+            }
+            SdcCommand::SetInputTransition(t) => {
+                let _ = write!(out, "set_input_transition {}", t.value);
+                push_minmax(&mut out, t.minmax);
+                push_ports(&mut out, &t.ports);
+            }
+            SdcCommand::SetLoad(l) => {
+                let _ = write!(out, "set_load {}", l.value);
+                push_ports(&mut out, &l.ports);
+            }
+            SdcCommand::SetFalsePath(fp) => {
+                out.push_str("set_false_path");
+                if !fp.from.is_empty() {
+                    out.push_str(" -from");
+                    push_ports(&mut out, &fp.from);
+                }
+                if !fp.to.is_empty() {
+                    out.push_str(" -to");
+                    push_ports(&mut out, &fp.to);
+                }
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_sdc;
+
+    #[test]
+    fn round_trips_through_the_parser() {
+        let src = "create_clock -period 2 [get_ports clk]\n\
+                   set_input_delay -min 0.25 -clock clk [get_ports {a b}]\n\
+                   set_output_delay 0.4 -clock clk y\n\
+                   set_input_transition 0.08 {a}\n\
+                   set_load 0.05 y\n\
+                   set_false_path -from a -to y\n";
+        let first = parse_sdc(src).unwrap();
+        let text = write_sdc(&first);
+        let second = parse_sdc(&text).unwrap();
+        assert_eq!(first, second);
+        // Canonical output is a fixed point of write ∘ parse.
+        assert_eq!(text, write_sdc(&second));
+    }
+
+    #[test]
+    fn canonical_form_normalizes_object_lists() {
+        let first = parse_sdc("set_load 0.1 y\n").unwrap();
+        let text = write_sdc(&first);
+        assert_eq!(text, "set_load 0.1 [get_ports {y}]\n");
+    }
+
+    #[test]
+    fn names_needing_quotes_round_trip() {
+        // Quoted (whitespace-bearing) names must come back quoted, or the
+        // reparse splits them into two tokens and the AST changes.
+        let first = parse_sdc("create_clock -name \"clk core\" -period 2\n").unwrap();
+        let text = write_sdc(&first);
+        assert_eq!(text, "create_clock -name \"clk core\" -period 2\n");
+        assert_eq!(parse_sdc(&text).unwrap(), first);
+    }
+
+    #[test]
+    fn numeric_port_names_round_trip_quoted() {
+        // A port legally named `2` must come back quoted or the reparse
+        // lexes it as a number and rejects the port list.
+        let first = parse_sdc("set_load 0.1 [get_ports {\"2\"}]\n").unwrap();
+        let text = write_sdc(&first);
+        assert_eq!(text, "set_load 0.1 [get_ports {\"2\"}]\n");
+        assert_eq!(parse_sdc(&text).unwrap(), first);
+    }
+
+    #[test]
+    fn wildcard_false_paths_keep_their_one_side() {
+        let first = parse_sdc("set_false_path -to [get_ports {y z}]\n").unwrap();
+        let text = write_sdc(&first);
+        assert_eq!(text, "set_false_path -to [get_ports {y z}]\n");
+        assert_eq!(parse_sdc(&text).unwrap(), first);
+    }
+}

@@ -1,0 +1,24 @@
+# Golden SDC for the noisy-sta constraint subset.
+# Times in ns, capacitances in pF. Exercises every supported command,
+# comments, line continuations, quoted names, bare and braced port lists.
+create_clock -name "clk" -period 2.5 [get_ports clk_in]
+
+# A genuine arrival window on a: min and max given separately.
+set_input_delay 0.25 -clock clk -min [get_ports a]
+set_input_delay 0.6 -clock clk -max [get_ports a]
+
+# One point arrival shared by two ports, options before the value.
+set_input_delay -clock clk 0.1 [get_ports {b c}]
+
+set_input_transition 0.08 [get_ports {a b}]
+set_input_transition -max 0.12 [get_ports c]
+
+set_output_delay 0.4 -clock clk [get_ports y]
+set_output_delay 0.2 -clock clk -min \
+    [get_ports z]
+
+set_load 0.05 [get_ports y]
+set_load 0.02 {y z}
+
+set_false_path -from [get_ports a] -to [get_ports y]
+set_false_path -to [get_ports z]

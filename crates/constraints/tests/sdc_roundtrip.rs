@@ -1,0 +1,132 @@
+//! Golden-file tests: parse a handwritten SDC, check the command
+//! structure against hand-written expectations, round-trip the model
+//! through the canonical writer, and exercise the binder's error paths —
+//! mirroring the SPEF golden tests of `nsta-parasitics`.
+
+use nsta_constraints::{bind_sdc, parse_sdc, write_sdc, MinMax, SdcCommand, SdcError};
+use nsta_sta::{Constraints, Design};
+
+const GOLDEN: &str = include_str!("golden.sdc");
+
+#[test]
+fn golden_file_parses_with_expected_structure() {
+    let sdc = parse_sdc(GOLDEN).expect("golden file parses");
+    assert_eq!(sdc.commands.len(), 12);
+    let clk = sdc.clocks().next().expect("one clock");
+    assert_eq!(clk.name, "clk");
+    assert_eq!(clk.period, 2.5);
+    assert_eq!(clk.ports, vec!["clk_in"]);
+    // The windowed input delay pair on `a`.
+    match (&sdc.commands[1], &sdc.commands[2]) {
+        (SdcCommand::SetInputDelay(min), SdcCommand::SetInputDelay(max)) => {
+            assert_eq!(min.minmax, MinMax::Min);
+            assert_eq!(min.delay, 0.25);
+            assert_eq!(max.minmax, MinMax::Max);
+            assert_eq!(max.delay, 0.6);
+            assert_eq!(min.ports, vec!["a"]);
+        }
+        other => panic!("unexpected commands {other:?}"),
+    }
+    // Options before the positional value, multi-port list.
+    match &sdc.commands[3] {
+        SdcCommand::SetInputDelay(d) => {
+            assert_eq!(d.delay, 0.1);
+            assert_eq!(d.minmax, MinMax::Both);
+            assert_eq!(d.ports, vec!["b", "c"]);
+        }
+        other => panic!("unexpected command {other}"),
+    }
+    // The continuation line joined into one command.
+    match &sdc.commands[7] {
+        SdcCommand::SetOutputDelay(d) => {
+            assert_eq!(d.minmax, MinMax::Min);
+            assert_eq!(d.ports, vec!["z"]);
+        }
+        other => panic!("unexpected command {other}"),
+    }
+    // Wildcard false path.
+    match &sdc.commands[11] {
+        SdcCommand::SetFalsePath(fp) => {
+            assert!(fp.from.is_empty());
+            assert_eq!(fp.to, vec!["z"]);
+        }
+        other => panic!("unexpected command {other}"),
+    }
+}
+
+#[test]
+fn golden_file_round_trips_through_the_writer() {
+    let first = parse_sdc(GOLDEN).expect("golden file parses");
+    let text = write_sdc(&first);
+    let second = parse_sdc(&text).expect("canonical output parses");
+    // parse ∘ write is the identity on the AST.
+    assert_eq!(first, second);
+    // And the canonical form is a fixed point of write ∘ parse.
+    assert_eq!(text, write_sdc(&second));
+}
+
+fn golden_design() -> Design {
+    let mut d = Design::new("golden");
+    for name in ["clk_in", "a", "b", "c"] {
+        let n = d.net(name);
+        d.mark_input(n);
+    }
+    for name in ["y", "z"] {
+        let n = d.net(name);
+        d.mark_output(n);
+    }
+    d
+}
+
+#[test]
+fn golden_file_binds_onto_a_matching_design() {
+    let sdc = parse_sdc(GOLDEN).expect("golden file parses");
+    let design = golden_design();
+    let bound = bind_sdc(&sdc, &design, &Constraints::default()).expect("binds");
+    assert_eq!(bound.clock_period(), Some(2.5e-9));
+    let a = design.find_net("a").unwrap();
+    let w = bound.boundary.input(a);
+    assert!((w.min_arrival - 0.25e-9).abs() < 1e-18);
+    assert!((w.max_arrival - 0.6e-9).abs() < 1e-18);
+    assert!((w.slew - 0.08e-9).abs() < 1e-18);
+    // Point arrival on b, transition override on c only.
+    let b = bound.boundary.input(design.find_net("b").unwrap());
+    assert_eq!(b.min_arrival, b.max_arrival);
+    let c = bound.boundary.input(design.find_net("c").unwrap());
+    assert!((c.slew - 0.12e-9).abs() < 1e-18);
+    // y: required = 2.5 − 0.4 ns; the later set_load wins (0.02 pF).
+    let y = bound.boundary.output(design.find_net("y").unwrap());
+    assert!((y.required - 2.1e-9).abs() < 1e-18);
+    assert!((y.load - 0.02e-12).abs() < 1e-24);
+    // z: the `-min` output delay is a hold-corner datum the setup engine
+    // ignores, so z keeps the full-period requirement.
+    let z = bound.boundary.output(design.find_net("z").unwrap());
+    assert!((z.required - 2.5e-9).abs() < 1e-18);
+    // Both false paths resolved.
+    assert_eq!(bound.boundary.false_paths().len(), 2);
+}
+
+#[test]
+fn binder_error_cases() {
+    let defaults = Constraints::default();
+    let design = golden_design();
+    // Unknown port.
+    let sdc = parse_sdc("set_input_delay 0.1 [get_ports ghost]\n").unwrap();
+    match bind_sdc(&sdc, &design, &defaults) {
+        Err(SdcError::Bind(m)) => assert!(m.contains("unknown port"), "{m}"),
+        other => panic!("expected bind error, got {other:?}"),
+    }
+    // Duplicate clock.
+    let sdc =
+        parse_sdc("create_clock -name clk -period 1\ncreate_clock -name clk -period 2\n").unwrap();
+    match bind_sdc(&sdc, &design, &defaults) {
+        Err(SdcError::Bind(m)) => assert!(m.contains("duplicate clock"), "{m}"),
+        other => panic!("expected bind error, got {other:?}"),
+    }
+    // False path on a missing net.
+    let sdc = parse_sdc("set_false_path -from [get_ports phantom] -to [get_ports y]\n").unwrap();
+    match bind_sdc(&sdc, &design, &defaults) {
+        Err(SdcError::Bind(m)) => assert!(m.contains("unknown port"), "{m}"),
+        other => panic!("expected bind error, got {other:?}"),
+    }
+}

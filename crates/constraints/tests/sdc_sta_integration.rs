@@ -1,0 +1,137 @@
+//! End-to-end integration: netlist + SDC → bind → per-pin arrival
+//! windows → timing-window crosstalk filter. The acceptance property of
+//! the constraints subsystem: an SDC with distinct per-input min/max
+//! delays produces per-pin `ArrivalWindow`s that *change aggressor
+//! pruning* versus the uniform `Constraints` run.
+
+use nsta_circuit::RcLineSpec;
+use nsta_constraints::{bind_sdc, parse_sdc};
+use nsta_liberty::characterize::{inverter_family, Options};
+use nsta_spice::Process;
+use nsta_sta::{verilog::parse_design, Constraints, CouplingSpec, SiOptions, Sta};
+
+/// Victim `v` (one stage from `a`) coupled to aggressor `g` (one stage
+/// from `b`). Under uniform constraints both switch in lockstep, so the
+/// window filter keeps the aggressor.
+fn coupled_design() -> nsta_sta::Design {
+    parse_design(
+        "module m (a, b, y, z); input a, b; output y, z;\
+         wire v, g;\
+         INVX1 u1 (.A(a), .Y(v)); INVX4 u2 (.A(v), .Y(y));\
+         INVX1 u3 (.A(b), .Y(g)); INVX4 u4 (.A(g), .Y(z));\
+         endmodule",
+    )
+    .unwrap()
+}
+
+/// The SDC: a 2 ns clock, a genuine `[0.05, 0.15]` ns arrival window on
+/// the victim's source, and a `[1.4, 1.6]` ns window on the aggressor's —
+/// per-pin knowledge the uniform model cannot express.
+const SDC: &str = "\
+create_clock -name clk -period 2
+set_input_delay 0.05 -clock clk -min [get_ports a]
+set_input_delay 0.15 -clock clk -max [get_ports a]
+set_input_delay 1.4 -clock clk -min [get_ports b]
+set_input_delay 1.6 -clock clk -max [get_ports b]
+set_output_delay 0.3 -clock clk [get_ports {y z}]
+";
+
+#[test]
+fn sdc_windows_change_aggressor_pruning() {
+    let lib = inverter_family(
+        &Process::c013(),
+        &[("INVX1", 1.0), ("INVX4", 4.0)],
+        &Options::fast_test(),
+    )
+    .expect("characterization");
+    let design = coupled_design();
+    let sdc = parse_sdc(SDC).expect("sdc");
+    let bound = bind_sdc(&sdc, &design, &Constraints::default()).expect("bind");
+
+    let sta = Sta::new(design, lib).expect("sta");
+    let v = sta.design().find_net("v").unwrap();
+    let g = sta.design().find_net("g").unwrap();
+    let spec = CouplingSpec::new(v, vec![g], 100e-15, RcLineSpec::per_micron(1000.0).unwrap());
+    let options = SiOptions::default();
+
+    // Uniform constraints: victim and aggressor switch in lockstep — the
+    // aggressor survives the window filter and pushes the victim out.
+    let uniform = sta
+        .analyze_with_crosstalk_windows(
+            Constraints::default(),
+            std::slice::from_ref(&spec),
+            &options,
+        )
+        .expect("uniform analysis");
+    assert!(
+        uniform.pruned.is_empty(),
+        "uniform windows keep the aligned aggressor: {:?}",
+        uniform.pruned
+    );
+
+    // SDC constraints: the aggressor's source arrives over a nanosecond
+    // after the victim settles — its per-pin window cannot overlap.
+    let constrained = sta
+        .analyze_with_crosstalk_windows(&bound.boundary, &[spec], &options)
+        .expect("sdc analysis");
+    let pruned_g = constrained
+        .pruned
+        .iter()
+        .find(|p| p.aggressor == g)
+        .expect("SDC windows must prune the late aggressor");
+
+    // The pruning record carries the per-pin windows that decided it:
+    // the aggressor window starts after its 1.4 ns min input delay...
+    assert!(
+        pruned_g.aggressor_window.earliest >= 1.4e-9,
+        "aggressor window {:?} must start after the SDC min arrival",
+        pruned_g.aggressor_window
+    );
+    // ...and the victim window reflects the [0.05, 0.15] ns input spread:
+    // genuinely widened (≥ the 0.1 ns min/max gap), not a point.
+    let victim_width = pruned_g.victim_window.latest - pruned_g.victim_window.earliest;
+    assert!(
+        victim_width >= 0.1e-9,
+        "victim window {:?} must span the per-pin min/max spread",
+        pruned_g.victim_window
+    );
+    assert!(pruned_g.victim_window.earliest >= 0.05e-9);
+
+    // Pruning the aggressor changes the victim's noisy timing: the
+    // uniform run sees aggressor push-out that the SDC run proves
+    // temporally impossible.
+    let y = sta.design().find_net("y").unwrap();
+    let uni_y = uniform
+        .report
+        .net(y)
+        .unwrap()
+        .rise
+        .as_ref()
+        .unwrap()
+        .arrival;
+    let sdc_y = constrained
+        .report
+        .net(y)
+        .unwrap()
+        .rise
+        .as_ref()
+        .unwrap()
+        .arrival;
+    // SDC shifts all arrivals by a's input delay; compensate for the max
+    // corner to compare the *crosstalk* contribution.
+    let a_max = bound
+        .boundary
+        .input(sta.design().find_net("a").unwrap())
+        .max_arrival;
+    assert!(
+        sdc_y - a_max < uni_y,
+        "without the aggressor the victim must settle earlier \
+         (sdc {sdc_y:e} - shift {a_max:e} vs uniform {uni_y:e})"
+    );
+
+    // Slack is computed against the clock: required = 2 − 0.3 ns.
+    let yt = constrained.report.net(y).unwrap().rise.as_ref().unwrap();
+    assert!((yt.required - 1.7e-9).abs() < 1e-18);
+    assert!(constrained.report.worst_slack().is_finite());
+    assert!(constrained.report.worst_slack() > 0.0);
+}

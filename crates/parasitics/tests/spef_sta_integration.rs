@@ -112,9 +112,9 @@ fn spef_driven_window_filtered_crosstalk_flow() {
 
     let sta = Sta::new(design, lib).expect("sta");
     let c = Constraints::default();
-    let clean = sta.analyze(&c).expect("clean analysis");
+    let clean = sta.analyze(c).expect("clean analysis");
     let analysis = sta
-        .analyze_with_crosstalk_windows(&c, &bound.specs, &SiOptions::default())
+        .analyze_with_crosstalk_windows(c, &bound.specs, &SiOptions::default())
         .expect("window-filtered crosstalk analysis");
 
     // The far aggressor's window cannot reach the victim: pruned.

@@ -1,5 +1,6 @@
 //! Arrival / required / slack propagation.
 
+use crate::boundary::{BoundaryConditions, FalsePathMask};
 use crate::graph::TimingGraph;
 use crate::netlist::{Design, NetId};
 use crate::report::{NetTiming, PathPoint, PointTiming, TimingReport};
@@ -7,7 +8,15 @@ use crate::StaError;
 use nsta_liberty::{Library, NldmTable, TimingSense};
 use nsta_waveform::Polarity;
 
-/// Analysis constraints: boundary conditions of the timing run.
+/// Uniform analysis constraints: one arrival/slew/required/load applied to
+/// every port.
+///
+/// This is the legacy boundary description; the engine's internal currency
+/// is [`BoundaryConditions`], which carries per-pin min/max arrivals,
+/// per-output requirements and false paths. Every analysis entry point
+/// accepts either (`impl Into<BoundaryConditions>`), and the uniform
+/// translation (min = max = `input_arrival`) reproduces the historical
+/// behavior bit for bit.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Constraints {
     /// Arrival time at every primary input (s).
@@ -144,12 +153,12 @@ impl Sta {
         &self.graph
     }
 
-    /// Effective load on a net: fanout pin caps plus the constraint load on
+    /// Effective load on a net: fanout pin caps plus the boundary load on
     /// primary outputs.
-    pub(crate) fn net_load(&self, net: NetId, constraints: &Constraints) -> f64 {
+    pub(crate) fn net_load(&self, net: NetId, bc: &BoundaryConditions) -> f64 {
         let mut load = self.graph.load(net);
         if self.design.outputs().contains(&net) {
-            load += constraints.output_load;
+            load += bc.output(net).load;
         }
         load
     }
@@ -181,15 +190,17 @@ impl Sta {
         Ok((out_pol, delay, slew))
     }
 
-    /// Initial sweep states: primary inputs seeded from the constraints,
-    /// everything else invalid.
-    pub(crate) fn init_states(&self, constraints: &Constraints) -> Vec<NetState> {
+    /// Initial sweep states: primary inputs seeded from their per-pin
+    /// boundaries (`min_arrival` for the min sweep, `max_arrival`
+    /// otherwise), everything else invalid.
+    pub(crate) fn init_states(&self, bc: &BoundaryConditions, minimize: bool) -> Vec<NetState> {
         let mut states = vec![NetState::default(); self.design.net_count()];
         for &input in self.design.inputs() {
+            let boundary = bc.input(input);
             for pol in [Polarity::Rise, Polarity::Fall] {
                 let p = states[input.0].get_mut(pol);
-                p.arrival = constraints.input_arrival;
-                p.slew = constraints.input_slew;
+                p.arrival = boundary.arrival(minimize);
+                p.slew = boundary.slew;
                 p.valid = true;
             }
         }
@@ -205,11 +216,11 @@ impl Sta {
         &self,
         net: NetId,
         states: &[NetState],
-        constraints: &Constraints,
+        bc: &BoundaryConditions,
         minimize: bool,
     ) -> Result<NetState, StaError> {
         let mut state = states[net.0];
-        let load = self.net_load(net, constraints);
+        let load = self.net_load(net, bc);
         for &k in self.graph.fanin_edges(net) {
             let edge = &self.graph.edges()[k];
             for from_pol in [Polarity::Rise, Polarity::Fall] {
@@ -237,11 +248,8 @@ impl Sta {
     }
 
     /// The nominal (latest-arrival, single-thread) forward sweep.
-    pub(crate) fn forward_sweep(
-        &self,
-        constraints: &Constraints,
-    ) -> Result<Vec<NetState>, StaError> {
-        self.forward_sweep_levels(constraints, false, 1)
+    pub(crate) fn forward_sweep(&self, bc: &BoundaryConditions) -> Result<Vec<NetState>, StaError> {
+        self.forward_sweep_levels(bc, false, 1)
     }
 
     /// Level-synchronous forward sweep on a scoped worker pool: each graph
@@ -252,14 +260,14 @@ impl Sta {
     /// value (including 1).
     pub(crate) fn forward_sweep_levels(
         &self,
-        constraints: &Constraints,
+        bc: &BoundaryConditions,
         minimize: bool,
         threads: usize,
     ) -> Result<Vec<NetState>, StaError> {
-        let mut states = self.init_states(constraints);
+        let mut states = self.init_states(bc, minimize);
         for level in self.graph.levels() {
             let updated = crate::par::par_map(threads, level, |&net| {
-                self.propagate_net(net, &states, constraints, minimize)
+                self.propagate_net(net, &states, bc, minimize)
             });
             for (&net, result) in level.iter().zip(updated) {
                 states[net.0] = result?;
@@ -268,23 +276,155 @@ impl Sta {
         Ok(states)
     }
 
-    /// Runs the nominal (crosstalk-free) analysis.
+    /// Runs the nominal (crosstalk-free, latest-arrival) analysis.
+    ///
+    /// Accepts either the legacy uniform [`Constraints`] or a resolved
+    /// per-pin [`BoundaryConditions`] (e.g. bound from an SDC file).
     ///
     /// # Errors
     ///
     /// Propagates table-lookup failures; construction errors were already
     /// caught in [`Sta::new`].
-    pub fn analyze(&self, constraints: &Constraints) -> Result<TimingReport, StaError> {
-        let states = self.forward_sweep(constraints)?;
-        self.finish_report(constraints, states)
+    pub fn analyze(
+        &self,
+        constraints: impl Into<BoundaryConditions>,
+    ) -> Result<TimingReport, StaError> {
+        let bc = constraints.into();
+        let states = self.forward_sweep(&bc)?;
+        let mask = self.false_edge_mask(&bc);
+        self.finish_report(&bc, states, mask.as_ref())
+    }
+
+    /// Runs the earliest-arrival analysis: the forward sweep minimizes
+    /// arrivals, seeding each input from its `min_arrival`.
+    ///
+    /// The report's arrival column then holds *earliest* arrivals — the
+    /// lower edges of the switching windows the crosstalk filter prunes
+    /// against. Required times and slacks are still computed against the
+    /// (setup-style) output requirements, so treat them as informational
+    /// here rather than as a hold check.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Sta::analyze`].
+    pub fn analyze_earliest(
+        &self,
+        constraints: impl Into<BoundaryConditions>,
+    ) -> Result<TimingReport, StaError> {
+        let bc = constraints.into();
+        let states = self.forward_sweep_levels(&bc, true, 1)?;
+        let mask = self.false_edge_mask(&bc);
+        self.finish_report(&bc, states, mask.as_ref())
+    }
+
+    /// Builds the false-path exemption mask for this graph, or `None` when
+    /// no false paths are declared.
+    ///
+    /// An edge is masked when **every** `(input, output)` pair routed
+    /// through it is covered by a declared false path; an output endpoint
+    /// is masked when every input reaching it is falsified against it.
+    /// Pairs only *partially* falsified (an edge shared by true and false
+    /// paths) are conservatively kept — exact per-path exemption would
+    /// need tag-based propagation.
+    pub(crate) fn false_edge_mask(&self, bc: &BoundaryConditions) -> Option<FalsePathMask> {
+        if bc.false_paths().is_empty() {
+            return None;
+        }
+        let n = self.design.net_count();
+        let inputs = self.design.inputs();
+        let outputs = self.design.outputs();
+        // reach_in[net][i] — input `inputs[i]` reaches `net`.
+        let mut reach_in = vec![vec![false; inputs.len()]; n];
+        for (i, &inp) in inputs.iter().enumerate() {
+            reach_in[inp.0][i] = true;
+        }
+        for &net in self.graph.topological_order() {
+            for &k in self.graph.fanin_edges(net) {
+                let from = self.graph.edges()[k].from;
+                for i in 0..inputs.len() {
+                    if reach_in[from.0][i] {
+                        reach_in[net.0][i] = true;
+                    }
+                }
+            }
+        }
+        // reach_out[net][o] — `net` reaches output `outputs[o]`.
+        let mut reach_out = vec![vec![false; outputs.len()]; n];
+        for (o, &out) in outputs.iter().enumerate() {
+            reach_out[out.0][o] = true;
+        }
+        for &net in self.graph.topological_order().iter().rev() {
+            for &k in self.graph.fanout_edges(net) {
+                let to = self.graph.edges()[k].to;
+                for o in 0..outputs.len() {
+                    if reach_out[to.0][o] {
+                        reach_out[net.0][o] = true;
+                    }
+                }
+            }
+        }
+        // Covered-pair matrix, computed once so the per-edge scan below
+        // costs O(I·O) probes instead of re-walking the false-path list
+        // per pair. Dense Vec<bool> rows are adequate at this workspace's
+        // design sizes; bitset rows would shrink them 8× if needed.
+        let covered: Vec<Vec<bool>> = inputs
+            .iter()
+            .map(|&i| {
+                outputs
+                    .iter()
+                    .map(|&o| bc.false_paths().iter().any(|fp| fp.covers(i, o)))
+                    .collect()
+            })
+            .collect();
+        let all_pairs_false = |in_flags: &[bool], out_flags: &[bool]| {
+            let mut any = false;
+            for (i, &has_in) in in_flags.iter().enumerate() {
+                if !has_in {
+                    continue;
+                }
+                for (o, &has_out) in out_flags.iter().enumerate() {
+                    if !has_out {
+                        continue;
+                    }
+                    any = true;
+                    if !covered[i][o] {
+                        return false;
+                    }
+                }
+            }
+            any
+        };
+        let edges = self
+            .graph
+            .edges()
+            .iter()
+            .map(|e| all_pairs_false(&reach_in[e.from.0], &reach_out[e.to.0]))
+            .collect();
+        let output_false = (0..n)
+            .map(|i| outputs.contains(&NetId(i)) && all_pairs_false(&reach_in[i], &reach_out[i]))
+            .collect();
+        Some(FalsePathMask {
+            edges,
+            output_false,
+        })
     }
 
     /// Builds required times, slacks and the critical path from a completed
     /// forward sweep.
+    ///
+    /// Required times seed from each output's own [`OutputBoundary`]
+    /// (`+inf` keeps the endpoint unconstrained) and do not propagate
+    /// through false-path-masked edges, so declared false paths never
+    /// contribute to the worst slack.
+    /// `mask` is the false-path exemption mask of `bc` over this graph
+    /// (compute it once per analysis with [`Sta::false_edge_mask`] — it is
+    /// iteration-invariant, so fixed-point callers must not rebuild it per
+    /// iteration).
     pub(crate) fn finish_report(
         &self,
-        constraints: &Constraints,
+        bc: &BoundaryConditions,
         states: Vec<NetState>,
+        mask: Option<&FalsePathMask>,
     ) -> Result<TimingReport, StaError> {
         let n = self.design.net_count();
         let mut required = vec![[f64::INFINITY; 2]; n];
@@ -293,13 +433,19 @@ impl Sta {
             Polarity::Fall => 1usize,
         };
         for &out in self.design.outputs() {
-            required[out.0] = [constraints.required_at_outputs; 2];
+            if mask.is_some_and(|m| m.output_false[out.0]) {
+                continue; // every startpoint falsified: no requirement
+            }
+            required[out.0] = [bc.output(out).required; 2];
         }
         // Reverse sweep over the topological order.
         for &net in self.graph.topological_order().iter().rev() {
             for &k in self.graph.fanin_edges(net) {
+                if mask.is_some_and(|m| m.edges[k]) {
+                    continue; // edge lies exclusively on false paths
+                }
                 let edge = &self.graph.edges()[k];
-                let load = self.net_load(net, constraints);
+                let load = self.net_load(net, bc);
                 for from_pol in [Polarity::Rise, Polarity::Fall] {
                     let from = *states[edge.from.0].get(from_pol);
                     if !from.valid {
@@ -445,7 +591,7 @@ mod tests {
     fn chain_delay_is_sum_of_stage_delays() {
         let sta = Sta::new(chain(4), lib().clone()).unwrap();
         let c = Constraints::default();
-        let report = sta.analyze(&c).unwrap();
+        let report = sta.analyze(c).unwrap();
         let y = sta.design().find_net("y").unwrap();
         let yt = report.net(y).unwrap();
         // Both transitions analyzed; arrivals positive and distinct.
@@ -456,12 +602,13 @@ mod tests {
         assert!(rise.arrival < 1e-9);
         // Hand-accumulate the expected worst arrival along the chain and
         // compare (validates the sweep's bookkeeping end to end).
+        let bc = BoundaryConditions::from(&c);
         let mut arr = [c.input_arrival; 2]; // [rise, fall]
         let mut slew = [c.input_slew; 2];
         let order = ["w1", "w2", "w3", "y"];
         for (stage, name) in order.iter().enumerate() {
             let net = sta.design().find_net(name).unwrap();
-            let load = sta.net_load(net, &c);
+            let load = sta.net_load(net, &bc);
             let edge = sta.graph().fanin_edges(net)[0];
             // Negative unate inverter: out rise from in fall and vice versa.
             let (_, d_r, s_r) = sta
@@ -485,12 +632,12 @@ mod tests {
         let c = Constraints::default();
         let t3 = Sta::new(chain(3), lib().clone())
             .unwrap()
-            .analyze(&c)
+            .analyze(c)
             .unwrap()
             .worst_arrival();
         let t6 = Sta::new(chain(6), lib().clone())
             .unwrap()
-            .analyze(&c)
+            .analyze(c)
             .unwrap()
             .worst_arrival();
         assert!(t6 > t3 * 1.5);
@@ -503,7 +650,7 @@ mod tests {
             required_at_outputs: 1e-9,
             ..Constraints::default()
         };
-        let report = sta.analyze(&c).unwrap();
+        let report = sta.analyze(c).unwrap();
         // Slack = required − arrival at the endpoint.
         assert!(report.worst_slack() < 1e-9);
         assert!(
@@ -519,8 +666,100 @@ mod tests {
         assert!(path.windows(2).all(|w| w[1].arrival >= w[0].arrival));
         // Negative required time budget produces negative slack.
         c.required_at_outputs = 0.0;
-        let tight = sta.analyze(&c).unwrap();
+        let tight = sta.analyze(c).unwrap();
         assert!(tight.worst_slack() < 0.0);
+    }
+
+    #[test]
+    fn per_pin_boundaries_shift_arrivals() {
+        // Two independent paths a→y, b→z; delaying only b's arrival must
+        // move z and leave y untouched.
+        let design = parse_design(
+            "module m (a, b, y, z); input a, b; output y, z;\
+             INVX1 u1 (.A(a), .Y(y)); INVX1 u2 (.A(b), .Y(z)); endmodule",
+        )
+        .unwrap();
+        let sta = Sta::new(design, lib().clone()).unwrap();
+        let c = Constraints::default();
+        let uniform = sta.analyze(c).unwrap();
+        let mut bc = BoundaryConditions::from(&c);
+        let b = sta.design().find_net("b").unwrap();
+        bc.set_input(
+            b,
+            crate::boundary::InputBoundary {
+                min_arrival: 100e-12,
+                max_arrival: 400e-12,
+                slew: c.input_slew,
+            },
+        );
+        let shifted = sta.analyze(&bc).unwrap();
+        let arr = |r: &TimingReport, n: &str| {
+            let net = sta.design().find_net(n).unwrap();
+            r.net(net).unwrap().rise.as_ref().unwrap().arrival
+        };
+        assert_eq!(arr(&uniform, "y"), arr(&shifted, "y"));
+        assert!(
+            (arr(&shifted, "z") - (arr(&uniform, "z") + 400e-12)).abs() < 1e-15,
+            "z must shift by b's max arrival"
+        );
+        // The earliest sweep seeds from min_arrival instead.
+        let earliest = sta.analyze_earliest(&bc).unwrap();
+        assert!(
+            (arr(&earliest, "z") - (arr(&uniform, "z") + 100e-12)).abs() < 1e-15,
+            "earliest z must shift by b's min arrival"
+        );
+        assert!(arr(&earliest, "z") < arr(&shifted, "z"));
+    }
+
+    #[test]
+    fn false_path_relieves_only_its_pair() {
+        // a → w → {y, z}: falsifying (a, y) must unconstrain y while z
+        // keeps a finite requirement, and the shared edge a→w (which also
+        // serves the true pair (a, z)) must keep propagating required time.
+        let design = parse_design(
+            "module m (a, y, z); input a; output y, z; wire w;\
+             INVX1 u1 (.A(a), .Y(w)); INVX2 u2 (.A(w), .Y(y));\
+             INVX2 u3 (.A(w), .Y(z)); endmodule",
+        )
+        .unwrap();
+        let sta = Sta::new(design, lib().clone()).unwrap();
+        let c = Constraints {
+            required_at_outputs: 1e-9,
+            ..Constraints::default()
+        };
+        let mut bc = BoundaryConditions::from(&c);
+        let a = sta.design().find_net("a").unwrap();
+        let y = sta.design().find_net("y").unwrap();
+        let z = sta.design().find_net("z").unwrap();
+        bc.add_false_path(crate::boundary::FalsePath {
+            from: Some(a),
+            to: Some(y),
+        });
+        let report = sta.analyze(&bc).unwrap();
+        let yt = report.net(y).unwrap().rise.as_ref().unwrap();
+        assert!(
+            yt.required.is_infinite() && yt.slack.is_infinite(),
+            "falsified endpoint must be unconstrained, got {yt:?}"
+        );
+        let zt = report.net(z).unwrap().rise.as_ref().unwrap();
+        assert!(zt.required.is_finite() && zt.slack.is_finite());
+        // The worst slack comes from the surviving true path.
+        assert!(report.worst_slack().is_finite());
+        let baseline = sta.analyze(c).unwrap();
+        assert_eq!(report.worst_slack(), baseline.worst_slack());
+    }
+
+    #[test]
+    fn false_path_everything_reports_unconstrained() {
+        let sta = Sta::new(chain(3), lib().clone()).unwrap();
+        let mut bc = BoundaryConditions::from(&Constraints::default());
+        bc.add_false_path(crate::boundary::FalsePath {
+            from: None,
+            to: None,
+        });
+        let report = sta.analyze(&bc).unwrap();
+        assert!(report.worst_slack().is_infinite());
+        assert!(report.to_string().contains("worst slack unconstrained"));
     }
 
     #[test]
@@ -541,13 +780,13 @@ mod tests {
         let c = Constraints::default();
         let w1 = {
             let sta = Sta::new(single, lib().clone()).unwrap();
-            let r = sta.analyze(&c).unwrap();
+            let r = sta.analyze(c).unwrap();
             let w = sta.design().find_net("w").unwrap();
             r.net(w).unwrap().rise.as_ref().unwrap().arrival
         };
         let w2 = {
             let sta = Sta::new(double, lib().clone()).unwrap();
-            let r = sta.analyze(&c).unwrap();
+            let r = sta.analyze(c).unwrap();
             let w = sta.design().find_net("w").unwrap();
             r.net(w).unwrap().rise.as_ref().unwrap().arrival
         };

@@ -9,6 +9,12 @@
 //! * [`TimingGraph`] — levelized net graph with cycle detection,
 //! * [`Sta`] — rise/fall arrival, slew, required-time and slack
 //!   propagation over NLDM libraries, with critical-path extraction,
+//! * [`BoundaryConditions`] — per-pin run boundaries: input arrival
+//!   *windows* `{min, max}` with per-port slews, per-output required
+//!   times and loads, and false-path exemptions. Every analysis accepts
+//!   `impl Into<BoundaryConditions>`, so the legacy uniform
+//!   [`Constraints`] keeps working while SDC-bound sets
+//!   (`nsta-constraints`) drive genuine per-pin windows,
 //! * [`CouplingSpec`]/[`Sta::analyze_with_crosstalk`] — victim nets with
 //!   capacitive aggressors: the noisy waveform at the receiver is computed
 //!   on the linear RC substrate, reduced to an equivalent ramp `Γeff` by the
@@ -47,6 +53,7 @@
 //! # }
 //! ```
 
+pub mod boundary;
 mod engine;
 mod error;
 mod graph;
@@ -56,6 +63,7 @@ mod report;
 pub mod si;
 pub mod verilog;
 
+pub use boundary::{BoundaryConditions, FalsePath, InputBoundary, OutputBoundary};
 pub use engine::{Constraints, Sta};
 pub use error::StaError;
 pub use graph::TimingGraph;

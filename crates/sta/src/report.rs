@@ -85,6 +85,14 @@ impl TimingReport {
     }
 
     /// The worst (smallest) slack in the design.
+    ///
+    /// **Contract:** the value is `+inf` exactly when no constraint
+    /// reaches any analyzed point — an output-free design, unconstrained
+    /// outputs (`required = +inf`), or every path declared false. It is
+    /// never NaN, so `worst_slack() < 0.0` is always a well-defined
+    /// violation test and `worst_slack().is_finite()` distinguishes a
+    /// constrained run. [`TimingReport`]'s `Display` renders the infinite
+    /// case as `unconstrained` rather than printing `inf ps`.
     pub fn worst_slack(&self) -> f64 {
         self.worst_slack
     }
@@ -102,12 +110,20 @@ impl TimingReport {
 
 impl fmt::Display for TimingReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(
-            f,
-            "worst arrival {:.1} ps, worst slack {:.1} ps",
-            self.worst_arrival * 1e12,
-            self.worst_slack * 1e12
-        )?;
+        if self.worst_slack.is_finite() {
+            writeln!(
+                f,
+                "worst arrival {:.1} ps, worst slack {:.1} ps",
+                self.worst_arrival * 1e12,
+                self.worst_slack * 1e12
+            )?;
+        } else {
+            writeln!(
+                f,
+                "worst arrival {:.1} ps, worst slack unconstrained",
+                self.worst_arrival * 1e12
+            )?;
+        }
         writeln!(f, "critical path:")?;
         let mut prev = None;
         for p in &self.critical {
@@ -160,5 +176,16 @@ mod tests {
         assert!(text.contains('a'));
         assert!(text.contains("+  80.0 ps") || text.contains("+80.0") || text.contains("80.0"));
         assert!(report.net(NetId(3)).is_none());
+    }
+
+    #[test]
+    fn unconstrained_slack_renders_as_words_not_inf() {
+        // Regression: output-free / unconstrained designs used to print
+        // "worst slack inf ps".
+        let report = TimingReport::new(vec![], vec![], f64::INFINITY, 80e-12);
+        assert!(report.worst_slack().is_infinite());
+        let text = report.to_string();
+        assert!(text.contains("worst slack unconstrained"), "got: {text}");
+        assert!(!text.contains("inf"), "got: {text}");
     }
 }

@@ -47,7 +47,8 @@
 //! O(iterations × victims), and unchanged victims reproduce their cached
 //! result bit-for-bit.
 
-use crate::engine::{Constraints, Sta};
+use crate::boundary::BoundaryConditions;
+use crate::engine::Sta;
 use crate::netlist::NetId;
 use crate::par::par_map;
 use crate::report::TimingReport;
@@ -164,9 +165,34 @@ pub struct ArrivalWindow {
 }
 
 impl ArrivalWindow {
+    /// Whether the window is inverted (or contains a NaN edge): its
+    /// earliest bound lies strictly after its latest one, so no transition
+    /// time satisfies both — the window is empty.
+    ///
+    /// Inverted windows arise naturally from constant or never-switching
+    /// nets whose `+inf`/`−inf` sentinels were never tightened, and from
+    /// negative-skew constraint sets; they must never be treated as
+    /// "covers everything".
+    pub fn is_inverted(&self) -> bool {
+        !(self.earliest <= self.latest)
+    }
+
     /// Whether an aggressor window, shifted by `skew` and padded by
     /// `guard` on both sides, can overlap this (victim) window.
+    ///
+    /// Both windows are **closed** intervals `[earliest, latest]`:
+    /// windows that merely touch at a boundary (`aggressor.latest + skew ==
+    /// self.earliest`) *do* overlap, and a zero-width window (`earliest ==
+    /// latest`) overlaps anything containing its single instant. This is
+    /// the conservative choice — a shared boundary instant is a legal
+    /// alignment, so the aggressor must be kept.
+    ///
+    /// Inverted (empty) windows on either side never overlap: an empty
+    /// set of candidate transition times cannot align with anything.
     pub fn overlaps(&self, aggressor: &ArrivalWindow, skew: f64, guard: f64) -> bool {
+        if self.is_inverted() || aggressor.is_inverted() {
+            return false;
+        }
         let a_lo = aggressor.earliest + skew - guard;
         let a_hi = aggressor.latest + skew + guard;
         a_lo <= self.latest && self.earliest <= a_hi
@@ -385,7 +411,7 @@ impl Sta {
     /// iteration.
     fn crosstalk_pass(
         &self,
-        constraints: &Constraints,
+        bc: &BoundaryConditions,
         couplings: &[CouplingSpec],
         method: MethodKind,
         base: &[crate::engine::NetState],
@@ -405,12 +431,12 @@ impl Sta {
             }
         }
         let th = Thresholds::cmos(self.library().voltage);
-        let mut states = self.init_states(constraints);
+        let mut states = self.init_states(bc, false);
         let mut adjustments = Vec::new();
         for level in self.graph().levels() {
             // Fanin updates of this level (parallel, merged in net order).
             let updated = par_map(threads, level, |&net| {
-                self.propagate_net(net, &states, constraints, false)
+                self.propagate_net(net, &states, bc, false)
             });
             for (&net, result) in level.iter().zip(updated) {
                 states[net.0] = result?;
@@ -465,15 +491,7 @@ impl Sta {
             // Same-level victims only read `base` and earlier levels, so
             // their reductions are independent.
             let results = par_map(threads, &jobs, |job| {
-                self.victim_gamma(
-                    constraints,
-                    job.spec,
-                    job.pol,
-                    job.arrival,
-                    job.slew,
-                    base,
-                    method,
-                )
+                self.victim_gamma(bc, job.spec, job.pol, job.arrival, job.slew, base, method)
             });
             let mut results = results.into_iter();
             for (net, pol, pending, key) in units {
@@ -525,17 +543,18 @@ impl Sta {
     /// * Propagated circuit/reduction failures.
     pub fn analyze_with_crosstalk(
         &self,
-        constraints: &Constraints,
+        constraints: impl Into<BoundaryConditions>,
         couplings: &[CouplingSpec],
         method: MethodKind,
     ) -> Result<(TimingReport, Vec<SiAdjustment>), StaError> {
+        let bc = constraints.into();
         self.check_unique_victims(couplings)?;
         // Pass 1: nominal arrivals — aggressor ramps need them.
-        let base = self.forward_sweep(constraints)?;
+        let base = self.forward_sweep(&bc)?;
         // Pass 2: sweep again, overriding victim nets as they are reached.
-        let (states, adjustments) =
-            self.crosstalk_pass(constraints, couplings, method, &base, 1, None)?;
-        let report = self.finish_report(constraints, states)?;
+        let (states, adjustments) = self.crosstalk_pass(&bc, couplings, method, &base, 1, None)?;
+        let mask = self.false_edge_mask(&bc);
+        let report = self.finish_report(&bc, states, mask.as_ref())?;
         Ok((report, adjustments))
     }
 
@@ -637,32 +656,33 @@ impl Sta {
     /// Same failure modes as [`Sta::analyze_with_crosstalk`].
     pub fn analyze_with_crosstalk_windows(
         &self,
-        constraints: &Constraints,
+        constraints: impl Into<BoundaryConditions>,
         couplings: &[CouplingSpec],
         options: &SiOptions,
     ) -> Result<SiAnalysis, StaError> {
+        let bc = constraints.into();
         self.check_unique_victims(couplings)?;
+        // The false-path mask depends only on the graph and the boundary
+        // conditions: compute it once, outside the fixed point.
+        let mask = self.false_edge_mask(&bc);
+        let mask = mask.as_ref();
         let threads = options.threads.max(1);
         // Iteration-invariant work, hoisted out of the fixed point: the
         // nominal sweep (aggressor ramps + latest windows of iteration 0)
         // and the min sweep (earliest window edges, which worst-case
-        // push-out never moves).
-        let base = self.forward_sweep_levels(constraints, false, threads)?;
+        // push-out never moves). Per-pin boundaries seed the two sweeps
+        // from each input's min/max arrival, so windows reflect genuine
+        // constraint-set arrival ranges instead of a single point.
+        let base = self.forward_sweep_levels(&bc, false, threads)?;
 
         if !options.use_windows {
             let mut cache = VictimCache::default();
             let cache_ref = options
                 .incremental
                 .then_some((&mut cache, options.convergence_tol));
-            let (states, adjustments) = self.crosstalk_pass(
-                constraints,
-                couplings,
-                options.method,
-                &base,
-                threads,
-                cache_ref,
-            )?;
-            let report = self.finish_report(constraints, states)?;
+            let (states, adjustments) =
+                self.crosstalk_pass(&bc, couplings, options.method, &base, threads, cache_ref)?;
+            let report = self.finish_report(&bc, states, mask)?;
             return Ok(SiAnalysis {
                 report,
                 adjustments,
@@ -672,8 +692,8 @@ impl Sta {
             });
         }
 
-        let min_states = self.forward_sweep_levels(constraints, true, threads)?;
-        let clean = self.finish_report(constraints, base.clone())?;
+        let min_states = self.forward_sweep_levels(&bc, true, threads)?;
+        let clean = self.finish_report(&bc, base.clone(), mask)?;
         let mut windows = self.windows_from(&min_states, &clean);
         let mut previous: Option<TimingReport> = Some(clean);
 
@@ -699,15 +719,9 @@ impl Sta {
             let cache_ref = options
                 .incremental
                 .then_some((&mut cache, options.convergence_tol));
-            let (states, adjustments) = self.crosstalk_pass(
-                constraints,
-                &filtered,
-                options.method,
-                &base,
-                threads,
-                cache_ref,
-            )?;
-            let report = self.finish_report(constraints, states)?;
+            let (states, adjustments) =
+                self.crosstalk_pass(&bc, &filtered, options.method, &base, threads, cache_ref)?;
+            let report = self.finish_report(&bc, states, mask)?;
             windows = self.windows_from(&min_states, &report);
             let moved = previous
                 .as_ref()
@@ -738,7 +752,7 @@ impl Sta {
     #[allow(clippy::too_many_arguments)]
     fn victim_gamma(
         &self,
-        constraints: &Constraints,
+        bc: &BoundaryConditions,
         spec: &CouplingSpec,
         victim_pol: Polarity,
         victim_arrival: f64,
@@ -860,21 +874,26 @@ impl Sta {
         let base_arrival = noiseless.last_crossing_or_err(th.mid())?;
 
         // Noiseless receiver response through the library tables (the
-        // characterization level the paper requires — no extra data).
-        let receiver_cell = self
+        // characterization level the paper requires — no extra data). The
+        // gate's output load honors a per-pin `set_load` override when the
+        // receiver drives a constrained output port, falling back to the
+        // default output load (the historical uniform behavior) otherwise.
+        let receiver = self
             .graph()
             .fanout_edges(spec.victim)
             .first()
             .map(|&k| {
-                let inst = &self.design().instances()[self.graph().edges()[k].instance];
+                let edge = &self.graph().edges()[k];
+                let inst = &self.design().instances()[edge.instance];
                 self.library()
                     .cell(&inst.cell)
+                    .map(|cell| (cell, edge.to))
                     .ok_or_else(|| StaError::Unresolved(format!("cell {}", inst.cell)))
             })
             .transpose()?;
-        let noiseless_output = match receiver_cell {
-            Some(cell) => {
-                let load = constraints.output_load.max(1e-15);
+        let noiseless_output = match receiver {
+            Some((cell, out_net)) => {
+                let load = bc.output(out_net).load.max(1e-15);
                 let gate = TableGate::new(cell, load, th).map_err(StaError::from)?;
                 Some(gate.response(&noiseless).map_err(StaError::from)?)
             }
@@ -891,7 +910,7 @@ impl Sta {
 mod tests {
     use super::*;
     use crate::verilog::parse_design;
-    use crate::Sta;
+    use crate::{Constraints, Sta};
     use nsta_liberty::characterize::{inverter_family, Options};
     use nsta_liberty::Library;
     use nsta_spice::Process;
@@ -928,13 +947,63 @@ mod tests {
         CouplingSpec::new(v, vec![g], 100e-15, RcLineSpec::per_micron(1000.0).unwrap())
     }
 
+    fn win(earliest: f64, latest: f64) -> ArrivalWindow {
+        ArrivalWindow { earliest, latest }
+    }
+
+    #[test]
+    fn window_overlap_boundary_semantics() {
+        let victim = win(100e-12, 200e-12);
+        // Closed intervals: windows that merely touch DO overlap.
+        assert!(victim.overlaps(&win(200e-12, 300e-12), 0.0, 0.0));
+        assert!(victim.overlaps(&win(0.0, 100e-12), 0.0, 0.0));
+        // Strictly disjoint windows do not.
+        assert!(!victim.overlaps(&win(201e-12, 300e-12), 0.0, 0.0));
+        // Zero-width windows overlap anything containing their instant...
+        assert!(victim.overlaps(&win(150e-12, 150e-12), 0.0, 0.0));
+        assert!(win(150e-12, 150e-12).overlaps(&victim, 0.0, 0.0));
+        // ...including exactly at a boundary.
+        assert!(victim.overlaps(&win(100e-12, 100e-12), 0.0, 0.0));
+        // Negative skew slides the aggressor backwards over the victim.
+        assert!(victim.overlaps(&win(300e-12, 400e-12), -150e-12, 0.0));
+        assert!(!victim.overlaps(&win(300e-12, 400e-12), 150e-12, 0.0));
+        // Guard banding re-admits a near miss symmetrically.
+        assert!(victim.overlaps(&win(201e-12, 300e-12), 0.0, 2e-12));
+        assert!(victim.overlaps(&win(0.0, 99e-12), 0.0, 2e-12));
+    }
+
+    #[test]
+    fn inverted_windows_never_overlap() {
+        let victim = win(100e-12, 200e-12);
+        // A constant net whose ±inf sentinels never tightened produces an
+        // inverted (empty) window; it must not read as "covers everything".
+        let sentinel = win(f64::INFINITY, f64::NEG_INFINITY);
+        assert!(sentinel.is_inverted());
+        assert!(!victim.overlaps(&sentinel, 0.0, 0.0));
+        assert!(!sentinel.overlaps(&victim, 0.0, 0.0));
+        assert!(!sentinel.overlaps(&sentinel, 0.0, 0.0));
+        // Plain inverted windows (min sweep above max sweep) too.
+        let inverted = win(300e-12, 250e-12);
+        assert!(inverted.is_inverted());
+        assert!(!victim.overlaps(&inverted, 0.0, 0.0));
+        assert!(!inverted.overlaps(&victim, 0.0, 0.0));
+        // Even a huge guard band cannot resurrect an empty window.
+        assert!(!victim.overlaps(&inverted, 0.0, 1.0));
+        // NaN edges are treated as empty, not as overlapping.
+        let nan = win(f64::NAN, 200e-12);
+        assert!(nan.is_inverted());
+        assert!(!victim.overlaps(&nan, 0.0, 0.0));
+        // Zero-width windows are NOT inverted.
+        assert!(!win(1e-12, 1e-12).is_inverted());
+    }
+
     #[test]
     fn crosstalk_pushes_victim_arrival_out() {
         let sta = Sta::new(coupled_design(), lib().clone()).unwrap();
         let c = Constraints::default();
-        let nominal = sta.analyze(&c).unwrap();
+        let nominal = sta.analyze(c).unwrap();
         let (noisy, adj) = sta
-            .analyze_with_crosstalk(&c, &[spec(&sta)], MethodKind::Sgdp)
+            .analyze_with_crosstalk(c, &[spec(&sta)], MethodKind::Sgdp)
             .unwrap();
         assert_eq!(adj.len(), 2, "rise and fall adjustments recorded");
         // The coupled line adds wire delay plus noise: the victim's fanout
@@ -960,7 +1029,7 @@ mod tests {
         far.aggressor_skew = -1.0e-9;
         let arr = |s: &CouplingSpec| {
             let (report, _) = sta
-                .analyze_with_crosstalk(&c, std::slice::from_ref(s), MethodKind::P2)
+                .analyze_with_crosstalk(c, std::slice::from_ref(s), MethodKind::P2)
                 .unwrap();
             let y = sta.design().find_net("y").unwrap();
             report.net(y).unwrap().rise.as_ref().unwrap().arrival
@@ -974,7 +1043,7 @@ mod tests {
         let c = Constraints::default();
         let mut results = Vec::new();
         for method in MethodKind::all() {
-            match sta.analyze_with_crosstalk(&c, &[spec(&sta)], method) {
+            match sta.analyze_with_crosstalk(c, &[spec(&sta)], method) {
                 Ok((report, _)) => results.push((method, report.worst_arrival())),
                 Err(StaError::Sgdp(_)) => {} // WLS5 may legitimately refuse
                 Err(other) => panic!("unexpected failure for {method}: {other}"),
@@ -1033,9 +1102,9 @@ mod tests {
     fn window_filter_prunes_far_aggressor_and_keeps_pushout() {
         let sta = Sta::new(windowed_design(), lib().clone()).unwrap();
         let c = Constraints::default();
-        let nominal = sta.analyze(&c).unwrap();
+        let nominal = sta.analyze(c).unwrap();
         let analysis = sta
-            .analyze_with_crosstalk_windows(&c, &[two_aggressor_spec(&sta)], &SiOptions::default())
+            .analyze_with_crosstalk_windows(c, &[two_aggressor_spec(&sta)], &SiOptions::default())
             .unwrap();
         let gf = sta.design().find_net("gf").unwrap();
         assert!(
@@ -1074,11 +1143,11 @@ mod tests {
         let c = Constraints::default();
         let spec = two_aggressor_spec(&sta);
         let filtered = sta
-            .analyze_with_crosstalk_windows(&c, std::slice::from_ref(&spec), &SiOptions::default())
+            .analyze_with_crosstalk_windows(c, std::slice::from_ref(&spec), &SiOptions::default())
             .unwrap();
         let unfiltered = sta
             .analyze_with_crosstalk_windows(
-                &c,
+                c,
                 &[spec],
                 &SiOptions {
                     use_windows: false,
@@ -1113,7 +1182,7 @@ mod tests {
     fn skew_rescues_a_pruned_aggressor() {
         let sta = Sta::new(windowed_design(), lib().clone()).unwrap();
         let c = Constraints::default();
-        let clean = sta.analyze(&c).unwrap();
+        let clean = sta.analyze(c).unwrap();
         let v = sta.design().find_net("v").unwrap();
         let gf = sta.design().find_net("gf").unwrap();
         let v_arr = clean.net(v).unwrap().rise.as_ref().unwrap().arrival;
@@ -1122,7 +1191,7 @@ mod tests {
         // Shift every aggressor back so the far chain lands on the victim.
         spec.aggressor_skew = v_arr - g_arr;
         let analysis = sta
-            .analyze_with_crosstalk_windows(&c, &[spec], &SiOptions::default())
+            .analyze_with_crosstalk_windows(c, &[spec], &SiOptions::default())
             .unwrap();
         assert!(
             !analysis.pruned.iter().any(|p| p.aggressor == gf),
@@ -1135,8 +1204,10 @@ mod tests {
     fn windows_from_min_and_max_sweeps_are_ordered() {
         let sta = Sta::new(windowed_design(), lib().clone()).unwrap();
         let c = Constraints::default();
-        let min_states = sta.forward_sweep_levels(&c, true, 1).unwrap();
-        let report = sta.analyze(&c).unwrap();
+        let min_states = sta
+            .forward_sweep_levels(&BoundaryConditions::from(&c), true, 1)
+            .unwrap();
+        let report = sta.analyze(c).unwrap();
         let windows = sta.windows_from(&min_states, &report);
         let mut seen = 0;
         for w in windows.into_iter().flatten() {
@@ -1218,11 +1289,11 @@ mod tests {
         let c = Constraints::default();
         let specs = multi_group_specs(&sta, groups);
         let sequential = sta
-            .analyze_with_crosstalk_windows(&c, &specs, &SiOptions::default())
+            .analyze_with_crosstalk_windows(c, &specs, &SiOptions::default())
             .unwrap();
         let threaded = sta
             .analyze_with_crosstalk_windows(
-                &c,
+                c,
                 &specs,
                 &SiOptions {
                     threads: 4,
@@ -1243,11 +1314,11 @@ mod tests {
         let c = Constraints::default();
         let specs = multi_group_specs(&sta, groups);
         let incremental = sta
-            .analyze_with_crosstalk_windows(&c, &specs, &SiOptions::default())
+            .analyze_with_crosstalk_windows(c, &specs, &SiOptions::default())
             .unwrap();
         let full = sta
             .analyze_with_crosstalk_windows(
-                &c,
+                c,
                 &specs,
                 &SiOptions {
                     incremental: false,
@@ -1264,14 +1335,40 @@ mod tests {
     }
 
     #[test]
+    fn per_pin_output_load_reaches_the_receiver_reduction() {
+        // The SGDP reduction models the victim's receiver through the
+        // library tables; its output load must honor a per-pin override
+        // on the net that receiver drives (regression: it used to read
+        // the uniform default only).
+        let sta = Sta::new(coupled_design(), lib().clone()).unwrap();
+        let c = Constraints::default();
+        let mut heavy = BoundaryConditions::from(&c);
+        let y = sta.design().find_net("y").unwrap();
+        let mut ob = heavy.output(y);
+        ob.load *= 20.0;
+        heavy.set_output(y, ob);
+        let (_, base) = sta
+            .analyze_with_crosstalk(c, &[spec(&sta)], MethodKind::Sgdp)
+            .unwrap();
+        let (_, loaded) = sta
+            .analyze_with_crosstalk(heavy, &[spec(&sta)], MethodKind::Sgdp)
+            .unwrap();
+        assert_eq!(base.len(), loaded.len());
+        assert!(
+            base.iter()
+                .zip(&loaded)
+                .any(|(a, b)| a.noisy_arrival != b.noisy_arrival || a.noisy_slew != b.noisy_slew),
+            "a 20x receiver output load must change the reduction"
+        );
+    }
+
+    #[test]
     fn unknown_aggressor_is_reported() {
         let sta = Sta::new(coupled_design(), lib().clone()).unwrap();
         let c = Constraints::default();
         let mut s = spec(&sta);
         s.aggressors = vec![NetId(usize::MAX - 1)];
-        assert!(sta
-            .analyze_with_crosstalk(&c, &[s], MethodKind::P1)
-            .is_err());
+        assert!(sta.analyze_with_crosstalk(c, &[s], MethodKind::P1).is_err());
     }
 
     #[test]
@@ -1282,7 +1379,7 @@ mod tests {
         let c = Constraints::default();
         let s = spec(&sta);
         assert!(matches!(
-            sta.analyze_with_crosstalk(&c, &[s.clone(), s], MethodKind::P1),
+            sta.analyze_with_crosstalk(c, &[s.clone(), s], MethodKind::P1),
             Err(StaError::Structure(_))
         ));
     }

@@ -83,11 +83,31 @@ fn lex(src: &str) -> Result<Vec<(Tok, usize)>, StaError> {
                 out.push((Tok::Dot, line));
                 i += 1;
             }
-            c if c.is_ascii_alphanumeric() || c == '_' || c == '\\' || c == '[' => {
+            '\\' => {
+                // Escaped identifier (IEEE 1364 §3.7.1): `\` starts the
+                // name, which runs to the next whitespace and may contain
+                // ANY printable character — `\a+b `, `\bus[3] `, `\x.y `.
+                // The backslash and terminating whitespace delimit the
+                // name but are not part of it, so `\cpu ` and `cpu` denote
+                // the same identifier.
+                let start = i + 1;
+                i += 1;
+                while i < chars.len() && !chars[i].is_whitespace() {
+                    i += 1;
+                }
+                if i == start {
+                    return Err(StaError::Parse {
+                        line,
+                        message: "empty escaped identifier".into(),
+                    });
+                }
+                out.push((Tok::Ident(chars[start..i].iter().collect()), line));
+            }
+            c if c.is_ascii_alphanumeric() || c == '_' || c == '[' => {
                 let start = i;
                 while i < chars.len()
                     && (chars[i].is_ascii_alphanumeric()
-                        || matches!(chars[i], '_' | '[' | ']' | '\\' | '$'))
+                        || matches!(chars[i], '_' | '[' | ']' | '$'))
                 {
                     i += 1;
                 }
@@ -297,6 +317,48 @@ mod tests {
         }
         assert!(parse_design("module m (a); input a;").is_err());
         assert!(parse_design("garbage").is_err());
+    }
+
+    #[test]
+    fn escaped_identifiers_run_to_whitespace() {
+        // Escaped names may contain any printable character up to the
+        // terminating whitespace — not just the simple-identifier class.
+        let d = parse_design(
+            "module m (\\a+b , y); input \\a+b ; output y; wire \\bus[3] ;\
+             INVX1 u1 (.A(\\a+b ), .Y(\\bus[3] ));\
+             INVX1 u2 (.A(\\bus[3] ), .Y(y)); endmodule",
+        )
+        .unwrap();
+        let ab = d.find_net("a+b").expect("escaped net \\a+b ");
+        let bus = d.find_net("bus[3]").expect("escaped net \\bus[3] ");
+        assert_eq!(d.inputs(), &[ab]);
+        assert_eq!(d.instances()[0].net_on("A"), Some(ab));
+        assert_eq!(d.instances()[0].net_on("Y"), Some(bus));
+    }
+
+    #[test]
+    fn escaped_identifier_equals_its_plain_spelling() {
+        // IEEE 1364: `\cpu ` and `cpu` are the same identifier, so both
+        // spellings must intern to one net.
+        let d = parse_design(
+            "module m (a, cpu); input a; output cpu;\
+             INVX1 u1 (.A(a), .Y(\\cpu )); endmodule",
+        )
+        .unwrap();
+        assert_eq!(d.net_count(), 2);
+        assert_eq!(
+            d.instances()[0].net_on("Y"),
+            d.find_net("cpu"),
+            "escaped and plain spellings must unify"
+        );
+    }
+
+    #[test]
+    fn empty_escaped_identifier_is_an_error() {
+        assert!(matches!(
+            parse_design("module m (a); input \\ ; endmodule"),
+            Err(StaError::Parse { .. })
+        ));
     }
 
     #[test]

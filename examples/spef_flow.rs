@@ -113,11 +113,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let sta = Sta::new(design, lib)?;
     let constraints = Constraints::default();
-    let clean = sta.analyze(&constraints)?;
+    let clean = sta.analyze(constraints)?;
     println!("\n== clean (ideal wires) ==\n{clean}");
 
     let analysis =
-        sta.analyze_with_crosstalk_windows(&constraints, &bound.specs, &SiOptions::default())?;
+        sta.analyze_with_crosstalk_windows(constraints, &bound.specs, &SiOptions::default())?;
     println!(
         "== window-filtered crosstalk (SGDP) == {} iteration(s), converged: {}",
         analysis.iterations, analysis.converged

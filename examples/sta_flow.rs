@@ -40,7 +40,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sta = Sta::new(design, lib)?;
     let constraints = Constraints::default();
 
-    let nominal = sta.analyze(&constraints)?;
+    let nominal = sta.analyze(constraints)?;
     println!("\n== nominal (ideal wires) ==\n{nominal}");
 
     // Net `va` runs 1000 µm next to `ga` with 100 fF of coupling.
@@ -54,7 +54,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     for method in [MethodKind::P1, MethodKind::Wls5, MethodKind::Sgdp] {
-        match sta.analyze_with_crosstalk(&constraints, std::slice::from_ref(&spec), method) {
+        match sta.analyze_with_crosstalk(constraints, std::slice::from_ref(&spec), method) {
             Ok((report, adjustments)) => {
                 println!("== with crosstalk, {} ==", method.name());
                 for adj in &adjustments {

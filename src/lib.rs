@@ -16,7 +16,10 @@
 //! * a crosstalk-aware static timing analyzer with timing-window aggressor
 //!   filtering ([`sta`]),
 //! * a SPEF parasitic-extraction subsystem that derives the coupling
-//!   structure from extracted RC networks ([`parasitics`]).
+//!   structure from extracted RC networks ([`parasitics`]),
+//! * an SDC-subset constraints system binding clocks, per-pin min/max
+//!   input delays, output requirements and false paths onto the analysis
+//!   ([`constraints`]).
 //!
 //! Each sub-crate is usable on its own; this crate merely re-exports them
 //! under stable names so applications can depend on a single entry point.
@@ -46,6 +49,7 @@
 //! ```
 
 pub use nsta_circuit as circuit;
+pub use nsta_constraints as constraints;
 pub use nsta_liberty as liberty;
 pub use nsta_numeric as numeric;
 pub use nsta_parasitics as parasitics;

@@ -118,7 +118,7 @@ fn characterize_write_parse_sta_pipeline() {
     )
     .expect("netlist");
     let sta = Sta::new(design, parsed).expect("sta");
-    let report = sta.analyze(&Constraints::default()).expect("analysis");
+    let report = sta.analyze(Constraints::default()).expect("analysis");
     // Two inverter stages: tens of picoseconds, positive, bounded.
     assert!(report.worst_arrival() > 10e-12);
     assert!(report.worst_arrival() < 1e-9);
@@ -147,7 +147,7 @@ fn sta_crosstalk_uses_equivalent_waveforms() {
     .expect("netlist");
     let sta = Sta::new(design, lib).expect("sta");
     let c = Constraints::default();
-    let nominal = sta.analyze(&c).expect("nominal");
+    let nominal = sta.analyze(c).expect("nominal");
 
     let spec = CouplingSpec::new(
         sta.design().find_net("v").expect("victim"),
@@ -156,7 +156,7 @@ fn sta_crosstalk_uses_equivalent_waveforms() {
         RcLineSpec::per_micron(1000.0).expect("line"),
     );
     let (with_si, adjustments) = sta
-        .analyze_with_crosstalk(&c, &[spec], MethodKind::Sgdp)
+        .analyze_with_crosstalk(c, &[spec], MethodKind::Sgdp)
         .expect("si analysis");
     assert_eq!(adjustments.len(), 2);
     // Crosstalk cannot make the worst slack better.
