@@ -7,11 +7,11 @@
 //! later groups get their far aggressor pruned — exercising both branches
 //! of the temporal-correlation filter at scale. The run reports binding
 //! statistics, pruning counts, fixed-point iterations and wall-clock time
-//! across four analysis configurations: windowed-incremental (the default
+//! across five analysis configurations: windowed-incremental (the default
 //! flow), windowed with a forced full recompute per iteration (isolates the
 //! incremental fixed point's benefit), windowed on a worker pool (when
-//! `--threads > 1`; results are asserted bit-identical to 1-thread), and
-//! unfiltered.
+//! `--threads > 1`; results are asserted bit-identical to 1-thread),
+//! windowed without the topology cache (ditto), and unfiltered.
 //!
 //! With `--sdc FILE` the run additionally binds an SDC constraint set
 //! onto the design and repeats the windowed analysis under the resulting
@@ -19,15 +19,23 @@
 //! arrival windows change aggressor pruning (the `pruning_delta` field)
 //! and the worst slack against the declared clock.
 //!
+//! The topology-keyed factorization cache (the near-clone far-aggressor
+//! groups share LU factors) is on by default; `--no-topo-cache` disables
+//! it everywhere for A/B comparisons. When enabled, the run repeats the
+//! windowed analysis with the cache off and asserts the reports are
+//! bit-identical, reporting hit/miss counts and the cone partition size
+//! in the JSON `cache` section.
+//!
 //! Alongside the text report it writes a machine-readable JSON summary
 //! (default `BENCH_spefbus.json`) so CI can archive the perf trajectory
 //! per PR. The in-binary parity checks (threaded ≡ sequential,
-//! incremental ≡ full recompute) gate that artifact: on a parity failure
-//! the run deletes any stale JSON at the target path and exits nonzero
-//! **without** writing a new one, so CI cannot upload a green-looking
-//! report from a broken run.
+//! incremental ≡ full recompute, cached ≡ uncached) gate that artifact:
+//! on a parity failure the run deletes any stale JSON at the target path
+//! and exits nonzero **without** writing a new one, so CI cannot upload a
+//! green-looking report from a broken run.
 //!
-//! Usage: `spefbus [--groups N] [--threads N] [--sdc FILE] [--json PATH]`
+//! Usage: `spefbus [--groups N] [--threads N] [--sdc FILE] [--json PATH]
+//! [--no-topo-cache]`
 
 use nsta_bench::json::Json;
 use nsta_bench::microbench;
@@ -140,6 +148,7 @@ fn main() {
     let mut threads = 1usize;
     let mut sdc_path: Option<String> = None;
     let mut json_path = String::from("BENCH_spefbus.json");
+    let mut topo_cache = true;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -147,10 +156,17 @@ fn main() {
             "--threads" => threads = args.next().and_then(|v| v.parse().ok()).unwrap_or(1),
             "--sdc" => sdc_path = args.next(),
             "--json" => json_path = args.next().unwrap_or(json_path),
+            "--no-topo-cache" => topo_cache = false,
             _ => {}
         }
     }
     let threads = threads.max(1);
+    // Every analysis below starts from this base so one flag switches the
+    // whole run between cached and uncached operation.
+    let base_opts = SiOptions {
+        topo_cache,
+        ..SiOptions::default()
+    };
 
     eprintln!("characterizing library...");
     let t = Instant::now();
@@ -185,7 +201,7 @@ fn main() {
     // The production flow: windows + incremental fixed point, 1 thread.
     let t = Instant::now();
     let filtered = sta
-        .analyze_with_crosstalk_windows(c, &bound.specs, &SiOptions::default())
+        .analyze_with_crosstalk_windows(c, &bound.specs, &base_opts)
         .expect("windowed analysis");
     let filtered_time = t.elapsed();
     // Same analysis with the victim cache disabled: every fixed-point
@@ -198,7 +214,7 @@ fn main() {
             &bound.specs,
             &SiOptions {
                 incremental: false,
-                ..SiOptions::default()
+                ..base_opts
             },
         )
         .expect("full-recompute analysis");
@@ -214,7 +230,7 @@ fn main() {
                 &bound.specs,
                 &SiOptions {
                     threads,
-                    ..SiOptions::default()
+                    ..base_opts
                 },
             )
             .expect("threaded analysis");
@@ -230,6 +246,31 @@ fn main() {
         }
         elapsed
     });
+    // Cached-vs-uncached A/B (skipped when the whole run is uncached):
+    // sharing a factorization across victims must not change a single bit
+    // of any report.
+    let no_cache_time = topo_cache.then(|| {
+        let t = Instant::now();
+        let uncached = sta
+            .analyze_with_crosstalk_windows(
+                c,
+                &bound.specs,
+                &SiOptions {
+                    topo_cache: false,
+                    ..base_opts
+                },
+            )
+            .expect("uncached analysis");
+        let elapsed = t.elapsed();
+        if uncached.report != filtered.report {
+            parity_failures.push("topo-cached report differs from the uncached report".into());
+        }
+        if uncached.adjustments != filtered.adjustments {
+            parity_failures
+                .push("topo-cached adjustments differ from the uncached adjustments".into());
+        }
+        elapsed
+    });
     let t = Instant::now();
     let unfiltered = sta
         .analyze_with_crosstalk_windows(
@@ -237,7 +278,7 @@ fn main() {
             &bound.specs,
             &SiOptions {
                 use_windows: false,
-                ..SiOptions::default()
+                ..base_opts
             },
         )
         .expect("unfiltered analysis");
@@ -260,11 +301,7 @@ fn main() {
         });
         let t = Instant::now();
         let analysis = sta
-            .analyze_with_crosstalk_windows(
-                &bound_sdc.boundary,
-                &bound.specs,
-                &SiOptions::default(),
-            )
+            .analyze_with_crosstalk_windows(&bound_sdc.boundary, &bound.specs, &base_opts)
             .expect("sdc analysis");
         (analysis, bound_sdc, t.elapsed())
     });
@@ -307,6 +344,14 @@ fn main() {
     if let Some(threaded) = threaded_time {
         println!("threads={threads}:       bit-identical result, {threaded:.2?}");
     }
+    if let Some(uncached) = no_cache_time {
+        let total = filtered.cache_hits + filtered.cache_misses;
+        println!(
+            "topo cache:      {}/{} hits over {} cones, bit-identical to uncached \
+             ({uncached:.2?} without the cache)",
+            filtered.cache_hits, total, filtered.cones,
+        );
+    }
     println!(
         "unfiltered:      0 pruned aggressor(s), {} iteration(s), worst arrival {:.1} ps, \
          {unfiltered_time:.2?}",
@@ -341,7 +386,11 @@ fn main() {
         std::process::exit(1);
     }
 
-    let ms = |d: std::time::Duration| Json::Num(d.as_secs_f64() * 1e3);
+    // Milliseconds rounded to 3 decimals: raw f64 arithmetic renders
+    // artifacts like 0.014372999999999999, which makes committed/archived
+    // reports needlessly diff-noisy at sub-nanosecond precision nobody
+    // reads.
+    let ms = |d: std::time::Duration| Json::Num((d.as_secs_f64() * 1e6).round() / 1e3);
     let report = Json::obj([
         ("bench", Json::str("spefbus")),
         ("groups", Json::from(groups)),
@@ -355,7 +404,34 @@ fn main() {
                 ("windowed_incremental", ms(filtered_time)),
                 ("windowed_full_recompute", ms(full_recompute_time)),
                 ("windowed_threaded", threaded_time.map_or(Json::Null, ms)),
+                ("windowed_no_cache", no_cache_time.map_or(Json::Null, ms)),
                 ("unfiltered", ms(unfiltered_time)),
+            ]),
+        ),
+        (
+            "cache",
+            Json::obj([
+                ("enabled", Json::from(topo_cache)),
+                ("hits", Json::from(filtered.cache_hits)),
+                ("misses", Json::from(filtered.cache_misses)),
+                (
+                    "hit_rate",
+                    match filtered.cache_hits + filtered.cache_misses {
+                        0 => Json::Null,
+                        total => Json::Num(
+                            (1e3 * filtered.cache_hits as f64 / total as f64).round() / 1e3,
+                        ),
+                    },
+                ),
+                ("cones", Json::from(filtered.cones)),
+                (
+                    "parity_vs_no_cache",
+                    if no_cache_time.is_some() {
+                        Json::from(true)
+                    } else {
+                        Json::Null
+                    },
+                ),
             ]),
         ),
         (
@@ -442,7 +518,7 @@ fn main() {
     // Per-iteration cost of the production mode, measured properly.
     if groups <= 8 {
         microbench::bench("spefbus/windowed_analysis", || {
-            sta.analyze_with_crosstalk_windows(c, &bound.specs, &SiOptions::default())
+            sta.analyze_with_crosstalk_windows(c, &bound.specs, &base_opts)
                 .expect("analysis")
         });
     }

@@ -121,27 +121,34 @@ impl TransientResult {
 }
 
 /// An assembled and factored trapezoidal integrator for one [`Circuit`]
-/// topology at one fixed timestep.
+/// topology at one fixed timestep — a self-contained **value**, owning
+/// every matrix and index table the step loop needs.
 ///
-/// [`Circuit::prepare_transient`] splits the solver into two phases:
+/// [`Circuit::factor_transient`] splits the solver into two phases:
 ///
 /// * **assemble/factor** (done once here): stamp `G`/`C`, eliminate driven
 ///   nodes, precompute the step matrix `C − (h/2)·G`, and LU-factor both
 ///   the trapezoidal left-hand side `C + (h/2)·G` and the DC operating
 ///   point system;
-/// * **step** ([`TransientStepper::run`] /
-///   [`TransientStepper::run_with_vsources`]): sample the sources on the
-///   time grid and sweep the factored system across it.
+/// * **step** ([`FactoredSystem::run`], [`FactoredSystem::run_with_vsources`],
+///   [`FactoredSystem::run_nodes`]): sample the sources on the time grid
+///   and sweep the factored system across it.
 ///
-/// Because the factors depend only on topology, element values and `dt`,
-/// one stepper can be re-run against many source vectors — the crosstalk
-/// flow simulates each victim's noisy and noiseless drive off a single
-/// factorization instead of assembling and factoring twice.
+/// Because the factors depend only on topology, element values and `dt` —
+/// never on source waveforms — a `FactoredSystem` is parameterized purely
+/// by source vectors: it borrows nothing from the circuit it was factored
+/// from, can be stored in caches, shared across threads, and reused for
+/// **any structurally identical circuit** (same elements, same values, same
+/// construction order — node ids then line up by construction). The
+/// crosstalk flow exploits exactly that: one factorization serves a
+/// victim's noisy/noiseless pair, every fixed-point iteration, and every
+/// other victim whose reduced stage has the same topology signature.
 #[derive(Debug)]
-pub struct TransientStepper<'c> {
-    circuit: &'c Circuit,
+pub struct FactoredSystem {
     opts: TransientOptions,
     times: Vec<f64>,
+    /// Node count of the source topology (driven + free).
+    n: usize,
     /// Free unknowns / driven (vsource) node counts.
     nf: usize,
     nd: usize,
@@ -160,6 +167,12 @@ pub struct TransientStepper<'c> {
     /// Factors of `G_UU` for the DC initial condition (absent when the run
     /// starts from an all-zero state).
     dc_lu: Option<LuFactors>,
+    /// The source circuit's own vsource waveforms (construction order), so
+    /// [`FactoredSystem::run`] works without the circuit.
+    default_sources: Vec<Waveform>,
+    /// Current injections captured at factor time: `(free row, waveform)`.
+    /// Injections into ideally driven nodes are absorbed and dropped here.
+    injections: Vec<(usize, Waveform)>,
 }
 
 impl Circuit {
@@ -171,8 +184,8 @@ impl Circuit {
     /// used across this workspace within each linear segment. The initial
     /// state is the DC solution at `t_start` (capacitors open).
     ///
-    /// Equivalent to `self.prepare_transient(opts)?.run()`; call
-    /// [`Circuit::prepare_transient`] directly to reuse the factorization
+    /// Equivalent to `self.factor_transient(opts)?.run()`; call
+    /// [`Circuit::factor_transient`] directly to reuse the factorization
     /// across several source vectors.
     ///
     /// # Errors
@@ -181,21 +194,19 @@ impl Circuit {
     ///   regularization.
     /// * Propagated construction errors for malformed options.
     pub fn run_transient(&self, opts: TransientOptions) -> Result<TransientResult, CircuitError> {
-        self.prepare_transient(opts)?.run()
+        self.factor_transient(opts)?.run()
     }
 
-    /// Assembles and factors the trapezoidal system once, returning a
-    /// [`TransientStepper`] that can be run repeatedly against different
-    /// source waveforms.
+    /// Assembles and factors the trapezoidal system once, returning an
+    /// owned [`FactoredSystem`] that can be run repeatedly against
+    /// different source waveforms — and, because it borrows nothing from
+    /// `self`, cached and shared across structurally identical circuits.
     ///
     /// # Errors
     ///
     /// * [`CircuitError::Numeric`] if the mesh is singular even with gmin
     ///   regularization.
-    pub fn prepare_transient(
-        &self,
-        opts: TransientOptions,
-    ) -> Result<TransientStepper<'_>, CircuitError> {
+    pub fn factor_transient(&self, opts: TransientOptions) -> Result<FactoredSystem, CircuitError> {
         let n = self.node_count();
         // Partition nodes: driven nodes take known voltages, the rest are
         // unknowns. `position[i]` maps node -> unknown slot.
@@ -272,10 +283,19 @@ impl Circuit {
             Some(LuFactors::factor(&g_uu)?)
         };
 
-        Ok(TransientStepper {
-            circuit: self,
+        let default_sources: Vec<Waveform> =
+            self.vsources.iter().map(|s| s.waveform.clone()).collect();
+        let injections: Vec<(usize, Waveform)> = self
+            .isources
+            .iter()
+            .filter(|s| !is_driven[s.node]) // current into an ideally driven node is absorbed
+            .map(|s| (position[s.node], s.waveform.clone()))
+            .collect();
+
+        Ok(FactoredSystem {
             opts,
             times,
+            n,
             nf,
             nd,
             position,
@@ -286,23 +306,32 @@ impl Circuit {
             rhs_mat,
             lhs_lu,
             dc_lu,
+            default_sources,
+            injections,
         })
     }
 }
 
-impl TransientStepper<'_> {
-    /// The simulation time points the stepper integrates over.
+impl FactoredSystem {
+    /// The simulation time points the system integrates over.
     pub fn times(&self) -> &[f64] {
         &self.times
     }
 
-    /// Runs the integration with the circuit's own source waveforms.
+    /// Number of voltage sources — `run_with_vsources`/`run_nodes` expect
+    /// exactly this many replacement waveforms.
+    pub fn source_count(&self) -> usize {
+        self.nd
+    }
+
+    /// Runs the integration with the waveforms of the circuit this system
+    /// was factored from.
     ///
     /// # Errors
     ///
     /// Propagates numeric failures from the factored solves.
     pub fn run(&self) -> Result<TransientResult, CircuitError> {
-        let waves: Vec<&Waveform> = self.circuit.vsources.iter().map(|s| &s.waveform).collect();
+        let waves: Vec<&Waveform> = self.default_sources.iter().collect();
         self.run_with_vsources(&waves)
     }
 
@@ -320,6 +349,95 @@ impl TransientStepper<'_> {
         &self,
         sources: &[&Waveform],
     ) -> Result<TransientResult, CircuitError> {
+        let n = self.n;
+        let mut data = Vec::with_capacity(n * self.times.len());
+        self.sweep(sources, |x, vk_now| {
+            for i in 0..n {
+                data.push(if self.is_driven[i] {
+                    vk_now[self.driven_slot[i]]
+                } else {
+                    x[self.position[i]]
+                });
+            }
+        })?;
+        Ok(TransientResult {
+            times: self.times.clone(),
+            data,
+            nodes: n,
+        })
+    }
+
+    /// Runs the integration recording **only** the requested nodes and
+    /// returns their voltage traces in request order.
+    ///
+    /// The arithmetic is identical to [`FactoredSystem::run_with_vsources`]
+    /// — only the recording differs — so the returned waveforms are
+    /// bit-identical to a full run followed by
+    /// [`TransientResult::voltage`]. Hot callers that probe one node (the
+    /// crosstalk flow reads a victim's far end out of a ~20-node mesh)
+    /// skip both the full per-step record and the strided gather.
+    ///
+    /// # Errors
+    ///
+    /// * [`CircuitError::InvalidOptions`] on a source-count mismatch.
+    /// * [`CircuitError::NotRecorded`] if `nodes` names ground.
+    /// * [`CircuitError::UnknownNode`] for foreign node ids.
+    /// * Propagates numeric failures from the factored solves.
+    pub fn run_nodes(
+        &self,
+        sources: &[&Waveform],
+        nodes: &[NodeId],
+    ) -> Result<Vec<Waveform>, CircuitError> {
+        // Resolve each requested node to its storage slot up front.
+        enum Slot {
+            Free(usize),
+            Driven(usize),
+        }
+        let slots: Vec<Slot> = nodes
+            .iter()
+            .map(|&node| {
+                if node.is_ground() {
+                    return Err(CircuitError::NotRecorded(
+                        "ground voltage is identically zero",
+                    ));
+                }
+                if node.0 >= self.n {
+                    return Err(CircuitError::UnknownNode { index: node.0 });
+                }
+                Ok(if self.is_driven[node.0] {
+                    Slot::Driven(self.driven_slot[node.0])
+                } else {
+                    Slot::Free(self.position[node.0])
+                })
+            })
+            .collect::<Result<_, _>>()?;
+        let width = slots.len();
+        let mut data = Vec::with_capacity(width * self.times.len());
+        self.sweep(sources, |x, vk_now| {
+            for slot in &slots {
+                data.push(match *slot {
+                    Slot::Free(i) => x[i],
+                    Slot::Driven(k) => vk_now[k],
+                });
+            }
+        })?;
+        (0..width)
+            .map(|j| {
+                let trace: Vec<f64> = data.chunks_exact(width.max(1)).map(|row| row[j]).collect();
+                Ok(Waveform::new(self.times.clone(), trace)?)
+            })
+            .collect()
+    }
+
+    /// The shared step loop: samples sources, solves the DC initial
+    /// condition, then marches the factored trapezoidal system across the
+    /// grid, handing `(x, vk_row)` to `record` at every time point
+    /// (including `t_start`).
+    fn sweep(
+        &self,
+        sources: &[&Waveform],
+        mut record: impl FnMut(&[f64], &[f64]),
+    ) -> Result<(), CircuitError> {
         if sources.len() != self.nd {
             return Err(CircuitError::InvalidOptions(
                 "one waveform required per voltage source",
@@ -328,7 +446,6 @@ impl TransientStepper<'_> {
         let (nf, nd) = (self.nf, self.nd);
         let nt = self.times.len();
         let h = self.opts.dt;
-        let n = self.circuit.node_count();
 
         // Known node voltages at every time point (time-major: one row of
         // `nd` values per time point).
@@ -341,17 +458,13 @@ impl TransientStepper<'_> {
             }
         }
         // Injected currents at every time point (time-major, `nf` wide);
-        // left empty when the circuit has no current sources, which skips
+        // left empty when the system has no current injections, which skips
         // both the table fill and the per-step reads.
         let mut inj = Vec::new();
-        if !self.circuit.isources.is_empty() {
+        if !self.injections.is_empty() {
             inj.resize(nt * nf, 0.0);
-            for s in &self.circuit.isources {
-                if self.is_driven[s.node] {
-                    continue; // current into an ideally driven node is absorbed
-                }
-                let r = self.position[s.node];
-                s.waveform.sample_on_grid(&self.times, &mut scratch);
+            for (r, waveform) in &self.injections {
+                waveform.sample_on_grid(&self.times, &mut scratch);
                 for (ti, &v) in scratch.iter().enumerate() {
                     inj[ti * nf + r] += v;
                 }
@@ -405,17 +518,7 @@ impl TransientStepper<'_> {
             }
         }
 
-        let mut data = Vec::with_capacity(n * nt);
-        let record = |data: &mut Vec<f64>, x: &[f64], vk_now: &[f64]| {
-            for i in 0..n {
-                data.push(if self.is_driven[i] {
-                    vk_now[self.driven_slot[i]]
-                } else {
-                    x[self.position[i]]
-                });
-            }
-        };
-        record(&mut data, &x, &vk[..nd]);
+        record(&x, &vk[..nd]);
 
         // The right-hand side is assembled row by row anyway, so write it
         // directly in the LU's permuted row order and skip the permutation
@@ -430,14 +533,9 @@ impl TransientStepper<'_> {
             }
             self.lhs_lu.solve_prepermuted_in_place(&mut x_next)?;
             std::mem::swap(&mut x, &mut x_next);
-            record(&mut data, &x, &vk[ti * nd..(ti + 1) * nd]);
+            record(&x, &vk[ti * nd..(ti + 1) * nd]);
         }
-
-        Ok(TransientResult {
-            times: self.times.clone(),
-            data,
-            nodes: n,
-        })
+        Ok(())
     }
 }
 
@@ -612,48 +710,115 @@ mod tests {
         );
     }
 
+    /// The noisy/noiseless victim stage of the SI flow: two Thevenin
+    /// drivers into a coupled pair of caps.
+    fn coupled_pair(agg_wave: Waveform) -> (Circuit, NodeId) {
+        let mut ckt = Circuit::new();
+        let agg = ckt.node("agg");
+        let vic = ckt.node("vic");
+        ckt.thevenin_driver(agg, agg_wave, 100.0).unwrap();
+        ckt.thevenin_driver(vic, Waveform::constant(0.0, 0.0, 6e-9).unwrap(), 200.0)
+            .unwrap();
+        ckt.capacitor(agg, Circuit::GROUND, 5e-15).unwrap();
+        ckt.capacitor(vic, Circuit::GROUND, 5e-15).unwrap();
+        ckt.capacitor(agg, vic, 20e-15).unwrap();
+        (ckt, vic)
+    }
+
     #[test]
-    fn stepper_reuse_is_bit_identical_to_fresh_runs() {
-        // The noisy/noiseless pattern of the SI flow: same topology, two
-        // source vectors. One prepared stepper must reproduce separately
-        // assembled runs exactly.
+    fn factored_reuse_is_bit_identical_to_fresh_runs() {
+        // Same topology, two source vectors: one factored system must
+        // reproduce separately assembled runs exactly.
         let quiet = Waveform::constant(0.0, 0.0, 6e-9).unwrap();
-        let build = |agg_wave: Waveform| {
-            let mut ckt = Circuit::new();
-            let agg = ckt.node("agg");
-            let vic = ckt.node("vic");
-            ckt.thevenin_driver(agg, agg_wave, 100.0).unwrap();
-            ckt.thevenin_driver(vic, Waveform::constant(0.0, 0.0, 6e-9).unwrap(), 200.0)
-                .unwrap();
-            ckt.capacitor(agg, Circuit::GROUND, 5e-15).unwrap();
-            ckt.capacitor(vic, Circuit::GROUND, 5e-15).unwrap();
-            ckt.capacitor(agg, vic, 20e-15).unwrap();
-            (ckt, vic)
-        };
         let noisy_wave = step_at(1e-9, 50e-12, 1.0, 10e-9);
         let opts = TransientOptions::new(0.0, 6e-9, 2e-12).unwrap();
 
-        let (ckt, vic) = build(noisy_wave.clone());
-        let stepper = ckt.prepare_transient(opts).unwrap();
-        let via_run = stepper.run().unwrap().voltage(vic).unwrap();
+        let (ckt, vic) = coupled_pair(noisy_wave.clone());
+        let system = ckt.factor_transient(opts).unwrap();
+        let via_run = system.run().unwrap().voltage(vic).unwrap();
         let via_runtransient = ckt.run_transient(opts).unwrap().voltage(vic).unwrap();
         assert_eq!(via_run, via_runtransient);
 
         // Swap the aggressor quiet through the same factorization.
         let vic_hold = Waveform::constant(0.0, 0.0, 6e-9).unwrap();
-        let overridden = stepper
+        let overridden = system
             .run_with_vsources(&[&quiet, &vic_hold])
             .unwrap()
             .voltage(vic)
             .unwrap();
-        let (fresh, vic2) = build(quiet.clone());
+        let (fresh, vic2) = coupled_pair(quiet.clone());
         let rebuilt = fresh.run_transient(opts).unwrap().voltage(vic2).unwrap();
         assert_eq!(overridden, rebuilt);
 
         // Source-count mismatch is rejected.
         assert!(matches!(
-            stepper.run_with_vsources(&[&quiet]),
+            system.run_with_vsources(&[&quiet]),
             Err(CircuitError::InvalidOptions(_))
+        ));
+        assert_eq!(system.source_count(), 2);
+    }
+
+    #[test]
+    fn factored_system_shared_across_identical_circuits() {
+        // Two *separately built* circuits with identical structure: the
+        // system factored from the first must reproduce the second's run
+        // bit for bit when fed the second's sources — the contract the
+        // SI topology cache relies on.
+        let opts = TransientOptions::new(0.0, 6e-9, 2e-12).unwrap();
+        let wave_a = step_at(1e-9, 50e-12, 1.0, 10e-9);
+        let wave_b = step_at(2e-9, 80e-12, 1.0, 10e-9); // different timing, same topology
+
+        let (ckt_a, vic_a) = coupled_pair(wave_a);
+        let (ckt_b, vic_b) = coupled_pair(wave_b.clone());
+        assert_eq!(vic_a, vic_b, "construction order fixes node ids");
+
+        let shared = ckt_a.factor_transient(opts).unwrap();
+        let vic_hold = Waveform::constant(0.0, 0.0, 6e-9).unwrap();
+        let via_shared = shared
+            .run_with_vsources(&[&wave_b, &vic_hold])
+            .unwrap()
+            .voltage(vic_b)
+            .unwrap();
+        let via_own = ckt_b.run_transient(opts).unwrap().voltage(vic_b).unwrap();
+        assert_eq!(via_shared, via_own);
+
+        // The factored system outlives the circuit it came from: it is an
+        // owned value, not a borrow.
+        drop(ckt_a);
+        let again = shared
+            .run_with_vsources(&[&wave_b, &vic_hold])
+            .unwrap()
+            .voltage(vic_b)
+            .unwrap();
+        assert_eq!(again, via_own);
+    }
+
+    #[test]
+    fn run_nodes_matches_full_record() {
+        let noisy_wave = step_at(1e-9, 50e-12, 1.0, 10e-9);
+        let opts = TransientOptions::new(0.0, 6e-9, 2e-12).unwrap();
+        let (ckt, vic) = coupled_pair(noisy_wave);
+        let agg = NodeId(0); // first created node
+        let system = ckt.factor_transient(opts).unwrap();
+        let full = system.run().unwrap();
+        let subset = system
+            .run_with_vsources(&[&system.default_sources[0], &system.default_sources[1]])
+            .unwrap();
+        assert_eq!(full.voltage(vic).unwrap(), subset.voltage(vic).unwrap());
+        // Subset recording: victim + a driven node, in request order.
+        let waves: Vec<&Waveform> = system.default_sources.iter().collect();
+        let recorded = system.run_nodes(&waves, &[vic, agg]).unwrap();
+        assert_eq!(recorded.len(), 2);
+        assert_eq!(recorded[0], full.voltage(vic).unwrap());
+        assert_eq!(recorded[1], full.voltage(agg).unwrap());
+        // Ground and foreign nodes are rejected.
+        assert!(matches!(
+            system.run_nodes(&waves, &[Circuit::GROUND]),
+            Err(CircuitError::NotRecorded(_))
+        ));
+        assert!(matches!(
+            system.run_nodes(&waves, &[NodeId(99)]),
+            Err(CircuitError::UnknownNode { .. })
         ));
     }
 

@@ -209,22 +209,27 @@ impl Sta {
 
     /// One net's fanin update: folds every incoming arc into the net's
     /// current state and returns the result. Reads only predecessor
-    /// states, so all nets of one graph level can be updated concurrently;
-    /// the arithmetic is a fixed per-net operation sequence, making the
-    /// outcome independent of which thread runs it.
-    pub(crate) fn propagate_net(
+    /// states, so nets without a dependency path between them can be
+    /// updated concurrently; the arithmetic is a fixed per-net operation
+    /// sequence, making the outcome independent of which thread runs it.
+    ///
+    /// The state accessor (by net id) is a closure so cone-partitioned
+    /// sweeps can serve reads from a compact per-cone buffer instead of a
+    /// full-design state vector — the fold performs the identical
+    /// operation sequence regardless of the accessor.
+    pub(crate) fn propagate_net_with(
         &self,
         net: NetId,
-        states: &[NetState],
+        get: impl Fn(usize) -> NetState,
         bc: &BoundaryConditions,
         minimize: bool,
     ) -> Result<NetState, StaError> {
-        let mut state = states[net.0];
+        let mut state = get(net.0);
         let load = self.net_load(net, bc);
         for &k in self.graph.fanin_edges(net) {
             let edge = &self.graph.edges()[k];
             for from_pol in [Polarity::Rise, Polarity::Fall] {
-                let from = *states[edge.from.0].get(from_pol);
+                let from = *get(edge.from.0).get(from_pol);
                 if !from.valid {
                     continue;
                 }
@@ -249,28 +254,59 @@ impl Sta {
 
     /// The nominal (latest-arrival, single-thread) forward sweep.
     pub(crate) fn forward_sweep(&self, bc: &BoundaryConditions) -> Result<Vec<NetState>, StaError> {
-        self.forward_sweep_levels(bc, false, 1)
+        self.forward_sweep_partitioned(bc, false, 1)
     }
 
-    /// Level-synchronous forward sweep on a scoped worker pool: each graph
-    /// level's nets are updated concurrently, then merged in net-id order.
-    /// This is the only sweep loop — every caller (nominal, min, threaded)
-    /// goes through it, so per-net arithmetic cannot diverge between
-    /// configurations and the result is bit-identical for every `threads`
-    /// value (including 1).
-    pub(crate) fn forward_sweep_levels(
+    /// Cone-partitioned forward sweep on a scoped worker pool: each
+    /// weakly-connected component of the graph is one task, swept
+    /// sequentially in topological order; tasks are merged back in the
+    /// fixed cone order. One pool serves the whole sweep (no per-level
+    /// barrier or re-spawn), and a long chain in one cone never waits for
+    /// another cone's widest level. A graph with fewer cones than workers
+    /// (e.g. one fully connected component) falls back to
+    /// level-synchronous scheduling so intra-level parallelism is not
+    /// lost. This is the only sweep loop — every caller (nominal, min,
+    /// threaded) goes through it, and each net's fanin fold is a fixed
+    /// operation sequence merged at a fixed position, so the result is
+    /// bit-identical for every `threads` value (including 1) and for both
+    /// schedules.
+    pub(crate) fn forward_sweep_partitioned(
         &self,
         bc: &BoundaryConditions,
         minimize: bool,
         threads: usize,
     ) -> Result<Vec<NetState>, StaError> {
-        let mut states = self.init_states(bc, minimize);
-        for level in self.graph.levels() {
-            let updated = crate::par::par_map(threads, level, |&net| {
-                self.propagate_net(net, &states, bc, minimize)
-            });
-            for (&net, result) in level.iter().zip(updated) {
-                states[net.0] = result?;
+        let components = self.graph.components();
+        if components.len() < threads.max(1) {
+            let mut states = self.init_states(bc, minimize);
+            for level in self.graph.levels() {
+                let updated = crate::par::par_map(threads, level, |&net| {
+                    self.propagate_net_with(net, |i| states[i], bc, minimize)
+                });
+                for (&net, result) in level.iter().zip(updated) {
+                    states[net.0] = result?;
+                }
+            }
+            return Ok(states);
+        }
+        let seed = self.init_states(bc, minimize);
+        let outcomes = crate::par::par_map(threads, components, |cone| {
+            let mut local: Vec<NetState> = cone.iter().map(|&net| seed[net.0]).collect();
+            for (j, &net) in cone.iter().enumerate() {
+                let updated = self.propagate_net_with(
+                    net,
+                    |i| local[self.graph.cone_slot(NetId(i))],
+                    bc,
+                    minimize,
+                )?;
+                local[j] = updated;
+            }
+            Ok::<_, StaError>(local)
+        });
+        let mut states = seed;
+        for (cone, outcome) in components.iter().zip(outcomes) {
+            for (&net, st) in cone.iter().zip(outcome?) {
+                states[net.0] = st;
             }
         }
         Ok(states)
@@ -312,7 +348,7 @@ impl Sta {
         constraints: impl Into<BoundaryConditions>,
     ) -> Result<TimingReport, StaError> {
         let bc = constraints.into();
-        let states = self.forward_sweep_levels(&bc, true, 1)?;
+        let states = self.forward_sweep_partitioned(&bc, true, 1)?;
         let mask = self.false_edge_mask(&bc);
         self.finish_report(&bc, states, mask.as_ref())
     }

@@ -38,6 +38,15 @@ pub struct TimingGraph {
     /// forward sweep into batches with no intra-batch dependencies — the
     /// unit of parallelism for the threaded sweeps.
     levels: Vec<Vec<NetId>>,
+    /// Nets grouped by weakly-connected component ("cone"), each component
+    /// in topological (level-major, then net-id) order. Two nets share a
+    /// component iff an undirected edge path connects them, so distinct
+    /// components have no timing dependency in either direction — the unit
+    /// of parallelism for cone-partitioned scheduling.
+    components: Vec<Vec<NetId>>,
+    /// Net id -> position of the net inside its component, so cone tasks
+    /// can serve state reads from a compact per-cone buffer.
+    cone_slot: Vec<usize>,
     /// Capacitive load on each net: Σ input-pin capacitances of fanout.
     loads: Vec<f64>,
 }
@@ -148,12 +157,61 @@ impl TimingGraph {
             l.sort_unstable_by_key(|net| net.0);
         }
 
+        // Weakly-connected components via union-find with path halving.
+        // Every edge joins its endpoints, so each resulting group is a
+        // self-contained cone: all fanin and fanout of its nets stay inside
+        // the group.
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(parent: &mut [usize], mut i: usize) -> usize {
+            while parent[i] != i {
+                parent[i] = parent[parent[i]]; // path halving
+                i = parent[i];
+            }
+            i
+        }
+        for e in &edges {
+            let (a, b) = (find(&mut parent, e.from.0), find(&mut parent, e.to.0));
+            if a != b {
+                parent[a.max(b)] = a.min(b);
+            }
+        }
+        // Group nets by root. Scanning ids in ascending order makes both
+        // the component order (by smallest member id) and the membership
+        // order deterministic.
+        let mut comp_index = vec![usize::MAX; n];
+        let mut components: Vec<Vec<NetId>> = Vec::new();
+        for i in 0..n {
+            let root = find(&mut parent, i);
+            let c = if comp_index[root] == usize::MAX {
+                comp_index[root] = components.len();
+                components.push(Vec::new());
+                components.len() - 1
+            } else {
+                comp_index[root]
+            };
+            components[c].push(NetId(i));
+        }
+        // Level-major order inside each component keeps every net after all
+        // of its fanin (the stable sort preserves net-id order within a
+        // level).
+        for c in &mut components {
+            c.sort_by_key(|net| level[net.0]);
+        }
+        let mut cone_slot = vec![0usize; n];
+        for c in &components {
+            for (j, &net) in c.iter().enumerate() {
+                cone_slot[net.0] = j;
+            }
+        }
+
         Ok(TimingGraph {
             edges,
             fanin,
             fanout,
             order,
             levels,
+            components,
+            cone_slot,
             loads,
         })
     }
@@ -174,6 +232,25 @@ impl TimingGraph {
     /// without changing results.
     pub fn levels(&self) -> &[Vec<NetId>] {
         &self.levels
+    }
+
+    /// Nets grouped by weakly-connected component ("fanout cone"), each in
+    /// topological order. Components are mutually independent — no edge
+    /// crosses between two of them — so whole components can be swept
+    /// concurrently end to end, without level barriers: a long chain in one
+    /// cone never waits for the widest level of another. Components are
+    /// ordered by their smallest net id; within a component, nets are in
+    /// level-major (then net-id) order, so a sequential walk sees every
+    /// fanin before its consumer.
+    pub fn components(&self) -> &[Vec<NetId>] {
+        &self.components
+    }
+
+    /// Position of `net` inside its component (see
+    /// [`TimingGraph::components`]): `components()[c][cone_slot(net)] ==
+    /// net` for the component `c` containing it.
+    pub fn cone_slot(&self, net: NetId) -> usize {
+        self.cone_slot[net.0]
     }
 
     /// Indices of edges terminating at `net`.
@@ -261,6 +338,55 @@ mod tests {
         let y = d.find_net("y").unwrap();
         assert_eq!(level_of(a), 0);
         assert_eq!(level_of(y), 2);
+    }
+
+    #[test]
+    fn components_partition_into_independent_cones() {
+        // Two disjoint cones: a→w1→y (chain) and b→w2→z, plus an isolated
+        // port net c that forms its own singleton component.
+        let d = parse_design(
+            "module m (a, b, c, y, z); input a, b, c; output y, z; wire w1, w2;\
+             INVX1 u1 (.A(a), .Y(w1)); INVX4 u2 (.A(w1), .Y(y));\
+             INVX1 u3 (.A(b), .Y(w2)); INVX4 u4 (.A(w2), .Y(z)); endmodule",
+        )
+        .unwrap();
+        let g = TimingGraph::build(&d, lib()).unwrap();
+        let comps = g.components();
+        assert_eq!(comps.len(), 3);
+        // Every net appears in exactly one component.
+        let total: usize = comps.iter().map(Vec::len).sum();
+        assert_eq!(total, d.net_count());
+        let mut seen: Vec<NetId> = comps.iter().flatten().copied().collect();
+        seen.sort_unstable_by_key(|n| n.0);
+        seen.dedup();
+        assert_eq!(seen.len(), d.net_count());
+        // No edge crosses components.
+        let comp_of = |n: NetId| comps.iter().position(|c| c.contains(&n)).unwrap();
+        for e in g.edges() {
+            assert_eq!(comp_of(e.from), comp_of(e.to));
+        }
+        // Connected nets share a component; disjoint cones do not.
+        let net = |s: &str| d.find_net(s).unwrap();
+        assert_eq!(comp_of(net("a")), comp_of(net("y")));
+        assert_eq!(comp_of(net("b")), comp_of(net("z")));
+        assert_ne!(comp_of(net("a")), comp_of(net("b")));
+        assert_eq!(comps[comp_of(net("c"))].len(), 1);
+        // Topological order inside each component: every fanin precedes
+        // its consumer.
+        for c in comps {
+            let pos = |n: NetId| c.iter().position(|&x| x == n).unwrap();
+            for &net in c {
+                for &k in g.fanin_edges(net) {
+                    assert!(pos(g.edges()[k].from) < pos(net));
+                }
+            }
+        }
+        // Components are ordered by smallest member id.
+        let mins: Vec<usize> = comps
+            .iter()
+            .map(|c| c.iter().map(|n| n.0).min().unwrap())
+            .collect();
+        assert!(mins.windows(2).all(|w| w[0] < w[1]));
     }
 
     #[test]

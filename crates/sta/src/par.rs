@@ -12,6 +12,14 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+/// Worker threads actually spawned for `items` work items: never more
+/// than there are items, so small batches do not pay the spawn cost of
+/// idle threads (a worker that never pops an index still costs an OS
+/// thread creation).
+pub(crate) fn effective_workers(threads: usize, items: usize) -> usize {
+    threads.min(items)
+}
+
 /// Maps `f` over `items`, using up to `threads` scoped worker threads,
 /// returning results in input order.
 ///
@@ -23,7 +31,7 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    let workers = threads.min(items.len());
+    let workers = effective_workers(threads, items.len());
     if workers <= 1 {
         return items.iter().map(f).collect();
     }
@@ -71,6 +79,27 @@ mod tests {
         let empty: Vec<u32> = Vec::new();
         assert!(par_map(4, &empty, |&x| x).is_empty());
         assert_eq!(par_map(4, &[7u32], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn worker_count_clamps_to_item_count() {
+        // Tiny batches must not spawn idle threads.
+        assert_eq!(effective_workers(8, 3), 3);
+        assert_eq!(effective_workers(8, 0), 0);
+        assert_eq!(effective_workers(1, 100), 1);
+        assert_eq!(effective_workers(0, 100), 0);
+        assert_eq!(effective_workers(4, 4), 4);
+    }
+
+    #[test]
+    fn fewer_items_than_threads_is_correct_and_ordered() {
+        // items < threads: the clamp leaves one worker per item; results
+        // must still come back complete and in input order.
+        let items = [10usize, 20, 30];
+        assert_eq!(par_map(64, &items, |&i| i + 1), vec![11, 21, 31]);
+        // Two items, many threads — exercises the 2-worker path.
+        let pair = [1u64, 2];
+        assert_eq!(par_map(200, &pair, |&i| i * 3), vec![3, 6]);
     }
 
     #[test]

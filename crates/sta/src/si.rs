@@ -12,18 +12,63 @@
 //! commercial tools: no extra library characterization, one extra waveform
 //! reduction per coupled stage.
 //!
-//! # Threading model and determinism
+//! # Cone-partitioned scheduling and determinism
 //!
-//! With [`SiOptions::threads`] ` > 1` the sweep runs level-synchronously:
-//! the nets of one graph level have no mutual dependencies, so their fanin
-//! updates — and, afterwards, the per-victim transient reductions of that
-//! level — are fanned across a `std::thread::scope` worker pool and merged
-//! back in net-id order. Each work item performs a fixed sequence of
-//! floating-point operations that does not depend on which worker runs it
-//! or in what order items finish, and the merge order is fixed by the
-//! level structure, so **N-thread results are bit-identical to 1-thread
-//! results**. Aggressor ramps are always taken from the iteration-invariant
-//! nominal sweep, which is what makes same-level victims independent.
+//! The crosstalk sweep is partitioned by **fanout cone** — the
+//! weakly-connected components of the timing graph
+//! ([`TimingGraph::components`](crate::TimingGraph::components)). No edge
+//! crosses between two cones, and every aggressor ramp is taken from the
+//! iteration-invariant nominal sweep rather than from in-flight states, so
+//! whole cones are mutually independent: with [`SiOptions::threads`] ` > 1`
+//! each cone becomes one task on a `std::thread::scope` worker pool
+//! (workers pull cones from a shared counter — dynamic load balancing), and
+//! a long chain in one cone never waits on a level barrier for the widest
+//! level of another. Within a cone, nets are processed sequentially in
+//! topological order; results are merged back in the fixed cone order.
+//! A graph with fewer cones than workers (e.g. one fully connected
+//! component, where cone tasks would serialize) falls back to
+//! level-synchronous scheduling, keeping intra-level parallelism. Each
+//! work item performs a fixed sequence of floating-point operations that
+//! does not depend on which worker runs it or in what order items finish,
+//! and per-victim adjustments are emitted in canonical `(net, polarity)`
+//! order, so **N-thread results are bit-identical to 1-thread results**
+//! under either schedule.
+//!
+//! # Topology-keyed factorization cache
+//!
+//! Every victim reduction collapses to the same small circuit shape — a
+//! Thevenin driver into star-coupled RC lines — and the assembled/factored
+//! system ([`nsta_circuit::FactoredSystem`]) depends only on element
+//! values and the time grid, never on source waveforms. With
+//! [`SiOptions::topo_cache`] (default on) each reduction computes a
+//! canonical **topology signature** and reuses a previously factored
+//! system on a match — across victims, across rise/fall polarities, and
+//! across fixed-point iterations. The key holds the exact bit patterns of:
+//!
+//! * the quantized timestep `dt` and the step count of the grid,
+//! * the driver Thevenin resistance,
+//! * the victim line's `(R_total, C_total, segments)` — with
+//!   [`CouplingSpec::quiet_cm`] already folded into `C_total`,
+//! * the receiver load at the victim far end,
+//! * per kept aggressor, in order: its line's
+//!   `(R_total, C_total, segments)` and its coupling total.
+//!
+//! **Quantization rule for `dt`:** the raw heuristic step
+//! `clamp(victim_slew / 50, 0.5 ps, 5 ps)` is rounded **up** to the next
+//! bucket in `{0.5, 1, 2, 4, 5} ps`, and the simulation stop time (latest
+//! participant settle plus a 1 ns margin, >10τ of any realistic reduced
+//! stage) to the next multiple of 0.5 ns, so near-identical victims land
+//! on a shared grid. Both quantizations apply identically with the cache
+//! disabled — cached and uncached analyses are bit-identical, which
+//! `spefbus --no-topo-cache` asserts at scale.
+//!
+//! **Invalidation semantics:** there is none to get stale — the key *is*
+//! the complete electrical description of the factored system, so any
+//! change to a line R/C, a coupling total, the quiet-cap fold, the driver
+//! resistance, the receiver load, or the grid produces a different key and
+//! therefore a miss. Entries live for one analysis call; two circuits that
+//! collide on a key are structurally identical by construction, so which
+//! instance's factorization serves a hit cannot change any result bit.
 //!
 //! # Incremental fixed point
 //!
@@ -53,11 +98,15 @@ use crate::netlist::NetId;
 use crate::par::par_map;
 use crate::report::TimingReport;
 use crate::StaError;
-use nsta_circuit::{Circuit, RcLineSpec, StarCoupledLines, TransientOptions};
+use nsta_circuit::{
+    Circuit, FactoredSystem, NodeId as CktNode, RcLineSpec, StarCoupledLines, TransientOptions,
+};
 use nsta_waveform::{Polarity, SaturatedRamp, Thresholds, Waveform};
 use sgdp::gate::{GateModel, TableGate};
 use sgdp::{MethodKind, PropagationContext};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Coupling description of one victim net.
 #[derive(Debug, Clone)]
@@ -227,6 +276,11 @@ pub struct SiOptions {
     /// re-simulating. Disable to force a full recompute every iteration
     /// (the parity baseline).
     pub incremental: bool,
+    /// When `true` (default), victim stages with an identical topology
+    /// signature share one factored transient system (see the module docs)
+    /// instead of each assembling and LU-factoring its own. Disable for
+    /// the parity baseline — results are bit-identical either way.
+    pub topo_cache: bool,
 }
 
 impl Default for SiOptions {
@@ -239,6 +293,7 @@ impl Default for SiOptions {
             convergence_tol: 0.1e-12,
             threads: 1,
             incremental: true,
+            topo_cache: true,
         }
     }
 }
@@ -269,6 +324,13 @@ pub struct SiAnalysis {
     pub iterations: usize,
     /// Whether the window fixed point converged within the iteration cap.
     pub converged: bool,
+    /// Victim reductions served by the topology-keyed factorization cache,
+    /// summed over all iterations (0 with [`SiOptions::topo_cache`] off).
+    pub cache_hits: usize,
+    /// Victim reductions that assembled and factored a fresh system.
+    pub cache_misses: usize,
+    /// Independent fanout cones the sweep was partitioned into.
+    pub cones: usize,
 }
 
 /// Outcome of the SI reduction on one victim net.
@@ -338,20 +400,133 @@ struct VictimCache {
     entries: HashMap<(usize, bool), (VictimKey, SaturatedRamp, f64)>,
 }
 
-/// One victim reduction scheduled for (possibly parallel) evaluation.
-struct VictimJob<'a> {
-    spec: &'a CouplingSpec,
-    pol: Polarity,
-    arrival: f64,
-    slew: f64,
+/// Canonical topology signature of one victim reduction: the exact bit
+/// patterns of every electrical value and grid parameter that enters the
+/// factored system (see the module docs for the field list). Two
+/// reductions with equal keys build bit-identical matrices, so they can
+/// share one factorization without changing any result bit.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct TopoKey(Vec<u64>);
+
+impl TopoKey {
+    fn new(dt: f64, steps: u64, spec: &CouplingSpec, victim_line: &RcLineSpec, load: f64) -> Self {
+        let mut v = Vec::with_capacity(7 + 4 * spec.aggressors.len());
+        v.push(dt.to_bits());
+        v.push(steps);
+        v.push(spec.driver_resistance.to_bits());
+        v.push(victim_line.r_total.to_bits());
+        v.push(victim_line.c_total.to_bits());
+        v.push(victim_line.segments as u64);
+        v.push(load.to_bits());
+        for i in 0..spec.aggressors.len() {
+            let line = spec.line_of(i);
+            v.push(line.r_total.to_bits());
+            v.push(line.c_total.to_bits());
+            v.push(line.segments as u64);
+            v.push(spec.cm_of(i).to_bits());
+        }
+        TopoKey(v)
+    }
 }
 
-/// How a victim transition of the current level gets its `Γeff`.
-enum Pending {
-    /// Reuse a cached result from an earlier iteration.
-    Cached(SaturatedRamp, f64),
-    /// Take the next entry of this level's computed-job results.
-    Computed,
+/// A factored system plus the node the reduction probes, ready for reuse
+/// by any victim whose stage matches the key it is stored under.
+#[derive(Debug, Clone)]
+struct CachedSystem {
+    system: Arc<FactoredSystem>,
+    victim_far: CktNode,
+}
+
+/// The topology-keyed factorization cache: shared across victims,
+/// polarities, fixed-point iterations and worker threads of one analysis
+/// call. Hit/miss counters are statistics only — under `threads > 1` two
+/// workers may both miss the same key and race the insert, which cannot
+/// change results (colliding systems are bit-identical by construction;
+/// `or_insert` keeps the first) but can make the counters vary run to run.
+#[derive(Debug, Default)]
+struct TopoCache {
+    systems: Mutex<HashMap<TopoKey, CachedSystem>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl TopoCache {
+    fn lookup(&self, key: &TopoKey) -> Option<CachedSystem> {
+        let found = self
+            .systems
+            .lock()
+            .expect("topo cache lock")
+            .get(key)
+            .cloned();
+        match found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    fn insert(&self, key: TopoKey, entry: CachedSystem) {
+        self.systems
+            .lock()
+            .expect("topo cache lock")
+            .entry(key)
+            .or_insert(entry);
+    }
+
+    fn stats(&self) -> (usize, usize) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// Timestep buckets the raw `slew / 50` heuristic is rounded **up** into,
+/// so reductions with nearby slews land on a shared, cacheable grid. The
+/// bounds match the historical `clamp(0.5 ps, 5 ps)`.
+const DT_BUCKETS: [f64; 5] = [0.5e-12, 1e-12, 2e-12, 4e-12, 5e-12];
+
+/// Simulation stop times are rounded up to a multiple of this, so victims
+/// that settle at nearby times share one grid length.
+const T_STOP_QUANTUM: f64 = 0.5e-9;
+
+/// Settle margin appended after the latest participant's transition ends.
+/// The reduced stage's time constants are `R_drive · C_stage` — tens of
+/// picoseconds — so 1 ns is >10τ of decay for any realistic spec; the
+/// quantum above then rounds the window up further.
+const SETTLE_MARGIN: f64 = 1e-9;
+
+fn quantize_dt(victim_slew: f64) -> f64 {
+    let raw = (victim_slew / 50.0).clamp(0.5e-12, 5e-12);
+    // A NaN slew survives the clamp and matches no bucket; hand the raw
+    // value on so `TransientOptions::new` rejects it as a recoverable
+    // error instead of panicking here.
+    DT_BUCKETS
+        .iter()
+        .find(|&&b| b >= raw)
+        .copied()
+        .unwrap_or(raw)
+}
+
+fn quantize_t_stop(latest: f64) -> f64 {
+    ((latest + SETTLE_MARGIN) / T_STOP_QUANTUM).ceil() * T_STOP_QUANTUM
+}
+
+/// One deferred victim-cache install: the `(net, is_rise)` slot and the
+/// `(key, Γeff, base arrival)` entry to store under it.
+type VictimInsert = ((usize, bool), (VictimKey, SaturatedRamp, f64));
+
+/// Per-cone result of one crosstalk pass, merged deterministically in
+/// cone order by the scheduler.
+struct ConeOutcome {
+    /// Final state of every net of the cone, aligned with the cone's
+    /// net order.
+    states: Vec<crate::engine::NetState>,
+    adjustments: Vec<SiAdjustment>,
+    /// Freshly simulated victim results to install in the victim cache
+    /// after the parallel section (each `(net, polarity)` is visited once
+    /// per pass, so a deferred insert is never read within the same pass).
+    inserts: Vec<VictimInsert>,
 }
 
 impl Sta {
@@ -404,11 +579,21 @@ impl Sta {
         })
     }
 
-    /// One crosstalk-adjusted forward sweep: level-synchronous, with the
-    /// victim reductions of each level evaluated on the worker pool and
-    /// merged in net-id order. `cache` (with its staleness tolerance)
-    /// short-circuits victims whose key is unchanged since an earlier
-    /// iteration.
+    /// One crosstalk-adjusted forward sweep. `cache` (with its staleness
+    /// tolerance) short-circuits victims whose key is unchanged since an
+    /// earlier iteration; `topo` shares factored transient systems across
+    /// structurally identical victim stages.
+    ///
+    /// Scheduling is hybrid: with at least one fanout cone per worker the
+    /// pass is cone-partitioned (one task per weakly-connected component,
+    /// no level barriers); a graph with fewer cones than workers — e.g. a
+    /// fully connected design — falls back to level-synchronous
+    /// scheduling so intra-level parallelism is not lost. Either way the
+    /// per-victim arithmetic is a fixed operation sequence and the
+    /// returned adjustments are sorted into `(net, rise-first)` order, so
+    /// results are bit-identical across thread counts *and* across the
+    /// two schedules.
+    #[allow(clippy::too_many_arguments)]
     fn crosstalk_pass(
         &self,
         bc: &BoundaryConditions,
@@ -416,7 +601,8 @@ impl Sta {
         method: MethodKind,
         base: &[crate::engine::NetState],
         threads: usize,
-        mut cache: Option<(&mut VictimCache, f64)>,
+        cache: Option<(&mut VictimCache, f64)>,
+        topo: Option<&TopoCache>,
     ) -> Result<(Vec<crate::engine::NetState>, Vec<SiAdjustment>), StaError> {
         let n = self.design().net_count();
         let mut spec_of: Vec<Option<&CouplingSpec>> = vec![None; n];
@@ -430,23 +616,177 @@ impl Sta {
                 )));
             }
         }
+        let cones = self.graph().components().len();
+        let (states, mut adjustments) = if cones >= threads.max(1) {
+            self.crosstalk_pass_cones(bc, &spec_of, method, base, threads, cache, topo)?
+        } else {
+            self.crosstalk_pass_levels(bc, &spec_of, method, base, threads, cache, topo)?
+        };
+        // Canonical adjustment order, independent of the schedule: each
+        // `(net, polarity)` appears at most once per pass.
+        adjustments.sort_unstable_by_key(|a| (a.net.0, !a.polarity.is_rise()));
+        Ok((states, adjustments))
+    }
+
+    /// Cone-partitioned crosstalk sweep: every weakly-connected component
+    /// of the graph is one task — fanin updates and victim reductions
+    /// interleaved in topological order — evaluated on the worker pool
+    /// and merged in cone order.
+    #[allow(clippy::too_many_arguments)]
+    fn crosstalk_pass_cones(
+        &self,
+        bc: &BoundaryConditions,
+        spec_of: &[Option<&CouplingSpec>],
+        method: MethodKind,
+        base: &[crate::engine::NetState],
+        threads: usize,
+        mut cache: Option<(&mut VictimCache, f64)>,
+        topo: Option<&TopoCache>,
+    ) -> Result<(Vec<crate::engine::NetState>, Vec<SiAdjustment>), StaError> {
+        let th = Thresholds::cmos(self.library().voltage);
+        let seed = self.init_states(bc, false);
+        let components = self.graph().components();
+        let outcomes = {
+            // Immutable view of the victim cache for the parallel section;
+            // fresh results are collected per cone and installed after.
+            let read_cache: Option<(&VictimCache, f64)> =
+                cache.as_ref().map(|(c, tol)| (&**c, *tol));
+            par_map(
+                threads,
+                components,
+                |cone| -> Result<ConeOutcome, StaError> {
+                    let mut local: Vec<crate::engine::NetState> =
+                        cone.iter().map(|&net| seed[net.0]).collect();
+                    let mut out = ConeOutcome {
+                        states: Vec::new(),
+                        adjustments: Vec::new(),
+                        inserts: Vec::new(),
+                    };
+                    for (j, &net) in cone.iter().enumerate() {
+                        // Cone-local state buffer: all fanin of a cone net is
+                        // in the same cone by construction.
+                        let updated = self.propagate_net_with(
+                            net,
+                            |i| local[self.graph().cone_slot(NetId(i))],
+                            bc,
+                            false,
+                        )?;
+                        local[j] = updated;
+                        let Some(spec) = spec_of[net.0] else { continue };
+                        for pol in [Polarity::Rise, Polarity::Fall] {
+                            let point = *local[j].get(pol);
+                            if !point.valid {
+                                continue;
+                            }
+                            // Keys are only built when a victim cache is active
+                            // — without one they would never be read.
+                            let key = match read_cache {
+                                Some(_) => Some(self.victim_key(
+                                    spec,
+                                    pol,
+                                    point.arrival,
+                                    point.slew,
+                                    base,
+                                )?),
+                                None => None,
+                            };
+                            let hit = Self::victim_cache_hit(read_cache, net, pol, key.as_ref());
+                            let (gamma, base_arrival) = match hit {
+                                Some(found) => found,
+                                None => {
+                                    let fresh = self.victim_gamma(
+                                        bc,
+                                        spec,
+                                        pol,
+                                        point.arrival,
+                                        point.slew,
+                                        base,
+                                        method,
+                                        topo,
+                                    )?;
+                                    // Only freshly simulated results enter the
+                                    // victim cache, paired with the exact key
+                                    // they were computed from.
+                                    if let Some(key) = key {
+                                        out.inserts.push((
+                                            (net.0, pol.is_rise()),
+                                            (key, fresh.0, fresh.1),
+                                        ));
+                                    }
+                                    fresh
+                                }
+                            };
+                            let p = local[j].get_mut(pol);
+                            p.arrival = gamma.arrival_mid();
+                            p.slew = gamma.slew(th);
+                            out.adjustments.push(SiAdjustment {
+                                net,
+                                polarity: pol,
+                                base_arrival,
+                                noisy_arrival: p.arrival,
+                                noisy_slew: p.slew,
+                            });
+                        }
+                    }
+                    out.states = local;
+                    Ok(out)
+                },
+            )
+        };
+        // Deterministic merge: cone order is fixed by the graph, the work
+        // inside each cone by its topological order.
+        let mut states = seed;
+        let mut adjustments = Vec::new();
+        for (cone, outcome) in components.iter().zip(outcomes) {
+            let outcome = outcome?;
+            for (&net, st) in cone.iter().zip(outcome.states) {
+                states[net.0] = st;
+            }
+            adjustments.extend(outcome.adjustments);
+            if let Some((c, _)) = cache.as_mut() {
+                for (slot, entry) in outcome.inserts {
+                    c.entries.insert(slot, entry);
+                }
+            }
+        }
+        Ok((states, adjustments))
+    }
+
+    /// Level-synchronous crosstalk sweep — the fallback for graphs with
+    /// fewer fanout cones than workers (e.g. one fully connected
+    /// component, where cone tasks would serialize everything): the fanin
+    /// updates of each level fan across the pool, then the level's
+    /// cache-missing victim reductions do.
+    #[allow(clippy::too_many_arguments)]
+    fn crosstalk_pass_levels(
+        &self,
+        bc: &BoundaryConditions,
+        spec_of: &[Option<&CouplingSpec>],
+        method: MethodKind,
+        base: &[crate::engine::NetState],
+        threads: usize,
+        mut cache: Option<(&mut VictimCache, f64)>,
+        topo: Option<&TopoCache>,
+    ) -> Result<(Vec<crate::engine::NetState>, Vec<SiAdjustment>), StaError> {
         let th = Thresholds::cmos(self.library().voltage);
         let mut states = self.init_states(bc, false);
         let mut adjustments = Vec::new();
         for level in self.graph().levels() {
             // Fanin updates of this level (parallel, merged in net order).
             let updated = par_map(threads, level, |&net| {
-                self.propagate_net(net, &states, bc, false)
+                self.propagate_net_with(net, |i| states[i], bc, false)
             });
             for (&net, result) in level.iter().zip(updated) {
                 states[net.0] = result?;
             }
-            // Victim transitions of this level, in net-id order: resolve
-            // each against the cache or queue it for evaluation. Keys are
-            // only built when a cache is active — without one they would
-            // never be read.
-            let mut units: Vec<(NetId, Polarity, Pending, Option<VictimKey>)> = Vec::new();
-            let mut jobs: Vec<VictimJob> = Vec::new();
+            // Victim transitions of this level: resolve each against the
+            // victim cache or queue it for parallel evaluation. Same-level
+            // victims only read `base` and earlier levels, so their
+            // reductions are independent.
+            let read_cache: Option<(&VictimCache, f64)> =
+                cache.as_ref().map(|(c, tol)| (&**c, *tol));
+            let mut units = Vec::new();
+            let mut jobs = Vec::new();
             for &net in level {
                 let Some(spec) = spec_of[net.0] else { continue };
                 for pol in [Polarity::Rise, Polarity::Fall] {
@@ -454,53 +794,36 @@ impl Sta {
                     if !point.valid {
                         continue;
                     }
-                    let key = match &cache {
+                    let key = match read_cache {
                         Some(_) => {
                             Some(self.victim_key(spec, pol, point.arrival, point.slew, base)?)
                         }
                         None => None,
                     };
-                    let hit = cache.as_ref().and_then(|(c, tol)| {
-                        c.entries
-                            .get(&(net.0, pol.is_rise()))
-                            .filter(|(old, _, _)| {
-                                old.matches(key.as_ref().expect("key built with cache"), *tol)
-                            })
-                            .map(|&(_, gamma, base_arrival)| (gamma, base_arrival))
-                    });
-                    match hit {
-                        Some((gamma, base_arrival)) => {
-                            // The stored entry (old key + result) is kept as
-                            // is: refreshing the key here would let sub-tol
-                            // input drift accumulate across iterations
-                            // without ever re-simulating.
-                            units.push((net, pol, Pending::Cached(gamma, base_arrival), None));
-                        }
-                        None => {
-                            units.push((net, pol, Pending::Computed, key));
-                            jobs.push(VictimJob {
-                                spec,
-                                pol,
-                                arrival: point.arrival,
-                                slew: point.slew,
-                            });
-                        }
+                    let hit = Self::victim_cache_hit(read_cache, net, pol, key.as_ref());
+                    if hit.is_none() {
+                        jobs.push((spec, pol, point.arrival, point.slew));
                     }
+                    units.push((net, pol, hit, key));
                 }
             }
-            // Same-level victims only read `base` and earlier levels, so
-            // their reductions are independent.
-            let results = par_map(threads, &jobs, |job| {
-                self.victim_gamma(bc, job.spec, job.pol, job.arrival, job.slew, base, method)
+            let results = par_map(threads, &jobs, |&(spec, pol, arrival, slew)| {
+                self.victim_gamma(bc, spec, pol, arrival, slew, base, method, topo)
             });
             let mut results = results.into_iter();
-            for (net, pol, pending, key) in units {
-                let (gamma, base_arrival, fresh) = match pending {
-                    Pending::Cached(gamma, base_arrival) => (gamma, base_arrival, false),
-                    Pending::Computed => {
-                        let (gamma, base_arrival) =
-                            results.next().expect("one result per queued job")?;
-                        (gamma, base_arrival, true)
+            for (net, pol, hit, key) in units {
+                let (gamma, base_arrival) = match hit {
+                    Some(found) => found,
+                    None => {
+                        let fresh = results.next().expect("one result per queued job")?;
+                        // Only freshly simulated results enter the victim
+                        // cache, paired with the exact key they were
+                        // computed from.
+                        if let (Some((c, _)), Some(key)) = (cache.as_mut(), key) {
+                            c.entries
+                                .insert((net.0, pol.is_rise()), (key, fresh.0, fresh.1));
+                        }
+                        fresh
                     }
                 };
                 let p = states[net.0].get_mut(pol);
@@ -513,18 +836,28 @@ impl Sta {
                     noisy_arrival: p.arrival,
                     noisy_slew: p.slew,
                 });
-                // Only freshly simulated results enter the cache, paired
-                // with the exact key they were computed from.
-                if fresh {
-                    if let Some((c, _)) = cache.as_mut() {
-                        let key = key.expect("computed units carry their key");
-                        c.entries
-                            .insert((net.0, pol.is_rise()), (key, gamma, base_arrival));
-                    }
-                }
             }
         }
         Ok((states, adjustments))
+    }
+
+    /// Probes the victim cache for `(net, pol)` against the freshly built
+    /// `key`, returning the stored `(Γeff, base arrival)` when the old key
+    /// matches within tolerance. The stored entry (old key + result) is
+    /// kept as is on a hit: refreshing the key would let sub-tol input
+    /// drift accumulate across iterations without ever re-simulating.
+    fn victim_cache_hit(
+        read_cache: Option<(&VictimCache, f64)>,
+        net: NetId,
+        pol: Polarity,
+        key: Option<&VictimKey>,
+    ) -> Option<(SaturatedRamp, f64)> {
+        read_cache.and_then(|(c, tol)| {
+            c.entries
+                .get(&(net.0, pol.is_rise()))
+                .filter(|(old, _, _)| old.matches(key.expect("key built with cache"), tol))
+                .map(|&(_, gamma, base_arrival)| (gamma, base_arrival))
+        })
     }
 
     /// Runs the analysis with crosstalk-aware propagation on the nets named
@@ -552,7 +885,11 @@ impl Sta {
         // Pass 1: nominal arrivals — aggressor ramps need them.
         let base = self.forward_sweep(&bc)?;
         // Pass 2: sweep again, overriding victim nets as they are reached.
-        let (states, adjustments) = self.crosstalk_pass(&bc, couplings, method, &base, 1, None)?;
+        // The topology cache is always on here (no options to disable it);
+        // it cannot change results, only skip redundant factorizations.
+        let topo = TopoCache::default();
+        let (states, adjustments) =
+            self.crosstalk_pass(&bc, couplings, method, &base, 1, None, Some(&topo))?;
         let mask = self.false_edge_mask(&bc);
         let report = self.finish_report(&bc, states, mask.as_ref())?;
         Ok((report, adjustments))
@@ -673,26 +1010,39 @@ impl Sta {
         // push-out never moves). Per-pin boundaries seed the two sweeps
         // from each input's min/max arrival, so windows reflect genuine
         // constraint-set arrival ranges instead of a single point.
-        let base = self.forward_sweep_levels(&bc, false, threads)?;
+        let base = self.forward_sweep_partitioned(&bc, false, threads)?;
+        let topo = options.topo_cache.then(TopoCache::default);
+        let cones = self.graph().components().len();
 
         if !options.use_windows {
             let mut cache = VictimCache::default();
             let cache_ref = options
                 .incremental
                 .then_some((&mut cache, options.convergence_tol));
-            let (states, adjustments) =
-                self.crosstalk_pass(&bc, couplings, options.method, &base, threads, cache_ref)?;
+            let (states, adjustments) = self.crosstalk_pass(
+                &bc,
+                couplings,
+                options.method,
+                &base,
+                threads,
+                cache_ref,
+                topo.as_ref(),
+            )?;
             let report = self.finish_report(&bc, states, mask)?;
+            let (cache_hits, cache_misses) = topo.as_ref().map_or((0, 0), TopoCache::stats);
             return Ok(SiAnalysis {
                 report,
                 adjustments,
                 pruned: Vec::new(),
                 iterations: 1,
                 converged: true,
+                cache_hits,
+                cache_misses,
+                cones,
             });
         }
 
-        let min_states = self.forward_sweep_levels(&bc, true, threads)?;
+        let min_states = self.forward_sweep_partitioned(&bc, true, threads)?;
         let clean = self.finish_report(&bc, base.clone(), mask)?;
         let mut windows = self.windows_from(&min_states, &clean);
         let mut previous: Option<TimingReport> = Some(clean);
@@ -719,8 +1069,15 @@ impl Sta {
             let cache_ref = options
                 .incremental
                 .then_some((&mut cache, options.convergence_tol));
-            let (states, adjustments) =
-                self.crosstalk_pass(&bc, &filtered, options.method, &base, threads, cache_ref)?;
+            let (states, adjustments) = self.crosstalk_pass(
+                &bc,
+                &filtered,
+                options.method,
+                &base,
+                threads,
+                cache_ref,
+                topo.as_ref(),
+            )?;
             let report = self.finish_report(&bc, states, mask)?;
             windows = self.windows_from(&min_states, &report);
             let moved = previous
@@ -734,6 +1091,9 @@ impl Sta {
                 pruned,
                 iterations,
                 converged: false,
+                cache_hits: 0,
+                cache_misses: 0,
+                cones,
             });
             // Secondary stop: windows that barely moved cannot change the
             // overlap decisions by more than the tolerance.
@@ -745,10 +1105,18 @@ impl Sta {
         let mut analysis = result.expect("at least one iteration runs");
         analysis.converged = converged;
         analysis.iterations = iterations;
+        // Cache statistics accumulate across iterations; fill them once on
+        // the surviving analysis.
+        let (cache_hits, cache_misses) = topo.as_ref().map_or((0, 0), TopoCache::stats);
+        analysis.cache_hits = cache_hits;
+        analysis.cache_misses = cache_misses;
         Ok(analysis)
     }
 
-    /// Computes `Γeff` for one victim transition.
+    /// Computes `Γeff` for one victim transition. With `topo` the factored
+    /// transient system is shared across every reduction whose topology
+    /// signature matches (see the module docs); the simulated waveforms
+    /// are bit-identical either way.
     #[allow(clippy::too_many_arguments)]
     fn victim_gamma(
         &self,
@@ -759,6 +1127,7 @@ impl Sta {
         victim_slew: f64,
         base: &[crate::engine::NetState],
         method: MethodKind,
+        topo: Option<&TopoCache>,
     ) -> Result<(SaturatedRamp, f64), StaError> {
         let th = Thresholds::cmos(self.library().voltage);
         let vdd = th.vdd();
@@ -792,18 +1161,22 @@ impl Sta {
                 agg_pol.is_rise(),
             )?);
         }
-        let t_stop = latest + 2e-9;
-        let dt = (victim_slew / 50.0).clamp(0.5e-12, 5e-12);
+        // Quantized grid (see the module docs): the timestep heuristic is
+        // rounded up into a fixed bucket set and the stop time to a fixed
+        // quantum, so structurally identical victim stages land on a
+        // shared — and therefore cacheable — grid. The quantization is
+        // unconditional: cached and uncached analyses integrate the exact
+        // same system on the exact same grid.
+        let t_stop = quantize_t_stop(latest);
+        let dt = quantize_dt(victim_slew);
+        let steps = (t_stop / dt).round() as u64;
 
-        // Build the coupled circuit once — noisy (aggressors switching) and
-        // noiseless (aggressors held at their pre-transition rail) share
-        // the topology and the timestep, hence one assembly and one LU
-        // factorization serve both runs. Each aggressor couples to the
-        // victim individually (star topology) with its own wire model and
-        // coupling total — the structure extracted parasitics describe.
-        // Quiet (window-pruned) aggressors still ground their coupling
-        // caps onto the victim: fold their total into the line's ground
-        // capacitance.
+        // The victim stage is a Thevenin driver into star-coupled RC lines
+        // — each aggressor couples to the victim individually with its own
+        // wire model and coupling total, the structure extracted
+        // parasitics describe. Quiet (window-pruned) aggressors still
+        // ground their coupling caps onto the victim: fold their total
+        // into the line's ground capacitance.
         let victim_line = if spec.quiet_cm > 0.0 {
             RcLineSpec::new(
                 spec.line.r_total,
@@ -813,8 +1186,12 @@ impl Sta {
         } else {
             spec.line
         };
-        let mut ckt = Circuit::new();
-        let v_in = ckt.node("victim_in");
+        // Receiver loading at the victim far end.
+        let load = spec
+            .receiver_load
+            .unwrap_or_else(|| self.graph().load(spec.victim))
+            .max(1e-16);
+
         let victim_ramp = SaturatedRamp::with_slew(
             victim_arrival,
             victim_slew.max(1e-12),
@@ -822,54 +1199,87 @@ impl Sta {
             victim_pol.is_rise(),
         )?;
         // Voltage source 0 is the victim driver; sources 1..=N follow
-        // aggressor order — `run_with_vsources` relies on this layout.
+        // aggressor order — the factored system relies on this layout.
         let victim_wave = victim_ramp.to_waveform(0.0, t_stop, dt)?;
-        ckt.thevenin_driver(v_in, victim_wave.clone(), spec.driver_resistance)?;
-        let mut agg_ins = Vec::with_capacity(agg_ramps.len());
-        for ramp in &agg_ramps {
-            let a_in = ckt.anon_node();
-            ckt.thevenin_driver(
-                a_in,
-                ramp.to_waveform(0.0, t_stop, dt)?,
-                spec.driver_resistance,
-            )?;
-            agg_ins.push(a_in);
-        }
-        let victim_far = if agg_ins.is_empty() {
-            // All aggressors pruned: the victim still sees its own wire.
-            victim_line.build(&mut ckt, v_in, "w")?
-        } else {
-            let bundle = StarCoupledLines::new(
-                victim_line,
-                (0..agg_ins.len())
-                    .map(|i| (spec.line_of(i), spec.cm_of(i)))
-                    .collect(),
-            )?;
-            let (far, _) = bundle.build(&mut ckt, v_in, &agg_ins, "w")?;
-            far
-        };
-        // Receiver loading at the victim far end.
-        let load = spec
-            .receiver_load
-            .unwrap_or_else(|| self.graph().load(spec.victim))
-            .max(1e-16);
-        ckt.capacitor(victim_far, Circuit::GROUND, load)?;
+        let agg_waves: Vec<Waveform> = agg_ramps
+            .iter()
+            .map(|ramp| ramp.to_waveform(0.0, t_stop, dt))
+            .collect::<Result<_, _>>()?;
 
-        let stepper = ckt.prepare_transient(TransientOptions::new(0.0, t_stop, dt)?)?;
+        // One factorization serves the noisy/noiseless pair — and, via the
+        // topology cache, every other reduction with the same signature:
+        // assemble and LU-factor only on a miss.
+        let key = topo.map(|_| TopoKey::new(dt, steps, spec, &victim_line, load));
+        let entry = match key
+            .as_ref()
+            .and_then(|k| topo.expect("key implies cache").lookup(k))
+        {
+            Some(entry) => entry,
+            None => {
+                let mut ckt = Circuit::new();
+                let v_in = ckt.node("victim_in");
+                // Sources are registered with a cheap 2-point placeholder:
+                // the factored system is driven by explicit source vectors
+                // at run time, and keeping victim-specific dense grids out
+                // of the cached value stops the first victim's waveforms
+                // from being pinned for the whole analysis.
+                let placeholder = Waveform::constant(0.0, 0.0, t_stop)?;
+                ckt.thevenin_driver(v_in, placeholder.clone(), spec.driver_resistance)?;
+                let mut agg_ins = Vec::with_capacity(agg_waves.len());
+                for _ in &agg_waves {
+                    let a_in = ckt.anon_node();
+                    ckt.thevenin_driver(a_in, placeholder.clone(), spec.driver_resistance)?;
+                    agg_ins.push(a_in);
+                }
+                let victim_far = if agg_ins.is_empty() {
+                    // All aggressors pruned: the victim still sees its wire.
+                    victim_line.build(&mut ckt, v_in, "w")?
+                } else {
+                    let bundle = StarCoupledLines::new(
+                        victim_line,
+                        (0..agg_ins.len())
+                            .map(|i| (spec.line_of(i), spec.cm_of(i)))
+                            .collect(),
+                    )?;
+                    let (far, _) = bundle.build(&mut ckt, v_in, &agg_ins, "w")?;
+                    far
+                };
+                ckt.capacitor(victim_far, Circuit::GROUND, load)?;
+                let system = ckt.factor_transient(TransientOptions::new(0.0, t_stop, dt)?)?;
+                let entry = CachedSystem {
+                    system: Arc::new(system),
+                    victim_far,
+                };
+                if let (Some(t), Some(k)) = (topo, key) {
+                    t.insert(k, entry.clone());
+                }
+                entry
+            }
+        };
+
         let quiet_level = if agg_pol.is_rise() { 0.0 } else { vdd };
         let quiet = Waveform::constant(quiet_level, 0.0, t_stop)?;
-        let mut quiet_sources: Vec<&Waveform> = Vec::with_capacity(1 + agg_ins.len());
+        let mut quiet_sources: Vec<&Waveform> = Vec::with_capacity(1 + agg_waves.len());
         quiet_sources.push(&victim_wave);
-        quiet_sources.extend(agg_ins.iter().map(|_| &quiet));
-        let noiseless = stepper
-            .run_with_vsources(&quiet_sources)?
-            .voltage(victim_far)?;
+        quiet_sources.extend(agg_waves.iter().map(|_| &quiet));
+        let noiseless = entry
+            .system
+            .run_nodes(&quiet_sources, &[entry.victim_far])?
+            .pop()
+            .expect("one trace per requested node");
         // With every aggressor pruned the "noisy" circuit is identical to
         // the noiseless one: skip the second transient run.
-        let noisy = if agg_ramps.is_empty() {
+        let noisy = if agg_waves.is_empty() {
             noiseless.clone()
         } else {
-            stepper.run()?.voltage(victim_far)?
+            let mut noisy_sources: Vec<&Waveform> = Vec::with_capacity(1 + agg_waves.len());
+            noisy_sources.push(&victim_wave);
+            noisy_sources.extend(agg_waves.iter());
+            entry
+                .system
+                .run_nodes(&noisy_sources, &[entry.victim_far])?
+                .pop()
+                .expect("one trace per requested node")
         };
         let base_arrival = noiseless.last_crossing_or_err(th.mid())?;
 
@@ -1205,7 +1615,7 @@ mod tests {
         let sta = Sta::new(windowed_design(), lib().clone()).unwrap();
         let c = Constraints::default();
         let min_states = sta
-            .forward_sweep_levels(&BoundaryConditions::from(&c), true, 1)
+            .forward_sweep_partitioned(&BoundaryConditions::from(&c), true, 1)
             .unwrap();
         let report = sta.analyze(c).unwrap();
         let windows = sta.windows_from(&min_states, &report);
@@ -1308,6 +1718,101 @@ mod tests {
     }
 
     #[test]
+    fn topo_cache_is_bit_identical_to_uncached_across_threads() {
+        // The topology-keyed factorization cache shares LU factors across
+        // victims, polarities and iterations; it must not change a single
+        // bit of any result — at 1 thread and on the worker pool.
+        let groups = 3;
+        let sta = Sta::new(multi_group_design(groups), lib().clone()).unwrap();
+        let c = Constraints::default();
+        let specs = multi_group_specs(&sta, groups);
+        let uncached = sta
+            .analyze_with_crosstalk_windows(
+                c,
+                &specs,
+                &SiOptions {
+                    topo_cache: false,
+                    ..SiOptions::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(uncached.cache_hits, 0);
+        assert_eq!(uncached.cache_misses, 0);
+        for threads in [1, 4] {
+            let cached = sta
+                .analyze_with_crosstalk_windows(
+                    c,
+                    &specs,
+                    &SiOptions {
+                        threads,
+                        ..SiOptions::default()
+                    },
+                )
+                .unwrap();
+            assert_analyses_identical(&uncached, &cached);
+            // The fixture's identical groups must actually share systems.
+            assert!(
+                cached.cache_hits > 0,
+                "expected topology-cache hits at {threads} thread(s), got {}",
+                cached.cache_hits
+            );
+            assert!(cached.cache_misses > 0);
+            // Every simulated reduction consults the cache exactly once,
+            // and the final iteration's reductions are all present in the
+            // adjustment list, so the totals at least cover them.
+            assert!(cached.cache_hits + cached.cache_misses >= cached.adjustments.len());
+        }
+        // Cones cover the whole design: every group contributes its three
+        // independent chains.
+        assert_eq!(uncached.cones, sta.graph().components().len());
+        assert!(uncached.cones >= 3 * groups);
+    }
+
+    /// One fully connected cone: input `a` fans out to both the victim
+    /// chain and the aggressor chain, so the whole design is a single
+    /// weakly-connected component.
+    fn single_cone_design() -> crate::Design {
+        parse_design(
+            "module m (a, y, z); input a; output y, z;\
+             wire v, g;\
+             INVX1 u1 (.A(a), .Y(v)); INVX4 u2 (.A(v), .Y(y));\
+             INVX1 u3 (.A(a), .Y(g)); INVX4 u4 (.A(g), .Y(z));\
+             endmodule",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn single_cone_design_falls_back_to_level_scheduling_bit_identically() {
+        // With one cone and threads > 1 the pass must fall back to
+        // level-synchronous scheduling (cone tasks would serialize) and
+        // still reproduce the 1-thread (cone-scheduled) result bit for
+        // bit — including the canonical adjustment order.
+        let sta = Sta::new(single_cone_design(), lib().clone()).unwrap();
+        assert_eq!(sta.graph().components().len(), 1);
+        let c = Constraints::default();
+        let v = sta.design().find_net("v").unwrap();
+        let g = sta.design().find_net("g").unwrap();
+        let spec = CouplingSpec::new(v, vec![g], 100e-15, RcLineSpec::per_micron(1000.0).unwrap());
+        let sequential = sta
+            .analyze_with_crosstalk_windows(c, std::slice::from_ref(&spec), &SiOptions::default())
+            .unwrap();
+        let threaded = sta
+            .analyze_with_crosstalk_windows(
+                c,
+                &[spec],
+                &SiOptions {
+                    threads: 4,
+                    ..SiOptions::default()
+                },
+            )
+            .unwrap();
+        assert_analyses_identical(&sequential, &threaded);
+        assert!(!sequential.adjustments.is_empty());
+        assert_eq!(sequential.cones, 1);
+    }
+
+    #[test]
     fn incremental_fixed_point_matches_full_recompute() {
         let groups = 3;
         let sta = Sta::new(multi_group_design(groups), lib().clone()).unwrap();
@@ -1360,6 +1865,21 @@ mod tests {
                 .any(|(a, b)| a.noisy_arrival != b.noisy_arrival || a.noisy_slew != b.noisy_slew),
             "a 20x receiver output load must change the reduction"
         );
+    }
+
+    #[test]
+    fn dt_quantization_rounds_up_and_tolerates_nan() {
+        // Buckets round the raw slew/50 heuristic up, clamped to the
+        // documented [0.5, 5] ps range.
+        assert_eq!(quantize_dt(10e-12), 0.5e-12); // raw clamps up to 0.5 ps
+        assert_eq!(quantize_dt(30e-12), 1e-12); // raw 0.6 ps -> 1 ps
+        assert_eq!(quantize_dt(75e-12), 2e-12); // raw 1.5 ps -> 2 ps
+        assert_eq!(quantize_dt(150e-12), 4e-12); // raw 3 ps -> 4 ps
+        assert_eq!(quantize_dt(1e-9), 5e-12); // raw clamps down to 5 ps
+                                              // A NaN slew must pass through as NaN — TransientOptions::new then
+                                              // rejects it as a recoverable error — never panic in the bucket
+                                              // lookup.
+        assert!(quantize_dt(f64::NAN).is_nan());
     }
 
     #[test]

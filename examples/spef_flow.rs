@@ -122,6 +122,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "== window-filtered crosstalk (SGDP) == {} iteration(s), converged: {}",
         analysis.iterations, analysis.converged
     );
+    println!(
+        "  topology cache: {} hit(s), {} miss(es) across {} fanout cone(s)",
+        analysis.cache_hits, analysis.cache_misses, analysis.cones
+    );
     for p in &analysis.pruned {
         println!(
             "  pruned aggressor `{}` of victim `{}`: window [{:.1}, {:.1}] ps cannot \
