@@ -123,6 +123,7 @@ fn bench_liberty_parse() {
 
 fn main() {
     bench_lu();
+    nsta_bench::microbench::bench_solver_backends();
     bench_linear_transient();
     bench_spice_inverter();
     bench_liberty_parse();

@@ -34,8 +34,17 @@
 //! and exits nonzero **without** writing a new one, so CI cannot upload a
 //! green-looking report from a broken run.
 //!
-//! Usage: `spefbus [--groups N] [--threads N] [--sdc FILE] [--json PATH]
-//! [--no-topo-cache]`
+//! The transient kernel runs on the sparse structure-exploiting backend by
+//! default; `--dense-solver` switches the whole run to the dense
+//! partial-pivoting baseline, and the default run performs a dense A/B of
+//! the windowed analysis, asserting the worst arrival matches within
+//! 1e-6 ps (the `solver` JSON section records backend, mesh nnz and the
+//! parity flag). `--segments N` scales every victim wire's extraction to
+//! N RC segments (same totals), growing the per-victim mesh — the axis on
+//! which the sparse backend's asymptotic advantage shows.
+//!
+//! Usage: `spefbus [--groups N] [--threads N] [--segments N] [--sdc FILE]
+//! [--json PATH] [--no-topo-cache] [--dense-solver]`
 
 use nsta_bench::json::Json;
 use nsta_bench::microbench;
@@ -44,7 +53,7 @@ use nsta_liberty::characterize::{inverter_family, Options};
 use nsta_parasitics::ast::{CapElem, DNet, SpefFile, SpefNode, Units};
 use nsta_parasitics::{bind_couplings, parse_spef, write_spef, BindOptions};
 use nsta_spice::Process;
-use nsta_sta::{verilog, Constraints, SiOptions, Sta};
+use nsta_sta::{verilog, Constraints, SiOptions, SolverBackend, Sta};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -84,16 +93,32 @@ fn netlist(groups: usize) -> String {
 /// A Figure-1-style extraction of every victim wire, built through the
 /// parasitics AST and round-tripped through the canonical writer (so the
 /// workload also exercises write → parse at scale).
-fn spef(groups: usize) -> SpefFile {
-    let seg_r = 8.5;
-    let seg_c = 9.6e-15;
+///
+/// `segments` sets the extraction granularity: each victim wire is cut
+/// into that many RC segments with the wire *totals* held fixed (25.5 Ω,
+/// 28.8 fF — the historical 3 × 8.5 Ω / 9.6 fF), so growing `--segments`
+/// grows the per-victim mesh without changing the electrical wire. The
+/// reduced aggressor lines default to the victim's spec, so the coupled
+/// mesh scales with it. The two coupling caps sit a third and two thirds
+/// of the way down the line (segments 1 and 2 in the historical
+/// 3-segment extraction).
+fn spef(groups: usize, segments: usize) -> SpefFile {
+    let seg_r = 25.5 / segments as f64;
+    let seg_c = if segments == 3 {
+        9.6e-15 // bit-exact historical value at the default granularity
+    } else {
+        28.8e-15 / segments as f64
+    };
+    let near_tap = (segments).div_ceil(3).to_string();
+    let far_tap = (2 * segments).div_ceil(3).to_string();
+    let seg_names: Vec<String> = (1..=segments).map(|k| k.to_string()).collect();
     let mut nets = Vec::new();
     for g in 0..groups {
         let victim = format!("v{g}");
         let near = format!("gn{g}");
         let far = format!("gf{g}");
         let mut caps = Vec::new();
-        for (k, seg) in ["1", "2", "3"].iter().enumerate() {
+        for (k, seg) in seg_names.iter().enumerate() {
             caps.push(CapElem {
                 id: (k + 1) as u64,
                 a: SpefNode::sub(&victim, seg),
@@ -102,20 +127,20 @@ fn spef(groups: usize) -> SpefFile {
             });
         }
         caps.push(CapElem {
-            id: 4,
-            a: SpefNode::sub(&victim, "1"),
+            id: (segments + 1) as u64,
+            a: SpefNode::sub(&victim, &near_tap),
             b: Some(SpefNode::sub(&near, "1")),
             value: 50e-15,
         });
         caps.push(CapElem {
-            id: 5,
-            a: SpefNode::sub(&victim, "2"),
+            id: (segments + 2) as u64,
+            a: SpefNode::sub(&victim, &far_tap),
             b: Some(SpefNode::sub(&far, "1")),
             value: 50e-15,
         });
         let mut ress = Vec::new();
         let mut prev = SpefNode::net(&victim);
-        for (k, seg) in ["1", "2", "3"].iter().enumerate() {
+        for (k, seg) in seg_names.iter().enumerate() {
             let next = SpefNode::sub(&victim, seg);
             ress.push(nsta_parasitics::ResElem {
                 id: (k + 1) as u64,
@@ -127,7 +152,7 @@ fn spef(groups: usize) -> SpefFile {
         }
         nets.push(DNet {
             name: victim,
-            total_cap: 3.0 * seg_c + 100e-15,
+            total_cap: segments as f64 * seg_c + 100e-15,
             conns: Vec::new(),
             caps,
             ress,
@@ -143,28 +168,72 @@ fn spef(groups: usize) -> SpefFile {
     }
 }
 
+const USAGE: &str = "usage: spefbus [--groups N] [--threads N] [--segments N] \
+[--sdc FILE] [--json PATH] [--no-topo-cache] [--dense-solver]";
+
+/// A path-valued flag's operand: missing is a usage error (exit 2), never
+/// a silent fallback to the default.
+fn string_flag(name: &str, value: Option<String>) -> String {
+    value.unwrap_or_else(|| {
+        eprintln!("spefbus: missing value for {name}");
+        eprintln!("{USAGE}");
+        std::process::exit(2);
+    })
+}
+
+/// Parses a numeric flag value strictly: a missing or unparsable value is
+/// a usage error (exit 2), never a silent fallback to the default.
+fn numeric_flag(name: &str, value: Option<String>) -> usize {
+    match value.as_deref().map(str::parse) {
+        Some(Ok(v)) => v,
+        Some(Err(_)) => {
+            eprintln!(
+                "spefbus: invalid value {:?} for {name} (expected a non-negative integer)",
+                value.unwrap_or_default()
+            );
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
+        None => {
+            eprintln!("spefbus: missing value for {name}");
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
+    }
+}
+
 fn main() {
     let mut groups = 8usize;
     let mut threads = 1usize;
+    let mut segments = 3usize;
     let mut sdc_path: Option<String> = None;
     let mut json_path = String::from("BENCH_spefbus.json");
     let mut topo_cache = true;
+    let mut backend = SolverBackend::Sparse;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
-            "--groups" => groups = args.next().and_then(|v| v.parse().ok()).unwrap_or(8),
-            "--threads" => threads = args.next().and_then(|v| v.parse().ok()).unwrap_or(1),
-            "--sdc" => sdc_path = args.next(),
-            "--json" => json_path = args.next().unwrap_or(json_path),
+            "--groups" => groups = numeric_flag("--groups", args.next()),
+            "--threads" => threads = numeric_flag("--threads", args.next()),
+            "--segments" => segments = numeric_flag("--segments", args.next()).max(1),
+            "--sdc" => sdc_path = Some(string_flag("--sdc", args.next())),
+            "--json" => json_path = string_flag("--json", args.next()),
             "--no-topo-cache" => topo_cache = false,
-            _ => {}
+            "--dense-solver" => backend = SolverBackend::Dense,
+            other => {
+                eprintln!("spefbus: unknown flag {other:?}");
+                eprintln!("{USAGE}");
+                std::process::exit(2);
+            }
         }
     }
     let threads = threads.max(1);
     // Every analysis below starts from this base so one flag switches the
-    // whole run between cached and uncached operation.
+    // whole run between cached and uncached operation (and another between
+    // the sparse and dense transient backends).
     let base_opts = SiOptions {
         topo_cache,
+        backend,
         ..SiOptions::default()
     };
 
@@ -179,7 +248,7 @@ fn main() {
     let characterize_time = t.elapsed();
 
     let design = verilog::parse_design(&netlist(groups)).expect("netlist");
-    let spef_text = write_spef(&spef(groups));
+    let spef_text = write_spef(&spef(groups, segments));
     let t = Instant::now();
     let parsed = parse_spef(&spef_text).expect("spef");
     let parse_time = t.elapsed();
@@ -271,6 +340,39 @@ fn main() {
         }
         elapsed
     });
+    // Sparse-vs-dense backend A/B (skipped when the whole run is already
+    // dense): both backends integrate the identical trapezoidal systems,
+    // so worst arrivals must agree to solver round-off. The wall-clock gap
+    // is the sparse backend's payoff, growing with --segments.
+    const DENSE_PARITY_TOL: f64 = 1e-18; // 1e-6 ps
+    let dense_run = (backend == SolverBackend::Sparse).then(|| {
+        let t = Instant::now();
+        let dense = sta
+            .analyze_with_crosstalk_windows(
+                c,
+                &bound.specs,
+                &SiOptions {
+                    backend: SolverBackend::Dense,
+                    ..base_opts
+                },
+            )
+            .expect("dense-backend analysis");
+        let elapsed = t.elapsed();
+        let (ws, wd) = (
+            filtered.report.worst_arrival(),
+            dense.report.worst_arrival(),
+        );
+        // Exact equality first: an empty design reports −inf on both
+        // backends, and `−inf − (−inf)` is NaN, not 0.
+        let delta = if ws == wd { 0.0 } else { (wd - ws).abs() };
+        if !(delta <= DENSE_PARITY_TOL) {
+            parity_failures.push(format!(
+                "sparse worst arrival differs from dense by {:.3e} ps (tolerance 1e-6 ps)",
+                delta * 1e12
+            ));
+        }
+        (elapsed, delta)
+    });
     let t = Instant::now();
     let unfiltered = sta
         .analyze_with_crosstalk_windows(
@@ -352,6 +454,15 @@ fn main() {
             filtered.cache_hits, total, filtered.cones,
         );
     }
+    if let Some((dense_time, delta)) = &dense_run {
+        println!(
+            "dense solver:    worst arrival matches within {:.3e} ps, {dense_time:.2?} \
+             (sparse backend is {:.2}x faster, nnz {})",
+            delta * 1e12,
+            dense_time.as_secs_f64() / filtered_time.as_secs_f64().max(1e-12),
+            filtered.solver_nnz,
+        );
+    }
     println!(
         "unfiltered:      0 pruned aggressor(s), {} iteration(s), worst arrival {:.1} ps, \
          {unfiltered_time:.2?}",
@@ -395,6 +506,7 @@ fn main() {
         ("bench", Json::str("spefbus")),
         ("groups", Json::from(groups)),
         ("threads", Json::from(threads)),
+        ("segments", Json::from(segments)),
         (
             "phases_ms",
             Json::obj([
@@ -405,7 +517,34 @@ fn main() {
                 ("windowed_full_recompute", ms(full_recompute_time)),
                 ("windowed_threaded", threaded_time.map_or(Json::Null, ms)),
                 ("windowed_no_cache", no_cache_time.map_or(Json::Null, ms)),
+                (
+                    "windowed_dense",
+                    dense_run.as_ref().map_or(Json::Null, |&(d, _)| ms(d)),
+                ),
                 ("unfiltered", ms(unfiltered_time)),
+            ]),
+        ),
+        (
+            "solver",
+            Json::obj([
+                ("backend", Json::str(backend.name())),
+                ("nnz", Json::from(filtered.solver_nnz)),
+                (
+                    "parity_vs_dense",
+                    if dense_run.is_some() {
+                        // A failed parity check never reaches this point:
+                        // the run exits nonzero above without writing JSON.
+                        Json::from(true)
+                    } else {
+                        Json::Null
+                    },
+                ),
+                (
+                    "dense_delta_ps",
+                    dense_run
+                        .as_ref()
+                        .map_or(Json::Null, |&(_, d)| Json::Num(d * 1e12)),
+                ),
             ]),
         ),
         (

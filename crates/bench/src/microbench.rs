@@ -6,6 +6,7 @@
 //! the median over a fixed number of batches, which is robust to scheduler
 //! noise on shared CI machines.
 
+use nsta_numeric::{LuFactors, SparseLu, TripletMatrix};
 use std::time::{Duration, Instant};
 
 /// Number of timed batches per benchmark; the median batch is reported.
@@ -49,6 +50,68 @@ pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) {
         "{name:<40} {:>12}  ({iters} iters/batch)",
         format_time(median)
     );
+}
+
+/// Dense-vs-sparse backend comparison: factor + one trapezoidal-style step
+/// (mat-vec + solve) on star-coupled-RC-shaped stamps at n ∈ {8, 32, 128}.
+///
+/// Run via `cargo bench -p nsta-bench --bench substrate`; the asymptotic
+/// gap (O(n³)/O(n²) dense vs ~O(nnz) sparse) is what lets `spefbus
+/// --segments N` grow victim meshes without the transient kernel
+/// dominating the windowed phase.
+pub fn bench_solver_backends() {
+    for n in [8usize, 32, 128] {
+        // Three parallel chains with coupling rungs onto the first — the
+        // victim/aggressor mesh shape the SI flow factors, stamped in the
+        // same interleaving-hostile natural order the circuit builder
+        // produces (so the sparse side also pays for its fill-reducing
+        // reordering, as in production).
+        let chain = n / 3;
+        let mut trip = TripletMatrix::new(n, n);
+        for i in 0..n {
+            trip.add(i, i, 4.0);
+        }
+        for line in 0..3 {
+            for k in 1..chain {
+                let (a, b) = (line * chain + k - 1, line * chain + k);
+                trip.add(a, b, -1.0);
+                trip.add(b, a, -1.0);
+            }
+        }
+        for k in 0..chain {
+            for line in 1..3usize {
+                let (a, b) = (k, line * chain + k);
+                trip.add(a, b, -0.5);
+                trip.add(b, a, -0.5);
+            }
+        }
+        let csr = trip.to_csr();
+        let dense = csr.to_dense();
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+        bench(&format!("solver/dense_factor_step_{n}"), || {
+            let lu = LuFactors::factor(&dense).expect("dense factor");
+            let mut y = dense.mul_vec(&x).expect("dense mat-vec");
+            lu.solve_in_place(&mut y).expect("dense solve");
+            y
+        });
+        bench(&format!("solver/sparse_factor_step_{n}"), || {
+            let lu = SparseLu::factor(&csr).expect("sparse factor");
+            let mut y = vec![0.0; n];
+            csr.mul_vec_into(&x, &mut y).expect("sparse mat-vec");
+            lu.solve_in_place(&mut y).expect("sparse solve");
+            y
+        });
+        // The production shape: symbolic analysis amortized away (topo
+        // cache hits, Newton iterations), numeric refactor + step only.
+        let mut lu = SparseLu::factor(&csr).expect("sparse factor");
+        bench(&format!("solver/sparse_refactor_step_{n}"), || {
+            lu.refactor(&csr).expect("sparse refactor");
+            let mut y = vec![0.0; n];
+            csr.mul_vec_into(&x, &mut y).expect("sparse mat-vec");
+            lu.solve_in_place(&mut y).expect("sparse solve");
+            y
+        });
+    }
 }
 
 fn format_time(seconds: f64) -> String {

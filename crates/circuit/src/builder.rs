@@ -1,5 +1,6 @@
 use crate::CircuitError;
 use nsta_waveform::Waveform;
+use std::sync::Arc;
 
 /// Handle to a circuit node.
 ///
@@ -32,16 +33,18 @@ pub(crate) struct Capacitor {
     pub farads: f64,
 }
 
+/// Source waveforms are reference-counted so [`Circuit::factor_transient`]
+/// can capture them without deep-cloning sample buffers per factorization.
 #[derive(Debug, Clone)]
 pub(crate) struct VSource {
     pub node: usize,
-    pub waveform: Waveform,
+    pub waveform: Arc<Waveform>,
 }
 
 #[derive(Debug, Clone)]
 pub(crate) struct ISource {
     pub node: usize,
-    pub waveform: Waveform,
+    pub waveform: Arc<Waveform>,
 }
 
 /// A linear circuit under construction: named nodes plus R, C, coupling-C,
@@ -199,7 +202,7 @@ impl Circuit {
         }
         self.vsources.push(VSource {
             node: idx,
-            waveform,
+            waveform: Arc::new(waveform),
         });
         Ok(())
     }
@@ -219,7 +222,7 @@ impl Circuit {
         }
         self.isources.push(ISource {
             node: idx,
-            waveform,
+            waveform: Arc::new(waveform),
         });
         Ok(())
     }

@@ -42,4 +42,4 @@ mod transient;
 pub use builder::{Circuit, NodeId};
 pub use error::CircuitError;
 pub use rcline::{CoupledLines, RcLineSpec, StarCoupledLines};
-pub use transient::{FactoredSystem, TransientOptions, TransientResult};
+pub use transient::{FactoredSystem, SolverBackend, TransientOptions, TransientResult};

@@ -1,7 +1,39 @@
 use crate::builder::{Circuit, NodeId};
 use crate::CircuitError;
-use nsta_numeric::{DenseMatrix, LuFactors};
+use nsta_numeric::{CsrMatrix, DenseMatrix, LuFactors, SparseLu, TripletMatrix};
 use nsta_waveform::Waveform;
+use std::sync::Arc;
+
+/// Linear-solver backend of the transient kernel.
+///
+/// The stamped MNA systems of star-coupled RC stages are nearly
+/// tridiagonal and diagonally dominant, so the default
+/// [`SolverBackend::Sparse`] factors and steps them in ~O(nnz) with the
+/// no-pivot [`SparseLu`] kernels. [`SolverBackend::Dense`] keeps the
+/// partial-pivoting dense path as a parity baseline and as the escape
+/// hatch for systems that are not no-pivot factorable; both backends
+/// integrate the exact same trapezoidal system, so their waveforms agree
+/// to solver round-off (≪ 1 nV on realistic meshes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SolverBackend {
+    /// CSR storage + no-pivot sparse LU (default): O(nnz) factor/step on
+    /// banded RC meshes.
+    #[default]
+    Sparse,
+    /// Row-major dense storage + partial-pivoting LU: O(n³)/O(n²), kept
+    /// for parity gating and non-dominant systems.
+    Dense,
+}
+
+impl SolverBackend {
+    /// Stable lowercase name, used by bench reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            SolverBackend::Sparse => "sparse",
+            SolverBackend::Dense => "dense",
+        }
+    }
+}
 
 /// Options for a transient run: `[t_start, t_stop]` with fixed step `dt`.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -11,6 +43,7 @@ pub struct TransientOptions {
     dt: f64,
     gmin: f64,
     zero_initial_state: bool,
+    backend: SolverBackend,
 }
 
 impl TransientOptions {
@@ -38,7 +71,15 @@ impl TransientOptions {
             dt,
             gmin: 1e-12,
             zero_initial_state: false,
+            backend: SolverBackend::default(),
         })
+    }
+
+    /// Selects the linear-solver backend (default [`SolverBackend::Sparse`]).
+    #[must_use]
+    pub fn with_backend(mut self, backend: SolverBackend) -> Self {
+        self.backend = backend;
+        self
     }
 
     /// Starts the run from all-zero node voltages instead of the DC
@@ -76,12 +117,19 @@ impl TransientOptions {
     pub fn dt(&self) -> f64 {
         self.dt
     }
+
+    /// The selected linear-solver backend.
+    pub fn backend(&self) -> SolverBackend {
+        self.backend
+    }
 }
 
 /// Voltages recorded by a transient run, queryable per node.
 #[derive(Debug, Clone)]
 pub struct TransientResult {
-    times: Vec<f64>,
+    /// Shared with the [`FactoredSystem`] that produced the run — cache-hit
+    /// victims reuse one grid allocation instead of cloning it per run.
+    times: Arc<[f64]>,
     /// Time-major flat buffer: `data[ti * nodes + node]`. The step loop
     /// appends one contiguous row per timestep (instead of touching one
     /// cache line per node), and [`TransientResult::voltage`] pays the
@@ -116,7 +164,7 @@ impl TransientResult {
             .chunks_exact(self.nodes)
             .map(|row| row[node.0])
             .collect();
-        Ok(Waveform::new(self.times.clone(), trace)?)
+        Ok(Waveform::new(self.times.to_vec(), trace)?)
     }
 }
 
@@ -146,7 +194,10 @@ impl TransientResult {
 #[derive(Debug)]
 pub struct FactoredSystem {
     opts: TransientOptions,
-    times: Vec<f64>,
+    /// Shared time grid: handed to every [`TransientResult`] by refcount
+    /// instead of by clone, so cache-hit runs stop allocating it per
+    /// victim.
+    times: Arc<[f64]>,
     /// Node count of the source topology (driven + free).
     n: usize,
     /// Free unknowns / driven (vsource) node counts.
@@ -159,20 +210,36 @@ pub struct FactoredSystem {
     is_driven: Vec<bool>,
     g_uk: DenseMatrix,
     c_uk: DenseMatrix,
-    /// Step matrix `C_UU − (h/2)·G_UU`, precomputed once instead of being
-    /// recombined element-by-element every timestep.
-    rhs_mat: DenseMatrix,
-    /// Factors of the trapezoidal LHS `C_UU + (h/2)·G_UU`.
-    lhs_lu: LuFactors,
-    /// Factors of `G_UU` for the DC initial condition (absent when the run
-    /// starts from an all-zero state).
-    dc_lu: Option<LuFactors>,
-    /// The source circuit's own vsource waveforms (construction order), so
-    /// [`FactoredSystem::run`] works without the circuit.
-    default_sources: Vec<Waveform>,
+    /// The factored step matrices in the selected backend's storage.
+    factors: StepFactors,
+    /// The source circuit's own vsource waveforms (construction order,
+    /// shared with the circuit by refcount), so [`FactoredSystem::run`]
+    /// works without the circuit.
+    default_sources: Vec<Arc<Waveform>>,
     /// Current injections captured at factor time: `(free row, waveform)`.
     /// Injections into ideally driven nodes are absorbed and dropped here.
-    injections: Vec<(usize, Waveform)>,
+    injections: Vec<(usize, Arc<Waveform>)>,
+}
+
+/// Backend-specific storage of the step matrix `C − (h/2)·G`, the factored
+/// trapezoidal LHS `C + (h/2)·G`, and the DC system `G` (absent when the
+/// run starts from an all-zero state).
+// One instance lives per factored system and both variants are dominated
+// by their heap-side buffers, so boxing the larger variant would only add
+// an indirection to the per-step hot loop.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug)]
+enum StepFactors {
+    Dense {
+        rhs_mat: DenseMatrix,
+        lhs_lu: LuFactors,
+        dc_lu: Option<LuFactors>,
+    },
+    Sparse {
+        rhs_mat: CsrMatrix,
+        lhs_lu: SparseLu,
+        dc_lu: Option<SparseLu>,
+    },
 }
 
 impl Circuit {
@@ -224,8 +291,12 @@ impl Circuit {
         }
 
         // Full-system stamps split into UU (free-free) and UK (free-driven).
-        let mut g_uu = DenseMatrix::zeros(nf, nf);
-        let mut c_uu = DenseMatrix::zeros(nf, nf);
+        // The UU blocks are assembled as triplets — the sparse backend
+        // consumes them directly, the dense backend densifies them (the
+        // conversion sums duplicates in stamp order, so the dense values
+        // are bit-identical to stamping a dense matrix element by element).
+        let mut g_uu = TripletMatrix::new(nf, nf);
+        let mut c_uu = TripletMatrix::new(nf, nf);
         // Dense free×driven couplers; the driven count is tiny.
         let nd = self.vsources.len();
         let mut driven_slot = vec![usize::MAX; n];
@@ -236,7 +307,7 @@ impl Circuit {
         let mut c_uk = DenseMatrix::zeros(nf, nd.max(1));
 
         let stamp2 =
-            |m_uu: &mut DenseMatrix, m_uk: &mut DenseMatrix, a: usize, b: usize, v: f64| {
+            |m_uu: &mut TripletMatrix, m_uk: &mut DenseMatrix, a: usize, b: usize, v: f64| {
                 let terminals = [(a, 1.0), (b, 1.0)];
                 for (row_node, _) in terminals {
                     if row_node == NodeId::GROUND_SENTINEL || is_driven[row_node] {
@@ -267,25 +338,58 @@ impl Circuit {
         for r in 0..nf {
             g_uu.add(r, r, opts.gmin);
         }
+        let g_csr = g_uu.to_csr();
+        let c_csr = c_uu.to_csr();
 
         let h = opts.dt;
         let steps = ((opts.t_stop - opts.t_start) / h).round() as usize;
-        let times: Vec<f64> = (0..=steps).map(|k| opts.t_start + k as f64 * h).collect();
+        let times: Arc<[f64]> = (0..=steps)
+            .map(|k| opts.t_start + k as f64 * h)
+            .collect::<Vec<_>>()
+            .into();
 
         // Trapezoidal system, scaled by h: (C + hG/2) x_{n+1} =
         //   (C − hG/2) x_n − C_UK Δvk − h G_UK v̄k + h (inj_n + inj_{n+1})/2.
-        let lhs = c_uu.add_scaled(&g_uu, h / 2.0)?;
-        let lhs_lu = LuFactors::factor(&lhs)?;
-        let rhs_mat = c_uu.add_scaled(&g_uu, -h / 2.0)?;
-        let dc_lu = if opts.zero_initial_state {
-            None
-        } else {
-            Some(LuFactors::factor(&g_uu)?)
+        // Both backends combine the exact same stamped values; they differ
+        // only in storage and elimination order.
+        let factors = match opts.backend {
+            SolverBackend::Sparse => {
+                let lhs = c_csr.add_scaled(&g_csr, h / 2.0)?;
+                let lhs_lu = SparseLu::factor(&lhs)?;
+                let rhs_mat = c_csr.add_scaled(&g_csr, -h / 2.0)?;
+                let dc_lu = if opts.zero_initial_state {
+                    None
+                } else {
+                    Some(SparseLu::factor(&g_csr)?)
+                };
+                StepFactors::Sparse {
+                    rhs_mat,
+                    lhs_lu,
+                    dc_lu,
+                }
+            }
+            SolverBackend::Dense => {
+                let g_dense = g_csr.to_dense();
+                let c_dense = c_csr.to_dense();
+                let lhs = c_dense.add_scaled(&g_dense, h / 2.0)?;
+                let lhs_lu = LuFactors::factor(&lhs)?;
+                let rhs_mat = c_dense.add_scaled(&g_dense, -h / 2.0)?;
+                let dc_lu = if opts.zero_initial_state {
+                    None
+                } else {
+                    Some(LuFactors::factor(&g_dense)?)
+                };
+                StepFactors::Dense {
+                    rhs_mat,
+                    lhs_lu,
+                    dc_lu,
+                }
+            }
         };
 
-        let default_sources: Vec<Waveform> =
+        let default_sources: Vec<Arc<Waveform>> =
             self.vsources.iter().map(|s| s.waveform.clone()).collect();
-        let injections: Vec<(usize, Waveform)> = self
+        let injections: Vec<(usize, Arc<Waveform>)> = self
             .isources
             .iter()
             .filter(|s| !is_driven[s.node]) // current into an ideally driven node is absorbed
@@ -303,9 +407,7 @@ impl Circuit {
             is_driven,
             g_uk,
             c_uk,
-            rhs_mat,
-            lhs_lu,
-            dc_lu,
+            factors,
             default_sources,
             injections,
         })
@@ -324,6 +426,21 @@ impl FactoredSystem {
         self.nd
     }
 
+    /// The linear-solver backend this system was factored with.
+    pub fn backend(&self) -> SolverBackend {
+        self.opts.backend
+    }
+
+    /// Stored entries of the factored trapezoidal left-hand side — the
+    /// per-step solve cost. The dense backend reports the full `nf²`
+    /// triangle pair it actually touches.
+    pub fn nnz(&self) -> usize {
+        match &self.factors {
+            StepFactors::Sparse { lhs_lu, .. } => lhs_lu.factor_nnz(),
+            StepFactors::Dense { .. } => self.nf * self.nf,
+        }
+    }
+
     /// Runs the integration with the waveforms of the circuit this system
     /// was factored from.
     ///
@@ -331,7 +448,7 @@ impl FactoredSystem {
     ///
     /// Propagates numeric failures from the factored solves.
     pub fn run(&self) -> Result<TransientResult, CircuitError> {
-        let waves: Vec<&Waveform> = self.default_sources.iter().collect();
+        let waves: Vec<&Waveform> = self.default_sources.iter().map(|w| w.as_ref()).collect();
         self.run_with_vsources(&waves)
     }
 
@@ -424,7 +541,7 @@ impl FactoredSystem {
         (0..width)
             .map(|j| {
                 let trace: Vec<f64> = data.chunks_exact(width.max(1)).map(|row| row[j]).collect();
-                Ok(Waveform::new(self.times.clone(), trace)?)
+                Ok(Waveform::new(self.times.to_vec(), trace)?)
             })
             .collect()
     }
@@ -472,7 +589,10 @@ impl FactoredSystem {
         }
 
         // DC initial condition: G_UU x = inj(t0) − G_UK·vK(t0).
-        let mut x = if let Some(dc) = &self.dc_lu {
+        let dc_rhs = |has_dc: bool| -> Vec<f64> {
+            if !has_dc {
+                return vec![0.0; nf];
+            }
             let mut rhs = if inj.is_empty() {
                 vec![0.0; nf]
             } else {
@@ -484,9 +604,16 @@ impl FactoredSystem {
                     rhs[r] -= g * vk[k];
                 }
             }
-            dc.solve(&rhs)?
-        } else {
-            vec![0.0; nf]
+            rhs
+        };
+        let mut x = match &self.factors {
+            StepFactors::Dense {
+                dc_lu: Some(dc), ..
+            } => dc.solve(&dc_rhs(true))?,
+            StepFactors::Sparse {
+                dc_lu: Some(dc), ..
+            } => dc.solve(&dc_rhs(true))?,
+            _ => dc_rhs(false),
         };
 
         // Source contributions of every step, tabulated up front so the
@@ -520,20 +647,43 @@ impl FactoredSystem {
 
         record(&x, &vk[..nd]);
 
-        // The right-hand side is assembled row by row anyway, so write it
-        // directly in the LU's permuted row order and skip the permutation
-        // copy inside the solve.
-        let perm = self.lhs_lu.perm();
         let mut x_next = vec![0.0; nf];
-        for ti in 1..nt {
-            let s_row = &src[ti * nf..(ti + 1) * nf];
-            for (i, &r) in perm.iter().enumerate() {
-                // rhs = (C − hG/2)·x_n + src, off the precomputed matrices.
-                x_next[i] = nsta_numeric::dot(self.rhs_mat.row(r), &x) + s_row[r];
+        match &self.factors {
+            // Dense: the right-hand side is assembled row by row anyway,
+            // so write it directly in the LU's permuted row order and skip
+            // the permutation copy inside the solve.
+            StepFactors::Dense {
+                rhs_mat, lhs_lu, ..
+            } => {
+                let perm = lhs_lu.perm();
+                for ti in 1..nt {
+                    let s_row = &src[ti * nf..(ti + 1) * nf];
+                    for (i, &r) in perm.iter().enumerate() {
+                        // rhs = (C − hG/2)·x_n + src, off the precomputed matrices.
+                        x_next[i] = nsta_numeric::dot(rhs_mat.row(r), &x) + s_row[r];
+                    }
+                    lhs_lu.solve_prepermuted_in_place(&mut x_next)?;
+                    std::mem::swap(&mut x, &mut x_next);
+                    record(&x, &vk[ti * nd..(ti + 1) * nd]);
+                }
             }
-            self.lhs_lu.solve_prepermuted_in_place(&mut x_next)?;
-            std::mem::swap(&mut x, &mut x_next);
-            record(&x, &vk[ti * nd..(ti + 1) * nd]);
+            // Sparse: CSR mat-vec touches only stored entries and the
+            // no-pivot factors eliminate in natural order, so the step is
+            // O(nnz) with no permutation copy at all.
+            StepFactors::Sparse {
+                rhs_mat, lhs_lu, ..
+            } => {
+                for ti in 1..nt {
+                    let s_row = &src[ti * nf..(ti + 1) * nf];
+                    rhs_mat.mul_vec_into(&x, &mut x_next)?;
+                    for (xi, s) in x_next.iter_mut().zip(s_row) {
+                        *xi += s;
+                    }
+                    lhs_lu.solve_in_place(&mut x_next)?;
+                    std::mem::swap(&mut x, &mut x_next);
+                    record(&x, &vk[ti * nd..(ti + 1) * nd]);
+                }
+            }
         }
         Ok(())
     }
@@ -806,7 +956,7 @@ mod tests {
             .unwrap();
         assert_eq!(full.voltage(vic).unwrap(), subset.voltage(vic).unwrap());
         // Subset recording: victim + a driven node, in request order.
-        let waves: Vec<&Waveform> = system.default_sources.iter().collect();
+        let waves: Vec<&Waveform> = system.default_sources.iter().map(|w| w.as_ref()).collect();
         let recorded = system.run_nodes(&waves, &[vic, agg]).unwrap();
         assert_eq!(recorded.len(), 2);
         assert_eq!(recorded[0], full.voltage(vic).unwrap());

@@ -1,13 +1,20 @@
 //! Small, dependency-free numeric kernels shared across the `noisy-sta`
 //! workspace.
 //!
-//! EDA workloads in this repository never need large-scale linear algebra —
-//! modified-nodal-analysis systems stay below a few hundred unknowns — so the
-//! kernels here favour robustness and clarity over blocked performance:
+//! The modified-nodal-analysis systems stamped by the circuit engines are
+//! nearly tridiagonal (star-coupled RC lines), so the hot solvers exploit
+//! sparsity; the dense kernels remain as the small-system and
+//! partial-pivoting fallback:
 //!
+//! * [`sparse`] — [`TripletMatrix`] assembly, [`CsrMatrix`] storage/mat-vec
+//!   and the no-pivot [`SparseLu`] with reusable symbolic factorization.
+//!   Elimination is in **natural order without pivoting**, which is valid
+//!   exactly for the diagonally dominant stamps the engines produce (see
+//!   the module docs for the ordering assumptions); O(nnz) factor and step
+//!   for banded meshes instead of O(n³)/O(n²),
 //! * [`DenseMatrix`] / [`LuFactors`] — row-major dense matrices with LU
-//!   factorization (partial pivoting) used by both the linear and the
-//!   nonlinear circuit engines,
+//!   factorization (partial pivoting): the escape hatch for systems that
+//!   are small or not no-pivot factorable,
 //! * [`interp`] — monotone-grid linear and bilinear interpolation used by
 //!   waveform sampling and NLDM table lookup,
 //! * [`fit`] — closed-form (weighted) line fits and a damped Gauss–Newton
@@ -29,8 +36,10 @@ mod error;
 pub mod fit;
 pub mod interp;
 mod matrix;
+pub mod sparse;
 pub mod stats;
 
 pub use error::NumericError;
 pub use fit::{GaussNewton, GaussNewtonReport, LineFit};
 pub use matrix::{dot, DenseMatrix, LuFactors};
+pub use sparse::{CsrMatrix, SparseLu, TripletMatrix};

@@ -1,6 +1,6 @@
 use crate::netlist::{Netlist, NodeId};
 use crate::SpiceError;
-use nsta_numeric::{DenseMatrix, LuFactors};
+use nsta_numeric::{CsrMatrix, DenseMatrix, LuFactors, NumericError, SparseLu, TripletMatrix};
 use nsta_waveform::Waveform;
 
 /// Options for a nonlinear transient run.
@@ -114,6 +114,10 @@ impl SimResult {
     }
 }
 
+/// A Jacobian stamp sink: `(r, c, v)` accumulation plus the scale applied
+/// to device derivatives (1 for DC, ½ for the trapezoidal residual).
+type JacStamp<'a> = Option<(&'a mut dyn FnMut(usize, usize, f64), f64)>;
+
 /// Assembled linear portion of the MNA system, shared by DC and transient.
 struct Assembled {
     nf: usize,
@@ -125,6 +129,81 @@ struct Assembled {
     g_uk: DenseMatrix,
     c_uu: DenseMatrix,
     c_uk: DenseMatrix,
+    /// The same UU stamps in assembly (triplet) form, kept so the Newton
+    /// loops can build sparse Jacobian patterns without re-walking the
+    /// element lists.
+    g_trip: TripletMatrix,
+    c_trip: TripletMatrix,
+}
+
+/// Reusable sparse Newton-system solver.
+///
+/// The Jacobian of every Newton iteration shares one sparsity pattern: the
+/// linear `G`/`C` stamps plus each device's fixed terminal positions. The
+/// pattern is analyzed (symbolic factorization) once; every iteration
+/// resets the stored values to the precomputed linear base, stamps the
+/// device derivatives on top, and re-eliminates **numerically only** with
+/// zero allocation ([`SparseLu::refactor`]).
+///
+/// The no-pivot elimination is valid while the Jacobian stays diagonally
+/// dominant — true near the CMOS operating points the damped Newton walks
+/// through. If an iterate strays far enough that a natural-order pivot
+/// vanishes, the solve transparently falls back to the dense
+/// partial-pivoting factorization for that iteration, so robustness is
+/// never traded for speed.
+struct SparseJacobian {
+    /// Union pattern with the current iteration's values.
+    csr: CsrMatrix,
+    /// Iteration-invariant values (linear stamps; zeros at device-only
+    /// positions), aligned with `csr.values()`.
+    base: Vec<f64>,
+    /// Symbolic + numeric factors; `None` if even the linear base was not
+    /// no-pivot factorable (every solve then takes the dense path).
+    lu: Option<SparseLu>,
+}
+
+impl SparseJacobian {
+    /// Builds the solver from the fully stamped assembly buffer (linear
+    /// values plus zero-valued device positions).
+    fn new(pattern: &TripletMatrix) -> Self {
+        let csr = pattern.to_csr();
+        let base = csr.values().to_vec();
+        let lu = SparseLu::factor(&csr).ok();
+        SparseJacobian { csr, base, lu }
+    }
+
+    /// Resets the stored values to the linear base; device stamps go on
+    /// top via [`SparseJacobian::add`].
+    fn reset(&mut self) {
+        self.csr.values_mut().copy_from_slice(&self.base);
+    }
+
+    /// Adds `v` at `(r, c)` — must lie inside the analyzed pattern.
+    #[inline]
+    fn add(&mut self, r: usize, c: usize, v: f64) {
+        self.csr.add_at(r, c, v);
+    }
+
+    /// Factors the current values and solves `J·x = b`, preferring the
+    /// sparse no-pivot path and falling back to dense partial pivoting on
+    /// a vanishing pivot.
+    fn solve_into(&mut self, b: &[f64], x: &mut [f64]) -> Result<(), SpiceError> {
+        if let Some(lu) = self.lu.as_mut() {
+            match lu.refactor(&self.csr) {
+                Ok(()) => {
+                    x.copy_from_slice(b);
+                    lu.solve_in_place(x).map_err(SpiceError::from)?;
+                    return Ok(());
+                }
+                // A lost pivot is recoverable — this iteration goes dense.
+                Err(NumericError::SingularMatrix { .. }) => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
+        let dense = LuFactors::factor(&self.csr.to_dense())?;
+        dense.solve_into(b, x)?;
+        Ok(())
+    }
 }
 
 impl Netlist {
@@ -151,15 +230,23 @@ impl Netlist {
         let mut g_uk = DenseMatrix::zeros(nf, nd.max(1));
         let mut c_uu = DenseMatrix::zeros(nf, nf);
         let mut c_uk = DenseMatrix::zeros(nf, nd.max(1));
+        let mut g_trip = TripletMatrix::new(nf, nf);
+        let mut c_trip = TripletMatrix::new(nf, nf);
 
         let ground = NodeId::GROUND_SENTINEL;
-        let stamp = |uu: &mut DenseMatrix, uk: &mut DenseMatrix, a: usize, b: usize, v: f64| {
+        let stamp = |uu: &mut DenseMatrix,
+                     trip: &mut TripletMatrix,
+                     uk: &mut DenseMatrix,
+                     a: usize,
+                     b: usize,
+                     v: f64| {
             for node in [a, b] {
                 if node == ground || is_driven[node] {
                     continue;
                 }
                 let r = position[node];
                 uu.add(r, r, v);
+                trip.add(r, r, v);
                 let other = if node == a { b } else { a };
                 if other == ground {
                     continue;
@@ -168,17 +255,19 @@ impl Netlist {
                     uk.add(r, driven_slot[other], -v);
                 } else {
                     uu.add(r, position[other], -v);
+                    trip.add(r, position[other], -v);
                 }
             }
         };
         for &(a, b, g) in &self.resistors {
-            stamp(&mut g_uu, &mut g_uk, a, b, g);
+            stamp(&mut g_uu, &mut g_trip, &mut g_uk, a, b, g);
         }
         for &(a, b, c) in &self.capacitors {
-            stamp(&mut c_uu, &mut c_uk, a, b, c);
+            stamp(&mut c_uu, &mut c_trip, &mut c_uk, a, b, c);
         }
         for r in 0..nf {
             g_uu.add(r, r, gmin);
+            g_trip.add(r, r, gmin);
         }
         Assembled {
             nf,
@@ -190,7 +279,25 @@ impl Netlist {
             g_uk,
             c_uu,
             c_uk,
+            g_trip,
+            c_trip,
         }
+    }
+
+    /// Appends every `(row, col)` a device Jacobian can ever stamp (the
+    /// positions are fixed by topology, not by the operating point) to
+    /// `trip` with value zero, completing a Newton Jacobian pattern.
+    fn device_pattern(&self, asm: &Assembled, trip: &mut TripletMatrix) {
+        let zeros_x = vec![0.0; asm.nf];
+        let zeros_w = vec![0.0; asm.nd];
+        let mut scratch = vec![0.0; asm.nf];
+        self.device_currents(
+            asm,
+            &zeros_x,
+            &zeros_w,
+            &mut scratch,
+            Some((&mut |r, c, _v| trip.add(r, c, 0.0), 1.0)),
+        );
     }
 
     /// Voltage of `node_index` given the free vector `x` and driven values
@@ -214,7 +321,7 @@ impl Netlist {
         x: &[f64],
         w: &[f64],
         f: &mut [f64],
-        mut jac: Option<(&mut DenseMatrix, f64)>,
+        mut jac: JacStamp,
     ) {
         let ground = NodeId::GROUND_SENTINEL;
         for dev in &self.mosfets {
@@ -241,7 +348,7 @@ impl Netlist {
                     let r = asm.position[dev.drain];
                     for (node, d) in entries {
                         if node != ground && !asm.is_driven[node] {
-                            a.add(r, asm.position[node], scale * d);
+                            a(r, asm.position[node], scale * d);
                         }
                     }
                 }
@@ -249,7 +356,7 @@ impl Netlist {
                     let r = asm.position[dev.source];
                     for (node, d) in entries {
                         if node != ground && !asm.is_driven[node] {
-                            a.add(r, asm.position[node], -scale * d);
+                            a(r, asm.position[node], -scale * d);
                         }
                     }
                 }
@@ -300,7 +407,12 @@ impl Netlist {
         // damped Newton reliably falls into the unique static-CMOS solution.
         let mut x = vec![self.vdd() * 0.5; nf];
         let mut f = vec![0.0; nf];
-        let mut a = DenseMatrix::zeros(nf, nf);
+        let mut delta = vec![0.0; nf];
+        // Newton Jacobian G_UU + ∂I_dev/∂v on the union sparsity pattern:
+        // symbolic factorization once, numeric refactor per iteration.
+        let mut jac_pattern = asm.g_trip.clone();
+        self.device_pattern(asm, &mut jac_pattern);
+        let mut jac = SparseJacobian::new(&jac_pattern);
         let max_iter = 200;
         let mut last_update = f64::INFINITY;
         for iter in 0..max_iter {
@@ -316,16 +428,15 @@ impl Netlist {
                 }
                 f[r] = acc - inj[r];
             }
-            a.clear();
-            for r in 0..nf {
-                for c in 0..nf {
-                    a.add(r, c, asm.g_uu.get(r, c));
-                }
-            }
-            self.device_currents(asm, &x, &w, &mut f, Some((&mut a, 1.0)));
-            let lu = LuFactors::factor(&a)?;
-            let mut delta = f.clone();
-            lu.solve_in_place(&mut delta)?;
+            jac.reset();
+            self.device_currents(
+                asm,
+                &x,
+                &w,
+                &mut f,
+                Some((&mut |r, c, v| jac.add(r, c, v), 1.0)),
+            );
+            jac.solve_into(&f, &mut delta)?;
             // Newton step is x ← x − Δ with per-component damping.
             let mut worst = 0.0f64;
             for i in 0..nf {
@@ -407,22 +518,21 @@ impl Netlist {
         record(&mut voltages, &x, &w_at[0]);
 
         let mut f = vec![0.0; nf];
-        let mut a = DenseMatrix::zeros(nf, nf);
         let mut x_new = x.clone();
         let mut i_new = vec![0.0; nf];
         let mut delta = vec![0.0; nf];
         let mut dev_scratch = vec![0.0; nf];
         // The linear part of the Jacobian, C_UU/h + ½ G_UU, never changes:
-        // precompute it once and reset `a` to it per Newton iteration
-        // instead of re-deriving it element by element.
-        let jac_base = {
-            let mut m = DenseMatrix::zeros(nf, nf);
-            for r in 0..nf {
-                for c in 0..nf {
-                    m.set(r, c, asm.c_uu.get(r, c) / h + 0.5 * asm.g_uu.get(r, c));
-                }
-            }
-            m
+        // stamp it once (together with every device's fixed Jacobian
+        // positions) into the union sparsity pattern, analyze the symbolic
+        // factorization once, and per Newton iteration only reset the
+        // values, stamp the device derivatives and refactor numerically.
+        let mut jac = {
+            let mut pattern = TripletMatrix::new(nf, nf);
+            pattern.extend_scaled(&asm.c_trip, 1.0 / h);
+            pattern.extend_scaled(&asm.g_trip, 0.5);
+            self.device_pattern(&asm, &mut pattern);
+            SparseJacobian::new(&pattern)
         };
 
         for ti in 1..times.len() {
@@ -449,11 +559,16 @@ impl Netlist {
                     }
                     f[r] = acc / h + 0.5 * (i_new[r] + i_old[r]);
                 }
-                a.copy_from(&jac_base)?;
+                jac.reset();
                 dev_scratch.iter_mut().for_each(|v| *v = 0.0);
-                self.device_currents(&asm, &x_new, w_now, &mut dev_scratch, Some((&mut a, 0.5)));
-                let lu = LuFactors::factor(&a)?;
-                lu.solve_into(&f, &mut delta)?;
+                self.device_currents(
+                    &asm,
+                    &x_new,
+                    w_now,
+                    &mut dev_scratch,
+                    Some((&mut |r, c, v| jac.add(r, c, v), 0.5)),
+                );
+                jac.solve_into(&f, &mut delta)?;
                 worst = 0.0;
                 for i in 0..nf {
                     let step = (-delta[i]).clamp(-opts.dv_clamp, opts.dv_clamp);

@@ -68,5 +68,6 @@ pub use engine::{Constraints, Sta};
 pub use error::StaError;
 pub use graph::TimingGraph;
 pub use netlist::{Design, Instance, NetId};
+pub use nsta_circuit::SolverBackend;
 pub use report::{NetTiming, TimingReport};
 pub use si::{ArrivalWindow, CouplingSpec, PrunedAggressor, SiAdjustment, SiAnalysis, SiOptions};

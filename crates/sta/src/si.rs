@@ -99,7 +99,8 @@ use crate::par::par_map;
 use crate::report::TimingReport;
 use crate::StaError;
 use nsta_circuit::{
-    Circuit, FactoredSystem, NodeId as CktNode, RcLineSpec, StarCoupledLines, TransientOptions,
+    Circuit, FactoredSystem, NodeId as CktNode, RcLineSpec, SolverBackend, StarCoupledLines,
+    TransientOptions,
 };
 use nsta_waveform::{Polarity, SaturatedRamp, Thresholds, Waveform};
 use sgdp::gate::{GateModel, TableGate};
@@ -281,6 +282,11 @@ pub struct SiOptions {
     /// instead of each assembling and LU-factoring its own. Disable for
     /// the parity baseline — results are bit-identical either way.
     pub topo_cache: bool,
+    /// Linear-solver backend of every victim reduction (default
+    /// [`SolverBackend::Sparse`]). [`SolverBackend::Dense`] is the parity
+    /// escape hatch: both backends integrate the same trapezoidal system,
+    /// so worst arrivals agree to solver round-off (≪ 1 fs).
+    pub backend: SolverBackend,
 }
 
 impl Default for SiOptions {
@@ -294,6 +300,7 @@ impl Default for SiOptions {
             threads: 1,
             incremental: true,
             topo_cache: true,
+            backend: SolverBackend::Sparse,
         }
     }
 }
@@ -331,6 +338,11 @@ pub struct SiAnalysis {
     pub cache_misses: usize,
     /// Independent fanout cones the sweep was partitioned into.
     pub cones: usize,
+    /// Linear-solver backend the victim reductions ran on.
+    pub solver_backend: SolverBackend,
+    /// Largest factored-system nonzero count observed while assembling
+    /// victim stages, whether or not the topology cache stored them.
+    pub solver_nnz: usize,
 }
 
 /// Outcome of the SI reduction on one victim net.
@@ -445,12 +457,26 @@ struct CachedSystem {
 /// `or_insert` keeps the first) but can make the counters vary run to run.
 #[derive(Debug, Default)]
 struct TopoCache {
+    /// With `enabled` false the cache never stores or serves an entry
+    /// (and hit/miss counters stay at zero) but still collects solver
+    /// statistics — so `solver_nnz` is reported for uncached runs too.
+    enabled: bool,
     systems: Mutex<HashMap<TopoKey, CachedSystem>>,
     hits: AtomicUsize,
     misses: AtomicUsize,
+    /// Largest factored-system nonzero count observed so far — the mesh
+    /// size the solver section of bench reports is keyed on.
+    max_nnz: AtomicUsize,
 }
 
 impl TopoCache {
+    fn new(enabled: bool) -> Self {
+        TopoCache {
+            enabled,
+            ..TopoCache::default()
+        }
+    }
+
     fn lookup(&self, key: &TopoKey) -> Option<CachedSystem> {
         let found = self
             .systems
@@ -473,11 +499,21 @@ impl TopoCache {
             .or_insert(entry);
     }
 
+    /// Records a freshly factored system's nonzero count; called on every
+    /// factorization, cached or not.
+    fn note_nnz(&self, nnz: usize) {
+        self.max_nnz.fetch_max(nnz, Ordering::Relaxed);
+    }
+
     fn stats(&self) -> (usize, usize) {
         (
             self.hits.load(Ordering::Relaxed),
             self.misses.load(Ordering::Relaxed),
         )
+    }
+
+    fn nnz(&self) -> usize {
+        self.max_nnz.load(Ordering::Relaxed)
     }
 }
 
@@ -599,6 +635,7 @@ impl Sta {
         bc: &BoundaryConditions,
         couplings: &[CouplingSpec],
         method: MethodKind,
+        backend: SolverBackend,
         base: &[crate::engine::NetState],
         threads: usize,
         cache: Option<(&mut VictimCache, f64)>,
@@ -618,9 +655,9 @@ impl Sta {
         }
         let cones = self.graph().components().len();
         let (states, mut adjustments) = if cones >= threads.max(1) {
-            self.crosstalk_pass_cones(bc, &spec_of, method, base, threads, cache, topo)?
+            self.crosstalk_pass_cones(bc, &spec_of, method, backend, base, threads, cache, topo)?
         } else {
-            self.crosstalk_pass_levels(bc, &spec_of, method, base, threads, cache, topo)?
+            self.crosstalk_pass_levels(bc, &spec_of, method, backend, base, threads, cache, topo)?
         };
         // Canonical adjustment order, independent of the schedule: each
         // `(net, polarity)` appears at most once per pass.
@@ -638,6 +675,7 @@ impl Sta {
         bc: &BoundaryConditions,
         spec_of: &[Option<&CouplingSpec>],
         method: MethodKind,
+        backend: SolverBackend,
         base: &[crate::engine::NetState],
         threads: usize,
         mut cache: Option<(&mut VictimCache, f64)>,
@@ -702,6 +740,7 @@ impl Sta {
                                         point.slew,
                                         base,
                                         method,
+                                        backend,
                                         topo,
                                     )?;
                                     // Only freshly simulated results enter the
@@ -763,6 +802,7 @@ impl Sta {
         bc: &BoundaryConditions,
         spec_of: &[Option<&CouplingSpec>],
         method: MethodKind,
+        backend: SolverBackend,
         base: &[crate::engine::NetState],
         threads: usize,
         mut cache: Option<(&mut VictimCache, f64)>,
@@ -808,7 +848,7 @@ impl Sta {
                 }
             }
             let results = par_map(threads, &jobs, |&(spec, pol, arrival, slew)| {
-                self.victim_gamma(bc, spec, pol, arrival, slew, base, method, topo)
+                self.victim_gamma(bc, spec, pol, arrival, slew, base, method, backend, topo)
             });
             let mut results = results.into_iter();
             for (net, pol, hit, key) in units {
@@ -887,9 +927,17 @@ impl Sta {
         // Pass 2: sweep again, overriding victim nets as they are reached.
         // The topology cache is always on here (no options to disable it);
         // it cannot change results, only skip redundant factorizations.
-        let topo = TopoCache::default();
-        let (states, adjustments) =
-            self.crosstalk_pass(&bc, couplings, method, &base, 1, None, Some(&topo))?;
+        let topo = TopoCache::new(true);
+        let (states, adjustments) = self.crosstalk_pass(
+            &bc,
+            couplings,
+            method,
+            SolverBackend::default(),
+            &base,
+            1,
+            None,
+            Some(&topo),
+        )?;
         let mask = self.false_edge_mask(&bc);
         let report = self.finish_report(&bc, states, mask.as_ref())?;
         Ok((report, adjustments))
@@ -1011,7 +1059,7 @@ impl Sta {
         // from each input's min/max arrival, so windows reflect genuine
         // constraint-set arrival ranges instead of a single point.
         let base = self.forward_sweep_partitioned(&bc, false, threads)?;
-        let topo = options.topo_cache.then(TopoCache::default);
+        let topo = TopoCache::new(options.topo_cache);
         let cones = self.graph().components().len();
 
         if !options.use_windows {
@@ -1023,13 +1071,15 @@ impl Sta {
                 &bc,
                 couplings,
                 options.method,
+                options.backend,
                 &base,
                 threads,
                 cache_ref,
-                topo.as_ref(),
+                Some(&topo),
             )?;
             let report = self.finish_report(&bc, states, mask)?;
-            let (cache_hits, cache_misses) = topo.as_ref().map_or((0, 0), TopoCache::stats);
+            let (cache_hits, cache_misses) = topo.stats();
+            let solver_nnz = topo.nnz();
             return Ok(SiAnalysis {
                 report,
                 adjustments,
@@ -1039,6 +1089,8 @@ impl Sta {
                 cache_hits,
                 cache_misses,
                 cones,
+                solver_backend: options.backend,
+                solver_nnz,
             });
         }
 
@@ -1073,10 +1125,11 @@ impl Sta {
                 &bc,
                 &filtered,
                 options.method,
+                options.backend,
                 &base,
                 threads,
                 cache_ref,
-                topo.as_ref(),
+                Some(&topo),
             )?;
             let report = self.finish_report(&bc, states, mask)?;
             windows = self.windows_from(&min_states, &report);
@@ -1094,6 +1147,8 @@ impl Sta {
                 cache_hits: 0,
                 cache_misses: 0,
                 cones,
+                solver_backend: options.backend,
+                solver_nnz: 0,
             });
             // Secondary stop: windows that barely moved cannot change the
             // overlap decisions by more than the tolerance.
@@ -1107,9 +1162,10 @@ impl Sta {
         analysis.iterations = iterations;
         // Cache statistics accumulate across iterations; fill them once on
         // the surviving analysis.
-        let (cache_hits, cache_misses) = topo.as_ref().map_or((0, 0), TopoCache::stats);
+        let (cache_hits, cache_misses) = topo.stats();
         analysis.cache_hits = cache_hits;
         analysis.cache_misses = cache_misses;
+        analysis.solver_nnz = topo.nnz();
         Ok(analysis)
     }
 
@@ -1127,6 +1183,7 @@ impl Sta {
         victim_slew: f64,
         base: &[crate::engine::NetState],
         method: MethodKind,
+        backend: SolverBackend,
         topo: Option<&TopoCache>,
     ) -> Result<(SaturatedRamp, f64), StaError> {
         let th = Thresholds::cmos(self.library().voltage);
@@ -1209,7 +1266,9 @@ impl Sta {
         // One factorization serves the noisy/noiseless pair — and, via the
         // topology cache, every other reduction with the same signature:
         // assemble and LU-factor only on a miss.
-        let key = topo.map(|_| TopoKey::new(dt, steps, spec, &victim_line, load));
+        let key = topo
+            .filter(|t| t.enabled)
+            .map(|_| TopoKey::new(dt, steps, spec, &victim_line, load));
         let entry = match key
             .as_ref()
             .and_then(|k| topo.expect("key implies cache").lookup(k))
@@ -1245,7 +1304,12 @@ impl Sta {
                     far
                 };
                 ckt.capacitor(victim_far, Circuit::GROUND, load)?;
-                let system = ckt.factor_transient(TransientOptions::new(0.0, t_stop, dt)?)?;
+                let system = ckt.factor_transient(
+                    TransientOptions::new(0.0, t_stop, dt)?.with_backend(backend),
+                )?;
+                if let Some(t) = topo {
+                    t.note_nnz(system.nnz());
+                }
                 let entry = CachedSystem {
                     system: Arc::new(system),
                     victim_far,
@@ -1542,6 +1606,49 @@ mod tests {
         assert!(!analysis.adjustments.is_empty());
         assert!(analysis.iterations >= 1);
         assert!(analysis.converged, "small designs reach the fixed point");
+    }
+
+    #[test]
+    fn dense_backend_matches_sparse_within_solver_roundoff() {
+        // Both backends integrate the identical trapezoidal system; only
+        // storage and elimination order differ, so every victim arrival
+        // must agree to solver round-off — the contract the spefbus
+        // `--dense-solver` parity gate enforces at scale (1e-6 ps).
+        let sta = Sta::new(windowed_design(), lib().clone()).unwrap();
+        let c = Constraints::default();
+        let spec = two_aggressor_spec(&sta);
+        let sparse = sta
+            .analyze_with_crosstalk_windows(c, std::slice::from_ref(&spec), &SiOptions::default())
+            .unwrap();
+        let dense = sta
+            .analyze_with_crosstalk_windows(
+                c,
+                &[spec],
+                &SiOptions {
+                    backend: SolverBackend::Dense,
+                    ..SiOptions::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(sparse.solver_backend, SolverBackend::Sparse);
+        assert_eq!(dense.solver_backend, SolverBackend::Dense);
+        // The sparse run factored real victim stages: nnz is populated and
+        // far below the dense n² of the same mesh.
+        assert!(sparse.solver_nnz > 0);
+        assert!(dense.solver_nnz > sparse.solver_nnz);
+        for (a, b) in sparse.report.nets().iter().zip(dense.report.nets()) {
+            for (pa, pb) in [(&a.rise, &b.rise), (&a.fall, &b.fall)] {
+                if let (Some(pa), Some(pb)) = (pa.as_ref(), pb.as_ref()) {
+                    assert!(
+                        (pa.arrival - pb.arrival).abs() < 1e-18,
+                        "net {:?}: sparse {:e} vs dense {:e}",
+                        a.net,
+                        pa.arrival,
+                        pb.arrival
+                    );
+                }
+            }
+        }
     }
 
     #[test]
