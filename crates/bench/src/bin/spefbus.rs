@@ -43,8 +43,27 @@
 //! N RC segments (same totals), growing the per-victim mesh — the axis on
 //! which the sparse backend's asymptotic advantage shows.
 //!
+//! Observability: `--trace FILE` re-runs the windowed analysis with the
+//! `nsta-obs` recorder enabled and writes a Chrome trace-event JSON
+//! (loadable in Perfetto / `chrome://tracing`) with per-phase, per-cone
+//! and per-iteration spans; `--metrics` merges the flat counter/gauge
+//! snapshot into the JSON report as a `metrics` section. Either flag also
+//! arms the observability gates: the instrumented run must be
+//! bit-identical to the uninstrumented one and its windowed-phase time
+//! within the 5% overhead budget (with a 10 ms absolute floor so a few-ms
+//! CI run is not failed on scheduler noise) — both recorded in the `obs`
+//! JSON section and enforced like every other parity check.
+//!
+//! A capped fixed point is not silent: non-convergence prints a warning
+//! with the final window delta, and `--strict-converge` turns it into
+//! exit code 3. The JSON artifact and the trace are written to a temp
+//! file and atomically renamed into place (and any pre-existing artifact
+//! is removed up front), so a panic mid-analysis cannot leave a stale or
+//! partial report from a prior run on disk.
+//!
 //! Usage: `spefbus [--groups N] [--threads N] [--segments N] [--sdc FILE]
-//! [--json PATH] [--no-topo-cache] [--dense-solver]`
+//! [--json PATH] [--trace FILE] [--metrics] [--strict-converge]
+//! [--no-topo-cache] [--dense-solver]`
 
 use nsta_bench::json::Json;
 use nsta_bench::microbench;
@@ -169,7 +188,24 @@ fn spef(groups: usize, segments: usize) -> SpefFile {
 }
 
 const USAGE: &str = "usage: spefbus [--groups N] [--threads N] [--segments N] \
-[--sdc FILE] [--json PATH] [--no-topo-cache] [--dense-solver]";
+[--sdc FILE] [--json PATH] [--trace FILE] [--metrics] [--strict-converge] \
+[--no-topo-cache] [--dense-solver]";
+
+/// Writes `contents` to `path` atomically: temp file in the same
+/// directory, then rename. A crash between the two leaves either the old
+/// artifact (already removed up front in `main`) or nothing — never a
+/// partial file at the target path.
+fn write_atomic(path: &str, contents: &str) {
+    let tmp = format!("{path}.tmp");
+    std::fs::write(&tmp, contents).unwrap_or_else(|e| {
+        eprintln!("spefbus: cannot write {tmp}: {e}");
+        std::process::exit(1);
+    });
+    std::fs::rename(&tmp, path).unwrap_or_else(|e| {
+        eprintln!("spefbus: cannot rename {tmp} into {path}: {e}");
+        std::process::exit(1);
+    });
+}
 
 /// A path-valued flag's operand: missing is a usage error (exit 2), never
 /// a silent fallback to the default.
@@ -208,6 +244,9 @@ fn main() {
     let mut segments = 3usize;
     let mut sdc_path: Option<String> = None;
     let mut json_path = String::from("BENCH_spefbus.json");
+    let mut trace_path: Option<String> = None;
+    let mut metrics = false;
+    let mut strict_converge = false;
     let mut topo_cache = true;
     let mut backend = SolverBackend::Sparse;
     let mut args = std::env::args().skip(1);
@@ -218,6 +257,9 @@ fn main() {
             "--segments" => segments = numeric_flag("--segments", args.next()).max(1),
             "--sdc" => sdc_path = Some(string_flag("--sdc", args.next())),
             "--json" => json_path = string_flag("--json", args.next()),
+            "--trace" => trace_path = Some(string_flag("--trace", args.next())),
+            "--metrics" => metrics = true,
+            "--strict-converge" => strict_converge = true,
             "--no-topo-cache" => topo_cache = false,
             "--dense-solver" => backend = SolverBackend::Dense,
             other => {
@@ -228,6 +270,21 @@ fn main() {
         }
     }
     let threads = threads.max(1);
+    // Artifacts from a previous run come off disk before any analysis: a
+    // panic below must not leave a stale green-looking report behind (the
+    // new artifacts are written atomically at the end).
+    let _ = std::fs::remove_file(&json_path);
+    if let Some(tp) = &trace_path {
+        let _ = std::fs::remove_file(tp);
+    }
+    // Observability: parse/bind spans record up front; the analysis spans
+    // come from a dedicated instrumented re-run after the uninstrumented
+    // baselines (so the overhead budget is measured against clean runs).
+    let observe = trace_path.is_some() || metrics;
+    let rec = nsta_obs::recorder();
+    if observe {
+        rec.enable();
+    }
     // Every analysis below starts from this base so one flag switches the
     // whole run between cached and uncached operation (and another between
     // the sparse and dense transient backends).
@@ -264,6 +321,12 @@ fn main() {
         bound.specs.len(),
     );
 
+    if observe {
+        // Baselines below must run uninstrumented: they are the reference
+        // side of the bit-parity and overhead-budget gates.
+        rec.disable();
+    }
+
     let sta = Sta::new(design, lib).expect("sta");
     let c = Constraints::default();
 
@@ -273,6 +336,25 @@ fn main() {
         .analyze_with_crosstalk_windows(c, &bound.specs, &base_opts)
         .expect("windowed analysis");
     let filtered_time = t.elapsed();
+    // A capped fixed point that never settled is a result quality issue,
+    // not just a statistic: say so loudly, and under --strict-converge
+    // refuse to bless the run at all.
+    if !filtered.converged() {
+        eprintln!(
+            "warning: windowed fixed point hit the iteration cap without converging \
+             (final window delta {:.3} ps after {} iteration(s))",
+            filtered
+                .diagnostics
+                .final_window_delta()
+                .unwrap_or(f64::NAN)
+                * 1e12,
+            filtered.iterations(),
+        );
+        if strict_converge {
+            eprintln!("--strict-converge: treating non-convergence as fatal");
+            std::process::exit(3);
+        }
+    }
     // Same analysis with the victim cache disabled: every fixed-point
     // iteration re-simulates every victim. The gap to `filtered_time` is
     // what the incremental fixed point buys.
@@ -429,12 +511,57 @@ fn main() {
         ));
     }
 
+    // Observability A/B: repeat the production windowed analysis with the
+    // recorder live. Recording must not perturb the analysis (bit
+    // parity against the clean baseline) and must stay inside the
+    // overhead budget: ≤5% over the matching uninstrumented run, with a
+    // 10 ms absolute floor so a few-millisecond CI run is not failed on
+    // scheduler noise.
+    let obs_run = observe.then(|| {
+        rec.enable();
+        let t = Instant::now();
+        let instrumented = sta
+            .analyze_with_crosstalk_windows(
+                c,
+                &bound.specs,
+                &SiOptions {
+                    threads,
+                    ..base_opts
+                },
+            )
+            .expect("instrumented analysis");
+        let instrumented_time = t.elapsed();
+        rec.disable();
+        let baseline = if threads > 1 {
+            threaded_time.unwrap_or(filtered_time)
+        } else {
+            filtered_time
+        };
+        let bit_identical = instrumented.report == filtered.report
+            && instrumented.adjustments == filtered.adjustments;
+        if !bit_identical {
+            parity_failures
+                .push("instrumented report differs from the uninstrumented report".into());
+        }
+        let ratio = instrumented_time.as_secs_f64() / baseline.as_secs_f64().max(1e-12);
+        let budget_ok = ratio <= 1.05
+            || instrumented_time.saturating_sub(baseline) <= std::time::Duration::from_millis(10);
+        if !budget_ok {
+            parity_failures.push(format!(
+                "instrumentation overhead {:.1}% exceeds the 5% budget \
+                 ({instrumented_time:.2?} instrumented vs {baseline:.2?} baseline)",
+                (ratio - 1.0) * 100.0
+            ));
+        }
+        (instrumented_time, baseline, ratio, budget_ok, bit_identical)
+    });
+
     println!(
         "window-filtered: {} pruned aggressor(s), {} iteration(s), converged {}, \
          worst arrival {:.1} ps, {filtered_time:.2?}",
         filtered.pruned.len(),
-        filtered.iterations,
-        filtered.converged,
+        filtered.iterations(),
+        filtered.converged(),
         filtered.report.worst_arrival() * 1e12,
     );
     println!(
@@ -447,11 +574,13 @@ fn main() {
         println!("threads={threads}:       bit-identical result, {threaded:.2?}");
     }
     if let Some(uncached) = no_cache_time {
-        let total = filtered.cache_hits + filtered.cache_misses;
+        let total = filtered.cache_hits() + filtered.cache_misses();
         println!(
             "topo cache:      {}/{} hits over {} cones, bit-identical to uncached \
              ({uncached:.2?} without the cache)",
-            filtered.cache_hits, total, filtered.cones,
+            filtered.cache_hits(),
+            total,
+            filtered.cones(),
         );
     }
     if let Some((dense_time, delta)) = &dense_run {
@@ -460,13 +589,21 @@ fn main() {
              (sparse backend is {:.2}x faster, nnz {})",
             delta * 1e12,
             dense_time.as_secs_f64() / filtered_time.as_secs_f64().max(1e-12),
-            filtered.solver_nnz,
+            filtered.solver_nnz(),
+        );
+    }
+    if let Some((instrumented_time, baseline, ratio, _, _)) = &obs_run {
+        println!(
+            "instrumented:    bit-identical result, {instrumented_time:.2?} \
+             ({:+.1}% vs {baseline:.2?} uninstrumented, {} trace event(s))",
+            (ratio - 1.0) * 100.0,
+            rec.event_count(),
         );
     }
     println!(
         "unfiltered:      0 pruned aggressor(s), {} iteration(s), worst arrival {:.1} ps, \
          {unfiltered_time:.2?}",
-        unfiltered.iterations,
+        unfiltered.iterations(),
         unfiltered.report.worst_arrival() * 1e12,
     );
     if let Some((analysis, bound_sdc, elapsed)) = &sdc_run {
@@ -476,7 +613,7 @@ fn main() {
             "sdc-windowed:    {} pruned aggressor(s) ({delta:+} vs uniform), {} iteration(s), \
              clock {:.1} ns, worst slack {}, {elapsed:.2?}",
             analysis.pruned.len(),
-            analysis.iterations,
+            analysis.iterations(),
             bound_sdc.clock_period().unwrap_or(f64::NAN) * 1e9,
             if slack.is_finite() {
                 format!("{:.1} ps", slack * 1e12)
@@ -528,7 +665,7 @@ fn main() {
             "solver",
             Json::obj([
                 ("backend", Json::str(backend.name())),
-                ("nnz", Json::from(filtered.solver_nnz)),
+                ("nnz", Json::from(filtered.solver_nnz())),
                 (
                     "parity_vs_dense",
                     if dense_run.is_some() {
@@ -551,18 +688,18 @@ fn main() {
             "cache",
             Json::obj([
                 ("enabled", Json::from(topo_cache)),
-                ("hits", Json::from(filtered.cache_hits)),
-                ("misses", Json::from(filtered.cache_misses)),
+                ("hits", Json::from(filtered.cache_hits())),
+                ("misses", Json::from(filtered.cache_misses())),
                 (
                     "hit_rate",
-                    match filtered.cache_hits + filtered.cache_misses {
+                    match filtered.cache_hits() + filtered.cache_misses() {
                         0 => Json::Null,
                         total => Json::Num(
-                            (1e3 * filtered.cache_hits as f64 / total as f64).round() / 1e3,
+                            (1e3 * filtered.cache_hits() as f64 / total as f64).round() / 1e3,
                         ),
                     },
                 ),
-                ("cones", Json::from(filtered.cones)),
+                ("cones", Json::from(filtered.cones())),
                 (
                     "parity_vs_no_cache",
                     if no_cache_time.is_some() {
@@ -576,19 +713,46 @@ fn main() {
         (
             "windowed",
             Json::obj([
-                ("iterations", Json::from(filtered.iterations)),
+                ("iterations", Json::from(filtered.iterations())),
                 ("pruned_aggressors", Json::from(filtered.pruned.len())),
-                ("converged", Json::from(filtered.converged)),
+                ("converged", Json::from(filtered.converged())),
+                (
+                    "final_window_delta_ps",
+                    filtered
+                        .diagnostics
+                        .final_window_delta()
+                        .map_or(Json::Null, |d| Json::Num(d * 1e12)),
+                ),
                 (
                     "worst_arrival_ps",
                     Json::Num(filtered.report.worst_arrival() * 1e12),
+                ),
+                // The convergence trace: one record per executed
+                // fixed-point pass, straight from SiDiagnostics.
+                (
+                    "convergence",
+                    Json::Arr(
+                        filtered
+                            .diagnostics
+                            .iterations
+                            .iter()
+                            .map(|it| {
+                                Json::obj([
+                                    ("victims_recomputed", Json::from(it.victims_recomputed)),
+                                    ("victims_cached", Json::from(it.victims_cached)),
+                                    ("aggressors_pruned", Json::from(it.aggressors_pruned)),
+                                    ("max_window_delta_ps", Json::Num(it.max_window_delta * 1e12)),
+                                ])
+                            })
+                            .collect(),
+                    ),
                 ),
             ]),
         ),
         (
             "unfiltered",
             Json::obj([
-                ("iterations", Json::from(unfiltered.iterations)),
+                ("iterations", Json::from(unfiltered.iterations())),
                 (
                     "worst_arrival_ps",
                     Json::Num(unfiltered.report.worst_arrival() * 1e12),
@@ -607,7 +771,7 @@ fn main() {
                             .clock_period()
                             .map_or(Json::Null, |p| Json::Num(p * 1e9)),
                     ),
-                    ("iterations", Json::from(analysis.iterations)),
+                    ("iterations", Json::from(analysis.iterations())),
                     ("pruned_aggressors", Json::from(analysis.pruned.len())),
                     (
                         "pruning_delta_vs_uniform",
@@ -650,9 +814,51 @@ fn main() {
                 ),
             ]),
         ),
+        (
+            "obs",
+            match &obs_run {
+                // A budget/parity failure never reaches this point (the
+                // run exits nonzero above), so these flags archive the
+                // gate as passed — CI re-asserts them anyway.
+                Some((instrumented_time, baseline, ratio, budget_ok, bit_identical)) => {
+                    Json::obj([
+                        ("instrumented_ms", ms(*instrumented_time)),
+                        ("baseline_ms", ms(*baseline)),
+                        ("overhead_ratio", Json::Num((ratio * 1e4).round() / 1e4)),
+                        ("overhead_budget_ok", Json::from(*budget_ok)),
+                        ("bit_identical", Json::from(*bit_identical)),
+                        ("trace_events", Json::from(rec.event_count())),
+                    ])
+                }
+                None => Json::Null,
+            },
+        ),
+        // The flat counter/gauge snapshot, keys sorted. Dynamic keys, so
+        // this builds Json::Obj directly instead of going through
+        // Json::obj's static-str convenience.
+        (
+            "metrics",
+            if metrics {
+                Json::Obj(
+                    rec.metrics()
+                        .values
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::Num(*v)))
+                        .collect(),
+                )
+            } else {
+                Json::Null
+            },
+        ),
     ]);
-    std::fs::write(&json_path, report.render() + "\n").expect("write JSON report");
+    write_atomic(&json_path, &(report.render() + "\n"));
     println!("wrote {json_path}");
+    if let Some(tp) = &trace_path {
+        // pid 1: one analysis process per trace. Worker threads appear
+        // as distinct tids in first-use order.
+        write_atomic(tp, &rec.chrome_trace(1));
+        println!("wrote {tp} ({} event(s))", rec.event_count());
+    }
 
     // Per-iteration cost of the production mode, measured properly.
     if groups <= 8 {

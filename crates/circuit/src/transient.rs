@@ -396,7 +396,7 @@ impl Circuit {
             .map(|s| (position[s.node], s.waveform.clone()))
             .collect();
 
-        Ok(FactoredSystem {
+        let system = FactoredSystem {
             opts,
             times,
             n,
@@ -410,7 +410,10 @@ impl Circuit {
             factors,
             default_sources,
             injections,
-        })
+        };
+        nsta_obs::count!("circuit.transient.factorizations");
+        nsta_obs::recorder().gauge_max("circuit.transient.max_nnz", system.nnz() as f64);
+        Ok(system)
     }
 }
 
@@ -562,6 +565,10 @@ impl FactoredSystem {
         }
         let (nf, nd) = (self.nf, self.nd);
         let nt = self.times.len();
+        // One bump per sweep, not per step — the disabled path stays a
+        // single branch outside the integration loop.
+        nsta_obs::count!("circuit.transient.sweeps");
+        nsta_obs::count!("circuit.transient.steps", nt);
         let h = self.opts.dt;
 
         // Known node voltages at every time point (time-major: one row of

@@ -127,6 +127,8 @@ pub fn bind_sdc(
     design: &Design,
     defaults: &Constraints,
 ) -> Result<SdcBinding, SdcError> {
+    let mut span = nsta_obs::span!("constraints.bind_sdc");
+    span.set_arg("commands", sdc.commands.len() as f64);
     // Pass 1: clocks (so later commands can reference them regardless of
     // declaration order).
     let mut clocks: Vec<BoundClock> = Vec::new();

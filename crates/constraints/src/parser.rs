@@ -363,6 +363,8 @@ impl P {
 /// [`SdcError::Semantic`] for syntactically valid but unusable values
 /// (non-positive period or transition, negative load).
 pub fn parse_sdc(text: &str) -> Result<SdcFile, SdcError> {
+    let mut span = nsta_obs::span!("constraints.parse_sdc");
+    span.set_arg("bytes", text.len() as f64);
     let mut p = P {
         toks: tokenize(text)?,
         pos: 0,

@@ -569,6 +569,10 @@ impl SparseLu {
         lu.l_cols_orig = lu.l_cols.iter().map(|&c| lu.perm[c]).collect();
         lu.u_cols_orig = lu.u_cols.iter().map(|&c| lu.perm[c]).collect();
         lu.refactor(a)?;
+        // Full symbolic-plus-numeric factorizations, as opposed to the
+        // pattern-reusing `refactors` counter (which also ticks once here).
+        nsta_obs::count!("numeric.sparse_lu.factors");
+        nsta_obs::recorder().gauge_max("numeric.sparse_lu.max_factor_nnz", lu.factor_nnz() as f64);
         Ok(lu)
     }
 
@@ -697,6 +701,7 @@ impl SparseLu {
                 w[c] = 0.0;
             }
         }
+        nsta_obs::count!("numeric.sparse_lu.refactors");
         Ok(())
     }
 

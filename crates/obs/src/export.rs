@@ -1,0 +1,163 @@
+//! Exporters: Chrome trace-event JSON and the flat metrics snapshot.
+
+use crate::recorder::{EventKind, Recorder, TraceEvent};
+
+impl Recorder {
+    /// Renders the event buffer as a Chrome trace-event JSON array.
+    ///
+    /// Complete spans become `ph: "X"` records, instants `ph: "i"` with
+    /// thread scope. Timestamps are microseconds rebased so the earliest
+    /// event starts at 0; `pid` is the caller's analysis id and `tid` the
+    /// recording thread (first-use order). The output loads directly in
+    /// Perfetto or `chrome://tracing`.
+    pub fn chrome_trace(&self, pid: u64) -> String {
+        let events = self.events_snapshot();
+        let base_ns = events.iter().map(|e| e.ts_ns).min().unwrap_or(0);
+        let mut out = String::with_capacity(64 + events.len() * 96);
+        out.push('[');
+        for (i, event) in events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('\n');
+            write_event(&mut out, event, pid, base_ns);
+        }
+        out.push_str("\n]\n");
+        out
+    }
+}
+
+fn write_event(out: &mut String, event: &TraceEvent, pid: u64, base_ns: u64) {
+    out.push_str("{\"name\":\"");
+    escape_into(out, &event.name);
+    out.push_str("\",\"cat\":\"");
+    escape_into(out, event.cat);
+    out.push_str("\",\"ph\":\"");
+    match event.kind {
+        EventKind::Complete { .. } => out.push('X'),
+        EventKind::Instant => out.push('i'),
+    }
+    out.push_str("\",\"ts\":");
+    push_micros(out, event.ts_ns - base_ns);
+    if let EventKind::Complete { dur_ns } = event.kind {
+        out.push_str(",\"dur\":");
+        push_micros(out, dur_ns);
+    }
+    if matches!(event.kind, EventKind::Instant) {
+        out.push_str(",\"s\":\"t\"");
+    }
+    out.push_str(",\"pid\":");
+    out.push_str(&pid.to_string());
+    out.push_str(",\"tid\":");
+    out.push_str(&event.tid.to_string());
+    if !event.args.is_empty() {
+        out.push_str(",\"args\":{");
+        for (j, (key, value)) in event.args.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            escape_into(out, key);
+            out.push_str("\":");
+            push_f64(out, *value);
+        }
+        out.push('}');
+    }
+    out.push('}');
+}
+
+/// Nanoseconds → microseconds with fractional part, no trailing zeros
+/// beyond what's needed (integers render bare: `12`, not `12.0`).
+fn push_micros(out: &mut String, ns: u64) {
+    let whole = ns / 1_000;
+    let frac = ns % 1_000;
+    out.push_str(&whole.to_string());
+    if frac != 0 {
+        let frac_str = format!("{frac:03}");
+        let trimmed = frac_str.trim_end_matches('0');
+        out.push('.');
+        out.push_str(trimmed);
+    }
+}
+
+fn push_f64(out: &mut String, value: f64) {
+    if !value.is_finite() {
+        out.push_str("null");
+    } else if value == value.trunc() && value.abs() < 1e15 {
+        out.push_str(&(value as i64).to_string());
+    } else {
+        out.push_str(&value.to_string());
+    }
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Recorder;
+
+    /// Golden test: fake clock pins every timestamp, so the exported JSON
+    /// is byte-exact.
+    #[test]
+    fn chrome_trace_golden_with_fake_clock() {
+        let rec = Recorder::new();
+        rec.enable();
+        rec.use_fake_clock(1_500); // 1.5 µs per reading
+        {
+            let mut outer = rec.span_cat("sta", "windowed"); // start 0
+            outer.set_arg("cones", 3.0);
+            rec.instant("si.iteration", &[("moved", 0.25)]); // ts 1500
+                                                             // outer drop reads the clock once more: end 3000
+        }
+        let trace = rec.chrome_trace(7);
+        let expected = "[\n\
+            {\"name\":\"si.iteration\",\"cat\":\"instant\",\"ph\":\"i\",\"ts\":1.5,\"s\":\"t\",\"pid\":7,\"tid\":0,\"args\":{\"moved\":0.25}},\n\
+            {\"name\":\"windowed\",\"cat\":\"sta\",\"ph\":\"X\",\"ts\":0,\"dur\":3,\"pid\":7,\"tid\":0,\"args\":{\"cones\":3}}\n\
+            ]\n";
+        assert_eq!(trace, expected);
+    }
+
+    #[test]
+    fn chrome_trace_rebases_to_earliest_event() {
+        let rec = Recorder::new();
+        rec.enable();
+        rec.use_fake_clock(1_000);
+        let _ = rec.now_ns_for_test(); // burn 0 so the first span starts late
+        {
+            let _span = rec.span("late"); // start 1000, end 2000
+        }
+        let trace = rec.chrome_trace(1);
+        assert!(trace.contains("\"ts\":0"), "trace not rebased: {trace}");
+    }
+
+    #[test]
+    fn chrome_trace_escapes_names() {
+        let rec = Recorder::new();
+        rec.enable();
+        rec.use_fake_clock(1);
+        {
+            let _span = rec.span(String::from("quote\"back\\slash"));
+        }
+        let trace = rec.chrome_trace(1);
+        assert!(trace.contains(r#"quote\"back\\slash"#), "{trace}");
+    }
+
+    #[test]
+    fn empty_recorder_exports_an_empty_array() {
+        let rec = Recorder::new();
+        let trace = rec.chrome_trace(1);
+        assert_eq!(trace, "[\n]\n");
+    }
+}

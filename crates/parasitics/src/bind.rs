@@ -85,6 +85,8 @@ pub fn bind_couplings(
     design: &Design,
     opts: &BindOptions,
 ) -> Result<BoundCouplings, SpefError> {
+    let mut span = nsta_obs::span!("parasitics.bind_couplings");
+    span.set_arg("nets", spef.nets.len() as f64);
     let reduced = reduce_spef(spef);
     let by_name: HashMap<&str, &ReducedNet> =
         reduced.iter().map(|r| (r.name.as_str(), r)).collect();

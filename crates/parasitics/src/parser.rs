@@ -20,6 +20,8 @@ use std::collections::HashMap;
 /// or [`SpefError::Semantic`] for valid syntax the model cannot express
 /// (duplicate nets, unknown name-map indices, bad units).
 pub fn parse_spef(text: &str) -> Result<SpefFile, SpefError> {
+    let mut span = nsta_obs::span!("parasitics.parse_spef");
+    span.set_arg("bytes", text.len() as f64);
     Parser::new(tokenize(text)?).file()
 }
 

@@ -277,6 +277,10 @@ impl Sta {
         threads: usize,
     ) -> Result<Vec<NetState>, StaError> {
         let components = self.graph.components();
+        let mut sweep_span = nsta_obs::span!("sta.forward_sweep");
+        sweep_span.set_arg("minimize", minimize as u8 as f64);
+        sweep_span.set_arg("threads", threads.max(1) as f64);
+        sweep_span.set_arg("cones", components.len() as f64);
         if components.len() < threads.max(1) {
             let mut states = self.init_states(bc, minimize);
             for level in self.graph.levels() {
@@ -291,6 +295,8 @@ impl Sta {
         }
         let seed = self.init_states(bc, minimize);
         let outcomes = crate::par::par_map(threads, components, |cone| {
+            let mut cone_span = nsta_obs::span!("sta.sweep_cone");
+            cone_span.set_arg("nets", cone.len() as f64);
             let mut local: Vec<NetState> = cone.iter().map(|&net| seed[net.0]).collect();
             for (j, &net) in cone.iter().enumerate() {
                 let updated = self.propagate_net_with(

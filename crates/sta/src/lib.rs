@@ -70,4 +70,19 @@ pub use graph::TimingGraph;
 pub use netlist::{Design, Instance, NetId};
 pub use nsta_circuit::SolverBackend;
 pub use report::{NetTiming, TimingReport};
-pub use si::{ArrivalWindow, CouplingSpec, PrunedAggressor, SiAdjustment, SiAnalysis, SiOptions};
+pub use si::{
+    ArrivalWindow, CouplingSpec, PrunedAggressor, SiAdjustment, SiAnalysis, SiDiagnostics,
+    SiIteration, SiOptions,
+};
+
+/// Serializes tests that enable the process-wide [`nsta_obs`] recorder:
+/// `si` and `par` tests share one test binary, and cargo runs them on
+/// concurrent threads, so toggling the global recorder without this lock
+/// would leak events between tests.
+#[cfg(test)]
+pub(crate) fn obs_test_guard() -> std::sync::MutexGuard<'static, ()> {
+    static GUARD: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    GUARD
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}

@@ -37,15 +37,42 @@ where
     }
     let next = AtomicUsize::new(0);
     let mut tagged: Vec<(usize, R)> = Vec::with_capacity(items.len());
+    // Observability: one span per worker lifetime with busy/idle args.
+    // `observe` is sampled once per pool so the hot pull loop pays zero
+    // extra branches when recording is off.
+    let observe = nsta_obs::recorder().is_enabled();
+    let mut pool_span = nsta_obs::span!("par.pool");
+    pool_span.set_arg("workers", workers as f64);
+    pool_span.set_arg("items", items.len() as f64);
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 scope.spawn(|| {
+                    let mut worker_span = nsta_obs::span!("par.worker");
+                    let spawned = observe.then(std::time::Instant::now);
+                    let mut busy_ns = 0u128;
                     let mut local = Vec::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         let Some(item) = items.get(i) else { break };
-                        local.push((i, f(item)));
+                        if observe {
+                            let t0 = std::time::Instant::now();
+                            local.push((i, f(item)));
+                            busy_ns += t0.elapsed().as_nanos();
+                        } else {
+                            local.push((i, f(item)));
+                        }
+                    }
+                    if let Some(spawned) = spawned {
+                        let lifetime_ns = spawned.elapsed().as_nanos();
+                        worker_span.set_arg("items", local.len() as f64);
+                        worker_span.set_arg("busy_us", busy_ns as f64 / 1_000.0);
+                        // Time the worker spent outside `f`: queue pulls,
+                        // allocation, and (dominantly) waiting to be
+                        // scheduled while other workers drained the queue.
+                        worker_span
+                            .set_arg("idle_us", lifetime_ns.saturating_sub(busy_ns) as f64 / 1e3);
+                        nsta_obs::count!("par.items_processed", local.len());
                     }
                     local
                 })
@@ -100,6 +127,30 @@ mod tests {
         // Two items, many threads — exercises the 2-worker path.
         let pair = [1u64, 2];
         assert_eq!(par_map(200, &pair, |&i| i * 3), vec![3, 6]);
+    }
+
+    #[test]
+    fn global_counters_are_exact_under_the_worker_pool() {
+        // Four workers hammering one named counter must lose no update:
+        // the per-counter cell is atomic, the registry lock only resolves
+        // the name.
+        let _guard = crate::obs_test_guard();
+        let rec = nsta_obs::recorder();
+        rec.reset();
+        rec.enable();
+        let items: Vec<u64> = (0..10_000).collect();
+        let out = par_map(4, &items, |&i| {
+            nsta_obs::count!("par.test.bumps");
+            i
+        });
+        rec.disable();
+        let bumps = rec.metrics().get("par.test.bumps");
+        let processed = rec.metrics().get("par.items_processed");
+        rec.reset();
+        assert_eq!(out.len(), items.len());
+        assert_eq!(bumps, Some(10_000.0));
+        // The pool's own accounting covers every item exactly once too.
+        assert_eq!(processed, Some(10_000.0));
     }
 
     #[test]
