@@ -61,9 +61,22 @@
 //! is removed up front), so a panic mid-analysis cannot leave a stale or
 //! partial report from a prior run on disk.
 //!
+//! Fault injection: `--inject SPEC` (with `--inject-seed N`) repeats the
+//! windowed analysis with deterministic faults forced into named pipeline
+//! sites — `pivot-loss`, `nan-solve`, `worker-panic`, `cache-poison`,
+//! comma-separated, each optionally `name:count` — under
+//! `FaultPolicy::Isolate`. The run must recover every injected fault
+//! through the degradation machinery (dense retry, halved timestep, cone
+//! retry, lock recovery) and land within the 1e-6 ps parity tolerance of
+//! the clean run; the `faults` JSON section records the injected/recovered
+//! counts, per-site fire counts, degrade events and the parity delta, and
+//! any shortfall is a parity failure (exit 1). The clean analyses are
+//! never run with injection armed, so all non-`faults` sections stay
+//! bit-identical to an uninjected run.
+//!
 //! Usage: `spefbus [--groups N] [--threads N] [--segments N] [--sdc FILE]
 //! [--json PATH] [--trace FILE] [--metrics] [--strict-converge]
-//! [--no-topo-cache] [--dense-solver]`
+//! [--no-topo-cache] [--dense-solver] [--inject SPEC] [--inject-seed N]`
 
 use nsta_bench::json::Json;
 use nsta_bench::microbench;
@@ -72,7 +85,7 @@ use nsta_liberty::characterize::{inverter_family, Options};
 use nsta_parasitics::ast::{CapElem, DNet, SpefFile, SpefNode, Units};
 use nsta_parasitics::{bind_couplings, parse_spef, write_spef, BindOptions};
 use nsta_spice::Process;
-use nsta_sta::{verilog, Constraints, SiOptions, SolverBackend, Sta};
+use nsta_sta::{verilog, Constraints, DegradeAction, FaultPolicy, SiOptions, SolverBackend, Sta};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -189,7 +202,44 @@ fn spef(groups: usize, segments: usize) -> SpefFile {
 
 const USAGE: &str = "usage: spefbus [--groups N] [--threads N] [--segments N] \
 [--sdc FILE] [--json PATH] [--trace FILE] [--metrics] [--strict-converge] \
-[--no-topo-cache] [--dense-solver]";
+[--no-topo-cache] [--dense-solver] [--inject SPEC] [--inject-seed N] [--help]";
+
+const HELP: &str = "SPEF-driven crosstalk STA workload with built-in parity gates.
+
+flags:
+  --groups N          victim/aggressor groups to generate (default 8)
+  --threads N         worker threads for the pooled runs (default 1)
+  --segments N        RC segments per victim wire (default 3)
+  --sdc FILE          bind an SDC constraint set and repeat the analysis
+  --json PATH         JSON report path (default BENCH_spefbus.json)
+  --trace FILE        write a Chrome trace of an instrumented re-run
+  --metrics           merge the counter snapshot into the JSON report
+  --strict-converge   treat fixed-point non-convergence as fatal (exit 3)
+  --no-topo-cache     disable the topology-keyed factorization cache
+  --dense-solver      use the dense partial-pivot transient backend
+  --inject SPEC       force deterministic faults into a recovery run:
+                      comma-separated site names (pivot-loss, nan-solve,
+                      worker-panic, cache-poison), each optionally name:count
+  --inject-seed N     PRNG seed for fault placement (default 1)
+  --help, -h          print this help and exit
+
+exit codes:
+  0   success: all parity gates passed, artifacts written
+  1   parity-gate failure (stale JSON deleted, no new JSON written)
+  2   usage or input error (unknown flag, bad value, unreadable --sdc,
+      malformed --inject spec)
+  3   fixed point failed to converge under --strict-converge";
+
+/// Stable wire names for degrade actions in the JSON report.
+fn action_name(a: DegradeAction) -> &'static str {
+    match a {
+        DegradeAction::DenseRetry => "dense-retry",
+        DegradeAction::HalvedTimestep => "halved-timestep",
+        DegradeAction::ConeRetry => "cone-retry",
+        DegradeAction::LockRecovered => "lock-recovered",
+        DegradeAction::VictimDropped => "victim-dropped",
+    }
+}
 
 /// Writes `contents` to `path` atomically: temp file in the same
 /// directory, then rename. A crash between the two leaves either the old
@@ -249,6 +299,8 @@ fn main() {
     let mut strict_converge = false;
     let mut topo_cache = true;
     let mut backend = SolverBackend::Sparse;
+    let mut inject_spec: Option<String> = None;
+    let mut inject_seed = 1u64;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -262,6 +314,23 @@ fn main() {
             "--strict-converge" => strict_converge = true,
             "--no-topo-cache" => topo_cache = false,
             "--dense-solver" => backend = SolverBackend::Dense,
+            "--inject" => {
+                let spec = string_flag("--inject", args.next());
+                // Validate up front: a typo'd site name is a usage error
+                // (exit 2) before any analysis runs, not a silent no-op
+                // discovered when the faults gate reports zero fires.
+                if let Err(e) = nsta_obs::fault::parse_spec(&spec) {
+                    eprintln!("spefbus: invalid --inject spec {spec:?}: {e}");
+                    eprintln!("{USAGE}");
+                    std::process::exit(2);
+                }
+                inject_spec = Some(spec);
+            }
+            "--inject-seed" => inject_seed = numeric_flag("--inject-seed", args.next()) as u64,
+            "--help" | "-h" => {
+                println!("{USAGE}\n\n{HELP}");
+                std::process::exit(0);
+            }
             other => {
                 eprintln!("spefbus: unknown flag {other:?}");
                 eprintln!("{USAGE}");
@@ -472,15 +541,15 @@ fn main() {
     // set, compared against the uniform-constraint pruning above.
     let sdc_run = sdc_path.as_ref().map(|path| {
         let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
-            eprintln!("cannot read SDC file {path}: {e}");
+            eprintln!("spefbus: cannot read SDC file {path}: {e}");
             std::process::exit(2);
         });
         let sdc = parse_sdc(&text).unwrap_or_else(|e| {
-            eprintln!("cannot parse SDC file {path}: {e}");
+            eprintln!("spefbus: cannot parse SDC file {path}: {e}");
             std::process::exit(2);
         });
         let bound_sdc = bind_sdc(&sdc, sta.design(), &c).unwrap_or_else(|e| {
-            eprintln!("cannot bind SDC file {path} onto the design: {e}");
+            eprintln!("spefbus: cannot bind SDC file {path} onto the design: {e}");
             std::process::exit(2);
         });
         let t = Instant::now();
@@ -556,6 +625,81 @@ fn main() {
         (instrumented_time, baseline, ratio, budget_ok, bit_identical)
     });
 
+    // Fault-injection run: deterministic faults forced into named pipeline
+    // sites, analyzed under FaultPolicy::Isolate. Recovery is gated like
+    // every other parity check: every injected fault must be recovered and
+    // the result must land within the dense-parity tolerance of the clean
+    // run. Injection is armed only around this one analysis, so every
+    // other section of the report stays bit-identical to an uninjected
+    // run.
+    let faults_run = inject_spec.as_ref().and_then(|spec| {
+        // The worker-panic site lives in the cone scheduler's worker
+        // closure; containment (versus plain propagation on the inline
+        // path) needs an actual pool.
+        let inj_threads = if spec.contains("worker-panic") {
+            threads.max(2)
+        } else {
+            threads
+        };
+        nsta_obs::fault::arm(spec, inject_seed).expect("spec validated at parse time");
+        let t = Instant::now();
+        let outcome = sta.analyze_with_crosstalk_windows(
+            c,
+            &bound.specs,
+            &SiOptions {
+                threads: inj_threads,
+                fault_policy: FaultPolicy::Isolate,
+                ..base_opts
+            },
+        );
+        let elapsed = t.elapsed();
+        let fired = nsta_obs::fault::fired_counts();
+        let injected = nsta_obs::fault::total_fired();
+        nsta_obs::fault::disarm();
+        match outcome {
+            Ok(analysis) => Some((analysis, elapsed, fired, injected)),
+            Err(e) => {
+                parity_failures.push(format!(
+                    "injected run failed outright under FaultPolicy::Isolate: {e}"
+                ));
+                None
+            }
+        }
+    });
+    let faults_summary = faults_run.as_ref().map(|(analysis, _, _, injected)| {
+        let dropped = analysis
+            .degrade_events()
+            .iter()
+            .filter(|e| e.action == DegradeAction::VictimDropped)
+            .count() as u64;
+        let recovered = injected.saturating_sub(dropped);
+        let (wc, wi) = (
+            filtered.report.worst_arrival(),
+            analysis.report.worst_arrival(),
+        );
+        // Exact equality first: −inf − (−inf) is NaN, not 0.
+        let delta = if wc == wi { 0.0 } else { (wi - wc).abs() };
+        if *injected == 0 {
+            parity_failures.push(
+                "--inject armed but no fault fired; raise --groups or change --inject-seed".into(),
+            );
+        }
+        if recovered != *injected {
+            parity_failures.push(format!(
+                "{injected} fault(s) injected but only {recovered} recovered \
+                 ({dropped} victim(s) dropped)"
+            ));
+        }
+        if !(delta <= DENSE_PARITY_TOL) {
+            parity_failures.push(format!(
+                "fault-recovery worst arrival differs from the clean run by {:.3e} ps \
+                 (tolerance 1e-6 ps)",
+                delta * 1e12
+            ));
+        }
+        (recovered, delta)
+    });
+
     println!(
         "window-filtered: {} pruned aggressor(s), {} iteration(s), converged {}, \
          worst arrival {:.1} ps, {filtered_time:.2?}",
@@ -606,6 +750,22 @@ fn main() {
         unfiltered.iterations(),
         unfiltered.report.worst_arrival() * 1e12,
     );
+    if let (Some((analysis, elapsed, fired, injected)), Some((recovered, delta))) =
+        (&faults_run, &faults_summary)
+    {
+        let sites: Vec<String> = fired
+            .iter()
+            .filter(|(_, n)| *n > 0)
+            .map(|(name, n)| format!("{name}x{n}"))
+            .collect();
+        println!(
+            "fault inject:    {injected} fired ({}), {recovered} recovered, \
+             {} degrade event(s), parity {:.3e} ps, {elapsed:.2?}",
+            sites.join(" "),
+            analysis.degrade_events().len(),
+            delta * 1e12,
+        );
+    }
     if let Some((analysis, bound_sdc, elapsed)) = &sdc_run {
         let delta = analysis.pruned.len() as i64 - filtered.pruned.len() as i64;
         let slack = analysis.report.worst_slack();
@@ -831,6 +991,76 @@ fn main() {
                     ])
                 }
                 None => Json::Null,
+            },
+        ),
+        (
+            "faults",
+            match (&faults_run, &faults_summary) {
+                (Some((analysis, elapsed, fired, injected)), Some((recovered, delta))) => {
+                    let design = sta.design();
+                    Json::obj([
+                        ("spec", Json::str(inject_spec.as_deref().unwrap_or(""))),
+                        ("seed", Json::from(inject_seed as usize)),
+                        ("policy", Json::str("isolate")),
+                        ("injected", Json::from(*injected as usize)),
+                        ("recovered", Json::from(*recovered as usize)),
+                        (
+                            "fired",
+                            Json::Obj(
+                                fired
+                                    .iter()
+                                    .map(|(name, n)| (name.to_string(), Json::from(*n as usize)))
+                                    .collect(),
+                            ),
+                        ),
+                        (
+                            "degraded_nets",
+                            Json::Arr(
+                                analysis
+                                    .diagnostics
+                                    .degraded_nets()
+                                    .iter()
+                                    .map(|&n| Json::str(design.net_name(n)))
+                                    .collect(),
+                            ),
+                        ),
+                        (
+                            "events",
+                            Json::Arr(
+                                analysis
+                                    .degrade_events()
+                                    .iter()
+                                    .map(|e| {
+                                        Json::obj([
+                                            (
+                                                "net",
+                                                e.net.map_or(Json::Null, |n| {
+                                                    Json::str(design.net_name(n))
+                                                }),
+                                            ),
+                                            (
+                                                "polarity",
+                                                e.polarity.map_or(Json::Null, |p| {
+                                                    Json::str(if p.is_rise() {
+                                                        "rise"
+                                                    } else {
+                                                        "fall"
+                                                    })
+                                                }),
+                                            ),
+                                            ("action", Json::str(action_name(e.action))),
+                                            ("cause", Json::str(e.cause.as_str())),
+                                            ("recovered", Json::from(e.recovered)),
+                                        ])
+                                    })
+                                    .collect(),
+                            ),
+                        ),
+                        ("parity_delta_ps", Json::Num(delta * 1e12)),
+                        ("analysis_ms", ms(*elapsed)),
+                    ])
+                }
+                _ => Json::Null,
             },
         ),
         // The flat counter/gauge snapshot, keys sorted. Dynamic keys, so

@@ -41,5 +41,8 @@ mod transient;
 
 pub use builder::{Circuit, NodeId};
 pub use error::CircuitError;
+// Callers classifying solver failures (the STA fallback chain) need the
+// wrapped numeric error without taking their own nsta-numeric dependency.
+pub use nsta_numeric::NumericError;
 pub use rcline::{CoupledLines, RcLineSpec, StarCoupledLines};
 pub use transient::{FactoredSystem, SolverBackend, TransientOptions, TransientResult};

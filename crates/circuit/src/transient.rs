@@ -544,6 +544,14 @@ impl FactoredSystem {
         (0..width)
             .map(|j| {
                 let trace: Vec<f64> = data.chunks_exact(width.max(1)).map(|row| row[j]).collect();
+                // A solve that went NaN/inf is a *numeric* failure — the
+                // class the STA fallback chain retries on another backend —
+                // not a waveform validation error.
+                if trace.iter().any(|v| !v.is_finite()) {
+                    return Err(CircuitError::Numeric(
+                        nsta_numeric::NumericError::NonFinite("transient node voltages"),
+                    ));
+                }
                 Ok(Waveform::new(self.times.to_vec(), trace)?)
             })
             .collect()
@@ -622,6 +630,14 @@ impl FactoredSystem {
             } => dc.solve(&dc_rhs(true))?,
             _ => dc_rhs(false),
         };
+        // Fault-injection site: poison the initial-condition state with
+        // NaN, as a corrupted solve would. The NaN propagates through the
+        // trapezoidal step recurrence, so every recorded sample — and any
+        // waveform built from this sweep — turns non-finite. Inert (one
+        // relaxed load) unless a plan is armed.
+        if nsta_obs::fault::should_fire(nsta_obs::fault::NAN_SOLVE) {
+            x.fill(f64::NAN);
+        }
 
         // Source contributions of every step, tabulated up front so the
         // step loop reads one contiguous row instead of slicing the

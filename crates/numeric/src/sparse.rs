@@ -659,6 +659,16 @@ impl SparseLu {
         if a.values.iter().any(|v| !v.is_finite()) {
             return Err(NumericError::NonFinite("matrix entries"));
         }
+        // Fault-injection site: pretend the no-pivot elimination lost its
+        // pivot, as a genuinely singular mesh would. `factor` funnels
+        // through here, so both first-factor and refactor paths are
+        // covered. Inert (one relaxed load) unless a plan is armed.
+        if nsta_obs::fault::should_fire(nsta_obs::fault::PIVOT_LOSS) {
+            return Err(NumericError::SingularMatrix {
+                column: 0,
+                pivot: 0.0,
+            });
+        }
         let w = &mut self.work;
         for i in 0..self.n {
             // Scatter the permuted A row into the dense workspace. Entries

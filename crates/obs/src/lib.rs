@@ -80,8 +80,10 @@
 //! ```
 
 mod export;
+pub mod fault;
 mod recorder;
 
+pub use fault::XorShift64;
 pub use recorder::{EventKind, MetricsSnapshot, Recorder, Span, TraceEvent};
 
 use std::sync::OnceLock;

@@ -146,6 +146,10 @@ pub fn bind_couplings(
 
         let cm_total: f64 = cms.iter().sum();
         let mut spec = CouplingSpec::new(victim, aggressors, cm_total, victim_line);
+        // Extraction defects travel with the spec: the SI flow fails or
+        // degrades the victim per its fault policy instead of simulating
+        // the floored stand-in.
+        spec.defect = (!net.defects.is_empty()).then(|| net.defects.join("; "));
         spec.cm_per_aggressor = cms;
         spec.aggressor_lines = aggressor_lines;
         spec.quiet_cm = quiet_cm;
@@ -234,6 +238,29 @@ mod tests {
             .skipped_victims
             .iter()
             .any(|(n, r)| n == "v" && *r == DropReason::BelowThreshold));
+    }
+
+    #[test]
+    fn extraction_defects_ride_on_the_spec() {
+        let d = design();
+        let spef = parse_spef(
+            "*C_UNIT 1 FF\n*NAME_MAP\n*1 v\n*2 g\n\
+             *D_NET *1 12.0\n\
+             *CAP\n1 *1:1 0.0\n2 *1:1 *2:1 12.0\n\
+             *RES\n1 *1 *1:1 5.0\n*END\n\
+             *D_NET *2 30.0\n*CAP\n1 *2:1 30.0\n*RES\n1 *2 *2:1 4.0\n*END\n",
+        )
+        .unwrap();
+        let bound = bind_couplings(&spef, &d, &BindOptions::default()).unwrap();
+        let spec = bound.spec_for(&d, "v").unwrap();
+        let defect = spec.defect.as_deref().unwrap();
+        assert!(defect.contains("zero capacitance"), "{defect}");
+        // The healthy bound spec for a defect-free victim carries none.
+        assert!(bound
+            .specs
+            .iter()
+            .filter(|s| s.victim != spec.victim)
+            .all(|s| s.defect.is_none()));
     }
 
     #[test]

@@ -36,6 +36,14 @@ pub struct ReducedNet {
     /// Sum of `*L` pin loads over the net's connections (F) — the same
     /// semantics as the STA graph's summed fanout pin capacitances.
     pub pin_load: f64,
+    /// Electrical defects found during reduction (empty for healthy
+    /// nets): zero-capacitance extractions and ground-cap nodes with no
+    /// resistive path from the net root. Reduction still produces the
+    /// floored lumped model, but the SI flow refuses to simulate a
+    /// defective victim (see `CouplingSpec::defect`), failing or
+    /// degrading it per the fault policy instead of analyzing a
+    /// stand-in with no relation to the real wire.
+    pub defects: Vec<String>,
 }
 
 /// `(instance, pin) → owning net`, built from every section's `*CONN`
@@ -106,6 +114,7 @@ impl ReducedNet {
             c_ground = (net.total_cap - net.coupling_cap()).max(0.0);
         }
         let pin_load = net.conns.iter().filter_map(|c| c.load).sum();
+        let defects = detect_defects(net, c_ground);
         ReducedNet {
             name: net.name.clone(),
             r_total: net.total_resistance(),
@@ -113,6 +122,7 @@ impl ReducedNet {
             segments: net.ress.len().max(1),
             couplings,
             pin_load,
+            defects,
         }
     }
 
@@ -139,6 +149,72 @@ impl ReducedNet {
         )
         .map_err(SpefError::from)
     }
+}
+
+/// Scans one extraction for electrical defects the lumped model would
+/// silently paper over.
+///
+/// Two classes are detected. *Zero capacitance*: the section carries
+/// explicit ground caps, yet they — and the header-total fallback — sum
+/// to nothing, so the floored line `to_line_spec` would build bears no
+/// relation to the real wire. *Disconnected node*: the section has a
+/// resistor network, but some ground-cap-bearing node of this net is
+/// unreachable from the net root through resistor segments, i.e. part of
+/// the extracted charge can never couple to the driver. Lumped-only
+/// sections (no `*RES`) carry no topology to check and are exempt from
+/// the connectivity scan.
+fn detect_defects(net: &DNet, c_ground: f64) -> Vec<String> {
+    /// A SPEF node identity: (base name, optional `:tail` suffix).
+    type NodeKey = (String, Option<String>);
+    let mut defects = Vec::new();
+    let has_ground_caps = net.caps.iter().any(|c| c.b.is_none());
+    if has_ground_caps && c_ground <= 0.0 {
+        defects.push("zero capacitance: explicit ground caps sum to 0 F".to_string());
+    }
+    if !net.ress.is_empty() {
+        let key = |n: &crate::ast::SpefNode| -> NodeKey { (n.base.clone(), n.tail.clone()) };
+        let mut adj: HashMap<NodeKey, Vec<NodeKey>> = HashMap::new();
+        for r in &net.ress {
+            adj.entry(key(&r.a)).or_default().push(key(&r.b));
+            adj.entry(key(&r.b)).or_default().push(key(&r.a));
+        }
+        // Flood from the driver side: the bare net node when the
+        // extraction names one, otherwise the first resistor endpoint.
+        let root = adj
+            .keys()
+            .find(|(base, tail)| *base == net.name && tail.is_none())
+            .cloned()
+            .unwrap_or_else(|| key(&net.ress[0].a));
+        let mut reached = std::collections::HashSet::new();
+        let mut queue = std::collections::VecDeque::from([root]);
+        while let Some(node) = queue.pop_front() {
+            if !reached.insert(node.clone()) {
+                continue;
+            }
+            if let Some(next) = adj.get(&node) {
+                queue.extend(next.iter().cloned());
+            }
+        }
+        for cap in &net.caps {
+            if cap.b.is_some() {
+                continue;
+            }
+            let k = key(&cap.a);
+            // Only the net's own nodes participate: pin-anchored ground
+            // caps (`u2:A`) sit at *CONN endpoints outside the resistor
+            // mesh by construction.
+            if k.0 == net.name && !reached.contains(&k) {
+                let node = match &k.1 {
+                    Some(tail) => format!("{}:{tail}", k.0),
+                    None => k.0.clone(),
+                };
+                defects.push(format!(
+                    "disconnected node {node}: no resistive path from the net root"
+                ));
+            }
+        }
+    }
+    defects
 }
 
 /// Reduces every net of a parsed SPEF file, preserving file order.
@@ -259,6 +335,57 @@ mod tests {
         assert!((v.couplings["y"] - 30e-15).abs() < 1e-28);
         assert!(!v.couplings.contains_key("v"));
         assert!(!v.couplings.contains_key("u2"));
+    }
+
+    #[test]
+    fn healthy_nets_report_no_defects() {
+        for net in reduce_spef(&spef()) {
+            assert!(net.defects.is_empty(), "{}: {:?}", net.name, net.defects);
+        }
+    }
+
+    #[test]
+    fn zero_capacitance_extraction_is_flagged() {
+        // Explicit ground caps that sum to 0 F, and a header total that
+        // the couplings fully consume: nothing left to drive.
+        let spef = parse_spef(
+            "*C_UNIT 1 FF\n*NAME_MAP\n*1 v\n*2 g\n\
+             *D_NET *1 12.0\n\
+             *CAP\n1 *1:1 0.0\n2 *1:1 *2:1 12.0\n\
+             *RES\n1 *1 *1:1 5.0\n*END\n",
+        )
+        .unwrap();
+        let r = ReducedNet::from_dnet(&spef.nets[0]);
+        assert_eq!(r.defects.len(), 1);
+        assert!(r.defects[0].contains("zero capacitance"), "{:?}", r.defects);
+    }
+
+    #[test]
+    fn disconnected_ground_cap_node_is_flagged() {
+        // v:9 carries charge but no resistor reaches it from the root.
+        let spef = parse_spef(
+            "*C_UNIT 1 FF\n*NAME_MAP\n*1 v\n\
+             *D_NET *1 30.0\n\
+             *CAP\n1 *1:1 10.0\n2 *1:9 20.0\n\
+             *RES\n1 *1 *1:1 5.0\n*END\n",
+        )
+        .unwrap();
+        let r = ReducedNet::from_dnet(&spef.nets[0]);
+        assert_eq!(r.defects.len(), 1);
+        assert!(
+            r.defects[0].contains("disconnected node v:9"),
+            "{:?}",
+            r.defects
+        );
+    }
+
+    #[test]
+    fn lumped_only_sections_skip_the_connectivity_scan() {
+        // No *RES section: there is no topology to be disconnected from,
+        // so a lone ground cap on a net node is healthy.
+        let spef = parse_spef("*C_UNIT 1 FF\n*D_NET n 20.0\n*CAP\n1 n:1 20.0\n*END").unwrap();
+        let r = ReducedNet::from_dnet(&spef.nets[0]);
+        assert!(r.defects.is_empty(), "{:?}", r.defects);
     }
 
     #[test]

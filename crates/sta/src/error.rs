@@ -21,6 +21,18 @@ pub enum StaError {
     },
     /// A library lookup failed.
     Library(String),
+    /// A coupled victim's extracted parasitics are electrically
+    /// degenerate (zero capacitance, disconnected node…): the mesh has
+    /// no meaningful transient solution, so the reduction refuses to run
+    /// rather than analyze a floored stand-in. Under
+    /// [`FaultPolicy::Isolate`](crate::si::FaultPolicy::Isolate) the
+    /// victim is dropped and marked degraded instead of failing the run.
+    DegenerateMesh {
+        /// Name of the defective victim net.
+        net: String,
+        /// What the extraction defect is.
+        reason: String,
+    },
     /// Crosstalk analysis failed in the circuit substrate.
     Circuit(nsta_circuit::CircuitError),
     /// Equivalent-waveform reduction failed.
@@ -39,6 +51,9 @@ impl fmt::Display for StaError {
                 write!(f, "combinational cycle through net {net}")
             }
             StaError::Library(m) => write!(f, "library error: {m}"),
+            StaError::DegenerateMesh { net, reason } => {
+                write!(f, "degenerate coupled mesh on net {net}: {reason}")
+            }
             StaError::Circuit(e) => write!(f, "circuit failure: {e}"),
             StaError::Sgdp(e) => write!(f, "equivalent-waveform failure: {e}"),
             StaError::Waveform(e) => write!(f, "waveform failure: {e}"),

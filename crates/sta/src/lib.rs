@@ -71,8 +71,8 @@ pub use netlist::{Design, Instance, NetId};
 pub use nsta_circuit::SolverBackend;
 pub use report::{NetTiming, TimingReport};
 pub use si::{
-    ArrivalWindow, CouplingSpec, PrunedAggressor, SiAdjustment, SiAnalysis, SiDiagnostics,
-    SiIteration, SiOptions,
+    ArrivalWindow, CouplingSpec, DegradeAction, DegradeEvent, FaultPolicy, PrunedAggressor,
+    SiAdjustment, SiAnalysis, SiDiagnostics, SiIteration, SiOptions,
 };
 
 /// Serializes tests that enable the process-wide [`nsta_obs`] recorder:

@@ -9,7 +9,19 @@
 //! the fact that each item's computation performs the identical sequence
 //! of floating-point operations on any thread, N-thread results are
 //! bit-identical to 1-thread results.
+//!
+//! # Panic containment
+//!
+//! A panicking item must not abort the whole analysis: each worker wraps
+//! every `f(item)` in `catch_unwind`, and any item whose result went
+//! missing (its call panicked, or its worker died) is retried **once,
+//! inline on the coordinator** after the pool joins. The retry runs the
+//! identical computation on the identical input, so a transient panic
+//! (an injected fault, a poisoned lock another thread has since healed)
+//! recovers bit-identically, while a deterministic panic reproduces on
+//! the coordinator with its original message and full backtrace.
 
+use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Worker threads actually spawned for `items` work items: never more
@@ -31,12 +43,28 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
+    par_map_recover(threads, items, f).0
+}
+
+/// [`par_map`] variant that also reports which item indices had to be
+/// retried inline after a worker-side panic (empty on every healthy
+/// run). Callers that attribute faults to work items — the crosstalk
+/// cone scheduler — use the indices to record degrade events.
+pub(crate) fn par_map_recover<T, R, F>(threads: usize, items: &[T], f: F) -> (Vec<R>, Vec<usize>)
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
     let workers = effective_workers(threads, items.len());
     if workers <= 1 {
-        return items.iter().map(f).collect();
+        // Inline path: panics propagate to the caller unchanged, exactly
+        // as the computation would without the pool.
+        return (items.iter().map(f).collect(), Vec::new());
     }
     let next = AtomicUsize::new(0);
-    let mut tagged: Vec<(usize, R)> = Vec::with_capacity(items.len());
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
     // Observability: one span per worker lifetime with busy/idle args.
     // `observe` is sampled once per pool so the hot pull loop pays zero
     // extra branches when recording is off.
@@ -45,6 +73,7 @@ where
     pool_span.set_arg("workers", workers as f64);
     pool_span.set_arg("items", items.len() as f64);
     std::thread::scope(|scope| {
+        let f = &f;
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 scope.spawn(|| {
@@ -55,12 +84,19 @@ where
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         let Some(item) = items.get(i) else { break };
-                        if observe {
+                        // Contain a panicking item: drop the payload (the
+                        // panic hook already reported it) and move on; the
+                        // coordinator retries the missing index inline.
+                        let caught = if observe {
                             let t0 = std::time::Instant::now();
-                            local.push((i, f(item)));
+                            let caught = panic::catch_unwind(AssertUnwindSafe(|| f(item)));
                             busy_ns += t0.elapsed().as_nanos();
+                            caught
                         } else {
-                            local.push((i, f(item)));
+                            panic::catch_unwind(AssertUnwindSafe(|| f(item)))
+                        };
+                        if let Ok(r) = caught {
+                            local.push((i, r));
                         }
                     }
                     if let Some(spawned) = spawned {
@@ -79,13 +115,36 @@ where
             })
             .collect();
         for h in handles {
-            tagged.extend(h.join().expect("sweep worker panicked"));
+            // A worker that died outside the per-item catch (it cannot,
+            // today, but defend anyway) just loses its results; the
+            // missing-slot scan below recovers them.
+            if let Ok(local) = h.join() {
+                for (i, r) in local {
+                    slots[i] = Some(r);
+                }
+            }
         }
     });
-    // Deterministic merge: scatter back into input order.
-    tagged.sort_unstable_by_key(|&(i, _)| i);
-    debug_assert_eq!(tagged.len(), items.len());
-    tagged.into_iter().map(|(_, r)| r).collect()
+    // Recovery pass: recompute any missing item inline, in input order.
+    // Same `f`, same item — a successful retry is bit-identical to the
+    // result a healthy worker would have produced; a persistent panic
+    // propagates here with its original message.
+    let mut retried = Vec::new();
+    for (i, slot) in slots.iter_mut().enumerate() {
+        if slot.is_none() {
+            *slot = Some(f(&items[i]));
+            retried.push(i);
+        }
+    }
+    if !retried.is_empty() {
+        nsta_obs::count!("par.items_retried", retried.len());
+        nsta_obs::count!("par.items_processed", retried.len());
+    }
+    let results = slots
+        .into_iter()
+        .map(|s| s.expect("every slot filled or retried"))
+        .collect();
+    (results, retried)
 }
 
 #[cfg(test)]
@@ -166,5 +225,40 @@ mod tests {
         assert_eq!(out[0], Ok(1));
         assert!(out[1].is_err());
         assert_eq!(out[2], Ok(3));
+    }
+
+    #[test]
+    fn panicked_item_is_retried_inline_and_reported() {
+        use std::sync::atomic::AtomicBool;
+        // Item 5 panics exactly once (on a worker); the coordinator's
+        // inline retry then succeeds, so the output is complete and
+        // ordered, and the retry is attributed to the right index.
+        let tripped = AtomicBool::new(false);
+        let items: Vec<usize> = (0..32).collect();
+        let (out, retried) = par_map_recover(4, &items, |&i| {
+            if i == 5 && !tripped.swap(true, Ordering::SeqCst) {
+                panic!("transient worker failure");
+            }
+            i * 2
+        });
+        let expect: Vec<usize> = items.iter().map(|i| i * 2).collect();
+        assert_eq!(out, expect);
+        assert_eq!(retried, vec![5]);
+    }
+
+    #[test]
+    fn persistent_panic_propagates_from_the_retry() {
+        // A deterministic panic must not be swallowed: the inline retry
+        // reproduces it on the coordinator.
+        let items: Vec<usize> = (0..8).collect();
+        let caught = panic::catch_unwind(AssertUnwindSafe(|| {
+            par_map(4, &items, |&i| {
+                if i == 3 {
+                    panic!("deterministic failure");
+                }
+                i
+            })
+        }));
+        assert!(caught.is_err());
     }
 }

@@ -150,6 +150,14 @@ pub struct CouplingSpec {
     /// `true` (default) switches aggressors opposite to the victim — the
     /// worst case for delay push-out.
     pub aggressors_oppose: bool,
+    /// Extraction defect carried from the parasitics reducer (`None` for
+    /// healthy nets): a victim whose mesh is electrically degenerate —
+    /// zero capacitance, a node disconnected from the resistor tree —
+    /// has no meaningful transient solution, so the reduction refuses to
+    /// run it. Under [`FaultPolicy::Fail`] the analysis returns
+    /// [`StaError::DegenerateMesh`]; under [`FaultPolicy::Isolate`] the
+    /// victim is dropped and recorded as a degraded net.
+    pub defect: Option<String>,
 }
 
 impl CouplingSpec {
@@ -167,6 +175,7 @@ impl CouplingSpec {
             driver_resistance: 200.0,
             aggressor_skew: 0.0,
             aggressors_oppose: true,
+            defect: None,
         }
     }
 
@@ -249,6 +258,60 @@ impl ArrivalWindow {
     }
 }
 
+/// How the analysis reacts when one victim's reduction fails after the
+/// numeric fallback chain is exhausted (or its parasitics are
+/// degenerate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FaultPolicy {
+    /// Propagate the error: the whole analysis call fails (the
+    /// historical behavior, and the default).
+    #[default]
+    Fail,
+    /// Drop only the failing victim's adjustment — it keeps its nominal
+    /// (crosstalk-free) timing — record the net as degraded in
+    /// [`SiDiagnostics::degrade_events`], and finish the analysis with
+    /// partial results.
+    Isolate,
+}
+
+/// The recovery step a [`DegradeEvent`] records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradeAction {
+    /// A sparse factor/solve failed; the victim was retried on the dense
+    /// partial-pivot LU backend at the same timestep.
+    DenseRetry,
+    /// The dense retry failed too; retried once more with the timestep
+    /// halved.
+    HalvedTimestep,
+    /// A cone worker panicked; the cone was recomputed inline on the
+    /// coordinator.
+    ConeRetry,
+    /// A poisoned topo-cache lock was recovered instead of panicking.
+    LockRecovered,
+    /// The fallback chain was exhausted (or the mesh is degenerate)
+    /// under [`FaultPolicy::Isolate`]: the victim's adjustment was
+    /// dropped and the net keeps its nominal timing.
+    VictimDropped,
+}
+
+/// One structured record of the fault-tolerance layer acting: what
+/// degraded, where, and whether the recovery restored a full result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegradeEvent {
+    /// The affected victim net (`None` for events not attributable to
+    /// one net, e.g. a lock recovery).
+    pub net: Option<NetId>,
+    /// The affected victim transition, when one was being reduced.
+    pub polarity: Option<Polarity>,
+    /// The recovery step taken.
+    pub action: DegradeAction,
+    /// The failure that triggered it.
+    pub cause: String,
+    /// `true` when the step (or a later one in the chain) produced a
+    /// full result; `false` when the net ended up degraded.
+    pub recovered: bool,
+}
+
 /// Options of the timing-window crosstalk analysis.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SiOptions {
@@ -287,6 +350,10 @@ pub struct SiOptions {
     /// escape hatch: both backends integrate the same trapezoidal system,
     /// so worst arrivals agree to solver round-off (≪ 1 fs).
     pub backend: SolverBackend,
+    /// What to do when one victim's reduction fails beyond recovery
+    /// (default [`FaultPolicy::Fail`]): fail the whole call, or drop the
+    /// victim and finish with partial results.
+    pub fault_policy: FaultPolicy,
 }
 
 impl Default for SiOptions {
@@ -301,6 +368,7 @@ impl Default for SiOptions {
             incremental: true,
             topo_cache: true,
             backend: SolverBackend::Sparse,
+            fault_policy: FaultPolicy::default(),
         }
     }
 }
@@ -357,6 +425,11 @@ pub struct SiDiagnostics {
     /// Largest factored-system nonzero count observed while assembling
     /// victim stages, whether or not the topology cache stored them.
     pub solver_nnz: usize,
+    /// Every action of the fault-tolerance layer during this call, in
+    /// canonical `(net, polarity)` order: fallback-chain retries, cone
+    /// retries after worker panics, recovered locks, and dropped
+    /// victims. Empty on healthy runs.
+    pub degrade_events: Vec<DegradeEvent>,
 }
 
 impl SiDiagnostics {
@@ -364,6 +437,29 @@ impl SiDiagnostics {
     /// recorded (unfiltered analyses record a single zero-delta pass).
     pub fn final_window_delta(&self) -> Option<f64> {
         self.iterations.last().map(|it| it.max_window_delta)
+    }
+
+    /// Nets touched by any degrade event, sorted and deduplicated.
+    pub fn degraded_nets(&self) -> Vec<NetId> {
+        let mut nets: Vec<NetId> = self.degrade_events.iter().filter_map(|e| e.net).collect();
+        nets.sort_unstable();
+        nets.dedup();
+        nets
+    }
+
+    /// Nets whose result is actually degraded — a degrade event that did
+    /// not recover (the victim's adjustment was dropped) — sorted and
+    /// deduplicated. A subset of [`degraded_nets`](Self::degraded_nets).
+    pub fn unrecovered_nets(&self) -> Vec<NetId> {
+        let mut nets: Vec<NetId> = self
+            .degrade_events
+            .iter()
+            .filter(|e| !e.recovered)
+            .filter_map(|e| e.net)
+            .collect();
+        nets.sort_unstable();
+        nets.dedup();
+        nets
     }
 }
 
@@ -416,6 +512,12 @@ impl SiAnalysis {
     pub fn solver_nnz(&self) -> usize {
         self.diagnostics.solver_nnz
     }
+
+    /// Every action of the fault-tolerance layer during this call (empty
+    /// on healthy runs).
+    pub fn degrade_events(&self) -> &[DegradeEvent] {
+        &self.diagnostics.degrade_events
+    }
 }
 
 /// Outcome of the SI reduction on one victim net.
@@ -445,6 +547,14 @@ fn worst_arrival_movement(a: &TimingReport, b: &TimingReport) -> f64 {
         }
     }
     worst
+}
+
+/// Whether `e` is the kind of failure the numeric fallback chain can
+/// plausibly fix — a solver-level error (singular/lost pivot, non-finite
+/// values) — as opposed to a structural, library, or specification
+/// problem that would fail identically on any backend or grid.
+fn is_numeric_failure(e: &StaError) -> bool {
+    matches!(e, StaError::Circuit(nsta_circuit::CircuitError::Numeric(_)))
 }
 
 /// Everything a victim reduction depends on besides the iteration-invariant
@@ -535,8 +645,17 @@ struct TopoCache {
     /// statistics — so `solver_nnz` is reported for uncached runs too.
     enabled: bool,
     systems: Mutex<HashMap<TopoKey, CachedSystem>>,
+    /// Keys whose entry was implicated in a numeric failure: the entry is
+    /// evicted and the key refuses re-insertion for the rest of the
+    /// analysis, so a suspect factorization is never served again.
+    quarantined: Mutex<std::collections::HashSet<TopoKey>>,
     hits: AtomicUsize,
     misses: AtomicUsize,
+    /// Poisoned-mutex recoveries: a worker panicking while holding a
+    /// cache lock poisons it; readers take over the guard instead of
+    /// propagating, and each healing is surfaced as a
+    /// [`DegradeAction::LockRecovered`] event.
+    lock_recoveries: AtomicUsize,
     /// Largest factored-system nonzero count observed so far — the mesh
     /// size the solver section of bench reports is keyed on.
     max_nnz: AtomicUsize,
@@ -550,13 +669,32 @@ impl TopoCache {
         }
     }
 
+    /// Locks `mutex`, recovering from poisoning instead of panicking: the
+    /// cache's maps are never left mid-mutation (every write is a single
+    /// `get`/`insert`/`remove` call on an already-consistent value), so a
+    /// panic while a guard was held cannot have corrupted them. The
+    /// poison flag is cleared so one poisoning is healed — and counted —
+    /// exactly once.
+    fn guard<'a, T>(&self, mutex: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
+        mutex.lock().unwrap_or_else(|poisoned| {
+            self.lock_recoveries.fetch_add(1, Ordering::Relaxed);
+            mutex.clear_poison();
+            poisoned.into_inner()
+        })
+    }
+
     fn lookup(&self, key: &TopoKey) -> Option<CachedSystem> {
-        let found = self
-            .systems
-            .lock()
-            .expect("topo cache lock")
-            .get(key)
-            .cloned();
+        // Fault-injection site: panic while holding the cache lock, the
+        // way a buggy or OOM-killed worker would, leaving the mutex
+        // poisoned for every later access. The catch keeps *this* call
+        // alive; the recovery under test is in `guard`.
+        if nsta_obs::fault::should_fire(nsta_obs::fault::CACHE_POISON) {
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let _guard = self.systems.lock();
+                panic!("injected: panic while holding the topo-cache lock");
+            }));
+        }
+        let found = self.guard(&self.systems).get(key).cloned();
         match found {
             Some(ref entry) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -576,15 +714,22 @@ impl TopoCache {
     }
 
     fn insert(&self, key: TopoKey, entry: CachedSystem) {
+        if self.guard(&self.quarantined).contains(&key) {
+            return;
+        }
         nsta_obs::count!(
             "sta.topo_cache.stored_bytes_est",
             entry.system.nnz() * std::mem::size_of::<f64>()
         );
-        self.systems
-            .lock()
-            .expect("topo cache lock")
-            .entry(key)
-            .or_insert(entry);
+        self.guard(&self.systems).entry(key).or_insert(entry);
+    }
+
+    /// Evicts `key` and bans it for the rest of the analysis: a cached
+    /// factorization implicated in a numeric failure must not be served
+    /// to (or re-inserted by) any other victim.
+    fn quarantine(&self, key: &TopoKey) {
+        self.guard(&self.quarantined).insert(key.clone());
+        self.guard(&self.systems).remove(key);
     }
 
     /// Records a freshly factored system's nonzero count; called on every
@@ -603,6 +748,10 @@ impl TopoCache {
 
     fn nnz(&self) -> usize {
         self.max_nnz.load(Ordering::Relaxed)
+    }
+
+    fn lock_recoveries(&self) -> usize {
+        self.lock_recoveries.load(Ordering::Relaxed)
     }
 }
 
@@ -641,6 +790,16 @@ fn quantize_t_stop(latest: f64) -> f64 {
 /// `(key, Γeff, base arrival)` entry to store under it.
 type VictimInsert = ((usize, bool), (VictimKey, SaturatedRamp, f64));
 
+/// What one crosstalk pass produces: final per-net states, the applied
+/// adjustments, victim-cache effectiveness, and any fault-tolerance
+/// actions taken along the way.
+type PassResult = (
+    Vec<crate::engine::NetState>,
+    Vec<SiAdjustment>,
+    PassStats,
+    Vec<DegradeEvent>,
+);
+
 /// Per-cone result of one crosstalk pass, merged deterministically in
 /// cone order by the scheduler.
 struct ConeOutcome {
@@ -655,6 +814,8 @@ struct ConeOutcome {
     /// Victim transitions this cone re-simulated vs served from the
     /// victim cache.
     stats: PassStats,
+    /// Fault-tolerance actions taken while reducing this cone's victims.
+    degrades: Vec<DegradeEvent>,
 }
 
 /// Victim-cache effectiveness of one crosstalk pass, summed over its
@@ -742,7 +903,8 @@ impl Sta {
         threads: usize,
         cache: Option<(&mut VictimCache, f64)>,
         topo: Option<&TopoCache>,
-    ) -> Result<(Vec<crate::engine::NetState>, Vec<SiAdjustment>, PassStats), StaError> {
+        policy: FaultPolicy,
+    ) -> Result<PassResult, StaError> {
         let n = self.design().net_count();
         let mut spec_of: Vec<Option<&CouplingSpec>> = vec![None; n];
         for s in couplings {
@@ -756,15 +918,27 @@ impl Sta {
             }
         }
         let cones = self.graph().components().len();
-        let (states, mut adjustments, stats) = if cones >= threads.max(1) {
-            self.crosstalk_pass_cones(bc, &spec_of, method, backend, base, threads, cache, topo)?
+        let (states, mut adjustments, stats, mut degrades) = if cones >= threads.max(1) {
+            self.crosstalk_pass_cones(
+                bc, &spec_of, method, backend, base, threads, cache, topo, policy,
+            )?
         } else {
-            self.crosstalk_pass_levels(bc, &spec_of, method, backend, base, threads, cache, topo)?
+            self.crosstalk_pass_levels(
+                bc, &spec_of, method, backend, base, threads, cache, topo, policy,
+            )?
         };
         // Canonical adjustment order, independent of the schedule: each
-        // `(net, polarity)` appears at most once per pass.
+        // `(net, polarity)` appears at most once per pass. Degrade events
+        // get the same ordering (stable, so a victim's fallback chain
+        // keeps its step order); events with no net sort last.
         adjustments.sort_unstable_by_key(|a| (a.net.0, !a.polarity.is_rise()));
-        Ok((states, adjustments, stats))
+        degrades.sort_by_key(|e| {
+            (
+                e.net.map_or(usize::MAX, |n| n.0),
+                e.polarity.map_or(2usize, |p| !p.is_rise() as usize),
+            )
+        });
+        Ok((states, adjustments, stats, degrades))
     }
 
     /// Cone-partitioned crosstalk sweep: every weakly-connected component
@@ -782,19 +956,29 @@ impl Sta {
         threads: usize,
         mut cache: Option<(&mut VictimCache, f64)>,
         topo: Option<&TopoCache>,
-    ) -> Result<(Vec<crate::engine::NetState>, Vec<SiAdjustment>, PassStats), StaError> {
+        policy: FaultPolicy,
+    ) -> Result<PassResult, StaError> {
         let th = Thresholds::cmos(self.library().voltage);
         let seed = self.init_states(bc, false);
         let components = self.graph().components();
-        let outcomes = {
+        let (outcomes, retried) = {
             // Immutable view of the victim cache for the parallel section;
             // fresh results are collected per cone and installed after.
             let read_cache: Option<(&VictimCache, f64)> =
                 cache.as_ref().map(|(c, tol)| (&**c, *tol));
-            par_map(
+            crate::par::par_map_recover(
                 threads,
                 components,
                 |cone| -> Result<ConeOutcome, StaError> {
+                    // Fault-injection site: a cone task panics at entry,
+                    // exactly where an assertion or slice bug in the
+                    // per-cone work would. The pool catches it and the
+                    // coordinator retries the cone inline — this site only
+                    // fires once per opportunity index, so the retry runs
+                    // clean.
+                    if nsta_obs::fault::should_fire(nsta_obs::fault::WORKER_PANIC) {
+                        panic!("injected: cone worker panic");
+                    }
                     let mut cone_span = nsta_obs::span!("si.cone");
                     cone_span.set_arg("nets", cone.len() as f64);
                     let mut local: Vec<crate::engine::NetState> =
@@ -804,6 +988,7 @@ impl Sta {
                         adjustments: Vec::new(),
                         inserts: Vec::new(),
                         stats: PassStats::default(),
+                        degrades: Vec::new(),
                     };
                     for (j, &net) in cone.iter().enumerate() {
                         // Cone-local state buffer: all fanin of a cone net is
@@ -841,7 +1026,7 @@ impl Sta {
                             let (gamma, base_arrival) = match hit {
                                 Some(found) => found,
                                 None => {
-                                    let fresh = self.victim_gamma(
+                                    match self.victim_gamma(
                                         bc,
                                         spec,
                                         pol,
@@ -851,17 +1036,35 @@ impl Sta {
                                         method,
                                         backend,
                                         topo,
-                                    )?;
-                                    // Only freshly simulated results enter the
-                                    // victim cache, paired with the exact key
-                                    // they were computed from.
-                                    if let Some(key) = key {
-                                        out.inserts.push((
-                                            (net.0, pol.is_rise()),
-                                            (key, fresh.0, fresh.1),
-                                        ));
+                                        &mut out.degrades,
+                                    ) {
+                                        Ok(fresh) => {
+                                            // Only freshly simulated results
+                                            // enter the victim cache, paired
+                                            // with the exact key they were
+                                            // computed from.
+                                            if let Some(key) = key {
+                                                out.inserts.push((
+                                                    (net.0, pol.is_rise()),
+                                                    (key, fresh.0, fresh.1),
+                                                ));
+                                            }
+                                            fresh
+                                        }
+                                        Err(e) if policy == FaultPolicy::Isolate => {
+                                            out.degrades.push(DegradeEvent {
+                                                net: Some(net),
+                                                polarity: Some(pol),
+                                                action: DegradeAction::VictimDropped,
+                                                cause: e.to_string(),
+                                                recovered: false,
+                                            });
+                                            // The victim keeps its nominal
+                                            // (crosstalk-free) timing point.
+                                            continue;
+                                        }
+                                        Err(e) => return Err(e),
                                     }
-                                    fresh
                                 }
                             };
                             let p = local[j].get_mut(pol);
@@ -888,21 +1091,35 @@ impl Sta {
         let mut states = seed;
         let mut adjustments = Vec::new();
         let mut stats = PassStats::default();
+        let mut degrades = Vec::new();
         for (cone, outcome) in components.iter().zip(outcomes) {
-            let outcome = outcome?;
+            let mut outcome = outcome?;
             for (&net, st) in cone.iter().zip(outcome.states) {
                 states[net.0] = st;
             }
             adjustments.extend(outcome.adjustments);
             stats.recomputed += outcome.stats.recomputed;
             stats.cached += outcome.stats.cached;
+            degrades.append(&mut outcome.degrades);
             if let Some((c, _)) = cache.as_mut() {
                 for (slot, entry) in outcome.inserts {
                     c.entries.insert(slot, entry);
                 }
             }
         }
-        Ok((states, adjustments, stats))
+        // Cones the pool had to recompute inline after a worker-side
+        // panic: the retry already produced full results above; record
+        // the recovery against the cone's first net.
+        for idx in retried {
+            degrades.push(DegradeEvent {
+                net: components.get(idx).and_then(|c| c.first()).copied(),
+                polarity: None,
+                action: DegradeAction::ConeRetry,
+                cause: "cone worker panicked; recomputed inline on the coordinator".to_string(),
+                recovered: true,
+            });
+        }
+        Ok((states, adjustments, stats, degrades))
     }
 
     /// Level-synchronous crosstalk sweep — the fallback for graphs with
@@ -921,11 +1138,13 @@ impl Sta {
         threads: usize,
         mut cache: Option<(&mut VictimCache, f64)>,
         topo: Option<&TopoCache>,
-    ) -> Result<(Vec<crate::engine::NetState>, Vec<SiAdjustment>, PassStats), StaError> {
+        policy: FaultPolicy,
+    ) -> Result<PassResult, StaError> {
         let th = Thresholds::cmos(self.library().voltage);
         let mut states = self.init_states(bc, false);
         let mut adjustments = Vec::new();
         let mut stats = PassStats::default();
+        let mut degrades: Vec<DegradeEvent> = Vec::new();
         for level in self.graph().levels() {
             // Fanin updates of this level (parallel, merged in net order).
             let updated = par_map(threads, level, |&net| {
@@ -965,23 +1184,58 @@ impl Sta {
             stats.recomputed += jobs.len();
             stats.cached += units.len() - jobs.len();
             let results = par_map(threads, &jobs, |&(spec, pol, arrival, slew)| {
-                self.victim_gamma(bc, spec, pol, arrival, slew, base, method, backend, topo)
+                let mut events = Vec::new();
+                let result = self.victim_gamma(
+                    bc,
+                    spec,
+                    pol,
+                    arrival,
+                    slew,
+                    base,
+                    method,
+                    backend,
+                    topo,
+                    &mut events,
+                );
+                (result, events)
             });
             let mut results = results.into_iter();
             for (net, pol, hit, key) in units {
-                let (gamma, base_arrival) = match hit {
-                    Some(found) => found,
+                let resolved = match hit {
+                    Some(found) => Some(found),
                     None => {
-                        let fresh = results.next().expect("one result per queued job")?;
-                        // Only freshly simulated results enter the victim
-                        // cache, paired with the exact key they were
-                        // computed from.
-                        if let (Some((c, _)), Some(key)) = (cache.as_mut(), key) {
-                            c.entries
-                                .insert((net.0, pol.is_rise()), (key, fresh.0, fresh.1));
+                        let (result, mut events) =
+                            results.next().expect("one result per queued job");
+                        degrades.append(&mut events);
+                        match result {
+                            Ok(fresh) => {
+                                // Only freshly simulated results enter the
+                                // victim cache, paired with the exact key
+                                // they were computed from.
+                                if let (Some((c, _)), Some(key)) = (cache.as_mut(), key) {
+                                    c.entries
+                                        .insert((net.0, pol.is_rise()), (key, fresh.0, fresh.1));
+                                }
+                                Some(fresh)
+                            }
+                            Err(e) if policy == FaultPolicy::Isolate => {
+                                degrades.push(DegradeEvent {
+                                    net: Some(net),
+                                    polarity: Some(pol),
+                                    action: DegradeAction::VictimDropped,
+                                    cause: e.to_string(),
+                                    recovered: false,
+                                });
+                                None
+                            }
+                            Err(e) => return Err(e),
                         }
-                        fresh
                     }
+                };
+                // A dropped victim keeps its nominal (crosstalk-free)
+                // timing point.
+                let Some((gamma, base_arrival)) = resolved else {
+                    continue;
                 };
                 let p = states[net.0].get_mut(pol);
                 p.arrival = gamma.arrival_mid();
@@ -995,7 +1249,7 @@ impl Sta {
                 });
             }
         }
-        Ok((states, adjustments, stats))
+        Ok((states, adjustments, stats, degrades))
     }
 
     /// Probes the victim cache for `(net, pol)` against the freshly built
@@ -1045,7 +1299,7 @@ impl Sta {
         // The topology cache is always on here (no options to disable it);
         // it cannot change results, only skip redundant factorizations.
         let topo = TopoCache::new(true);
-        let (states, adjustments, _stats) = self.crosstalk_pass(
+        let (states, adjustments, _stats, _degrades) = self.crosstalk_pass(
             &bc,
             couplings,
             method,
@@ -1054,6 +1308,7 @@ impl Sta {
             1,
             None,
             Some(&topo),
+            FaultPolicy::Fail,
         )?;
         let mask = self.false_edge_mask(&bc);
         let report = self.finish_report(&bc, states, mask.as_ref())?;
@@ -1185,8 +1440,21 @@ impl Sta {
         let topo = TopoCache::new(options.topo_cache);
         let cones = self.graph().components().len();
         phase_span.set_arg("cones", cones as f64);
-        let diagnostics = |iterations: Vec<SiIteration>, converged: bool| {
+        let diagnostics = |iterations: Vec<SiIteration>,
+                           converged: bool,
+                           mut degrade_events: Vec<DegradeEvent>| {
             let (cache_hits, cache_misses) = topo.stats();
+            // Poisoned-lock healings have no single victim; surface each
+            // as its own recovered event after the per-victim ones.
+            for _ in 0..topo.lock_recoveries() {
+                degrade_events.push(DegradeEvent {
+                    net: None,
+                    polarity: None,
+                    action: DegradeAction::LockRecovered,
+                    cause: "poisoned topo-cache lock recovered".to_string(),
+                    recovered: true,
+                });
+            }
             SiDiagnostics {
                 iterations,
                 converged,
@@ -1195,6 +1463,7 @@ impl Sta {
                 cache_misses,
                 solver_backend: options.backend,
                 solver_nnz: topo.nnz(),
+                degrade_events,
             }
         };
 
@@ -1203,7 +1472,7 @@ impl Sta {
             let cache_ref = options
                 .incremental
                 .then_some((&mut cache, options.convergence_tol));
-            let (states, adjustments, stats) = self.crosstalk_pass(
+            let (states, adjustments, stats, degrades) = self.crosstalk_pass(
                 &bc,
                 couplings,
                 options.method,
@@ -1212,6 +1481,7 @@ impl Sta {
                 threads,
                 cache_ref,
                 Some(&topo),
+                options.fault_policy,
             )?;
             let report = self.finish_report(&bc, states, mask)?;
             let pass = SiIteration {
@@ -1224,7 +1494,7 @@ impl Sta {
                 report,
                 adjustments,
                 pruned: Vec::new(),
-                diagnostics: diagnostics(vec![pass], true),
+                diagnostics: diagnostics(vec![pass], true, degrades),
             });
         }
 
@@ -1242,6 +1512,7 @@ impl Sta {
         let mut iteration_trace: Vec<SiIteration> = Vec::new();
         let mut prev_pruned: Option<Vec<(NetId, NetId)>> = None;
         let mut cache = VictimCache::default();
+        let mut degrade_events: Vec<DegradeEvent> = Vec::new();
         for _ in 0..max_iterations {
             let (filtered, pruned) = Self::window_filter(couplings, &windows, options.window_guard);
             // The analysis result is a pure function of the filtered
@@ -1259,7 +1530,7 @@ impl Sta {
             let cache_ref = options
                 .incremental
                 .then_some((&mut cache, options.convergence_tol));
-            let (states, adjustments, stats) = self.crosstalk_pass(
+            let (states, adjustments, stats, mut degrades) = self.crosstalk_pass(
                 &bc,
                 &filtered,
                 options.method,
@@ -1268,7 +1539,9 @@ impl Sta {
                 threads,
                 cache_ref,
                 Some(&topo),
+                options.fault_policy,
             )?;
+            degrade_events.append(&mut degrades);
             let report = self.finish_report(&bc, states, mask)?;
             windows = self.windows_from(&min_states, &report);
             let moved = previous
@@ -1303,7 +1576,7 @@ impl Sta {
             pruned,
             // Cache statistics accumulate across iterations; snapshot them
             // once on the surviving analysis.
-            diagnostics: diagnostics(iteration_trace, converged),
+            diagnostics: diagnostics(iteration_trace, converged, degrade_events),
         })
     }
 
@@ -1311,6 +1584,16 @@ impl Sta {
     /// transient system is shared across every reduction whose topology
     /// signature matches (see the module docs); the simulated waveforms
     /// are bit-identical either way.
+    ///
+    /// # Numeric fallback chain
+    ///
+    /// A solver-level failure (singular/lost pivot, non-finite values) is
+    /// retried with dense partial-pivot LU on the same grid, then once
+    /// more with the timestep halved; each step appends a [`DegradeEvent`]
+    /// to `degrades` (marked recovered if any step succeeds), and a
+    /// topo-cache entry implicated in the failure is quarantined. The
+    /// chain only runs on the error path, so healthy reductions are
+    /// bit-identical to builds without it.
     #[allow(clippy::too_many_arguments)]
     fn victim_gamma(
         &self,
@@ -1323,9 +1606,15 @@ impl Sta {
         method: MethodKind,
         backend: SolverBackend,
         topo: Option<&TopoCache>,
+        degrades: &mut Vec<DegradeEvent>,
     ) -> Result<(SaturatedRamp, f64), StaError> {
+        if let Some(reason) = &spec.defect {
+            return Err(StaError::DegenerateMesh {
+                net: self.design().net_name(spec.victim).to_string(),
+                reason: reason.clone(),
+            });
+        }
         let th = Thresholds::cmos(self.library().voltage);
-        let vdd = th.vdd();
 
         // Simulation window: start at zero, end comfortably after the
         // latest participant settles.
@@ -1364,7 +1653,6 @@ impl Sta {
         // same system on the exact same grid.
         let t_stop = quantize_t_stop(latest);
         let dt = quantize_dt(victim_slew);
-        let steps = (t_stop / dt).round() as u64;
 
         // The victim stage is a Thevenin driver into star-coupled RC lines
         // — each aggressor couples to the victim individually with its own
@@ -1393,6 +1681,88 @@ impl Sta {
             th,
             victim_pol.is_rise(),
         )?;
+
+        let attempt = |dt: f64, backend: SolverBackend, topo: Option<&TopoCache>| {
+            self.victim_attempt(
+                bc,
+                spec,
+                victim_pol,
+                &victim_ramp,
+                &agg_ramps,
+                victim_line,
+                load,
+                t_stop,
+                dt,
+                method,
+                backend,
+                topo,
+            )
+        };
+        let event = |action: DegradeAction, cause: &StaError| DegradeEvent {
+            net: Some(spec.victim),
+            polarity: Some(victim_pol),
+            action,
+            cause: cause.to_string(),
+            recovered: false,
+        };
+        let chain_start = degrades.len();
+        let result = match attempt(dt, backend, topo) {
+            Ok(ok) => Ok(ok),
+            Err(e) if is_numeric_failure(&e) => {
+                // Fallback 1: dense partial-pivot LU on the same grid —
+                // immune to the no-pivot elimination's pivot loss, and run
+                // outside the topo cache so a suspect entry is never
+                // consulted.
+                degrades.push(event(DegradeAction::DenseRetry, &e));
+                match attempt(dt, SolverBackend::Dense, None) {
+                    Ok(ok) => Ok(ok),
+                    Err(e2) if is_numeric_failure(&e2) => {
+                        // Fallback 2: halve the timestep — a stiff or
+                        // marginally conditioned system integrates with a
+                        // better-conditioned trapezoidal matrix.
+                        degrades.push(event(DegradeAction::HalvedTimestep, &e2));
+                        attempt(dt * 0.5, SolverBackend::Dense, None)
+                    }
+                    Err(e2) => Err(e2),
+                }
+            }
+            Err(e) => Err(e),
+        };
+        if result.is_ok() {
+            for ev in &mut degrades[chain_start..] {
+                ev.recovered = true;
+            }
+        }
+        result
+    }
+
+    /// One victim reduction on one `(dt, backend)` grid — the unit the
+    /// fallback chain in [`victim_gamma`](Self::victim_gamma) retries. A
+    /// failure after a topo-cache key was built quarantines that key, so
+    /// an implicated factorization is never reused.
+    #[allow(clippy::too_many_arguments)]
+    fn victim_attempt(
+        &self,
+        bc: &BoundaryConditions,
+        spec: &CouplingSpec,
+        victim_pol: Polarity,
+        victim_ramp: &SaturatedRamp,
+        agg_ramps: &[SaturatedRamp],
+        victim_line: RcLineSpec,
+        load: f64,
+        t_stop: f64,
+        dt: f64,
+        method: MethodKind,
+        backend: SolverBackend,
+        topo: Option<&TopoCache>,
+    ) -> Result<(SaturatedRamp, f64), StaError> {
+        let agg_pol = if spec.aggressors_oppose {
+            victim_pol.inverted()
+        } else {
+            victim_pol
+        };
+        let steps = (t_stop / dt).round() as u64;
+
         // Voltage source 0 is the victim driver; sources 1..=N follow
         // aggressor order — the factored system relies on this layout.
         let victim_wave = victim_ramp.to_waveform(0.0, t_stop, dt)?;
@@ -1452,17 +1822,56 @@ impl Sta {
                     system: Arc::new(system),
                     victim_far,
                 };
-                if let (Some(t), Some(k)) = (topo, key) {
+                if let (Some(t), Some(k)) = (topo, key.clone()) {
                     t.insert(k, entry.clone());
                 }
                 entry
             }
         };
 
+        // Everything from here on exercises the (possibly cached)
+        // factorization: capture failures so the entry can be quarantined
+        // instead of being served to the next victim with the same key.
+        let outcome = self.victim_reduce(
+            bc,
+            spec,
+            &entry,
+            &victim_wave,
+            &agg_waves,
+            agg_pol,
+            t_stop,
+            method,
+        );
+        if outcome.is_err() {
+            if let (Some(t), Some(k)) = (topo, key.as_ref()) {
+                t.quarantine(k);
+            }
+        }
+        outcome
+    }
+
+    /// Runs the noiseless/noisy transient pair on a factored system and
+    /// reduces the noisy waveform to `(Γeff, base arrival)`. Non-finite
+    /// node voltages — a poisoned solve — surface as a recoverable
+    /// numeric error rather than propagating NaN into the report.
+    #[allow(clippy::too_many_arguments)]
+    fn victim_reduce(
+        &self,
+        bc: &BoundaryConditions,
+        spec: &CouplingSpec,
+        entry: &CachedSystem,
+        victim_wave: &Waveform,
+        agg_waves: &[Waveform],
+        agg_pol: Polarity,
+        t_stop: f64,
+        method: MethodKind,
+    ) -> Result<(SaturatedRamp, f64), StaError> {
+        let th = Thresholds::cmos(self.library().voltage);
+        let vdd = th.vdd();
         let quiet_level = if agg_pol.is_rise() { 0.0 } else { vdd };
         let quiet = Waveform::constant(quiet_level, 0.0, t_stop)?;
         let mut quiet_sources: Vec<&Waveform> = Vec::with_capacity(1 + agg_waves.len());
-        quiet_sources.push(&victim_wave);
+        quiet_sources.push(victim_wave);
         quiet_sources.extend(agg_waves.iter().map(|_| &quiet));
         let noiseless = entry
             .system
@@ -1475,7 +1884,7 @@ impl Sta {
             noiseless.clone()
         } else {
             let mut noisy_sources: Vec<&Waveform> = Vec::with_capacity(1 + agg_waves.len());
-            noisy_sources.push(&victim_wave);
+            noisy_sources.push(victim_wave);
             noisy_sources.extend(agg_waves.iter());
             entry
                 .system
@@ -1483,6 +1892,16 @@ impl Sta {
                 .pop()
                 .expect("one trace per requested node")
         };
+        // A solve that went non-finite (NaN/inf node voltages) must not
+        // leak into crossing searches and the report: classify it as a
+        // numeric failure so the fallback chain can retry it.
+        if noiseless.values().iter().any(|v| !v.is_finite())
+            || noisy.values().iter().any(|v| !v.is_finite())
+        {
+            return Err(StaError::Circuit(nsta_circuit::CircuitError::Numeric(
+                nsta_circuit::NumericError::NonFinite("transient node voltages"),
+            )));
+        }
         let base_arrival = noiseless.last_crossing_or_err(th.mid())?;
 
         // Noiseless receiver response through the library tables (the

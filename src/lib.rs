@@ -52,6 +52,7 @@ pub use nsta_circuit as circuit;
 pub use nsta_constraints as constraints;
 pub use nsta_liberty as liberty;
 pub use nsta_numeric as numeric;
+pub use nsta_obs as obs;
 pub use nsta_parasitics as parasitics;
 pub use nsta_spice as spice;
 pub use nsta_sta as sta;

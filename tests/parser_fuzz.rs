@@ -1,0 +1,123 @@
+//! Parser robustness smoke: deterministic byte/token mutations of golden
+//! SPEF, Verilog and SDC inputs. Every mutated input must come back as
+//! `Ok` or a structured `Err` — a panic anywhere in a parser is a bug.
+//! The mutation stream is driven by the in-tree xorshift PRNG, so a
+//! failure reproduces from the printed case number alone.
+
+use noisy_sta::obs::XorShift64;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+const CASES: usize = 1_200;
+
+const GOLDEN_SPEF: &str = "*C_UNIT 1 FF\n*R_UNIT 1 OHM\n*NAME_MAP\n*1 v\n*2 g\n*3 h\n\
+     *D_NET *1 100.0\n\
+     *CONN\n*I u2:A I *L 5.0\n*I u9:B I *L 7.0\n\
+     *CAP\n1 *1:1 10.0\n2 *1:2 10.0\n3 *1:1 *2:1 30.0\n4 *1:2 *2:2 20.0\n\
+     5 *1:2 *3:1 15.0\n\
+     *RES\n1 *1 *1:1 8.0\n2 *1:1 *1:2 9.0\n*END\n\
+     *D_NET *2 20.0\n*CAP\n1 *2:1 20.0\n*END\n";
+
+const GOLDEN_VERILOG: &str = "module bus (a0, b0, y0, z0);\n\
+     input a0, b0; output y0, z0;\n\
+     wire v0, g0;\n\
+     INVX1 u1 (.A(a0), .Y(v0));\n\
+     INVX4 u2 (.A(v0), .Y(y0));\n\
+     INVX1 u3 (.A(b0), .Y(g0));\n\
+     INVX4 u4 (.A(g0), .Y(z0));\n\
+     endmodule\n";
+
+const GOLDEN_SDC: &str = include_str!("../crates/bench/data/bus.sdc");
+
+/// One mutated variant of `golden`: 1–4 random edits drawn from byte
+/// flips, span deletions, span duplications and token swaps.
+fn mutate(rng: &mut XorShift64, golden: &str) -> String {
+    let mut bytes = golden.as_bytes().to_vec();
+    let edits = 1 + rng.next_below(4);
+    for _ in 0..edits {
+        if bytes.is_empty() {
+            bytes.push(b'*');
+        }
+        let len = bytes.len() as u64;
+        match rng.next_below(4) {
+            0 => {
+                // Byte flip: any value, including non-UTF8 garbage (the
+                // lossy re-decode below maps it to U+FFFD).
+                let i = rng.next_below(len) as usize;
+                bytes[i] = rng.next_below(256) as u8;
+            }
+            1 => {
+                // Span deletion.
+                let i = rng.next_below(len) as usize;
+                let end = (i + 1 + rng.next_below(8) as usize).min(bytes.len());
+                bytes.drain(i..end);
+            }
+            2 => {
+                // Span duplication at a random insertion point.
+                let i = rng.next_below(len) as usize;
+                let end = (i + 1 + rng.next_below(8) as usize).min(bytes.len());
+                let span: Vec<u8> = bytes[i..end].to_vec();
+                let at = rng.next_below(bytes.len() as u64 + 1) as usize;
+                bytes.splice(at..at, span);
+            }
+            _ => {
+                // Token swap: exchange two whitespace-delimited tokens.
+                let text = String::from_utf8_lossy(&bytes).into_owned();
+                let mut tokens: Vec<&str> = text.split_whitespace().collect();
+                if tokens.len() >= 2 {
+                    let a = rng.next_below(tokens.len() as u64) as usize;
+                    let b = rng.next_below(tokens.len() as u64) as usize;
+                    tokens.swap(a, b);
+                    bytes = tokens.join(" ").into_bytes();
+                }
+            }
+        }
+    }
+    String::from_utf8_lossy(&bytes).into_owned()
+}
+
+/// Feeds `CASES` mutants of `golden` through `parse`, asserting no panic
+/// escapes and that the mutations actually exercise the error paths.
+fn fuzz(name: &str, golden: &str, seed: u64, parse: impl Fn(&str) -> bool) {
+    let mut rng = XorShift64::new(seed);
+    let mut errors = 0usize;
+    for case in 0..CASES {
+        let input = mutate(&mut rng, golden);
+        match catch_unwind(AssertUnwindSafe(|| parse(&input))) {
+            Ok(parsed_ok) => {
+                if !parsed_ok {
+                    errors += 1;
+                }
+            }
+            Err(_) => {
+                panic!("{name} parser panicked on mutation case {case} (seed {seed}):\n{input}")
+            }
+        }
+    }
+    // A mutation campaign that never reaches an error path is testing
+    // nothing; the goldens are small enough that most edits break them.
+    assert!(
+        errors > CASES / 10,
+        "{name}: only {errors}/{CASES} mutants errored — mutations too weak"
+    );
+}
+
+#[test]
+fn mutated_spef_never_panics() {
+    fuzz("SPEF", GOLDEN_SPEF, 0xDA7E_0001, |s| {
+        noisy_sta::parasitics::parse_spef(s).is_ok()
+    });
+}
+
+#[test]
+fn mutated_verilog_never_panics() {
+    fuzz("Verilog", GOLDEN_VERILOG, 0xDA7E_0002, |s| {
+        noisy_sta::sta::verilog::parse_design(s).is_ok()
+    });
+}
+
+#[test]
+fn mutated_sdc_never_panics() {
+    fuzz("SDC", GOLDEN_SDC, 0xDA7E_0003, |s| {
+        noisy_sta::constraints::parse_sdc(s).is_ok()
+    });
+}
