@@ -74,135 +74,35 @@
 //! never run with injection armed, so all non-`faults` sections stay
 //! bit-identical to an uninjected run.
 //!
+//! Pre-flight lint: `--lint` runs the `nsta-lint` rule registry over the
+//! bound design + SPEF + SDC before any solve and prints the diagnostics;
+//! `--lint=deny` additionally promotes warnings, so *any* diagnostic fails
+//! the run with exit code 4. Linting is strictly read-only — the timing
+//! sections of a `--lint` run are bit-identical to a run without it — and
+//! the report lands in the JSON artifact as a `lint` section CI validates.
+//!
 //! Usage: `spefbus [--groups N] [--threads N] [--segments N] [--sdc FILE]
-//! [--json PATH] [--trace FILE] [--metrics] [--strict-converge]
-//! [--no-topo-cache] [--dense-solver] [--inject SPEC] [--inject-seed N]`
+//! [--json PATH] [--trace FILE] [--metrics] [--lint[=deny]]
+//! [--strict-converge] [--no-topo-cache] [--dense-solver] [--inject SPEC]
+//! [--inject-seed N]`
 
+use nsta_bench::busgen::{netlist, spef};
 use nsta_bench::json::Json;
 use nsta_bench::microbench;
 use nsta_constraints::{bind_sdc, parse_sdc};
 use nsta_liberty::characterize::{inverter_family, Options};
-use nsta_parasitics::ast::{CapElem, DNet, SpefFile, SpefNode, Units};
 use nsta_parasitics::{bind_couplings, parse_spef, write_spef, BindOptions};
 use nsta_spice::Process;
-use nsta_sta::{verilog, Constraints, DegradeAction, FaultPolicy, SiOptions, SolverBackend, Sta};
-use std::fmt::Write as _;
+use nsta_sta::{
+    verilog, BoundaryConditions, Constraints, DegradeAction, FaultPolicy, SiOptions, SolverBackend,
+    Sta,
+};
 use std::time::Instant;
 
-/// Gate-level netlist of `groups` independent victim/aggressor groups.
-fn netlist(groups: usize) -> String {
-    let mut src = String::from("module bus (");
-    let mut ports = Vec::new();
-    for g in 0..groups {
-        ports.extend([format!("a{g}"), format!("b{g}"), format!("c{g}")]);
-        ports.extend([format!("y{g}"), format!("z{g}"), format!("w{g}")]);
-    }
-    src.push_str(&ports.join(", "));
-    src.push_str(");\n");
-    for g in 0..groups {
-        let _ = writeln!(src, "input a{g}, b{g}, c{g}; output y{g}, z{g}, w{g};");
-    }
-    for g in 0..groups {
-        let stages = 2 * g + 1;
-        let _ = writeln!(src, "wire v{g}, gn{g}, gf{g};");
-        let _ = writeln!(src, "INVX1 u{g}_1 (.A(a{g}), .Y(v{g}));");
-        let _ = writeln!(src, "INVX4 u{g}_2 (.A(v{g}), .Y(y{g}));");
-        let _ = writeln!(src, "INVX1 u{g}_3 (.A(b{g}), .Y(gn{g}));");
-        let _ = writeln!(src, "INVX4 u{g}_4 (.A(gn{g}), .Y(z{g}));");
-        let mut prev = format!("c{g}");
-        for s in 1..stages {
-            let _ = writeln!(src, "wire f{g}_{s};");
-            let _ = writeln!(src, "INVX1 c{g}_{s} (.A({prev}), .Y(f{g}_{s}));");
-            prev = format!("f{g}_{s}");
-        }
-        let _ = writeln!(src, "INVX1 c{g}_{stages} (.A({prev}), .Y(gf{g}));");
-        let _ = writeln!(src, "INVX4 u{g}_5 (.A(gf{g}), .Y(w{g}));");
-    }
-    src.push_str("endmodule\n");
-    src
-}
-
-/// A Figure-1-style extraction of every victim wire, built through the
-/// parasitics AST and round-tripped through the canonical writer (so the
-/// workload also exercises write → parse at scale).
-///
-/// `segments` sets the extraction granularity: each victim wire is cut
-/// into that many RC segments with the wire *totals* held fixed (25.5 Ω,
-/// 28.8 fF — the historical 3 × 8.5 Ω / 9.6 fF), so growing `--segments`
-/// grows the per-victim mesh without changing the electrical wire. The
-/// reduced aggressor lines default to the victim's spec, so the coupled
-/// mesh scales with it. The two coupling caps sit a third and two thirds
-/// of the way down the line (segments 1 and 2 in the historical
-/// 3-segment extraction).
-fn spef(groups: usize, segments: usize) -> SpefFile {
-    let seg_r = 25.5 / segments as f64;
-    let seg_c = if segments == 3 {
-        9.6e-15 // bit-exact historical value at the default granularity
-    } else {
-        28.8e-15 / segments as f64
-    };
-    let near_tap = (segments).div_ceil(3).to_string();
-    let far_tap = (2 * segments).div_ceil(3).to_string();
-    let seg_names: Vec<String> = (1..=segments).map(|k| k.to_string()).collect();
-    let mut nets = Vec::new();
-    for g in 0..groups {
-        let victim = format!("v{g}");
-        let near = format!("gn{g}");
-        let far = format!("gf{g}");
-        let mut caps = Vec::new();
-        for (k, seg) in seg_names.iter().enumerate() {
-            caps.push(CapElem {
-                id: (k + 1) as u64,
-                a: SpefNode::sub(&victim, seg),
-                b: None,
-                value: seg_c,
-            });
-        }
-        caps.push(CapElem {
-            id: (segments + 1) as u64,
-            a: SpefNode::sub(&victim, &near_tap),
-            b: Some(SpefNode::sub(&near, "1")),
-            value: 50e-15,
-        });
-        caps.push(CapElem {
-            id: (segments + 2) as u64,
-            a: SpefNode::sub(&victim, &far_tap),
-            b: Some(SpefNode::sub(&far, "1")),
-            value: 50e-15,
-        });
-        let mut ress = Vec::new();
-        let mut prev = SpefNode::net(&victim);
-        for (k, seg) in seg_names.iter().enumerate() {
-            let next = SpefNode::sub(&victim, seg);
-            ress.push(nsta_parasitics::ResElem {
-                id: (k + 1) as u64,
-                a: prev,
-                b: next.clone(),
-                value: seg_r,
-            });
-            prev = next;
-        }
-        nets.push(DNet {
-            name: victim,
-            total_cap: segments as f64 * seg_c + 100e-15,
-            conns: Vec::new(),
-            caps,
-            ress,
-        });
-    }
-    SpefFile {
-        design: "bus".into(),
-        divider: '/',
-        delimiter: ':',
-        units: Units::default(),
-        ports: Vec::new(),
-        nets,
-    }
-}
-
 const USAGE: &str = "usage: spefbus [--groups N] [--threads N] [--segments N] \
-[--sdc FILE] [--json PATH] [--trace FILE] [--metrics] [--strict-converge] \
-[--no-topo-cache] [--dense-solver] [--inject SPEC] [--inject-seed N] [--help]";
+[--sdc FILE] [--json PATH] [--trace FILE] [--metrics] [--lint[=deny]] \
+[--strict-converge] [--no-topo-cache] [--dense-solver] [--inject SPEC] \
+[--inject-seed N] [--help]";
 
 const HELP: &str = "SPEF-driven crosstalk STA workload with built-in parity gates.
 
@@ -214,6 +114,10 @@ flags:
   --json PATH         JSON report path (default BENCH_spefbus.json)
   --trace FILE        write a Chrome trace of an instrumented re-run
   --metrics           merge the counter snapshot into the JSON report
+  --lint              pre-flight lint the design + SPEF + SDC before any
+                      solve; deny-level diagnostics exit 4
+  --lint=deny         as --lint, but promote warnings: any diagnostic
+                      at all exits 4
   --strict-converge   treat fixed-point non-convergence as fatal (exit 3)
   --no-topo-cache     disable the topology-keyed factorization cache
   --dense-solver      use the dense partial-pivot transient backend
@@ -228,7 +132,9 @@ exit codes:
   1   parity-gate failure (stale JSON deleted, no new JSON written)
   2   usage or input error (unknown flag, bad value, unreadable --sdc,
       malformed --inject spec)
-  3   fixed point failed to converge under --strict-converge";
+  3   fixed point failed to converge under --strict-converge
+  4   pre-flight lint failed (deny diagnostics, or any diagnostic
+      under --lint=deny); no analysis was run, no JSON written";
 
 /// Stable wire names for degrade actions in the JSON report.
 fn action_name(a: DegradeAction) -> &'static str {
@@ -296,6 +202,9 @@ fn main() {
     let mut json_path = String::from("BENCH_spefbus.json");
     let mut trace_path: Option<String> = None;
     let mut metrics = false;
+    // None: no lint. Some(false): lint, gate on deny diagnostics.
+    // Some(true): lint, gate on any diagnostic (--lint=deny).
+    let mut lint_mode: Option<bool> = None;
     let mut strict_converge = false;
     let mut topo_cache = true;
     let mut backend = SolverBackend::Sparse;
@@ -311,6 +220,8 @@ fn main() {
             "--json" => json_path = string_flag("--json", args.next()),
             "--trace" => trace_path = Some(string_flag("--trace", args.next())),
             "--metrics" => metrics = true,
+            "--lint" => lint_mode = Some(false),
+            "--lint=deny" => lint_mode = Some(true),
             "--strict-converge" => strict_converge = true,
             "--no-topo-cache" => topo_cache = false,
             "--dense-solver" => backend = SolverBackend::Dense,
@@ -398,6 +309,61 @@ fn main() {
 
     let sta = Sta::new(design, lib).expect("sta");
     let c = Constraints::default();
+
+    // SDC read/parse/bind happens ahead of every analysis so the
+    // pre-flight lint sees the file-level constraints too; the
+    // constrained analysis itself still runs (and is timed) later.
+    let sdc_input = sdc_path.as_ref().map(|path| {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("spefbus: cannot read SDC file {path}: {e}");
+            std::process::exit(2);
+        });
+        let sdc = parse_sdc(&text).unwrap_or_else(|e| {
+            eprintln!("spefbus: cannot parse SDC file {path}: {e}");
+            std::process::exit(2);
+        });
+        let bound_sdc = bind_sdc(&sdc, sta.design(), &c).unwrap_or_else(|e| {
+            eprintln!("spefbus: cannot bind SDC file {path} onto the design: {e}");
+            std::process::exit(2);
+        });
+        (sdc, bound_sdc)
+    });
+
+    // Pre-flight lint: static semantic analysis over netlist + SPEF + SDC
+    // before any solve. Strictly read-only — a linted run's timing
+    // sections are bit-identical to an unlinted one — and gating: deny
+    // diagnostics (or, under --lint=deny, any diagnostic) exit 4 here,
+    // before a single transient system is assembled.
+    let lint_run = lint_mode.map(|promote| {
+        if observe {
+            rec.enable(); // capture the lint.run span + rule counters
+        }
+        let uniform = BoundaryConditions::uniform(&c);
+        let boundary = sdc_input
+            .as_ref()
+            .map_or(&uniform, |(_, bound_sdc)| &bound_sdc.boundary);
+        let input = nsta_lint::LintInput {
+            design: sta.design(),
+            library: sta.library(),
+            couplings: &bound.specs,
+            boundary,
+            spef: Some(&parsed),
+            sdc: sdc_input.as_ref().map(|(sdc, _)| sdc),
+        };
+        let report = nsta_lint::run_lint(&input, &nsta_lint::LintConfig::new());
+        if observe {
+            rec.disable();
+        }
+        print!("{}", report.render_human());
+        if report.fails(promote) {
+            eprintln!(
+                "spefbus: pre-flight lint failed at {} level; not running analysis",
+                if promote { "deny" } else { "warn" }
+            );
+            std::process::exit(4);
+        }
+        (promote, report)
+    });
 
     // The production flow: windows + incremental fixed point, 1 thread.
     let t = Instant::now();
@@ -538,20 +504,9 @@ fn main() {
     let unfiltered_time = t.elapsed();
 
     // SDC-constrained run: per-pin arrival windows from a real constraint
-    // set, compared against the uniform-constraint pruning above.
-    let sdc_run = sdc_path.as_ref().map(|path| {
-        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
-            eprintln!("spefbus: cannot read SDC file {path}: {e}");
-            std::process::exit(2);
-        });
-        let sdc = parse_sdc(&text).unwrap_or_else(|e| {
-            eprintln!("spefbus: cannot parse SDC file {path}: {e}");
-            std::process::exit(2);
-        });
-        let bound_sdc = bind_sdc(&sdc, sta.design(), &c).unwrap_or_else(|e| {
-            eprintln!("spefbus: cannot bind SDC file {path} onto the design: {e}");
-            std::process::exit(2);
-        });
+    // set (bound up front, before the lint), compared against the
+    // uniform-constraint pruning above.
+    let sdc_run = sdc_input.as_ref().map(|(_, bound_sdc)| {
         let t = Instant::now();
         let analysis = sta
             .analyze_with_crosstalk_windows(&bound_sdc.boundary, &bound.specs, &base_opts)
@@ -952,6 +907,38 @@ fn main() {
                     (
                         "false_paths",
                         Json::from(bound_sdc.boundary.false_paths().len()),
+                    ),
+                ]),
+                None => Json::Null,
+            },
+        ),
+        (
+            "lint",
+            match &lint_run {
+                // A failing lint never reaches this point (exit 4 above),
+                // so an archived section always describes a passing run.
+                Some((promote, lr)) => Json::obj([
+                    ("mode", Json::str(if *promote { "deny" } else { "warn" })),
+                    ("rules_run", Json::from(lr.rules_run)),
+                    ("warnings", Json::from(lr.warn_count())),
+                    ("denials", Json::from(lr.deny_count())),
+                    ("clean", Json::from(lr.is_clean())),
+                    (
+                        "diagnostics",
+                        Json::Arr(
+                            lr.diagnostics
+                                .iter()
+                                .map(|d| {
+                                    Json::obj([
+                                        ("rule_id", Json::str(d.rule_id)),
+                                        ("severity", Json::str(d.severity.as_str())),
+                                        ("subject", Json::str(d.subject.as_str())),
+                                        ("message", Json::str(d.message.as_str())),
+                                        ("suggestion", Json::str(d.suggestion.as_str())),
+                                    ])
+                                })
+                                .collect(),
+                        ),
                     ),
                 ]),
                 None => Json::Null,

@@ -1,0 +1,157 @@
+//! Generators for the `spefbus` coupled-bus workload.
+//!
+//! One module, two artifacts: the gate-level netlist and the matching SPEF
+//! extraction for `--groups` independent victim/aggressor groups. They live
+//! in the library (rather than inside the `spefbus` binary) so integration
+//! tests — notably the pre-flight lint's "the bench design is clean at deny
+//! level" gate — exercise the exact design CI benches, not a lookalike.
+
+use nsta_parasitics::ast::{CapElem, DNet, ResElem, SpefFile, SpefNode, Units};
+use std::fmt::Write as _;
+
+/// Gate-level netlist of `groups` independent victim/aggressor groups.
+///
+/// Group `i`'s far aggressor sits behind a chain of `2i + 1` inverters, so
+/// early groups keep both aggressors inside the victim's switching window
+/// while later groups get their far aggressor pruned.
+pub fn netlist(groups: usize) -> String {
+    let mut src = String::from("module bus (");
+    let mut ports = Vec::new();
+    for g in 0..groups {
+        ports.extend([format!("a{g}"), format!("b{g}"), format!("c{g}")]);
+        ports.extend([format!("y{g}"), format!("z{g}"), format!("w{g}")]);
+    }
+    src.push_str(&ports.join(", "));
+    src.push_str(");\n");
+    for g in 0..groups {
+        let _ = writeln!(src, "input a{g}, b{g}, c{g}; output y{g}, z{g}, w{g};");
+    }
+    for g in 0..groups {
+        let stages = 2 * g + 1;
+        let _ = writeln!(src, "wire v{g}, gn{g}, gf{g};");
+        let _ = writeln!(src, "INVX1 u{g}_1 (.A(a{g}), .Y(v{g}));");
+        let _ = writeln!(src, "INVX4 u{g}_2 (.A(v{g}), .Y(y{g}));");
+        let _ = writeln!(src, "INVX1 u{g}_3 (.A(b{g}), .Y(gn{g}));");
+        let _ = writeln!(src, "INVX4 u{g}_4 (.A(gn{g}), .Y(z{g}));");
+        let mut prev = format!("c{g}");
+        for s in 1..stages {
+            let _ = writeln!(src, "wire f{g}_{s};");
+            let _ = writeln!(src, "INVX1 c{g}_{s} (.A({prev}), .Y(f{g}_{s}));");
+            prev = format!("f{g}_{s}");
+        }
+        let _ = writeln!(src, "INVX1 c{g}_{stages} (.A({prev}), .Y(gf{g}));");
+        let _ = writeln!(src, "INVX4 u{g}_5 (.A(gf{g}), .Y(w{g}));");
+    }
+    src.push_str("endmodule\n");
+    src
+}
+
+/// The uniform RC chain every extracted wire in the workload carries:
+/// ground caps on nodes `name:1..=segments` and a resistor ladder from the
+/// base node through them, in id order. Victims append their coupling caps
+/// after these, so the ground-cap partial sums (and hence the reduced
+/// `RcLineSpec`) are bit-identical between a victim and an aggressor wire.
+fn rc_chain(
+    name: &str,
+    seg_names: &[String],
+    seg_r: f64,
+    seg_c: f64,
+) -> (Vec<CapElem>, Vec<ResElem>) {
+    let mut caps = Vec::new();
+    for (k, seg) in seg_names.iter().enumerate() {
+        caps.push(CapElem {
+            id: (k + 1) as u64,
+            a: SpefNode::sub(name, seg),
+            b: None,
+            value: seg_c,
+        });
+    }
+    let mut ress = Vec::new();
+    let mut prev = SpefNode::net(name);
+    for (k, seg) in seg_names.iter().enumerate() {
+        let next = SpefNode::sub(name, seg);
+        ress.push(ResElem {
+            id: (k + 1) as u64,
+            a: prev,
+            b: next.clone(),
+            value: seg_r,
+        });
+        prev = next;
+    }
+    (caps, ress)
+}
+
+/// A Figure-1-style extraction of every wire in the coupled groups, built
+/// through the parasitics AST and round-tripped through the canonical
+/// writer (so the workload also exercises write → parse at scale).
+///
+/// `segments` sets the extraction granularity: each wire is cut into that
+/// many RC segments with the wire *totals* held fixed (25.5 Ω, 28.8 fF —
+/// the historical 3 × 8.5 Ω / 9.6 fF), so growing `--segments` grows the
+/// per-victim mesh without changing the electrical wire. The two coupling
+/// caps sit a third and two thirds of the way down the victim's line
+/// (segments 1 and 2 in the historical 3-segment extraction).
+///
+/// Both aggressor wires of each group carry their own D_NET with the same
+/// chain, so the binder uses the aggressor's extraction instead of falling
+/// back to the victim's. The values are identical by construction, which
+/// keeps the timing results bit-identical to the historical
+/// victim-fallback extraction while making the file lint-clean
+/// (`spef.missing-annotation` has nothing to flag).
+pub fn spef(groups: usize, segments: usize) -> SpefFile {
+    let seg_r = 25.5 / segments as f64;
+    let seg_c = if segments == 3 {
+        9.6e-15 // bit-exact historical value at the default granularity
+    } else {
+        28.8e-15 / segments as f64
+    };
+    let near_tap = (segments).div_ceil(3).to_string();
+    let far_tap = (2 * segments).div_ceil(3).to_string();
+    let seg_names: Vec<String> = (1..=segments).map(|k| k.to_string()).collect();
+    let mut nets = Vec::new();
+    for g in 0..groups {
+        let victim = format!("v{g}");
+        let near = format!("gn{g}");
+        let far = format!("gf{g}");
+        let (mut caps, ress) = rc_chain(&victim, &seg_names, seg_r, seg_c);
+        caps.push(CapElem {
+            id: (segments + 1) as u64,
+            a: SpefNode::sub(&victim, &near_tap),
+            b: Some(SpefNode::sub(&near, "1")),
+            value: 50e-15,
+        });
+        caps.push(CapElem {
+            id: (segments + 2) as u64,
+            a: SpefNode::sub(&victim, &far_tap),
+            b: Some(SpefNode::sub(&far, "1")),
+            value: 50e-15,
+        });
+        nets.push(DNet {
+            name: victim,
+            total_cap: segments as f64 * seg_c + 100e-15,
+            conns: Vec::new(),
+            caps,
+            ress,
+        });
+        for aggressor in [near, far] {
+            let (caps, ress) = rc_chain(&aggressor, &seg_names, seg_r, seg_c);
+            nets.push(DNet {
+                name: aggressor,
+                // The SPEF header total conventionally includes the
+                // coupling this wire participates in (one 50 fF cap).
+                total_cap: segments as f64 * seg_c + 50e-15,
+                conns: Vec::new(),
+                caps,
+                ress,
+            });
+        }
+    }
+    SpefFile {
+        design: "bus".into(),
+        divider: '/',
+        delimiter: ':',
+        units: Units::default(),
+        ports: Vec::new(),
+        nets,
+    }
+}

@@ -5,6 +5,9 @@
 //! machinery: noise-injection workloads, per-case evaluation, accuracy
 //! aggregation and plain-text/CSV reporting.
 
+#![forbid(unsafe_code)]
+
+pub mod busgen;
 pub mod experiments;
 pub mod json;
 pub mod microbench;

@@ -1,0 +1,58 @@
+//! The generated bench workload must be lint-clean.
+//!
+//! `spefbus --lint=deny` gates this in CI, but through the binary; this
+//! test pins it at the library level against the exact generators, at the
+//! `--groups 64` scale the ROADMAP tracks, with every rule promoted to
+//! deny — so a generator regression (say, a victim coupling to a wire the
+//! netlist no longer declares) fails in `cargo test` before it fails in a
+//! release bench run.
+
+// Integration tests panic on failure by design; the workspace's
+// library-only unwrap/expect denies do not apply here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use nsta_bench::busgen::{netlist, spef};
+use nsta_liberty::characterize::{inverter_family, Options};
+use nsta_lint::{run_lint, LintConfig, LintInput, Severity, RULES};
+use nsta_parasitics::{bind_couplings, parse_spef, write_spef, BindOptions};
+use nsta_spice::Process;
+use nsta_sta::{verilog, BoundaryConditions, Sta};
+
+#[test]
+fn groups_64_design_lints_clean_at_deny_level() {
+    let groups = 64;
+    let lib = inverter_family(
+        &Process::c013(),
+        &[("INVX1", 1.0), ("INVX4", 4.0)],
+        &Options::fast_test(),
+    )
+    .unwrap();
+    let design = verilog::parse_design(&netlist(groups)).unwrap();
+    // Round-trip through the writer exactly as spefbus does.
+    let parsed = parse_spef(&write_spef(&spef(groups, 3))).unwrap();
+    let bound = bind_couplings(&parsed, &design, &BindOptions::default()).unwrap();
+    assert_eq!(bound.specs.len(), groups, "one victim spec per group");
+    let sta = Sta::new(design, lib).unwrap();
+
+    let mut config = LintConfig::new();
+    for rule in RULES {
+        assert!(config.set(rule.id, Severity::Deny));
+    }
+    let boundary = BoundaryConditions::default();
+    let input = LintInput {
+        design: sta.design(),
+        library: sta.library(),
+        couplings: &bound.specs,
+        boundary: &boundary,
+        spef: Some(&parsed),
+        sdc: None,
+    };
+    let report = run_lint(&input, &config);
+    assert!(
+        report.is_clean(),
+        "bench workload must produce zero diagnostics:\n{}",
+        report.render_human()
+    );
+    assert_eq!(report.rules_run, RULES.len());
+    assert!(!report.fails(true));
+}

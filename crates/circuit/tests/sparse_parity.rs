@@ -8,6 +8,10 @@
 //! cross-coupling caps, and star-coupled victim/aggressor bundles (the
 //! exact shape the SI flow factors).
 
+// Integration tests panic on failure by design; the workspace's
+// library-only unwrap/expect denies do not apply here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use nsta_circuit::{
     Circuit, NodeId, RcLineSpec, SolverBackend, StarCoupledLines, TransientOptions,
 };

@@ -52,6 +52,8 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod ast;
 mod bind;
 mod error;

@@ -3,6 +3,10 @@
 //! through the canonical writer, and exercise the binder's error paths —
 //! mirroring the SPEF golden tests of `nsta-parasitics`.
 
+// Integration tests panic on failure by design; the workspace's
+// library-only unwrap/expect denies do not apply here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use nsta_constraints::{bind_sdc, parse_sdc, write_sdc, MinMax, SdcCommand, SdcError};
 use nsta_sta::{Constraints, Design};
 

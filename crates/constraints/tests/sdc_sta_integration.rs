@@ -4,6 +4,10 @@
 //! delays produces per-pin `ArrivalWindow`s that *change aggressor
 //! pruning* versus the uniform `Constraints` run.
 
+// Integration tests panic on failure by design; the workspace's
+// library-only unwrap/expect denies do not apply here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use nsta_circuit::RcLineSpec;
 use nsta_constraints::{bind_sdc, parse_sdc};
 use nsta_liberty::characterize::{inverter_family, Options};

@@ -185,7 +185,7 @@ impl GateModel for TableGate {
         let arc = &self
             .cell
             .output()
-            .expect("validated at construction")
+            .ok_or(SgdpError::InvalidParameter("cell has no output pin"))?
             .timing[0];
         let out_rises = match arc.sense {
             nsta_liberty::TimingSense::NegativeUnate => !in_pol.is_rise(),

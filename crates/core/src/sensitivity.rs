@@ -137,7 +137,7 @@ impl SensitivityCurve {
     /// therefore carries no weight, exactly as in the paper.
     pub fn rho_at_voltage(&self, v: f64) -> f64 {
         let lo = self.map_volts[0];
-        let hi = *self.map_volts.last().expect("non-empty map");
+        let hi = self.map_volts[self.map_volts.len() - 1];
         if v < lo || v > hi {
             return 0.0;
         }
@@ -148,7 +148,7 @@ impl SensitivityCurve {
     /// zero outside the characterized span (where `ρ` is identically zero).
     pub fn drho_dv(&self, v: f64) -> f64 {
         let lo = self.map_volts[0];
-        let hi = *self.map_volts.last().expect("non-empty map");
+        let hi = self.map_volts[self.map_volts.len() - 1];
         if v < lo || v > hi {
             return 0.0;
         }

@@ -29,6 +29,8 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod ast;
 pub mod characterize;
 mod error;

@@ -1,0 +1,198 @@
+//! Per-rule severity configuration.
+//!
+//! A [`LintConfig`] starts from each rule's registry default and applies
+//! overrides parsed from a minimal `rule.id = level` file:
+//!
+//! ```text
+//! # promote missing annotations, silence the floating-net rule
+//! spef.missing-annotation = deny
+//! net.floating = allow
+//! ```
+//!
+//! Unknown rule ids and unknown levels are hard errors — a typo in a lint
+//! config silently disabling a rule is exactly the failure mode a linter
+//! exists to prevent.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::diag::Severity;
+use crate::rules::{rule, RuleDescriptor};
+
+/// A config-file parse failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LintConfigError {
+    /// A line was not of the form `key = level`.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// The offending line text.
+        text: String,
+    },
+    /// The key does not name a registered rule.
+    UnknownRule {
+        /// 1-based line number.
+        line: usize,
+        /// The unrecognized rule id.
+        rule_id: String,
+    },
+    /// The value is not `allow`, `warn` or `deny`.
+    UnknownLevel {
+        /// 1-based line number.
+        line: usize,
+        /// The unrecognized level text.
+        level: String,
+    },
+}
+
+impl fmt::Display for LintConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LintConfigError::Malformed { line, text } => {
+                write!(f, "line {line}: expected `rule.id = level`, got `{text}`")
+            }
+            LintConfigError::UnknownRule { line, rule_id } => {
+                write!(f, "line {line}: unknown lint rule `{rule_id}`")
+            }
+            LintConfigError::UnknownLevel { line, level } => {
+                write!(
+                    f,
+                    "line {line}: unknown level `{level}` (expected allow, warn or deny)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for LintConfigError {}
+
+/// Per-rule severity overrides on top of the registry defaults.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LintConfig {
+    overrides: BTreeMap<&'static str, Severity>,
+}
+
+impl LintConfig {
+    /// The default configuration: every rule at its registry severity.
+    pub fn new() -> Self {
+        LintConfig::default()
+    }
+
+    /// Parses a `rule.id = level` config file. Blank lines and `#`
+    /// comments are ignored.
+    ///
+    /// # Errors
+    ///
+    /// [`LintConfigError`] on malformed lines, unknown rule ids, or
+    /// unknown severity levels.
+    pub fn parse(text: &str) -> Result<Self, LintConfigError> {
+        let mut config = LintConfig::default();
+        for (i, raw) in text.lines().enumerate() {
+            let line = i + 1;
+            let trimmed = raw.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            let Some((key, value)) = trimmed.split_once('=') else {
+                return Err(LintConfigError::Malformed {
+                    line,
+                    text: trimmed.to_string(),
+                });
+            };
+            let key = key.trim();
+            let value = value.trim();
+            let Some(descriptor) = rule(key) else {
+                return Err(LintConfigError::UnknownRule {
+                    line,
+                    rule_id: key.to_string(),
+                });
+            };
+            let Some(level) = Severity::parse(value) else {
+                return Err(LintConfigError::UnknownLevel {
+                    line,
+                    level: value.to_string(),
+                });
+            };
+            config.overrides.insert(descriptor.id, level);
+        }
+        Ok(config)
+    }
+
+    /// Overrides a single rule's severity programmatically.
+    ///
+    /// Returns `false` (and changes nothing) when `rule_id` is unknown.
+    pub fn set(&mut self, rule_id: &str, level: Severity) -> bool {
+        match rule(rule_id) {
+            Some(descriptor) => {
+                self.overrides.insert(descriptor.id, level);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The effective severity of a rule under this configuration.
+    pub fn severity_for(&self, descriptor: &RuleDescriptor) -> Severity {
+        self.overrides
+            .get(descriptor.id)
+            .copied()
+            .unwrap_or(descriptor.default_severity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::RULES;
+
+    #[test]
+    fn defaults_match_registry() {
+        let config = LintConfig::new();
+        for descriptor in RULES {
+            assert_eq!(config.severity_for(descriptor), descriptor.default_severity);
+        }
+    }
+
+    #[test]
+    fn parses_overrides_comments_and_blanks() {
+        let config = LintConfig::parse(
+            "# comment\n\nnet.floating = allow\n  spef.missing-annotation=deny  \n",
+        )
+        .unwrap();
+        let floating = rule("net.floating").unwrap();
+        let missing = rule("spef.missing-annotation").unwrap();
+        assert_eq!(config.severity_for(floating), Severity::Allow);
+        assert_eq!(config.severity_for(missing), Severity::Deny);
+    }
+
+    #[test]
+    fn rejects_unknown_rule() {
+        assert!(matches!(
+            LintConfig::parse("net.does-not-exist = warn"),
+            Err(LintConfigError::UnknownRule { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_unknown_level() {
+        assert!(matches!(
+            LintConfig::parse("net.floating = fatal"),
+            Err(LintConfigError::UnknownLevel { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_malformed_line() {
+        assert!(matches!(
+            LintConfig::parse("net.floating warn"),
+            Err(LintConfigError::Malformed { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn set_rejects_unknown_ids() {
+        let mut config = LintConfig::new();
+        assert!(config.set("net.floating", Severity::Deny));
+        assert!(!config.set("bogus.rule", Severity::Deny));
+    }
+}

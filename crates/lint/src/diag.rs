@@ -1,0 +1,243 @@
+//! Diagnostic model and reporters.
+//!
+//! Every rule violation is a structured [`LintDiagnostic`]; a lint run
+//! collects them into a [`LintReport`] that renders either human-readable
+//! text or machine-readable JSON (one object per diagnostic, stable
+//! `rule_id`s — the shape CI gates validate).
+
+use std::fmt;
+
+/// Effective severity of a rule or diagnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Rule disabled: violations are suppressed entirely.
+    Allow,
+    /// Reported, but does not fail a deny-gated run by itself.
+    Warn,
+    /// Reported and fails a lint-gated run (exit code 4 in `spefbus`).
+    Deny,
+}
+
+impl Severity {
+    /// Canonical lowercase name, as written in config files and JSON.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Allow => "allow",
+            Severity::Warn => "warn",
+            Severity::Deny => "deny",
+        }
+    }
+
+    /// Parses a config-file level name.
+    pub fn parse(s: &str) -> Option<Severity> {
+        match s {
+            "allow" => Some(Severity::Allow),
+            "warn" => Some(Severity::Warn),
+            "deny" => Some(Severity::Deny),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One rule violation, with enough structure for both reporters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LintDiagnostic {
+    /// Stable rule identifier (`net.undriven`, `spef.nonpositive-rc`, …).
+    pub rule_id: &'static str,
+    /// Effective severity after config overrides.
+    pub severity: Severity,
+    /// What the diagnostic is about: a net, port, or `file:line` subject.
+    pub subject: String,
+    /// Human-readable description of the violation.
+    pub message: String,
+    /// Actionable fix hint.
+    pub suggestion: String,
+}
+
+/// The result of one lint run: diagnostics plus run metadata.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LintReport {
+    /// All emitted diagnostics, in deterministic rule-then-subject order.
+    /// Diagnostics from rules configured `allow` are suppressed before
+    /// they reach the report.
+    pub diagnostics: Vec<LintDiagnostic>,
+    /// Number of rules evaluated (rules configured `allow` are skipped
+    /// and not counted).
+    pub rules_run: usize,
+}
+
+impl LintReport {
+    /// Number of warn-level diagnostics.
+    pub fn warn_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Warn)
+            .count()
+    }
+
+    /// Number of deny-level diagnostics.
+    pub fn deny_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Deny)
+            .count()
+    }
+
+    /// `true` when no diagnostics were emitted at all.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Whether the run fails a lint gate: any deny-level diagnostic, or —
+    /// with `promote_warnings` (the `--lint=deny` mode) — any diagnostic
+    /// at all.
+    pub fn fails(&self, promote_warnings: bool) -> bool {
+        if promote_warnings {
+            !self.diagnostics.is_empty()
+        } else {
+            self.deny_count() > 0
+        }
+    }
+
+    /// Human-readable report: one line per diagnostic plus a summary
+    /// footer, in the style of compiler output.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&format!(
+                "{}: [{}] {}: {}\n    hint: {}\n",
+                d.severity, d.rule_id, d.subject, d.message, d.suggestion
+            ));
+        }
+        out.push_str(&format!(
+            "lint: {} rules run, {} warning(s), {} denial(s)\n",
+            self.rules_run,
+            self.warn_count(),
+            self.deny_count()
+        ));
+        out
+    }
+
+    /// Machine-readable JSON: an array with one object per diagnostic.
+    ///
+    /// The shape is stable and CI-gated: every object carries exactly the
+    /// keys `rule_id`, `severity`, `subject`, `message`, `suggestion`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("[");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"rule_id\":{},\"severity\":{},\"subject\":{},\"message\":{},\"suggestion\":{}}}",
+                json_string(d.rule_id),
+                json_string(d.severity.as_str()),
+                json_string(&d.subject),
+                json_string(&d.message),
+                json_string(&d.suggestion)
+            ));
+        }
+        out.push(']');
+        out
+    }
+}
+
+/// Escapes a string into a JSON string literal (quotes included).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(sev: Severity) -> LintDiagnostic {
+        LintDiagnostic {
+            rule_id: "net.undriven",
+            severity: sev,
+            subject: "n1".into(),
+            message: "net n1 has no driver".into(),
+            suggestion: "connect a driver or remove the net".into(),
+        }
+    }
+
+    #[test]
+    fn counts_and_gating() {
+        let report = LintReport {
+            diagnostics: vec![diag(Severity::Warn), diag(Severity::Deny)],
+            rules_run: 12,
+        };
+        assert_eq!(report.warn_count(), 1);
+        assert_eq!(report.deny_count(), 1);
+        assert!(!report.is_clean());
+        assert!(report.fails(false));
+
+        let warn_only = LintReport {
+            diagnostics: vec![diag(Severity::Warn)],
+            rules_run: 12,
+        };
+        assert!(!warn_only.fails(false));
+        assert!(warn_only.fails(true));
+        assert!(!LintReport::default().fails(true));
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let report = LintReport {
+            diagnostics: vec![diag(Severity::Deny)],
+            rules_run: 12,
+        };
+        let json = report.to_json();
+        assert!(json.starts_with('['));
+        assert!(json.contains("\"rule_id\":\"net.undriven\""));
+        assert!(json.contains("\"severity\":\"deny\""));
+        assert!(json.contains("\"subject\":\"n1\""));
+        assert!(json.contains("\"suggestion\""));
+    }
+
+    #[test]
+    fn json_escapes_special_characters() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn severity_roundtrip() {
+        for sev in [Severity::Allow, Severity::Warn, Severity::Deny] {
+            assert_eq!(Severity::parse(sev.as_str()), Some(sev));
+        }
+        assert_eq!(Severity::parse("fatal"), None);
+        assert!(Severity::Allow < Severity::Warn && Severity::Warn < Severity::Deny);
+    }
+
+    #[test]
+    fn human_report_mentions_rule_and_summary() {
+        let report = LintReport {
+            diagnostics: vec![diag(Severity::Warn)],
+            rules_run: 12,
+        };
+        let text = report.render_human();
+        assert!(text.contains("[net.undriven]"));
+        assert!(text.contains("12 rules run"));
+    }
+}

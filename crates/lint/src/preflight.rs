@@ -1,0 +1,39 @@
+//! `Sta::preflight` — lint as an engine extension method.
+//!
+//! `nsta-lint` sits *above* `nsta-sta` in the dependency graph, so the
+//! method lives here as an extension trait rather than on the engine
+//! itself. Bring [`Preflight`] into scope and a constructed [`Sta`] lints
+//! the exact design + library it will analyze — the entry point a
+//! long-lived ECO timing server calls before every incremental solve.
+
+use nsta_sta::{BoundaryConditions, CouplingSpec, Sta};
+
+use crate::config::LintConfig;
+use crate::diag::LintReport;
+use crate::rules::{run_lint, LintInput};
+
+/// Pre-flight linting over an engine's bound design.
+pub trait Preflight {
+    /// Lints the engine's design and library together with the coupling
+    /// specs and boundary conditions of the upcoming analysis, using the
+    /// default per-rule severities.
+    ///
+    /// SPEF/SDC file-level rules do not fire here (the engine no longer
+    /// holds the source files); use [`run_lint`] with a full
+    /// [`LintInput`] for file-aware linting.
+    fn preflight(&self, couplings: &[CouplingSpec], boundary: &BoundaryConditions) -> LintReport;
+}
+
+impl Preflight for Sta {
+    fn preflight(&self, couplings: &[CouplingSpec], boundary: &BoundaryConditions) -> LintReport {
+        let input = LintInput {
+            design: self.design(),
+            library: self.library(),
+            couplings,
+            boundary,
+            spef: None,
+            sdc: None,
+        };
+        run_lint(&input, &LintConfig::new())
+    }
+}

@@ -1,0 +1,370 @@
+//! One golden fixture per lint rule.
+//!
+//! Every registered rule gets a minimal design/SPEF/SDC fixture that
+//! triggers it (asserted by stable `rule_id`), plus negative tests: a
+//! fully clean design produces zero diagnostics, and `allow` config
+//! levels suppress a rule entirely.
+
+// Integration tests panic on failure by design; the workspace's
+// library-only unwrap/expect denies do not apply here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use nsta_constraints::parse_sdc;
+use nsta_liberty::{Cell, Direction, Library, NldmTable, Pin, TimingArc, TimingSense};
+use nsta_lint::{run_lint, LintConfig, LintInput, Preflight, Severity, RULES};
+use nsta_parasitics::ast::{CapElem, DNet, ResElem, SpefFile, SpefNode, Units};
+use nsta_sta::{verilog, BoundaryConditions, InputBoundary, OutputBoundary, Sta};
+
+fn table() -> NldmTable {
+    NldmTable::new(
+        vec![10e-12, 100e-12],
+        vec![1e-15, 10e-15],
+        vec![20e-12, 40e-12, 30e-12, 60e-12],
+    )
+    .unwrap()
+}
+
+/// A hand-rolled single-inverter library: enough pin-direction and NLDM
+/// structure for every rule without running characterization.
+fn tiny_lib() -> Library {
+    let arc = TimingArc {
+        related_pin: "A".into(),
+        sense: TimingSense::NegativeUnate,
+        cell_rise: table(),
+        rise_transition: table(),
+        cell_fall: table(),
+        fall_transition: table(),
+    };
+    let mut lib = Library::new("lint-fixture", 1.2);
+    lib.push_cell(Cell {
+        name: "INVX1".into(),
+        area: 1.6,
+        pins: vec![
+            Pin {
+                name: "A".into(),
+                direction: Direction::Input,
+                capacitance: 5e-15,
+                function: None,
+                timing: vec![],
+            },
+            Pin {
+                name: "Y".into(),
+                direction: Direction::Output,
+                capacitance: 0.0,
+                function: Some("!A".into()),
+                timing: vec![arc],
+            },
+        ],
+    });
+    lib
+}
+
+/// The clean reference design: a two-inverter chain `a → w → y`.
+fn chain() -> nsta_sta::Design {
+    verilog::parse_design(
+        r#"
+        module m (a, y);
+          input a; output y;
+          wire w;
+          INVX1 u1 (.A(a), .Y(w));
+          INVX1 u2 (.A(w), .Y(y));
+        endmodule
+    "#,
+    )
+    .unwrap()
+}
+
+/// A well-formed extraction of the chain's internal wire `w`: one ground
+/// cap behind one resistor segment, no couplings.
+fn clean_spef_for_w() -> SpefFile {
+    spef_with(vec![DNet {
+        name: "w".into(),
+        total_cap: 5e-15,
+        conns: Vec::new(),
+        caps: vec![CapElem {
+            id: 1,
+            a: SpefNode::sub("w", "1"),
+            b: None,
+            value: 5e-15,
+        }],
+        ress: vec![ResElem {
+            id: 1,
+            a: SpefNode::net("w"),
+            b: SpefNode::sub("w", "1"),
+            value: 10.0,
+        }],
+    }])
+}
+
+fn spef_with(nets: Vec<DNet>) -> SpefFile {
+    SpefFile {
+        design: "m".into(),
+        divider: '/',
+        delimiter: ':',
+        units: Units::default(),
+        ports: Vec::new(),
+        nets,
+    }
+}
+
+/// Runs the linter with default severities over the given pieces.
+fn lint(
+    design: &nsta_sta::Design,
+    boundary: &BoundaryConditions,
+    spef: Option<&SpefFile>,
+    sdc: Option<&nsta_constraints::SdcFile>,
+) -> nsta_lint::LintReport {
+    let lib = tiny_lib();
+    let input = LintInput {
+        design,
+        library: &lib,
+        couplings: &[],
+        boundary,
+        spef,
+        sdc,
+    };
+    run_lint(&input, &LintConfig::new())
+}
+
+fn fired(report: &nsta_lint::LintReport, rule_id: &str) -> bool {
+    report.diagnostics.iter().any(|d| d.rule_id == rule_id)
+}
+
+#[test]
+fn fires_net_undriven() {
+    let design = verilog::parse_design(
+        r#"
+        module m (a, y);
+          input a; output y;
+          wire u;
+          INVX1 u1 (.A(u), .Y(y));
+        endmodule
+    "#,
+    )
+    .unwrap();
+    let report = lint(&design, &BoundaryConditions::default(), None, None);
+    assert!(fired(&report, "net.undriven"), "{report:?}");
+}
+
+#[test]
+fn fires_net_multi_driven() {
+    let design = verilog::parse_design(
+        r#"
+        module m (a, b, y);
+          input a, b; output y;
+          INVX1 u1 (.A(a), .Y(y));
+          INVX1 u2 (.A(b), .Y(y));
+        endmodule
+    "#,
+    )
+    .unwrap();
+    let report = lint(&design, &BoundaryConditions::default(), None, None);
+    assert!(fired(&report, "net.multi-driven"), "{report:?}");
+    // The diagnostic names both shorted drivers.
+    let diag = report
+        .diagnostics
+        .iter()
+        .find(|d| d.rule_id == "net.multi-driven")
+        .unwrap();
+    assert!(diag.message.contains("u1/Y") && diag.message.contains("u2/Y"));
+}
+
+#[test]
+fn fires_net_floating() {
+    let design = verilog::parse_design(
+        r#"
+        module m (a, y);
+          input a; output y;
+          wire u;
+          INVX1 u1 (.A(a), .Y(y));
+          INVX1 u2 (.A(a), .Y(u));
+        endmodule
+    "#,
+    )
+    .unwrap();
+    let report = lint(&design, &BoundaryConditions::default(), None, None);
+    assert!(fired(&report, "net.floating"), "{report:?}");
+    assert!(report
+        .diagnostics
+        .iter()
+        .any(|d| d.rule_id == "net.floating" && d.subject == "u"));
+}
+
+#[test]
+fn fires_spef_unknown_net() {
+    let spef = spef_with(vec![DNet {
+        name: "ghost".into(),
+        total_cap: 1e-15,
+        conns: Vec::new(),
+        caps: vec![CapElem {
+            id: 1,
+            a: SpefNode::sub("ghost", "1"),
+            b: None,
+            value: 1e-15,
+        }],
+        ress: Vec::new(),
+    }]);
+    let report = lint(&chain(), &BoundaryConditions::default(), Some(&spef), None);
+    assert!(fired(&report, "spef.unknown-net"), "{report:?}");
+}
+
+#[test]
+fn fires_spef_unknown_coupling_net() {
+    let mut spef = clean_spef_for_w();
+    spef.nets[0].caps.push(CapElem {
+        id: 2,
+        a: SpefNode::sub("w", "1"),
+        b: Some(SpefNode::sub("phantom", "1")),
+        value: 2e-15,
+    });
+    let report = lint(&chain(), &BoundaryConditions::default(), Some(&spef), None);
+    assert!(fired(&report, "spef.unknown-coupling-net"), "{report:?}");
+}
+
+#[test]
+fn fires_spef_missing_annotation() {
+    // `w` couples to `a`, which exists in the design but carries no D_NET.
+    let mut spef = clean_spef_for_w();
+    spef.nets[0].caps.push(CapElem {
+        id: 2,
+        a: SpefNode::sub("w", "1"),
+        b: Some(SpefNode::sub("a", "1")),
+        value: 2e-15,
+    });
+    let report = lint(&chain(), &BoundaryConditions::default(), Some(&spef), None);
+    assert!(fired(&report, "spef.missing-annotation"), "{report:?}");
+    assert!(report
+        .diagnostics
+        .iter()
+        .any(|d| d.rule_id == "spef.missing-annotation" && d.subject == "a"));
+}
+
+#[test]
+fn fires_spef_nonpositive_rc() {
+    for bad in [0.0, -3.5, f64::NAN] {
+        let mut spef = clean_spef_for_w();
+        spef.nets[0].ress[0].value = bad;
+        let report = lint(&chain(), &BoundaryConditions::default(), Some(&spef), None);
+        assert!(
+            fired(&report, "spef.nonpositive-rc"),
+            "value {bad}: {report:?}"
+        );
+    }
+}
+
+#[test]
+fn fires_spef_degenerate_extraction() {
+    // The ground cap sits on w:2, which no resistor reaches from the root.
+    let mut spef = clean_spef_for_w();
+    spef.nets[0].caps[0].a = SpefNode::sub("w", "2");
+    let report = lint(&chain(), &BoundaryConditions::default(), Some(&spef), None);
+    assert!(fired(&report, "spef.degenerate-extraction"), "{report:?}");
+}
+
+#[test]
+fn fires_spef_duplicate_annotation() {
+    let mut spef = clean_spef_for_w();
+    let dup = spef.nets[0].clone();
+    spef.nets.push(dup);
+    let report = lint(&chain(), &BoundaryConditions::default(), Some(&spef), None);
+    assert!(fired(&report, "spef.duplicate-annotation"), "{report:?}");
+}
+
+#[test]
+fn fires_sdc_unknown_port() {
+    // `nope` does not exist; `y` exists but is an output, not an input.
+    let sdc = parse_sdc(
+        "create_clock -name clk -period 4 [get_ports nope]\n\
+         set_input_delay 0.1 -clock clk [get_ports y]\n",
+    )
+    .unwrap();
+    let report = lint(&chain(), &BoundaryConditions::default(), None, Some(&sdc));
+    let hits: Vec<_> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.rule_id == "sdc.unknown-port")
+        .collect();
+    assert_eq!(hits.len(), 2, "{report:?}");
+}
+
+#[test]
+fn fires_sdc_unconstrained_endpoint() {
+    // required = +inf on every output and no false path covering it.
+    let boundary = BoundaryConditions::new(
+        InputBoundary::point(0.0, 50e-12),
+        OutputBoundary::unconstrained(5e-15),
+    );
+    let report = lint(&chain(), &boundary, None, None);
+    assert!(fired(&report, "sdc.unconstrained-endpoint"), "{report:?}");
+    assert!(report
+        .diagnostics
+        .iter()
+        .any(|d| d.rule_id == "sdc.unconstrained-endpoint" && d.subject == "y"));
+}
+
+#[test]
+fn fires_sdc_clock_period() {
+    // 1 ps clock against a two-inverter chain whose fastest corner is
+    // tens of ps: even zero-load gates cannot fit the period.
+    let mut boundary = BoundaryConditions::default();
+    boundary.set_clock_period(1e-12);
+    let report = lint(&chain(), &boundary, None, None);
+    assert!(fired(&report, "sdc.clock-period"), "{report:?}");
+}
+
+#[test]
+fn clean_design_yields_zero_diagnostics() {
+    let sdc = parse_sdc(
+        "create_clock -name clk -period 4 [get_ports a]\n\
+         set_output_delay 0.5 -clock clk [get_ports y]\n",
+    )
+    .unwrap();
+    let spef = clean_spef_for_w();
+    let report = lint(
+        &chain(),
+        &BoundaryConditions::default(),
+        Some(&spef),
+        Some(&sdc),
+    );
+    assert!(report.is_clean(), "{report:?}");
+    assert_eq!(report.rules_run, RULES.len());
+    assert!(!report.fails(true));
+}
+
+#[test]
+fn allow_level_suppresses_a_rule() {
+    let design = verilog::parse_design(
+        r#"
+        module m (a, y);
+          input a; output y;
+          wire u;
+          INVX1 u1 (.A(a), .Y(y));
+          INVX1 u2 (.A(a), .Y(u));
+        endmodule
+    "#,
+    )
+    .unwrap();
+    let lib = tiny_lib();
+    let mut config = LintConfig::new();
+    assert!(config.set("net.floating", Severity::Allow));
+    let boundary = BoundaryConditions::default();
+    let input = LintInput {
+        design: &design,
+        library: &lib,
+        couplings: &[],
+        boundary: &boundary,
+        spef: None,
+        sdc: None,
+    };
+    let report = run_lint(&input, &config);
+    assert!(!fired(&report, "net.floating"), "{report:?}");
+    assert_eq!(report.rules_run, RULES.len() - 1);
+}
+
+#[test]
+fn preflight_extension_lints_an_engine() {
+    let sta = Sta::new(chain(), tiny_lib()).unwrap();
+    let report = sta.preflight(&[], &BoundaryConditions::default());
+    assert!(report.is_clean(), "{report:?}");
+    assert_eq!(report.rules_run, RULES.len());
+}

@@ -13,7 +13,7 @@ use crate::NumericError;
 #[inline]
 pub fn segment_index(grid: &[f64], x: f64) -> usize {
     debug_assert!(grid.len() >= 2);
-    match grid.binary_search_by(|g| g.partial_cmp(&x).expect("non-finite grid entry")) {
+    match grid.binary_search_by(|g| g.total_cmp(&x)) {
         Ok(i) => i.min(grid.len() - 2),
         Err(0) => 0,
         Err(i) => (i - 1).min(grid.len() - 2),
@@ -124,9 +124,8 @@ pub fn crossings(xs: &[f64], ys: &[f64], level: f64) -> Vec<f64> {
         }
     }
     // Trailing endpoint exactly on the level.
-    if *ys.last().expect("non-empty") == level {
-        let x_last = *xs.last().expect("non-empty");
-        if out.last().is_none_or(|&last| last < x_last) {
+    if let (Some(&y_last), Some(&x_last)) = (ys.last(), xs.last()) {
+        if y_last == level && out.last().is_none_or(|&last| last < x_last) {
             out.push(x_last);
         }
     }

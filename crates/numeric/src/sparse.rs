@@ -228,7 +228,7 @@ impl CsrMatrix {
     pub fn add_at(&mut self, r: usize, c: usize, v: f64) {
         let k = self
             .value_index(r, c)
-            .expect("entry outside the assembled sparsity pattern");
+            .unwrap_or_else(|| panic!("entry ({r}, {c}) outside the assembled sparsity pattern"));
         self.values[k] += v;
     }
 
@@ -418,7 +418,8 @@ fn rcm_ordering(a: &CsrMatrix) -> Vec<usize> {
                 }
             }
         }
-        *out.last().expect("bfs visits at least the start")
+        // BFS pushed at least the start node before the loop ran.
+        out[out.len() - 1]
     };
     for seed in 0..n {
         if visited[seed] {

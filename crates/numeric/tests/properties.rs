@@ -3,6 +3,10 @@
 //! The workspace builds offline, so instead of a property-testing framework
 //! these run each invariant over a deterministic seeded sweep of inputs.
 
+// Integration tests panic on failure by design; the workspace's
+// library-only unwrap/expect denies do not apply here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use nsta_numeric::interp;
 use nsta_numeric::{DenseMatrix, LineFit, LuFactors};
 

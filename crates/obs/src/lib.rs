@@ -79,6 +79,8 @@
 //! assert_eq!(rec.metrics().get("demo.widgets"), Some(3.0));
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod export;
 pub mod fault;
 mod recorder;

@@ -3,7 +3,7 @@
 use std::borrow::Cow;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread::ThreadId;
 use std::time::Instant;
 
@@ -61,6 +61,16 @@ impl MetricsSnapshot {
 
 const CLOCK_MONOTONIC: u8 = 0;
 const CLOCK_FAKE: u8 = 1;
+
+/// Locks a registry mutex, recovering from poisoning: every critical
+/// section below is a single push/insert/clone that cannot leave the
+/// registry in a torn state, so a panic on another thread (e.g. an
+/// injected worker fault) must not cascade into instrumentation panics.
+fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
 
 /// A thread-safe span/counter registry with a monotonic (or fake) clock.
 ///
@@ -129,10 +139,10 @@ impl Recorder {
     /// Clears events, counters, gauges and thread numbering, and rewinds
     /// the fake clock. The enabled flag and clock mode are left as set.
     pub fn reset(&self) {
-        self.events.lock().expect("obs events lock").clear();
-        self.counters.lock().expect("obs counters lock").clear();
-        self.gauges.lock().expect("obs gauges lock").clear();
-        self.tids.lock().expect("obs tids lock").clear();
+        lock_unpoisoned(&self.events).clear();
+        lock_unpoisoned(&self.counters).clear();
+        lock_unpoisoned(&self.gauges).clear();
+        lock_unpoisoned(&self.tids).clear();
         self.next_tid.store(0, Ordering::Relaxed);
         self.fake_now_ns.store(0, Ordering::Relaxed);
     }
@@ -168,23 +178,23 @@ impl Recorder {
 
     fn tid(&self) -> u64 {
         let id = std::thread::current().id();
-        let mut tids = self.tids.lock().expect("obs tids lock");
+        let mut tids = lock_unpoisoned(&self.tids);
         *tids
             .entry(id)
             .or_insert_with(|| self.next_tid.fetch_add(1, Ordering::Relaxed))
     }
 
     pub(crate) fn push_event(&self, event: TraceEvent) {
-        self.events.lock().expect("obs events lock").push(event);
+        lock_unpoisoned(&self.events).push(event);
     }
 
     pub(crate) fn events_snapshot(&self) -> Vec<TraceEvent> {
-        self.events.lock().expect("obs events lock").clone()
+        lock_unpoisoned(&self.events).clone()
     }
 
     /// Number of buffered trace events.
     pub fn event_count(&self) -> usize {
-        self.events.lock().expect("obs events lock").len()
+        lock_unpoisoned(&self.events).len()
     }
 
     /// Opens a span in the default category. Bind the guard; it records
@@ -233,13 +243,7 @@ impl Recorder {
     }
 
     fn counter_cell(&self, name: &'static str) -> Arc<AtomicU64> {
-        Arc::clone(
-            self.counters
-                .lock()
-                .expect("obs counters lock")
-                .entry(name)
-                .or_default(),
-        )
+        Arc::clone(lock_unpoisoned(&self.counters).entry(name).or_default())
     }
 
     /// Adds `delta` to the named counter (no-op while disabled). The
@@ -253,13 +257,7 @@ impl Recorder {
     }
 
     fn gauge_cell(&self, name: &'static str) -> Arc<AtomicU64> {
-        Arc::clone(
-            self.gauges
-                .lock()
-                .expect("obs gauges lock")
-                .entry(name)
-                .or_default(),
-        )
+        Arc::clone(lock_unpoisoned(&self.gauges).entry(name).or_default())
     }
 
     /// Sets the named gauge to `value` (no-op while disabled).
@@ -296,10 +294,10 @@ impl Recorder {
     /// Flat snapshot of every counter and gauge, sorted by name.
     pub fn metrics(&self) -> MetricsSnapshot {
         let mut merged: BTreeMap<String, f64> = BTreeMap::new();
-        for (name, cell) in self.counters.lock().expect("obs counters lock").iter() {
+        for (name, cell) in lock_unpoisoned(&self.counters).iter() {
             merged.insert((*name).to_string(), cell.load(Ordering::Relaxed) as f64);
         }
-        for (name, cell) in self.gauges.lock().expect("obs gauges lock").iter() {
+        for (name, cell) in lock_unpoisoned(&self.gauges).iter() {
             merged.insert(
                 (*name).to_string(),
                 f64::from_bits(cell.load(Ordering::Relaxed)),

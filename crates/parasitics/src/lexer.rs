@@ -146,7 +146,12 @@ pub fn tokenize(text: &str) -> Result<Vec<Token>, SpefError> {
                         "" => None,
                         rest => {
                             let mut chars = rest.chars();
-                            let sep = chars.next().expect("non-empty rest");
+                            let Some(sep) = chars.next() else {
+                                return Err(SpefError::Lex {
+                                    line,
+                                    message: format!("malformed name-map reference *{word}"),
+                                });
+                            };
                             let tail = chars.as_str();
                             if sep.is_alphanumeric() || tail.is_empty() {
                                 return Err(SpefError::Lex {

@@ -2,6 +2,10 @@
 //! electrical totals against hand-computed constants, and round-trip the
 //! model through the canonical writer.
 
+// Integration tests panic on failure by design; the workspace's
+// library-only unwrap/expect denies do not apply here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use nsta_parasitics::{parse_spef, reduce_spef, write_spef};
 
 const GOLDEN: &str = include_str!("golden.spef");

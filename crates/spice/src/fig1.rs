@@ -325,9 +325,14 @@ pub fn build(cfg: &Fig1Config, skews: &[Option<f64>]) -> Result<(Netlist, Fig1No
         }
     }
 
+    let (Some(in_u), Some(out_u)) = (in_u, out_u) else {
+        return Err(SpiceError::InvalidParameter(
+            "fig1 row layout has no victim row",
+        ));
+    };
     let nodes = Fig1Nodes {
-        in_u: in_u.expect("victim row exists"),
-        out_u: out_u.expect("victim row exists"),
+        in_u,
+        out_u,
         victim_wire_in: drv_out[victim_row],
         aggressor_far: far
             .iter()

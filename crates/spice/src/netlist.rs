@@ -126,7 +126,8 @@ impl Netlist {
         }
         let id = self.node("__vdd");
         // A very long constant waveform: rails outlive any run window.
-        let w = Waveform::constant(self.vdd_value, -1.0, 1.0).expect("static rail waveform");
+        let w = Waveform::constant(self.vdd_value, -1.0, 1.0)
+            .unwrap_or_else(|e| panic!("static rail waveform is always valid: {e:?}"));
         self.vsources.push((id.0, w));
         self.vdd_node = Some(id.0);
         id

@@ -131,7 +131,9 @@ impl TimingGraph {
             }
         }
         if order.len() != n {
-            let stuck = (0..n).find(|&i| indegree[i] > 0).expect("cycle exists");
+            // Kahn's algorithm left nets unordered, so at least one sits on
+            // a cycle with positive residual indegree.
+            let stuck = (0..n).find(|&i| indegree[i] > 0).unwrap_or(0);
             return Err(StaError::CombinationalCycle {
                 net: design.net_name(NetId(stuck)).to_string(),
             });

@@ -53,6 +53,8 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod boundary;
 mod engine;
 mod error;
@@ -66,7 +68,7 @@ pub mod verilog;
 pub use boundary::{BoundaryConditions, FalsePath, InputBoundary, OutputBoundary};
 pub use engine::{Constraints, Sta};
 pub use error::StaError;
-pub use graph::TimingGraph;
+pub use graph::{Edge, TimingGraph};
 pub use netlist::{Design, Instance, NetId};
 pub use nsta_circuit::SolverBackend;
 pub use report::{NetTiming, TimingReport};

@@ -73,6 +73,11 @@ impl Design {
         self.nets.len()
     }
 
+    /// All nets, in creation order.
+    pub fn nets(&self) -> impl Iterator<Item = NetId> + '_ {
+        (0..self.nets.len()).map(NetId)
+    }
+
     /// Declares a net as a primary input.
     pub fn mark_input(&mut self, net: NetId) {
         if !self.inputs.contains(&net) {

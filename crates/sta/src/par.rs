@@ -142,7 +142,7 @@ where
     }
     let results = slots
         .into_iter()
-        .map(|s| s.expect("every slot filled or retried"))
+        .map(|s| s.unwrap_or_else(|| panic!("scheduler bug: slot neither filled nor retried")))
         .collect();
     (results, retried)
 }

@@ -1204,8 +1204,9 @@ impl Sta {
                 let resolved = match hit {
                     Some(found) => Some(found),
                     None => {
-                        let (result, mut events) =
-                            results.next().expect("one result per queued job");
+                        let (result, mut events) = results.next().unwrap_or_else(|| {
+                            panic!("scheduler bug: missing result for queued job")
+                        });
                         degrades.append(&mut events);
                         match result {
                             Ok(fresh) => {
@@ -1264,9 +1265,10 @@ impl Sta {
         key: Option<&VictimKey>,
     ) -> Option<(SaturatedRamp, f64)> {
         read_cache.and_then(|(c, tol)| {
+            let key = key?;
             c.entries
                 .get(&(net.0, pol.is_rise()))
-                .filter(|(old, _, _)| old.matches(key.expect("key built with cache"), tol))
+                .filter(|(old, _, _)| old.matches(key, tol))
                 .map(|&(_, gamma, base_arrival)| (gamma, base_arrival))
         })
     }
@@ -1568,7 +1570,11 @@ impl Sta {
                 break;
             }
         }
-        let (report, adjustments, pruned) = result.expect("at least one iteration runs");
+        let Some((report, adjustments, pruned)) = result else {
+            return Err(StaError::Structure(
+                "crosstalk iteration loop completed zero iterations".into(),
+            ));
+        };
         phase_span.set_arg("iterations", iteration_trace.len() as f64);
         Ok(SiAnalysis {
             report,
@@ -1777,10 +1783,7 @@ impl Sta {
         let key = topo
             .filter(|t| t.enabled)
             .map(|_| TopoKey::new(dt, steps, spec, &victim_line, load));
-        let entry = match key
-            .as_ref()
-            .and_then(|k| topo.expect("key implies cache").lookup(k))
-        {
+        let entry = match key.as_ref().and_then(|k| topo.and_then(|t| t.lookup(k))) {
             Some(entry) => entry,
             None => {
                 let mut ckt = Circuit::new();
@@ -1877,7 +1880,9 @@ impl Sta {
             .system
             .run_nodes(&quiet_sources, &[entry.victim_far])?
             .pop()
-            .expect("one trace per requested node");
+            .ok_or_else(|| {
+                StaError::Structure("transient solver returned no trace for victim node".into())
+            })?;
         // With every aggressor pruned the "noisy" circuit is identical to
         // the noiseless one: skip the second transient run.
         let noisy = if agg_waves.is_empty() {
@@ -1890,7 +1895,9 @@ impl Sta {
                 .system
                 .run_nodes(&noisy_sources, &[entry.victim_far])?
                 .pop()
-                .expect("one trace per requested node")
+                .ok_or_else(|| {
+                    StaError::Structure("transient solver returned no trace for victim node".into())
+                })?
         };
         // A solve that went non-finite (NaN/inf node voltages) must not
         // leak into crossing searches and the report: classify it as a

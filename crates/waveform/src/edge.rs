@@ -54,7 +54,7 @@ impl Thresholds {
     /// Panics if `vdd` is not a positive finite number.
     pub fn cmos(vdd: f64) -> Self {
         Thresholds::with_fractions(vdd, 0.1, 0.5, 0.9)
-            .expect("default fractions are always valid for positive vdd")
+            .unwrap_or_else(|e| panic!("invalid vdd {vdd}: {e:?}"))
     }
 
     /// Custom threshold fractions with `0 < low < mid < high < 1`.

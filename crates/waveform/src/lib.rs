@@ -29,6 +29,8 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod edge;
 mod error;
 pub mod metrics;

@@ -40,7 +40,7 @@ pub fn band_area(
     for level in [v_lo, v_hi] {
         knots.extend(w.crossings(level).into_iter().filter(|&t| t > t0 && t < t1));
     }
-    knots.sort_by(|a, b| a.partial_cmp(b).expect("finite knots"));
+    knots.sort_by(f64::total_cmp);
     knots.dedup_by(|a, b| (*a - *b).abs() < f64::EPSILON * t1.abs().max(1.0));
 
     let clamp = |t: f64| (w.value_at(t).clamp(v_lo, v_hi)) - v_lo;

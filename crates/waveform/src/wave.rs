@@ -89,7 +89,7 @@ impl Waveform {
                 break;
             }
         }
-        if *ts.last().expect("non-empty") < t1 {
+        if ts.last().is_some_and(|&t| t < t1) {
             ts.push(t1);
             vs.push(f(t1));
         }
@@ -132,7 +132,7 @@ impl Waveform {
 
     /// Last recorded time.
     pub fn t_end(&self) -> f64 {
-        *self.ts.last().expect("non-empty")
+        self.ts[self.ts.len() - 1]
     }
 
     /// First recorded voltage.
@@ -142,7 +142,7 @@ impl Waveform {
 
     /// Last recorded voltage.
     pub fn v_end(&self) -> f64 {
-        *self.vs.last().expect("non-empty")
+        self.vs[self.vs.len() - 1]
     }
 
     /// Smallest sampled voltage.

@@ -48,6 +48,8 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use nsta_circuit as circuit;
 pub use nsta_constraints as constraints;
 pub use nsta_liberty as liberty;

@@ -1,6 +1,10 @@
 //! Cross-crate integration tests: the full pipeline from transistor-level
 //! simulation through waveform reduction to STA, exercised end to end.
 
+// Integration tests panic on failure by design; the workspace's
+// library-only unwrap/expect denies do not apply here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use noisy_sta::core::eval::evaluate_case;
 use noisy_sta::core::gate::SpiceReceiverGate;
 use noisy_sta::core::{MethodKind, PropagationContext};

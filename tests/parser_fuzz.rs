@@ -4,6 +4,10 @@
 //! The mutation stream is driven by the in-tree xorshift PRNG, so a
 //! failure reproduces from the printed case number alone.
 
+// Integration tests panic on failure by design; the workspace's
+// library-only unwrap/expect denies do not apply here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use noisy_sta::obs::XorShift64;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 

@@ -4,6 +4,10 @@
 //! The workspace builds offline, so instead of a property-testing framework
 //! these run each invariant over a deterministic seeded sweep of inputs.
 
+// Integration tests panic on failure by design; the workspace's
+// library-only unwrap/expect denies do not apply here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use noisy_sta::core::gate::{AnalyticInverterGate, GateModel};
 use noisy_sta::core::{MethodKind, PropagationContext};
 use noisy_sta::numeric::{DenseMatrix, LuFactors};
