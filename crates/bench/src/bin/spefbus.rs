@@ -81,9 +81,24 @@
 //! sections of a `--lint` run are bit-identical to a run without it — and
 //! the report lands in the JSON artifact as a `lint` section CI validates.
 //!
+//! Resource governance: `--cache-budget BYTES` caps the topology cache's
+//! resident footprint (LRU eviction; eviction can only cost refactors,
+//! never change a bit — a custom budget arms an extra in-binary gate
+//! asserting the capped run is bit-identical to an unbounded-cache run).
+//! `--deadline-ms N` repeats the windowed analysis under a wall-clock
+//! deadline with cooperative cancellation: on expiry the current iteration
+//! finishes, remaining cones are skipped, and the partial result is marked
+//! `timed_out` with per-net staleness. A generous deadline must complete
+//! and be bit-identical to the production run (parity-gated); an expired
+//! one is reported as degraded operation, not a failure — unless
+//! `--strict-deadline` promotes it to exit code 5. The `memory` and
+//! `governance` JSON sections archive peak RSS, cache bytes/evictions,
+//! deadline outcome and convergence-governor interventions for CI.
+//!
 //! Usage: `spefbus [--groups N] [--threads N] [--segments N] [--sdc FILE]
 //! [--json PATH] [--trace FILE] [--metrics] [--lint[=deny]]
-//! [--strict-converge] [--no-topo-cache] [--dense-solver] [--inject SPEC]
+//! [--strict-converge] [--no-topo-cache] [--cache-budget BYTES]
+//! [--deadline-ms N] [--strict-deadline] [--dense-solver] [--inject SPEC]
 //! [--inject-seed N]`
 
 use nsta_bench::busgen::{netlist, spef};
@@ -94,14 +109,15 @@ use nsta_liberty::characterize::{inverter_family, Options};
 use nsta_parasitics::{bind_couplings, parse_spef, write_spef, BindOptions};
 use nsta_spice::Process;
 use nsta_sta::{
-    verilog, BoundaryConditions, Constraints, DegradeAction, FaultPolicy, SiOptions, SolverBackend,
-    Sta,
+    verilog, BoundaryConditions, Constraints, Deadline, DegradeAction, FaultPolicy, SiOptions,
+    SolverBackend, Sta,
 };
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 const USAGE: &str = "usage: spefbus [--groups N] [--threads N] [--segments N] \
 [--sdc FILE] [--json PATH] [--trace FILE] [--metrics] [--lint[=deny]] \
-[--strict-converge] [--no-topo-cache] [--dense-solver] [--inject SPEC] \
+[--strict-converge] [--no-topo-cache] [--cache-budget BYTES] \
+[--deadline-ms N] [--strict-deadline] [--dense-solver] [--inject SPEC] \
 [--inject-seed N] [--help]";
 
 const HELP: &str = "SPEF-driven crosstalk STA workload with built-in parity gates.
@@ -120,6 +136,17 @@ flags:
                       at all exits 4
   --strict-converge   treat fixed-point non-convergence as fatal (exit 3)
   --no-topo-cache     disable the topology-keyed factorization cache
+  --cache-budget BYTES
+                      cap the topology cache's resident bytes (LRU
+                      eviction; default 67108864). A custom budget arms
+                      an extra parity gate: the capped run must be
+                      bit-identical to an unbounded-cache run
+  --deadline-ms N     repeat the windowed analysis under an N ms
+                      wall-clock deadline with cooperative cancellation;
+                      an in-budget run must be bit-identical to the
+                      production run, an expired one yields a partial
+                      result marked timed_out with per-net staleness
+  --strict-deadline   treat a --deadline-ms expiry as fatal (exit 5)
   --dense-solver      use the dense partial-pivot transient backend
   --inject SPEC       force deterministic faults into a recovery run:
                       comma-separated site names (pivot-loss, nan-solve,
@@ -134,7 +161,9 @@ exit codes:
       malformed --inject spec)
   3   fixed point failed to converge under --strict-converge
   4   pre-flight lint failed (deny diagnostics, or any diagnostic
-      under --lint=deny); no analysis was run, no JSON written";
+      under --lint=deny); no analysis was run, no JSON written
+  5   --deadline-ms expired under --strict-deadline (partial result
+      discarded, no JSON written)";
 
 /// Stable wire names for degrade actions in the JSON report.
 fn action_name(a: DegradeAction) -> &'static str {
@@ -144,7 +173,18 @@ fn action_name(a: DegradeAction) -> &'static str {
         DegradeAction::ConeRetry => "cone-retry",
         DegradeAction::LockRecovered => "lock-recovered",
         DegradeAction::VictimDropped => "victim-dropped",
+        DegradeAction::DeadlineSkipped => "deadline-skipped",
     }
+}
+
+/// Peak resident set size of this process in bytes, from the kernel's
+/// `VmHWM` high-water mark. `None` off Linux or if the field is absent —
+/// the JSON section records `null` rather than a fabricated number.
+fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kib: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kib * 1024)
 }
 
 /// Writes `contents` to `path` atomically: temp file in the same
@@ -207,6 +247,11 @@ fn main() {
     let mut lint_mode: Option<bool> = None;
     let mut strict_converge = false;
     let mut topo_cache = true;
+    // None: the default budget. Some(n): a custom cap, which also arms
+    // the capped-vs-unbounded eviction-parity gate.
+    let mut cache_budget: Option<usize> = None;
+    let mut deadline_ms: Option<usize> = None;
+    let mut strict_deadline = false;
     let mut backend = SolverBackend::Sparse;
     let mut inject_spec: Option<String> = None;
     let mut inject_seed = 1u64;
@@ -224,6 +269,9 @@ fn main() {
             "--lint=deny" => lint_mode = Some(true),
             "--strict-converge" => strict_converge = true,
             "--no-topo-cache" => topo_cache = false,
+            "--cache-budget" => cache_budget = Some(numeric_flag("--cache-budget", args.next())),
+            "--deadline-ms" => deadline_ms = Some(numeric_flag("--deadline-ms", args.next())),
+            "--strict-deadline" => strict_deadline = true,
             "--dense-solver" => backend = SolverBackend::Dense,
             "--inject" => {
                 let spec = string_flag("--inject", args.next());
@@ -271,6 +319,7 @@ fn main() {
     let base_opts = SiOptions {
         topo_cache,
         backend,
+        cache_budget_bytes: cache_budget.unwrap_or(SiOptions::DEFAULT_CACHE_BUDGET_BYTES),
         ..SiOptions::default()
     };
 
@@ -400,7 +449,7 @@ fn main() {
             &bound.specs,
             &SiOptions {
                 incremental: false,
-                ..base_opts
+                ..base_opts.clone()
             },
         )
         .expect("full-recompute analysis");
@@ -416,7 +465,7 @@ fn main() {
                 &bound.specs,
                 &SiOptions {
                     threads,
-                    ..base_opts
+                    ..base_opts.clone()
                 },
             )
             .expect("threaded analysis");
@@ -443,7 +492,7 @@ fn main() {
                 &bound.specs,
                 &SiOptions {
                     topo_cache: false,
-                    ..base_opts
+                    ..base_opts.clone()
                 },
             )
             .expect("uncached analysis");
@@ -454,6 +503,37 @@ fn main() {
         if uncached.adjustments != filtered.adjustments {
             parity_failures
                 .push("topo-cached adjustments differ from the uncached adjustments".into());
+        }
+        elapsed
+    });
+    // Eviction-parity gate, armed by a custom --cache-budget: the capped
+    // run above (the production `filtered` run inherits the budget via
+    // base_opts) must be bit-identical to a run with the cap lifted.
+    // Eviction may only cost refactors — colliding cache keys are exact
+    // bit patterns, so a refactored system reproduces the evicted one's
+    // results exactly.
+    let budget_parity_run = (topo_cache && cache_budget.is_some()).then(|| {
+        let t = Instant::now();
+        let unbounded = sta
+            .analyze_with_crosstalk_windows(
+                c,
+                &bound.specs,
+                &SiOptions {
+                    cache_budget_bytes: usize::MAX,
+                    ..base_opts.clone()
+                },
+            )
+            .expect("unbounded-cache analysis");
+        let elapsed = t.elapsed();
+        if unbounded.report != filtered.report {
+            parity_failures
+                .push("budget-capped cache report differs from the unbounded-cache report".into());
+        }
+        if unbounded.adjustments != filtered.adjustments {
+            parity_failures.push(
+                "budget-capped cache adjustments differ from the unbounded-cache adjustments"
+                    .into(),
+            );
         }
         elapsed
     });
@@ -470,7 +550,7 @@ fn main() {
                 &bound.specs,
                 &SiOptions {
                     backend: SolverBackend::Dense,
-                    ..base_opts
+                    ..base_opts.clone()
                 },
             )
             .expect("dense-backend analysis");
@@ -497,11 +577,63 @@ fn main() {
             &bound.specs,
             &SiOptions {
                 use_windows: false,
-                ..base_opts
+                ..base_opts.clone()
             },
         )
         .expect("unfiltered analysis");
     let unfiltered_time = t.elapsed();
+
+    // Deadline-governed run: the production analysis repeated under a
+    // wall-clock budget with cooperative cancellation. Two acceptable
+    // outcomes, both archived in the `governance` JSON section:
+    //   * in budget — must be bit-identical to the production run
+    //     (deadline polling may never perturb a result), parity-gated;
+    //   * expired — a well-formed partial result marked timed_out, with
+    //     every skipped victim holding stale nominal timing and listed in
+    //     stale_nets(). Degraded operation, not a defect — unless
+    //     --strict-deadline promotes it to exit code 5.
+    let deadline_run = deadline_ms.map(|budget| {
+        let t = Instant::now();
+        let analysis = sta
+            .analyze_with_crosstalk_windows(
+                c,
+                &bound.specs,
+                &SiOptions {
+                    deadline: Some(Deadline::within(Duration::from_millis(budget as u64))),
+                    ..base_opts.clone()
+                },
+            )
+            .expect("deadline-governed analysis");
+        let elapsed = t.elapsed();
+        if analysis.timed_out() {
+            eprintln!(
+                "warning: --deadline-ms {budget} expired mid-analysis after {} iteration(s); \
+                 {} stale net(s) kept nominal timing",
+                analysis.iterations(),
+                analysis.stale_nets().len(),
+            );
+            if strict_deadline {
+                eprintln!("--strict-deadline: treating the expiry as fatal");
+                std::process::exit(5);
+            }
+        } else {
+            if analysis.report != filtered.report {
+                parity_failures.push(
+                    "deadline-governed report differs from the production report \
+                     despite finishing in budget"
+                        .into(),
+                );
+            }
+            if analysis.adjustments != filtered.adjustments {
+                parity_failures.push(
+                    "deadline-governed adjustments differ from the production adjustments \
+                     despite finishing in budget"
+                        .into(),
+                );
+            }
+        }
+        (analysis, elapsed)
+    });
 
     // SDC-constrained run: per-pin arrival windows from a real constraint
     // set (bound up front, before the lint), compared against the
@@ -550,7 +682,7 @@ fn main() {
                 &bound.specs,
                 &SiOptions {
                     threads,
-                    ..base_opts
+                    ..base_opts.clone()
                 },
             )
             .expect("instrumented analysis");
@@ -604,7 +736,7 @@ fn main() {
             &SiOptions {
                 threads: inj_threads,
                 fault_policy: FaultPolicy::Isolate,
-                ..base_opts
+                ..base_opts.clone()
             },
         );
         let elapsed = t.elapsed();
@@ -675,11 +807,20 @@ fn main() {
     if let Some(uncached) = no_cache_time {
         let total = filtered.cache_hits() + filtered.cache_misses();
         println!(
-            "topo cache:      {}/{} hits over {} cones, bit-identical to uncached \
-             ({uncached:.2?} without the cache)",
+            "topo cache:      {}/{} hits over {} cones, {} eviction(s), peak {} bytes, \
+             bit-identical to uncached ({uncached:.2?} without the cache)",
             filtered.cache_hits(),
             total,
             filtered.cones(),
+            filtered.cache_evictions(),
+            filtered.cache_bytes(),
+        );
+    }
+    if let Some(unbounded) = budget_parity_run {
+        println!(
+            "cache budget:    {} bytes, bit-identical to the unbounded cache \
+             ({unbounded:.2?} without the cap)",
+            base_opts.cache_budget_bytes,
         );
     }
     if let Some((dense_time, delta)) = &dense_run {
@@ -705,6 +846,16 @@ fn main() {
         unfiltered.iterations(),
         unfiltered.report.worst_arrival() * 1e12,
     );
+    if let Some((analysis, elapsed)) = &deadline_run {
+        println!(
+            "deadline:        {} ms budget, timed_out {}, {} stale net(s), \
+             worst arrival {:.1} ps, {elapsed:.2?}",
+            deadline_ms.unwrap_or(0),
+            analysis.timed_out(),
+            analysis.stale_nets().len(),
+            analysis.report.worst_arrival() * 1e12,
+        );
+    }
     if let (Some((analysis, elapsed, fired, injected)), Some((recovered, delta))) =
         (&faults_run, &faults_summary)
     {
@@ -773,6 +924,14 @@ fn main() {
                     "windowed_dense",
                     dense_run.as_ref().map_or(Json::Null, |&(d, _)| ms(d)),
                 ),
+                (
+                    "windowed_unbounded_cache",
+                    budget_parity_run.map_or(Json::Null, ms),
+                ),
+                (
+                    "windowed_deadline",
+                    deadline_run.as_ref().map_or(Json::Null, |(_, e)| ms(*e)),
+                ),
                 ("unfiltered", ms(unfiltered_time)),
             ]),
         ),
@@ -815,6 +974,9 @@ fn main() {
                     },
                 ),
                 ("cones", Json::from(filtered.cones())),
+                ("budget_bytes", Json::from(base_opts.cache_budget_bytes)),
+                ("bytes", Json::from(filtered.cache_bytes())),
+                ("evictions", Json::from(filtered.cache_evictions())),
                 (
                     "parity_vs_no_cache",
                     if no_cache_time.is_some() {
@@ -958,6 +1120,73 @@ fn main() {
                     } else {
                         Json::Null
                     },
+                ),
+            ]),
+        ),
+        // Peak-footprint telemetry: process high-water mark plus the two
+        // in-process numbers that dominate it (resident factorizations
+        // and the largest single factored system).
+        (
+            "memory",
+            Json::obj([
+                (
+                    "peak_rss_bytes",
+                    peak_rss_bytes().map_or(Json::Null, |b| Json::from(b as usize)),
+                ),
+                ("cache_peak_bytes", Json::from(filtered.cache_bytes())),
+                ("max_factored_nnz", Json::from(filtered.solver_nnz())),
+            ]),
+        ),
+        // Resource-governance outcome: cache budget/evictions, deadline
+        // disposition and convergence-governor interventions. The parity
+        // flags archive gates that already passed (a failed gate exits
+        // nonzero above without writing JSON); CI re-asserts them anyway.
+        (
+            "governance",
+            Json::obj([
+                (
+                    "cache_budget_bytes",
+                    Json::from(base_opts.cache_budget_bytes),
+                ),
+                ("cache_evictions", Json::from(filtered.cache_evictions())),
+                ("cache_peak_bytes", Json::from(filtered.cache_bytes())),
+                (
+                    "eviction_parity",
+                    if budget_parity_run.is_some() {
+                        Json::from(true)
+                    } else {
+                        Json::Null
+                    },
+                ),
+                ("deadline_ms", deadline_ms.map_or(Json::Null, Json::from)),
+                (
+                    "timed_out",
+                    deadline_run
+                        .as_ref()
+                        .map_or(Json::Null, |(a, _)| Json::from(a.timed_out())),
+                ),
+                (
+                    "stale_nets",
+                    deadline_run
+                        .as_ref()
+                        .map_or(Json::Null, |(a, _)| Json::from(a.stale_nets().len())),
+                ),
+                (
+                    "deadline_parity",
+                    match &deadline_run {
+                        // Parity is only asserted for in-budget runs; a
+                        // timed-out partial result is not comparable.
+                        Some((a, _)) if !a.timed_out() => Json::from(true),
+                        _ => Json::Null,
+                    },
+                ),
+                (
+                    "convergence_governor",
+                    Json::from(base_opts.convergence_governor),
+                ),
+                (
+                    "convergence_actions",
+                    Json::from(filtered.convergence_actions().len()),
                 ),
             ]),
         ),

@@ -444,6 +444,21 @@ impl FactoredSystem {
         }
     }
 
+    /// Approximate resident size of this factored system in bytes, for
+    /// cache budgeting. nnz-weighted: each stored factor entry is counted
+    /// as a value plus an index (16 bytes), the RHS/DC factors as one more
+    /// nnz each, plus the per-node bookkeeping vectors and the time grid.
+    /// An estimate, not an allocator measurement — budgets compare it
+    /// against other estimates from the same formula, which is all LRU
+    /// eviction needs.
+    pub fn approx_bytes(&self) -> usize {
+        const ENTRY: usize = 16; // f64 value + column/row index
+        let factor_entries = 3 * self.nnz(); // LHS factors + RHS matrix + DC factors
+        let per_node = self.n * (3 * std::mem::size_of::<usize>());
+        let grid = self.times.len() * std::mem::size_of::<f64>();
+        factor_entries * ENTRY + per_node + grid + std::mem::size_of::<Self>()
+    }
+
     /// Runs the integration with the waveforms of the circuit this system
     /// was factored from.
     ///

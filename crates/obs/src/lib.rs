@@ -1,6 +1,8 @@
 //! Zero-dependency instrumentation for the noisy-sta pipeline: scoped
 //! spans, counters/gauges, and exporters (Chrome trace-event JSON, flat
-//! metrics snapshots).
+//! metrics snapshots), plus the resource-governance primitives
+//! ([`govern`]: deadlines, cooperative cancellation, fake clocks) the
+//! pipeline polls to bound its own wall-clock cost.
 //!
 //! The workspace builds fully offline, so this crate replaces the
 //! `tracing` ecosystem with a small in-tree layer shaped around the STA
@@ -83,9 +85,11 @@
 
 mod export;
 pub mod fault;
+pub mod govern;
 mod recorder;
 
 pub use fault::XorShift64;
+pub use govern::{CancelToken, Deadline, FakeClock};
 pub use recorder::{EventKind, MetricsSnapshot, Recorder, Span, TraceEvent};
 
 use std::sync::OnceLock;

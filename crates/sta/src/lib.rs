@@ -71,10 +71,11 @@ pub use error::StaError;
 pub use graph::{Edge, TimingGraph};
 pub use netlist::{Design, Instance, NetId};
 pub use nsta_circuit::SolverBackend;
+pub use nsta_obs::{CancelToken, Deadline, FakeClock};
 pub use report::{NetTiming, TimingReport};
 pub use si::{
-    ArrivalWindow, CouplingSpec, DegradeAction, DegradeEvent, FaultPolicy, PrunedAggressor,
-    SiAdjustment, SiAnalysis, SiDiagnostics, SiIteration, SiOptions,
+    ArrivalWindow, ConvergenceAction, CouplingSpec, DegradeAction, DegradeEvent, FaultPolicy,
+    PrunedAggressor, SiAdjustment, SiAnalysis, SiDiagnostics, SiIteration, SiOptions,
 };
 
 /// Serializes tests that enable the process-wide [`nsta_obs`] recorder:

@@ -20,7 +20,19 @@
 //! (an injected fault, a poisoned lock another thread has since healed)
 //! recovers bit-identically, while a deterministic panic reproduces on
 //! the coordinator with its original message and full backtrace.
+//!
+//! # Cooperative deadlines
+//!
+//! [`par_map_govern`] additionally polls an [`nsta_obs::Deadline`] at
+//! item boundaries: once it reads expired, workers stop pulling new
+//! items (in-flight items always finish) and every un-started item's
+//! slot comes back `None` so the caller can substitute stale fallback
+//! data and record exactly which items were skipped. A missing slot is
+//! classified after the join: deadline expired → skipped (left `None`);
+//! deadline still live → the item's worker panicked, so it is retried
+//! inline exactly like [`par_map_recover`] would.
 
+use nsta_obs::Deadline;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -56,11 +68,49 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
+    let (slots, retried) = par_map_govern(threads, items, None, f);
+    // Without a deadline no slot can be skipped: every missing result was
+    // either recovered by the inline retry or propagated its panic there.
+    let results = slots
+        .into_iter()
+        .map(|s| s.unwrap_or_else(|| panic!("scheduler bug: slot neither filled nor retried")))
+        .collect();
+    (results, retried)
+}
+
+/// Deadline-governed [`par_map_recover`]: item `i`'s slot is `None` iff
+/// the deadline expired before the pool could start (or retry) it. With
+/// `deadline: None` every slot is `Some` (panic recovery still applies).
+pub(crate) fn par_map_govern<T, R, F>(
+    threads: usize,
+    items: &[T],
+    deadline: Option<&Deadline>,
+    f: F,
+) -> (Vec<Option<R>>, Vec<usize>)
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
     let workers = effective_workers(threads, items.len());
     if workers <= 1 {
         // Inline path: panics propagate to the caller unchanged, exactly
-        // as the computation would without the pool.
-        return (items.iter().map(f).collect(), Vec::new());
+        // as the computation would without the pool. The deadline is
+        // polled once per item boundary; expiry is monotone, so the first
+        // expired reading skips everything after it without re-polling.
+        let mut out: Vec<Option<R>> = Vec::with_capacity(items.len());
+        let mut expired = false;
+        for item in items {
+            expired = expired || deadline.is_some_and(|d| d.expired());
+            out.push(if expired { None } else { Some(f(item)) });
+        }
+        if out.iter().any(|s| s.is_none()) {
+            nsta_obs::count!(
+                "par.items_deadline_skipped",
+                out.iter().filter(|s| s.is_none()).count()
+            );
+        }
+        return (out, Vec::new());
     }
     let next = AtomicUsize::new(0);
     let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
@@ -82,6 +132,13 @@ where
                     let mut busy_ns = 0u128;
                     let mut local = Vec::new();
                     loop {
+                        // Cooperative cancellation at the item boundary:
+                        // an expired deadline stops this worker from
+                        // pulling further items; whatever it already
+                        // started has finished by construction.
+                        if deadline.is_some_and(|d| d.expired()) {
+                            break;
+                        }
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         let Some(item) = items.get(i) else { break };
                         // Contain a panicking item: drop the payload (the
@@ -125,13 +182,24 @@ where
             }
         }
     });
-    // Recovery pass: recompute any missing item inline, in input order.
-    // Same `f`, same item — a successful retry is bit-identical to the
-    // result a healthy worker would have produced; a persistent panic
-    // propagates here with its original message.
+    // Classify-and-recover pass, in input order. A missing slot means
+    // either "its worker panicked" or "the deadline expired before any
+    // worker started it" — expiry is monotone, so one poll here decides:
+    // expired → every missing slot is (or may as well be) a skip, and
+    // retrying would only burn more over-budget time; still live → no
+    // worker can have skipped anything, so the miss was a panic and the
+    // inline retry recomputes it bit-identically (a persistent panic
+    // propagates here with its original message).
     let mut retried = Vec::new();
+    let expired = deadline.is_some_and(|d| d.expired());
+    let mut skipped = 0usize;
     for (i, slot) in slots.iter_mut().enumerate() {
-        if slot.is_none() {
+        if slot.is_some() {
+            continue;
+        }
+        if expired {
+            skipped += 1;
+        } else {
             *slot = Some(f(&items[i]));
             retried.push(i);
         }
@@ -140,11 +208,10 @@ where
         nsta_obs::count!("par.items_retried", retried.len());
         nsta_obs::count!("par.items_processed", retried.len());
     }
-    let results = slots
-        .into_iter()
-        .map(|s| s.unwrap_or_else(|| panic!("scheduler bug: slot neither filled nor retried")))
-        .collect();
-    (results, retried)
+    if skipped > 0 {
+        nsta_obs::count!("par.items_deadline_skipped", skipped);
+    }
+    (slots, retried)
 }
 
 #[cfg(test)]
@@ -244,6 +311,55 @@ mod tests {
         let expect: Vec<usize> = items.iter().map(|i| i * 2).collect();
         assert_eq!(out, expect);
         assert_eq!(retried, vec![5]);
+    }
+
+    #[test]
+    fn deadline_expiry_skips_remaining_items_inline_deterministically() {
+        use nsta_obs::FakeClock;
+        use std::sync::Arc;
+        // Manual fake clock (step 0): the third item's work trips the
+        // deadline, so items 0..=2 complete and everything after them is
+        // skipped — same-thread, fully deterministic.
+        let clock = FakeClock::new(0);
+        let deadline = Deadline::on_fake(Arc::clone(&clock), 100);
+        let items: Vec<usize> = (0..6).collect();
+        let started = AtomicUsize::new(0);
+        let (out, retried) = par_map_govern(1, &items, Some(&deadline), |&i| {
+            if started.fetch_add(1, Ordering::SeqCst) == 2 {
+                clock.advance(100);
+            }
+            i * 10
+        });
+        assert_eq!(
+            out,
+            vec![Some(0), Some(10), Some(20), None, None, None],
+            "in-flight items finish, un-started items are skipped"
+        );
+        assert!(retried.is_empty());
+    }
+
+    #[test]
+    fn pre_expired_deadline_skips_every_item_without_calling_f() {
+        use nsta_obs::FakeClock;
+        let deadline = Deadline::on_fake(FakeClock::new(0), 0);
+        let items: Vec<usize> = (0..32).collect();
+        let calls = AtomicUsize::new(0);
+        let (out, retried) = par_map_govern(4, &items, Some(&deadline), |&i| {
+            calls.fetch_add(1, Ordering::SeqCst);
+            i
+        });
+        assert!(out.iter().all(|s| s.is_none()));
+        assert_eq!(calls.load(Ordering::SeqCst), 0);
+        assert!(retried.is_empty());
+    }
+
+    #[test]
+    fn no_deadline_behaves_exactly_like_recover() {
+        let items: Vec<usize> = (0..17).collect();
+        let (out, retried) = par_map_govern(3, &items, None, |&i| i + 1);
+        let expect: Vec<Option<usize>> = items.iter().map(|i| Some(i + 1)).collect();
+        assert_eq!(out, expect);
+        assert!(retried.is_empty());
     }
 
     #[test]

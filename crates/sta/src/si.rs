@@ -91,6 +91,33 @@
 //! changed: the fixed point costs O(changed victims), not
 //! O(iterations × victims), and unchanged victims reproduce their cached
 //! result bit-for-bit.
+//!
+//! # Resource governance
+//!
+//! Three governors bound the analysis's cost without changing what a
+//! healthy, in-budget run computes:
+//!
+//! * **Cache budget** — [`SiOptions::cache_budget_bytes`] caps the
+//!   topology cache's estimated resident size (nnz-weighted, see
+//!   [`nsta_circuit::FactoredSystem::approx_bytes`]); over-budget inserts
+//!   evict least-recently-used entries. Eviction can only cost refactors:
+//!   any entry the cache serves is bit-identical to the factorization the
+//!   victim would have built itself, so budgeted and unbounded runs are
+//!   bit-identical (asserted by tests and `spefbus --cache-budget`).
+//! * **Deadline** — [`SiOptions::deadline`] is polled cooperatively at
+//!   cone-task and iteration boundaries. On expiry, in-flight work
+//!   finishes, remaining cones keep their *nominal* (crosstalk-free)
+//!   timing, each skipped victim is recorded as a
+//!   [`DegradeAction::DeadlineSkipped`] event, and the analysis returns a
+//!   well-formed partial result with [`SiDiagnostics::timed_out`] set.
+//! * **Convergence governor** — [`SiOptions::convergence_governor`]
+//!   watches the fixed point's `max_window_delta` sequence; on stagnation
+//!   (deltas not shrinking) or cap exhaustion it switches to a
+//!   certified-conservative update that widens each participating net's
+//!   window to the union of its last two iterates. Kept-aggressor sets
+//!   then grow monotonically in a finite space, so the governed loop
+//!   terminates; every widening is recorded as a [`ConvergenceAction`] so
+//!   the added pessimism is visible, never silent.
 
 use crate::boundary::BoundaryConditions;
 use crate::engine::Sta;
@@ -102,6 +129,7 @@ use nsta_circuit::{
     Circuit, FactoredSystem, NodeId as CktNode, RcLineSpec, SolverBackend, StarCoupledLines,
     TransientOptions,
 };
+use nsta_obs::Deadline;
 use nsta_waveform::{Polarity, SaturatedRamp, Thresholds, Waveform};
 use sgdp::gate::{GateModel, TableGate};
 use sgdp::{MethodKind, PropagationContext};
@@ -256,6 +284,19 @@ impl ArrivalWindow {
         let a_hi = aggressor.latest + skew + guard;
         a_lo <= self.latest && self.earliest <= a_hi
     }
+
+    /// The smallest window containing both `self` and `other` (their
+    /// convex hull) — the certified-conservative update the convergence
+    /// governor applies to an oscillating net: a window that covers both
+    /// of the last two iterates admits every aggressor either of them
+    /// would, so replacing the iterate with the union can only keep more
+    /// aggressors, never drop one.
+    pub fn union(&self, other: &ArrivalWindow) -> ArrivalWindow {
+        ArrivalWindow {
+            earliest: self.earliest.min(other.earliest),
+            latest: self.latest.max(other.latest),
+        }
+    }
 }
 
 /// How the analysis reacts when one victim's reduction fails after the
@@ -292,6 +333,11 @@ pub enum DegradeAction {
     /// under [`FaultPolicy::Isolate`]: the victim's adjustment was
     /// dropped and the net keeps its nominal timing.
     VictimDropped,
+    /// The analysis deadline expired before this victim's cone (or
+    /// level slot) was scheduled: the net keeps its *stale* nominal
+    /// (crosstalk-free) timing and the run is marked
+    /// [`SiDiagnostics::timed_out`].
+    DeadlineSkipped,
 }
 
 /// One structured record of the fault-tolerance layer acting: what
@@ -313,7 +359,10 @@ pub struct DegradeEvent {
 }
 
 /// Options of the timing-window crosstalk analysis.
-#[derive(Debug, Clone, Copy, PartialEq)]
+///
+/// Not `Copy`: [`deadline`](Self::deadline) carries shared clock/token
+/// state — clone the options to reuse them across runs.
+#[derive(Debug, Clone, PartialEq)]
 pub struct SiOptions {
     /// Equivalent-waveform reduction technique.
     pub method: MethodKind,
@@ -354,6 +403,31 @@ pub struct SiOptions {
     /// (default [`FaultPolicy::Fail`]): fail the whole call, or drop the
     /// victim and finish with partial results.
     pub fault_policy: FaultPolicy,
+    /// Byte budget of the topology-keyed factorization cache, compared
+    /// against nnz-weighted size estimates
+    /// ([`nsta_circuit::FactoredSystem::approx_bytes`]). Inserts that
+    /// push the cache over budget evict least-recently-used entries;
+    /// eviction only costs refactors — results are bit-identical at any
+    /// budget. Default [`SiOptions::DEFAULT_CACHE_BUDGET_BYTES`]
+    /// (generous but finite); `usize::MAX` disables the bound.
+    pub cache_budget_bytes: usize,
+    /// Wall-clock budget of the analysis (default `None`: unbounded),
+    /// polled cooperatively at cone-task and iteration boundaries. See
+    /// the module docs ("Resource governance") for expiry semantics.
+    pub deadline: Option<Deadline>,
+    /// When `true` (default), the fixed point watches for stagnation or
+    /// oscillation and switches to the certified-conservative widening
+    /// update instead of returning unconverged at the iteration cap (see
+    /// the module docs). Never interferes with a run whose deltas are
+    /// shrinking, so converging analyses are bit-identical either way.
+    pub convergence_governor: bool,
+}
+
+impl SiOptions {
+    /// Default topology-cache budget: 64 MiB of estimated factor bytes —
+    /// far above any current bench (whose caches measure in the tens of
+    /// KB), so the bound only bites pathological key populations.
+    pub const DEFAULT_CACHE_BUDGET_BYTES: usize = 64 << 20;
 }
 
 impl Default for SiOptions {
@@ -369,6 +443,9 @@ impl Default for SiOptions {
             topo_cache: true,
             backend: SolverBackend::Sparse,
             fault_policy: FaultPolicy::default(),
+            cache_budget_bytes: SiOptions::DEFAULT_CACHE_BUDGET_BYTES,
+            deadline: None,
+            convergence_governor: true,
         }
     }
 }
@@ -403,6 +480,65 @@ pub struct SiIteration {
     pub max_window_delta: f64,
 }
 
+/// One intervention of the convergence governor: the fixed point was
+/// stagnating (or hit its cap unconverged), so this net's window was
+/// widened from the iterate the pass computed to the union of its last
+/// two iterates — deliberate, *visible* pessimism in exchange for
+/// certified termination.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConvergenceAction {
+    /// 1-based fixed-point iteration the widening was applied after.
+    pub iteration: usize,
+    /// The net whose window was widened.
+    pub net: NetId,
+    /// The window the iteration actually computed.
+    pub fresh: ArrivalWindow,
+    /// The conservative union installed instead (⊇ `fresh` and ⊇ the
+    /// previous iterate by construction).
+    pub widened: ArrivalWindow,
+}
+
+/// One governed (certified-conservative) window update: installs the
+/// union of the last two iterates for every participating net, recording
+/// a [`ConvergenceAction`] per actual widening. Unions only grow, so
+/// repeated application reaches a fixed point: an oscillating iterate
+/// sequence is replaced by windows covering *both* iterates, after which
+/// further updates change nothing — the termination argument behind the
+/// governed iteration cap.
+fn governed_window_update(
+    windows: &mut [Option<ArrivalWindow>],
+    prev_windows: &[Option<ArrivalWindow>],
+    participant: &[bool],
+    iteration: usize,
+    convergence_actions: &mut Vec<ConvergenceAction>,
+) {
+    for (i, slot) in windows.iter_mut().enumerate() {
+        if !participant[i] {
+            continue;
+        }
+        let prev = prev_windows.get(i).copied().flatten();
+        *slot = match (prev, *slot) {
+            (Some(p), Some(f)) => {
+                let widened = f.union(&p);
+                if widened != f {
+                    convergence_actions.push(ConvergenceAction {
+                        iteration,
+                        net: NetId(i),
+                        fresh: f,
+                        widened,
+                    });
+                }
+                Some(widened)
+            }
+            // A net that lost its window keeps the previous one —
+            // dropping it would *prune more*, the opposite of
+            // conservative.
+            (Some(p), None) => Some(p),
+            (None, fresh) => fresh,
+        };
+    }
+}
+
 /// Structured convergence and cost diagnostics of one analysis call —
 /// the coherent layer behind [`SiAnalysis`]'s forwarding accessors.
 #[derive(Debug, Clone)]
@@ -427,9 +563,27 @@ pub struct SiDiagnostics {
     pub solver_nnz: usize,
     /// Every action of the fault-tolerance layer during this call, in
     /// canonical `(net, polarity)` order: fallback-chain retries, cone
-    /// retries after worker panics, recovered locks, and dropped
-    /// victims. Empty on healthy runs.
+    /// retries after worker panics, recovered locks, dropped victims,
+    /// and deadline-skipped victims. Empty on healthy runs.
     pub degrade_events: Vec<DegradeEvent>,
+    /// Whether [`SiOptions::deadline`] expired before the analysis
+    /// finished: the result is partial — every skipped victim carries a
+    /// [`DegradeAction::DeadlineSkipped`] event and kept its stale
+    /// nominal timing.
+    pub timed_out: bool,
+    /// Topology-cache entries evicted to honor
+    /// [`SiOptions::cache_budget_bytes`] (including inserts refused
+    /// because a single entry exceeded the whole budget). `0` when the
+    /// cache stayed within budget.
+    pub cache_evictions: usize,
+    /// Peak estimated resident size of the topology cache (bytes,
+    /// nnz-weighted estimate — see
+    /// [`nsta_circuit::FactoredSystem::approx_bytes`]).
+    pub cache_bytes: usize,
+    /// Every widening the convergence governor applied (see
+    /// [`ConvergenceAction`]). Empty whenever the fixed point converged
+    /// on its own.
+    pub convergence_actions: Vec<ConvergenceAction>,
 }
 
 impl SiDiagnostics {
@@ -442,6 +596,21 @@ impl SiDiagnostics {
     /// Nets touched by any degrade event, sorted and deduplicated.
     pub fn degraded_nets(&self) -> Vec<NetId> {
         let mut nets: Vec<NetId> = self.degrade_events.iter().filter_map(|e| e.net).collect();
+        nets.sort_unstable();
+        nets.dedup();
+        nets
+    }
+
+    /// Nets whose crosstalk reduction was skipped by deadline expiry —
+    /// their reported timing is the stale nominal value — sorted and
+    /// deduplicated. Empty iff the run did not time out mid-sweep.
+    pub fn stale_nets(&self) -> Vec<NetId> {
+        let mut nets: Vec<NetId> = self
+            .degrade_events
+            .iter()
+            .filter(|e| e.action == DegradeAction::DeadlineSkipped)
+            .filter_map(|e| e.net)
+            .collect();
         nets.sort_unstable();
         nets.dedup();
         nets
@@ -517,6 +686,34 @@ impl SiAnalysis {
     /// on healthy runs).
     pub fn degrade_events(&self) -> &[DegradeEvent] {
         &self.diagnostics.degrade_events
+    }
+
+    /// Whether the analysis deadline expired, making this a partial
+    /// result (see [`SiDiagnostics::timed_out`]).
+    pub fn timed_out(&self) -> bool {
+        self.diagnostics.timed_out
+    }
+
+    /// Topology-cache entries evicted to honor the cache byte budget.
+    pub fn cache_evictions(&self) -> usize {
+        self.diagnostics.cache_evictions
+    }
+
+    /// Peak estimated resident size of the topology cache (bytes).
+    pub fn cache_bytes(&self) -> usize {
+        self.diagnostics.cache_bytes
+    }
+
+    /// Every widening the convergence governor applied (empty whenever
+    /// the fixed point converged on its own).
+    pub fn convergence_actions(&self) -> &[ConvergenceAction] {
+        &self.diagnostics.convergence_actions
+    }
+
+    /// Nets left with stale nominal timing by deadline expiry (sorted,
+    /// deduplicated; empty unless [`timed_out`](Self::timed_out)).
+    pub fn stale_nets(&self) -> Vec<NetId> {
+        self.diagnostics.stale_nets()
     }
 }
 
@@ -632,25 +829,67 @@ struct CachedSystem {
     victim_far: CktNode,
 }
 
+/// One stored factorization plus its budget bookkeeping: the estimated
+/// byte cost charged against [`SiOptions::cache_budget_bytes`] and the
+/// logical timestamp of its last use (hit or insert) driving LRU
+/// eviction.
+#[derive(Debug, Clone)]
+struct CacheSlot {
+    cached: CachedSystem,
+    bytes: usize,
+    last_use: u64,
+}
+
+/// The map half of the topology cache, guarded by one mutex so the byte
+/// total, the LRU clock, and the entries can never disagree.
+#[derive(Debug, Default)]
+struct CacheState {
+    entries: HashMap<TopoKey, CacheSlot>,
+    /// Estimated resident bytes of all current entries.
+    bytes: usize,
+    /// Logical LRU clock: bumped on every lookup/insert; an entry's
+    /// `last_use` is the tick of its most recent touch.
+    tick: u64,
+}
+
 /// The topology-keyed factorization cache: shared across victims,
 /// polarities, fixed-point iterations and worker threads of one analysis
-/// call. Hit/miss counters are statistics only — under `threads > 1` two
-/// workers may both miss the same key and race the insert, which cannot
-/// change results (colliding systems are bit-identical by construction;
-/// `or_insert` keeps the first) but can make the counters vary run to run.
-#[derive(Debug, Default)]
+/// call. Hit/miss/eviction counters are statistics only — under
+/// `threads > 1` two workers may both miss the same key and race the
+/// insert, which cannot change results (colliding systems are
+/// bit-identical by construction; the first insert wins) but can make the
+/// counters vary run to run.
+///
+/// The cache's estimated resident size is bounded by `budget_bytes`
+/// (nnz-weighted estimates, [`FactoredSystem::approx_bytes`]): inserts
+/// that push it over budget evict least-recently-used entries first. An
+/// evicted entry only costs its next user a refactor — every served entry
+/// is bit-identical to a freshly built one, so results are independent of
+/// the budget (gated by the eviction-parity tests and `spefbus`).
+#[derive(Debug)]
 struct TopoCache {
     /// With `enabled` false the cache never stores or serves an entry
     /// (and hit/miss counters stay at zero) but still collects solver
     /// statistics — so `solver_nnz` is reported for uncached runs too.
     enabled: bool,
-    systems: Mutex<HashMap<TopoKey, CachedSystem>>,
-    /// Keys whose entry was implicated in a numeric failure: the entry is
-    /// evicted and the key refuses re-insertion for the rest of the
-    /// analysis, so a suspect factorization is never served again.
-    quarantined: Mutex<std::collections::HashSet<TopoKey>>,
+    /// Byte budget for `state.bytes`; `usize::MAX` means unbounded.
+    budget_bytes: usize,
+    state: Mutex<CacheState>,
+    /// `(key, is_rise)` pairs implicated in a numeric failure: the key's
+    /// entry is evicted and that *polarity* refuses lookups and
+    /// re-insertion for the rest of the analysis, so a suspect
+    /// factorization is never served to the reduction path that failed on
+    /// it — while the other polarity (whose reduction may be perfectly
+    /// healthy, e.g. after a dense recovery on a different victim) keeps
+    /// full cache service.
+    quarantined: Mutex<std::collections::HashSet<(TopoKey, bool)>>,
     hits: AtomicUsize,
     misses: AtomicUsize,
+    /// Entries evicted to honor the budget, plus inserts refused because
+    /// one entry alone exceeded it.
+    evictions: AtomicUsize,
+    /// High-water mark of `state.bytes`.
+    peak_bytes: AtomicUsize,
     /// Poisoned-mutex recoveries: a worker panicking while holding a
     /// cache lock poisons it; readers take over the guard instead of
     /// propagating, and each healing is surfaced as a
@@ -662,10 +901,18 @@ struct TopoCache {
 }
 
 impl TopoCache {
-    fn new(enabled: bool) -> Self {
+    fn new(enabled: bool, budget_bytes: usize) -> Self {
         TopoCache {
             enabled,
-            ..TopoCache::default()
+            budget_bytes,
+            state: Mutex::default(),
+            quarantined: Mutex::default(),
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+            evictions: AtomicUsize::new(0),
+            peak_bytes: AtomicUsize::new(0),
+            lock_recoveries: AtomicUsize::new(0),
+            max_nnz: AtomicUsize::new(0),
         }
     }
 
@@ -683,18 +930,37 @@ impl TopoCache {
         })
     }
 
-    fn lookup(&self, key: &TopoKey) -> Option<CachedSystem> {
+    /// Whether `(key, polarity)` is quarantined — lock order is always
+    /// `quarantined` before `state`, matching `insert`/`quarantine`.
+    fn is_quarantined(&self, key: &TopoKey, polarity: Polarity) -> bool {
+        self.guard(&self.quarantined)
+            .contains(&(key.clone(), polarity.is_rise()))
+    }
+
+    fn lookup(&self, key: &TopoKey, polarity: Polarity) -> Option<CachedSystem> {
         // Fault-injection site: panic while holding the cache lock, the
         // way a buggy or OOM-killed worker would, leaving the mutex
         // poisoned for every later access. The catch keeps *this* call
         // alive; the recovery under test is in `guard`.
         if nsta_obs::fault::should_fire(nsta_obs::fault::CACHE_POISON) {
             let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                let _guard = self.systems.lock();
+                let _guard = self.state.lock();
                 panic!("injected: panic while holding the topo-cache lock");
             }));
         }
-        let found = self.guard(&self.systems).get(key).cloned();
+        // A quarantined (key, polarity) must never be served — even if a
+        // healthy reduction of the *other* polarity re-inserted the key.
+        let found = if self.is_quarantined(key, polarity) {
+            None
+        } else {
+            let mut state = self.guard(&self.state);
+            state.tick += 1;
+            let tick = state.tick;
+            state.entries.get_mut(key).map(|slot| {
+                slot.last_use = tick;
+                slot.cached.clone()
+            })
+        };
         match found {
             Some(ref entry) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -713,23 +979,74 @@ impl TopoCache {
         found
     }
 
-    fn insert(&self, key: TopoKey, entry: CachedSystem) {
-        if self.guard(&self.quarantined).contains(&key) {
-            return;
-        }
-        nsta_obs::count!(
-            "sta.topo_cache.stored_bytes_est",
-            entry.system.nnz() * std::mem::size_of::<f64>()
-        );
-        self.guard(&self.systems).entry(key).or_insert(entry);
+    /// Estimated bytes an entry charges against the budget: the factored
+    /// system's nnz-weighted estimate plus the key's signature words.
+    fn entry_bytes(key: &TopoKey, entry: &CachedSystem) -> usize {
+        entry.system.approx_bytes() + key.0.len() * std::mem::size_of::<u64>()
     }
 
-    /// Evicts `key` and bans it for the rest of the analysis: a cached
-    /// factorization implicated in a numeric failure must not be served
-    /// to (or re-inserted by) any other victim.
-    fn quarantine(&self, key: &TopoKey) {
-        self.guard(&self.quarantined).insert(key.clone());
-        self.guard(&self.systems).remove(key);
+    fn insert(&self, key: TopoKey, entry: CachedSystem, polarity: Polarity) {
+        if self.is_quarantined(&key, polarity) {
+            return;
+        }
+        let bytes = Self::entry_bytes(&key, &entry);
+        if bytes > self.budget_bytes {
+            // One entry larger than the whole budget: storing it just to
+            // evict it immediately would churn; refuse the store and
+            // count it as an eviction so budget pressure stays visible.
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+            nsta_obs::count!("sta.topo_cache.evictions");
+            return;
+        }
+        nsta_obs::count!("sta.topo_cache.stored_bytes_est", bytes);
+        let mut state = self.guard(&self.state);
+        if state.entries.contains_key(&key) {
+            // First insert wins (racing workers built bit-identical
+            // systems anyway); don't double-charge the budget.
+            return;
+        }
+        state.tick += 1;
+        let slot = CacheSlot {
+            cached: entry,
+            bytes,
+            last_use: state.tick,
+        };
+        state.bytes += bytes;
+        state.entries.insert(key, slot);
+        // LRU eviction down to budget. The just-inserted entry holds the
+        // newest tick, so the scan always prefers older entries; it can
+        // only fall to the newcomer if nothing else is left, and a lone
+        // entry fits by the single-entry check above.
+        while state.bytes > self.budget_bytes {
+            let lru = state
+                .entries
+                .iter()
+                .min_by_key(|(_, s)| s.last_use)
+                .map(|(k, _)| k.clone());
+            let Some(victim) = lru else { break };
+            if let Some(evicted) = state.entries.remove(&victim) {
+                state.bytes -= evicted.bytes;
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+                nsta_obs::count!("sta.topo_cache.evictions");
+            }
+        }
+        self.peak_bytes.fetch_max(state.bytes, Ordering::Relaxed);
+    }
+
+    /// Evicts `key`'s entry and bans the implicated `(key, polarity)`
+    /// pair for the rest of the analysis: a cached factorization
+    /// implicated in a numeric failure must not be served to (or
+    /// re-inserted by) any other victim *of that polarity*. The other
+    /// polarity keeps cache service — its reductions drive the shared
+    /// system with independent waveforms, and banning it too starved
+    /// healthy victims after e.g. a successful dense recovery elsewhere.
+    fn quarantine(&self, key: &TopoKey, polarity: Polarity) {
+        self.guard(&self.quarantined)
+            .insert((key.clone(), polarity.is_rise()));
+        let mut state = self.guard(&self.state);
+        if let Some(evicted) = state.entries.remove(key) {
+            state.bytes -= evicted.bytes;
+        }
     }
 
     /// Records a freshly factored system's nonzero count; called on every
@@ -744,6 +1061,14 @@ impl TopoCache {
             self.hits.load(Ordering::Relaxed),
             self.misses.load(Ordering::Relaxed),
         )
+    }
+
+    fn evictions(&self) -> usize {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    fn bytes_peak(&self) -> usize {
+        self.peak_bytes.load(Ordering::Relaxed)
     }
 
     fn nnz(&self) -> usize {
@@ -904,6 +1229,7 @@ impl Sta {
         cache: Option<(&mut VictimCache, f64)>,
         topo: Option<&TopoCache>,
         policy: FaultPolicy,
+        deadline: Option<&Deadline>,
     ) -> Result<PassResult, StaError> {
         let n = self.design().net_count();
         let mut spec_of: Vec<Option<&CouplingSpec>> = vec![None; n];
@@ -920,11 +1246,11 @@ impl Sta {
         let cones = self.graph().components().len();
         let (states, mut adjustments, stats, mut degrades) = if cones >= threads.max(1) {
             self.crosstalk_pass_cones(
-                bc, &spec_of, method, backend, base, threads, cache, topo, policy,
+                bc, &spec_of, method, backend, base, threads, cache, topo, policy, deadline,
             )?
         } else {
             self.crosstalk_pass_levels(
-                bc, &spec_of, method, backend, base, threads, cache, topo, policy,
+                bc, &spec_of, method, backend, base, threads, cache, topo, policy, deadline,
             )?
         };
         // Canonical adjustment order, independent of the schedule: each
@@ -957,6 +1283,7 @@ impl Sta {
         mut cache: Option<(&mut VictimCache, f64)>,
         topo: Option<&TopoCache>,
         policy: FaultPolicy,
+        deadline: Option<&Deadline>,
     ) -> Result<PassResult, StaError> {
         let th = Thresholds::cmos(self.library().voltage);
         let seed = self.init_states(bc, false);
@@ -966,9 +1293,10 @@ impl Sta {
             // fresh results are collected per cone and installed after.
             let read_cache: Option<(&VictimCache, f64)> =
                 cache.as_ref().map(|(c, tol)| (&**c, *tol));
-            crate::par::par_map_recover(
+            crate::par::par_map_govern(
                 threads,
                 components,
+                deadline,
                 |cone| -> Result<ConeOutcome, StaError> {
                     // Fault-injection site: a cone task panics at entry,
                     // exactly where an assertion or slice bug in the
@@ -1093,6 +1421,27 @@ impl Sta {
         let mut stats = PassStats::default();
         let mut degrades = Vec::new();
         for (cone, outcome) in components.iter().zip(outcomes) {
+            let Some(outcome) = outcome else {
+                // Deadline-skipped cone: its nets keep the nominal
+                // (crosstalk-free) sweep's states — valid, just stale —
+                // and every victim in it is recorded so the staleness is
+                // attributable per net.
+                for &net in cone {
+                    states[net.0] = base[net.0];
+                    if spec_of[net.0].is_some() {
+                        degrades.push(DegradeEvent {
+                            net: Some(net),
+                            polarity: None,
+                            action: DegradeAction::DeadlineSkipped,
+                            cause: "analysis deadline expired before this cone was scheduled; \
+                                    victim keeps stale nominal timing"
+                                .to_string(),
+                            recovered: false,
+                        });
+                    }
+                }
+                continue;
+            };
             let mut outcome = outcome?;
             for (&net, st) in cone.iter().zip(outcome.states) {
                 states[net.0] = st;
@@ -1139,12 +1488,16 @@ impl Sta {
         mut cache: Option<(&mut VictimCache, f64)>,
         topo: Option<&TopoCache>,
         policy: FaultPolicy,
+        deadline: Option<&Deadline>,
     ) -> Result<PassResult, StaError> {
         let th = Thresholds::cmos(self.library().voltage);
         let mut states = self.init_states(bc, false);
         let mut adjustments = Vec::new();
         let mut stats = PassStats::default();
         let mut degrades: Vec<DegradeEvent> = Vec::new();
+        // Once the deadline reads expired it stays expired (both clocks
+        // are monotone): every later level skips its victim reductions.
+        let mut expired = false;
         for level in self.graph().levels() {
             // Fanin updates of this level (parallel, merged in net order).
             let updated = par_map(threads, level, |&net| {
@@ -1152,6 +1505,27 @@ impl Sta {
             });
             for (&net, result) in level.iter().zip(updated) {
                 states[net.0] = result?;
+            }
+            // Cooperative cancellation at the level boundary: fanin
+            // propagation above still ran (downstream levels need valid
+            // states — it is cheap, no transient solves), but this
+            // level's victim reductions are skipped and recorded.
+            expired = expired || deadline.is_some_and(|d| d.expired());
+            if expired {
+                for &net in level {
+                    if spec_of[net.0].is_some() {
+                        degrades.push(DegradeEvent {
+                            net: Some(net),
+                            polarity: None,
+                            action: DegradeAction::DeadlineSkipped,
+                            cause: "analysis deadline expired before this level's victims \
+                                    were scheduled; victim keeps stale nominal timing"
+                                .to_string(),
+                            recovered: false,
+                        });
+                    }
+                }
+                continue;
             }
             // Victim transitions of this level: resolve each against the
             // victim cache or queue it for parallel evaluation. Same-level
@@ -1300,7 +1674,7 @@ impl Sta {
         // Pass 2: sweep again, overriding victim nets as they are reached.
         // The topology cache is always on here (no options to disable it);
         // it cannot change results, only skip redundant factorizations.
-        let topo = TopoCache::new(true);
+        let topo = TopoCache::new(true, SiOptions::DEFAULT_CACHE_BUDGET_BYTES);
         let (states, adjustments, _stats, _degrades) = self.crosstalk_pass(
             &bc,
             couplings,
@@ -1311,6 +1685,7 @@ impl Sta {
             None,
             Some(&topo),
             FaultPolicy::Fail,
+            None,
         )?;
         let mask = self.false_edge_mask(&bc);
         let report = self.finish_report(&bc, states, mask.as_ref())?;
@@ -1439,11 +1814,14 @@ impl Sta {
             let _sweep_span = nsta_obs::span!("si.nominal_sweep");
             self.forward_sweep_partitioned(&bc, false, threads)?
         };
-        let topo = TopoCache::new(options.topo_cache);
+        let topo = TopoCache::new(options.topo_cache, options.cache_budget_bytes);
+        let deadline = options.deadline.as_ref();
         let cones = self.graph().components().len();
         phase_span.set_arg("cones", cones as f64);
         let diagnostics = |iterations: Vec<SiIteration>,
                            converged: bool,
+                           timed_out: bool,
+                           convergence_actions: Vec<ConvergenceAction>,
                            mut degrade_events: Vec<DegradeEvent>| {
             let (cache_hits, cache_misses) = topo.stats();
             // Poisoned-lock healings have no single victim; surface each
@@ -1466,6 +1844,10 @@ impl Sta {
                 solver_backend: options.backend,
                 solver_nnz: topo.nnz(),
                 degrade_events,
+                timed_out,
+                cache_evictions: topo.evictions(),
+                cache_bytes: topo.bytes_peak(),
+                convergence_actions,
             }
         };
 
@@ -1484,8 +1866,12 @@ impl Sta {
                 cache_ref,
                 Some(&topo),
                 options.fault_policy,
+                deadline,
             )?;
             let report = self.finish_report(&bc, states, mask)?;
+            let timed_out = degrades
+                .iter()
+                .any(|e| e.action == DegradeAction::DeadlineSkipped);
             let pass = SiIteration {
                 victims_recomputed: stats.recomputed,
                 victims_cached: stats.cached,
@@ -1496,7 +1882,7 @@ impl Sta {
                 report,
                 adjustments,
                 pruned: Vec::new(),
-                diagnostics: diagnostics(vec![pass], true, degrades),
+                diagnostics: diagnostics(vec![pass], true, timed_out, Vec::new(), degrades),
             });
         }
 
@@ -1511,11 +1897,35 @@ impl Sta {
         let max_iterations = options.max_iterations.max(1);
         let mut result = None;
         let mut converged = false;
+        let mut timed_out = false;
         let mut iteration_trace: Vec<SiIteration> = Vec::new();
         let mut prev_pruned: Option<Vec<(NetId, NetId)>> = None;
         let mut cache = VictimCache::default();
         let mut degrade_events: Vec<DegradeEvent> = Vec::new();
-        for _ in 0..max_iterations {
+        // Convergence governance (see the module docs): nets that
+        // participate in any coupling — the only windows the filter ever
+        // reads — and the widening state. `governed` flips once, when the
+        // delta sequence stagnates or the cap runs out unconverged.
+        let mut convergence_actions: Vec<ConvergenceAction> = Vec::new();
+        let mut governed = false;
+        let mut participant = vec![false; self.design().net_count()];
+        for s in couplings {
+            participant[s.victim.0] = true;
+            for &a in &s.aggressors {
+                if let Some(p) = participant.get_mut(a.0) {
+                    *p = true;
+                }
+            }
+        }
+        let total_pairs: usize = couplings.iter().map(|s| s.aggressors.len()).sum();
+        // Termination bound of the governed phase: widened windows only
+        // grow, so overlap decisions only flip towards "keep" — the
+        // pruned set shrinks monotonically in a space of `total_pairs`
+        // pairs, hence goes stationary (triggering the unchanged-pruning
+        // stop) within `total_pairs + 1` governed iterations.
+        let governed_cap = max_iterations + total_pairs + 2;
+        let mut iteration_cap = max_iterations;
+        while iteration_trace.len() < iteration_cap {
             let (filtered, pruned) = Self::window_filter(couplings, &windows, options.window_guard);
             // The analysis result is a pure function of the filtered
             // aggressor sets (aggressor ramps come from the nominal
@@ -1542,10 +1952,12 @@ impl Sta {
                 cache_ref,
                 Some(&topo),
                 options.fault_policy,
+                deadline,
             )?;
             degrade_events.append(&mut degrades);
             let report = self.finish_report(&bc, states, mask)?;
-            windows = self.windows_from(&min_states, &report);
+            let prev_windows =
+                std::mem::replace(&mut windows, self.windows_from(&min_states, &report));
             let moved = previous
                 .as_ref()
                 .map_or(f64::INFINITY, |prev| worst_arrival_movement(prev, &report));
@@ -1563,11 +1975,45 @@ impl Sta {
             drop(iter_span);
             prev_pruned = Some(pruned_key);
             result = Some((report, adjustments, pruned));
+            // Deadline boundary: the iteration that just ran finished (it
+            // may have skipped cones internally — those carry
+            // DeadlineSkipped events); no further iteration starts.
+            if deadline.is_some_and(|d| d.expired()) {
+                timed_out = true;
+                break;
+            }
             // Secondary stop: windows that barely moved cannot change the
             // overlap decisions by more than the tolerance.
             if moved <= options.convergence_tol {
                 converged = true;
                 break;
+            }
+            if options.convergence_governor && !governed {
+                let n = iteration_trace.len();
+                let delta = |i: usize| iteration_trace[i].max_window_delta;
+                // Stagnation: the delta sequence has stopped shrinking
+                // over the last two steps (a genuinely converging run
+                // shrinks strictly, so this never fires on one)...
+                let stagnating =
+                    n >= 3 && delta(n - 1) >= delta(n - 2) && delta(n - 2) >= delta(n - 3);
+                // ...or the plain cap is exhausted without convergence —
+                // where the ungoverned analysis would give up and return
+                // `converged: false`.
+                let cap_exhausted = n >= max_iterations;
+                if stagnating || cap_exhausted {
+                    governed = true;
+                    iteration_cap = governed_cap;
+                    nsta_obs::count!("sta.si.governed_switches");
+                }
+            }
+            if governed {
+                governed_window_update(
+                    &mut windows,
+                    &prev_windows,
+                    &participant,
+                    iteration_trace.len(),
+                    &mut convergence_actions,
+                );
             }
         }
         let Some((report, adjustments, pruned)) = result else {
@@ -1582,7 +2028,13 @@ impl Sta {
             pruned,
             // Cache statistics accumulate across iterations; snapshot them
             // once on the surviving analysis.
-            diagnostics: diagnostics(iteration_trace, converged, degrade_events),
+            diagnostics: diagnostics(
+                iteration_trace,
+                converged,
+                timed_out,
+                convergence_actions,
+                degrade_events,
+            ),
         })
     }
 
@@ -1744,8 +2196,10 @@ impl Sta {
 
     /// One victim reduction on one `(dt, backend)` grid — the unit the
     /// fallback chain in [`victim_gamma`](Self::victim_gamma) retries. A
-    /// failure after a topo-cache key was built quarantines that key, so
-    /// an implicated factorization is never reused.
+    /// failure after a topo-cache key was built quarantines the
+    /// `(key, polarity)` pair, so an implicated factorization is never
+    /// reused on the reduction path that failed — while the other
+    /// polarity keeps cache service.
     #[allow(clippy::too_many_arguments)]
     fn victim_attempt(
         &self,
@@ -1783,7 +2237,10 @@ impl Sta {
         let key = topo
             .filter(|t| t.enabled)
             .map(|_| TopoKey::new(dt, steps, spec, &victim_line, load));
-        let entry = match key.as_ref().and_then(|k| topo.and_then(|t| t.lookup(k))) {
+        let entry = match key
+            .as_ref()
+            .and_then(|k| topo.and_then(|t| t.lookup(k, victim_pol)))
+        {
             Some(entry) => entry,
             None => {
                 let mut ckt = Circuit::new();
@@ -1826,7 +2283,7 @@ impl Sta {
                     victim_far,
                 };
                 if let (Some(t), Some(k)) = (topo, key.clone()) {
-                    t.insert(k, entry.clone());
+                    t.insert(k, entry.clone(), victim_pol);
                 }
                 entry
             }
@@ -1847,7 +2304,7 @@ impl Sta {
         );
         if outcome.is_err() {
             if let (Some(t), Some(k)) = (topo, key.as_ref()) {
-                t.quarantine(k);
+                t.quarantine(k, victim_pol);
             }
         }
         outcome
@@ -2633,5 +3090,172 @@ mod tests {
             sta.analyze_with_crosstalk(c, &[s.clone(), s], MethodKind::P1),
             Err(StaError::Structure(_))
         ));
+    }
+
+    /// A minimal factored system for cache bookkeeping tests: one driven
+    /// node with a grounded cap. Every call builds the same topology, so
+    /// entries differ only by key.
+    fn cached_system() -> CachedSystem {
+        let mut ckt = Circuit::new();
+        let n = ckt.node("n");
+        ckt.thevenin_driver(n, Waveform::constant(0.0, 0.0, 1e-9).unwrap(), 100.0)
+            .unwrap();
+        ckt.capacitor(n, Circuit::GROUND, 1e-15).unwrap();
+        let opts = TransientOptions::new(0.0, 1e-9, 1e-12).unwrap();
+        CachedSystem {
+            system: Arc::new(ckt.factor_transient(opts).unwrap()),
+            victim_far: n,
+        }
+    }
+
+    #[test]
+    fn topo_cache_lru_evicts_least_recently_used_first() {
+        let entry = cached_system();
+        let key = |tag: u64| TopoKey(vec![tag]);
+        let per_entry = TopoCache::entry_bytes(&key(0), &entry);
+        // Room for exactly two entries; the third insert must evict.
+        let cache = TopoCache::new(true, 2 * per_entry);
+        cache.insert(key(1), entry.clone(), Polarity::Rise);
+        cache.insert(key(2), entry.clone(), Polarity::Rise);
+        // Touch key 1 so key 2 becomes the least recently used.
+        assert!(cache.lookup(&key(1), Polarity::Rise).is_some());
+        cache.insert(key(3), entry.clone(), Polarity::Rise);
+        assert_eq!(cache.evictions(), 1);
+        assert!(cache.lookup(&key(1), Polarity::Rise).is_some());
+        assert!(cache.lookup(&key(2), Polarity::Rise).is_none());
+        assert!(cache.lookup(&key(3), Polarity::Rise).is_some());
+        // Peak tracks the high-water mark, and the resident total never
+        // exceeded the budget.
+        assert_eq!(cache.bytes_peak(), 2 * per_entry);
+    }
+
+    #[test]
+    fn topo_cache_refuses_single_entry_over_budget() {
+        // An entry larger than the whole budget is refused outright (and
+        // counted as an eviction, so budget pressure stays visible in the
+        // stats) rather than stored and immediately evicted.
+        let cache = TopoCache::new(true, 1);
+        let key = TopoKey(vec![7]);
+        cache.insert(key.clone(), cached_system(), Polarity::Rise);
+        assert_eq!(cache.evictions(), 1);
+        assert!(cache.lookup(&key, Polarity::Rise).is_none());
+        assert_eq!(cache.bytes_peak(), 0);
+    }
+
+    #[test]
+    fn topo_cache_unbounded_budget_never_evicts() {
+        let cache = TopoCache::new(true, usize::MAX);
+        for tag in 0..16 {
+            cache.insert(TopoKey(vec![tag]), cached_system(), Polarity::Rise);
+        }
+        assert_eq!(cache.evictions(), 0);
+        for tag in 0..16 {
+            assert!(cache.lookup(&TopoKey(vec![tag]), Polarity::Rise).is_some());
+        }
+    }
+
+    #[test]
+    fn topo_cache_quarantine_is_polarity_scoped() {
+        // PR 7 regression: a numeric failure on one polarity's reduction
+        // must ban exactly the (key, polarity) pair — not the key for
+        // both polarities, and not forever for the healthy polarity.
+        let cache = TopoCache::new(true, usize::MAX);
+        let key = TopoKey(vec![42]);
+        cache.insert(key.clone(), cached_system(), Polarity::Rise);
+        cache.quarantine(&key, Polarity::Rise);
+        // The implicated pair is refused...
+        assert!(cache.lookup(&key, Polarity::Rise).is_none());
+        // ...but the other polarity keeps full cache service: it may
+        // re-insert the key and be served from it.
+        cache.insert(key.clone(), cached_system(), Polarity::Fall);
+        assert!(cache.lookup(&key, Polarity::Fall).is_some());
+        // The Fall re-insert must NOT resurrect service for the
+        // quarantined Rise pair (the PR 7 bug quarantined whole keys, so
+        // a re-insert under any polarity reopened the banned one).
+        assert!(cache.lookup(&key, Polarity::Rise).is_none());
+        // And a direct Rise re-insert is refused while Fall still serves.
+        cache.insert(key.clone(), cached_system(), Polarity::Rise);
+        assert!(cache.lookup(&key, Polarity::Rise).is_none());
+        assert!(cache.lookup(&key, Polarity::Fall).is_some());
+    }
+
+    #[test]
+    fn governed_update_tames_a_two_victim_oscillation() {
+        // Hand-built period-2 oscillation: two coupled victims whose
+        // windows flip-flop between iterates A and B (net 0 later/earlier,
+        // net 1 the mirror image) — the shape the real loop cannot settle.
+        // Net 2 is a bystander (not a participant), net 3 loses its
+        // window entirely in phase B.
+        let w = |e: f64, l: f64| {
+            Some(ArrivalWindow {
+                earliest: e,
+                latest: l,
+            })
+        };
+        let a = vec![
+            w(10e-12, 20e-12),
+            w(5e-12, 15e-12),
+            w(1e-12, 2e-12),
+            w(7e-12, 9e-12),
+        ];
+        let b = vec![w(30e-12, 40e-12), w(0.0, 8e-12), w(3e-12, 4e-12), None];
+        let participant = vec![true, true, false, true];
+        // The loop's governed step: prev iterate A, fresh iterate B.
+        let mut windows = b.clone();
+        let mut actions = Vec::new();
+        governed_window_update(&mut windows, &a, &participant, 1, &mut actions);
+        // Conservative: every installed window contains BOTH iterates.
+        for i in [0usize, 1] {
+            let u = windows[i].unwrap();
+            for it in [a[i].unwrap(), b[i].unwrap()] {
+                assert!(u.earliest <= it.earliest && u.latest >= it.latest);
+            }
+        }
+        // Both oscillating victims' widenings are on record, each
+        // certified conservative against the iterate it replaced.
+        assert_eq!(actions.len(), 2);
+        for act in &actions {
+            assert!(act.widened.earliest <= act.fresh.earliest);
+            assert!(act.widened.latest >= act.fresh.latest);
+        }
+        // The bystander is untouched; the window-losing net keeps its
+        // previous window (dropping it would prune MORE — the opposite
+        // of conservative).
+        assert_eq!(windows[2], b[2]);
+        assert_eq!(windows[3], a[3]);
+        // Termination: unions only grow, so feeding the next oscillation
+        // phase back in leaves the installed windows stationary — with
+        // stationary windows the filter's pruning decisions repeat and
+        // the loop's unchanged-pruning stop fires.
+        let installed = windows.clone();
+        let mut next = a.clone();
+        let mut more = Vec::new();
+        governed_window_update(&mut next, &installed, &participant, 2, &mut more);
+        assert_eq!(next[0], installed[0]);
+        assert_eq!(next[1], installed[1]);
+        assert_eq!(next[3], installed[3]);
+        // And once more from the other phase: still stationary.
+        let mut third = b.clone();
+        let mut last = Vec::new();
+        governed_window_update(&mut third, &installed, &participant, 3, &mut last);
+        assert_eq!(third[0], installed[0]);
+        assert_eq!(third[1], installed[1]);
+        assert_eq!(third[3], installed[3]);
+    }
+
+    #[test]
+    fn topo_cache_quarantine_releases_budget_bytes() {
+        let entry = cached_system();
+        let key = |tag: u64| TopoKey(vec![tag]);
+        let per_entry = TopoCache::entry_bytes(&key(0), &entry);
+        // Budget for one entry only.
+        let cache = TopoCache::new(true, per_entry);
+        cache.insert(key(1), entry.clone(), Polarity::Rise);
+        cache.quarantine(&key(1), Polarity::Rise);
+        // The quarantined entry's bytes were released, so a fresh key
+        // fits without any LRU eviction.
+        cache.insert(key(2), entry, Polarity::Rise);
+        assert!(cache.lookup(&key(2), Polarity::Rise).is_some());
+        assert_eq!(cache.evictions(), 0);
     }
 }

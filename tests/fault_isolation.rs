@@ -100,7 +100,7 @@ fn assert_recovers(site: &str, expect_action: DegradeAction, opts: &SiOptions) {
         &specs,
         &SiOptions {
             fault_policy: FaultPolicy::Isolate,
-            ..*opts
+            ..opts.clone()
         },
     );
     let fired = noisy_sta::obs::fault::total_fired();
