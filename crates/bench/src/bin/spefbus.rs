@@ -95,11 +95,27 @@
 //! `governance` JSON sections archive peak RSS, cache bytes/evictions,
 //! deadline outcome and convergence-governor interventions for CI.
 //!
+//! Incremental ECO sessions: `--eco N` opens a long-lived
+//! `nsta_session::TimingSession` over the same design and absorbs a
+//! deterministic stream of N transactional edits (output-load changes,
+//! driver-resistance changes, single-net re-annotations, cycled over the
+//! groups by a seeded PRNG), each incrementally re-solving only the
+//! dirtied coupling clusters. The run then (a) forces one rollback by
+//! applying an edit under an already-expired fake deadline and asserts
+//! the session stays serviceable, (b) shadow-audits the final state
+//! against a from-scratch batch analysis — a divergence quarantines the
+//! session and exits 6 — and (c) with `--eco-replay` rebuilds a fresh
+//! session from the journal and asserts bit-identity (a mismatch is a
+//! parity failure, exit 1). The `eco` JSON section archives per-edit
+//! latency, the full-reanalysis latency, their ratio (the incremental
+//! speedup CI gates on), audit/rollback/replay outcomes and the
+//! topology-cache entries released by edits.
+//!
 //! Usage: `spefbus [--groups N] [--threads N] [--segments N] [--sdc FILE]
 //! [--json PATH] [--trace FILE] [--metrics] [--lint[=deny]]
 //! [--strict-converge] [--no-topo-cache] [--cache-budget BYTES]
 //! [--deadline-ms N] [--strict-deadline] [--dense-solver] [--inject SPEC]
-//! [--inject-seed N]`
+//! [--inject-seed N] [--eco N] [--eco-replay]`
 
 use nsta_bench::busgen::{netlist, spef};
 use nsta_bench::json::Json;
@@ -107,10 +123,11 @@ use nsta_bench::microbench;
 use nsta_constraints::{bind_sdc, parse_sdc};
 use nsta_liberty::characterize::{inverter_family, Options};
 use nsta_parasitics::{bind_couplings, parse_spef, write_spef, BindOptions};
+use nsta_session::{Edit, EditOutcome, SessionOptions, TimingSession};
 use nsta_spice::Process;
 use nsta_sta::{
-    verilog, BoundaryConditions, Constraints, Deadline, DegradeAction, FaultPolicy, SiOptions,
-    SolverBackend, Sta,
+    verilog, BoundaryConditions, Constraints, Deadline, DegradeAction, FakeClock, FaultPolicy,
+    SiOptions, SolverBackend, Sta,
 };
 use std::time::{Duration, Instant};
 
@@ -118,7 +135,7 @@ const USAGE: &str = "usage: spefbus [--groups N] [--threads N] [--segments N] \
 [--sdc FILE] [--json PATH] [--trace FILE] [--metrics] [--lint[=deny]] \
 [--strict-converge] [--no-topo-cache] [--cache-budget BYTES] \
 [--deadline-ms N] [--strict-deadline] [--dense-solver] [--inject SPEC] \
-[--inject-seed N] [--help]";
+[--inject-seed N] [--eco N] [--eco-replay] [--help]";
 
 const HELP: &str = "SPEF-driven crosstalk STA workload with built-in parity gates.
 
@@ -152,6 +169,16 @@ flags:
                       comma-separated site names (pivot-loss, nan-solve,
                       worker-panic, cache-poison), each optionally name:count
   --inject-seed N     PRNG seed for fault placement (default 1)
+  --eco N             open an incremental timing session and stream N
+                      deterministic transactional edits through it
+                      (seeded by --inject-seed); each edit re-solves
+                      only the dirtied coupling clusters, a forced
+                      rollback must leave the session serviceable, and
+                      the final state is shadow-audited against a
+                      from-scratch batch analysis (divergence exits 6)
+  --eco-replay        after --eco, rebuild a fresh session from the edit
+                      journal and assert bit-identity with the live
+                      session (a mismatch is a parity failure, exit 1)
   --help, -h          print this help and exit
 
 exit codes:
@@ -163,7 +190,10 @@ exit codes:
   4   pre-flight lint failed (deny diagnostics, or any diagnostic
       under --lint=deny); no analysis was run, no JSON written
   5   --deadline-ms expired under --strict-deadline (partial result
-      discarded, no JSON written)";
+      discarded, no JSON written)
+  6   --eco shadow audit failed: the incremental session diverged from
+      the batch reference; the session was quarantined read-only and no
+      JSON was written";
 
 /// Stable wire names for degrade actions in the JSON report.
 fn action_name(a: DegradeAction) -> &'static str {
@@ -234,6 +264,25 @@ fn numeric_flag(name: &str, value: Option<String>) -> usize {
     }
 }
 
+/// Everything the `--eco` session run archives into the JSON report.
+struct EcoSummary {
+    edits: usize,
+    committed: usize,
+    open_time: Duration,
+    median_edit: Duration,
+    max_edit: Duration,
+    full_time: Duration,
+    speedup: f64,
+    epoch: u64,
+    dirty_nets_per_edit: f64,
+    released_cache_entries: u64,
+    audits_run: u64,
+    audit_max_divergence: f64,
+    forced_rollback: bool,
+    serviceable_after_rollback: bool,
+    replay: Option<(bool, Duration)>,
+}
+
 fn main() {
     let mut groups = 8usize;
     let mut threads = 1usize;
@@ -255,6 +304,8 @@ fn main() {
     let mut backend = SolverBackend::Sparse;
     let mut inject_spec: Option<String> = None;
     let mut inject_seed = 1u64;
+    let mut eco_edits: Option<usize> = None;
+    let mut eco_replay = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -286,6 +337,8 @@ fn main() {
                 inject_spec = Some(spec);
             }
             "--inject-seed" => inject_seed = numeric_flag("--inject-seed", args.next()) as u64,
+            "--eco" => eco_edits = Some(numeric_flag("--eco", args.next())),
+            "--eco-replay" => eco_replay = true,
             "--help" | "-h" => {
                 println!("{USAGE}\n\n{HELP}");
                 std::process::exit(0);
@@ -298,6 +351,11 @@ fn main() {
         }
     }
     let threads = threads.max(1);
+    if eco_replay && eco_edits.is_none() {
+        eprintln!("spefbus: --eco-replay requires --eco N");
+        eprintln!("{USAGE}");
+        std::process::exit(2);
+    }
     // Artifacts from a previous run come off disk before any analysis: a
     // panic below must not leave a stale green-looking report behind (the
     // new artifacts are written atomically at the end).
@@ -787,6 +845,175 @@ fn main() {
         (recovered, delta)
     });
 
+    // Incremental ECO session: a long-lived TimingSession absorbing a
+    // deterministic edit stream. Each edit re-solves only the dirtied
+    // coupling clusters; the speedup over `full_time` is what the
+    // retained-state machinery buys and is gated in CI. The stream is
+    // seeded by --inject-seed, so a run is reproducible bit-for-bit.
+    let eco_run = eco_edits.map(|edits| {
+        let session_opts = SessionOptions {
+            si: base_opts.clone(),
+            // Shadow-audit cadence: at least one mid-stream audit on any
+            // nontrivial run, plus the explicit final audit below.
+            audit_every_n: Some(8),
+            ..SessionOptions::default()
+        };
+        let t = Instant::now();
+        let mut session = TimingSession::open(
+            sta.clone(),
+            parsed.clone(),
+            BindOptions::default(),
+            BoundaryConditions::uniform(&c),
+            session_opts,
+        )
+        .unwrap_or_else(|e| {
+            eprintln!("spefbus: cannot open the timing session: {e}");
+            std::process::exit(2);
+        });
+        let open_time = t.elapsed();
+        let mut rng = nsta_obs::fault::XorShift64::new(inject_seed.max(1));
+        let mut edit_times: Vec<Duration> = Vec::new();
+        let mut committed = 0usize;
+        let mut dirty_net_total = 0usize;
+        for i in 0..edits {
+            let g = rng.next_below(groups.max(1) as u64) as usize;
+            let edit = match i % 3 {
+                0 => Edit::SetLoad {
+                    port: format!("y{g}"),
+                    farads: (5 + rng.next_below(50)) as f64 * 1e-15,
+                },
+                1 => Edit::SetDriveResistance {
+                    net: format!("v{g}"),
+                    ohms: (120 + rng.next_below(240)) as f64,
+                },
+                _ => {
+                    // Re-extract the victim wire with caps scaled by a
+                    // deterministic factor in [0.85, 1.15): the ECO that
+                    // changes the mesh itself, forcing a rebind and a
+                    // cache release for the affected topology keys.
+                    let mut dnet = session
+                        .spef()
+                        .net(&format!("v{g}"))
+                        .expect("victim D_NET exists")
+                        .clone();
+                    let scale = 0.85 + 0.3 * (rng.next_below(1000) as f64 / 1000.0);
+                    for cap in &mut dnet.caps {
+                        cap.value *= scale;
+                    }
+                    Edit::ReannotateNet { dnet }
+                }
+            };
+            let t = Instant::now();
+            let outcome = session.apply(edit);
+            edit_times.push(t.elapsed());
+            match outcome {
+                EditOutcome::Committed(info) => {
+                    committed += 1;
+                    dirty_net_total += info.dirty_nets;
+                }
+                EditOutcome::AuditFailed(f) | EditOutcome::ReadOnly(f) => {
+                    eprintln!("spefbus: shadow audit diverged mid-stream: {f}");
+                    eprintln!("session quarantined read-only; exiting 6");
+                    let _ = std::fs::remove_file(&json_path);
+                    std::process::exit(6);
+                }
+                other => {
+                    // The generated stream contains only valid edits: a
+                    // rejection or rollback here is a harness bug.
+                    parity_failures.push(format!("--eco edit {i} did not commit: {other:?}"));
+                }
+            }
+        }
+        // Forced rollback: an edit under an already-expired fake deadline
+        // must roll back to the snapshot and leave the session
+        // serviceable — the same edit then commits once the deadline is
+        // lifted.
+        session.set_edit_deadline(Some(Deadline::on_fake(FakeClock::new(0), 0)));
+        let doomed = Edit::SetDriveResistance {
+            net: "v0".into(),
+            ohms: 222.0,
+        };
+        let before = session.report().clone();
+        let forced = session.apply(doomed.clone());
+        let forced_rollback =
+            matches!(forced, EditOutcome::RolledBack { .. }) && session.report() == &before;
+        if !forced_rollback {
+            parity_failures.push(format!(
+                "--eco forced-rollback edit did not roll back cleanly: {forced:?}"
+            ));
+        }
+        session.set_edit_deadline(None);
+        let serviceable = session.apply(doomed).is_committed();
+        if !serviceable {
+            parity_failures.push("--eco session not serviceable after the forced rollback".into());
+        }
+        // Final shadow audit: the retained incremental state vs a fresh
+        // batch analysis. Divergence quarantines the session (exit 6).
+        if let Err(f) = session.audit_now() {
+            eprintln!("spefbus: final shadow audit failed: {f}");
+            eprintln!("session quarantined read-only; exiting 6");
+            let _ = std::fs::remove_file(&json_path);
+            std::process::exit(6);
+        }
+        // The denominator of the speedup gate: a from-scratch batch
+        // analysis of the exact final session state.
+        let t = Instant::now();
+        let full = sta
+            .analyze_with_crosstalk_windows(
+                session.boundary().clone(),
+                session.couplings(),
+                &base_opts,
+            )
+            .expect("full reanalysis of the final session state");
+        let full_time = t.elapsed();
+        if &full.report != session.report() {
+            parity_failures.push(
+                "--eco retained report differs from a from-scratch batch of the same state".into(),
+            );
+        }
+        let replay = eco_replay.then(|| {
+            let t = Instant::now();
+            match session.replay() {
+                Ok(fresh) => {
+                    let identical = fresh.report() == session.report();
+                    if !identical {
+                        parity_failures.push(
+                            "--eco-replay: journal replay does not reproduce the live session"
+                                .into(),
+                        );
+                    }
+                    (identical, t.elapsed())
+                }
+                Err(e) => {
+                    parity_failures.push(format!("--eco-replay failed: {e}"));
+                    (false, t.elapsed())
+                }
+            }
+        });
+        let mut sorted = edit_times.clone();
+        sorted.sort();
+        let median_edit = sorted.get(sorted.len() / 2).copied().unwrap_or_default();
+        let max_edit = sorted.last().copied().unwrap_or_default();
+        let speedup = full_time.as_secs_f64() / median_edit.as_secs_f64().max(1e-12);
+        EcoSummary {
+            edits,
+            committed,
+            open_time,
+            median_edit,
+            max_edit,
+            full_time,
+            speedup,
+            epoch: session.epoch(),
+            dirty_nets_per_edit: dirty_net_total as f64 / committed.max(1) as f64,
+            released_cache_entries: session.released_cache_entries(),
+            audits_run: session.audits_run(),
+            audit_max_divergence: session.max_audit_divergence(),
+            forced_rollback,
+            serviceable_after_rollback: serviceable,
+            replay,
+        }
+    });
+
     println!(
         "window-filtered: {} pruned aggressor(s), {} iteration(s), converged {}, \
          worst arrival {:.1} ps, {filtered_time:.2?}",
@@ -870,6 +1097,32 @@ fn main() {
             sites.join(" "),
             analysis.degrade_events().len(),
             delta * 1e12,
+        );
+    }
+    if let Some(eco) = &eco_run {
+        println!(
+            "eco session:     {} edit(s) ({} committed, epoch {}), median {:.2?}/edit vs \
+             {:.2?} full reanalysis ({:.1}x), {} audit(s) max div {:.3e} ps, \
+             {} cache entr(ies) released, rollback {}{}",
+            eco.edits,
+            eco.committed,
+            eco.epoch,
+            eco.median_edit,
+            eco.full_time,
+            eco.speedup,
+            eco.audits_run,
+            eco.audit_max_divergence * 1e12,
+            eco.released_cache_entries,
+            if eco.forced_rollback && eco.serviceable_after_rollback {
+                "clean"
+            } else {
+                "BROKEN"
+            },
+            match &eco.replay {
+                Some((true, d)) => format!(", replay bit-identical in {d:.2?}"),
+                Some((false, _)) => ", replay DIVERGED".into(),
+                None => String::new(),
+            },
         );
     }
     if let Some((analysis, bound_sdc, elapsed)) = &sdc_run {
@@ -1277,6 +1530,62 @@ fn main() {
                     ])
                 }
                 _ => Json::Null,
+            },
+        ),
+        // Incremental ECO session outcome. The audit/rollback/replay
+        // flags archive gates that already passed (a failed audit exits
+        // 6 and a replay mismatch exits 1, both without writing JSON);
+        // CI re-asserts them and gates on the speedup.
+        (
+            "eco",
+            match &eco_run {
+                Some(eco) => Json::obj([
+                    ("edits", Json::from(eco.edits)),
+                    ("committed", Json::from(eco.committed)),
+                    ("epoch", Json::from(eco.epoch as usize)),
+                    ("open_ms", ms(eco.open_time)),
+                    ("median_edit_ms", ms(eco.median_edit)),
+                    ("max_edit_ms", ms(eco.max_edit)),
+                    ("full_reanalysis_ms", ms(eco.full_time)),
+                    ("speedup", Json::Num((eco.speedup * 1e2).round() / 1e2)),
+                    (
+                        "dirty_nets_per_edit",
+                        Json::Num((eco.dirty_nets_per_edit * 1e2).round() / 1e2),
+                    ),
+                    (
+                        "released_cache_entries",
+                        Json::from(eco.released_cache_entries as usize),
+                    ),
+                    (
+                        "audit",
+                        Json::obj([
+                            ("runs", Json::from(eco.audits_run as usize)),
+                            ("parity", Json::from(true)),
+                            (
+                                "max_divergence_ps",
+                                Json::Num(eco.audit_max_divergence * 1e12),
+                            ),
+                        ]),
+                    ),
+                    (
+                        "rollback",
+                        Json::obj([
+                            ("forced", Json::from(eco.forced_rollback)),
+                            ("serviceable", Json::from(eco.serviceable_after_rollback)),
+                        ]),
+                    ),
+                    (
+                        "replay",
+                        match &eco.replay {
+                            Some((identical, elapsed)) => Json::obj([
+                                ("identical", Json::from(*identical)),
+                                ("ms", ms(*elapsed)),
+                            ]),
+                            None => Json::Null,
+                        },
+                    ),
+                ]),
+                None => Json::Null,
             },
         ),
         // The flat counter/gauge snapshot, keys sorted. Dynamic keys, so

@@ -220,7 +220,15 @@ impl NetRoles {
 pub fn run_lint(input: &LintInput<'_>, config: &LintConfig) -> LintReport {
     let recorder = nsta_obs::recorder();
     let mut span = recorder.span_cat("lint", "lint.run");
-    let roles = NetRoles::build(input.design, input.library);
+    // Pin-role extraction walks every instance against the library; skip
+    // it when every design-structure rule is configured `Allow` (e.g. a
+    // session's per-edit preflight, where the netlist is immutable).
+    let needs_roles = RULES.iter().any(|d| {
+        matches!(d.id, "net.undriven" | "net.multi-driven" | "net.floating")
+            && config.severity_for(d) != Severity::Allow
+    });
+    let roles = needs_roles.then(|| NetRoles::build(input.design, input.library));
+    let roles = roles.as_ref();
 
     let mut report = LintReport::default();
     for descriptor in RULES {
@@ -230,9 +238,17 @@ pub fn run_lint(input: &LintInput<'_>, config: &LintConfig) -> LintReport {
         }
         report.rules_run += 1;
         let findings = match descriptor.id {
-            "net.undriven" => rule_undriven(input.design, &roles),
-            "net.multi-driven" => rule_multi_driven(input.design, &roles),
-            "net.floating" => rule_floating(input.design, &roles),
+            // The design rules only run when `needs_roles` held, so
+            // `roles` is always `Some` here; `map` keeps that local.
+            "net.undriven" => roles
+                .map(|r| rule_undriven(input.design, r))
+                .unwrap_or_default(),
+            "net.multi-driven" => roles
+                .map(|r| rule_multi_driven(input.design, r))
+                .unwrap_or_default(),
+            "net.floating" => roles
+                .map(|r| rule_floating(input.design, r))
+                .unwrap_or_default(),
             "spef.unknown-net" => rule_spef_unknown_net(input),
             "spef.unknown-coupling-net" => rule_spef_unknown_coupling_net(input),
             "spef.missing-annotation" => rule_spef_missing_annotation(input),

@@ -212,6 +212,26 @@ impl SpefFile {
     pub fn net(&self, name: &str) -> Option<&DNet> {
         self.nets.iter().find(|n| n.name == name)
     }
+
+    /// Replaces the `*D_NET` section named `dnet.name` in place (keeping
+    /// file order, which downstream spec ordering follows) and returns
+    /// the previous section — the single-net re-annotation primitive of
+    /// an incremental ECO flow, where one wire's extraction changes and
+    /// the rest of the file must stay bit-identical.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::SpefError::Semantic`] if no section with that name
+    /// exists; the file is left unchanged.
+    pub fn replace_net(&mut self, dnet: DNet) -> Result<DNet, crate::SpefError> {
+        match self.nets.iter_mut().find(|n| n.name == dnet.name) {
+            Some(slot) => Ok(std::mem::replace(slot, dnet)),
+            None => Err(crate::SpefError::Semantic(format!(
+                "re-annotation names unknown net {:?}",
+                dnet.name
+            ))),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -65,6 +65,32 @@ impl BoundCouplings {
         let id = design.find_net(name)?;
         self.specs.iter().find(|s| s.victim == id)
     }
+
+    /// Victims whose spec differs between `self` and `other` (field-wise,
+    /// including victims present in only one of the two), sorted and
+    /// deduplicated. A single-net re-annotation
+    /// ([`crate::SpefFile::replace_net`] + rebind) changes not just the
+    /// edited victim's spec but also any spec that used the edited wire
+    /// as an aggressor line model — this is the exact invalidation set an
+    /// incremental session must re-solve.
+    pub fn changed_victims(&self, other: &BoundCouplings) -> Vec<nsta_sta::NetId> {
+        fn by_victim(
+            b: &BoundCouplings,
+        ) -> std::collections::HashMap<nsta_sta::NetId, &CouplingSpec> {
+            b.specs.iter().map(|s| (s.victim, s)).collect()
+        }
+        let old = by_victim(self);
+        let new = by_victim(other);
+        let mut changed: Vec<nsta_sta::NetId> = old
+            .iter()
+            .filter(|(victim, spec)| new.get(victim) != Some(*spec))
+            .map(|(&victim, _)| victim)
+            .chain(new.keys().filter(|v| !old.contains_key(v)).copied())
+            .collect();
+        changed.sort_unstable();
+        changed.dedup();
+        changed
+    }
 }
 
 /// Matches reduced SPEF nets to design nets and derives coupling specs.

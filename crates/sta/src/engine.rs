@@ -318,6 +318,59 @@ impl Sta {
         Ok(states)
     }
 
+    /// [`Sta::forward_sweep_partitioned`] restricted to a subset of cones:
+    /// `scope` is a per-cone mask indexed like
+    /// [`crate::TimingGraph::components`]; unscoped cones keep their
+    /// [`Sta::init_states`] seed and are never propagated. `None` means
+    /// every cone (the plain partitioned sweep). Within the scope the
+    /// per-net fold is the same fixed operation sequence as the full
+    /// sweep, so scoped states are bit-identical to the full sweep's for
+    /// every net inside a scoped cone — the contract the session layer's
+    /// dirty-cluster re-solve relies on (it discards everything else).
+    pub(crate) fn forward_sweep_scoped(
+        &self,
+        bc: &BoundaryConditions,
+        minimize: bool,
+        threads: usize,
+        scope: Option<&[bool]>,
+    ) -> Result<Vec<NetState>, StaError> {
+        let Some(scope) = scope else {
+            return self.forward_sweep_partitioned(bc, minimize, threads);
+        };
+        let components = self.graph.components();
+        let mut sweep_span = nsta_obs::span!("sta.forward_sweep");
+        sweep_span.set_arg("minimize", minimize as u8 as f64);
+        sweep_span.set_arg("threads", threads.max(1) as f64);
+        let active: Vec<usize> = (0..components.len())
+            .filter(|&i| scope.get(i).copied().unwrap_or(false))
+            .collect();
+        sweep_span.set_arg("cones", active.len() as f64);
+        let seed = self.init_states(bc, minimize);
+        let outcomes = crate::par::par_map(threads, &active, |&ci| {
+            let cone = &components[ci];
+            let mut cone_span = nsta_obs::span!("sta.sweep_cone");
+            cone_span.set_arg("nets", cone.len() as f64);
+            let mut local: Vec<NetState> = cone.iter().map(|&net| seed[net.0]).collect();
+            for (j, &net) in cone.iter().enumerate() {
+                let updated = self.propagate_net_with(
+                    net,
+                    |i| local[self.graph.cone_slot(NetId(i))],
+                    bc,
+                    minimize,
+                )?;
+                local[j] = updated;
+            }
+            Ok::<_, StaError>(local)
+        });
+        let mut states = seed;
+        for (&ci, outcome) in active.iter().zip(outcomes) {
+            for (&net, st) in components[ci].iter().zip(outcome?) {
+                states[net.0] = st;
+            }
+        }
+        Ok(states)
+    }
+
     /// Runs the nominal (crosstalk-free, latest-arrival) analysis.
     ///
     /// Accepts either the legacy uniform [`Constraints`] or a resolved
@@ -468,6 +521,26 @@ impl Sta {
         states: Vec<NetState>,
         mask: Option<&FalsePathMask>,
     ) -> Result<TimingReport, StaError> {
+        self.finish_report_scoped(bc, states, mask, None)
+    }
+
+    /// [`Sta::finish_report`] restricted to a per-net scope mask: required
+    /// times are only seeded/propagated and report rows only filled for
+    /// nets with `scope[net]` (others get empty [`NetTiming`] rows, and
+    /// the worst point / critical path consider scoped nets only). The
+    /// reverse sweep's per-edge table lookups dominate the report cost,
+    /// so a session's per-edit fixed point scopes them to the dirty
+    /// clusters — sound because cones are weakly-connected components
+    /// (no edge crosses the scope boundary) and the patch report is
+    /// discarded in favor of the merged full one.
+    pub(crate) fn finish_report_scoped(
+        &self,
+        bc: &BoundaryConditions,
+        states: Vec<NetState>,
+        mask: Option<&FalsePathMask>,
+        scope: Option<&[bool]>,
+    ) -> Result<TimingReport, StaError> {
+        let in_scope = |i: usize| scope.is_none_or(|s| s.get(i).copied().unwrap_or(false));
         let n = self.design.net_count();
         let mut required = vec![[f64::INFINITY; 2]; n];
         let idx = |p: Polarity| match p {
@@ -475,6 +548,9 @@ impl Sta {
             Polarity::Fall => 1usize,
         };
         for &out in self.design.outputs() {
+            if !in_scope(out.0) {
+                continue;
+            }
             if mask.is_some_and(|m| m.output_false[out.0]) {
                 continue; // every startpoint falsified: no requirement
             }
@@ -482,6 +558,9 @@ impl Sta {
         }
         // Reverse sweep over the topological order.
         for &net in self.graph.topological_order().iter().rev() {
+            if !in_scope(net.0) {
+                continue;
+            }
             for &k in self.graph.fanin_edges(net) {
                 if mask.is_some_and(|m| m.edges[k]) {
                     continue; // edge lies exclusively on false paths
@@ -515,6 +594,10 @@ impl Sta {
                 rise: None,
                 fall: None,
             };
+            if !in_scope(i) {
+                nets.push(timing);
+                continue;
+            }
             for pol in [Polarity::Rise, Polarity::Fall] {
                 let p = states[i].get(pol);
                 if !p.valid {
@@ -584,6 +667,68 @@ impl Sta {
             worst_slack,
             worst_arrival,
         ))
+    }
+
+    /// Rebuilds a [`TimingReport`] from already-finished per-net rows and
+    /// their propagation states: re-derives the worst arrival/slack, the
+    /// worst point and the critical path with byte-for-byte the same scan
+    /// as [`Sta::finish_report`], but without the reverse required-time
+    /// sweep (whose per-edge table lookups dominate the report cost).
+    /// For [`Sta::session_merge`], which splices rows from two reports
+    /// whose required times are already exact: required times never cross
+    /// cone boundaries (cones are weakly-connected components), so a
+    /// dirty cone's patch rows and a clean cone's retained rows are each
+    /// bit-identical to a batch run's.
+    pub(crate) fn report_from_rows(
+        &self,
+        nets: Vec<NetTiming>,
+        states: &[NetState],
+    ) -> TimingReport {
+        let mut worst_arrival = f64::NEG_INFINITY;
+        let mut worst_slack = f64::INFINITY;
+        let mut worst_point: Option<(NetId, Polarity)> = None;
+        for t in &nets {
+            for (pol, pt) in [(Polarity::Rise, &t.rise), (Polarity::Fall, &t.fall)] {
+                let Some(p) = pt else { continue };
+                worst_arrival = worst_arrival.max(p.arrival);
+                // Same latest-arrival tie-break as finish_report, so the
+                // reported endpoint (hence critical path) is identical.
+                let better = p.slack < worst_slack - 1e-15
+                    || (p.slack <= worst_slack + 1e-15
+                        && worst_point
+                            .map(|(wid, wpol)| {
+                                let wp = states[wid.0].get(wpol);
+                                p.arrival > wp.arrival
+                            })
+                            .unwrap_or(true));
+                if better {
+                    worst_slack = worst_slack.min(p.slack);
+                    worst_point = Some((t.net, pol));
+                }
+            }
+        }
+        let mut critical = Vec::new();
+        if let Some((mut net, mut pol)) = worst_point {
+            loop {
+                let p = *states[net.0].get(pol);
+                critical.push(PathPoint {
+                    net,
+                    name: self.design.net_name(net).to_string(),
+                    polarity: pol,
+                    arrival: p.arrival,
+                    slew: p.slew,
+                });
+                match p.pred {
+                    Some((k, from_pol)) => {
+                        net = self.graph.edges()[k].from;
+                        pol = from_pol;
+                    }
+                    None => break,
+                }
+            }
+            critical.reverse();
+        }
+        TimingReport::new(nets, critical, worst_slack, worst_arrival)
     }
 }
 

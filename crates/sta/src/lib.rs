@@ -62,6 +62,7 @@ mod graph;
 mod netlist;
 mod par;
 mod report;
+pub mod session;
 pub mod si;
 pub mod verilog;
 
@@ -73,9 +74,10 @@ pub use netlist::{Design, Instance, NetId};
 pub use nsta_circuit::SolverBackend;
 pub use nsta_obs::{CancelToken, Deadline, FakeClock};
 pub use report::{NetTiming, TimingReport};
+pub use session::{ConeClusters, RetainedAnalysis};
 pub use si::{
     ArrivalWindow, ConvergenceAction, CouplingSpec, DegradeAction, DegradeEvent, FaultPolicy,
-    PrunedAggressor, SiAdjustment, SiAnalysis, SiDiagnostics, SiIteration, SiOptions,
+    PrunedAggressor, SiAdjustment, SiAnalysis, SiDiagnostics, SiIteration, SiOptions, TopoCache,
 };
 
 /// Serializes tests that enable the process-wide [`nsta_obs`] recorder:

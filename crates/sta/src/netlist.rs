@@ -4,6 +4,15 @@ use crate::StaError;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NetId(pub(crate) usize);
 
+impl NetId {
+    /// The net's dense index within its design (also the index of its
+    /// entry in `TimingReport::nets` and other per-net vectors) — for
+    /// external consumers that maintain per-net side tables.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
 /// One cell instance with named pin connections.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Instance {

@@ -138,7 +138,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// Coupling description of one victim net.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CouplingSpec {
     /// The victim net (must exist in the design).
     pub victim: NetId,
@@ -584,6 +584,12 @@ pub struct SiDiagnostics {
     /// [`ConvergenceAction`]). Empty whenever the fixed point converged
     /// on its own.
     pub convergence_actions: Vec<ConvergenceAction>,
+    /// Session epoch this result belongs to: `0` for a plain batch
+    /// analysis; a long-lived [`crate::session`] consumer stamps each
+    /// merged incremental result with its commit counter so stale reads
+    /// (a report retained across an edit) are detectable by comparison
+    /// against the session's current epoch.
+    pub epoch: u64,
 }
 
 impl SiDiagnostics {
@@ -838,6 +844,11 @@ struct CacheSlot {
     cached: CachedSystem,
     bytes: usize,
     last_use: u64,
+    /// Victim net whose reduction first stored this entry. Other victims
+    /// sharing the topology signature are served the same slot; the owner
+    /// tag only scopes [`TopoCache::release_nets`] invalidation — evicting
+    /// a still-shared entry merely costs its next user a refactor.
+    owner: NetId,
 }
 
 /// The map half of the topology cache, guarded by one mutex so the byte
@@ -854,7 +865,11 @@ struct CacheState {
 
 /// The topology-keyed factorization cache: shared across victims,
 /// polarities, fixed-point iterations and worker threads of one analysis
-/// call. Hit/miss/eviction counters are statistics only — under
+/// call — or, when a long-lived session supplies its own instance to
+/// [`Sta::analyze_windows_with_cache`], across every incremental re-solve
+/// of that session (entries invalidated by an edit are dropped via
+/// [`TopoCache::release_nets`]). Hit/miss/eviction counters are
+/// statistics only — under
 /// `threads > 1` two workers may both miss the same key and race the
 /// insert, which cannot change results (colliding systems are
 /// bit-identical by construction; the first insert wins) but can make the
@@ -867,7 +882,7 @@ struct CacheState {
 /// is bit-identical to a freshly built one, so results are independent of
 /// the budget (gated by the eviction-parity tests and `spefbus`).
 #[derive(Debug)]
-struct TopoCache {
+pub struct TopoCache {
     /// With `enabled` false the cache never stores or serves an entry
     /// (and hit/miss counters stay at zero) but still collects solver
     /// statistics — so `solver_nnz` is reported for uncached runs too.
@@ -875,14 +890,16 @@ struct TopoCache {
     /// Byte budget for `state.bytes`; `usize::MAX` means unbounded.
     budget_bytes: usize,
     state: Mutex<CacheState>,
-    /// `(key, is_rise)` pairs implicated in a numeric failure: the key's
-    /// entry is evicted and that *polarity* refuses lookups and
-    /// re-insertion for the rest of the analysis, so a suspect
-    /// factorization is never served to the reduction path that failed on
-    /// it — while the other polarity (whose reduction may be perfectly
-    /// healthy, e.g. after a dense recovery on a different victim) keeps
-    /// full cache service.
-    quarantined: Mutex<std::collections::HashSet<(TopoKey, bool)>>,
+    /// `(key, is_rise)` pairs implicated in a numeric failure, mapped to
+    /// the victim net whose reduction failed on them: the key's entry is
+    /// evicted and that *polarity* refuses lookups and re-insertion for
+    /// the rest of the cache's lifetime, so a suspect factorization is
+    /// never served to the reduction path that failed on it — while the
+    /// other polarity (whose reduction may be perfectly healthy, e.g.
+    /// after a dense recovery on a different victim) keeps full cache
+    /// service. The recorded owner lets [`TopoCache::release_nets`] lift
+    /// the ban once an edit invalidates the offending geometry.
+    quarantined: Mutex<std::collections::HashMap<(TopoKey, bool), NetId>>,
     hits: AtomicUsize,
     misses: AtomicUsize,
     /// Entries evicted to honor the budget, plus inserts refused because
@@ -901,7 +918,12 @@ struct TopoCache {
 }
 
 impl TopoCache {
-    fn new(enabled: bool, budget_bytes: usize) -> Self {
+    /// A cache with `budget_bytes` of estimated capacity (`usize::MAX`
+    /// for unbounded); `enabled: false` builds a pass-through instance
+    /// that never stores or serves entries. Public so a long-lived
+    /// session can own one cache across many incremental analyses — see
+    /// [`Sta::analyze_windows_with_cache`].
+    pub fn new(enabled: bool, budget_bytes: usize) -> Self {
         TopoCache {
             enabled,
             budget_bytes,
@@ -934,7 +956,7 @@ impl TopoCache {
     /// `quarantined` before `state`, matching `insert`/`quarantine`.
     fn is_quarantined(&self, key: &TopoKey, polarity: Polarity) -> bool {
         self.guard(&self.quarantined)
-            .contains(&(key.clone(), polarity.is_rise()))
+            .contains_key(&(key.clone(), polarity.is_rise()))
     }
 
     fn lookup(&self, key: &TopoKey, polarity: Polarity) -> Option<CachedSystem> {
@@ -985,7 +1007,7 @@ impl TopoCache {
         entry.system.approx_bytes() + key.0.len() * std::mem::size_of::<u64>()
     }
 
-    fn insert(&self, key: TopoKey, entry: CachedSystem, polarity: Polarity) {
+    fn insert(&self, key: TopoKey, entry: CachedSystem, polarity: Polarity, owner: NetId) {
         if self.is_quarantined(&key, polarity) {
             return;
         }
@@ -1010,6 +1032,7 @@ impl TopoCache {
             cached: entry,
             bytes,
             last_use: state.tick,
+            owner,
         };
         state.bytes += bytes;
         state.entries.insert(key, slot);
@@ -1040,13 +1063,54 @@ impl TopoCache {
     /// polarity keeps cache service — its reductions drive the shared
     /// system with independent waveforms, and banning it too starved
     /// healthy victims after e.g. a successful dense recovery elsewhere.
-    fn quarantine(&self, key: &TopoKey, polarity: Polarity) {
+    /// `owner` records the victim whose reduction failed, so an edit
+    /// invalidating that victim's geometry can lift the ban again.
+    fn quarantine(&self, key: &TopoKey, polarity: Polarity, owner: NetId) {
         self.guard(&self.quarantined)
-            .insert((key.clone(), polarity.is_rise()));
+            .insert((key.clone(), polarity.is_rise()), owner);
         let mut state = self.guard(&self.state);
         if let Some(evicted) = state.entries.remove(key) {
             state.bytes -= evicted.bytes;
         }
+    }
+
+    /// Drops every cache entry and quarantine record owned by one of
+    /// `nets`, returning how many were released. A long-lived session
+    /// calls this when an edit invalidates a victim's geometry: the
+    /// victim's stored factorizations no longer match its new topology
+    /// signature (a new key simply misses), but its *quarantine* records
+    /// would otherwise pin the old `(key, polarity)` pairs forever —
+    /// after the offending geometry is edited away, an unrelated victim
+    /// landing on the same signature deserves cache service again.
+    /// Releasing a still-shared entry is parity-safe: it only costs the
+    /// next user a refactor.
+    pub fn release_nets(&self, nets: &[NetId]) -> usize {
+        if nets.is_empty() {
+            return 0;
+        }
+        let owned = |owner: NetId| nets.contains(&owner);
+        // Lock order matches `insert`/`quarantine`: quarantined, then state.
+        let mut released = 0usize;
+        {
+            let mut quarantined = self.guard(&self.quarantined);
+            let before = quarantined.len();
+            quarantined.retain(|_, owner| !owned(*owner));
+            released += before - quarantined.len();
+        }
+        let mut state = self.guard(&self.state);
+        let doomed: Vec<TopoKey> = state
+            .entries
+            .iter()
+            .filter(|(_, slot)| owned(slot.owner))
+            .map(|(k, _)| k.clone())
+            .collect();
+        for key in doomed {
+            if let Some(evicted) = state.entries.remove(&key) {
+                state.bytes -= evicted.bytes;
+                released += 1;
+            }
+        }
+        released
     }
 
     /// Records a freshly factored system's nonzero count; called on every
@@ -1230,6 +1294,7 @@ impl Sta {
         topo: Option<&TopoCache>,
         policy: FaultPolicy,
         deadline: Option<&Deadline>,
+        scope: Option<&[bool]>,
     ) -> Result<PassResult, StaError> {
         let n = self.design().net_count();
         let mut spec_of: Vec<Option<&CouplingSpec>> = vec![None; n];
@@ -1243,10 +1308,15 @@ impl Sta {
                 )));
             }
         }
+        // A scoped pass (a session's dirty-cluster re-solve) always takes
+        // the cone schedule: the scope is a cone mask, and the handful of
+        // scoped cones would gain nothing from level synchronization.
         let cones = self.graph().components().len();
-        let (states, mut adjustments, stats, mut degrades) = if cones >= threads.max(1) {
+        let (states, mut adjustments, stats, mut degrades) = if scope.is_some()
+            || cones >= threads.max(1)
+        {
             self.crosstalk_pass_cones(
-                bc, &spec_of, method, backend, base, threads, cache, topo, policy, deadline,
+                bc, &spec_of, method, backend, base, threads, cache, topo, policy, deadline, scope,
             )?
         } else {
             self.crosstalk_pass_levels(
@@ -1284,10 +1354,23 @@ impl Sta {
         topo: Option<&TopoCache>,
         policy: FaultPolicy,
         deadline: Option<&Deadline>,
+        scope: Option<&[bool]>,
     ) -> Result<PassResult, StaError> {
         let th = Thresholds::cmos(self.library().voltage);
         let seed = self.init_states(bc, false);
         let components = self.graph().components();
+        // Cone work list, filtered by the optional cone-scope mask but
+        // keeping each cone's original index so merge order, retry
+        // attribution and epoch bookkeeping stay schedule-independent.
+        // Out-of-scope cones are never propagated: their states stay at
+        // the seed, exactly like the scoped forward sweeps' (the caller
+        // discards them).
+        let active: Vec<(usize, &[NetId])> = components
+            .iter()
+            .enumerate()
+            .filter(|(ci, _)| scope.is_none_or(|s| s.get(*ci).copied().unwrap_or(false)))
+            .map(|(ci, cone)| (ci, cone.as_slice()))
+            .collect();
         let (outcomes, retried) = {
             // Immutable view of the victim cache for the parallel section;
             // fresh results are collected per cone and installed after.
@@ -1295,9 +1378,9 @@ impl Sta {
                 cache.as_ref().map(|(c, tol)| (&**c, *tol));
             crate::par::par_map_govern(
                 threads,
-                components,
+                &active,
                 deadline,
-                |cone| -> Result<ConeOutcome, StaError> {
+                |&(_ci, cone)| -> Result<ConeOutcome, StaError> {
                     // Fault-injection site: a cone task panics at entry,
                     // exactly where an assertion or slice bug in the
                     // per-cone work would. The pool catches it and the
@@ -1420,7 +1503,7 @@ impl Sta {
         let mut adjustments = Vec::new();
         let mut stats = PassStats::default();
         let mut degrades = Vec::new();
-        for (cone, outcome) in components.iter().zip(outcomes) {
+        for (&(_ci, cone), outcome) in active.iter().zip(outcomes) {
             let Some(outcome) = outcome else {
                 // Deadline-skipped cone: its nets keep the nominal
                 // (crosstalk-free) sweep's states — valid, just stale —
@@ -1461,7 +1544,7 @@ impl Sta {
         // the recovery against the cone's first net.
         for idx in retried {
             degrades.push(DegradeEvent {
-                net: components.get(idx).and_then(|c| c.first()).copied(),
+                net: active.get(idx).and_then(|&(_, c)| c.first()).copied(),
                 polarity: None,
                 action: DegradeAction::ConeRetry,
                 cause: "cone worker panicked; recomputed inline on the coordinator".to_string(),
@@ -1686,6 +1769,7 @@ impl Sta {
             Some(&topo),
             FaultPolicy::Fail,
             None,
+            None,
         )?;
         let mask = self.false_edge_mask(&bc);
         let report = self.finish_report(&bc, states, mask.as_ref())?;
@@ -1794,6 +1878,38 @@ impl Sta {
         couplings: &[CouplingSpec],
         options: &SiOptions,
     ) -> Result<SiAnalysis, StaError> {
+        let topo = TopoCache::new(options.topo_cache, options.cache_budget_bytes);
+        self.analyze_windows_with_cache(constraints, couplings, options, &topo, None)
+            .map(|(analysis, _states)| analysis)
+    }
+
+    /// [`Sta::analyze_with_crosstalk_windows`] with a caller-owned
+    /// [`TopoCache`] (which then ignores [`SiOptions::topo_cache`] /
+    /// [`SiOptions::cache_budget_bytes`]), also returning the final
+    /// per-net propagation states. Both extras exist for the long-lived
+    /// session layer: the cache persists across incremental re-solves,
+    /// and the states let [`crate::session`] merge a dirty-cone patch
+    /// into retained results at the state level, reproducing the batch
+    /// report bit-identically. Results are unchanged by cache contents —
+    /// a warm cache only skips refactorizations — and the diagnostics'
+    /// cache counters are cumulative over the cache's lifetime, not this
+    /// call.
+    ///
+    /// `scope` optionally restricts the two hoisted sweeps to a per-cone
+    /// mask (see [`Sta::forward_sweep_scoped`]): the session layer passes
+    /// the dirty-cluster cone mask so a per-edit re-solve never sweeps
+    /// untouched cones. Sound because the fixed point and the window
+    /// filter only ever read states of coupling participants, all of
+    /// which live inside the scoped clusters; out-of-scope nets keep
+    /// their seed states and the caller discards their report rows.
+    pub(crate) fn analyze_windows_with_cache(
+        &self,
+        constraints: impl Into<BoundaryConditions>,
+        couplings: &[CouplingSpec],
+        options: &SiOptions,
+        topo: &TopoCache,
+        scope: Option<&[bool]>,
+    ) -> Result<(SiAnalysis, Vec<crate::engine::NetState>), StaError> {
         let bc = constraints.into();
         self.check_unique_victims(couplings)?;
         let mut phase_span = nsta_obs::span!("si.windowed");
@@ -1804,6 +1920,21 @@ impl Sta {
         let mask = self.false_edge_mask(&bc);
         let mask = mask.as_ref();
         let threads = options.threads.max(1);
+        // Net-level projection of the cone scope, for the intermediate
+        // reports the fixed point builds (their per-edge reverse-sweep
+        // table lookups would otherwise dwarf a scoped re-solve).
+        let net_scope: Option<Vec<bool>> = scope.map(|s| {
+            let mut nets = vec![false; self.design().net_count()];
+            for (ci, cone) in self.graph().components().iter().enumerate() {
+                if s.get(ci).copied().unwrap_or(false) {
+                    for &net in cone {
+                        nets[net.0] = true;
+                    }
+                }
+            }
+            nets
+        });
+        let net_scope = net_scope.as_deref();
         // Iteration-invariant work, hoisted out of the fixed point: the
         // nominal sweep (aggressor ramps + latest windows of iteration 0)
         // and the min sweep (earliest window edges, which worst-case
@@ -1812,9 +1943,8 @@ impl Sta {
         // constraint-set arrival ranges instead of a single point.
         let base = {
             let _sweep_span = nsta_obs::span!("si.nominal_sweep");
-            self.forward_sweep_partitioned(&bc, false, threads)?
+            self.forward_sweep_scoped(&bc, false, threads, scope)?
         };
-        let topo = TopoCache::new(options.topo_cache, options.cache_budget_bytes);
         let deadline = options.deadline.as_ref();
         let cones = self.graph().components().len();
         phase_span.set_arg("cones", cones as f64);
@@ -1848,6 +1978,7 @@ impl Sta {
                 cache_evictions: topo.evictions(),
                 cache_bytes: topo.bytes_peak(),
                 convergence_actions,
+                epoch: 0,
             }
         };
 
@@ -1864,11 +1995,12 @@ impl Sta {
                 &base,
                 threads,
                 cache_ref,
-                Some(&topo),
+                Some(topo),
                 options.fault_policy,
                 deadline,
+                scope,
             )?;
-            let report = self.finish_report(&bc, states, mask)?;
+            let report = self.finish_report_scoped(&bc, states.clone(), mask, net_scope)?;
             let timed_out = degrades
                 .iter()
                 .any(|e| e.action == DegradeAction::DeadlineSkipped);
@@ -1878,19 +2010,22 @@ impl Sta {
                 aggressors_pruned: 0,
                 max_window_delta: 0.0,
             };
-            return Ok(SiAnalysis {
-                report,
-                adjustments,
-                pruned: Vec::new(),
-                diagnostics: diagnostics(vec![pass], true, timed_out, Vec::new(), degrades),
-            });
+            return Ok((
+                SiAnalysis {
+                    report,
+                    adjustments,
+                    pruned: Vec::new(),
+                    diagnostics: diagnostics(vec![pass], true, timed_out, Vec::new(), degrades),
+                },
+                states,
+            ));
         }
 
         let min_states = {
             let _sweep_span = nsta_obs::span!("si.min_sweep");
-            self.forward_sweep_partitioned(&bc, true, threads)?
+            self.forward_sweep_scoped(&bc, true, threads, scope)?
         };
-        let clean = self.finish_report(&bc, base.clone(), mask)?;
+        let clean = self.finish_report_scoped(&bc, base.clone(), mask, net_scope)?;
         let mut windows = self.windows_from(&min_states, &clean);
         let mut previous: Option<TimingReport> = Some(clean);
 
@@ -1950,12 +2085,13 @@ impl Sta {
                 &base,
                 threads,
                 cache_ref,
-                Some(&topo),
+                Some(topo),
                 options.fault_policy,
                 deadline,
+                scope,
             )?;
             degrade_events.append(&mut degrades);
-            let report = self.finish_report(&bc, states, mask)?;
+            let report = self.finish_report_scoped(&bc, states.clone(), mask, net_scope)?;
             let prev_windows =
                 std::mem::replace(&mut windows, self.windows_from(&min_states, &report));
             let moved = previous
@@ -1974,7 +2110,7 @@ impl Sta {
             iter_span.set_arg("max_window_delta", moved);
             drop(iter_span);
             prev_pruned = Some(pruned_key);
-            result = Some((report, adjustments, pruned));
+            result = Some((report, adjustments, pruned, states));
             // Deadline boundary: the iteration that just ran finished (it
             // may have skipped cones internally — those carry
             // DeadlineSkipped events); no further iteration starts.
@@ -2016,26 +2152,29 @@ impl Sta {
                 );
             }
         }
-        let Some((report, adjustments, pruned)) = result else {
+        let Some((report, adjustments, pruned, states)) = result else {
             return Err(StaError::Structure(
                 "crosstalk iteration loop completed zero iterations".into(),
             ));
         };
         phase_span.set_arg("iterations", iteration_trace.len() as f64);
-        Ok(SiAnalysis {
-            report,
-            adjustments,
-            pruned,
-            // Cache statistics accumulate across iterations; snapshot them
-            // once on the surviving analysis.
-            diagnostics: diagnostics(
-                iteration_trace,
-                converged,
-                timed_out,
-                convergence_actions,
-                degrade_events,
-            ),
-        })
+        Ok((
+            SiAnalysis {
+                report,
+                adjustments,
+                pruned,
+                // Cache statistics accumulate across iterations; snapshot
+                // them once on the surviving analysis.
+                diagnostics: diagnostics(
+                    iteration_trace,
+                    converged,
+                    timed_out,
+                    convergence_actions,
+                    degrade_events,
+                ),
+            },
+            states,
+        ))
     }
 
     /// Computes `Γeff` for one victim transition. With `topo` the factored
@@ -2283,7 +2422,7 @@ impl Sta {
                     victim_far,
                 };
                 if let (Some(t), Some(k)) = (topo, key.clone()) {
-                    t.insert(k, entry.clone(), victim_pol);
+                    t.insert(k, entry.clone(), victim_pol, spec.victim);
                 }
                 entry
             }
@@ -2304,7 +2443,7 @@ impl Sta {
         );
         if outcome.is_err() {
             if let (Some(t), Some(k)) = (topo, key.as_ref()) {
-                t.quarantine(k, victim_pol);
+                t.quarantine(k, victim_pol, spec.victim);
             }
         }
         outcome
@@ -3115,11 +3254,11 @@ mod tests {
         let per_entry = TopoCache::entry_bytes(&key(0), &entry);
         // Room for exactly two entries; the third insert must evict.
         let cache = TopoCache::new(true, 2 * per_entry);
-        cache.insert(key(1), entry.clone(), Polarity::Rise);
-        cache.insert(key(2), entry.clone(), Polarity::Rise);
+        cache.insert(key(1), entry.clone(), Polarity::Rise, NetId(1));
+        cache.insert(key(2), entry.clone(), Polarity::Rise, NetId(2));
         // Touch key 1 so key 2 becomes the least recently used.
         assert!(cache.lookup(&key(1), Polarity::Rise).is_some());
-        cache.insert(key(3), entry.clone(), Polarity::Rise);
+        cache.insert(key(3), entry.clone(), Polarity::Rise, NetId(3));
         assert_eq!(cache.evictions(), 1);
         assert!(cache.lookup(&key(1), Polarity::Rise).is_some());
         assert!(cache.lookup(&key(2), Polarity::Rise).is_none());
@@ -3136,7 +3275,7 @@ mod tests {
         // stats) rather than stored and immediately evicted.
         let cache = TopoCache::new(true, 1);
         let key = TopoKey(vec![7]);
-        cache.insert(key.clone(), cached_system(), Polarity::Rise);
+        cache.insert(key.clone(), cached_system(), Polarity::Rise, NetId(7));
         assert_eq!(cache.evictions(), 1);
         assert!(cache.lookup(&key, Polarity::Rise).is_none());
         assert_eq!(cache.bytes_peak(), 0);
@@ -3146,7 +3285,12 @@ mod tests {
     fn topo_cache_unbounded_budget_never_evicts() {
         let cache = TopoCache::new(true, usize::MAX);
         for tag in 0..16 {
-            cache.insert(TopoKey(vec![tag]), cached_system(), Polarity::Rise);
+            cache.insert(
+                TopoKey(vec![tag]),
+                cached_system(),
+                Polarity::Rise,
+                NetId(tag as usize),
+            );
         }
         assert_eq!(cache.evictions(), 0);
         for tag in 0..16 {
@@ -3161,20 +3305,20 @@ mod tests {
         // both polarities, and not forever for the healthy polarity.
         let cache = TopoCache::new(true, usize::MAX);
         let key = TopoKey(vec![42]);
-        cache.insert(key.clone(), cached_system(), Polarity::Rise);
-        cache.quarantine(&key, Polarity::Rise);
+        cache.insert(key.clone(), cached_system(), Polarity::Rise, NetId(0));
+        cache.quarantine(&key, Polarity::Rise, NetId(0));
         // The implicated pair is refused...
         assert!(cache.lookup(&key, Polarity::Rise).is_none());
         // ...but the other polarity keeps full cache service: it may
         // re-insert the key and be served from it.
-        cache.insert(key.clone(), cached_system(), Polarity::Fall);
+        cache.insert(key.clone(), cached_system(), Polarity::Fall, NetId(0));
         assert!(cache.lookup(&key, Polarity::Fall).is_some());
         // The Fall re-insert must NOT resurrect service for the
         // quarantined Rise pair (the PR 7 bug quarantined whole keys, so
         // a re-insert under any polarity reopened the banned one).
         assert!(cache.lookup(&key, Polarity::Rise).is_none());
         // And a direct Rise re-insert is refused while Fall still serves.
-        cache.insert(key.clone(), cached_system(), Polarity::Rise);
+        cache.insert(key.clone(), cached_system(), Polarity::Rise, NetId(0));
         assert!(cache.lookup(&key, Polarity::Rise).is_none());
         assert!(cache.lookup(&key, Polarity::Fall).is_some());
     }
@@ -3250,12 +3394,38 @@ mod tests {
         let per_entry = TopoCache::entry_bytes(&key(0), &entry);
         // Budget for one entry only.
         let cache = TopoCache::new(true, per_entry);
-        cache.insert(key(1), entry.clone(), Polarity::Rise);
-        cache.quarantine(&key(1), Polarity::Rise);
+        cache.insert(key(1), entry.clone(), Polarity::Rise, NetId(1));
+        cache.quarantine(&key(1), Polarity::Rise, NetId(1));
         // The quarantined entry's bytes were released, so a fresh key
         // fits without any LRU eviction.
-        cache.insert(key(2), entry, Polarity::Rise);
+        cache.insert(key(2), entry, Polarity::Rise, NetId(2));
         assert!(cache.lookup(&key(2), Polarity::Rise).is_some());
         assert_eq!(cache.evictions(), 0);
+    }
+
+    #[test]
+    fn topo_cache_release_nets_lifts_quarantine_and_drops_owned_entries() {
+        // A long-lived session invalidating a victim must release both the
+        // victim's stored entries and its quarantine records — without one,
+        // a transient fault would pin a (key, polarity) pair forever even
+        // after the offending geometry is edited away.
+        let entry = cached_system();
+        let key = |tag: u64| TopoKey(vec![tag]);
+        let cache = TopoCache::new(true, usize::MAX);
+        cache.insert(key(1), entry.clone(), Polarity::Rise, NetId(1));
+        cache.insert(key(2), entry.clone(), Polarity::Rise, NetId(2));
+        cache.quarantine(&key(3), Polarity::Rise, NetId(1));
+        // Releasing net 1 drops its entry and lifts its quarantine; net 2
+        // is untouched.
+        assert_eq!(cache.release_nets(&[NetId(1)]), 2);
+        assert!(cache.lookup(&key(1), Polarity::Rise).is_none());
+        assert!(cache.lookup(&key(2), Polarity::Rise).is_some());
+        assert!(!cache.is_quarantined(&key(3), Polarity::Rise));
+        // The released pair earns cache service again.
+        cache.insert(key(3), entry, Polarity::Rise, NetId(5));
+        assert!(cache.lookup(&key(3), Polarity::Rise).is_some());
+        // Releasing a net that owns nothing is a no-op.
+        assert_eq!(cache.release_nets(&[NetId(1)]), 0);
+        assert_eq!(cache.release_nets(&[]), 0);
     }
 }

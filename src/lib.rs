@@ -56,6 +56,7 @@ pub use nsta_liberty as liberty;
 pub use nsta_numeric as numeric;
 pub use nsta_obs as obs;
 pub use nsta_parasitics as parasitics;
+pub use nsta_session as session;
 pub use nsta_spice as spice;
 pub use nsta_sta as sta;
 pub use nsta_waveform as waveform;
